@@ -1,0 +1,82 @@
+"""Ablation: the five null-invariant measures (paper Section 2.1).
+
+The paper claims the pruning framework works for *any* null-invariant
+measure and that its efficiency "is not influenced by the concrete
+choice of the correlation measure".  This ablation runs full Flipper
+with each measure on the same workload and compares cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import one_shot
+from repro import PruningConfig
+from repro.bench import run_method
+from repro.core.measures import MEASURES
+from repro.datasets import GROCERIES_THRESHOLDS, generate_groceries
+
+MEASURE_NAMES = sorted(MEASURES)
+
+
+@pytest.fixture(scope="module")
+def groceries_db():
+    return generate_groceries(scale=0.5)
+
+
+@pytest.mark.parametrize("measure", MEASURE_NAMES)
+def test_measure_runtime(benchmark, groceries_db, measure):
+    record = one_shot(
+        benchmark,
+        run_method,
+        groceries_db,
+        GROCERIES_THRESHOLDS,
+        PruningConfig.full(),
+        f"full[{measure}]",
+        measure=measure,
+    )
+    assert record.counted > 0
+
+
+def test_measure_cost_is_flat(benchmark, groceries_db, capsys):
+    """Candidate counts may differ (different measures label different
+    itemsets) but stay within one order of magnitude — the framework,
+    not the measure, does the pruning."""
+
+    def run_all():
+        return {
+            measure: max(
+                run_method(
+                    groceries_db,
+                    GROCERIES_THRESHOLDS,
+                    PruningConfig.full(),
+                    measure=measure,
+                ).candidates,
+                1,
+            )
+            for measure in MEASURE_NAMES
+        }
+
+    counts = one_shot(benchmark, run_all)
+    with capsys.disabled():
+        print("\nmeasure ablation (candidates):", counts)
+    assert max(counts.values()) <= 10 * min(counts.values())
+
+
+def test_ordering_implies_pattern_nesting(benchmark, groceries_db):
+    """Every null-invariant measure must complete end-to-end and
+    produce a sane result on the same workload."""
+    from repro import mine_flipping_patterns
+
+    def run_three():
+        return {
+            measure: len(
+                mine_flipping_patterns(
+                    groceries_db, GROCERIES_THRESHOLDS, measure=measure
+                ).patterns
+            )
+            for measure in ("all_confidence", "kulczynski", "max_confidence")
+        }
+
+    positives = one_shot(benchmark, run_three)
+    assert all(value >= 0 for value in positives.values())

@@ -1,0 +1,52 @@
+"""Fig. 8(c): runtime vs average transaction width.
+
+Paper shape: wider (denser) transactions blow BASIC up dramatically
+(up to ~300x vs full Flipper at W=10) while the pruning ladder
+degrades gracefully.  Minimum-support counts are width^2-scaled to
+keep the paper's threshold-to-noise ratio at bench-scale N (see
+``repro.bench.profiles.width_scaled_thresholds``).
+
+The sweep runs once; a single mid-density ladder point is timed
+separately so per-method numbers land in the benchmark table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import one_shot
+from repro.bench import bench_config, run_fig8c, run_method
+from repro.bench.harness import LADDER
+from repro.bench.profiles import width_scaled_thresholds
+from repro.datasets import generate_synthetic
+
+POINT_WIDTH = 6
+
+
+@pytest.fixture(scope="module")
+def dense_db():
+    base = bench_config()
+    return generate_synthetic(base.scaled(avg_width=float(POINT_WIDTH)))
+
+
+@pytest.mark.parametrize("label,pruning", LADDER, ids=[m for m, _ in LADDER])
+def test_fig8c_method_at_width6(benchmark, dense_db, label, pruning):
+    thresholds = width_scaled_thresholds(
+        POINT_WIDTH, n_transactions=dense_db.n_transactions
+    )
+    record = one_shot(
+        benchmark, run_method, dense_db, thresholds, pruning, label
+    )
+    assert record.counted <= record.candidates
+
+
+def test_fig8c_series_shape(benchmark, capsys):
+    report, result = one_shot(benchmark, run_fig8c)
+    with capsys.disabled():
+        print("\n" + report)
+    basic = result.metric("BASIC", "candidates")
+    full = result.metric("FLIPPING+TPG+SIBP", "candidates")
+    assert basic[-1] > basic[0], "BASIC should grow with width"
+    # density hurts BASIC far more than full Flipper at the wide end
+    assert full[-1] * 3 <= basic[-1]
+    assert all(f <= b for f, b in zip(full, basic))

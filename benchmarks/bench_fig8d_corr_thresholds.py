@@ -1,0 +1,46 @@
+"""Fig. 8(d): runtime vs correlation thresholds (gamma, epsilon).
+
+Paper shape: Flipper's pruning cuts *non-positive* candidates, so a
+larger gamma prunes more and runs faster; BASIC ignores correlation
+thresholds entirely and stays flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import one_shot
+from repro.bench import run_fig8d, run_method, thresholds_for_profile
+from repro.bench.harness import LADDER
+from repro.bench.profiles import DEFAULT_MINSUP
+
+PROFILES = [(0.2, 0.1), (0.6, 0.1), (0.6, 0.5)]
+
+
+@pytest.mark.parametrize("profile", PROFILES, ids=str)
+@pytest.mark.parametrize("label,pruning", LADDER, ids=[m for m, _ in LADDER])
+def test_fig8d_method_at_thresholds(
+    benchmark, synthetic_db, profile, label, pruning
+):
+    gamma, epsilon = profile
+    thresholds = thresholds_for_profile(
+        DEFAULT_MINSUP,
+        gamma=gamma,
+        epsilon=epsilon,
+        n_transactions=synthetic_db.n_transactions,
+    )
+    record = one_shot(
+        benchmark, run_method, synthetic_db, thresholds, pruning, label
+    )
+    assert record.method == label
+
+
+def test_fig8d_series_shape(benchmark, capsys):
+    report, result = one_shot(benchmark, run_fig8d)
+    with capsys.disabled():
+        print("\n" + report)
+    basic = result.metric("BASIC", "candidates")
+    assert len(set(basic)) == 1, "BASIC must ignore correlation thresholds"
+    full = result.metric("FLIPPING+TPG+SIBP", "candidates")
+    # gamma grows through the first five profiles: pruning tightens
+    assert full[4] <= full[0]

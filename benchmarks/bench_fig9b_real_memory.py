@@ -1,0 +1,43 @@
+"""Fig. 9(b): memory consumption, naive flipping vs full Flipper.
+
+Paper shape: the naive method stores multi-GB candidate sets; full
+Flipper never needed more than 2 GB.  Our proxy is the number of
+stored candidate entries (plus a tracemalloc peak as a physical
+check); the claim is the *ratio*, not the absolute bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import one_shot
+from repro.bench import run_fig9b, run_method
+from repro.bench.experiments import NAIVE_VS_FULL
+
+
+@pytest.mark.parametrize(
+    "dataset_index", [0, 1, 2], ids=["groceries", "census", "medline"]
+)
+def test_fig9b_memory_pair(benchmark, real_workloads, dataset_index):
+    """Benchmark the full-Flipper run with memory tracking enabled."""
+    name, database, thresholds = real_workloads[dataset_index]
+    label, pruning = NAIVE_VS_FULL[1]
+    record = one_shot(
+        benchmark,
+        run_method,
+        database,
+        thresholds,
+        pruning,
+        label,
+        track_memory=True,
+    )
+    assert record.peak_memory_bytes is not None
+
+
+def test_fig9b_series_shape(benchmark, capsys):
+    report, data = one_shot(benchmark, run_fig9b)
+    with capsys.disabled():
+        print("\n" + report)
+    for name, records in data.items():
+        naive, full = records
+        assert full.stored_entries <= naive.stored_entries, name

@@ -1,0 +1,42 @@
+"""Table 1: the expectation-based measure's verdict flips with N while
+Kulc stays constant — the motivating micro-experiment of Section 2.1."""
+
+from __future__ import annotations
+
+from conftest import one_shot
+from repro.bench import run_table1
+from repro.core.measures import expectation_sign, kulczynski
+
+
+def test_table1_report(benchmark, capsys):
+    report, data = one_shot(benchmark, run_table1)
+    with capsys.disabled():
+        print("\n" + report)
+    # the AB pair must flip its expectation verdict between DB1/DB2
+    signs = {row["db"]: row["expectation_sign"] for row in data if row["pair"] == "AB"}
+    assert signs == {"DB1": "positive", "DB2": "negative"}
+    kulcs = {row["kulc"] for row in data if row["pair"] == "AB"}
+    assert len(kulcs) == 1  # Kulc identical across DB1/DB2
+
+
+def test_table1_measure_throughput(benchmark):
+    """Micro-benchmark of the two measures' evaluation cost."""
+
+    def evaluate():
+        total = 0.0
+        for _ in range(1000):
+            total += kulczynski(400, [1000, 1000])
+        return total
+
+    assert one_shot(benchmark, evaluate) > 0
+
+
+def test_table1_expectation_throughput(benchmark):
+    def evaluate():
+        signs = []
+        for n in range(2_000, 22_000, 20):
+            signs.append(expectation_sign(400, [1000, 1000], n))
+        return signs
+
+    result = one_shot(benchmark, evaluate)
+    assert "positive" in result and "negative" in result

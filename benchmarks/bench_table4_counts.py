@@ -1,0 +1,45 @@
+"""Table 4: counts of positive / negative / flipping patterns on the
+three real datasets.
+
+Paper shape (G/C/M): thousands-to-millions of signed patterns, of
+which only 174 / 232 / 430 flip — flipping patterns are a needle in
+the haystack, which is why mining them directly matters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import one_shot
+from repro.bench import run_table4
+from repro.core.flipper import FlipperMiner, PruningConfig
+
+
+@pytest.mark.parametrize(
+    "dataset_index", [0, 1, 2], ids=["groceries", "census", "medline"]
+)
+def test_table4_basic_enumeration(benchmark, real_workloads, dataset_index):
+    """Time the full BASIC enumeration that Table 4's counts need."""
+    name, database, thresholds = real_workloads[dataset_index]
+
+    def enumerate_patterns():
+        miner = FlipperMiner(
+            database, thresholds, pruning=PruningConfig.basic()
+        )
+        return miner.mine()
+
+    result = one_shot(benchmark, enumerate_patterns)
+    assert result.stats.total_counted > 0
+
+
+def test_table4_report(benchmark, capsys):
+    report, data = one_shot(benchmark, run_table4)
+    with capsys.disabled():
+        print("\n" + report)
+    for row in data:
+        signed = row["positive"] + row["negative"]
+        assert row["flips"] > 0, row["dataset"]
+        assert row["flips"] < signed / 10, (
+            f"{row['dataset']}: flips must be a small fraction of all "
+            f"signed patterns ({row['flips']} vs {signed})"
+        )

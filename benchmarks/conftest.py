@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench runs at the scale set by ``REPRO_BENCH_SCALE`` (default
+0.025 -> synthetic N = 2,500).  Set ``REPRO_BENCH_SCALE=1.0`` to run
+at the paper's sizes (synthetic N = 100K; budget hours for BASIC).
+Workloads are generated once per session and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_config, real_datasets, thresholds_for_profile
+from repro.bench.profiles import DEFAULT_MINSUP
+from repro.datasets import generate_synthetic
+
+
+@pytest.fixture(scope="session")
+def synthetic_db():
+    """The paper's default synthetic workload at bench scale."""
+    return generate_synthetic(bench_config())
+
+
+@pytest.fixture(scope="session")
+def default_thresholds(synthetic_db):
+    return thresholds_for_profile(
+        DEFAULT_MINSUP, n_transactions=synthetic_db.n_transactions
+    )
+
+
+@pytest.fixture(scope="session")
+def real_workloads():
+    """GROCERIES / CENSUS / MEDLINE simulators at bench scale."""
+    return real_datasets()
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run a mining benchmark exactly once (mining is deterministic;
+    repeated rounds would only re-measure the same work)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

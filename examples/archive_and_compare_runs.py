@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Archive mining runs to JSON and diff them across configurations.
+
+A downstream workflow the library supports out of the box: run the
+miner under several measures / backends, save each result, reload,
+and compare — useful for regression-tracking pattern sets across code
+or data versions without re-mining.
+
+Run:  python examples/archive_and_compare_runs.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import load_result, mine_flipping_patterns, save_result
+from repro.core.measures import MEASURES
+from repro.datasets.groceries import GROCERIES_THRESHOLDS, generate_groceries
+
+database = generate_groceries(scale=0.3)
+archive = Path(tempfile.mkdtemp(prefix="flipper-runs-"))
+print(f"archiving runs under {archive}\n")
+
+# ---------------------------------------------------------------------------
+# 1. One run per null-invariant measure, archived as JSON
+# ---------------------------------------------------------------------------
+for name in MEASURES:
+    result = mine_flipping_patterns(
+        database, GROCERIES_THRESHOLDS, measure=name
+    )
+    save_result(result, archive / f"{name}.json")
+    print(
+        f"    {name:<15} {len(result.patterns):>3} patterns, "
+        f"{result.stats.elapsed_seconds:.3f}s, "
+        f"{result.stats.total_candidates} candidates"
+    )
+
+# ---------------------------------------------------------------------------
+# 2. Reload and diff: which patterns does every measure agree on?
+# ---------------------------------------------------------------------------
+loaded = {
+    name: load_result(archive / f"{name}.json") for name in MEASURES
+}
+pattern_sets = {
+    name: {pattern.leaf_names for pattern in result.patterns}
+    for name, result in loaded.items()
+}
+consensus = set.intersection(*pattern_sets.values())
+union = set.union(*pattern_sets.values())
+print()
+print(
+    f"{len(consensus)} patterns found by every measure, "
+    f"{len(union)} by at least one:"
+)
+for names in sorted(consensus):
+    print("    consensus:", ", ".join(names))
+for names in sorted(union - consensus):
+    finders = [m for m, s in pattern_sets.items() if names in s]
+    print(f"    only {'/'.join(finders)}:", ", ".join(names))
+
+# ---------------------------------------------------------------------------
+# 3. Round-trip fidelity: the archive is the run
+# ---------------------------------------------------------------------------
+kulc = loaded["kulczynski"]
+fresh = mine_flipping_patterns(database, GROCERIES_THRESHOLDS)
+assert kulc.patterns == fresh.patterns
+print()
+print("round-trip check: reloaded patterns byte-identical to a fresh run")

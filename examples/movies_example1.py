@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The paper's motivating Example 1, end to end.
+
+MovieLens-style data: each user is a transaction of the movies they
+rated highly; the taxonomy is the genre hierarchy.  The paper's
+opening observation (Figs. 1-2a):
+
+* people who like romance movies rarely also like westerns, yet
+* *The Big Country (1958)* and *High Noon (1952)* are favored
+  together — a correlation that flips from negative to positive when
+  descending from genres to films;
+* action and adventure are co-favored as genres — and this example
+  also surfaces the inverse flips (specific action/adventure pairs
+  with no shared audience).
+
+Run:  python examples/movies_example1.py
+"""
+
+from repro import mine_flipping_patterns, profile_database
+from repro.datasets import MOVIES_THRESHOLDS, generate_movies
+
+database = generate_movies(scale=0.5)
+print(database.describe())
+print()
+print(profile_database(database, top=3).describe())
+print()
+
+result = mine_flipping_patterns(database, MOVIES_THRESHOLDS)
+print(f"found {len(result.patterns)} flipping patterns\n")
+
+# The paper's Fig. 2(a) pair, negative genres over positive films:
+for pattern in result.patterns:
+    if set(pattern.leaf_names) == {
+        "the big country (1958)",
+        "high noon (1952)",
+    }:
+        print("The paper's Fig. 2(a) flip, recovered:")
+        print(pattern.describe())
+        print()
+
+# The inverse shape: co-favored genres hiding film pairs nobody
+# watches together (the sharpest few):
+inverse = [p for p in result.patterns if p.signature == "+-"]
+print(f"{len(inverse)} inverse (+-) flips; the sharpest:")
+for pattern in sorted(inverse, key=lambda p: -p.min_gap)[:2]:
+    print(pattern.describe())
+    print()
+
+print(
+    "Interpretation (paper §1): such films either bridge the two "
+    "audiences (cross-genre classics), were assigned the wrong "
+    "genre, or mark a real but hidden affinity — each a lead an "
+    "analyst can act on."
+)

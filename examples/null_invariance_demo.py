@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Why Flipper needs null-invariant measures (paper Section 2.1).
+
+Reproduces the paper's Table 1 argument live, then goes one step
+further: mines a database, inflates it with thousands of *null
+transactions* (baskets touching none of the evaluated items), and
+shows the flipping patterns do not move — while the expectation-based
+verdict for the very same supports flips from negative to positive.
+
+Run:  python examples/null_invariance_demo.py
+"""
+
+from repro import (
+    Thresholds,
+    invariance_table,
+    mine_flipping_patterns,
+    verify_mining_invariance,
+    with_null_transactions,
+)
+from repro.datasets import example3_database
+
+# ---------------------------------------------------------------------------
+# 1. Table 1, recomputed: same supports, two database sizes
+# ---------------------------------------------------------------------------
+print("Paper Table 1 — sup(A)=sup(B)=1000, sup(AB)=400:")
+rows = invariance_table(400, [1000, 1000], [2_000, 20_000])
+for row in rows:
+    if row.measure in ("kulczynski", "lift"):
+        flag = "null-invariant" if row.null_invariant else "expectation-based"
+        print(
+            f"    {row.measure:<12} N={row.n_transactions:>6}: "
+            f"value={row.value:.2f} -> {row.sign}  ({flag})"
+        )
+print()
+print("Paper Table 1 — sup(C)=sup(D)=200, sup(CD)=4 (clearly negative):")
+for row in invariance_table(4, [200, 200], [2_000, 20_000]):
+    if row.measure in ("kulczynski", "lift"):
+        print(
+            f"    {row.measure:<12} N={row.n_transactions:>6}: "
+            f"value={row.value:.2f} -> {row.sign}"
+        )
+print()
+
+# ---------------------------------------------------------------------------
+# 2. End to end: mining survives null inflation
+# ---------------------------------------------------------------------------
+database = example3_database()
+thresholds = Thresholds(gamma=0.6, epsilon=0.35, min_support=1)
+
+before = mine_flipping_patterns(database, thresholds)
+inflated = with_null_transactions(database, 5_000)
+after = mine_flipping_patterns(inflated, thresholds)
+
+print(
+    f"mining {database.n_transactions} transactions: "
+    f"{[p.leaf_names for p in before.patterns]}"
+)
+print(
+    f"mining {inflated.n_transactions} transactions "
+    f"(+5000 nulls):          {[p.leaf_names for p in after.patterns]}"
+)
+assert verify_mining_invariance(database, thresholds, n_nulls=5_000)
+print()
+print(
+    "verify_mining_invariance: OK — every chain's supports, "
+    "correlations and labels are unchanged by null inflation."
+)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Related work, side by side: what each prior pipeline can express.
+
+Section 6 of the paper positions flipping correlations against three
+earlier uses of taxonomies in pattern mining.  This example runs all
+of them — plus Flipper — on the same simulated GROCERIES data:
+
+1. generalized association rules (Srikant & Agrawal's Cumulate) with
+   R-interesting pruning: relates items to *categories*, one sign;
+2. taxonomy-distance surprisingness ranking (Hamani & Maamri):
+   re-ranks positive correlations, still one sign;
+3. multi-level frequent mining (Han & Fu): per-level frequent
+   itemsets, no correlation at all;
+4. Flipper: level-specific correlations that *flip* sign between
+   levels — the thing none of the above can say.
+
+Run:  python examples/related_work_pipelines.py
+"""
+
+from repro import mine_flipping_patterns
+from repro.datasets.groceries import GROCERIES_THRESHOLDS, generate_groceries
+from repro.related import (
+    cumulate_frequent_itemsets,
+    generate_rules,
+    mine_indirect_associations,
+    mine_multilevel,
+    prune_uninteresting,
+    rank_by_surprisingness,
+)
+
+database = generate_groceries(scale=0.5)
+taxonomy = database.taxonomy
+print(database.describe())
+print()
+
+# ---------------------------------------------------------------------------
+# 1. Cumulate: generalized rules, mixed levels, R-interesting pruning
+# ---------------------------------------------------------------------------
+frequent = cumulate_frequent_itemsets(database, min_support=0.01, max_k=3)
+rules = generate_rules(frequent, min_confidence=0.35)
+singles = {
+    itemset[0]: support
+    for itemset, support in frequent.items()
+    if len(itemset) == 1
+}
+interesting = prune_uninteresting(taxonomy, rules, singles, r=1.3)
+print(
+    f"[Cumulate] {len(frequent)} generalized frequent itemsets -> "
+    f"{len(rules)} rules -> {len(interesting)} R-interesting (R=1.3)"
+)
+for rule in interesting[:5]:
+    print("   ", rule.render(taxonomy))
+print()
+
+# ---------------------------------------------------------------------------
+# 2. Surprisingness: re-rank the 2-itemsets by taxonomy distance
+# ---------------------------------------------------------------------------
+pairs = [itemset for itemset in frequent if len(itemset) == 2]
+ranked = rank_by_surprisingness(taxonomy, pairs)
+print(f"[Surprisingness] {len(pairs)} frequent pairs; most surprising:")
+for score, itemset in ranked[:5]:
+    names = ", ".join(taxonomy.name_of(node) for node in itemset)
+    print(f"    distance {score:.1f}: {{{names}}}")
+print()
+
+# ---------------------------------------------------------------------------
+# 3. Multi-level mining: per-level frequent itemsets
+# ---------------------------------------------------------------------------
+multilevel = mine_multilevel(database, GROCERIES_THRESHOLDS)
+print(f"[Multi-level] {multilevel.summary()}")
+print()
+
+# ---------------------------------------------------------------------------
+# 4. Indirect associations: rarely-together pairs sharing a mediator
+# ---------------------------------------------------------------------------
+indirect = mine_indirect_associations(
+    database, min_count=max(5, database.n_transactions // 400),
+    dependence_threshold=0.2,
+)
+print(f"[Indirect] {len(indirect)} mediated pairs; strongest:")
+for assoc in indirect[:3]:
+    print("   ", assoc.render(database))
+print()
+
+# ---------------------------------------------------------------------------
+# 5. Flipper: what none of the above can express
+# ---------------------------------------------------------------------------
+result = mine_flipping_patterns(database, GROCERIES_THRESHOLDS)
+print(f"[Flipper] {len(result.patterns)} flipping patterns; sharpest:")
+for pattern in result.sorted_by_gap()[:2]:
+    print()
+    print(pattern.describe())
+
+print()
+print(
+    "Note how every prior pipeline reports one-signed facts "
+    "(rules, rankings, frequencies) while each flipping pattern "
+    "carries a sign *contrast* across levels."
+)

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+``pip install -e .`` normally suffices; this file additionally enables
+``python setup.py develop`` on minimal environments that lack the
+``wheel`` package required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

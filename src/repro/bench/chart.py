@@ -1,0 +1,119 @@
+"""ASCII charts for the bench reports.
+
+The paper's Figures 8 and 9 are line/bar charts; the bench harness
+reports their data as series tables plus — via this module — a
+terminal rendering that preserves the visual claim (who is on top,
+where lines cross) without any plotting dependency.
+
+Values spanning orders of magnitude (candidate counts, seconds across
+a pruning ladder) render on a log scale by default.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["ascii_chart", "sweep_chart"]
+
+# "*" is reserved for overlapping points
+_MARKERS = "ox+#@%&="
+
+
+def _scale(value: float, lo: float, hi: float, log: bool) -> float:
+    """Map a value to [0, 1] over the (possibly log) axis range."""
+    if hi <= lo:
+        return 0.5
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    return (value - lo) / (hi - lo)
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object],
+    height: int = 12,
+    log: bool | None = None,
+    title: str = "",
+) -> str:
+    """Render named series as a character chart.
+
+    Parameters
+    ----------
+    series:
+        name -> values (one per x position; all equal length).
+    x_labels:
+        Labels of the x positions.
+    height:
+        Chart rows.
+    log:
+        Log-scale the y axis; default: automatic (on when the data
+        spans more than two decades).
+    title:
+        Optional heading line.
+    """
+    if not series:
+        raise ConfigError("ascii_chart needs at least one series")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ConfigError(
+            f"series lengths {sorted(lengths)} do not match "
+            f"{len(x_labels)} x labels"
+        )
+    if height < 3:
+        raise ConfigError(f"height must be >= 3, got {height}")
+    everything = [v for values in series.values() for v in values]
+    positives = [v for v in everything if v > 0]
+    lo = min(positives) if positives else 1.0
+    hi = max(everything) if everything else 1.0
+    if log is None:
+        log = bool(positives) and hi / max(lo, 1e-12) > 100.0
+    if log:
+        everything = positives  # zeros sit on the floor row
+
+    # grid[row][col]: row 0 is the top
+    n_cols = len(x_labels)
+    col_width = max(8, max(len(str(label)) for label in x_labels) + 2)
+    grid = [[" "] * (n_cols * col_width) for _ in range(height)]
+    for index, (name, values) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for col, value in enumerate(values):
+            if log and value <= 0:
+                row = height - 1
+            else:
+                fraction = _scale(value, lo, hi, log)
+                row = height - 1 - round(fraction * (height - 1))
+            x = col * col_width + col_width // 2
+            grid[row][x] = marker if grid[row][x] == " " else "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis = "log" if log else "linear"
+    lines.append(f"y: {lo:.3g} .. {hi:.3g} ({axis})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * (n_cols * col_width))
+    label_row = "".join(
+        str(label).center(col_width) for label in x_labels
+    )
+    lines.append(" " + label_row)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(" " + legend + "   (*=overlap)")
+    return "\n".join(lines)
+
+
+def sweep_chart(result, metric: str = "seconds", **kwargs: object) -> str:
+    """Chart one metric of a :class:`~repro.bench.harness.SweepResult`."""
+    series = {
+        method: result.metric(method, metric) for method in result.methods
+    }
+    title = kwargs.pop("title", f"{metric} vs {result.parameter}")
+    return ascii_chart(
+        series, result.values, title=str(title), **kwargs  # type: ignore[arg-type]
+    )

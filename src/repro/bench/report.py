@@ -1,0 +1,120 @@
+"""Report rendering and shape checks for the bench harness.
+
+The reproduction does not chase the paper's absolute seconds (2011
+Xeon vs. pure Python); it checks *shapes*: which method wins, how the
+ordering behaves along a sweep, where the pruning bites.  The shape
+checks live here so both the pytest benches and the CLI print the
+same verdicts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bench.harness import RunRecord, SweepResult
+
+__all__ = [
+    "format_table",
+    "series_table",
+    "ShapeCheck",
+    "check_ladder_ordering",
+    "check_monotone_series",
+    "render_checks",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain ASCII table (no external deps)."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                text = f"{cell:.3f}"
+            else:
+                text = str(cell)
+            columns[i].append(text)
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    n_rows = len(rows)
+    for r in range(n_rows):
+        lines.append(
+            " | ".join(
+                columns[i][r + 1].ljust(widths[i]) for i in range(len(headers))
+            )
+        )
+    return "\n".join(lines)
+
+
+def series_table(result: SweepResult, metric: str = "seconds") -> str:
+    """Paper-style series table: one row per swept value, one column
+    per method."""
+    headers = [result.parameter] + result.methods
+    rows = []
+    for index, value in enumerate(result.values):
+        row: list[object] = [value]
+        for method in result.methods:
+            row.append(getattr(result.series[method][index], metric))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+class ShapeCheck:
+    """A named pass/fail verdict with an explanation."""
+
+    def __init__(self, name: str, passed: bool, detail: str) -> None:
+        self.name = name
+        self.passed = passed
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ShapeCheck({self.name}, passed={self.passed})"
+
+
+def check_ladder_ordering(
+    records: Sequence[RunRecord], metric: str = "candidates"
+) -> ShapeCheck:
+    """Stronger pruning must never *increase* the work metric.
+
+    The paper's headline shape: BASIC >= FLIPPING >= +TPG >= +SIBP in
+    candidates/entries.  A small tolerance absorbs ties.
+    """
+    values = [getattr(record, metric) for record in records]
+    ok = all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+    detail = " >= ".join(
+        f"{record.method}:{getattr(record, metric)}" for record in records
+    )
+    return ShapeCheck(f"ladder ordering on {metric}", ok, detail)
+
+
+def check_monotone_series(
+    result: SweepResult,
+    method: str,
+    metric: str = "seconds",
+    direction: str = "increasing",
+    tolerance: float = 0.25,
+) -> ShapeCheck:
+    """A metric should grow (or shrink) along the sweep, modulo noise.
+
+    ``tolerance`` allows per-step violations of up to that fraction —
+    wall-clock on small inputs is noisy; the trend is the claim.
+    """
+    series = result.metric(method, metric)
+    ok = True
+    for a, b in zip(series, series[1:]):
+        if direction == "increasing" and b < a * (1 - tolerance):
+            ok = False
+        if direction == "decreasing" and b > a * (1 + tolerance):
+            ok = False
+    detail = f"{method} {metric}: " + " -> ".join(f"{v:.3g}" for v in series)
+    return ShapeCheck(f"{direction} {metric} for {method}", ok, detail)
+
+
+def render_checks(checks: Sequence[ShapeCheck]) -> str:
+    lines = []
+    for check in checks:
+        verdict = "PASS" if check.passed else "FAIL"
+        lines.append(f"[{verdict}] {check.name}: {check.detail}")
+    return "\n".join(lines)

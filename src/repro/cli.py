@@ -1,0 +1,374 @@
+"""Command-line interface.
+
+Five subcommands cover the library's workflows::
+
+    flipper-mine mine     --transactions data.basket --taxonomy tax.json ...
+    flipper-mine rules    --transactions data.basket --taxonomy tax.json ...
+    flipper-mine generate --dataset groceries --out-dir ./data
+    flipper-mine bench    fig8a fig8b ... | all
+    flipper-mine explain  --measure kulczynski
+
+``mine`` runs Flipper (this paper); ``rules`` runs the related-work
+Cumulate pipeline (generalized association rules with optional
+R-interesting pruning and surprisingness ranking) for comparison.
+
+(Available both as the ``flipper-mine`` console script and as
+``python -m repro``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.core.flipper import PruningConfig, mine_flipping_patterns
+from repro.core.measures import MEASURES, get_measure
+from repro.core.thresholds import Thresholds
+from repro.core.topk import top_k_most_flipping
+from repro.data.io import load_database, save_transactions
+from repro.datasets.census import generate_census
+from repro.datasets.groceries import generate_groceries
+from repro.datasets.medline import generate_medline
+from repro.datasets.movies import generate_movies
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
+from repro.errors import ReproError
+from repro.taxonomy.io import load_taxonomy, save_taxonomy
+
+__all__ = ["main", "build_parser"]
+
+_PRUNING_CHOICES = {
+    "basic": PruningConfig.basic,
+    "flipping": PruningConfig.flipping_only,
+    "flipping+tpg": PruningConfig.flipping_tpg,
+    "full": PruningConfig.full,
+}
+
+_DATASET_GENERATORS = {
+    "groceries": generate_groceries,
+    "census": generate_census,
+    "medline": generate_medline,
+    "movies": generate_movies,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flipper-mine",
+        description=(
+            "Mine flipping correlation patterns (Barsky et al., "
+            "PVLDB 5(4), 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine flipping patterns from files")
+    mine.add_argument("--transactions", required=True, help="basket/jsonl file")
+    mine.add_argument("--taxonomy", required=True, help="edge-text/json file")
+    mine.add_argument("--gamma", type=float, required=True)
+    mine.add_argument("--epsilon", type=float, required=True)
+    mine.add_argument(
+        "--min-support",
+        required=True,
+        help="comma-separated per-level fractions or counts, level 1 first",
+    )
+    mine.add_argument(
+        "--measure", default="kulczynski", choices=sorted(MEASURES)
+    )
+    mine.add_argument(
+        "--pruning", default="full", choices=sorted(_PRUNING_CHOICES)
+    )
+    mine.add_argument(
+        "--backend",
+        default="bitmap",
+        choices=["bitmap", "horizontal", "numpy"],
+    )
+    mine.add_argument("--max-k", type=int, default=None)
+    mine.add_argument("--top-k", type=int, default=None,
+                      help="report only the K sharpest flips")
+    mine.add_argument("--json", action="store_true", help="JSON output")
+    mine.add_argument("--stats", action="store_true", help="print run statistics")
+
+    rules = sub.add_parser(
+        "rules",
+        help="mine generalized association rules (Cumulate baseline)",
+    )
+    rules.add_argument("--transactions", required=True, help="basket/jsonl file")
+    rules.add_argument("--taxonomy", required=True, help="edge-text/json file")
+    rules.add_argument(
+        "--min-support",
+        required=True,
+        help="single fraction (0,1) or absolute count",
+    )
+    rules.add_argument("--min-confidence", type=float, required=True)
+    rules.add_argument(
+        "--interest", type=float, default=None,
+        help="R-interesting factor (>= 1): prune rules an ancestor "
+             "rule predicts within this factor",
+    )
+    rules.add_argument(
+        "--surprise", action="store_true",
+        help="rank rules by taxonomy distance (most surprising first)",
+    )
+    rules.add_argument("--max-k", type=int, default=None)
+    rules.add_argument("--limit", type=int, default=20,
+                       help="print at most this many rules")
+    rules.add_argument("--json", action="store_true", help="JSON output")
+
+    generate = sub.add_parser(
+        "generate", help="generate a bundled dataset to files"
+    )
+    generate.add_argument(
+        "--dataset",
+        required=True,
+        choices=sorted(_DATASET_GENERATORS) + ["synthetic"],
+    )
+    generate.add_argument("--out-dir", required=True)
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument(
+        "--n-transactions", type=int, default=None,
+        help="synthetic only: number of transactions",
+    )
+
+    bench = sub.add_parser("bench", help="run evaluation experiments")
+    bench.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment ids (fig8a..fig9b, table1, table4) or 'all'",
+    )
+
+    explain = sub.add_parser("explain", help="describe a correlation measure")
+    explain.add_argument("--measure", default="kulczynski")
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a dataset and suggest per-level minimum supports",
+    )
+    profile.add_argument("--transactions", required=True)
+    profile.add_argument("--taxonomy", required=True)
+    profile.add_argument("--top", type=int, default=5)
+    profile.add_argument(
+        "--bottom-fraction", type=float, default=0.001,
+        help="anchor for the suggested bottom-level support",
+    )
+
+    return parser
+
+
+def _parse_min_support(text: str) -> list[float] | list[int]:
+    parts = [part.strip() for part in text.split(",") if part.strip()]
+    values: list[float | int] = []
+    for part in parts:
+        if "." in part or "e" in part.lower():
+            values.append(float(part))
+        else:
+            values.append(int(part))
+    return values  # type: ignore[return-value]
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    taxonomy = load_taxonomy(args.taxonomy)
+    database = load_database(args.transactions, taxonomy)
+    thresholds = Thresholds(
+        gamma=args.gamma,
+        epsilon=args.epsilon,
+        min_support=_parse_min_support(args.min_support),
+    )
+    result = mine_flipping_patterns(
+        database,
+        thresholds,
+        measure=args.measure,
+        pruning=_PRUNING_CHOICES[args.pruning](),
+        backend=args.backend,
+        max_k=args.max_k,
+    )
+    patterns = result.patterns
+    if args.top_k is not None:
+        patterns = top_k_most_flipping(patterns, k=args.top_k)
+    if args.json:
+        payload = {
+            "config": result.config,
+            "patterns": [pattern.to_dict() for pattern in patterns],
+        }
+        if args.stats:
+            payload["stats"] = result.stats.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{len(patterns)} flipping pattern(s)")
+        for pattern in patterns:
+            print()
+            print(pattern.describe())
+        if args.stats:
+            print()
+            print(result.stats.summary())
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    from repro.related import (
+        cumulate_frequent_itemsets,
+        generate_rules,
+        itemset_surprisingness,
+        prune_uninteresting,
+    )
+
+    taxonomy = load_taxonomy(args.taxonomy)
+    database = load_database(args.transactions, taxonomy)
+    balanced = database.taxonomy
+    values = _parse_min_support(args.min_support)
+    if len(values) != 1:
+        raise ReproError(
+            "rules takes a single min-support (Cumulate uses one "
+            f"uniform threshold), got {args.min_support!r}"
+        )
+    frequent = cumulate_frequent_itemsets(
+        database, min_support=values[0], max_k=args.max_k
+    )
+    rules = generate_rules(frequent, min_confidence=args.min_confidence)
+    n_before = len(rules)
+    if args.interest is not None:
+        singles = {
+            itemset[0]: support
+            for itemset, support in frequent.items()
+            if len(itemset) == 1
+        }
+        rules = prune_uninteresting(
+            balanced, rules, singles, r=args.interest
+        )
+    if args.surprise:
+        rules.sort(
+            key=lambda r: -itemset_surprisingness(balanced, r.items)
+        )
+    shown = rules[: args.limit]
+    if args.json:
+        payload = {
+            "n_frequent_itemsets": len(frequent),
+            "n_rules": n_before,
+            "n_after_interest": len(rules),
+            "rules": [
+                {
+                    "antecedent": [
+                        balanced.name_of(i) for i in rule.antecedent
+                    ],
+                    "consequent": [
+                        balanced.name_of(i) for i in rule.consequent
+                    ],
+                    "support": rule.support,
+                    "confidence": rule.confidence,
+                }
+                for rule in shown
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{len(frequent)} generalized frequent itemsets, "
+            f"{n_before} rules"
+            + (
+                f", {len(rules)} after R-interesting (R={args.interest})"
+                if args.interest is not None
+                else ""
+            )
+        )
+        for rule in shown:
+            print("  " + rule.render(balanced))
+        hidden = len(rules) - len(shown)
+        if hidden > 0:
+            print(f"  ... ({hidden} more)")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if args.dataset == "synthetic":
+        config = SyntheticConfig()
+        if args.n_transactions is not None:
+            config = config.scaled(n_transactions=args.n_transactions)
+        if args.seed is not None:
+            config = config.scaled(seed=args.seed)
+        database = generate_synthetic(config)
+    else:
+        generator = _DATASET_GENERATORS[args.dataset]
+        kwargs: dict[str, object] = {"scale": args.scale}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        database = generator(**kwargs)  # type: ignore[arg-type]
+    transactions_path = out_dir / f"{args.dataset}.basket"
+    taxonomy_path = out_dir / f"{args.dataset}.taxonomy.json"
+    save_transactions(
+        (database.transaction_names(i) for i in range(len(database))),
+        transactions_path,
+    )
+    save_taxonomy(database.taxonomy, taxonomy_path)
+    print(f"wrote {database.n_transactions} transactions -> {transactions_path}")
+    print(f"wrote taxonomy ({database.taxonomy.height} levels) -> {taxonomy_path}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        report, _data = EXPERIMENTS[name]()
+        print(report)
+        print()
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    measure = get_measure(args.measure)
+    print(f"{measure.name}: {measure.mean_kind} mean of P(A|a_i)")
+    print(f"  null-invariant:  {measure.null_invariant}")
+    print(f"  anti-monotonic:  {measure.anti_monotonic}")
+    if measure.aliases:
+        print(f"  aliases:         {', '.join(measure.aliases)}")
+    print(
+        "  example:         "
+        f"{measure.name}(sup=400, items=[1000, 1000]) = "
+        f"{measure(400, [1000, 1000]):.3f}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.data.profile import profile_database
+
+    taxonomy = load_taxonomy(args.taxonomy)
+    database = load_database(args.transactions, taxonomy)
+    profile = profile_database(database, top=args.top)
+    print(profile.describe())
+    counts = profile.suggest_min_supports(
+        bottom_fraction=args.bottom_fraction
+    )
+    print(
+        "suggested per-level min supports (paper §5.1 guidance): "
+        + ", ".join(str(count) for count in counts)
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "mine": _cmd_mine,
+        "rules": _cmd_rules,
+        "generate": _cmd_generate,
+        "bench": _cmd_bench,
+        "explain": _cmd_explain,
+        "profile": _cmd_profile,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Brute-force reference miner (test oracle).
+
+:func:`mine_flipping_bruteforce` enumerates *every* k-subset of items
+with distinct level-1 ancestors, computes the full generalization
+chain by direct counting, and keeps the chains that satisfy
+Definition 2.  No pruning, no cleverness — exponential, so only for
+tiny instances — but its output is the ground truth the property-based
+test suite holds the real miners against.
+
+(The paper's BASIC *baseline*, in contrast, is the level-wise Apriori
+run by :class:`~repro.core.flipper.FlipperMiner` with
+``PruningConfig.basic()``; it is efficient enough for the benches and
+also complete.)
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.itemsets import generalize
+from repro.core.labels import Label, flips, label_for
+from repro.core.measures import Measure, get_measure
+from repro.core.patterns import ChainLink, FlippingPattern
+from repro.core.thresholds import Thresholds
+from repro.data.database import TransactionDatabase
+from repro.data.vertical import VerticalIndex
+from repro.errors import ConfigError
+
+__all__ = ["mine_flipping_bruteforce"]
+
+
+def mine_flipping_bruteforce(
+    database: TransactionDatabase,
+    thresholds: Thresholds,
+    measure: str | Measure = "kulczynski",
+    max_k: int | None = None,
+) -> list[FlippingPattern]:
+    """All flipping patterns by exhaustive enumeration.
+
+    Raises :class:`ConfigError` for databases that are clearly too
+    large to brute-force (a guard against accidental misuse).
+    """
+    taxonomy = database.taxonomy
+    height = taxonomy.height
+    if height < 2:
+        raise ConfigError("flipping needs taxonomy height >= 2")
+    n_items = len(database.item_ids)
+    if n_items > 40:
+        raise ConfigError(
+            f"brute force limited to 40 items, got {n_items}; "
+            "use FlipperMiner for real data"
+        )
+    resolved = thresholds.resolve(height, database.n_transactions)
+    measure = get_measure(measure)
+    index = VerticalIndex(database)
+    ancestor_maps = {
+        level: taxonomy.item_ancestor_map(level)
+        for level in range(1, height + 1)
+    }
+    node_supports = {
+        level: index.node_supports(level) for level in range(1, height + 1)
+    }
+
+    items = database.item_ids
+    k_bound = min(
+        len(taxonomy.nodes_at_level(1)),
+        database.width_at_level(1),
+        max_k if max_k is not None else n_items,
+    )
+
+    patterns: list[FlippingPattern] = []
+    for k in range(2, k_bound + 1):
+        for combo in itertools.combinations(items, k):
+            roots = {ancestor_maps[1][item] for item in combo}
+            if len(roots) != k:
+                continue  # items must descend from distinct categories
+            links = _chain_for(
+                combo,
+                height,
+                ancestor_maps,
+                node_supports,
+                index,
+                resolved,
+                measure,
+                taxonomy,
+            )
+            if links is not None:
+                patterns.append(FlippingPattern(links=tuple(links)))
+    patterns.sort(key=lambda p: (p.k, p.leaf_names))
+    return patterns
+
+
+def _chain_for(
+    combo: tuple[int, ...],
+    height: int,
+    ancestor_maps: dict[int, dict[int, int]],
+    node_supports: dict[int, dict[int, int]],
+    index: VerticalIndex,
+    resolved,
+    measure: Measure,
+    taxonomy,
+) -> list[ChainLink] | None:
+    """Build the full chain for one candidate, or None if it breaks."""
+    links: list[ChainLink] = []
+    previous: Label | None = None
+    for level in range(1, height + 1):
+        itemset = generalize(combo, ancestor_maps[level])
+        if len(itemset) != len(combo):
+            return None
+        support = index.support(level, itemset)
+        supports = [node_supports[level][node] for node in itemset]
+        correlation = measure(support, supports)
+        label = label_for(
+            support,
+            correlation,
+            resolved.min_count(level),
+            resolved.gamma,
+            resolved.epsilon,
+        )
+        if not label.is_signed:
+            return None
+        if previous is not None and not flips(previous, label):
+            return None
+        previous = label
+        links.append(
+            ChainLink(
+                level=level,
+                itemset=itemset,
+                names=tuple(taxonomy.name_of(node) for node in itemset),
+                support=support,
+                correlation=correlation,
+                label=label,
+            )
+        )
+    return links

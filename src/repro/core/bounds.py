@@ -1,0 +1,125 @@
+"""Correlation-bound properties (paper Section 3, Theorems 1 and 2).
+
+These helpers make the paper's theorems executable so that (a) the
+property-based test suite can falsify them on random inputs — they
+survive, as proven — and (b) the pruning code can cite a single place
+implementing the bound logic.
+
+Theorem 1 (correlation upper bound)
+    ``Corr(A) <= max over (k-1)-subsets B of Corr(B)`` for every
+    null-invariant measure.
+
+Theorem 2 (special single item)
+    For itemset ``A`` containing item ``a``: if every (k-1)-subset of
+    ``A`` containing ``a`` has correlation below ``gamma`` and some
+    other item of ``A`` has support >= sup(a), then ``Corr(A) < gamma``.
+
+Corollary 2 powers SIBP: when ``a`` is the smallest-support item of a
+level and *every counted* k-itemset containing it stays below
+``gamma``, no itemset of size > k containing ``a`` can be positive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.itemsets import k_minus_one_subsets
+from repro.core.measures import Measure, get_measure
+
+__all__ = [
+    "correlation_of",
+    "subset_correlation_max",
+    "theorem1_upper_bound_holds",
+    "theorem2_preconditions",
+    "theorem2_conclusion_holds",
+]
+
+SupportFn = Callable[[tuple[int, ...]], int]
+
+
+def correlation_of(
+    measure: str | Measure,
+    itemset: Sequence[int],
+    support_fn: SupportFn,
+) -> float:
+    """Correlation of ``itemset`` under ``measure`` using a support oracle.
+
+    ``support_fn`` maps any canonical itemset (including singletons)
+    to its support count.
+    """
+    measure = get_measure(measure)
+    itemset = tuple(itemset)
+    sup_itemset = support_fn(itemset)
+    item_supports = [support_fn((item,)) for item in itemset]
+    return measure(sup_itemset, item_supports)
+
+
+def subset_correlation_max(
+    measure: str | Measure,
+    itemset: Sequence[int],
+    support_fn: SupportFn,
+) -> float:
+    """``max`` of the correlations of all (k-1)-subsets (Theorem 1 RHS)."""
+    subsets = k_minus_one_subsets(tuple(itemset))
+    return max(
+        correlation_of(measure, subset, support_fn) for subset in subsets
+    )
+
+
+def theorem1_upper_bound_holds(
+    measure: str | Measure,
+    itemset: Sequence[int],
+    support_fn: SupportFn,
+    tolerance: float = 1e-12,
+) -> bool:
+    """Check ``Corr(A) <= max_B Corr(B)`` for a concrete instance."""
+    if len(itemset) < 2:
+        raise ValueError("Theorem 1 concerns itemsets of size >= 2")
+    lhs = correlation_of(measure, itemset, support_fn)
+    rhs = subset_correlation_max(measure, itemset, support_fn)
+    return lhs <= rhs + tolerance
+
+
+def theorem2_preconditions(
+    measure: str | Measure,
+    itemset: Sequence[int],
+    special_item: int,
+    gamma: float,
+    support_fn: SupportFn,
+) -> bool:
+    """Do Theorem 2's two premises hold for ``itemset`` and ``special_item``?
+
+    (1) every (k-1)-subset containing the special item has correlation
+        below ``gamma``;
+    (2) some *other* item has support >= the special item's support.
+    """
+    itemset = tuple(itemset)
+    if special_item not in itemset:
+        raise ValueError("special item must belong to the itemset")
+    subsets_with_item = [
+        subset
+        for subset in k_minus_one_subsets(itemset)
+        if special_item in subset
+    ]
+    premise_one = all(
+        correlation_of(measure, subset, support_fn) < gamma
+        for subset in subsets_with_item
+    )
+    sup_special = support_fn((special_item,))
+    premise_two = any(
+        support_fn((item,)) >= sup_special
+        for item in itemset
+        if item != special_item
+    )
+    return premise_one and premise_two
+
+
+def theorem2_conclusion_holds(
+    measure: str | Measure,
+    itemset: Sequence[int],
+    gamma: float,
+    support_fn: SupportFn,
+    tolerance: float = 1e-12,
+) -> bool:
+    """Check the conclusion ``Corr(A) < gamma`` for a concrete instance."""
+    return correlation_of(measure, itemset, support_fn) < gamma + tolerance

@@ -1,0 +1,163 @@
+"""Candidate generation for the search-space cells (paper Section 4.1).
+
+Two generation regimes exist, matching the paper's framework:
+
+* **Row join** — the classical Apriori join *within* a taxonomy row.
+  Used for the top row (level 1) of Flipper and for every row of the
+  BASIC baseline.  Complete for the frequent itemsets of the row.
+* **Child expansion** — for level ``h >= 2`` under flipping-based
+  pruning: each *chain-alive* (h-1,k)-itemset is expanded into the
+  Cartesian product of its items' children.  Complete for every
+  itemset whose vertical chain can still flip (each chain itemset has
+  a chain-alive parent by Definition 2).
+
+Both regimes then pass through the same filters: SIBP bans and the
+known-infrequent-subset test.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+from repro.core.cells import Cell
+from repro.core.itemsets import apriori_join, k_minus_one_subsets
+
+__all__ = [
+    "pair_candidates",
+    "row_join_candidates",
+    "child_expansion_candidates",
+    "filter_banned",
+    "filter_known_infrequent_subsets",
+]
+
+
+def pair_candidates(frequent_items: Sequence[int]) -> list[tuple[int, ...]]:
+    """All 2-itemsets over the frequent single items of a level."""
+    items = sorted(frequent_items)
+    return [
+        (items[i], items[j])
+        for i in range(len(items))
+        for j in range(i + 1, len(items))
+    ]
+
+
+def row_join_candidates(cell_left: Cell) -> list[tuple[int, ...]]:
+    """Apriori-join the frequent (k-1)-itemsets of the cell to the left."""
+    return apriori_join(cell_left.frequent_itemsets)
+
+
+def child_expansion_candidates(
+    alive_parents: Iterable[tuple[int, ...]],
+    children_of: Mapping[int, Sequence[int]],
+    frequent_items: set[int],
+    pair_ok: Callable[[int, int], bool] | None = None,
+) -> list[tuple[int, ...]]:
+    """Expand chain-alive (h-1,k)-itemsets into level-h candidates.
+
+    Every item of the parent is replaced by each of its children that
+    is individually frequent at level h.  Parents descend from
+    distinct level-1 categories, so the children of different parents
+    never collide and each candidate arises from exactly one parent.
+
+    ``pair_ok(a, b)`` — when given — must return False only for item
+    pairs that are provably infrequent at this level.  The expansion
+    then prunes prefixes as soon as they contain a dead pair, which
+    keeps the Cartesian product from materializing combinations that
+    support counting would immediately discard (a pure
+    anti-monotonicity argument, so no flipping pattern can be lost).
+    """
+    candidates: list[tuple[int, ...]] = []
+    for parent in alive_parents:
+        child_lists = []
+        viable = True
+        for node in parent:
+            children = [
+                child
+                for child in children_of.get(node, ())
+                if child in frequent_items
+            ]
+            if not children:
+                viable = False
+                break
+            child_lists.append(children)
+        if not viable:
+            continue
+        if pair_ok is None or len(child_lists) < 3:
+            for combo in itertools.product(*child_lists):
+                candidates.append(tuple(sorted(combo)))
+            continue
+        # DFS with prefix pair-pruning.
+        chosen: list[int] = []
+
+        def expand(position: int) -> None:
+            if position == len(child_lists):
+                candidates.append(tuple(sorted(chosen)))
+                return
+            for child in child_lists[position]:
+                if all(pair_ok(child, other) for other in chosen):
+                    chosen.append(child)
+                    expand(position + 1)
+                    chosen.pop()
+
+        expand(0)
+    return candidates
+
+
+def filter_banned(
+    candidates: Iterable[tuple[int, ...]],
+    banned: Mapping[int, int],
+) -> tuple[list[tuple[int, ...]], int]:
+    """Drop candidates containing an SIBP-banned item.
+
+    ``banned[item] = k`` means Corollary 2 proved every itemset of
+    size ``> k`` containing ``item`` non-positive (jointly with its
+    generalization), so such supersets cannot flip.
+    """
+    kept: list[tuple[int, ...]] = []
+    dropped = 0
+    for itemset in candidates:
+        size = len(itemset)
+        if any(size > banned.get(item, size) for item in itemset):
+            dropped += 1
+        else:
+            kept.append(itemset)
+    return kept, dropped
+
+
+def filter_known_infrequent_subsets(
+    candidates: Iterable[tuple[int, ...]],
+    cell_left: Cell | None,
+    *,
+    strict: bool,
+) -> tuple[list[tuple[int, ...]], int]:
+    """Apriori subset pruning against the cell to the left.
+
+    ``strict=True`` (BASIC: the left cell holds *every* counted
+    candidate of the row) prunes when a subset is missing or
+    infrequent.  ``strict=False`` (flipping modes: the left cell may
+    legitimately lack itemsets whose chains broke) prunes only when a
+    subset was counted *and* found infrequent — absence proves
+    nothing.
+    """
+    if cell_left is None:
+        return list(candidates), 0
+    entries = cell_left.entries
+    kept: list[tuple[int, ...]] = []
+    dropped = 0
+    for itemset in candidates:
+        prune = False
+        for subset in k_minus_one_subsets(itemset):
+            entry = entries.get(subset)
+            if entry is None:
+                if strict:
+                    prune = True
+                    break
+            elif not entry.is_frequent:
+                prune = True
+                break
+        if prune:
+            dropped += 1
+        else:
+            kept.append(itemset)
+    return kept, dropped

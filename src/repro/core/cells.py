@@ -1,0 +1,114 @@
+"""Cells of the two-dimensional search space (paper Fig. 6).
+
+The search space is the table ``M`` whose cell ``Q(h,k)`` holds the
+k-itemsets at taxonomy level ``h``.  A :class:`Cell` stores every
+*counted* candidate of one cell together with its support,
+correlation, Definition-1 label, and the chain-alive flag used for
+vertical extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.labels import Label
+
+__all__ = ["CellEntry", "Cell"]
+
+
+@dataclass
+class CellEntry:
+    """One counted (h,k)-itemset.
+
+    ``alive`` means the itemset's whole vertical chain from level 1
+    down to its own level consists of signed labels that alternate —
+    i.e. the itemset can still head a flipping pattern (Definition 2).
+    """
+
+    itemset: tuple[int, ...]
+    support: int
+    correlation: float
+    label: Label
+    alive: bool = False
+
+    @property
+    def is_frequent(self) -> bool:
+        """Counted and above the level's minimum support (any label
+        other than INFREQUENT)."""
+        return self.label is not Label.INFREQUENT
+
+
+@dataclass
+class Cell:
+    """All counted candidates of one ``Q(h,k)`` cell."""
+
+    level: int
+    k: int
+    entries: dict[tuple[int, ...], CellEntry] = field(default_factory=dict)
+    #: candidates generated for the cell (counted + filtered out), for stats
+    n_candidates: int = 0
+
+    def add(self, entry: CellEntry) -> None:
+        self.entries[entry.itemset] = entry
+
+    def get(self, itemset: tuple[int, ...]) -> CellEntry | None:
+        return self.entries.get(itemset)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, itemset: tuple[int, ...]) -> bool:
+        return itemset in self.entries
+
+    # ------------------------------------------------------------------
+    # aggregate views used by the pruning rules
+    # ------------------------------------------------------------------
+
+    @property
+    def frequent_itemsets(self) -> list[tuple[int, ...]]:
+        """Canonical itemsets of the frequent entries."""
+        return [
+            itemset
+            for itemset, entry in self.entries.items()
+            if entry.is_frequent
+        ]
+
+    @property
+    def n_frequent(self) -> int:
+        return sum(1 for entry in self.entries.values() if entry.is_frequent)
+
+    @property
+    def n_labeled(self) -> int:
+        """Number of signed (positive or negative) entries."""
+        return sum(1 for entry in self.entries.values() if entry.label.is_signed)
+
+    @property
+    def n_alive(self) -> int:
+        return sum(1 for entry in self.entries.values() if entry.alive)
+
+    @property
+    def alive_entries(self) -> list[CellEntry]:
+        return [entry for entry in self.entries.values() if entry.alive]
+
+    @property
+    def has_positive(self) -> bool:
+        """True when some *frequent* entry is positive — the quantity
+        TPG (Theorem 3) checks.  Infrequent candidates are excluded:
+        the theorem's induction runs entirely inside frequent itemsets
+        (subsets of frequent itemsets are frequent)."""
+        return any(
+            entry.label is Label.POSITIVE for entry in self.entries.values()
+        )
+
+    def max_correlation_per_item(self) -> dict[int, float]:
+        """For SIBP: the maximum correlation over counted entries
+        containing each single item.  Items absent from every counted
+        entry are absent from the result (the SIBP walk must not treat
+        a vacuous maximum as evidence — see DESIGN.md)."""
+        best: dict[int, float] = {}
+        for entry in self.entries.values():
+            for item in entry.itemset:
+                current = best.get(item)
+                if current is None or entry.correlation > current:
+                    best[item] = entry.correlation
+        return best

@@ -1,0 +1,707 @@
+"""The Flipper mining algorithm (paper Section 4, Algorithm 1).
+
+The search space is the table ``M`` of cells ``Q(h,k)`` — k-itemsets
+at taxonomy level h.  Flipper sweeps it top-down, zigzagging through
+the two top rows first (Q1,2 → Q2,2 → Q1,3 → Q2,3 → …) so that the
+termination test always has two vertically consecutive cells at hand,
+then proceeding row by row.  Four pruning devices cut the space:
+
+* support pruning with per-level thresholds θ_h,
+* flipping pruning — only *chain-alive* itemsets (whole vertical chain
+  labeled and alternating) are extended to the next level,
+* TPG (Theorem 3) — two consecutive all-non-positive cells end the
+  horizontal growth for every column ≥ k,
+* SIBP (Theorem 2 / Corollary 2) — smallest-support items whose max
+  correlation stays below γ, together with their generalization, are
+  banned from all larger itemsets.
+
+:class:`PruningConfig` turns the devices on incrementally, producing
+exactly the BASIC → FLIPPING → +TPG → +SIBP ladder the paper
+evaluates in Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.candidates import (
+    child_expansion_candidates,
+    filter_banned,
+    filter_known_infrequent_subsets,
+    pair_candidates,
+    row_join_candidates,
+)
+from repro.core.cells import Cell, CellEntry
+from repro.core.counting import BitmapBackend, CountingBackend, make_backend
+from repro.core.itemsets import generalize
+from repro.core.labels import Label, flips, label_for
+from repro.core.measures import Measure, get_measure
+from repro.core.patterns import ChainLink, FlippingPattern, MiningResult
+from repro.core.stats import CellStats, MiningStats, Timer
+from repro.core.thresholds import ResolvedThresholds, Thresholds
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigError
+
+__all__ = ["PruningConfig", "FlipperMiner", "mine_flipping_patterns"]
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Which pruning devices are active (the paper's method ladder)."""
+
+    flipping: bool = True
+    tpg: bool = True
+    sibp: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.tpg or self.sibp) and not self.flipping:
+            raise ConfigError(
+                "TPG and SIBP build on flipping-based pruning; "
+                "enable flipping as well"
+            )
+
+    @property
+    def name(self) -> str:
+        if not self.flipping:
+            return "basic"
+        parts = ["flipping"]
+        if self.tpg:
+            parts.append("tpg")
+        if self.sibp:
+            parts.append("sibp")
+        return "+".join(parts)
+
+    @classmethod
+    def basic(cls) -> "PruningConfig":
+        """Level-wise Apriori over all rows; no correlation pruning.
+        The paper's BASIC baseline and this library's completeness
+        oracle."""
+        return cls(flipping=False, tpg=False, sibp=False)
+
+    @classmethod
+    def flipping_only(cls) -> "PruningConfig":
+        """Flipping (vertical chain) pruning only — the paper's
+        "naive flipping" method of Figure 9."""
+        return cls(flipping=True, tpg=False, sibp=False)
+
+    @classmethod
+    def flipping_tpg(cls) -> "PruningConfig":
+        return cls(flipping=True, tpg=True, sibp=False)
+
+    @classmethod
+    def full(cls) -> "PruningConfig":
+        """The complete Flipper algorithm."""
+        return cls(flipping=True, tpg=True, sibp=True)
+
+    @classmethod
+    def ladder(cls) -> list["PruningConfig"]:
+        """The four configurations of Figure 8, weakest first."""
+        return [
+            cls.basic(),
+            cls.flipping_only(),
+            cls.flipping_tpg(),
+            cls.full(),
+        ]
+
+
+class FlipperMiner:
+    """One mining run over a database + taxonomy + thresholds.
+
+    Parameters
+    ----------
+    database:
+        The transactions, bound to a balanced taxonomy.
+    thresholds:
+        γ, ε and the per-level minimum supports.
+    measure:
+        Any null-invariant measure name or :class:`Measure`
+        (default Kulczynski, as in the paper's experiments).
+    pruning:
+        Which devices to enable; default: full Flipper.
+    backend:
+        ``"bitmap"`` (default) or ``"horizontal"`` counting.
+    max_k:
+        Optional hard cap on itemset size (safety valve for
+        pathological data; ``None`` = bounded by the data itself).
+    """
+
+    def __init__(
+        self,
+        database: TransactionDatabase,
+        thresholds: Thresholds,
+        measure: str | Measure = "kulczynski",
+        pruning: PruningConfig | None = None,
+        backend: str | CountingBackend = "bitmap",
+        max_k: int | None = None,
+    ) -> None:
+        self._database = database
+        self._taxonomy = database.taxonomy
+        self._height = self._taxonomy.height
+        if self._height < 2:
+            raise ConfigError(
+                "flipping correlations need a taxonomy of height >= 2 "
+                f"(got height {self._height})"
+            )
+        self._thresholds: ResolvedThresholds = thresholds.resolve(
+            self._height, database.n_transactions
+        )
+        self._measure = get_measure(measure)
+        self._pruning = pruning if pruning is not None else PruningConfig.full()
+        if isinstance(backend, str):
+            self._backend: CountingBackend = make_backend(backend, database)
+        else:
+            self._backend = backend
+        if max_k is not None and max_k < 2:
+            raise ConfigError(f"max_k must be >= 2, got {max_k}")
+        self._max_k = max_k
+
+        # --- run state -------------------------------------------------
+        self._cells: dict[tuple[int, int], Cell] = {}
+        self._node_supports: dict[int, dict[int, int]] = {}
+        self._frequent_items: dict[int, set[int]] = {}
+        self._ancestor_maps: dict[int, dict[int, int]] = {}
+        # parent taxonomy node of every node, for SIBP's cross-level test
+        self._parent_of: dict[int, int] = {}
+        # SIBP: item -> largest itemset size it may still participate in
+        self._banned: dict[int, dict[int, int]] = {}
+        # lazy per-level pair-support cache for the candidate screen
+        self._pair_supports: dict[int, dict[tuple[int, int], int]] = {}
+        # SIBP removal-candidate lists per processed cell
+        self._removal_lists: dict[tuple[int, int], set[int]] = {}
+        # TPG: smallest column proven free of flipping patterns
+        self._k_cap: int | None = None
+        self._stats = MiningStats(
+            method=self._pruning.name, measure=self._measure.name
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def mine(self) -> MiningResult:
+        """Run the sweep and return the flipping patterns."""
+        with Timer() as timer:
+            self._prepare_levels()
+            if self._pruning.flipping:
+                self._sweep_flipping()
+            else:
+                self._sweep_basic()
+            patterns = self._extract_patterns()
+        self._stats.elapsed_seconds = timer.seconds
+        self._stats.db_scans = self._backend.scans
+        self._stats.n_patterns = len(patterns)
+        config = {
+            "method": self._pruning.name,
+            "measure": self._measure.name,
+            "gamma": self._thresholds.gamma,
+            "epsilon": self._thresholds.epsilon,
+            "min_counts": list(self._thresholds.min_counts),
+            "height": self._height,
+            "n_transactions": self._database.n_transactions,
+        }
+        return MiningResult(patterns=patterns, stats=self._stats, config=config)
+
+    @property
+    def stats(self) -> MiningStats:
+        return self._stats
+
+    def cell(self, level: int, k: int) -> Cell | None:
+        """Access a processed cell (inspection / tests)."""
+        return self._cells.get((level, k))
+
+    def iter_cells(self) -> list[tuple[int, int, Cell]]:
+        """All processed cells as ``(level, k, cell)``, sorted.
+
+        Used by the bench harness to count positive/negative patterns
+        across the whole search space (paper Table 4)."""
+        return [
+            (level, k, cell)
+            for (level, k), cell in sorted(self._cells.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # preparation
+    # ------------------------------------------------------------------
+
+    def _prepare_levels(self) -> None:
+        """Scan for single-node supports and frequent items per level
+        (Algorithm 1, line 1)."""
+        taxonomy = self._taxonomy
+        for level in range(1, self._height + 1):
+            supports = self._backend.node_supports(level)
+            self._node_supports[level] = supports
+            theta = self._thresholds.min_count(level)
+            self._frequent_items[level] = {
+                node for node, support in supports.items() if support >= theta
+            }
+            self._ancestor_maps[level] = taxonomy.item_ancestor_map(level)
+            self._banned[level] = {}
+        for node in taxonomy.iter_nodes():
+            if node.level >= 2:
+                assert node.parent_id is not None
+                self._parent_of[node.node_id] = node.parent_id
+
+    def _k_bound(self) -> int:
+        """Upper bound on itemset size (paper Section 4.1): number of
+        level-1 categories, capped by the widest level-1 projection."""
+        bound = min(
+            len(self._taxonomy.nodes_at_level(1)),
+            self._database.width_at_level(1),
+        )
+        if self._max_k is not None:
+            bound = min(bound, self._max_k)
+        return bound
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+
+    def _sweep_flipping(self) -> None:
+        """Zigzag over rows 1–2, then row-wise (Algorithm 1)."""
+        k_bound = self._k_bound()
+        # --- zigzag phase (lines 2-7) -----------------------------------
+        for k in range(2, k_bound + 1):
+            if self._k_cap is not None and k >= self._k_cap:
+                break
+            cell_top = self._process_cell(1, k)
+            cell_below = self._process_cell(2, k)
+            if self._pruning.sibp:
+                self._apply_sibp(upper_level=1, lower_level=2, k=k)
+            if self._pruning.tpg and self._tpg_fires(cell_top, cell_below, k=k):
+                break
+            if cell_top.n_frequent == 0:
+                # No frequent (1,k)-itemsets: anti-monotonicity kills every
+                # wider column at level 1, hence every longer chain.
+                break
+        # --- row-wise phase (lines 8-15) --------------------------------
+        for level in range(3, self._height + 1):
+            columns = self._columns_with_alive(level - 1)
+            for k in columns:
+                if self._k_cap is not None and k >= self._k_cap:
+                    break
+                cell_above = self._cells[(level - 1, k)]
+                cell_here = self._process_cell(level, k)
+                if self._pruning.sibp:
+                    self._apply_sibp(
+                        upper_level=level - 1, lower_level=level, k=k
+                    )
+                if self._pruning.tpg and self._tpg_fires(
+                    cell_above, cell_here, k=k
+                ):
+                    break
+
+    def _sweep_basic(self) -> None:
+        """BASIC baseline: full per-row Apriori, no correlation pruning."""
+        for level in range(1, self._height + 1):
+            k = 2
+            while True:
+                if self._max_k is not None and k > self._max_k:
+                    break
+                cell = self._process_cell(level, k)
+                if cell.n_frequent == 0:
+                    break
+                k += 1
+
+    def _columns_with_alive(self, level: int) -> list[int]:
+        """Columns of a processed row that still hold chain-alive
+        itemsets — the only ones worth extending downward."""
+        return sorted(
+            k
+            for (row, k), cell in self._cells.items()
+            if row == level and cell.n_alive > 0
+        )
+
+    # ------------------------------------------------------------------
+    # one cell
+    # ------------------------------------------------------------------
+
+    def _process_cell(self, level: int, k: int) -> Cell:
+        """Generate, filter, count, label and flag one ``Q(h,k)`` cell."""
+        cell_stats = CellStats(level=level, k=k)
+        with Timer() as timer:
+            fused = self._fused_expansion_supports(level, k, cell_stats)
+            if fused is not None:
+                supports = fused
+            else:
+                candidates = self._generate_candidates(level, k)
+                cell_stats.candidates = len(candidates)
+                if self._pruning.sibp and self._banned[level]:
+                    candidates, dropped = filter_banned(
+                        candidates, self._banned[level]
+                    )
+                    cell_stats.filtered_banned = dropped
+                cell_left = self._cells.get((level, k - 1))
+                candidates, dropped = filter_known_infrequent_subsets(
+                    candidates, cell_left, strict=not self._pruning.flipping
+                )
+                cell_stats.filtered_subset = dropped
+                supports = self._backend.supports(level, candidates)
+
+            cell = Cell(level=level, k=k, n_candidates=cell_stats.candidates)
+            node_supports = self._node_supports[level]
+            theta = self._thresholds.min_count(level)
+            gamma = self._thresholds.gamma
+            epsilon = self._thresholds.epsilon
+            measure = self._measure
+            parent_cell = self._cells.get((level - 1, k))
+
+            for itemset, support in supports.items():
+                item_supports = [node_supports[node] for node in itemset]
+                correlation = measure(support, item_supports)
+                label = label_for(support, correlation, theta, gamma, epsilon)
+                alive = self._chain_alive(level, itemset, label, parent_cell)
+                cell.add(
+                    CellEntry(
+                        itemset=itemset,
+                        support=support,
+                        correlation=correlation,
+                        label=label,
+                        alive=alive,
+                    )
+                )
+            self._cells[(level, k)] = cell
+            if self._pruning.sibp:
+                self._removal_lists[(level, k)] = self._removal_candidates(
+                    cell
+                )
+        cell_stats.seconds = timer.seconds
+        cell_stats.counted = len(cell)
+        cell_stats.frequent = cell.n_frequent
+        cell_stats.labeled = cell.n_labeled
+        cell_stats.alive = cell.n_alive
+        self._stats.record_cell(cell_stats)
+        return cell
+
+    def _generate_candidates(self, level: int, k: int) -> list[tuple[int, ...]]:
+        """Pick the generation regime for a cell (see module docstring)."""
+        use_row_join = level == 1 or not self._pruning.flipping
+        if use_row_join:
+            if k == 2:
+                return pair_candidates(sorted(self._frequent_items[level]))
+            cell_left = self._cells.get((level, k - 1))
+            if cell_left is None:
+                return []
+            return row_join_candidates(cell_left)
+        parent_cell = self._cells.get((level - 1, k))
+        if parent_cell is None:
+            return []
+        alive = [entry.itemset for entry in parent_cell.alive_entries]
+        children_of = {
+            node: self._taxonomy.children_ids(node)
+            for parent in alive
+            for node in parent
+        }
+        pair_ok = None
+        if k >= 3:
+            pair_ok = self._pair_predicate(level, alive, children_of)
+        return child_expansion_candidates(
+            alive,
+            children_of,
+            self._frequent_items[level],
+            pair_ok=pair_ok,
+        )
+
+    def _chain_alive(
+        self,
+        level: int,
+        itemset: tuple[int, ...],
+        label: Label,
+        parent_cell: Cell | None,
+    ) -> bool:
+        """Is the whole vertical chain down to this itemset flipping?"""
+        if not label.is_signed:
+            return False
+        if level == 1:
+            return True
+        if parent_cell is None:
+            return False
+        # Generalize by one level: map each level-h node to level-(h-1).
+        parent_itemset = tuple(
+            sorted({self._parent_of[node] for node in itemset})
+        )
+        if len(parent_itemset) != len(itemset):
+            return False  # siblings collapsed: items share a category
+        parent_entry = parent_cell.get(parent_itemset)
+        if parent_entry is None or not parent_entry.alive:
+            return False
+        return flips(parent_entry.label, label)
+
+    def _fused_expansion_supports(
+        self, level: int, k: int, cell_stats: CellStats
+    ) -> dict[tuple[int, ...], int] | None:
+        """Child expansion fused with bitset prefix counting.
+
+        For flipping-mode cells below the top row, expanding an alive
+        parent's children as a raw Cartesian product materializes
+        ``fanout**k`` combinations per parent, nearly all of which
+        support counting would discard.  With the bitmap backend we
+        instead walk the product as a DFS that carries the AND-bitset
+        of the chosen prefix: a prefix whose support drops below the
+        level's minimum kills its entire subtree (anti-monotonicity of
+        support, so no flipping pattern can be lost).  Returns the
+        supports of the surviving (frequent) candidates, or ``None``
+        when this cell should use the generic path (top row, BASIC
+        mode, or a non-bitmap backend).
+
+        ``cell_stats.candidates`` counts DFS nodes explored — the
+        fused equivalent of "candidates generated".
+        """
+        if level == 1 or not self._pruning.flipping:
+            return None
+        if not isinstance(self._backend, BitmapBackend):
+            return None
+        parent_cell = self._cells.get((level - 1, k))
+        if parent_cell is None:
+            return {}
+        index = self._backend.index
+        frequent = self._frequent_items[level]
+        banned = self._banned[level] if self._pruning.sibp else {}
+        theta = self._thresholds.min_count(level)
+        taxonomy = self._taxonomy
+        results: dict[tuple[int, ...], int] = {}
+        explored = 0
+        banned_dropped = 0
+        for entry in parent_cell.alive_entries:
+            child_lists = []
+            viable = True
+            for node in entry.itemset:
+                children = []
+                for child in taxonomy.children_ids(node):
+                    if child not in frequent:
+                        continue
+                    if banned.get(child, k) < k:
+                        banned_dropped += 1
+                        continue
+                    children.append(child)
+                if not children:
+                    viable = False
+                    break
+                child_lists.append(children)
+            if not viable:
+                continue
+            chosen: list[int] = []
+
+            def dfs(position: int, bits: int | None) -> None:
+                nonlocal explored
+                for child in child_lists[position]:
+                    explored += 1
+                    child_bits = index.bitset(level, child)
+                    new_bits = (
+                        child_bits if bits is None else bits & child_bits
+                    )
+                    support = new_bits.bit_count()
+                    if support < theta and position < len(child_lists) - 1:
+                        # infrequent prefix: no extension can recover
+                        continue
+                    if position == len(child_lists) - 1:
+                        results[tuple(sorted(chosen + [child]))] = support
+                    else:
+                        chosen.append(child)
+                        dfs(position + 1, new_bits)
+                        chosen.pop()
+
+            dfs(0, None)
+        cell_stats.candidates = explored
+        cell_stats.filtered_banned = banned_dropped
+        return results
+
+    def _pair_predicate(
+        self,
+        level: int,
+        alive_parents: list[tuple[int, ...]],
+        children_of: dict[int, tuple[int, ...]],
+    ):
+        """Build the ``pair_ok`` predicate for child expansion.
+
+        Child expansion at k >= 3 is complete but loose: after
+        vertical pruning the left cell can be missing subsets, so the
+        Apriori filter cannot reject much and the raw Cartesian
+        product explodes.  The cheapest unknowns — the level-h
+        2-subsets a candidate would contain — are batch-counted here
+        (once per level, cached) so the expansion can prune prefixes
+        containing a provably infrequent pair.  Pure support
+        reasoning: no flipping pattern can be lost.
+        """
+        cache = self._pair_supports.setdefault(level, {})
+        frequent = self._frequent_items[level]
+        # Distinct parent-node pairs across all alive parents...
+        node_pairs: set[tuple[int, int]] = set()
+        for parent in alive_parents:
+            for i in range(len(parent)):
+                for j in range(i + 1, len(parent)):
+                    node_pairs.add((parent[i], parent[j]))
+        # ...then every frequent child pair under them.
+        unknown: set[tuple[int, int]] = set()
+        for node_x, node_y in node_pairs:
+            for a in children_of.get(node_x, ()):
+                if a not in frequent:
+                    continue
+                for b in children_of.get(node_y, ()):
+                    if b not in frequent:
+                        continue
+                    pair = (a, b) if a < b else (b, a)
+                    if pair not in cache:
+                        unknown.add(pair)
+        if unknown:
+            cache.update(self._backend.supports(level, sorted(unknown)))
+            self._stats.extra["screen_pairs"] = (
+                self._stats.extra.get("screen_pairs", 0) + len(unknown)
+            )
+        theta = self._thresholds.min_count(level)
+
+        def pair_ok(a: int, b: int) -> bool:
+            pair = (a, b) if a < b else (b, a)
+            support = cache.get(pair)
+            return support is None or support >= theta
+
+        return pair_ok
+
+    # ------------------------------------------------------------------
+    # TPG (Theorem 3)
+    # ------------------------------------------------------------------
+
+    def _tpg_fires(self, upper: Cell, lower: Cell, k: int) -> bool:
+        """All itemsets in two vertically consecutive cells non-positive
+        → no flipping pattern in any column >= k (Theorem 3)."""
+        if upper.has_positive or lower.has_positive:
+            return False
+        self._k_cap = k if self._k_cap is None else min(self._k_cap, k)
+        self._stats.tpg_events.append((upper.level, k))
+        return True
+
+    # ------------------------------------------------------------------
+    # SIBP (Theorem 2 / Corollary 2)
+    # ------------------------------------------------------------------
+
+    def _removal_candidates(self, cell: Cell) -> set[int]:
+        """The paper's R_h list for one cell: the longest prefix of the
+        support-ascending frequent-item list whose members have max
+        correlation below γ among the cell's counted itemsets.
+
+        The walk stops at the first item with a positive itemset — or
+        with *no* counted itemset, since a vacuous maximum is not
+        evidence (see DESIGN.md, "SIBP vacuous-max guard").
+        """
+        gamma = self._thresholds.gamma
+        supports = self._node_supports[cell.level]
+        ordered = sorted(
+            self._frequent_items[cell.level],
+            key=lambda node: (supports[node], node),
+        )
+        max_correlations = cell.max_correlation_per_item()
+        removal: set[int] = set()
+        for node in ordered:
+            best = max_correlations.get(node)
+            if best is None or best >= gamma:
+                break
+            removal.add(node)
+        return removal
+
+    def _apply_sibp(self, upper_level: int, lower_level: int, k: int) -> None:
+        """Ban lower-level items whose generalization is also a removal
+        candidate: every superset of the item (size > k) then sits
+        under two consecutive non-positive rows and cannot flip."""
+        upper = self._removal_lists.get((upper_level, k), set())
+        lower = self._removal_lists.get((lower_level, k), set())
+        if not upper or not lower:
+            return
+        banned = self._banned[lower_level]
+        for item in lower:
+            parent = self._parent_of.get(item)
+            if parent is not None and parent in upper:
+                previous = banned.get(item)
+                if previous is None or k < previous:
+                    banned[item] = k
+                    self._stats.sibp_bans.append((lower_level, item, k))
+
+    # ------------------------------------------------------------------
+    # extraction (Algorithm 1, line 16)
+    # ------------------------------------------------------------------
+
+    def _extract_patterns(self) -> list[FlippingPattern]:
+        """Collect every chain-alive itemset of the bottom row and
+        materialize its chain as a :class:`FlippingPattern`."""
+        height = self._height
+        patterns: list[FlippingPattern] = []
+        bottom_cells = sorted(
+            (k, cell)
+            for (level, k), cell in self._cells.items()
+            if level == height
+        )
+        for _k, cell in bottom_cells:
+            for entry in cell.entries.values():
+                if not entry.alive:
+                    continue
+                # Bottom-row itemsets hold level-H node ids; resolve
+                # rebalancing copies back to the items they stand for.
+                leaf_items = tuple(
+                    sorted(
+                        self._taxonomy.node(node_id).source_id
+                        for node_id in entry.itemset
+                    )
+                )
+                links = self._chain_links(leaf_items)
+                if links is not None:
+                    patterns.append(FlippingPattern(links=tuple(links)))
+        patterns.sort(key=lambda p: (p.k, p.leaf_names))
+        return patterns
+
+    def _chain_links(
+        self, leaf_itemset: tuple[int, ...]
+    ) -> list[ChainLink] | None:
+        """Walk a bottom-row itemset's generalization chain upward and
+        re-verify the flip at every step (cheap insurance; alive flags
+        already imply it)."""
+        taxonomy = self._taxonomy
+        links: list[ChainLink] = []
+        previous_label: Label | None = None
+        k = len(leaf_itemset)
+        for level in range(1, self._height + 1):
+            itemset = generalize(leaf_itemset, self._ancestor_maps[level])
+            if len(itemset) != k:
+                return None
+            cell = self._cells.get((level, k))
+            entry = cell.get(itemset) if cell is not None else None
+            if entry is None or not entry.label.is_signed:
+                return None
+            if previous_label is not None and not flips(
+                previous_label, entry.label
+            ):
+                return None
+            previous_label = entry.label
+            links.append(
+                ChainLink(
+                    level=level,
+                    itemset=itemset,
+                    names=tuple(taxonomy.name_of(node) for node in itemset),
+                    support=entry.support,
+                    correlation=entry.correlation,
+                    label=entry.label,
+                )
+            )
+        return links
+
+
+def mine_flipping_patterns(
+    database: TransactionDatabase,
+    thresholds: Thresholds,
+    measure: str | Measure = "kulczynski",
+    pruning: PruningConfig | None = None,
+    backend: str = "bitmap",
+    max_k: int | None = None,
+) -> MiningResult:
+    """One-call façade over :class:`FlipperMiner` (the main entry point).
+
+    >>> result = mine_flipping_patterns(db, Thresholds(0.6, 0.35))
+    ... # doctest: +SKIP
+    """
+    miner = FlipperMiner(
+        database,
+        thresholds,
+        measure=measure,
+        pruning=pruning,
+        backend=backend,
+        max_k=max_k,
+    )
+    return miner.mine()

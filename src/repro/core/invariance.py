@@ -1,0 +1,174 @@
+"""Null-(transaction)-invariance utilities (paper Section 2.1, Table 1).
+
+A correlation measure is *null-invariant* when transactions containing
+none of the evaluated items cannot change its value.  The paper's
+Table 1 shows why this matters: the expectation-based verdict for the
+same four support counts flips from "positive" to "negative" purely by
+changing the total transaction count N, while Kulczynski stays put.
+
+This module turns that argument into checkable machinery:
+
+* :func:`with_null_transactions` — a database with N inflated by empty
+  transactions (supports untouched);
+* :func:`invariance_table` — Table 1 generalized: every measure
+  evaluated across a sweep of N for fixed supports;
+* :func:`verify_mining_invariance` — the end-to-end property: a
+  mining run (absolute-count thresholds) returns byte-identical
+  patterns after null inflation.  The property-based suite runs this
+  on random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.measures import (
+    MEASURES,
+    Measure,
+    expectation_sign,
+    get_measure,
+    lift,
+)
+from repro.core.thresholds import Thresholds
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigError, DataError
+
+__all__ = [
+    "with_null_transactions",
+    "InvarianceRow",
+    "invariance_table",
+    "verify_mining_invariance",
+]
+
+
+def with_null_transactions(
+    database: TransactionDatabase, count: int
+) -> TransactionDatabase:
+    """A copy of ``database`` with ``count`` empty transactions added.
+
+    Null transactions change N and nothing else; they are the
+    instrument for exercising (non-)invariance.
+    """
+    if count < 1:
+        raise DataError(f"count must be >= 1, got {count}")
+    transactions = [
+        database.transaction_names(index) for index in range(len(database))
+    ]
+    transactions.extend([] for _ in range(count))
+    return TransactionDatabase(transactions, database.taxonomy)
+
+
+@dataclass(frozen=True)
+class InvarianceRow:
+    """One (measure, N) evaluation for fixed support counts."""
+
+    measure: str
+    n_transactions: int
+    value: float
+    sign: str
+    null_invariant: bool
+
+
+def invariance_table(
+    sup_itemset: int,
+    item_supports: list[int],
+    n_values: list[int],
+    gamma: float = 0.3,
+    epsilon: float = 0.1,
+) -> list[InvarianceRow]:
+    """Table 1 generalized: all measures across a sweep of N.
+
+    The five null-invariant measures get their γ/ε sign (stable by
+    construction); Lift gets the expectation sign, which is the one
+    that flips with N.
+    """
+    if not n_values:
+        raise ConfigError("n_values must not be empty")
+    floor = max(item_supports)
+    for n in n_values:
+        if n < floor:
+            raise ConfigError(
+                f"N={n} below the largest item support {floor}"
+            )
+    rows: list[InvarianceRow] = []
+    for measure in MEASURES.values():
+        for n in n_values:
+            value = measure(sup_itemset, item_supports)
+            if value >= gamma:
+                sign = "positive"
+            elif value <= epsilon:
+                sign = "negative"
+            else:
+                sign = "non-correlated"
+            rows.append(
+                InvarianceRow(
+                    measure=measure.name,
+                    n_transactions=n,
+                    value=value,
+                    sign=sign,
+                    null_invariant=True,
+                )
+            )
+    for n in n_values:
+        rows.append(
+            InvarianceRow(
+                measure="lift",
+                n_transactions=n,
+                value=lift(sup_itemset, item_supports, n),
+                sign=expectation_sign(sup_itemset, item_supports, n),
+                null_invariant=False,
+            )
+        )
+    return rows
+
+
+def verify_mining_invariance(
+    database: TransactionDatabase,
+    thresholds: Thresholds,
+    measure: str | Measure = "kulczynski",
+    n_nulls: int | None = None,
+) -> bool:
+    """End-to-end invariance: mining is unchanged by null inflation.
+
+    Runs the full Flipper pipeline on ``database`` and on the same
+    database inflated with null transactions, and compares the
+    complete pattern chains (itemsets, supports, correlations,
+    labels).  Requires absolute-count thresholds — fractional ones
+    *should* change with N, which is a property of thresholds, not of
+    the measure.
+
+    Returns True when the runs agree; raises :class:`ConfigError` for
+    fractional thresholds.
+    """
+    values = thresholds.min_support
+    scalar = (
+        isinstance(values, (int, float)) and not isinstance(values, bool)
+    )
+    entries = [values] if scalar else list(values)  # type: ignore[arg-type]
+    if any(isinstance(entry, float) for entry in entries):
+        raise ConfigError(
+            "mining invariance needs absolute-count thresholds; "
+            "fractions scale with N by design"
+        )
+    from repro.core.flipper import mine_flipping_patterns
+
+    get_measure(measure)  # validate early
+    inflated = with_null_transactions(
+        database, n_nulls if n_nulls is not None else database.n_transactions
+    )
+    original = mine_flipping_patterns(database, thresholds, measure=measure)
+    nulled = mine_flipping_patterns(inflated, thresholds, measure=measure)
+    if len(original.patterns) != len(nulled.patterns):
+        return False
+    for ours, theirs in zip(original.patterns, nulled.patterns):
+        if ours.leaf_names != theirs.leaf_names:
+            return False
+        for link_a, link_b in zip(ours.links, theirs.links):
+            if (
+                link_a.itemset != link_b.itemset
+                or link_a.support != link_b.support
+                or abs(link_a.correlation - link_b.correlation) > 1e-12
+                or link_a.label is not link_b.label
+            ):
+                return False
+    return True

@@ -1,0 +1,87 @@
+"""Canonical itemset utilities.
+
+Itemsets are represented everywhere as sorted tuples of node ids, so
+they can key dictionaries and join deterministically.  The functions
+here implement the classical Apriori building blocks (join and subset
+enumeration) plus the taxonomy-specific *generalization* of an itemset
+one or more levels up.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = [
+    "canonical",
+    "k_minus_one_subsets",
+    "apriori_join",
+    "has_infrequent_subset",
+    "generalize",
+]
+
+
+def canonical(items: Iterable[int]) -> tuple[int, ...]:
+    """Sorted, duplicate-free tuple form of an itemset."""
+    return tuple(sorted(set(items)))
+
+
+def k_minus_one_subsets(itemset: Sequence[int]) -> list[tuple[int, ...]]:
+    """All (k-1)-subsets of a k-itemset, in canonical form."""
+    return [
+        tuple(itemset[:i]) + tuple(itemset[i + 1 :])
+        for i in range(len(itemset))
+    ]
+
+
+def apriori_join(frequent: Iterable[tuple[int, ...]]) -> list[tuple[int, ...]]:
+    """Join frequent (k-1)-itemsets into candidate k-itemsets.
+
+    Two sorted (k-1)-itemsets sharing their first k-2 elements join
+    into one k-itemset — the standard Apriori ``join`` step.  The
+    caller applies the ``prune`` step via
+    :func:`has_infrequent_subset`.
+    """
+    ordered = sorted(frequent)
+    candidates: list[tuple[int, ...]] = []
+    n = len(ordered)
+    for i in range(n):
+        head = ordered[i]
+        prefix = head[:-1]
+        for j in range(i + 1, n):
+            other = ordered[j]
+            if other[:-1] != prefix:
+                break  # sorted order: no later itemset shares the prefix
+            candidates.append(head + (other[-1],))
+    return candidates
+
+
+def has_infrequent_subset(
+    itemset: Sequence[int],
+    frequent_prev: set[tuple[int, ...]] | Mapping[tuple[int, ...], object],
+) -> bool:
+    """Apriori prune step: does any (k-1)-subset fall outside
+    ``frequent_prev``?
+
+    Note the flipping-aware variant in
+    :mod:`repro.core.candidates` deliberately *weakens* this test:
+    after vertical pruning a cell need not contain every frequent
+    itemset, so absence is only conclusive when the subset was counted
+    and found infrequent.
+    """
+    return any(
+        subset not in frequent_prev
+        for subset in k_minus_one_subsets(itemset)
+    )
+
+
+def generalize(
+    itemset: Sequence[int], ancestor_map: Mapping[int, int]
+) -> tuple[int, ...]:
+    """Replace every node by its generalization under ``ancestor_map``.
+
+    The result is canonical; in general it can be *shorter* than the
+    input (siblings collapse), but flipping-pattern candidates always
+    descend from distinct level-1 nodes, so their generalizations keep
+    all k items distinct (paper Section 2.2).
+    """
+    return canonical(ancestor_map[item] for item in itemset)

@@ -1,0 +1,278 @@
+"""Correlation measures (paper Section 2.1, Tables 1 and 2).
+
+The paper's Table 2 lists the five known *null-invariant* correlation
+measures.  Each is a generalized mean of the conditional probabilities
+
+    P(A | a_i) = sup(A) / sup(a_i),    a_i in A,
+
+which makes them independent of the number of null transactions and
+therefore stable on large sparse datasets.  The fixed ordering
+
+    All Confidence <= Coherence <= Cosine <= Kulczynski <= Max Confidence
+    (minimum)         (harmonic)   (geometric) (arithmetic)  (maximum)
+
+follows from the classical mean inequalities and is exercised by the
+property-test suite.
+
+The module also implements the *expectation-based* measures (expected
+support, Lift, chi-square) that the paper's Table 1 uses to demonstrate
+why such measures are unreliable: their sign depends on the total
+transaction count ``N``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Measure",
+    "MEASURES",
+    "get_measure",
+    "all_confidence",
+    "coherence",
+    "cosine",
+    "kulczynski",
+    "max_confidence",
+    "conditional_probabilities",
+    "expected_support",
+    "lift",
+    "chi_square",
+    "expectation_sign",
+]
+
+
+# ---------------------------------------------------------------------------
+# null-invariant measures
+# ---------------------------------------------------------------------------
+
+
+def conditional_probabilities(
+    sup_itemset: int, item_supports: Sequence[int]
+) -> list[float]:
+    """The probabilities ``P(A | a_i) = sup(A) / sup(a_i)``.
+
+    Items with zero support contribute probability 0 (their itemset
+    necessarily has zero support as well).
+    """
+    if not item_supports:
+        raise ConfigError("itemset must contain at least one item")
+    if sup_itemset < 0:
+        raise ConfigError(f"negative itemset support {sup_itemset}")
+    probabilities = []
+    for support in item_supports:
+        if support < sup_itemset:
+            raise ConfigError(
+                f"item support {support} below itemset support {sup_itemset}; "
+                "supports are inconsistent"
+            )
+        probabilities.append(0.0 if support == 0 else sup_itemset / support)
+    return probabilities
+
+
+def all_confidence(sup_itemset: int, item_supports: Sequence[int]) -> float:
+    """Minimum of the conditional probabilities."""
+    return min(conditional_probabilities(sup_itemset, item_supports))
+
+
+def coherence(sup_itemset: int, item_supports: Sequence[int]) -> float:
+    """Harmonic mean of the conditional probabilities.
+
+    This is the paper's re-definition of Coherence (footnote to
+    Table 2), which preserves the ordering of the original
+    intersection-over-union form.
+    """
+    probabilities = conditional_probabilities(sup_itemset, item_supports)
+    if any(p == 0.0 for p in probabilities):
+        return 0.0
+    k = len(probabilities)
+    return k / sum(1.0 / p for p in probabilities)
+
+
+def cosine(sup_itemset: int, item_supports: Sequence[int]) -> float:
+    """Geometric mean of the conditional probabilities."""
+    probabilities = conditional_probabilities(sup_itemset, item_supports)
+    if any(p == 0.0 for p in probabilities):
+        return 0.0
+    k = len(probabilities)
+    # exp(mean(log)) is numerically steadier than prod()**(1/k)
+    return math.exp(sum(math.log(p) for p in probabilities) / k)
+
+
+def kulczynski(sup_itemset: int, item_supports: Sequence[int]) -> float:
+    """Arithmetic mean of the conditional probabilities (Kulc, eq. 1)."""
+    probabilities = conditional_probabilities(sup_itemset, item_supports)
+    return sum(probabilities) / len(probabilities)
+
+
+def max_confidence(sup_itemset: int, item_supports: Sequence[int]) -> float:
+    """Maximum of the conditional probabilities."""
+    return max(conditional_probabilities(sup_itemset, item_supports))
+
+
+@dataclass(frozen=True)
+class Measure:
+    """A named correlation measure with its algebraic metadata.
+
+    Attributes
+    ----------
+    name:
+        Canonical lowercase name.
+    fn:
+        ``fn(sup_itemset, item_supports) -> float``.
+    mean_kind:
+        Which generalized mean the measure realizes (paper Table 2).
+    anti_monotonic:
+        True for measures that can only decrease when the itemset
+        grows (All Confidence, Coherence).  The paper's contribution is
+        pruning for the *non*-anti-monotonic ones.
+    null_invariant:
+        True for the five Table-2 measures.
+    aliases:
+        Accepted alternative spellings for :func:`get_measure`.
+    """
+
+    name: str
+    fn: Callable[[int, Sequence[int]], float]
+    mean_kind: str
+    anti_monotonic: bool
+    null_invariant: bool = True
+    aliases: tuple[str, ...] = field(default_factory=tuple)
+
+    def __call__(self, sup_itemset: int, item_supports: Sequence[int]) -> float:
+        return self.fn(sup_itemset, item_supports)
+
+
+MEASURES: dict[str, Measure] = {
+    measure.name: measure
+    for measure in (
+        Measure(
+            name="all_confidence",
+            fn=all_confidence,
+            mean_kind="minimum",
+            anti_monotonic=True,
+            aliases=("allconf", "all-confidence", "all confidence"),
+        ),
+        Measure(
+            name="coherence",
+            fn=coherence,
+            mean_kind="harmonic",
+            anti_monotonic=True,
+            aliases=("jaccard",),
+        ),
+        Measure(
+            name="cosine",
+            fn=cosine,
+            mean_kind="geometric",
+            anti_monotonic=False,
+        ),
+        Measure(
+            name="kulczynski",
+            fn=kulczynski,
+            mean_kind="arithmetic",
+            anti_monotonic=False,
+            aliases=("kulc", "kulczynsky"),
+        ),
+        Measure(
+            name="max_confidence",
+            fn=max_confidence,
+            mean_kind="maximum",
+            anti_monotonic=False,
+            aliases=("maxconf", "max-confidence", "max confidence"),
+        ),
+    )
+}
+
+_ALIAS_INDEX: dict[str, str] = {}
+for _measure in MEASURES.values():
+    _ALIAS_INDEX[_measure.name] = _measure.name
+    for _alias in _measure.aliases:
+        _ALIAS_INDEX[_alias] = _measure.name
+
+
+def get_measure(measure: str | Measure) -> Measure:
+    """Resolve a measure by name/alias, or pass an instance through."""
+    if isinstance(measure, Measure):
+        return measure
+    key = measure.strip().lower()
+    canonical = _ALIAS_INDEX.get(key)
+    if canonical is None:
+        known = ", ".join(sorted(MEASURES))
+        raise ConfigError(f"unknown measure {measure!r}; known: {known}")
+    return MEASURES[canonical]
+
+
+# ---------------------------------------------------------------------------
+# expectation-based measures (Table 1 — shown to be unreliable)
+# ---------------------------------------------------------------------------
+
+
+def expected_support(item_supports: Sequence[int], n_transactions: int) -> float:
+    """Independence-model expectation ``N * prod(sup(a_i)/N)``."""
+    if n_transactions <= 0:
+        raise ConfigError("n_transactions must be positive")
+    expectation = float(n_transactions)
+    for support in item_supports:
+        if support < 0 or support > n_transactions:
+            raise ConfigError(
+                f"item support {support} outside [0, {n_transactions}]"
+            )
+        expectation *= support / n_transactions
+    return expectation
+
+
+def lift(sup_itemset: int, item_supports: Sequence[int], n_transactions: int) -> float:
+    """Observed over expected support; >1 reads "positive", <1 "negative"."""
+    expectation = expected_support(item_supports, n_transactions)
+    if expectation == 0.0:
+        return math.inf if sup_itemset > 0 else 0.0
+    return sup_itemset / expectation
+
+
+def expectation_sign(
+    sup_itemset: int, item_supports: Sequence[int], n_transactions: int
+) -> str:
+    """Classification used in Table 1: ``positive``/``negative``/``independent``.
+
+    The whole point of the paper's Table 1 is that this answer flips
+    with ``N`` while the actual relationship does not.
+    """
+    expectation = expected_support(item_supports, n_transactions)
+    if sup_itemset > expectation:
+        return "positive"
+    if sup_itemset < expectation:
+        return "negative"
+    return "independent"
+
+
+def chi_square(
+    sup_a: int, sup_b: int, sup_ab: int, n_transactions: int
+) -> float:
+    """Pearson chi-square statistic of the 2x2 contingency table of two
+    items (used with Lift in the literature the paper contrasts)."""
+    n = n_transactions
+    if n <= 0:
+        raise ConfigError("n_transactions must be positive")
+    if not (0 <= sup_ab <= min(sup_a, sup_b)) or max(sup_a, sup_b) > n:
+        raise ConfigError("inconsistent contingency counts")
+    cells = {
+        (0, 0): sup_ab,                      # A and B
+        (0, 1): sup_a - sup_ab,              # A, not B
+        (1, 0): sup_b - sup_ab,              # not A, B
+        (1, 1): n - sup_a - sup_b + sup_ab,  # neither
+    }
+    row = (sup_a, n - sup_a)
+    col = (sup_b, n - sup_b)
+    statistic = 0.0
+    for i, r in enumerate(row):
+        for j, c in enumerate(col):
+            expected = r * c / n
+            if expected == 0.0:
+                continue
+            diff = cells[(i, j)] - expected
+            statistic += diff * diff / expected
+    return statistic

@@ -1,0 +1,187 @@
+"""Saving and loading mining results.
+
+A :class:`~repro.core.patterns.MiningResult` round-trips through a
+versioned JSON envelope: patterns (with full chains), the complete
+:class:`~repro.core.stats.MiningStats` (including per-cell counters),
+and the run configuration.  Downstream consumers can archive runs,
+diff them across code versions, or feed them to external tooling
+without re-mining.
+
+    >>> save_result(result, "run.json")            # doctest: +SKIP
+    >>> result2 = load_result("run.json")          # doctest: +SKIP
+    >>> result2.patterns == result.patterns        # doctest: +SKIP
+    True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.labels import Label
+from repro.core.patterns import ChainLink, FlippingPattern, MiningResult
+from repro.core.stats import CellStats, MiningStats
+from repro.errors import DataError
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+]
+
+FORMAT_NAME = "repro.mining-result"
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def _link_to_dict(link: ChainLink) -> dict[str, Any]:
+    return {
+        "level": link.level,
+        "itemset": list(link.itemset),
+        "names": list(link.names),
+        "support": link.support,
+        "correlation": link.correlation,
+        "label": str(link.label),
+    }
+
+
+def _stats_to_dict(stats: MiningStats) -> dict[str, Any]:
+    return {
+        "method": stats.method,
+        "measure": stats.measure,
+        "cells": [dataclasses.asdict(cell) for cell in stats.cells],
+        "tpg_events": [list(event) for event in stats.tpg_events],
+        "sibp_bans": [list(ban) for ban in stats.sibp_bans],
+        "db_scans": stats.db_scans,
+        "stored_entries": stats.stored_entries,
+        "max_cell_entries": stats.max_cell_entries,
+        "n_patterns": stats.n_patterns,
+        "elapsed_seconds": stats.elapsed_seconds,
+        "extra": dict(stats.extra),
+    }
+
+
+def result_to_dict(result: MiningResult) -> dict[str, Any]:
+    """The versioned JSON-ready envelope of a mining result."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "config": dict(result.config),
+        "stats": _stats_to_dict(result.stats),
+        "patterns": [
+            [_link_to_dict(link) for link in pattern.links]
+            for pattern in result.patterns
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+
+def _require(mapping: dict[str, Any], key: str, context: str) -> Any:
+    try:
+        return mapping[key]
+    except KeyError:
+        raise DataError(f"malformed {context}: missing key {key!r}") from None
+
+
+def _link_from_dict(raw: dict[str, Any]) -> ChainLink:
+    label_text = _require(raw, "label", "chain link")
+    try:
+        label = Label(label_text)
+    except ValueError:
+        raise DataError(f"unknown label {label_text!r}") from None
+    return ChainLink(
+        level=int(_require(raw, "level", "chain link")),
+        itemset=tuple(_require(raw, "itemset", "chain link")),
+        names=tuple(_require(raw, "names", "chain link")),
+        support=int(_require(raw, "support", "chain link")),
+        correlation=float(_require(raw, "correlation", "chain link")),
+        label=label,
+    )
+
+
+def _stats_from_dict(raw: dict[str, Any]) -> MiningStats:
+    stats = MiningStats(
+        method=raw.get("method", "flipper"),
+        measure=raw.get("measure", "kulczynski"),
+        tpg_events=[tuple(event) for event in raw.get("tpg_events", [])],
+        sibp_bans=[tuple(ban) for ban in raw.get("sibp_bans", [])],
+        db_scans=int(raw.get("db_scans", 0)),
+        n_patterns=int(raw.get("n_patterns", 0)),
+        elapsed_seconds=float(raw.get("elapsed_seconds", 0.0)),
+        extra=dict(raw.get("extra", {})),
+    )
+    # record_cell rebuilds the stored_entries / max_cell_entries
+    # aggregates; verify against the archived values afterwards
+    for cell_raw in raw.get("cells", []):
+        stats.record_cell(CellStats(**cell_raw))
+    archived = raw.get("stored_entries")
+    if archived is not None and archived != stats.stored_entries:
+        raise DataError(
+            "corrupt stats: stored_entries "
+            f"{archived} != recomputed {stats.stored_entries}"
+        )
+    return stats
+
+
+def result_from_dict(raw: dict[str, Any]) -> MiningResult:
+    """Rebuild a :class:`MiningResult` from its envelope."""
+    if raw.get("format") != FORMAT_NAME:
+        raise DataError(
+            f"not a {FORMAT_NAME} document (format={raw.get('format')!r})"
+        )
+    version = raw.get("version")
+    if version != FORMAT_VERSION:
+        raise DataError(
+            f"unsupported format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    patterns = [
+        FlippingPattern(
+            links=tuple(_link_from_dict(link) for link in chain)
+        )
+        for chain in _require(raw, "patterns", "result")
+    ]
+    return MiningResult(
+        patterns=patterns,
+        stats=_stats_from_dict(_require(raw, "stats", "result")),
+        config=dict(raw.get("config", {})),
+    )
+
+
+# ---------------------------------------------------------------------------
+# files
+# ---------------------------------------------------------------------------
+
+
+def save_result(result: MiningResult, path: str | Path) -> None:
+    """Write a mining result as JSON."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+    )
+
+
+def load_result(path: str | Path) -> MiningResult:
+    """Read a mining result written by :func:`save_result`."""
+    target = Path(path)
+    try:
+        raw = json.loads(target.read_text())
+    except FileNotFoundError:
+        raise DataError(f"no such result file: {target}") from None
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{target} is not valid JSON: {exc}") from None
+    if not isinstance(raw, dict):
+        raise DataError(f"{target} does not hold a result object")
+    return result_from_dict(raw)

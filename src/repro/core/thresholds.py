@@ -1,0 +1,173 @@
+"""Mining thresholds (paper Definition 1 and Section 2.2).
+
+A mining run is parameterized by
+
+* ``gamma``   — positive-correlation threshold (``Corr >= gamma``),
+* ``epsilon`` — negative-correlation threshold (``Corr <= epsilon``),
+* ``min_support`` — one minimum support per taxonomy level
+  ``theta_1 .. theta_H``, non-increasing from the top level down
+  (coarse nodes are frequent, specific ones rare).
+
+Supports may be given as fractions of the database size (floats in
+``(0, 1)``) or as absolute transaction counts (ints ``>= 1``);
+:meth:`Thresholds.resolve` converts them to absolute counts for a
+concrete database.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["Thresholds", "ResolvedThresholds"]
+
+
+@dataclass(frozen=True)
+class ResolvedThresholds:
+    """Thresholds bound to a concrete database: absolute counts per level.
+
+    ``min_counts[h-1]`` is the minimum support (in transactions) at
+    taxonomy level ``h``.
+    """
+
+    gamma: float
+    epsilon: float
+    min_counts: tuple[int, ...]
+
+    @property
+    def height(self) -> int:
+        return len(self.min_counts)
+
+    def min_count(self, level: int) -> int:
+        """Absolute minimum support at taxonomy level ``level`` (1-based)."""
+        if not 1 <= level <= self.height:
+            raise ConfigError(
+                f"level {level} out of range [1, {self.height}]"
+            )
+        return self.min_counts[level - 1]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """User-facing threshold bundle.
+
+    Parameters
+    ----------
+    gamma:
+        Positive threshold in ``(0, 1]``; must exceed ``epsilon``.
+    epsilon:
+        Negative threshold in ``[0, 1)``.
+    min_support:
+        Scalar applied to every level, or a sequence with one entry
+        per taxonomy level (level 1 first).  Fractions and absolute
+        counts both work but cannot be mixed.
+    """
+
+    gamma: float
+    epsilon: float
+    min_support: float | int | Sequence[float | int] = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.gamma <= 1.0:
+            raise ConfigError(f"gamma must be in (0, 1], got {self.gamma}")
+        if not 0.0 <= self.epsilon < 1.0:
+            raise ConfigError(f"epsilon must be in [0, 1), got {self.epsilon}")
+        if self.epsilon >= self.gamma:
+            raise ConfigError(
+                f"epsilon ({self.epsilon}) must be below gamma ({self.gamma}); "
+                "otherwise every labeled itemset would be both positive and negative"
+            )
+        values = self._support_values()
+        kinds = {self._kind(v) for v in values}
+        if len(kinds) > 1:
+            raise ConfigError(
+                "min_support mixes fractions and absolute counts; use one kind"
+            )
+        for value in values:
+            self._validate_support(value)
+        for higher, lower in zip(values, values[1:]):
+            if lower > higher:
+                raise ConfigError(
+                    "min_support must be non-increasing from level 1 down "
+                    f"(paper Section 2.2); got {list(values)}"
+                )
+
+    # ------------------------------------------------------------------
+
+    def _support_values(self) -> tuple[float | int, ...]:
+        if isinstance(self.min_support, (int, float)):
+            return (self.min_support,)
+        values = tuple(self.min_support)
+        if not values:
+            raise ConfigError("min_support sequence is empty")
+        return values
+
+    @staticmethod
+    def _kind(value: float | int) -> str:
+        if isinstance(value, bool):
+            raise ConfigError("min_support cannot be a bool")
+        if isinstance(value, int):
+            return "absolute"
+        return "fraction"
+
+    @staticmethod
+    def _validate_support(value: float | int) -> None:
+        if isinstance(value, int):
+            if value < 1:
+                raise ConfigError(
+                    f"absolute min_support must be >= 1, got {value}"
+                )
+        else:
+            if not 0.0 < value < 1.0:
+                raise ConfigError(
+                    f"fractional min_support must be in (0, 1), got {value}"
+                )
+
+    # ------------------------------------------------------------------
+
+    def resolve(self, height: int, n_transactions: int) -> ResolvedThresholds:
+        """Bind to a database: absolute per-level counts for ``height`` levels.
+
+        A scalar support is replicated across levels.  A sequence must
+        have exactly ``height`` entries.
+        """
+        if height < 1:
+            raise ConfigError(f"taxonomy height must be >= 1, got {height}")
+        if n_transactions < 1:
+            raise ConfigError("cannot resolve thresholds for an empty database")
+        values = self._support_values()
+        if len(values) == 1:
+            values = values * height
+        if len(values) != height:
+            raise ConfigError(
+                f"min_support has {len(values)} entries but the taxonomy "
+                f"has {height} levels"
+            )
+        counts = []
+        for value in values:
+            if isinstance(value, int):
+                counts.append(value)
+            else:
+                counts.append(max(1, math.ceil(value * n_transactions)))
+        # Rounding can break monotonicity only in pathological cases;
+        # re-assert to keep the miner's assumptions airtight.
+        for higher, lower in zip(counts, counts[1:]):
+            if lower > higher:  # pragma: no cover - prevented by __post_init__
+                raise ConfigError(
+                    f"resolved min_support not non-increasing: {counts}"
+                )
+        return ResolvedThresholds(
+            gamma=self.gamma,
+            epsilon=self.epsilon,
+            min_counts=tuple(counts),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"gamma={self.gamma}, epsilon={self.epsilon}, "
+            f"min_support={self.min_support}"
+        )

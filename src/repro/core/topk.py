@@ -1,0 +1,116 @@
+"""Top-K "most flipping" patterns (paper Section 7, future work).
+
+The paper closes by proposing two extensions for users who cannot pick
+γ and ε a priori:
+
+* rank patterns by the *gap* between correlation values at different
+  hierarchy levels and return the K sharpest flips
+  (:func:`top_k_most_flipping`);
+* search the threshold space automatically until a satisfactory number
+  of patterns emerges (:func:`mine_top_k`), following the paper's
+  guidance of fixing γ and relaxing ε downward / γ upward.
+
+Both are implemented here on top of the ordinary miner, making the
+future-work section of the paper executable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.flipper import PruningConfig, mine_flipping_patterns
+from repro.core.measures import Measure
+from repro.core.patterns import FlippingPattern, MiningResult
+from repro.core.thresholds import Thresholds
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigError
+
+__all__ = ["top_k_most_flipping", "mine_top_k"]
+
+_SCORES = ("min_gap", "max_gap", "mean_gap")
+
+
+def top_k_most_flipping(
+    patterns: Sequence[FlippingPattern] | MiningResult,
+    k: int,
+    score: str = "min_gap",
+) -> list[FlippingPattern]:
+    """The ``k`` patterns with the sharpest flips.
+
+    ``score`` selects the gap statistic: ``min_gap`` (bottleneck gap —
+    the paper's "largest gap" reading applied conservatively across
+    the chain), ``max_gap`` or ``mean_gap``.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if score not in _SCORES:
+        raise ConfigError(f"unknown score {score!r}; known: {_SCORES}")
+    if isinstance(patterns, MiningResult):
+        patterns = patterns.patterns
+    ranked = sorted(
+        patterns,
+        key=lambda p: (getattr(p, score), p.leaf_names),
+        reverse=True,
+    )
+    return ranked[:k]
+
+
+def mine_top_k(
+    database: TransactionDatabase,
+    k: int,
+    min_support: float | int | Sequence[float | int],
+    measure: str | Measure = "kulczynski",
+    score: str = "min_gap",
+    gamma_start: float = 0.5,
+    epsilon_start: float = 0.3,
+    relax_step: float = 0.05,
+    max_rounds: int = 8,
+    pruning: PruningConfig | None = None,
+) -> list[FlippingPattern]:
+    """Mine with progressively relaxed thresholds until >= k patterns
+    appear, then rank and return the top k.
+
+    Starts from a strict ``(gamma_start, epsilon_start)`` pair and, as
+    the paper suggests, gradually lowers ε (and, when ε reaches 0,
+    lowers γ) until enough patterns are found or ``max_rounds`` is
+    exhausted; whatever was found is then ranked by ``score``.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if not 0.0 <= epsilon_start < gamma_start <= 1.0:
+        raise ConfigError(
+            "need 0 <= epsilon_start < gamma_start <= 1, got "
+            f"({gamma_start}, {epsilon_start})"
+        )
+    if relax_step <= 0.0:
+        raise ConfigError(f"relax_step must be positive, got {relax_step}")
+
+    gamma = gamma_start
+    epsilon = epsilon_start
+    best: list[FlippingPattern] = []
+    for _round in range(max_rounds):
+        thresholds = Thresholds(
+            gamma=gamma, epsilon=epsilon, min_support=min_support
+        )
+        result = mine_flipping_patterns(
+            database,
+            thresholds,
+            measure=measure,
+            pruning=pruning,
+        )
+        if len(result.patterns) > len(best):
+            best = result.patterns
+        if len(best) >= k:
+            break
+        # Relax toward more patterns: widen the negative band (raise
+        # epsilon toward gamma); once the bands touch, lower gamma too.
+        if epsilon + relax_step < gamma - relax_step:
+            epsilon = epsilon + relax_step
+        elif gamma - relax_step > relax_step:
+            gamma = gamma - relax_step
+            epsilon = min(epsilon, gamma - relax_step)
+        else:
+            break  # nothing left to relax
+    if not best:
+        return []
+    return top_k_most_flipping(best, k=min(k, len(best)), score=score)

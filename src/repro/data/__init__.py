@@ -1,0 +1,29 @@
+"""Transaction data substrate: databases, vertical indexes, IO."""
+
+from repro.data.database import TransactionDatabase
+from repro.data.io import (
+    format_basket_text,
+    load_database,
+    load_transactions,
+    parse_basket_text,
+    save_transactions,
+)
+from repro.data.profile import (
+    DatabaseProfile,
+    LevelProfile,
+    profile_database,
+)
+from repro.data.vertical import VerticalIndex
+
+__all__ = [
+    "TransactionDatabase",
+    "VerticalIndex",
+    "DatabaseProfile",
+    "LevelProfile",
+    "profile_database",
+    "parse_basket_text",
+    "format_basket_text",
+    "load_transactions",
+    "save_transactions",
+    "load_database",
+]

@@ -1,0 +1,109 @@
+"""Reading and writing transaction data.
+
+Formats:
+
+* **Basket text** — one transaction per line, items separated by
+  commas (or a custom delimiter); ``#`` comments allowed.  This is the
+  de-facto format of public market-basket dumps (e.g. the arules
+  ``groceries`` export the paper uses).
+* **JSON lines** — one JSON array of item names per line.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.data.database import TransactionDatabase
+from repro.errors import DataError
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = [
+    "parse_basket_text",
+    "format_basket_text",
+    "load_transactions",
+    "save_transactions",
+    "load_database",
+]
+
+
+def parse_basket_text(text: str, delimiter: str = ",") -> list[list[str]]:
+    """Parse basket text into lists of item names."""
+    transactions: list[list[str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        items = [part.strip() for part in line.split(delimiter)]
+        items = [item for item in items if item]
+        if not items:
+            raise DataError(f"line {lineno}: empty transaction")
+        transactions.append(items)
+    if not transactions:
+        raise DataError("no transactions found")
+    return transactions
+
+
+def format_basket_text(
+    transactions: Iterable[Iterable[str]], delimiter: str = ","
+) -> str:
+    """Render transactions as basket text."""
+    lines = ["# one transaction per line"]
+    for items in transactions:
+        row = list(items)
+        for item in row:
+            if delimiter in item:
+                raise DataError(
+                    f"item {item!r} contains the delimiter {delimiter!r}"
+                )
+        lines.append(delimiter.join(row))
+    return "\n".join(lines) + "\n"
+
+
+def load_transactions(path: str | Path, delimiter: str = ",") -> list[list[str]]:
+    """Load transactions from basket text or ``.jsonl``."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() in {".jsonl", ".ndjson"}:
+        transactions = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            if not isinstance(row, list):
+                raise DataError(f"{path}:{lineno}: expected a JSON array")
+            transactions.append([str(item) for item in row])
+        if not transactions:
+            raise DataError(f"{path}: no transactions")
+        return transactions
+    return parse_basket_text(text, delimiter=delimiter)
+
+
+def save_transactions(
+    transactions: Iterable[Iterable[str]],
+    path: str | Path,
+    delimiter: str = ",",
+) -> None:
+    """Save transactions in the format implied by the file suffix."""
+    path = Path(path)
+    if path.suffix.lower() in {".jsonl", ".ndjson"}:
+        with path.open("w", encoding="utf-8") as handle:
+            for items in transactions:
+                handle.write(json.dumps(list(items)) + "\n")
+    else:
+        path.write_text(
+            format_basket_text(transactions, delimiter=delimiter),
+            encoding="utf-8",
+        )
+
+
+def load_database(
+    transactions_path: str | Path,
+    taxonomy: Taxonomy,
+    delimiter: str = ",",
+    strict: bool = True,
+) -> TransactionDatabase:
+    """Convenience: load transactions and bind them to a taxonomy."""
+    transactions = load_transactions(transactions_path, delimiter=delimiter)
+    return TransactionDatabase(transactions, taxonomy, strict=strict)

@@ -1,0 +1,156 @@
+"""Database profiling: the shape statistics that drive threshold choice.
+
+Section 5.1 of the paper turns its performance study into parameter
+guidance: per-level supports should start high at the top of the
+hierarchy and drop toward the leaves, and the bottom-level support is
+the performance-critical knob.  Choosing those numbers requires
+knowing the dataset's shape — per-level densities, item frequency
+skew, transaction widths — which is exactly what
+:func:`profile_database` computes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.data.database import TransactionDatabase
+from repro.data.vertical import VerticalIndex
+from repro.errors import ConfigError
+
+__all__ = ["LevelProfile", "DatabaseProfile", "profile_database"]
+
+
+@dataclass(frozen=True)
+class LevelProfile:
+    """Shape of one taxonomy level's projection."""
+
+    level: int
+    n_nodes: int
+    n_active_nodes: int          # nodes with support > 0
+    mean_projected_width: float  # distinct nodes per transaction
+    max_support: int
+    median_support: int
+
+    @property
+    def density(self) -> float:
+        """Mean fraction of the level's nodes touched per transaction."""
+        return (
+            self.mean_projected_width / self.n_nodes if self.n_nodes else 0.0
+        )
+
+
+@dataclass
+class DatabaseProfile:
+    """Everything a threshold-choosing user needs to know at a glance."""
+
+    n_transactions: int
+    n_items: int
+    n_active_items: int
+    mean_width: float
+    max_width: int
+    width_histogram: dict[int, int] = field(default_factory=dict)
+    levels: list[LevelProfile] = field(default_factory=list)
+    top_items: list[tuple[str, int]] = field(default_factory=list)
+
+    def level(self, level: int) -> LevelProfile:
+        for entry in self.levels:
+            if entry.level == level:
+                return entry
+        raise ConfigError(f"no level {level} in this profile")
+
+    def suggest_min_supports(self, bottom_fraction: float = 0.001) -> list[int]:
+        """A starting per-level threshold ladder per the paper's §5.1
+        guidance: anchor the bottom level at ``bottom_fraction`` of N
+        and raise each level above it proportionally to its density.
+        """
+        if not 0.0 < bottom_fraction < 1.0:
+            raise ConfigError(
+                f"bottom_fraction must be in (0, 1), got {bottom_fraction}"
+            )
+        bottom = self.levels[-1]
+        counts = []
+        for entry in self.levels:
+            ratio = (
+                entry.density / bottom.density if bottom.density else 1.0
+            )
+            count = max(
+                2, round(bottom_fraction * self.n_transactions * ratio)
+            )
+            counts.append(count)
+        # enforce the paper's non-increasing requirement top-down
+        for index in range(1, len(counts)):
+            counts[index] = min(counts[index], counts[index - 1])
+        return counts
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [
+            f"{self.n_transactions} transactions, "
+            f"{self.n_active_items}/{self.n_items} items active, "
+            f"width mean {self.mean_width:.2f} / max {self.max_width}",
+            "per-level shape:",
+        ]
+        for entry in self.levels:
+            lines.append(
+                f"  h{entry.level}: {entry.n_active_nodes}/{entry.n_nodes} "
+                f"nodes active, density {entry.density:.3f}, "
+                f"median support {entry.median_support}"
+            )
+        if self.top_items:
+            rendered = ", ".join(
+                f"{name} ({support})" for name, support in self.top_items
+            )
+            lines.append(f"most frequent items: {rendered}")
+        return "\n".join(lines)
+
+
+def profile_database(
+    database: TransactionDatabase, top: int = 5
+) -> DatabaseProfile:
+    """Compute a :class:`DatabaseProfile` (one pass per level)."""
+    if top < 0:
+        raise ConfigError(f"top must be >= 0, got {top}")
+    taxonomy = database.taxonomy
+    index = VerticalIndex(database)
+
+    widths = Counter(len(transaction) for transaction in database)
+    levels = []
+    for level in range(1, taxonomy.height + 1):
+        supports = index.node_supports(level)
+        active = [s for s in supports.values() if s > 0]
+        total_width = sum(
+            len(projection) for projection in database.project_to_level(level)
+        )
+        ordered = sorted(active)
+        levels.append(
+            LevelProfile(
+                level=level,
+                n_nodes=len(supports),
+                n_active_nodes=len(active),
+                mean_projected_width=total_width / database.n_transactions,
+                max_support=max(active, default=0),
+                median_support=ordered[len(ordered) // 2] if ordered else 0,
+            )
+        )
+
+    leaf_level = taxonomy.height
+    item_supports = index.node_supports(leaf_level)
+    by_support = sorted(
+        item_supports.items(), key=lambda pair: (-pair[1], pair[0])
+    )
+    top_items = [
+        (taxonomy.name_of(node), support)
+        for node, support in by_support[:top]
+        if support > 0
+    ]
+    return DatabaseProfile(
+        n_transactions=database.n_transactions,
+        n_items=len(database.item_ids),
+        n_active_items=sum(1 for s in item_supports.values() if s > 0),
+        mean_width=database.mean_width,
+        max_width=database.max_width,
+        width_histogram=dict(sorted(widths.items())),
+        levels=levels,
+        top_items=top_items,
+    )

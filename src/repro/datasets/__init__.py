@@ -1,0 +1,92 @@
+"""Dataset substrates: the paper's toy examples, a Srikant–Agrawal
+style synthetic generator, simulators for the three real datasets of
+the evaluation (GROCERIES, CENSUS, MEDLINE), and the motivating
+MovieLens example rebuilt as the MOVIES simulator."""
+
+from repro.datasets.census import (
+    CENSUS_PLANTED,
+    CENSUS_THRESHOLDS,
+    INCOME_HIGH,
+    INCOME_LOW,
+    census_taxonomy,
+    generate_census,
+)
+from repro.datasets.groceries import (
+    GROCERIES_PLANTED,
+    GROCERIES_THRESHOLDS,
+    generate_groceries,
+    groceries_taxonomy,
+)
+from repro.datasets.medline import (
+    MEDLINE_PLANTED,
+    MEDLINE_THRESHOLDS,
+    generate_medline,
+    medline_taxonomy,
+)
+from repro.datasets.movies import (
+    MOVIES_PLANTED,
+    MOVIES_THRESHOLDS,
+    generate_movies,
+    movies_taxonomy,
+)
+from repro.datasets.planted import (
+    BlockPlan,
+    chain_signature,
+    measure_chain,
+    plant_npn_chain,
+    plant_pnp_chain,
+)
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_synthetic,
+    generate_taxonomy,
+)
+from repro.datasets.toy import (
+    EXAMPLE3_EPSILON,
+    EXAMPLE3_GAMMA,
+    Table1Row,
+    example3_database,
+    example3_taxonomy,
+    example3_transactions,
+    table1_rows,
+)
+
+__all__ = [
+    # toy (paper Fig. 4 / Table 1)
+    "example3_database",
+    "example3_taxonomy",
+    "example3_transactions",
+    "EXAMPLE3_GAMMA",
+    "EXAMPLE3_EPSILON",
+    "Table1Row",
+    "table1_rows",
+    # synthetic (Srikant-Agrawal style)
+    "SyntheticConfig",
+    "generate_synthetic",
+    "generate_taxonomy",
+    # planting
+    "BlockPlan",
+    "measure_chain",
+    "chain_signature",
+    "plant_pnp_chain",
+    "plant_npn_chain",
+    # real-dataset simulators
+    "generate_groceries",
+    "groceries_taxonomy",
+    "GROCERIES_THRESHOLDS",
+    "GROCERIES_PLANTED",
+    "generate_census",
+    "census_taxonomy",
+    "CENSUS_THRESHOLDS",
+    "CENSUS_PLANTED",
+    "INCOME_HIGH",
+    "INCOME_LOW",
+    "generate_medline",
+    "medline_taxonomy",
+    "MEDLINE_THRESHOLDS",
+    "MEDLINE_PLANTED",
+    "generate_movies",
+    "movies_taxonomy",
+    "MOVIES_THRESHOLDS",
+    "MOVIES_PLANTED",
+]

@@ -1,0 +1,213 @@
+"""CENSUS dataset simulator.
+
+The paper uses an extract of the US Census (Adult) dataset: 32,000
+multi-attribute person records treated as transactions, with manually
+built 2-3-level hierarchies over attribute combinations and income
+discretized at $50K/yr.  This module rebuilds the setting as a
+deterministic population model:
+
+* items are attribute combinations; the taxonomy refines occupations
+  by education then by sex, and age brackets by executive-or-not then
+  by sex; the two income items have no refinement and are rebalanced
+  with copies (exactly the paper's Fig. 3 [B] situation);
+* each record contributes three items — its occupation leaf, its age
+  leaf and its income item;
+* conditional income rates encode the paper's Fig. 11 patterns:
+
+  - ``craft-repair`` correlates negatively with ``income>=50K``, but
+    craft-repair *bachelors* correlate positively — and the female
+    sub-subpopulation flips back to negative (chain ``- + -``);
+  - ``age 60-65`` correlates negatively with high income unless the
+    person is an *executive* (chain ``- + -`` via the female leaf).
+
+Counts are exact integers (no sampling noise beyond shuffling), so
+the planted signatures are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.thresholds import Thresholds
+from repro.data.database import TransactionDatabase
+from repro.datasets.planted import BlockPlan
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = [
+    "census_taxonomy",
+    "generate_census",
+    "CENSUS_THRESHOLDS",
+    "CENSUS_PLANTED",
+    "INCOME_HIGH",
+    "INCOME_LOW",
+]
+
+#: Table 4 row C: (gamma, epsilon, theta1..theta3).
+CENSUS_THRESHOLDS = Thresholds(
+    gamma=0.25, epsilon=0.15, min_support=[0.002, 0.001, 0.0001]
+)
+
+INCOME_HIGH = "income=gte50K"
+INCOME_LOW = "income=lt50K"
+
+#: Planted chains (level-1 -> level-3 signatures).
+CENSUS_PLANTED: list[tuple[tuple[str, str], str]] = [
+    (("occ=craft-repair|edu=bachelor|sex=female", INCOME_HIGH), "-+-"),
+    (("age=60-65|occ=executive|sex=female", INCOME_HIGH), "-+-"),
+]
+
+_OCCUPATIONS = ["craft-repair", "executive", "service", "admin", "professional"]
+_AGES = ["20-39", "40-59", "60-65"]
+_SEXES = ["male", "female"]
+
+#: population size per occupation (scale=1.0 -> 32,000 records).
+_OCC_TOTALS = {
+    "craft-repair": 3000,
+    "executive": 2500,
+    "service": 8000,
+    "admin": 9000,
+    "professional": 9500,
+}
+
+#: fraction with a bachelor degree, per occupation.
+_BACHELOR_RATE = {
+    "craft-repair": 0.20,
+    "executive": 0.60,
+    "service": 0.125,
+    "admin": 0.333,
+    "professional": 0.632,
+}
+
+#: male fraction within an (occupation, education) cell.
+_MALE_RATE = {
+    ("craft-repair", "bachelor"): 0.667,
+    ("craft-repair", "no-degree"): 0.75,
+    ("executive", "bachelor"): 0.60,
+    ("executive", "no-degree"): 0.70,
+    ("service", "bachelor"): 0.55,
+    ("service", "no-degree"): 0.55,
+    ("admin", "bachelor"): 0.55,
+    ("admin", "no-degree"): 0.55,
+    ("professional", "bachelor"): 0.55,
+    ("professional", "no-degree"): 0.55,
+}
+
+#: P(income >= 50K) per (occupation, education, sex) — the heart of
+#: the craft-repair pattern.
+_INCOME_RATE = {
+    ("craft-repair", "bachelor", "male"): 0.85,
+    ("craft-repair", "bachelor", "female"): 0.05,
+    ("craft-repair", "no-degree", "male"): 0.09,
+    ("craft-repair", "no-degree", "female"): 0.03,
+    ("executive", "bachelor", "male"): 0.75,
+    ("executive", "bachelor", "female"): 0.70,
+    ("executive", "no-degree", "male"): 0.55,
+    ("executive", "no-degree", "female"): 0.40,
+    ("service", "bachelor", "male"): 0.35,
+    ("service", "bachelor", "female"): 0.25,
+    ("service", "no-degree", "male"): 0.12,
+    ("service", "no-degree", "female"): 0.08,
+    ("admin", "bachelor", "male"): 0.45,
+    ("admin", "bachelor", "female"): 0.35,
+    ("admin", "no-degree", "male"): 0.15,
+    ("admin", "no-degree", "female"): 0.10,
+    ("professional", "bachelor", "male"): 0.65,
+    ("professional", "bachelor", "female"): 0.55,
+    ("professional", "no-degree", "male"): 0.25,
+    ("professional", "no-degree", "female"): 0.18,
+}
+
+#: age-bracket distribution (executives skew older — pattern B).
+_AGE_RATE = {
+    "executive": {"20-39": 0.40, "40-59": 0.48, "60-65": 0.12},
+    "default": {"20-39": 0.45, "40-59": 0.45, "60-65": 0.10},
+}
+
+#: income adjustment at 60-65: non-executives rarely stay above 50K,
+#: executives mostly do (males) — but female senior executives in this
+#: population do not (pattern B's flip back at level 3).
+_SENIOR_EXEC_RATE = {"male": 0.85, "female": 0.10}
+_SENIOR_DAMPING = 0.25
+
+
+def census_taxonomy() -> Taxonomy:
+    """Occupation / age / income hierarchies (3 levels after the
+    income items are rebalanced with copies)."""
+    tree: dict = {}
+    for occupation in _OCCUPATIONS:
+        top = f"occ={occupation}"
+        tree[top] = {
+            f"{top}|edu={edu}": [
+                f"{top}|edu={edu}|sex={sex}" for sex in _SEXES
+            ]
+            for edu in ("bachelor", "no-degree")
+        }
+    for age in _AGES:
+        top = f"age={age}"
+        tree[top] = {
+            f"{top}|occ={branch}": [
+                f"{top}|occ={branch}|sex={sex}" for sex in _SEXES
+            ]
+            for branch in ("executive", "other")
+        }
+    tree[INCOME_HIGH] = None
+    tree[INCOME_LOW] = None
+    return Taxonomy.from_dict(tree)
+
+
+def _cells(scale: float):
+    """Yield (occupation, education, sex, age, income_high_count,
+    income_low_count) population cells with exact integer counts."""
+    for occupation in _OCCUPATIONS:
+        occ_total = round(_OCC_TOTALS[occupation] * scale)
+        bachelor_total = round(occ_total * _BACHELOR_RATE[occupation])
+        for education, edu_total in (
+            ("bachelor", bachelor_total),
+            ("no-degree", occ_total - bachelor_total),
+        ):
+            male_total = round(edu_total * _MALE_RATE[(occupation, education)])
+            for sex, sex_total in (
+                ("male", male_total),
+                ("female", edu_total - male_total),
+            ):
+                ages = _AGE_RATE.get(occupation, _AGE_RATE["default"])
+                remaining = sex_total
+                for index, age in enumerate(_AGES):
+                    if index == len(_AGES) - 1:
+                        age_total = remaining
+                    else:
+                        age_total = round(sex_total * ages[age])
+                        age_total = min(age_total, remaining)
+                    remaining -= age_total
+                    rate = _INCOME_RATE[(occupation, education, sex)]
+                    if age == "60-65":
+                        if occupation == "executive":
+                            rate = _SENIOR_EXEC_RATE[sex]
+                        else:
+                            rate = rate * _SENIOR_DAMPING
+                    high = round(age_total * rate)
+                    yield (
+                        occupation,
+                        education,
+                        sex,
+                        age,
+                        high,
+                        age_total - high,
+                    )
+
+
+def generate_census(scale: float = 1.0, seed: int = 11) -> TransactionDatabase:
+    """Generate the simulated CENSUS database (``scale=1.0`` -> 32,000
+    records, like the paper's extract)."""
+    taxonomy = census_taxonomy()
+    plan = BlockPlan()
+    for occupation, education, sex, age, high, low in _cells(scale):
+        occ_item = f"occ={occupation}|edu={education}|sex={sex}"
+        branch = "executive" if occupation == "executive" else "other"
+        age_item = f"age={age}|occ={branch}|sex={sex}"
+        if high > 0:
+            plan.add([occ_item, age_item, INCOME_HIGH], high)
+        if low > 0:
+            plan.add([occ_item, age_item, INCOME_LOW], low)
+    transactions = plan.materialize(random.Random(seed))
+    return TransactionDatabase(transactions, taxonomy)

@@ -1,0 +1,207 @@
+"""GROCERIES dataset simulator.
+
+The paper mines the point-of-sale log of [5] (≈9,800 baskets, 3-level
+store taxonomy).  The log itself is a store's proprietary export, so
+this module rebuilds an equivalent: a 9-department, 3-level grocery
+taxonomy, themed background shopping noise, and the flipping chains
+the paper reports in Fig. 10 planted with known signatures:
+
+* ``(canned beer, baby cosmetics)``  ``+-+``  — the beer/diapers
+  pattern: positively correlated products whose *categories* are
+  negatively correlated while the *departments* co-occur strongly;
+* ``(pork belly, salad dressing)``   ``+-+``  — Fig. 10 B (store
+  layout: move the dressing next to the meat counter);
+* ``(brown eggs, smoked fish)``      ``-+-``  — the eggs/fish
+  negative pair under positively correlated categories;
+* ``(baby cosmetics, sunflower oil)`` ``+-+`` — the cosmetics/oil
+  example from Section 5.2's prose;
+
+plus a configurable number of auto-planted chains over the remaining
+departments so pattern-count experiments (Table 4) have volume.
+
+Everything scales linearly via ``scale`` (``scale=1.0`` ≈ 9,800
+baskets like the paper).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.thresholds import Thresholds
+from repro.data.database import TransactionDatabase
+from repro.datasets.planted import BlockPlan, plant_npn_chain, plant_pnp_chain
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = [
+    "groceries_taxonomy",
+    "generate_groceries",
+    "GROCERIES_THRESHOLDS",
+    "GROCERIES_PLANTED",
+]
+
+#: Table 4 row G: (gamma, epsilon, theta1..theta3).
+GROCERIES_THRESHOLDS = Thresholds(
+    gamma=0.15, epsilon=0.10, min_support=[0.001, 0.0005, 0.0002]
+)
+
+#: The named planted chains and their signatures (level 1 -> level 3).
+GROCERIES_PLANTED: list[tuple[tuple[str, str], str]] = [
+    (("canned beer", "baby cosmetics"), "+-+"),
+    (("pork belly", "salad dressing"), "+-+"),
+    (("brown eggs", "smoked fish"), "-+-"),
+    (("baby cosmetics", "sunflower oil"), "+-+"),
+]
+
+_CATALOG: dict[str, dict[str, list[str]]] = {
+    "drinks": {
+        "beer": ["canned beer", "bottled beer"],
+        "soft drinks": ["soda", "bottled water"],
+        "coffee": ["ground coffee", "instant coffee"],
+    },
+    "non-food": {
+        "cosmetics": ["baby cosmetics", "hand soap"],
+        "cleaning": ["detergent", "napkins"],
+        "pet care": ["cat food", "dog food"],
+    },
+    "pantry": {
+        "oils": ["sunflower oil", "olive oil"],
+        "baking": ["flour", "sugar"],
+        "canned goods": ["canned vegetables", "canned soup"],
+    },
+    "fresh produce": {
+        "vegetables": ["root vegetables", "salad greens"],
+        "fruit": ["tropical fruit", "citrus fruit"],
+        "eggs": ["brown eggs", "white eggs"],
+    },
+    "meat and fish": {
+        "pork": ["pork belly", "pork chops"],
+        "beef": ["beef steak", "ground beef"],
+        "fish": ["smoked fish", "fresh fish"],
+    },
+    "delicatessen": {
+        "dressings": ["salad dressing", "mayonnaise"],
+        "cheese": ["soft cheese", "hard cheese"],
+        "prepared food": ["sandwiches", "ready salads"],
+    },
+    "dairy": {
+        "milk": ["whole milk", "low-fat milk"],
+        "yogurt": ["fruit yogurt", "plain yogurt"],
+        "butter": ["butter block", "margarine"],
+    },
+    "bakery": {
+        "bread": ["white bread", "rye bread"],
+        "pastry": ["croissant", "muffin"],
+    },
+    "snacks": {
+        "sweets": ["chocolate", "candy bar"],
+        "salty snacks": ["chips", "crackers"],
+    },
+    "frozen": {
+        "frozen meals": ["frozen pizza", "frozen lasagna"],
+        "frozen vegetables": ["frozen peas", "frozen spinach"],
+    },
+    "household": {
+        "dishwashing": ["dish soap", "dish brush"],
+        "laundry": ["laundry powder", "fabric softener"],
+    },
+    "garden": {
+        "soil": ["garden soil", "fertilizer"],
+        "garden tools": ["shovel", "pruners"],
+    },
+    "stationery": {
+        "paper": ["notebook", "printer paper"],
+        "writing": ["pens", "markers"],
+    },
+}
+
+#: Auto-planted extra chains: (leaf_x, leaf_y, signature).  Every
+#: department hosts at most one chain so the recipes' sibling/cousin
+#: blocks never collide.
+_EXTRA_CHAINS: list[tuple[str, str, str]] = [
+    ("whole milk", "white bread", "+-+"),
+    ("chocolate", "sugar", "-+-"),
+    ("frozen pizza", "dish soap", "+-+"),
+    ("garden soil", "notebook", "-+-"),
+]
+
+
+def groceries_taxonomy() -> Taxonomy:
+    """The 3-level store hierarchy (9 departments, 25 categories,
+    50 products)."""
+    return Taxonomy.from_dict(_CATALOG)
+
+
+def _noise_blocks(
+    plan: BlockPlan,
+    rng: random.Random,
+    n_baskets: int,
+    protected: set[str],
+) -> None:
+    """Themed background shopping: baskets drawn inside one department
+    (occasionally spilling into an affine department), excluding the
+    protected pattern leaves.
+
+    The (fresh produce, meat and fish) department pair is kept out of
+    the affinity graph: the eggs/fish chain needs those departments to
+    stay negatively correlated at level 1.
+    """
+    affinity = {
+        "drinks": "snacks",
+        "snacks": "drinks",
+        "bakery": "dairy",
+        "dairy": "bakery",
+        "pantry": "non-food",
+        "non-food": "pantry",
+        "fresh produce": "dairy",
+        "meat and fish": "delicatessen",
+        "delicatessen": "meat and fish",
+    }
+    pool: dict[str, list[str]] = {}
+    for department, categories in _CATALOG.items():
+        items = [
+            leaf
+            for leaves in categories.values()
+            for leaf in leaves
+            if leaf not in protected
+        ]
+        pool[department] = items
+    departments = sorted(pool)
+    weights = [len(pool[d]) for d in departments]
+    for _ in range(n_baskets):
+        department = rng.choices(departments, weights=weights)[0]
+        size = 1 + min(rng.getrandbits(2), 2)  # 1-3 items
+        basket = rng.sample(pool[department], min(size, len(pool[department])))
+        if rng.random() < 0.15:
+            other = affinity.get(department)
+            if other:
+                basket.append(rng.choice(pool[other]))
+        plan.add(basket, 1)
+
+
+def generate_groceries(
+    scale: float = 1.0, seed: int = 5, extra_chains: int = 4
+) -> TransactionDatabase:
+    """Generate the simulated GROCERIES database.
+
+    ``scale=1.0`` yields roughly the paper's dataset size (~10^4
+    baskets); block counts and noise scale together so the planted
+    signatures are scale-invariant.  ``extra_chains`` (0..6) controls
+    the volume of auto-planted chains beyond the four named ones.
+    """
+    taxonomy = groceries_taxonomy()
+    rng = random.Random(seed)
+    base = max(1, round(10 * scale))
+    plan = BlockPlan()
+    chains = [(x, y, sig) for (x, y), sig in GROCERIES_PLANTED]
+    chains += [
+        (x, y, sig) for x, y, sig in _EXTRA_CHAINS[: max(0, extra_chains)]
+    ]
+    avoid = frozenset(name for x, y, _sig in chains for name in (x, y))
+    for leaf_x, leaf_y, signature in chains:
+        if signature == "+-+":
+            plant_pnp_chain(plan, taxonomy, leaf_x, leaf_y, base=base, avoid=avoid)
+        else:
+            plant_npn_chain(plan, taxonomy, leaf_x, leaf_y, base=base, avoid=avoid)
+    _noise_blocks(plan, rng, round(2500 * scale), set(avoid))
+    transactions = plan.materialize(rng)
+    return TransactionDatabase(transactions, taxonomy)

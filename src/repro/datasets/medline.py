@@ -1,0 +1,217 @@
+"""MEDLINE dataset simulator.
+
+The paper mines 640,000 MEDLINE 2010 citations, each annotated with
+MeSH topics, restricted to the top three levels of the MeSH tree.
+MEDLINE baseline dumps and the 2010 MeSH tree are access-gated bulk
+downloads, so this module rebuilds an equivalent workload: a wide,
+shallow MeSH-like hierarchy (12 top categories, 160 leaf topics),
+multi-topic "citations", themed research noise, and the Fig. 12
+patterns planted with known signatures:
+
+* ``(withdrawal syndrome, temperance)``  ``- + -`` — substance-related
+  disorders and temperance are studied together (mid-level positive),
+  but the specific withdrawal-syndrome/temperance combination is
+  underrepresented (leaf negative), as is the pair of their top
+  categories;
+* ``(biofeedback, behavior therapy)``    ``+ - +`` — two "unrelated"
+  mid-level areas (psychophysiology / psychotherapy) whose specific
+  sub-topics are in fact studied together.
+
+``scale=1.0`` generates ≈64K citations (1/10th of the paper's corpus,
+a documented scaling); ``scale=10`` reaches the full 640K.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.thresholds import Thresholds
+from repro.data.database import TransactionDatabase
+from repro.datasets.planted import BlockPlan, plant_npn_chain, plant_pnp_chain
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = [
+    "medline_taxonomy",
+    "generate_medline",
+    "MEDLINE_THRESHOLDS",
+    "MEDLINE_PLANTED",
+]
+
+#: Table 4 row M: (gamma, epsilon, theta1..theta3).
+MEDLINE_THRESHOLDS = Thresholds(
+    gamma=0.40, epsilon=0.10, min_support=[0.001, 0.0005, 0.0001]
+)
+
+#: Planted chains (level-1 -> level-3 signatures).
+MEDLINE_PLANTED: list[tuple[tuple[str, str], str]] = [
+    (("withdrawal syndrome", "temperance"), "-+-"),
+    (("biofeedback", "behavior therapy"), "+-+"),
+]
+
+#: MeSH-like top categories (paper: 16 MeSH branches; we keep 12).
+_GENERIC_CATEGORIES = [
+    "anatomy",
+    "organisms",
+    "diseases",
+    "chemicals and drugs",
+    "analytical techniques",
+    "health care",
+    "biological sciences",
+    "information science",
+    "anthropology",
+    "technology and food",
+]
+
+
+def _mesh_tree() -> dict:
+    """The full nested hierarchy, with the pattern-bearing branches
+    spelled out and generic branches generated."""
+    tree: dict = {
+        "mental disorders": {
+            "substance-related disorders": [
+                "withdrawal syndrome",
+                "alcohol-related disorders",
+                "opioid dependence",
+                "drug overdose",
+            ],
+            "mood disorders": [
+                "major depression",
+                "bipolar disorder",
+                "dysthymia",
+                "seasonal affective disorder",
+            ],
+        },
+        "human activities": {
+            "health behavior": [
+                "temperance",
+                "diet habits",
+                "exercise",
+                "smoking cessation",
+            ],
+            "leisure activities": [
+                "sports",
+                "travel",
+                "gardening activity",
+                "reading activity",
+            ],
+        },
+        "psychological phenomena": {
+            "psychophysiology": [
+                "biofeedback",
+                "arousal",
+                "sleep physiology",
+                "stress physiology",
+            ],
+            "cognition": [
+                "memory",
+                "attention",
+                "decision making",
+                "problem solving",
+            ],
+        },
+        "behavioral disciplines": {
+            "psychotherapy": [
+                "behavior therapy",
+                "cognitive therapy",
+                "family therapy",
+                "psychoanalysis",
+            ],
+            "behavioral research": [
+                "ethology",
+                "psychometrics",
+                "survey methods",
+                "case studies",
+            ],
+        },
+    }
+    for category in _GENERIC_CATEGORIES[: 12 - len(tree)]:
+        tree[category] = {
+            f"{category} / branch {b}": [
+                f"{category} topic {b}.{t}" for t in range(4)
+            ]
+            for b in range(4)
+        }
+    return tree
+
+
+def medline_taxonomy() -> Taxonomy:
+    """The 3-level MeSH-like topic hierarchy (12 x 4ish x 4)."""
+    return Taxonomy.from_dict(_mesh_tree())
+
+
+def _noise_blocks(
+    plan: BlockPlan,
+    rng: random.Random,
+    n_citations: int,
+    protected_categories: set[str],
+    taxonomy: Taxonomy,
+) -> None:
+    """Themed citations: topics drawn within one subcategory, with an
+    occasional cross-category topic.  Subcategories on planted chains
+    are skipped entirely so the recipes stay exact."""
+    pools: list[list[str]] = []
+    for node in taxonomy.iter_nodes():
+        if node.level != 2 or node.is_copy or node.name in protected_categories:
+            continue
+        leaves = [
+            taxonomy.name_of(leaf) for leaf in taxonomy.item_leaves(node.node_id)
+        ]
+        pools.append(leaves)
+    for _ in range(n_citations):
+        pool = rng.choice(pools)
+        size = 1 + min(rng.getrandbits(2), len(pool) - 1)
+        citation = rng.sample(pool, size)
+        if rng.random() < 0.2:
+            citation.append(rng.choice(rng.choice(pools)))
+        plan.add(citation, 1)
+
+
+def generate_medline(
+    scale: float = 1.0, seed: int = 17, extra_chains: int = 4
+) -> TransactionDatabase:
+    """Generate the simulated MEDLINE database.
+
+    ``scale=1.0`` ≈ 64K citations (1/10th of the paper's 640K corpus —
+    the documented scaling for pure-Python runtimes); ``scale=10.0``
+    reproduces the full size.  ``extra_chains`` (0..4) plants
+    additional chains on the generic MeSH branches, one department
+    pair each.
+    """
+    taxonomy = medline_taxonomy()
+    rng = random.Random(seed)
+    base = max(1, round(48 * scale))
+    plan = BlockPlan()
+    chains: list[tuple[str, str, str]] = [
+        (x, y, sig) for (x, y), sig in MEDLINE_PLANTED
+    ]
+    included_generic = _GENERIC_CATEGORIES[: 12 - 4]  # the 8 in the tree
+    half = len(included_generic) // 2
+    for index in range(min(max(0, extra_chains), half)):
+        category_x = included_generic[index]
+        category_y = included_generic[index + half]
+        signature = "+-+" if index % 2 == 0 else "-+-"
+        chains.append(
+            (
+                f"{category_x} topic 0.0",
+                f"{category_y} topic 0.1",
+                signature,
+            )
+        )
+    avoid = frozenset(name for x, y, _sig in chains for name in (x, y))
+    protected_categories: set[str] = set()
+    for leaf_x, leaf_y, signature in chains:
+        for name in (leaf_x, leaf_y):
+            node = taxonomy.node_by_name(name)
+            protected_categories.add(taxonomy.node(node.parent_id).name)
+        if signature == "+-+":
+            plant_pnp_chain(
+                plan, taxonomy, leaf_x, leaf_y, base=base, avoid=avoid,
+                cousin_blocks=90,
+            )
+        else:
+            plant_npn_chain(plan, taxonomy, leaf_x, leaf_y, base=base, avoid=avoid)
+    _noise_blocks(
+        plan, rng, round(12_000 * scale), protected_categories, taxonomy
+    )
+    transactions = plan.materialize(rng)
+    return TransactionDatabase(transactions, taxonomy)

@@ -1,0 +1,247 @@
+"""Planting flipping chains into generated datasets.
+
+The paper's qualitative results (Figs. 10-12, Table 4) come from
+proprietary or access-gated datasets (a store's point-of-sale log, a
+census extract, MEDLINE).  Our simulators rebuild them as *transaction
+block plans*: lists of ``(template, count)`` pairs where a template is
+a list of item names emitted ``count`` times (plus noise blocks).  The
+correlations that make a chain flip are controlled by the relative
+block counts:
+
+* joint blocks (both pattern items together) raise the leaf-level
+  correlation;
+* sibling-only blocks (other children of one parent, without the
+  other side) inflate the parents' supports and depress the mid-level
+  correlation;
+* cousin blocks (items under both grandparents but other branches,
+  together) raise the top-level correlation again.
+
+:func:`measure_chain` recomputes the per-level correlation of a pair
+directly from the database, so dataset tests can assert the planted
+signature actually holds rather than trusting the arithmetic.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.labels import Label
+from repro.core.measures import Measure, get_measure
+from repro.data.database import TransactionDatabase
+from repro.data.vertical import VerticalIndex
+from repro.errors import ConfigError
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = [
+    "BlockPlan",
+    "measure_chain",
+    "chain_signature",
+    "plant_pnp_chain",
+    "plant_npn_chain",
+]
+
+
+@dataclass
+class BlockPlan:
+    """A dataset described as repeated transaction templates.
+
+    >>> plan = BlockPlan()
+    >>> plan.add(["canned beer", "baby cosmetics"], 30)
+    >>> transactions = plan.materialize(random.Random(1))
+    >>> len(transactions)
+    30
+    """
+
+    blocks: list[tuple[list[str], int]] = field(default_factory=list)
+
+    def add(self, template: Sequence[str], count: int) -> "BlockPlan":
+        """Emit ``template`` ``count`` times; returns self for chaining."""
+        if count < 0:
+            raise ConfigError(f"block count must be >= 0, got {count}")
+        if not template:
+            raise ConfigError("block template must contain items")
+        self.blocks.append((list(template), count))
+        return self
+
+    @property
+    def n_transactions(self) -> int:
+        return sum(count for _, count in self.blocks)
+
+    def materialize(self, rng: random.Random | None = None) -> list[list[str]]:
+        """Expand all blocks and shuffle transaction order."""
+        transactions: list[list[str]] = []
+        for template, count in self.blocks:
+            for _ in range(count):
+                transactions.append(list(template))
+        if rng is not None:
+            rng.shuffle(transactions)
+        return transactions
+
+
+def _relatives(
+    taxonomy: Taxonomy,
+    leaf_name: str,
+    avoid: frozenset[str] = frozenset(),
+) -> tuple[str, str]:
+    """``(sibling, cousin)`` leaf names for a level-3 item: a different
+    leaf under the same category, and a leaf under the same department
+    but a different category.  Names in ``avoid`` (typically the other
+    planted pattern leaves) are skipped so recipes never inflate each
+    other's supports."""
+    leaf = taxonomy.node_by_name(leaf_name)
+    category = taxonomy.node(leaf.parent_id)
+    department = taxonomy.node(category.parent_id)
+    sibling = None
+    for child_id in category.children_ids:
+        child = taxonomy.node(child_id)
+        if child.name != leaf_name and not child.is_copy and child.name not in avoid:
+            sibling = child.name
+            break
+    cousin = None
+    for cat_id in department.children_ids:
+        if cat_id == category.node_id:
+            continue
+        other = taxonomy.node(cat_id)
+        if other.is_copy or other.is_leaf:
+            continue
+        for grandchild_id in other.children_ids:
+            grandchild = taxonomy.node(grandchild_id)
+            if not grandchild.is_copy and grandchild.name not in avoid:
+                cousin = grandchild.name
+                break
+        if cousin is not None:
+            break
+    if sibling is None or cousin is None:
+        raise ConfigError(
+            f"planting around {leaf_name!r} needs a free sibling leaf and "
+            "a free cousin leaf under the same department"
+        )
+    return sibling, cousin
+
+
+def plant_pnp_chain(
+    plan: BlockPlan,
+    taxonomy: Taxonomy,
+    leaf_x: str,
+    leaf_y: str,
+    base: int = 10,
+    avoid: frozenset[str] = frozenset(),
+    cousin_blocks: int = 35,
+) -> None:
+    """Plant a ``+ - +`` chain (positive at level 1 and at the leaves,
+    negative in between) for two level-3 items of different
+    departments — the beer/diapers shape of the paper's Fig. 10 A.
+
+    Blocks added (scaled by ``base``):
+
+    * joint leaf purchases  -> strong leaf correlation,
+    * small solo purchases of each leaf,
+    * heavy solo purchases of a *sibling* product  -> parents frequent
+      but rarely together (mid-level negative),
+    * heavy joint purchases of *cousin* products  -> departments
+      strongly co-occur (top-level positive).  Raise ``cousin_blocks``
+      when the dataset's gamma is strict (e.g. MEDLINE's 0.40).
+    """
+    sibling_x, cousin_x = _relatives(taxonomy, leaf_x, avoid)
+    sibling_y, cousin_y = _relatives(taxonomy, leaf_y, avoid)
+    plan.add([leaf_x, leaf_y], 3 * base)
+    plan.add([leaf_x], base)
+    plan.add([leaf_y], base)
+    plan.add([sibling_x], 45 * base)
+    plan.add([sibling_y], 45 * base)
+    plan.add([cousin_x, cousin_y], cousin_blocks * base)
+
+
+def plant_npn_chain(
+    plan: BlockPlan,
+    taxonomy: Taxonomy,
+    leaf_x: str,
+    leaf_y: str,
+    base: int = 10,
+    avoid: frozenset[str] = frozenset(),
+) -> None:
+    """Plant a ``- + -`` chain (negative at level 1 and at the leaves,
+    positive in between) — the eggs/fish shape of the paper's
+    Groceries discussion.
+
+    The mid-level positive comes from sibling products bought
+    together; the top-level negative from heavy *cousin* traffic that
+    inflates both departments without joining them.
+    """
+    sibling_x, cousin_x = _relatives(taxonomy, leaf_x, avoid)
+    sibling_y, cousin_y = _relatives(taxonomy, leaf_y, avoid)
+    joint = max(3, round(0.3 * base))
+    solo = 4 * base + 7 * joint  # keeps joint/solo below epsilon at any scale
+    plan.add([leaf_x, leaf_y], joint)
+    plan.add([leaf_x], solo)
+    plan.add([leaf_y], solo)
+    plan.add([sibling_x, sibling_y], 5 * base)
+    plan.add([cousin_x], 60 * base)
+    plan.add([cousin_y], 60 * base)
+
+
+def measure_chain(
+    database: TransactionDatabase,
+    item_names: Sequence[str],
+    measure: str | Measure = "kulczynski",
+    index: VerticalIndex | None = None,
+) -> list[tuple[int, int, float]]:
+    """Per-level ``(level, support, correlation)`` of an item tuple.
+
+    Items are leaf names; at each level the tuple is generalized and
+    the chosen measure computed from exact supports.  Raises
+    :class:`ConfigError` if the items collapse onto a shared
+    generalization (no chain exists then).
+    """
+    measure = get_measure(measure)
+    taxonomy = database.taxonomy
+    if index is None:
+        index = VerticalIndex(database)
+    items = [database.item_id(name) for name in item_names]
+    k = len(items)
+    if k < 2:
+        raise ConfigError("a chain needs at least two items")
+    chain: list[tuple[int, int, float]] = []
+    for level in range(1, taxonomy.height + 1):
+        mapping = taxonomy.item_ancestor_map(level)
+        nodes = tuple(sorted({mapping[item] for item in items}))
+        if len(nodes) != k:
+            raise ConfigError(
+                f"items {tuple(item_names)} share a level-{level} ancestor"
+            )
+        support = index.support(level, nodes)
+        node_supports = [index.support_of_node(level, node) for node in nodes]
+        chain.append((level, support, measure(support, node_supports)))
+    return chain
+
+
+def chain_signature(
+    database: TransactionDatabase,
+    item_names: Sequence[str],
+    gamma: float,
+    epsilon: float,
+    min_counts: Sequence[int],
+    measure: str | Measure = "kulczynski",
+    index: VerticalIndex | None = None,
+) -> str:
+    """Label trajectory (e.g. ``"+-+"``) of an item tuple under the
+    given thresholds — the planted-signature check used by dataset
+    tests and examples."""
+    chain = measure_chain(database, item_names, measure=measure, index=index)
+    if len(min_counts) != len(chain):
+        raise ConfigError(
+            f"need {len(chain)} per-level min counts, got {len(min_counts)}"
+        )
+    symbols = []
+    for (level, support, correlation), theta in zip(chain, min_counts):
+        if support < theta:
+            symbols.append(Label.INFREQUENT.symbol)
+        elif correlation >= gamma:
+            symbols.append(Label.POSITIVE.symbol)
+        elif correlation <= epsilon:
+            symbols.append(Label.NEGATIVE.symbol)
+        else:
+            symbols.append(Label.NON_CORRELATED.symbol)
+    return "".join(symbols)

@@ -1,0 +1,99 @@
+"""The paper's worked examples as ready-made datasets.
+
+* :func:`example3_database` — the ten-transaction toy of Fig. 4 with
+  its three-level taxonomy.  With γ=0.6 and ε=0.35 exactly one
+  flipping pattern exists: ``{a11, b11}`` whose chain is
+  positive (level 1: {a,b}) → negative (level 2: {a1,b1}) →
+  positive (level 3: {a11,b11}) — Fig. 5.
+* :func:`table1_rows` — the support configurations of Table 1,
+  demonstrating that expectation-based correlation flips its verdict
+  with the total transaction count N while Kulc does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.database import TransactionDatabase
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = [
+    "example3_taxonomy",
+    "example3_transactions",
+    "example3_database",
+    "EXAMPLE3_GAMMA",
+    "EXAMPLE3_EPSILON",
+    "Table1Row",
+    "table1_rows",
+]
+
+#: Correlation thresholds used in the paper's Example 3.
+EXAMPLE3_GAMMA = 0.6
+EXAMPLE3_EPSILON = 0.35
+
+
+def example3_taxonomy() -> Taxonomy:
+    """The taxonomy of Fig. 4: two categories, two subcategories each,
+    two items per subcategory."""
+    return Taxonomy.from_dict(
+        {
+            "a": {
+                "a1": ["a11", "a12"],
+                "a2": ["a21", "a22"],
+            },
+            "b": {
+                "b1": ["b11", "b12"],
+                "b2": ["b21", "b22"],
+            },
+        }
+    )
+
+
+def example3_transactions() -> list[list[str]]:
+    """The ten transactions D1..D10 of Fig. 4, verbatim."""
+    return [
+        ["a11", "a22", "b11", "b22"],  # D1
+        ["a11", "a21", "b11"],         # D2
+        ["a12", "a21"],                # D3
+        ["a12", "a22", "b21"],         # D4
+        ["a12", "a22", "b21"],         # D5
+        ["a12", "a21", "b22"],         # D6
+        ["a21", "b12"],                # D7
+        ["b12", "b21", "b22"],         # D8
+        ["b12", "b21"],                # D9
+        ["a22", "b12", "b22"],         # D10
+    ]
+
+
+def example3_database() -> TransactionDatabase:
+    """Fig. 4 data bound to its taxonomy."""
+    return TransactionDatabase(example3_transactions(), example3_taxonomy())
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    label: str
+    database: str
+    sup_first: int
+    sup_second: int
+    sup_pair: int
+    n_transactions: int
+    expected_paper_sign: str
+    kulc_paper: float
+
+
+def table1_rows() -> list[Table1Row]:
+    """All four configurations of Table 1.
+
+    ``expected_paper_sign`` is the verdict of the expectation-based
+    measure reported in the paper; the Kulc value is constant per item
+    pair regardless of N — which is the table's whole point.
+    """
+    return [
+        Table1Row("AB", "DB1", 1000, 1000, 400, 20_000, "positive", 0.40),
+        Table1Row("AB", "DB2", 1000, 1000, 400, 2_000, "negative", 0.40),
+        Table1Row("CD", "DB1", 200, 200, 4, 20_000, "positive", 0.02),
+        Table1Row("CD", "DB2", 200, 200, 4, 2_000, "negative", 0.02),
+    ]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch one type to handle every
+library-level failure while still letting programming errors surface
+as their builtin types.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TaxonomyError",
+    "DataError",
+    "ConfigError",
+    "MiningError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TaxonomyError(ReproError):
+    """Raised for structurally invalid taxonomies (cycles, orphans,
+    duplicate names, missing nodes, bad rebalancing requests)."""
+
+
+class DataError(ReproError):
+    """Raised for invalid transaction data (unknown items, empty
+    databases, malformed input files)."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid mining configuration (threshold ranges,
+    unknown measures, inconsistent support profiles)."""
+
+
+class MiningError(ReproError):
+    """Raised when a mining run cannot proceed (e.g. resource caps
+    exceeded in a deliberately bounded run)."""

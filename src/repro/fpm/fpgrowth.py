@@ -1,0 +1,123 @@
+"""FP-growth: frequent-itemset mining without candidate generation.
+
+The recursion of Han, Pei & Yin (SIGMOD 2000): walk the f-list of the
+current tree bottom-up (least frequent first); each item ``a`` yields
+the frequent itemset ``suffix + {a}``, and the conditional tree of
+``a`` (built from its prefix paths) is mined recursively with the
+extended suffix.  A tree that degenerates to a single path short-
+circuits the recursion: every combination of the path's nodes is
+frequent with the count of its deepest member.
+
+This is the strongest frequent-itemset substrate the paper's related
+work offers, and the one the post-hoc pipeline
+(:mod:`repro.fpm.posthoc`) builds on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigError
+from repro.fpm.fptree import FPTree
+
+__all__ = ["fp_growth", "level_frequent_itemsets"]
+
+
+def fp_growth(
+    transactions: Iterable[Iterable[int]],
+    min_count: int,
+    *,
+    max_k: int | None = None,
+) -> dict[tuple[int, ...], int]:
+    """All frequent itemsets of ``transactions`` with their supports.
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of iterables of integer item ids (duplicates within a
+        transaction are collapsed).
+    min_count:
+        Absolute minimum support (>= 1).
+    max_k:
+        Optional cap on itemset size; ``None`` mines all sizes.
+
+    Returns
+    -------
+    dict mapping canonical (sorted-tuple) itemsets, *including
+    1-itemsets*, to their support counts.
+    """
+    if max_k is not None and max_k < 1:
+        raise ConfigError(f"max_k must be >= 1, got {max_k}")
+    tree = FPTree.from_transactions(transactions, min_count)
+    results: dict[tuple[int, ...], int] = {}
+    _mine(tree, (), max_k, results)
+    return results
+
+
+def _mine(
+    tree: FPTree,
+    suffix: tuple[int, ...],
+    max_k: int | None,
+    results: dict[tuple[int, ...], int],
+) -> None:
+    """Recursive FP-growth step: emit ``suffix``-extensions of every
+    frequent item in ``tree``."""
+    if max_k is not None and len(suffix) >= max_k:
+        return
+    path = tree.single_path()
+    if path is not None:
+        _mine_single_path(path, suffix, max_k, results)
+        return
+    # bottom-up over the f-list: least frequent suffix item first
+    for item in reversed(tree.f_list):
+        support = tree.item_counts[item]
+        itemset = tuple(sorted(suffix + (item,)))
+        results[itemset] = support
+        if max_k is not None and len(itemset) >= max_k:
+            continue
+        conditional = tree.conditional_tree(item)
+        if not conditional.is_empty:
+            _mine(conditional, suffix + (item,), max_k, results)
+
+
+def _mine_single_path(
+    path: list,
+    suffix: tuple[int, ...],
+    max_k: int | None,
+    results: dict[tuple[int, ...], int],
+) -> None:
+    """Single-path shortcut: every non-empty combination of the path
+    nodes is frequent, supported by its deepest (least counted)
+    member."""
+    budget = len(path) if max_k is None else min(len(path), max_k - len(suffix))
+    for size in range(1, budget + 1):
+        for combo in itertools.combinations(path, size):
+            support = min(node.count for node in combo)
+            itemset = tuple(
+                sorted(suffix + tuple(node.item for node in combo))
+            )
+            results[itemset] = support
+
+
+def level_frequent_itemsets(
+    database: TransactionDatabase,
+    level: int,
+    min_count: int,
+    *,
+    max_k: int | None = None,
+) -> dict[tuple[int, ...], int]:
+    """All frequent (h,k)-itemsets of one taxonomy level.
+
+    Projects every transaction to ``level`` (items replaced by their
+    generalizations, duplicates collapsing — the paper's Example 3)
+    and runs FP-growth on the projection.
+    """
+    height = database.taxonomy.height
+    if not 1 <= level <= height:
+        raise ConfigError(
+            f"level must be in [1, {height}], got {level}"
+        )
+    projection = database.project_to_level(level)
+    return fp_growth(projection, min_count, max_k=max_k)

@@ -1,0 +1,199 @@
+"""The FP-tree data structure (Han, Pei & Yin, SIGMOD 2000).
+
+An FP-tree compresses a transaction database into a prefix tree whose
+paths share common frequent-item prefixes.  Items inside each
+transaction are reordered by *descending global support* (the f-list)
+so that frequent prefixes merge maximally; a header table threads all
+nodes of each item into a linked list, which is what conditional
+pattern bases are read from.
+
+The tree stores only items that are frequent on their own — an item
+below the minimum count can never appear in a frequent itemset, so it
+is dropped during insertion (the classical first pruning of
+FP-growth).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["FPNode", "FPTree"]
+
+
+class FPNode:
+    """One prefix-tree node: an item with the count of transactions
+    whose reordered prefix ends here or passes through."""
+
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: int | None, parent: "FPNode | None") -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, FPNode] = {}
+        self.link: FPNode | None = None  # next node with the same item
+
+    def prefix_path(self) -> list[int]:
+        """Items on the path from this node's parent up to the root
+        (the node's *conditional prefix*), bottom-up order."""
+        path: list[int] = []
+        node = self.parent
+        while node is not None and node.item is not None:
+            path.append(node.item)
+            node = node.parent
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"FPNode(item={self.item}, count={self.count})"
+
+
+class FPTree:
+    """An FP-tree over integer item ids.
+
+    Build one with :meth:`from_transactions` (plain transactions) or
+    :meth:`from_weighted` (``(items, count)`` pairs — used for
+    conditional trees, where each prefix path carries the count of the
+    suffix node it was read from).
+    """
+
+    def __init__(self, min_count: int) -> None:
+        if min_count < 1:
+            raise ConfigError(f"min_count must be >= 1, got {min_count}")
+        self.min_count = min_count
+        self.root = FPNode(item=None, parent=None)
+        #: item -> support over the *inserted* (weighted) transactions
+        self.item_counts: dict[int, int] = {}
+        #: item -> head of the node-link chain
+        self.header: dict[int, FPNode] = {}
+        self._tails: dict[int, FPNode] = {}
+        #: f-list: frequent items by descending support (ties: item id)
+        self.f_list: list[int] = []
+        self._rank: dict[int, int] = {}
+        self.n_nodes = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_transactions(
+        cls, transactions: Iterable[Iterable[int]], min_count: int
+    ) -> "FPTree":
+        """Two-pass build: count single items, then insert each
+        transaction with its infrequent items dropped and the rest in
+        f-list order."""
+        materialized = [tuple(t) for t in transactions]
+        return cls.from_weighted(
+            ((items, 1) for items in materialized), min_count
+        )
+
+    @classmethod
+    def from_weighted(
+        cls,
+        weighted: Iterable[tuple[Sequence[int], int]],
+        min_count: int,
+    ) -> "FPTree":
+        """Build from ``(items, count)`` pairs (conditional trees)."""
+        tree = cls(min_count)
+        pairs = [(tuple(items), count) for items, count in weighted]
+        counts: dict[int, int] = {}
+        for items, count in pairs:
+            for item in set(items):
+                counts[item] = counts.get(item, 0) + count
+        tree.item_counts = {
+            item: count for item, count in counts.items() if count >= min_count
+        }
+        tree.f_list = sorted(
+            tree.item_counts,
+            key=lambda item: (-tree.item_counts[item], item),
+        )
+        tree._rank = {item: rank for rank, item in enumerate(tree.f_list)}
+        for items, count in pairs:
+            tree._insert(items, count)
+        return tree
+
+    def _insert(self, items: Sequence[int], count: int) -> None:
+        """Insert one (deduplicated, f-list-ordered) transaction."""
+        rank = self._rank
+        ordered = sorted(
+            {item for item in items if item in rank},
+            key=rank.__getitem__,
+        )
+        node = self.root
+        for item in ordered:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item=item, parent=node)
+                node.children[item] = child
+                self.n_nodes += 1
+                self._link(child)
+            child.count += count
+            node = child
+
+    def _link(self, node: FPNode) -> None:
+        """Append a new node to its item's header chain."""
+        item = node.item
+        assert item is not None
+        tail = self._tails.get(item)
+        if tail is None:
+            self.header[item] = node
+        else:
+            tail.link = node
+        self._tails[item] = node
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+    def nodes_of(self, item: int) -> list[FPNode]:
+        """All tree nodes holding ``item`` (via the header chain)."""
+        nodes = []
+        node = self.header.get(item)
+        while node is not None:
+            nodes.append(node)
+            node = node.link
+        return nodes
+
+    def conditional_pattern_base(
+        self, item: int
+    ) -> list[tuple[list[int], int]]:
+        """The prefix paths of every ``item`` node, each weighted by
+        that node's count — the input of the item's conditional tree."""
+        return [
+            (node.prefix_path(), node.count)
+            for node in self.nodes_of(item)
+            if node.parent is not None and node.parent.item is not None
+        ]
+
+    def conditional_tree(self, item: int) -> "FPTree":
+        """The FP-tree of ``item``'s conditional pattern base."""
+        return FPTree.from_weighted(
+            self.conditional_pattern_base(item), self.min_count
+        )
+
+    def single_path(self) -> list[FPNode] | None:
+        """The tree's only path, if it has no branching; else None.
+
+        A single-path tree ends the recursion: every combination of
+        its nodes is frequent with the count of its deepest member.
+        """
+        path: list[FPNode] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            (node,) = node.children.values()
+            path.append(node)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FPTree(min_count={self.min_count}, items={len(self.f_list)}, "
+            f"nodes={self.n_nodes})"
+        )

@@ -1,0 +1,61 @@
+"""Related-work baselines the paper contrasts Flipper against.
+
+Section 6 of the paper positions flipping-correlation mining against
+three families of prior art, all reimplemented here from their
+original descriptions so the benches and examples can compare them on
+identical substrates:
+
+* :mod:`repro.related.rules` — classical association rules from
+  frequent itemsets (Agrawal, Imieliński & Swami, SIGMOD 1993 [1]);
+* :mod:`repro.related.cumulate` — *generalized* association rules
+  over transactions extended with taxonomy ancestors (Srikant &
+  Agrawal, VLDB 1995 [17], the "Cumulate" algorithm), plus the
+  R-interesting pruning of the same paper in
+  :mod:`repro.related.interest`;
+* :mod:`repro.related.surprisingness` — ranking correlations by the
+  taxonomy distance between their items (Hamani & Maamri, CIIA 2009
+  [6]), the post-hoc "surprisingness" approach the introduction
+  contrasts with direct flipping mining;
+* :mod:`repro.related.multilevel` — progressive-deepening multi-level
+  frequent mining with per-level reduced supports (Han & Fu, VLDB
+  1995 [7]).
+
+None of these finds flipping patterns; that is the point.  The
+examples show what each *can* express, and the ablation bench
+measures the work they do at the paper's low-support operating point.
+"""
+
+from repro.related.cumulate import (
+    cumulate_frequent_itemsets,
+    extend_transaction,
+    mine_generalized_rules,
+)
+from repro.related.indirect import (
+    IndirectAssociation,
+    mine_indirect_associations,
+)
+from repro.related.interest import is_r_interesting, prune_uninteresting
+from repro.related.multilevel import MultiLevelResult, mine_multilevel
+from repro.related.rules import AssociationRule, generate_rules
+from repro.related.surprisingness import (
+    itemset_surprisingness,
+    rank_by_surprisingness,
+    taxonomy_distance,
+)
+
+__all__ = [
+    "AssociationRule",
+    "generate_rules",
+    "cumulate_frequent_itemsets",
+    "extend_transaction",
+    "mine_generalized_rules",
+    "is_r_interesting",
+    "prune_uninteresting",
+    "IndirectAssociation",
+    "mine_indirect_associations",
+    "MultiLevelResult",
+    "mine_multilevel",
+    "taxonomy_distance",
+    "itemset_surprisingness",
+    "rank_by_surprisingness",
+]

@@ -1,0 +1,188 @@
+"""Generalized association rules — the Cumulate algorithm.
+
+Srikant & Agrawal (VLDB 1995 [17]) mine rules *across* taxonomy
+levels by extending every transaction with the ancestors of its items
+and running Apriori over the extended transactions.  Cumulate's three
+published optimizations are implemented:
+
+1. ancestors that appear in no candidate are not added to extended
+   transactions (here: ancestors are materialized once per item and
+   the index is restricted to nodes that survive support pruning);
+2. an itemset containing both an item and one of its ancestors is
+   never counted — its support equals the subset without the
+   ancestor, so it carries no information (and the rule it would
+   produce is trivially redundant);
+3. such candidates are pruned at generation time, not after counting.
+
+The output mixes levels freely (e.g. ``{clothes, hiking boots}``),
+which is what distinguishes generalized rules from the paper's
+*level-specific* flipping correlations: Cumulate relates an item to a
+category, Flipper contrasts the correlation of siblings at each
+level.  The two are complementary; the example scripts show both.
+"""
+
+from __future__ import annotations
+
+from repro.core.itemsets import apriori_join, has_infrequent_subset
+from repro.data.database import TransactionDatabase
+from repro.errors import ConfigError
+from repro.related.rules import AssociationRule, generate_rules
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = [
+    "extend_transaction",
+    "cumulate_frequent_itemsets",
+    "mine_generalized_rules",
+]
+
+
+def extend_transaction(
+    taxonomy: Taxonomy, items: tuple[int, ...]
+) -> frozenset[int]:
+    """One transaction extended with every (real) ancestor of its
+    items.
+
+    Rebalancing copies are skipped — they stand for the leaf itself,
+    not for a semantic generalization — so the extension contains
+    each item plus its original ancestors up to level 1.
+    """
+    extended: set[int] = set()
+    for item in items:
+        for node_id in taxonomy.ancestors(item):
+            if not taxonomy.node(node_id).is_copy:
+                extended.add(node_id)
+    return frozenset(extended)
+
+
+def _ancestor_sets(
+    taxonomy: Taxonomy, nodes: set[int]
+) -> dict[int, frozenset[int]]:
+    """node -> its strict (real) ancestors, for optimization 2/3."""
+    out: dict[int, frozenset[int]] = {}
+    for node_id in nodes:
+        chain = [
+            ancestor
+            for ancestor in taxonomy.ancestors(node_id)
+            if ancestor != node_id and not taxonomy.node(ancestor).is_copy
+        ]
+        out[node_id] = frozenset(chain)
+    return out
+
+
+def _mixes_item_with_ancestor(
+    itemset: tuple[int, ...], ancestors: dict[int, frozenset[int]]
+) -> bool:
+    members = set(itemset)
+    return any(ancestors[item] & members for item in itemset)
+
+
+def cumulate_frequent_itemsets(
+    database: TransactionDatabase,
+    min_support: int | float,
+    *,
+    max_k: int | None = None,
+) -> dict[tuple[int, ...], int]:
+    """All frequent generalized itemsets (mixed taxonomy levels).
+
+    Parameters
+    ----------
+    database:
+        Transactions bound to a taxonomy.
+    min_support:
+        Absolute count (int >= 1) or fraction of N (float in (0, 1)).
+        Cumulate uses a single uniform threshold, as in [17].
+    max_k:
+        Optional cap on itemset size.
+
+    Returns
+    -------
+    Canonical itemset -> support, over original taxonomy node ids of
+    any level (items and interior nodes alike), with no itemset
+    containing both an item and its ancestor.
+    """
+    n = database.n_transactions
+    if isinstance(min_support, float):
+        if not 0.0 < min_support <= 1.0:
+            raise ConfigError(
+                f"fractional min_support must be in (0, 1], got {min_support}"
+            )
+        min_count = max(1, round(min_support * n))
+    else:
+        min_count = int(min_support)
+    if min_count < 1:
+        raise ConfigError(f"min_support must be >= 1, got {min_support}")
+    if max_k is not None and max_k < 1:
+        raise ConfigError(f"max_k must be >= 1, got {max_k}")
+
+    taxonomy = database.taxonomy
+    extended = [
+        extend_transaction(taxonomy, transaction) for transaction in database
+    ]
+
+    # vertical bitmaps over the extended transactions: node -> bitset
+    bitsets: dict[int, int] = {}
+    for row, transaction in enumerate(extended):
+        bit = 1 << row
+        for node_id in transaction:
+            bitsets[node_id] = bitsets.get(node_id, 0) | bit
+
+    frequent: dict[tuple[int, ...], int] = {}
+    frequent_nodes: set[int] = set()
+    for node_id, bits in bitsets.items():
+        support = bits.bit_count()
+        if support >= min_count:
+            frequent[(node_id,)] = support
+            frequent_nodes.add(node_id)
+    if max_k == 1 or not frequent_nodes:
+        return frequent
+
+    ancestors = _ancestor_sets(taxonomy, frequent_nodes)
+    previous: set[tuple[int, ...]] = {(node,) for node in frequent_nodes}
+    k = 2
+    while previous:
+        if max_k is not None and k > max_k:
+            break
+        candidates = []
+        for candidate in apriori_join(previous):
+            if _mixes_item_with_ancestor(candidate, ancestors):
+                continue  # optimization 2/3 of [17]
+            # every subset of an ancestor-clean itemset is itself
+            # clean, so plain Apriori subset pruning is exact here
+            if k > 2 and has_infrequent_subset(candidate, previous):
+                continue
+            candidates.append(candidate)
+        current: set[tuple[int, ...]] = set()
+        for candidate in candidates:
+            bits = bitsets[candidate[0]]
+            for node_id in candidate[1:]:
+                bits &= bitsets[node_id]
+                if not bits:
+                    break
+            support = bits.bit_count()
+            if support >= min_count:
+                frequent[candidate] = support
+                current.add(candidate)
+        previous = current
+        k += 1
+    return frequent
+
+
+def mine_generalized_rules(
+    database: TransactionDatabase,
+    min_support: int | float,
+    min_confidence: float,
+    *,
+    max_k: int | None = None,
+) -> list[AssociationRule]:
+    """Cumulate end to end: frequent generalized itemsets, then rules.
+
+    Confidence denominators need every antecedent's support; since
+    optimization 2 withholds ancestor-mixing itemsets (their support
+    is redundant), rules are generated per itemset over subsets that
+    are themselves ancestor-clean — which all subsets of an
+    ancestor-clean itemset are.
+    """
+    frequent = cumulate_frequent_itemsets(
+        database, min_support, max_k=max_k
+    )
+    return generate_rules(frequent, min_confidence)

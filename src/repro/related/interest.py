@@ -1,0 +1,148 @@
+"""R-interesting pruning of generalized rules (Srikant & Agrawal [17]).
+
+A generalized rule is redundant when its statistics are just what its
+*ancestor* rule predicts: if ``{clothes} -> {footwear}`` holds with
+confidence c, then ``{jackets} -> {footwear}`` with confidence ~c
+says nothing new.  [17] keeps a rule only if its support or
+confidence deviates from the expectation derived from an ancestor
+rule by at least a factor ``R``.
+
+Expected values follow the paper's independence-style scaling: for a
+rule whose items ``z_i`` generalize to ``ẑ_i`` in the ancestor,
+
+    E[sup]  = sup(ancestor) * prod_i  sup(z_i) / sup(ẑ_i)
+    E[conf] = conf(ancestor) * prod_{i in consequent} sup(z_i) / sup(ẑ_i)
+
+(only *strictly* generalized positions contribute a factor).
+
+This is the redundancy-oriented use of taxonomies the paper's
+Section 6 describes — it characterizes positive rules against their
+generalizations, but cannot express a *sign flip*; the example
+scripts contrast the two directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import MiningError
+from repro.related.rules import AssociationRule
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = ["is_r_interesting", "prune_uninteresting", "ancestor_rules"]
+
+
+def _is_ancestor_or_self(taxonomy: Taxonomy, general: int, special: int) -> bool:
+    return general == special or general in taxonomy.ancestors(special)
+
+
+def _match_generalization(
+    taxonomy: Taxonomy,
+    special: Sequence[int],
+    general: Sequence[int],
+) -> list[tuple[int, int]] | None:
+    """Greedy position matching of a specialized itemset side against
+    a candidate ancestor side; returns (special, general) pairs or
+    None when the sides do not correspond 1:1."""
+    if len(special) != len(general):
+        return None
+    remaining = list(general)
+    pairs: list[tuple[int, int]] = []
+    for item in special:
+        match = next(
+            (g for g in remaining if _is_ancestor_or_self(taxonomy, g, item)),
+            None,
+        )
+        if match is None:
+            return None
+        remaining.remove(match)
+        pairs.append((item, match))
+    return pairs
+
+
+def ancestor_rules(
+    taxonomy: Taxonomy,
+    rule: AssociationRule,
+    rules: Sequence[AssociationRule],
+) -> list[AssociationRule]:
+    """All rules in ``rules`` that are strict generalizations of
+    ``rule`` (each side matches 1:1 by ancestor-or-equal, with at
+    least one strict generalization)."""
+    out = []
+    for other in rules:
+        if other is rule:
+            continue
+        left = _match_generalization(
+            taxonomy, rule.antecedent, other.antecedent
+        )
+        right = _match_generalization(
+            taxonomy, rule.consequent, other.consequent
+        )
+        if left is None or right is None:
+            continue
+        if any(s != g for s, g in left + right):
+            out.append(other)
+    return out
+
+
+def is_r_interesting(
+    taxonomy: Taxonomy,
+    rule: AssociationRule,
+    ancestor: AssociationRule,
+    single_supports: Mapping[int, int],
+    r: float,
+) -> bool:
+    """Does ``rule`` deviate from ``ancestor``'s prediction by >= R?
+
+    True when either its support or its confidence is at least
+    ``r`` times the value expected from the ancestor rule.
+    """
+    if r < 1.0:
+        raise MiningError(f"interest factor R must be >= 1, got {r}")
+    left = _match_generalization(taxonomy, rule.antecedent, ancestor.antecedent)
+    right = _match_generalization(
+        taxonomy, rule.consequent, ancestor.consequent
+    )
+    if left is None or right is None:
+        raise MiningError(f"{ancestor} is not an ancestor of {rule}")
+
+    def ratio(pairs: list[tuple[int, int]]) -> float:
+        value = 1.0
+        for special, general in pairs:
+            if special == general:
+                continue
+            try:
+                value *= single_supports[special] / single_supports[general]
+            except KeyError as exc:
+                raise MiningError(
+                    f"missing single-item support for node {exc}"
+                ) from None
+        return value
+
+    expected_support = ancestor.support * ratio(left) * ratio(right)
+    expected_confidence = ancestor.confidence * ratio(right)
+    return (
+        rule.support >= r * expected_support
+        or rule.confidence >= r * expected_confidence
+    )
+
+
+def prune_uninteresting(
+    taxonomy: Taxonomy,
+    rules: Sequence[AssociationRule],
+    single_supports: Mapping[int, int],
+    r: float = 1.1,
+) -> list[AssociationRule]:
+    """Keep rules with no ancestors in the set, or R-interesting with
+    respect to every ancestor present (the conservative reading of
+    [17]'s "close ancestors" — an intermediate pruned ancestor can
+    only make the expectation *less* accurate)."""
+    kept: list[AssociationRule] = []
+    for rule in rules:
+        parents = ancestor_rules(taxonomy, rule, rules)
+        if not parents or all(
+            is_r_interesting(taxonomy, rule, parent, single_supports, r)
+            for parent in parents
+        ):
+            kept.append(rule)
+    return kept

@@ -1,0 +1,114 @@
+"""Association rules from frequent itemsets (Agrawal et al. [1]).
+
+The classical two-phase pipeline: frequent itemsets first (any miner
+— Apriori, FP-growth, Cumulate), then every split of each itemset
+into antecedent → consequent whose confidence clears the threshold.
+This is the machinery all of the paper's related work builds on, and
+its cost profile (materialize everything, filter later) is exactly
+what Flipper's direct mining avoids.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import MiningError
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = ["AssociationRule", "generate_rules"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One rule ``antecedent -> consequent`` with its statistics.
+
+    ``support`` is the absolute transaction count of the union;
+    ``confidence`` is ``sup(union) / sup(antecedent)``.
+    """
+
+    antecedent: tuple[int, ...]
+    consequent: tuple[int, ...]
+    support: int
+    confidence: float
+
+    @property
+    def items(self) -> tuple[int, ...]:
+        """The underlying itemset (antecedent ∪ consequent), sorted."""
+        return tuple(sorted(self.antecedent + self.consequent))
+
+    def render(self, taxonomy: Taxonomy) -> str:
+        left = ", ".join(taxonomy.name_of(i) for i in self.antecedent)
+        right = ", ".join(taxonomy.name_of(i) for i in self.consequent)
+        return (
+            f"{{{left}}} -> {{{right}}} "
+            f"(sup={self.support}, conf={self.confidence:.3f})"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.antecedent} -> {self.consequent} "
+            f"(sup={self.support}, conf={self.confidence:.3f})"
+        )
+
+
+def generate_rules(
+    frequent: Mapping[tuple[int, ...], int],
+    min_confidence: float,
+) -> list[AssociationRule]:
+    """All rules above ``min_confidence`` from a frequent-itemset map.
+
+    Parameters
+    ----------
+    frequent:
+        Canonical itemset -> support.  Must be *downward closed*
+        (every subset of a frequent itemset present) — which any
+        complete miner's output is; a missing subset raises
+        :class:`MiningError` since confidences would be undefined.
+    min_confidence:
+        In [0, 1].
+
+    Notes
+    -----
+    Confidence is anti-monotone in the *consequent*: moving an item
+    from antecedent to consequent can only lower it.  The classical
+    optimization therefore grows consequents level-wise and stops
+    expanding a consequent whose rule already failed; itemsets here
+    are small (k rarely exceeds 5-6), so the straightforward
+    enumeration over antecedent subsets stays cheap and obviously
+    correct.
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise MiningError(
+            f"min_confidence must be in [0, 1], got {min_confidence}"
+        )
+    rules: list[AssociationRule] = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for split_size in range(1, len(itemset)):
+            for antecedent in itertools.combinations(itemset, split_size):
+                base = frequent.get(antecedent)
+                if base is None:
+                    raise MiningError(
+                        f"frequent map is not downward closed: missing "
+                        f"{antecedent} (subset of {itemset})"
+                    )
+                confidence = support / base
+                if confidence >= min_confidence:
+                    consequent = tuple(
+                        item for item in itemset if item not in antecedent
+                    )
+                    rules.append(
+                        AssociationRule(
+                            antecedent=antecedent,
+                            consequent=consequent,
+                            support=support,
+                            confidence=confidence,
+                        )
+                    )
+    rules.sort(
+        key=lambda r: (-r.confidence, -r.support, r.antecedent, r.consequent)
+    )
+    return rules

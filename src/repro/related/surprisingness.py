@@ -1,0 +1,92 @@
+"""Taxonomy-distance surprisingness ranking (Hamani & Maamri [6]).
+
+The approach the paper's introduction contrasts with flipping mining:
+compute positive correlations first, then rank them by how *far
+apart* their items sit in the taxonomy — "surprisingness is
+proportional to the number of edges on the shortest path between
+taxonomy tree nodes".  Items under the same category are expected to
+correlate (boring); items bridging distant categories are surprising.
+
+This ranking needs all correlations materialized first and sees only
+positive ones; a flipping pattern additionally requires the
+*generalizations* to anti-correlate, which distance alone cannot
+express.  ``examples/related_work_pipelines.py`` puts the two side
+by side.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = [
+    "taxonomy_distance",
+    "itemset_surprisingness",
+    "rank_by_surprisingness",
+]
+
+
+def _real_ancestor_chain(taxonomy: Taxonomy, node_id: int) -> list[int]:
+    """Ancestors (level 1 .. node), with rebalancing copies collapsed
+    onto the original leaf they stand for."""
+    chain = []
+    for ancestor in taxonomy.ancestors(node_id):
+        node = taxonomy.node(ancestor)
+        real = node.source_id if node.is_copy else ancestor
+        if not chain or chain[-1] != real:
+            chain.append(real)
+    return chain
+
+
+def taxonomy_distance(taxonomy: Taxonomy, a: int, b: int) -> int:
+    """Edges on the shortest path between two nodes through their
+    lowest common ancestor (possibly the root)."""
+    if a == b:
+        return 0
+    chain_a = _real_ancestor_chain(taxonomy, a)
+    chain_b = _real_ancestor_chain(taxonomy, b)
+    if not chain_a or not chain_b:
+        raise TaxonomyError("cannot compute a distance involving the root")
+    common = 0
+    for node_a, node_b in zip(chain_a, chain_b):
+        if node_a != node_b:
+            break
+        common += 1
+    # each chain contributes its edges below the LCA; with no common
+    # prefix the LCA is the root and the full depths add up
+    return (len(chain_a) - common) + (len(chain_b) - common)
+
+
+def itemset_surprisingness(
+    taxonomy: Taxonomy, itemset: Sequence[int]
+) -> float:
+    """Mean pairwise taxonomy distance of an itemset's members
+    (the natural k-ary extension of [6]'s pairwise definition)."""
+    if len(itemset) < 2:
+        raise TaxonomyError(
+            "surprisingness needs at least two items, got "
+            f"{len(itemset)}"
+        )
+    total = 0
+    pairs = 0
+    for i in range(len(itemset)):
+        for j in range(i + 1, len(itemset)):
+            total += taxonomy_distance(taxonomy, itemset[i], itemset[j])
+            pairs += 1
+    return total / pairs
+
+
+def rank_by_surprisingness(
+    taxonomy: Taxonomy,
+    itemsets: Iterable[Sequence[int]],
+) -> list[tuple[float, tuple[int, ...]]]:
+    """Itemsets with their surprisingness, most surprising first
+    (ties broken by itemset for determinism)."""
+    scored = [
+        (itemset_surprisingness(taxonomy, itemset), tuple(itemset))
+        for itemset in itemsets
+    ]
+    scored.sort(key=lambda pair: (-pair[0], pair[1]))
+    return scored

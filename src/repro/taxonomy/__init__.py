@@ -1,0 +1,29 @@
+"""Taxonomy (is-a hierarchy) substrate.
+
+The paper assumes every dataset comes with a taxonomy tree whose
+leaves are the transaction items; mining contrasts correlations of the
+same itemset across the tree's abstraction levels.
+"""
+
+from repro.taxonomy.io import load_taxonomy, save_taxonomy, taxonomy_to_dict
+from repro.taxonomy.node import ROOT_NAME, TaxonomyNode
+from repro.taxonomy.rebalance import (
+    contract_levels,
+    min_leaf_depth,
+    rebalance_with_copies,
+    truncate,
+)
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = [
+    "Taxonomy",
+    "TaxonomyNode",
+    "ROOT_NAME",
+    "rebalance_with_copies",
+    "truncate",
+    "contract_levels",
+    "min_leaf_depth",
+    "load_taxonomy",
+    "save_taxonomy",
+    "taxonomy_to_dict",
+]

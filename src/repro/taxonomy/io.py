@@ -1,0 +1,112 @@
+"""Serialization of taxonomies.
+
+Two interchange formats are supported:
+
+* **Edge text** — one ``parent<TAB>child`` pair per line, ``#``
+  comments allowed.  This matches the flat files shipped with public
+  taxonomy datasets.
+* **JSON** — the nested-mapping form accepted by
+  :meth:`Taxonomy.from_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = [
+    "load_taxonomy",
+    "save_taxonomy",
+    "taxonomy_to_dict",
+    "parse_edge_text",
+    "format_edge_text",
+]
+
+
+def parse_edge_text(text: str) -> Taxonomy:
+    """Parse the ``parent<TAB>child`` edge format."""
+    edges: list[tuple[str, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t") if "\t" in line else line.split(None, 1)
+        if len(parts) != 2:
+            raise TaxonomyError(
+                f"line {lineno}: expected 'parent<TAB>child', got {raw!r}"
+            )
+        edges.append((parts[0].strip(), parts[1].strip()))
+    if not edges:
+        raise TaxonomyError("no edges found in taxonomy text")
+    return Taxonomy.from_edges(edges)
+
+
+def format_edge_text(taxonomy: Taxonomy) -> str:
+    """Render a taxonomy as edge text (copies are skipped: they are an
+    internal balancing artifact, not part of the user's hierarchy).
+
+    Level-1 nodes have no line of their own; they are recovered on
+    load as the parentless endpoints of deeper edges, or — for a
+    degenerate one-level taxonomy — as edges from the root name.
+    """
+    lines = ["# taxonomy edges: parent<TAB>child"]
+    for node in taxonomy.iter_nodes():
+        if node.is_copy or node.level < 2:
+            continue
+        parent = taxonomy.node(node.parent_id) if node.parent_id is not None else None
+        if parent is None:  # pragma: no cover - level >= 2 implies a parent
+            continue
+        lines.append(f"{parent.name}\t{node.name}")
+    if len(lines) == 1:
+        # One-level taxonomy: keep it loadable by emitting root edges.
+        for node in taxonomy.iter_nodes():
+            if node.level == 1:
+                lines.append(f"{taxonomy.root.name}\t{node.name}")
+    return "\n".join(lines) + "\n"
+
+
+def taxonomy_to_dict(taxonomy: Taxonomy) -> dict[str, Any]:
+    """Nested-mapping form of the (original, non-copy) tree."""
+
+    def walk(node_id: int) -> Any:
+        node = taxonomy.node(node_id)
+        real_children = [
+            cid for cid in node.children_ids if not taxonomy.node(cid).is_copy
+        ]
+        if not real_children:
+            return None
+        return {taxonomy.name_of(cid): walk(cid) for cid in real_children}
+
+    return {
+        taxonomy.name_of(cid): walk(cid)
+        for cid in taxonomy.root.children_ids
+        if not taxonomy.node(cid).is_copy
+    }
+
+
+def load_taxonomy(path: str | Path) -> Taxonomy:
+    """Load a taxonomy from ``.json`` (nested mapping) or edge text."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".json":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise TaxonomyError(f"{path}: JSON taxonomy must be an object")
+        return Taxonomy.from_dict(data)
+    return parse_edge_text(text)
+
+
+def save_taxonomy(taxonomy: Taxonomy, path: str | Path) -> None:
+    """Write a taxonomy in the format implied by the file suffix."""
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        path.write_text(
+            json.dumps(taxonomy_to_dict(taxonomy), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+    else:
+        path.write_text(format_edge_text(taxonomy), encoding="utf-8")

@@ -1,0 +1,71 @@
+"""Taxonomy node objects.
+
+A taxonomy (is-a hierarchy) is a tree whose leaves are the concrete
+items appearing in transactions and whose internal nodes are their
+generalizations.  The paper places the (single, artificial) root at
+abstraction level 0 and excludes it from mining; level 1 holds the
+top-level categories and level ``H`` the most specific items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TaxonomyNode", "ROOT_NAME"]
+
+#: Default display name for the artificial root node.
+ROOT_NAME = "*ROOT*"
+
+
+@dataclass
+class TaxonomyNode:
+    """A single node of a :class:`~repro.taxonomy.tree.Taxonomy`.
+
+    Attributes
+    ----------
+    node_id:
+        Integer identifier, unique across the whole tree (including
+        rebalancing copies).
+    name:
+        Display name.  Unique among *original* nodes; rebalancing
+        copies created by variant [B] share the display name of the
+        leaf they replicate.
+    level:
+        Depth of the node; the root is level 0.
+    parent_id:
+        ``node_id`` of the parent, or ``None`` for the root.
+    children_ids:
+        Identifiers of direct children, in insertion order.
+    is_copy:
+        True when the node is a rebalancing copy (Fig. 3 [B] of the
+        paper) rather than a node of the original taxonomy.
+    source_id:
+        For rebalancing copies, the ``node_id`` of the original leaf
+        this copy stands for; equals ``node_id`` for original nodes.
+    """
+
+    node_id: int
+    name: str
+    level: int
+    parent_id: int | None = None
+    children_ids: list[int] = field(default_factory=list)
+    is_copy: bool = False
+    source_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.source_id is None:
+            self.source_id = self.node_id
+
+    @property
+    def is_root(self) -> bool:
+        """True for the artificial level-0 root."""
+        return self.parent_id is None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        kind = "copy" if self.is_copy else "node"
+        return f"TaxonomyNode({self.node_id}, {self.name!r}, level={self.level}, {kind})"

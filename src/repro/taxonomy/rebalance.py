@@ -1,0 +1,201 @@
+"""Rebalancing and level-restriction of taxonomies (paper Fig. 3, §2.2).
+
+The miner needs every item to have a generalization at every level
+``1..H``.  When some leaves are shallower than the deepest one, two
+repairs are offered:
+
+* **Variant B (leaf copies)** — :func:`rebalance_with_copies`: extend
+  each shallow leaf with a chain of copies of itself down to depth
+  ``H``.  This is the variant used in the paper's experiments and the
+  library default.
+* **Variant A (truncation)** — :func:`truncate`: cut the tree at the
+  depth of the *shallowest* leaf; deeper items are merged into their
+  ancestor at the cut depth.  Because item identities change, the
+  function also returns a renaming map to apply to transactions.
+
+Section 2.2 additionally notes that flipping queries over a *subset*
+of levels need nothing new — "all that needs to be changed is the
+input, which would be a truncated taxonomy tree containing these
+specific levels of interest".  :func:`contract_levels` builds exactly
+that input: a tree containing only the chosen levels, with every
+dropped level spliced out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.node import TaxonomyNode
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = [
+    "rebalance_with_copies",
+    "truncate",
+    "contract_levels",
+    "min_leaf_depth",
+]
+
+
+def min_leaf_depth(taxonomy: Taxonomy) -> int:
+    """Depth of the shallowest leaf."""
+    return min(node.level for node in taxonomy.iter_nodes() if node.is_leaf)
+
+
+def rebalance_with_copies(taxonomy: Taxonomy) -> Taxonomy:
+    """Return a balanced copy of ``taxonomy`` using leaf copies.
+
+    Every leaf at depth ``d < H`` receives a descending chain of copy
+    nodes (sharing its display name) so that the deepest copy sits at
+    depth ``H``.  Items keep their identity: copies carry the original
+    leaf as ``source_id`` and :meth:`Taxonomy.item_ancestor_map`
+    resolves them transparently.
+
+    Balanced inputs are returned as-is (the same object), since
+    taxonomies are immutable by convention.
+    """
+    if taxonomy.is_balanced:
+        return taxonomy
+    height = taxonomy.height
+    new = Taxonomy()
+
+    def walk(node: TaxonomyNode, new_parent: TaxonomyNode | None) -> None:
+        added = new._add_node(
+            node.name,
+            parent=new_parent,
+            is_copy=node.is_copy,
+            source_id=None if not node.is_copy else node.source_id,
+        )
+        if node.is_leaf and added.level < height and not node.is_root:
+            chain_parent = added
+            source = node.source_id
+            assert source is not None
+            while chain_parent.level < height:
+                chain_parent = new._add_node(
+                    node.name,
+                    parent=chain_parent,
+                    is_copy=True,
+                    source_id=source,
+                )
+        for child_id in node.children_ids:
+            walk(taxonomy.node(child_id), added)
+
+    walk(taxonomy.root, None)
+    # Copies must resolve to the *new* id of their source leaf, not the
+    # id from the old tree.  Rebuild source ids by matching names.
+    _fix_copy_sources(new)
+    new._finalize()
+    if not new.is_balanced:  # pragma: no cover - defensive
+        raise TaxonomyError("rebalancing failed to balance the tree")
+    return new
+
+
+def _fix_copy_sources(taxonomy: Taxonomy) -> None:
+    """Point every copy's ``source_id`` at the shallowest same-name
+    original node (the item it replicates) in the *new* tree."""
+    original_by_name: dict[str, int] = {}
+    for node in taxonomy.iter_nodes():
+        if not node.is_copy and node.name not in original_by_name:
+            original_by_name[node.name] = node.node_id
+    for node in taxonomy.iter_nodes():
+        if node.is_copy:
+            try:
+                node.source_id = original_by_name[node.name]
+            except KeyError:  # pragma: no cover - defensive
+                raise TaxonomyError(
+                    f"copy node {node.name!r} has no original"
+                ) from None
+
+
+def contract_levels(
+    taxonomy: Taxonomy, levels: Sequence[int]
+) -> tuple[Taxonomy, dict[str, str]]:
+    """The paper's level-subset query input (§2.2): a taxonomy holding
+    only the chosen levels, every dropped level spliced out.
+
+    ``levels`` are original level numbers (1-based, any order); the
+    result's level ``j`` holds the nodes of the j-th smallest chosen
+    level.  Nodes below the deepest chosen level are absorbed into
+    their ancestor there, so — like :func:`truncate` — the function
+    returns ``(new_taxonomy, item_renames)`` to apply to transactions.
+    Leaves that sit *on* a dropped level above the deepest chosen one
+    keep their identity and attach under their nearest kept ancestor
+    (the result may then be unbalanced; the database rebalances it as
+    usual).
+
+    Contract the *original* tree, before any rebalancing: copy chains
+    would alias items across levels.
+    """
+    height = taxonomy.height
+    kept = sorted(set(levels))
+    if not kept:
+        raise TaxonomyError("levels must name at least one level")
+    if kept[0] < 1 or kept[-1] > height:
+        raise TaxonomyError(
+            f"levels {sorted(levels)} out of range [1, {height}]"
+        )
+    if any(node.is_copy for node in taxonomy.iter_nodes()):
+        raise TaxonomyError(
+            "contract the original taxonomy, not a rebalanced one "
+            "(copy chains alias items across levels)"
+        )
+    kept_set = set(kept)
+    deepest = kept[-1]
+    new = Taxonomy()
+    renames: dict[str, str] = {}
+    root_added = new._add_node(taxonomy.root.name, parent=None)
+
+    def walk(node: TaxonomyNode, new_parent: TaxonomyNode) -> None:
+        for child_id in node.children_ids:
+            child = taxonomy.node(child_id)
+            if child.level in kept_set:
+                added = new._add_node(child.name, parent=new_parent)
+                if child.level == deepest:
+                    for leaf_id in taxonomy.item_leaves(child.node_id):
+                        leaf_name = taxonomy.name_of(leaf_id)
+                        if leaf_name != child.name:
+                            renames[leaf_name] = child.name
+                else:
+                    walk(child, added)
+            elif child.is_leaf:
+                # an item on a dropped level above `deepest`: keep it
+                new._add_node(child.name, parent=new_parent)
+            else:
+                walk(child, new_parent)  # splice the dropped level out
+
+    walk(taxonomy.root, root_added)
+    new._finalize()
+    return new, renames
+
+
+def truncate(taxonomy: Taxonomy, depth: int | None = None) -> tuple[Taxonomy, dict[str, str]]:
+    """Variant A: cut the tree at ``depth`` (default: shallowest leaf).
+
+    Returns ``(new_taxonomy, item_renames)`` where ``item_renames``
+    maps the name of every removed item to the name of the kept
+    ancestor that absorbs it.  Apply the map to transactions before
+    building a database against the truncated taxonomy.
+    """
+    if depth is None:
+        depth = min_leaf_depth(taxonomy)
+    if depth < 1 or depth > taxonomy.height:
+        raise TaxonomyError(
+            f"truncation depth {depth} out of range [1, {taxonomy.height}]"
+        )
+    new = Taxonomy()
+    renames: dict[str, str] = {}
+
+    def walk(node: TaxonomyNode, new_parent: TaxonomyNode | None) -> None:
+        added = new._add_node(node.name, parent=new_parent)
+        if node.level == depth:
+            for leaf_id in taxonomy.item_leaves(node.node_id):
+                leaf_name = taxonomy.name_of(leaf_id)
+                if leaf_name != node.name:
+                    renames[leaf_name] = node.name
+            return
+        for child_id in node.children_ids:
+            walk(taxonomy.node(child_id), added)
+
+    walk(taxonomy.root, None)
+    new._finalize()
+    return new, renames

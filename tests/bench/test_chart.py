@@ -1,0 +1,101 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.chart import ascii_chart, sweep_chart
+from repro.bench.harness import RunRecord, SweepResult
+from repro.errors import ConfigError
+
+
+def record(method, seconds, candidates=100):
+    return RunRecord(
+        method=method,
+        seconds=seconds,
+        candidates=candidates,
+        counted=candidates,
+        stored_entries=candidates,
+        max_cell_entries=candidates,
+        n_patterns=0,
+        db_scans=1,
+        tpg_events=0,
+        sibp_bans=0,
+    )
+
+
+class TestAsciiChart:
+    def test_basic_rendering(self):
+        chart = ascii_chart(
+            {"fast": [1, 2, 3], "slow": [10, 20, 30]},
+            x_labels=["a", "b", "c"],
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o=fast" in chart and "x=slow" in chart
+        assert chart.count("\n") >= 12
+
+    def test_log_scale_automatic(self):
+        chart = ascii_chart(
+            {"wide": [1, 1_000, 1_000_000]}, x_labels=[1, 2, 3]
+        )
+        assert "(log)" in chart
+
+    def test_linear_when_narrow(self):
+        chart = ascii_chart({"flat": [5, 6, 7]}, x_labels=[1, 2, 3])
+        assert "(linear)" in chart
+
+    def test_explicit_log_override(self):
+        chart = ascii_chart(
+            {"flat": [5, 6, 7]}, x_labels=[1, 2, 3], log=True
+        )
+        assert "(log)" in chart
+
+    def test_top_series_occupies_top_row(self):
+        chart = ascii_chart(
+            {"low": [1, 1], "high": [100, 100]},
+            x_labels=["l", "r"],
+            height=5,
+            log=False,
+        )
+        rows = [
+            line for line in chart.splitlines() if line.startswith("|")
+        ]
+        assert "o" in rows[0]      # "high" sorts first -> marker o, max row
+        assert "x" in rows[-1]     # "low" on the bottom row
+
+    def test_overlap_marker(self):
+        chart = ascii_chart(
+            {"a": [5.0], "b": [5.0]}, x_labels=["only"], log=False
+        )
+        assert "*" in chart
+
+    def test_x_labels_present(self):
+        chart = ascii_chart(
+            {"s": [1, 2]}, x_labels=["thr1", "thr2"]
+        )
+        assert "thr1" in chart and "thr2" in chart
+
+
+class TestValidation:
+    def test_empty_series(self):
+        with pytest.raises(ConfigError):
+            ascii_chart({}, x_labels=[])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            ascii_chart({"s": [1, 2]}, x_labels=["only"])
+
+    def test_height_minimum(self):
+        with pytest.raises(ConfigError):
+            ascii_chart({"s": [1]}, x_labels=["x"], height=2)
+
+
+class TestSweepChart:
+    def test_renders_sweep_result(self):
+        result = SweepResult(parameter="width")
+        result.add(5, [record("BASIC", 2.0), record("FULL", 0.1)])
+        result.add(10, [record("BASIC", 20.0), record("FULL", 0.2)])
+        chart = sweep_chart(result, "seconds")
+        assert "seconds vs width" in chart
+        assert "o=BASIC" in chart and "x=FULL" in chart

@@ -1,0 +1,101 @@
+"""Unit tests for repro.bench.experiments at a tiny scale.
+
+The full-size runs live in benchmarks/; here each runner is exercised
+end-to-end at REPRO_BENCH_SCALE=0.005 (synthetic N = 500) so the test
+suite stays fast while covering the reporting and shape-check code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.005")
+
+
+class TestFig8Runners:
+    def test_fig8a_subset(self):
+        from repro.bench import run_fig8a
+
+        report, result = run_fig8a(profiles=["thr1", "thr5"])
+        assert "Fig. 8(a)" in report
+        assert result.values == ["thr1", "thr5"]
+        assert set(result.methods) == {
+            "BASIC",
+            "FLIPPING",
+            "FLIPPING+TPG",
+            "FLIPPING+TPG+SIBP",
+        }
+
+    def test_fig8b_two_sizes(self):
+        from repro.bench import run_fig8b
+
+        report, result = run_fig8b(multipliers=(1.0, 2.0))
+        assert "Fig. 8(b)" in report
+        assert len(result.metric("BASIC", "seconds")) == 2
+
+    def test_fig8c_two_widths(self):
+        from repro.bench import run_fig8c
+
+        report, result = run_fig8c(widths=(5, 7))
+        assert "Fig. 8(c)" in report
+        assert result.values == [5, 7]
+
+    def test_fig8d_two_profiles(self):
+        from repro.bench import run_fig8d
+
+        report, result = run_fig8d(profiles=[(0.3, 0.1), (0.6, 0.1)])
+        assert "Fig. 8(d)" in report
+        basic = result.metric("BASIC", "candidates")
+        assert basic[0] == basic[1]  # BASIC ignores (gamma, epsilon)
+
+
+class TestRealDataRunners:
+    def test_real_datasets_fixture(self):
+        from repro.bench import real_datasets
+
+        triples = real_datasets()
+        names = [name for name, _db, _th in triples]
+        assert names == ["GROCERIES", "CENSUS", "MEDLINE"]
+        for _name, database, thresholds in triples:
+            assert database.n_transactions > 0
+            assert thresholds.gamma > thresholds.epsilon
+
+    def test_fig9a(self):
+        from repro.bench import run_fig9a
+
+        report, data = run_fig9a()
+        assert "Fig. 9(a)" in report
+        for name, records in data.items():
+            assert records[1].candidates <= records[0].candidates, name
+
+    def test_fig9b(self):
+        from repro.bench import run_fig9b
+
+        report, data = run_fig9b()
+        assert "Fig. 9(b)" in report
+        for _name, records in data.items():
+            assert all(r.peak_memory_bytes for r in records)
+
+    def test_table4(self):
+        from repro.bench import run_table4
+
+        report, data = run_table4()
+        assert "Table 4" in report
+        assert [row["dataset"] for row in data] == [
+            "GROCERIES",
+            "CENSUS",
+            "MEDLINE",
+        ]
+        for row in data:
+            assert row["flips"] > 0
+
+
+class TestTable1Runner:
+    def test_all_checks_pass(self):
+        from repro.bench import run_table1
+
+        report, _data = run_table1()
+        assert "[FAIL]" not in report

@@ -1,0 +1,130 @@
+"""Unit tests for repro.bench.harness and repro.bench.report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PruningConfig, Thresholds
+from repro.bench.harness import LADDER, RunRecord, run_ladder, run_method, sweep
+from repro.bench.report import (
+    check_ladder_ordering,
+    check_monotone_series,
+    format_table,
+    render_checks,
+    series_table,
+)
+
+
+class TestRunMethod:
+    def test_records_costs(self, example3_db, example3_thresholds):
+        record = run_method(
+            example3_db, example3_thresholds, PruningConfig.full()
+        )
+        assert record.method == "flipping+tpg+sibp"
+        assert record.n_patterns == 1
+        assert record.seconds > 0
+        assert record.peak_memory_bytes is None
+
+    def test_label_override(self, example3_db, example3_thresholds):
+        record = run_method(
+            example3_db,
+            example3_thresholds,
+            PruningConfig.full(),
+            label="FULL",
+        )
+        assert record.method == "FULL"
+
+    def test_memory_tracking(self, example3_db, example3_thresholds):
+        record = run_method(
+            example3_db,
+            example3_thresholds,
+            PruningConfig.full(),
+            track_memory=True,
+        )
+        assert record.peak_memory_bytes is not None
+        assert record.peak_memory_bytes > 0
+
+
+class TestRunLadder:
+    def test_four_methods(self, example3_db, example3_thresholds):
+        records = run_ladder(example3_db, example3_thresholds)
+        assert [record.method for record in records] == [
+            label for label, _cfg in LADDER
+        ]
+
+    def test_all_find_the_pattern(self, example3_db, example3_thresholds):
+        records = run_ladder(example3_db, example3_thresholds)
+        assert all(record.n_patterns == 1 for record in records)
+
+
+class TestSweep:
+    def test_series_collected(self, example3_db):
+        result = sweep(
+            "gamma",
+            [0.5, 0.6],
+            database_for=lambda _v: example3_db,
+            thresholds_for=lambda g: Thresholds(
+                gamma=g, epsilon=0.35, min_support=1
+            ),
+        )
+        assert result.values == [0.5, 0.6]
+        assert set(result.methods) == {label for label, _cfg in LADDER}
+        assert len(result.metric("BASIC", "seconds")) == 2
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in text
+
+    def test_series_table(self, example3_db, example3_thresholds):
+        result = sweep(
+            "x",
+            [1],
+            database_for=lambda _v: example3_db,
+            thresholds_for=lambda _v: example3_thresholds,
+        )
+        table = series_table(result, "candidates")
+        assert "BASIC" in table and "x" in table
+
+    def test_ladder_ordering_check(self):
+        def record(method, candidates):
+            return RunRecord(
+                method=method,
+                seconds=0.0,
+                candidates=candidates,
+                counted=0,
+                stored_entries=0,
+                max_cell_entries=0,
+                n_patterns=0,
+                db_scans=0,
+                tpg_events=0,
+                sibp_bans=0,
+            )
+
+        ok = check_ladder_ordering([record("a", 10), record("b", 5)])
+        assert ok.passed
+        bad = check_ladder_ordering([record("a", 5), record("b", 10)])
+        assert not bad.passed
+
+    def test_monotone_check(self, example3_db, example3_thresholds):
+        result = sweep(
+            "x",
+            [1, 2],
+            database_for=lambda _v: example3_db,
+            thresholds_for=lambda _v: example3_thresholds,
+        )
+        check = check_monotone_series(
+            result, "BASIC", "candidates", "increasing", tolerance=1.0
+        )
+        assert check.detail.startswith("BASIC candidates")
+
+    def test_render_checks(self):
+        from repro.bench.report import ShapeCheck
+
+        text = render_checks(
+            [ShapeCheck("x", True, "d1"), ShapeCheck("y", False, "d2")]
+        )
+        assert "[PASS] x" in text and "[FAIL] y" in text

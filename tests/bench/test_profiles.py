@@ -1,0 +1,115 @@
+"""Unit tests for repro.bench.profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.profiles import (
+    CORR_PROFILES,
+    MINSUP_PROFILES,
+    bench_config,
+    thresholds_for_profile,
+)
+
+
+class TestMinsupProfiles:
+    def test_ten_profiles(self):
+        assert list(MINSUP_PROFILES) == [f"thr{i}" for i in range(1, 11)]
+
+    def test_each_profile_non_increasing(self):
+        for name, fractions in MINSUP_PROFILES.items():
+            assert list(fractions) == sorted(fractions, reverse=True), name
+
+    def test_profiles_loosen_at_the_bottom_level(self):
+        # Table 3: theta4 never grows from one profile to the next
+        theta4 = [fractions[3] for fractions in MINSUP_PROFILES.values()]
+        assert theta4 == sorted(theta4, reverse=True)
+
+    def test_paper_values_pinned(self):
+        assert MINSUP_PROFILES["thr1"] == (0.05, 0.05, 0.05, 0.05)
+        assert MINSUP_PROFILES["thr10"] == (0.001, 0.0001, 0.00006, 0.00003)
+
+
+class TestCorrProfiles:
+    def test_seven_profiles(self):
+        assert len(CORR_PROFILES) == 7
+
+    def test_paper_sequence(self):
+        assert CORR_PROFILES[0] == (0.2, 0.1)
+        assert CORR_PROFILES[-1] == (0.6, 0.5)
+
+    def test_all_valid(self):
+        for gamma, epsilon in CORR_PROFILES:
+            assert 0 < epsilon < gamma <= 1
+
+
+class TestThresholdsForProfile:
+    def test_named_profile_fractions(self):
+        thresholds = thresholds_for_profile("thr1")
+        assert thresholds.min_support == [0.05, 0.05, 0.05, 0.05]
+
+    def test_absolute_floor_of_two(self):
+        thresholds = thresholds_for_profile("thr10", n_transactions=2500)
+        assert thresholds.min_support == [3, 2, 2, 2]
+
+    def test_floor_does_not_bind_at_paper_scale(self):
+        thresholds = thresholds_for_profile("thr10", n_transactions=100_000)
+        assert thresholds.min_support == [100, 10, 6, 3]
+
+    def test_explicit_tuple(self):
+        thresholds = thresholds_for_profile((0.5, 0.1), gamma=0.7, epsilon=0.2)
+        assert thresholds.gamma == 0.7
+        assert thresholds.min_support == [0.5, 0.1]
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            thresholds_for_profile("thr99")
+
+
+class TestBenchConfig:
+    def test_paper_parameters(self):
+        config = bench_config()
+        assert config.n_items == 1000
+        assert config.height == 4
+        assert config.n_roots == 10
+        assert config.fanout == 5
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "1.0")
+        config = bench_config()
+        assert config.n_transactions == 100_000
+
+    def test_overrides(self):
+        config = bench_config(avg_width=8.0)
+        assert config.avg_width == 8.0
+
+
+class TestWidthScaledThresholds:
+    def test_base_width_matches_plain_profile(self):
+        from repro.bench.profiles import (
+            DEFAULT_MINSUP,
+            thresholds_for_profile,
+            width_scaled_thresholds,
+        )
+
+        plain = thresholds_for_profile(DEFAULT_MINSUP, n_transactions=2500)
+        scaled = width_scaled_thresholds(5.0, n_transactions=2500)
+        assert scaled.min_support == plain.min_support
+
+    def test_counts_grow_quadratically(self):
+        from repro.bench.profiles import width_scaled_thresholds
+
+        at_5 = width_scaled_thresholds(5.0, n_transactions=100_000)
+        at_10 = width_scaled_thresholds(10.0, n_transactions=100_000)
+        for narrow, wide in zip(at_5.min_support, at_10.min_support):
+            assert wide == pytest.approx(narrow * 4, abs=1)
+
+    def test_result_is_valid_thresholds(self):
+        from repro.bench.profiles import width_scaled_thresholds
+
+        thresholds = width_scaled_thresholds(7.0, n_transactions=2500)
+        resolved = thresholds.resolve(4, 2500)
+        assert resolved.min_counts == tuple(thresholds.min_support)
+        assert list(resolved.min_counts) == sorted(
+            resolved.min_counts, reverse=True
+        )

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Taxonomy, Thresholds, TransactionDatabase
+from repro.datasets import example3_database, example3_taxonomy
+
+
+@pytest.fixture
+def example3_tax() -> Taxonomy:
+    return example3_taxonomy()
+
+
+@pytest.fixture
+def example3_db() -> TransactionDatabase:
+    return example3_database()
+
+
+@pytest.fixture
+def example3_thresholds() -> Thresholds:
+    return Thresholds(gamma=0.6, epsilon=0.35, min_support=1)
+
+
+@pytest.fixture
+def grocery_taxonomy() -> Taxonomy:
+    """A small, hand-made 3-level grocery hierarchy."""
+    return Taxonomy.from_dict(
+        {
+            "drinks": {
+                "beer": ["canned beer", "bottled beer"],
+                "soda": ["cola", "lemonade"],
+            },
+            "non-food": {
+                "cosmetics": ["baby cosmetics", "soap"],
+                "cleaning": ["detergent", "sponges"],
+            },
+            "fresh": {
+                "fruit": ["apples", "bananas"],
+                "dairy": ["milk", "yogurt"],
+            },
+        }
+    )
+
+
+def make_random_database(
+    taxonomy: Taxonomy,
+    n_transactions: int,
+    seed: int,
+    min_width: int = 1,
+    max_width: int = 5,
+) -> TransactionDatabase:
+    """Uniform random transactions over a taxonomy's items."""
+    rng = random.Random(seed)
+    items = [taxonomy.name_of(i) for i in taxonomy.item_ids]
+    transactions = []
+    for _ in range(n_transactions):
+        width = rng.randint(min_width, min(max_width, len(items)))
+        transactions.append(rng.sample(items, width))
+    return TransactionDatabase(transactions, taxonomy)
+
+
+@pytest.fixture
+def random_db(grocery_taxonomy) -> TransactionDatabase:
+    return make_random_database(grocery_taxonomy, 200, seed=7, max_width=6)

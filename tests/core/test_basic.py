@@ -1,0 +1,50 @@
+"""Unit tests for repro.core.basic (the brute-force oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Taxonomy, Thresholds, TransactionDatabase, mine_flipping_bruteforce
+from repro.errors import ConfigError
+
+
+class TestBruteforce:
+    def test_paper_example(self, example3_db, example3_thresholds):
+        patterns = mine_flipping_bruteforce(example3_db, example3_thresholds)
+        assert [p.leaf_names for p in patterns] == [("a11", "b11")]
+        (pattern,) = patterns
+        assert pattern.signature == "+-+"
+
+    def test_refuses_large_databases(self, example3_thresholds):
+        tax = Taxonomy.from_dict(
+            {f"c{i}": [f"c{i}x", f"c{i}y"] for i in range(25)}
+        )
+        db = TransactionDatabase([["c0x", "c1x"]], tax)
+        with pytest.raises(ConfigError, match="brute force"):
+            mine_flipping_bruteforce(db, example3_thresholds)
+
+    def test_refuses_flat_taxonomy(self, example3_thresholds):
+        tax = Taxonomy.from_edges([("*ROOT*", "a"), ("*ROOT*", "b")])
+        db = TransactionDatabase([["a", "b"]], tax)
+        with pytest.raises(ConfigError, match="height"):
+            mine_flipping_bruteforce(db, example3_thresholds)
+
+    def test_max_k_respected(self, example3_db, example3_thresholds):
+        patterns = mine_flipping_bruteforce(
+            example3_db, example3_thresholds, max_k=2
+        )
+        assert all(p.k <= 2 for p in patterns)
+
+    def test_same_category_combos_skipped(self, grocery_taxonomy):
+        db = TransactionDatabase(
+            [["cola", "lemonade"]] * 6 + [["cola", "soap"]], grocery_taxonomy
+        )
+        patterns = mine_flipping_bruteforce(
+            db, Thresholds(gamma=0.5, epsilon=0.3, min_support=1)
+        )
+        for pattern in patterns:
+            roots = {
+                db.taxonomy.level1_ancestor(item)
+                for item in pattern.leaf_link.itemset
+            }
+            assert len(roots) == pattern.k

@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.bounds (Theorems 1 and 2 helpers).
+
+The deep falsification runs live in tests/property/test_prop_theorems;
+here we check the helpers on deterministic, hand-checkable instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    correlation_of,
+    subset_correlation_max,
+    theorem1_upper_bound_holds,
+    theorem2_conclusion_holds,
+    theorem2_preconditions,
+)
+from repro.core.measures import MEASURES
+
+
+def make_support_fn(table: dict[tuple[int, ...], int]):
+    def support(itemset: tuple[int, ...]) -> int:
+        return table[tuple(sorted(itemset))]
+
+    return support
+
+
+@pytest.fixture
+def simple_supports():
+    """Three items with supports 10/8/6 and a consistent overlap table."""
+    return make_support_fn(
+        {
+            (1,): 10,
+            (2,): 8,
+            (3,): 6,
+            (1, 2): 5,
+            (1, 3): 3,
+            (2, 3): 2,
+            (1, 2, 3): 2,
+        }
+    )
+
+
+class TestCorrelationOf:
+    def test_kulc_by_hand(self, simple_supports):
+        value = correlation_of("kulc", (1, 2), simple_supports)
+        assert value == pytest.approx((5 / 10 + 5 / 8) / 2)
+
+    def test_triple(self, simple_supports):
+        value = correlation_of("kulc", (1, 2, 3), simple_supports)
+        assert value == pytest.approx((2 / 10 + 2 / 8 + 2 / 6) / 3)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("measure", sorted(MEASURES))
+    def test_upper_bound_on_simple_instance(self, measure, simple_supports):
+        assert theorem1_upper_bound_holds(measure, (1, 2, 3), simple_supports)
+
+    def test_subset_max(self, simple_supports):
+        value = subset_correlation_max("kulc", (1, 2, 3), simple_supports)
+        pairs = [
+            correlation_of("kulc", pair, simple_supports)
+            for pair in [(1, 2), (1, 3), (2, 3)]
+        ]
+        assert value == pytest.approx(max(pairs))
+
+    def test_rejects_singletons(self, simple_supports):
+        with pytest.raises(ValueError):
+            theorem1_upper_bound_holds("kulc", (1,), simple_supports)
+
+
+class TestTheorem2:
+    def test_preconditions_and_conclusion(self, simple_supports):
+        # item 3 has the smallest support; gamma above every pair corr
+        gamma = 0.9
+        if theorem2_preconditions("kulc", (1, 2, 3), 3, gamma, simple_supports):
+            assert theorem2_conclusion_holds(
+                "kulc", (1, 2, 3), gamma, simple_supports
+            )
+
+    def test_special_item_must_be_member(self, simple_supports):
+        with pytest.raises(ValueError):
+            theorem2_preconditions("kulc", (1, 2), 99, 0.5, simple_supports)
+
+    def test_preconditions_false_when_pair_positive(self, simple_supports):
+        # gamma below Kulc(1,2)=0.5625 -> premise (1) fails for item 1
+        assert not theorem2_preconditions(
+            "kulc", (1, 2, 3), 1, 0.5, simple_supports
+        )

@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.cells."""
+
+from __future__ import annotations
+
+from repro.core.cells import Cell, CellEntry
+from repro.core.labels import Label
+
+
+def entry(itemset, support=10, corr=0.5, label=Label.POSITIVE, alive=False):
+    return CellEntry(
+        itemset=itemset,
+        support=support,
+        correlation=corr,
+        label=label,
+        alive=alive,
+    )
+
+
+class TestCellEntry:
+    def test_is_frequent(self):
+        assert entry((1, 2)).is_frequent
+        assert not entry((1, 2), label=Label.INFREQUENT).is_frequent
+
+
+class TestCell:
+    def test_add_get_contains_len(self):
+        cell = Cell(level=1, k=2)
+        cell.add(entry((1, 2)))
+        assert (1, 2) in cell
+        assert cell.get((1, 2)).support == 10
+        assert cell.get((3, 4)) is None
+        assert len(cell) == 1
+
+    def test_counts(self):
+        cell = Cell(level=1, k=2)
+        cell.add(entry((1, 2), label=Label.POSITIVE, alive=True))
+        cell.add(entry((1, 3), label=Label.NEGATIVE))
+        cell.add(entry((2, 3), label=Label.NON_CORRELATED))
+        cell.add(entry((2, 4), label=Label.INFREQUENT))
+        assert cell.n_frequent == 3
+        assert cell.n_labeled == 2
+        assert cell.n_alive == 1
+        assert len(cell.alive_entries) == 1
+        assert set(cell.frequent_itemsets) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_has_positive_only_for_frequent_positives(self):
+        cell = Cell(level=1, k=2)
+        cell.add(entry((1, 2), label=Label.NEGATIVE))
+        assert not cell.has_positive
+        # infrequent but high correlation does NOT count (Theorem 3's
+        # induction stays inside frequent itemsets)
+        cell.add(entry((1, 3), corr=0.99, label=Label.INFREQUENT))
+        assert not cell.has_positive
+        cell.add(entry((2, 3), label=Label.POSITIVE))
+        assert cell.has_positive
+
+    def test_max_correlation_per_item(self):
+        cell = Cell(level=1, k=2)
+        cell.add(entry((1, 2), corr=0.3))
+        cell.add(entry((1, 3), corr=0.7))
+        cell.add(entry((2, 3), corr=0.1))
+        best = cell.max_correlation_per_item()
+        assert best[1] == 0.7
+        assert best[2] == 0.3
+        assert best[3] == 0.7
+        assert 4 not in best  # vacuous items are absent, not 0

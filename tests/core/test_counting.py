@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.counting: all backends must agree."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.counting import (
+    BitmapBackend,
+    HorizontalBackend,
+    NumpyBackend,
+    make_backend,
+)
+from repro.errors import ConfigError, DataError
+
+ALL_BACKENDS = [BitmapBackend, HorizontalBackend, NumpyBackend]
+
+
+class TestFactory:
+    def test_known_names(self, example3_db):
+        assert isinstance(make_backend("bitmap", example3_db), BitmapBackend)
+        assert isinstance(
+            make_backend("Horizontal", example3_db), HorizontalBackend
+        )
+        assert isinstance(make_backend("numpy", example3_db), NumpyBackend)
+
+    def test_unknown_rejected(self, example3_db):
+        with pytest.raises(ConfigError, match="unknown counting backend"):
+            make_backend("gpu", example3_db)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("other_cls", [HorizontalBackend, NumpyBackend])
+    def test_node_supports_agree(self, example3_db, other_cls):
+        bitmap = BitmapBackend(example3_db)
+        other = other_cls(example3_db)
+        for level in (1, 2, 3):
+            assert bitmap.node_supports(level) == other.node_supports(level)
+
+    @pytest.mark.parametrize("other_cls", [HorizontalBackend, NumpyBackend])
+    def test_itemset_supports_agree(self, example3_db, other_cls):
+        bitmap = BitmapBackend(example3_db)
+        other = other_cls(example3_db)
+        tax = example3_db.taxonomy
+        for level in (1, 2, 3):
+            nodes = tax.nodes_at_level(level)
+            candidates = [
+                tuple(sorted(pair))
+                for pair in itertools.combinations(nodes, 2)
+            ]
+            assert bitmap.supports(level, candidates) == other.supports(
+                level, candidates
+            )
+
+    @pytest.mark.parametrize("other_cls", [HorizontalBackend, NumpyBackend])
+    def test_triple_supports_agree(self, random_db, other_cls):
+        bitmap = BitmapBackend(random_db)
+        other = other_cls(random_db)
+        tax = random_db.taxonomy
+        nodes = tax.nodes_at_level(2)
+        candidates = [
+            tuple(sorted(t)) for t in itertools.combinations(nodes, 3)
+        ]
+        assert bitmap.supports(2, candidates) == other.supports(2, candidates)
+
+
+class TestNumpyBackend:
+    def test_wrong_level_node_rejected(self, example3_db):
+        backend = NumpyBackend(example3_db)
+        level1 = example3_db.taxonomy.nodes_at_level(1)
+        with pytest.raises(DataError):
+            backend.supports(2, [tuple(sorted(level1[:2]))])
+
+    def test_empty_batch(self, example3_db):
+        backend = NumpyBackend(example3_db)
+        assert backend.supports(1, []) == {}
+
+    def test_levels_materialized_lazily(self, example3_db):
+        backend = NumpyBackend(example3_db)
+        assert backend._levels == {}
+        backend.node_supports(2)
+        assert set(backend._levels) == {2}
+
+
+class TestScanAccounting:
+    def test_horizontal_counts_scans(self, example3_db):
+        backend = HorizontalBackend(example3_db)
+        assert backend.scans == 0
+        backend.node_supports(1)
+        assert backend.scans == 1
+        nodes = example3_db.taxonomy.nodes_at_level(1)
+        backend.supports(1, [tuple(sorted(nodes))])
+        backend.supports(1, [])
+        assert backend.scans == 3
+
+    @pytest.mark.parametrize("backend_cls", [BitmapBackend, NumpyBackend])
+    def test_index_backends_single_build_scan(self, example3_db, backend_cls):
+        backend = backend_cls(example3_db)
+        backend.node_supports(1)
+        backend.supports(1, [])
+        assert backend.scans == 1
+
+
+class TestMinerIntegration:
+    @pytest.mark.parametrize("name", ["bitmap", "horizontal", "numpy"])
+    def test_all_backends_find_the_toy_pattern(
+        self, example3_db, example3_thresholds, name
+    ):
+        from repro import mine_flipping_patterns
+
+        result = mine_flipping_patterns(
+            example3_db, example3_thresholds, backend=name
+        )
+        assert [p.leaf_names for p in result.patterns] == [("a11", "b11")]

@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.discriminative (future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Taxonomy, TransactionDatabase
+from repro.core.discriminative import mine_discriminative
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def split_db(grocery_taxonomy) -> TransactionDatabase:
+    """A database where (cola, chips-like pair) correlates positively
+    inside the sub-group (first 40 transactions) and negatively in the
+    rest."""
+    transactions = (
+        [["cola", "soap"]] * 30          # subgroup: together
+        + [["cola"], ["soap"]] * 5       # subgroup: a little alone
+        + [["cola", "milk"]] * 30        # rest: cola without soap
+        + [["soap", "apples"]] * 30      # rest: soap without cola
+    )
+    return TransactionDatabase(transactions, grocery_taxonomy)
+
+
+SUBGROUP = list(range(40))
+
+
+class TestMineDiscriminative:
+    def test_finds_population_flip(self, split_db):
+        patterns = mine_discriminative(
+            split_db, SUBGROUP, gamma=0.5, epsilon=0.2
+        )
+        leaf_hits = [
+            p for p in patterns if set(p.names) == {"cola", "soap"}
+        ]
+        assert leaf_hits
+        hit = leaf_hits[0]
+        assert hit.subgroup.label.is_positive
+        assert not hit.rest.label.is_positive
+
+    def test_selector_predicate_equivalent(self, split_db):
+        by_index = mine_discriminative(
+            split_db, SUBGROUP, gamma=0.5, epsilon=0.2
+        )
+        # reconstruct the same split via a predicate on contents
+        chosen = {split_db.transaction_names(i) for i in SUBGROUP}
+
+        def predicate(names: tuple[str, ...]) -> bool:
+            return names in chosen
+
+        by_predicate = mine_discriminative(
+            split_db, predicate, gamma=0.5, epsilon=0.2
+        )
+        assert [p.names for p in by_index] == [p.names for p in by_predicate]
+
+    def test_sorted_by_gap(self, split_db):
+        patterns = mine_discriminative(
+            split_db, SUBGROUP, gamma=0.5, epsilon=0.2
+        )
+        gaps = [p.gap for p in patterns]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_levels_filter(self, split_db):
+        patterns = mine_discriminative(
+            split_db, SUBGROUP, gamma=0.5, epsilon=0.2, levels=[1]
+        )
+        assert all(p.level == 1 for p in patterns)
+
+    def test_describe_and_to_dict(self, split_db):
+        patterns = mine_discriminative(
+            split_db, SUBGROUP, gamma=0.5, epsilon=0.2
+        )
+        assert patterns
+        text = patterns[0].describe()
+        assert "subgroup" in text and "rest" in text
+        data = patterns[0].to_dict()
+        assert set(data) == {"level", "names", "gap", "subgroup", "rest"}
+
+
+class TestValidation:
+    def test_empty_side_rejected(self, split_db):
+        with pytest.raises(ConfigError, match="non-empty"):
+            mine_discriminative(split_db, [], gamma=0.5, epsilon=0.2)
+        with pytest.raises(ConfigError, match="non-empty"):
+            mine_discriminative(
+                split_db, list(range(len(split_db))), gamma=0.5, epsilon=0.2
+            )
+
+    def test_bad_thresholds(self, split_db):
+        with pytest.raises(ConfigError):
+            mine_discriminative(split_db, SUBGROUP, gamma=0.2, epsilon=0.5)
+
+    def test_bad_indices(self, split_db):
+        with pytest.raises(ConfigError, match="out of range"):
+            mine_discriminative(split_db, [10_000], gamma=0.5, epsilon=0.2)
+
+    def test_bad_level(self, split_db):
+        with pytest.raises(ConfigError, match="out of range"):
+            mine_discriminative(
+                split_db, SUBGROUP, gamma=0.5, epsilon=0.2, levels=[9]
+            )
+
+    def test_bad_max_k(self, split_db):
+        with pytest.raises(ConfigError, match="max_k"):
+            mine_discriminative(
+                split_db, SUBGROUP, gamma=0.5, epsilon=0.2, max_k=1
+            )
+
+    def test_bad_min_support(self, split_db):
+        with pytest.raises(ConfigError, match="min_support"):
+            mine_discriminative(
+                split_db, SUBGROUP, gamma=0.5, epsilon=0.2, min_support=0
+            )

@@ -1,0 +1,101 @@
+"""Unit tests for the null-invariance utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Thresholds
+from repro.core.invariance import (
+    invariance_table,
+    verify_mining_invariance,
+    with_null_transactions,
+)
+from repro.core.measures import MEASURES
+from repro.errors import ConfigError, DataError
+
+
+class TestNullInjection:
+    def test_inflates_n_only(self, example3_db):
+        inflated = with_null_transactions(example3_db, 17)
+        assert inflated.n_transactions == example3_db.n_transactions + 17
+        # every original transaction survives verbatim
+        for index in range(len(example3_db)):
+            assert inflated.transaction_names(
+                index
+            ) == example3_db.transaction_names(index)
+
+    def test_added_transactions_are_empty(self, example3_db):
+        inflated = with_null_transactions(example3_db, 3)
+        for index in range(len(example3_db), len(inflated)):
+            assert inflated.transaction(index) == ()
+
+    def test_count_validated(self, example3_db):
+        with pytest.raises(DataError):
+            with_null_transactions(example3_db, 0)
+
+
+class TestInvarianceTable:
+    def test_paper_table1_ab_pair(self):
+        """sup(A)=sup(B)=1000, sup(AB)=400: Kulc = 0.40 at any N, lift
+        flips from positive (N=20000) to negative (N=2000)."""
+        rows = invariance_table(400, [1000, 1000], [2_000, 20_000])
+        kulc = {
+            r.n_transactions: r for r in rows if r.measure == "kulczynski"
+        }
+        assert kulc[2_000].value == pytest.approx(0.40)
+        assert kulc[20_000].value == pytest.approx(0.40)
+        assert kulc[2_000].sign == kulc[20_000].sign == "positive"
+        the_lift = {
+            r.n_transactions: r for r in rows if r.measure == "lift"
+        }
+        assert the_lift[20_000].sign == "positive"
+        assert the_lift[2_000].sign == "negative"
+
+    def test_paper_table1_cd_pair(self):
+        """sup(C)=sup(D)=200, sup(CD)=4: Kulc = 0.02 (clearly
+        negative), yet lift calls it positive in the large DB."""
+        rows = invariance_table(4, [200, 200], [2_000, 20_000])
+        kulc = [r for r in rows if r.measure == "kulczynski"]
+        assert all(r.sign == "negative" for r in kulc)
+        assert all(r.value == pytest.approx(0.02) for r in kulc)
+        the_lift = {
+            r.n_transactions: r for r in rows if r.measure == "lift"
+        }
+        assert the_lift[20_000].sign == "positive"
+        assert the_lift[2_000].sign == "negative"
+
+    def test_every_null_invariant_measure_constant(self):
+        rows = invariance_table(30, [100, 60], [200, 2_000, 20_000])
+        for name in MEASURES:
+            values = {r.value for r in rows if r.measure == name}
+            assert len(values) == 1, name
+
+    def test_flags_match_measure_family(self):
+        rows = invariance_table(30, [100, 60], [200])
+        by_measure = {r.measure: r.null_invariant for r in rows}
+        assert by_measure["lift"] is False
+        assert all(by_measure[name] for name in MEASURES)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            invariance_table(30, [100, 60], [])
+        with pytest.raises(ConfigError):
+            invariance_table(30, [100, 60], [50])  # N below max support
+
+
+class TestMiningInvariance:
+    def test_holds_on_toy_data(self, example3_db, example3_thresholds):
+        assert verify_mining_invariance(
+            example3_db, example3_thresholds, n_nulls=25
+        )
+
+    def test_holds_for_every_measure(self, example3_db, example3_thresholds):
+        for name in MEASURES:
+            assert verify_mining_invariance(
+                example3_db, example3_thresholds, measure=name
+            ), name
+
+    def test_fractional_thresholds_rejected(self, example3_db):
+        fractional = Thresholds(gamma=0.6, epsilon=0.35, min_support=0.1)
+        with pytest.raises(ConfigError, match="absolute-count"):
+            verify_mining_invariance(example3_db, fractional)

@@ -1,0 +1,73 @@
+"""Unit tests for repro.core.itemsets."""
+
+from __future__ import annotations
+
+from repro.core.itemsets import (
+    apriori_join,
+    canonical,
+    generalize,
+    has_infrequent_subset,
+    k_minus_one_subsets,
+)
+
+
+class TestCanonical:
+    def test_sorts_and_dedupes(self):
+        assert canonical([3, 1, 3, 2]) == (1, 2, 3)
+
+    def test_empty(self):
+        assert canonical([]) == ()
+
+
+class TestSubsets:
+    def test_pair(self):
+        assert k_minus_one_subsets((1, 2)) == [(2,), (1,)]
+
+    def test_triple(self):
+        subsets = set(k_minus_one_subsets((1, 2, 3)))
+        assert subsets == {(1, 2), (1, 3), (2, 3)}
+
+    def test_count(self):
+        assert len(k_minus_one_subsets((1, 2, 3, 4, 5))) == 5
+
+
+class TestAprioriJoin:
+    def test_pairs_to_triples(self):
+        frequent = [(1, 2), (1, 3), (2, 3), (2, 4)]
+        joined = set(apriori_join(frequent))
+        # (1,2)+(1,3) -> (1,2,3); (2,3)+(2,4) -> (2,3,4)
+        assert joined == {(1, 2, 3), (2, 3, 4)}
+
+    def test_no_shared_prefix_no_join(self):
+        assert apriori_join([(1, 2), (3, 4)]) == []
+
+    def test_empty(self):
+        assert apriori_join([]) == []
+
+    def test_join_is_complete_for_frequent_supersets(self):
+        # every 3-subset of {1,2,3,4}: all pairs frequent -> all triples joined
+        import itertools
+
+        pairs = list(itertools.combinations(range(1, 5), 2))
+        triples = set(apriori_join(pairs))
+        assert triples == set(itertools.combinations(range(1, 5), 3))
+
+
+class TestHasInfrequentSubset:
+    def test_all_present(self):
+        frequent = {(1, 2), (1, 3), (2, 3)}
+        assert not has_infrequent_subset((1, 2, 3), frequent)
+
+    def test_one_missing(self):
+        frequent = {(1, 2), (1, 3)}
+        assert has_infrequent_subset((1, 2, 3), frequent)
+
+
+class TestGeneralize:
+    def test_maps_and_sorts(self):
+        mapping = {10: 1, 20: 2, 30: 3}
+        assert generalize((30, 10, 20), mapping) == (1, 2, 3)
+
+    def test_collapsing_siblings_shortens(self):
+        mapping = {10: 1, 11: 1}
+        assert generalize((10, 11), mapping) == (1,)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.core.labels (paper Definitions 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labels import Label, flips, label_for
+
+
+class TestLabelFor:
+    def test_infrequent_wins_over_correlation(self):
+        # high correlation but below minimum support -> infrequent
+        assert label_for(3, 0.99, 5, 0.5, 0.1) is Label.INFREQUENT
+
+    def test_positive(self):
+        assert label_for(10, 0.60, 5, 0.5, 0.1) is Label.POSITIVE
+
+    def test_positive_at_exact_gamma(self):
+        assert label_for(10, 0.5, 5, 0.5, 0.1) is Label.POSITIVE
+
+    def test_negative(self):
+        assert label_for(10, 0.05, 5, 0.5, 0.1) is Label.NEGATIVE
+
+    def test_negative_at_exact_epsilon(self):
+        assert label_for(10, 0.1, 5, 0.5, 0.1) is Label.NEGATIVE
+
+    def test_dead_zone(self):
+        assert label_for(10, 0.3, 5, 0.5, 0.1) is Label.NON_CORRELATED
+
+
+class TestLabelProperties:
+    def test_signed(self):
+        assert Label.POSITIVE.is_signed
+        assert Label.NEGATIVE.is_signed
+        assert not Label.NON_CORRELATED.is_signed
+        assert not Label.INFREQUENT.is_signed
+
+    def test_symbols(self):
+        assert Label.POSITIVE.symbol == "+"
+        assert Label.NEGATIVE.symbol == "-"
+        assert Label.NON_CORRELATED.symbol == "."
+        assert Label.INFREQUENT.symbol == "x"
+
+    def test_str(self):
+        assert str(Label.POSITIVE) == "positive"
+
+
+class TestFlips:
+    @pytest.mark.parametrize(
+        "parent,child,expected",
+        [
+            (Label.POSITIVE, Label.NEGATIVE, True),
+            (Label.NEGATIVE, Label.POSITIVE, True),
+            (Label.POSITIVE, Label.POSITIVE, False),
+            (Label.NEGATIVE, Label.NEGATIVE, False),
+            (Label.POSITIVE, Label.NON_CORRELATED, False),
+            (Label.NON_CORRELATED, Label.NEGATIVE, False),
+            (Label.INFREQUENT, Label.POSITIVE, False),
+            (Label.POSITIVE, Label.INFREQUENT, False),
+        ],
+    )
+    def test_table(self, parent, child, expected):
+        assert flips(parent, child) is expected

@@ -1,0 +1,196 @@
+"""Unit tests for repro.core.measures (paper Tables 1 and 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.measures import (
+    MEASURES,
+    all_confidence,
+    chi_square,
+    coherence,
+    conditional_probabilities,
+    cosine,
+    expectation_sign,
+    expected_support,
+    get_measure,
+    kulczynski,
+    lift,
+    max_confidence,
+)
+from repro.errors import ConfigError
+
+
+class TestConditionalProbabilities:
+    def test_basic(self):
+        assert conditional_probabilities(2, [4, 8]) == [0.5, 0.25]
+
+    def test_zero_item_support(self):
+        assert conditional_probabilities(0, [0, 5]) == [0.0, 0.0]
+
+    def test_rejects_inconsistent_supports(self):
+        with pytest.raises(ConfigError, match="inconsistent"):
+            conditional_probabilities(10, [5, 20])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            conditional_probabilities(1, [])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            conditional_probabilities(-1, [5])
+
+
+class TestPairValues:
+    """Hand-computed two-item values."""
+
+    def test_kulc_paper_table1(self):
+        # Table 1: Kulc(A,B) = 0.40 for sup 1000/1000/400
+        assert kulczynski(400, [1000, 1000]) == pytest.approx(0.40)
+        # Kulc(C,D) = 0.02 for sup 200/200/4
+        assert kulczynski(4, [200, 200]) == pytest.approx(0.02)
+
+    def test_all_confidence_is_min(self):
+        assert all_confidence(2, [4, 8]) == pytest.approx(0.25)
+
+    def test_max_confidence_is_max(self):
+        assert max_confidence(2, [4, 8]) == pytest.approx(0.5)
+
+    def test_cosine_geometric(self):
+        assert cosine(2, [4, 8]) == pytest.approx(math.sqrt(0.5 * 0.25))
+
+    def test_coherence_harmonic(self):
+        # harmonic mean of 0.5 and 0.25 = 2/(2+4) = 1/3
+        assert coherence(2, [4, 8]) == pytest.approx(1 / 3)
+
+    def test_identical_items_give_one(self):
+        for fn in (all_confidence, coherence, cosine, kulczynski, max_confidence):
+            assert fn(5, [5, 5]) == pytest.approx(1.0)
+
+    def test_zero_support_itemset(self):
+        for fn in (all_confidence, coherence, cosine, kulczynski, max_confidence):
+            assert fn(0, [5, 7]) == 0.0
+
+
+class TestKaryValues:
+    def test_kulc_equation_1(self):
+        # Kulc(A) = (1/k) * sum sup(A)/sup(ai)
+        value = kulczynski(3, [6, 9, 12])
+        assert value == pytest.approx((3 / 6 + 3 / 9 + 3 / 12) / 3)
+
+    def test_cosine_kth_root(self):
+        value = cosine(3, [6, 9, 12])
+        expected = ((3 / 6) * (3 / 9) * (3 / 12)) ** (1 / 3)
+        assert value == pytest.approx(expected)
+
+    def test_coherence_k_over_inverse_sum(self):
+        value = coherence(3, [6, 9, 12])
+        expected = 3 / (6 / 3 + 9 / 3 + 12 / 3)
+        assert value == pytest.approx(expected)
+
+
+class TestOrdering:
+    """Table 2: min <= harmonic <= geometric <= arithmetic <= max."""
+
+    @pytest.mark.parametrize(
+        "sup,items",
+        [
+            (2, [4, 8]),
+            (1, [2, 3, 11]),
+            (7, [7, 9, 14, 100]),
+            (3, [30, 3, 700]),
+        ],
+    )
+    def test_chain(self, sup, items):
+        a = all_confidence(sup, items)
+        h = coherence(sup, items)
+        g = cosine(sup, items)
+        m = kulczynski(sup, items)
+        x = max_confidence(sup, items)
+        assert a <= h + 1e-12
+        assert h <= g + 1e-12
+        assert g <= m + 1e-12
+        assert m <= x + 1e-12
+
+
+class TestRegistry:
+    def test_all_five_registered(self):
+        assert set(MEASURES) == {
+            "all_confidence",
+            "coherence",
+            "cosine",
+            "kulczynski",
+            "max_confidence",
+        }
+
+    def test_aliases(self):
+        assert get_measure("kulc").name == "kulczynski"
+        assert get_measure("Kulczynsky").name == "kulczynski"
+        assert get_measure("allconf").name == "all_confidence"
+
+    def test_instance_passthrough(self):
+        measure = MEASURES["cosine"]
+        assert get_measure(measure) is measure
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError, match="unknown measure"):
+            get_measure("pearson")
+
+    def test_metadata(self):
+        assert MEASURES["all_confidence"].anti_monotonic
+        assert MEASURES["coherence"].anti_monotonic
+        assert not MEASURES["kulczynski"].anti_monotonic
+        assert all(m.null_invariant for m in MEASURES.values())
+
+    def test_callable(self):
+        assert MEASURES["kulczynski"](400, [1000, 1000]) == pytest.approx(0.4)
+
+
+class TestExpectationBased:
+    """Table 1: the expectation-based verdict flips with N."""
+
+    def test_table1_ab(self):
+        assert expected_support([1000, 1000], 20_000) == pytest.approx(50)
+        assert expected_support([1000, 1000], 2_000) == pytest.approx(500)
+        assert expectation_sign(400, [1000, 1000], 20_000) == "positive"
+        assert expectation_sign(400, [1000, 1000], 2_000) == "negative"
+
+    def test_table1_cd(self):
+        assert expected_support([200, 200], 20_000) == pytest.approx(2)
+        assert expected_support([200, 200], 2_000) == pytest.approx(20)
+        assert expectation_sign(4, [200, 200], 20_000) == "positive"
+        assert expectation_sign(4, [200, 200], 2_000) == "negative"
+
+    def test_kulc_does_not_flip_with_n(self):
+        # The same pairs under Kulc: identical value whatever N is.
+        assert kulczynski(400, [1000, 1000]) == kulczynski(400, [1000, 1000])
+        assert kulczynski(4, [200, 200]) == pytest.approx(0.02)
+
+    def test_lift(self):
+        assert lift(400, [1000, 1000], 20_000) == pytest.approx(8.0)
+        assert lift(400, [1000, 1000], 2_000) == pytest.approx(0.8)
+
+    def test_lift_zero_expectation(self):
+        assert lift(0, [0, 10], 100) == 0.0
+        assert lift(1, [0, 10], 100) == math.inf
+
+    def test_expected_support_validation(self):
+        with pytest.raises(ConfigError):
+            expected_support([10], 0)
+        with pytest.raises(ConfigError):
+            expected_support([200], 100)
+
+    def test_chi_square_independent_is_zero(self):
+        # sup_ab exactly equals expectation -> statistic 0
+        assert chi_square(50, 50, 25, 100) == pytest.approx(0.0)
+
+    def test_chi_square_positive_association(self):
+        assert chi_square(50, 50, 50, 100) == pytest.approx(100.0)
+
+    def test_chi_square_validation(self):
+        with pytest.raises(ConfigError):
+            chi_square(5, 5, 6, 100)
+        with pytest.raises(ConfigError):
+            chi_square(5, 5, 2, 0)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labels import Label
+from repro.core.patterns import ChainLink, FlippingPattern, MiningResult
+from repro.core.stats import MiningStats
+
+
+def link(level, names, corr, label, support=5):
+    ids = tuple(range(level * 10, level * 10 + len(names)))
+    return ChainLink(
+        level=level,
+        itemset=ids,
+        names=tuple(names),
+        support=support,
+        correlation=corr,
+        label=label,
+    )
+
+
+@pytest.fixture
+def pattern():
+    return FlippingPattern(
+        links=(
+            link(1, ("a", "b"), 0.8, Label.POSITIVE),
+            link(2, ("a1", "b1"), 0.3, Label.NEGATIVE),
+            link(3, ("a11", "b11"), 0.9, Label.POSITIVE),
+        )
+    )
+
+
+class TestChainLink:
+    def test_render(self):
+        text = link(1, ("a", "b"), 0.8, Label.POSITIVE).render()
+        assert "level 1" in text and "{a, b}" in text and "[+]" in text
+
+
+class TestFlippingPattern:
+    def test_basic_properties(self, pattern):
+        assert pattern.k == 2
+        assert pattern.height == 3
+        assert pattern.leaf_names == ("a11", "b11")
+        assert pattern.signature == "+-+"
+        assert pattern.bottom_label is Label.POSITIVE
+
+    def test_gaps(self, pattern):
+        assert pattern.min_gap == pytest.approx(0.5)
+        assert pattern.max_gap == pytest.approx(0.6)
+        assert pattern.mean_gap == pytest.approx(0.55)
+
+    def test_describe(self, pattern):
+        text = pattern.describe()
+        assert "a11" in text and "signature +-+" in text
+
+    def test_to_dict(self, pattern):
+        data = pattern.to_dict()
+        assert data["items"] == ["a11", "b11"]
+        assert len(data["chain"]) == 3
+        assert data["chain"][1]["label"] == "negative"
+
+    def test_str(self, pattern):
+        assert str(pattern) == "{a11, b11} [+-+]"
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            FlippingPattern(links=(link(1, ("a", "b"), 0.8, Label.POSITIVE),))
+
+
+class TestMiningResult:
+    def test_container_protocol(self, pattern):
+        result = MiningResult(patterns=[pattern], stats=MiningStats())
+        assert len(result) == 1
+        assert list(result) == [pattern]
+
+    def test_by_size(self, pattern):
+        result = MiningResult(patterns=[pattern], stats=MiningStats())
+        assert result.by_size(2) == [pattern]
+        assert result.by_size(3) == []
+
+    def test_sorted_by_gap(self, pattern):
+        sharper = FlippingPattern(
+            links=(
+                link(1, ("c", "d"), 0.95, Label.POSITIVE),
+                link(2, ("c1", "d1"), 0.05, Label.NEGATIVE),
+                link(3, ("c11", "d11"), 0.99, Label.POSITIVE),
+            )
+        )
+        result = MiningResult(
+            patterns=[pattern, sharper], stats=MiningStats()
+        )
+        ranked = result.sorted_by_gap()
+        assert ranked[0] is sharper
+
+    def test_sorted_by_gap_bad_score(self, pattern):
+        result = MiningResult(patterns=[pattern], stats=MiningStats())
+        with pytest.raises(ValueError):
+            result.sorted_by_gap(score="magic")
+
+    def test_describe_truncates(self, pattern):
+        result = MiningResult(patterns=[pattern] * 12, stats=MiningStats())
+        text = result.describe(limit=3)
+        assert "(9 more patterns)" in text
+
+    def test_to_dict(self, pattern):
+        result = MiningResult(
+            patterns=[pattern], stats=MiningStats(), config={"gamma": 0.5}
+        )
+        data = result.to_dict()
+        assert data["config"]["gamma"] == 0.5
+        assert len(data["patterns"]) == 1

@@ -1,0 +1,121 @@
+"""Round-trip tests for mining-result serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import mine_flipping_patterns
+from repro.core.serialize import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture
+def toy_result(example3_db, example3_thresholds):
+    return mine_flipping_patterns(example3_db, example3_thresholds)
+
+
+class TestRoundTrip:
+    def test_patterns_survive_exactly(self, toy_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(toy_result, path)
+        loaded = load_result(path)
+        assert loaded.patterns == toy_result.patterns
+
+    def test_stats_survive(self, toy_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(toy_result, path)
+        loaded = load_result(path)
+        original = toy_result.stats
+        assert loaded.stats.method == original.method
+        assert loaded.stats.measure == original.measure
+        assert loaded.stats.elapsed_seconds == original.elapsed_seconds
+        assert loaded.stats.db_scans == original.db_scans
+        assert loaded.stats.stored_entries == original.stored_entries
+        assert loaded.stats.max_cell_entries == original.max_cell_entries
+        assert loaded.stats.cells == original.cells
+        assert loaded.stats.tpg_events == original.tpg_events
+        assert loaded.stats.sibp_bans == original.sibp_bans
+
+    def test_config_survives(self, toy_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(toy_result, path)
+        assert load_result(path).config == toy_result.config
+
+    def test_dict_round_trip_without_files(self, toy_result):
+        rebuilt = result_from_dict(result_to_dict(toy_result))
+        assert rebuilt.patterns == toy_result.patterns
+
+    def test_double_round_trip_stable(self, toy_result):
+        once = result_to_dict(toy_result)
+        twice = result_to_dict(result_from_dict(once))
+        assert once == twice
+
+
+class TestEnvelope:
+    def test_format_markers_present(self, toy_result):
+        raw = result_to_dict(toy_result)
+        assert raw["format"] == FORMAT_NAME
+        assert raw["version"] == FORMAT_VERSION
+
+    def test_file_is_plain_json(self, toy_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(toy_result, path)
+        raw = json.loads(path.read_text())
+        assert raw["format"] == FORMAT_NAME
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="no such result"):
+            load_result(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(DataError, match="not valid JSON"):
+            load_result(path)
+
+    def test_non_object_document(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(DataError, match="result object"):
+            load_result(path)
+
+    def test_wrong_format_name(self, toy_result):
+        raw = result_to_dict(toy_result)
+        raw["format"] = "something-else"
+        with pytest.raises(DataError, match="not a"):
+            result_from_dict(raw)
+
+    def test_future_version_rejected(self, toy_result):
+        raw = result_to_dict(toy_result)
+        raw["version"] = FORMAT_VERSION + 1
+        with pytest.raises(DataError, match="unsupported format version"):
+            result_from_dict(raw)
+
+    def test_unknown_label_rejected(self, toy_result):
+        raw = result_to_dict(toy_result)
+        raw["patterns"][0][0]["label"] = "sideways"
+        with pytest.raises(DataError, match="unknown label"):
+            result_from_dict(raw)
+
+    def test_missing_chain_key_reported(self, toy_result):
+        raw = result_to_dict(toy_result)
+        del raw["patterns"][0][0]["support"]
+        with pytest.raises(DataError, match="missing key"):
+            result_from_dict(raw)
+
+    def test_corrupt_stats_totals_detected(self, toy_result):
+        raw = result_to_dict(toy_result)
+        raw["stats"]["stored_entries"] += 7
+        with pytest.raises(DataError, match="corrupt stats"):
+            result_from_dict(raw)

@@ -1,0 +1,100 @@
+"""Unit tests for chi-square pattern post-validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mine_flipping_patterns
+from repro.core.significance import (
+    chi_square_test,
+    pattern_significance,
+    significant_patterns,
+)
+from repro.datasets.groceries import GROCERIES_THRESHOLDS, generate_groceries
+from repro.errors import ConfigError
+
+
+class TestChiSquareTest:
+    def test_independent_items_not_significant(self):
+        # sup(AB) exactly at the independence expectation:
+        # E = 100 * 100 / 1000 = 10
+        statistic, p_value = chi_square_test(100, 100, 10, 1000)
+        assert statistic == pytest.approx(0.0)
+        assert p_value == pytest.approx(1.0)
+
+    def test_perfect_dependence_is_significant(self):
+        statistic, p_value = chi_square_test(100, 100, 100, 1000)
+        assert statistic > 100
+        assert p_value < 1e-10
+
+    def test_known_value(self):
+        """Hand-checked 2x2: sup_a=50, sup_b=40, sup_ab=30, n=200.
+        E(ab) = 10; the chi-square statistic is 200*(30*140-20*10)^2 /
+        (50*150*40*160) = 66.67."""
+        statistic, p_value = chi_square_test(50, 40, 30, 200)
+        assert statistic == pytest.approx(66.6667, rel=1e-4)
+        assert p_value < 1e-10
+
+    def test_symmetric_in_items(self):
+        assert chi_square_test(60, 30, 20, 500) == chi_square_test(
+            30, 60, 20, 500
+        )
+
+
+class TestPatternSignificance:
+    @pytest.fixture(scope="class")
+    def mined(self):
+        database = generate_groceries(scale=0.3)
+        result = mine_flipping_patterns(database, GROCERIES_THRESHOLDS)
+        assert result.patterns
+        return database, result
+
+    def test_one_verdict_per_level(self, mined):
+        database, result = mined
+        pattern = result.patterns[0]
+        evidence = pattern_significance(database, pattern)
+        assert [e.level for e in evidence] == [
+            link.level for link in pattern.links
+        ]
+        assert all(0.0 <= e.p_value <= 1.0 for e in evidence)
+
+    def test_planted_patterns_significant_at_leaf_level(self, mined):
+        """Planted flips co-occur far above independence at the item
+        level, so the leaf link must test significant."""
+        database, result = mined
+        for pattern in result.patterns:
+            evidence = pattern_significance(database, pattern)
+            assert evidence[-1].is_significant(0.05), pattern.leaf_names
+
+    def test_significant_patterns_filters(self, mined):
+        database, result = mined
+        kept = significant_patterns(database, result.patterns, alpha=0.05)
+        assert len(kept) <= len(result.patterns)
+        for pattern, evidence in kept:
+            assert all(link.is_significant(0.05) for link in evidence)
+
+    def test_stricter_alpha_keeps_fewer(self, mined):
+        database, result = mined
+        loose = significant_patterns(database, result.patterns, alpha=0.05)
+        strict = significant_patterns(
+            database, result.patterns, alpha=1e-12
+        )
+        assert len(strict) <= len(loose)
+
+    def test_alpha_validated(self, mined):
+        database, result = mined
+        with pytest.raises(ConfigError):
+            significant_patterns(database, result.patterns, alpha=1.5)
+
+
+class TestToyPattern:
+    def test_toy_pattern_evidence_shape(
+        self, example3_db, example3_thresholds
+    ):
+        result = mine_flipping_patterns(example3_db, example3_thresholds)
+        evidence = pattern_significance(example3_db, result.patterns[0])
+        assert len(evidence) == 3
+        # ten transactions cannot reach significance; the machinery
+        # must still produce sane p-values
+        assert all(0.0 <= e.p_value <= 1.0 for e in evidence)
+        assert all(e.names for e in evidence)

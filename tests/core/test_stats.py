@@ -1,0 +1,46 @@
+"""Unit tests for repro.core.stats."""
+
+from __future__ import annotations
+
+from repro.core.stats import CellStats, MiningStats, Timer
+
+
+class TestMiningStats:
+    def test_record_cell_aggregates(self):
+        stats = MiningStats()
+        stats.record_cell(CellStats(level=1, k=2, candidates=10, counted=8))
+        stats.record_cell(CellStats(level=2, k=2, candidates=4, counted=3))
+        assert stats.total_candidates == 14
+        assert stats.total_counted == 11
+        assert stats.stored_entries == 11
+        assert stats.max_cell_entries == 8
+        assert stats.cells_processed == 2
+
+    def test_cell_lookup(self):
+        stats = MiningStats()
+        stats.record_cell(CellStats(level=1, k=2))
+        assert stats.cell(1, 2) is not None
+        assert stats.cell(9, 9) is None
+
+    def test_summary_mentions_events(self):
+        stats = MiningStats(method="flipping+tpg+sibp")
+        stats.tpg_events.append((1, 3))
+        stats.sibp_bans.append((2, 17, 2))
+        text = stats.summary()
+        assert "TPG fired" in text and "SIBP bans: 1" in text
+
+    def test_to_dict_shape(self):
+        stats = MiningStats(method="basic", measure="cosine")
+        stats.extra["note"] = "x"
+        data = stats.to_dict()
+        assert data["method"] == "basic"
+        assert data["measure"] == "cosine"
+        assert data["note"] == "x"
+        assert "total_candidates" in data
+
+
+class TestTimer:
+    def test_measures_time(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.seconds >= 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.thresholds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.thresholds import Thresholds
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        th = Thresholds(gamma=0.3, epsilon=0.1, min_support=0.01)
+        assert th.gamma == 0.3
+
+    def test_gamma_range(self):
+        with pytest.raises(ConfigError, match="gamma"):
+            Thresholds(gamma=0.0, epsilon=0.0)
+        with pytest.raises(ConfigError, match="gamma"):
+            Thresholds(gamma=1.5, epsilon=0.1)
+
+    def test_epsilon_range(self):
+        with pytest.raises(ConfigError, match="epsilon"):
+            Thresholds(gamma=0.5, epsilon=-0.1)
+        with pytest.raises(ConfigError, match="epsilon"):
+            Thresholds(gamma=0.5, epsilon=1.0)
+
+    def test_epsilon_below_gamma(self):
+        with pytest.raises(ConfigError, match="below gamma"):
+            Thresholds(gamma=0.3, epsilon=0.3)
+
+    def test_mixed_kinds_rejected(self):
+        with pytest.raises(ConfigError, match="mixes"):
+            Thresholds(gamma=0.3, epsilon=0.1, min_support=[0.1, 5])
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigError, match="fractional"):
+            Thresholds(gamma=0.3, epsilon=0.1, min_support=[0.5, 0.0])
+
+    def test_absolute_bounds(self):
+        with pytest.raises(ConfigError, match="absolute"):
+            Thresholds(gamma=0.3, epsilon=0.1, min_support=0)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigError, match="bool"):
+            Thresholds(gamma=0.3, epsilon=0.1, min_support=True)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            Thresholds(gamma=0.3, epsilon=0.1, min_support=[])
+
+    def test_non_increasing_enforced(self):
+        # Paper Section 2.2: thresholds fall as levels get more specific.
+        with pytest.raises(ConfigError, match="non-increasing"):
+            Thresholds(gamma=0.3, epsilon=0.1, min_support=[0.001, 0.01])
+
+    def test_equal_supports_allowed(self):
+        Thresholds(gamma=0.3, epsilon=0.1, min_support=[0.05, 0.05, 0.05])
+
+
+class TestResolve:
+    def test_scalar_replicates(self):
+        th = Thresholds(gamma=0.3, epsilon=0.1, min_support=0.01)
+        resolved = th.resolve(height=4, n_transactions=1000)
+        assert resolved.min_counts == (10, 10, 10, 10)
+
+    def test_fractions_ceil(self):
+        th = Thresholds(gamma=0.3, epsilon=0.1, min_support=[0.015, 0.001])
+        resolved = th.resolve(height=2, n_transactions=1000)
+        assert resolved.min_counts == (15, 1)
+
+    def test_fraction_floor_is_one(self):
+        th = Thresholds(gamma=0.3, epsilon=0.1, min_support=0.00001)
+        resolved = th.resolve(height=2, n_transactions=100)
+        assert resolved.min_counts == (1, 1)
+
+    def test_absolute_passthrough(self):
+        th = Thresholds(gamma=0.3, epsilon=0.1, min_support=[10, 5, 2])
+        resolved = th.resolve(height=3, n_transactions=1000)
+        assert resolved.min_counts == (10, 5, 2)
+
+    def test_wrong_length_rejected(self):
+        th = Thresholds(gamma=0.3, epsilon=0.1, min_support=[10, 5])
+        with pytest.raises(ConfigError, match="levels"):
+            th.resolve(height=3, n_transactions=100)
+
+    def test_bad_height(self):
+        th = Thresholds(gamma=0.3, epsilon=0.1)
+        with pytest.raises(ConfigError):
+            th.resolve(height=0, n_transactions=100)
+
+    def test_empty_database(self):
+        th = Thresholds(gamma=0.3, epsilon=0.1)
+        with pytest.raises(ConfigError):
+            th.resolve(height=2, n_transactions=0)
+
+    def test_min_count_accessor(self):
+        th = Thresholds(gamma=0.3, epsilon=0.1, min_support=[10, 5])
+        resolved = th.resolve(height=2, n_transactions=100)
+        assert resolved.min_count(1) == 10
+        assert resolved.min_count(2) == 5
+        with pytest.raises(ConfigError):
+            resolved.min_count(3)
+
+    def test_describe(self):
+        th = Thresholds(gamma=0.3, epsilon=0.1, min_support=0.01)
+        assert "gamma=0.3" in th.describe()

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.topk (future-work extensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Thresholds, mine_flipping_patterns, mine_top_k, top_k_most_flipping
+from repro.core.labels import Label
+from repro.core.patterns import ChainLink, FlippingPattern
+from repro.errors import ConfigError
+
+
+def make_pattern(names, corrs):
+    labels = [
+        Label.POSITIVE if i % 2 == 0 else Label.NEGATIVE
+        for i in range(len(corrs))
+    ]
+    links = tuple(
+        ChainLink(
+            level=i + 1,
+            itemset=(i * 10, i * 10 + 1),
+            names=(f"{names[0]}{i}", f"{names[1]}{i}"),
+            support=5,
+            correlation=corr,
+            label=label,
+        )
+        for i, (corr, label) in enumerate(zip(corrs, labels))
+    )
+    return FlippingPattern(links=links)
+
+
+class TestTopKMostFlipping:
+    def test_ranks_by_min_gap(self):
+        mild = make_pattern(("a", "b"), [0.6, 0.4])
+        sharp = make_pattern(("c", "d"), [0.9, 0.05])
+        top = top_k_most_flipping([mild, sharp], k=1)
+        assert top == [sharp]
+
+    def test_k_larger_than_input(self):
+        mild = make_pattern(("a", "b"), [0.6, 0.4])
+        assert top_k_most_flipping([mild], k=5) == [mild]
+
+    def test_accepts_mining_result(self, example3_db, example3_thresholds):
+        result = mine_flipping_patterns(example3_db, example3_thresholds)
+        top = top_k_most_flipping(result, k=1)
+        assert top[0].leaf_names == ("a11", "b11")
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigError):
+            top_k_most_flipping([], k=0)
+
+    def test_bad_score(self):
+        with pytest.raises(ConfigError):
+            top_k_most_flipping([], k=1, score="sharpest")
+
+    @pytest.mark.parametrize("score", ["min_gap", "max_gap", "mean_gap"])
+    def test_all_scores(self, score):
+        patterns = [
+            make_pattern(("a", "b"), [0.6, 0.4]),
+            make_pattern(("c", "d"), [0.9, 0.05]),
+        ]
+        ranked = top_k_most_flipping(patterns, k=2, score=score)
+        assert len(ranked) == 2
+
+
+class TestMineTopK:
+    def test_finds_paper_pattern_without_thresholds(self, example3_db):
+        patterns = mine_top_k(
+            example3_db,
+            k=1,
+            min_support=1,
+            gamma_start=0.7,
+            epsilon_start=0.2,
+        )
+        assert patterns
+        assert patterns[0].leaf_names == ("a11", "b11")
+
+    def test_relaxation_monotone(self, example3_db):
+        # A very strict start must still converge via relaxation.
+        patterns = mine_top_k(
+            example3_db,
+            k=1,
+            min_support=1,
+            gamma_start=0.95,
+            epsilon_start=0.05,
+            relax_step=0.1,
+            max_rounds=12,
+        )
+        assert patterns  # found after relaxing
+
+    def test_validation(self, example3_db):
+        with pytest.raises(ConfigError):
+            mine_top_k(example3_db, k=0, min_support=1)
+        with pytest.raises(ConfigError):
+            mine_top_k(
+                example3_db, k=1, min_support=1, gamma_start=0.2,
+                epsilon_start=0.5,
+            )
+        with pytest.raises(ConfigError):
+            mine_top_k(
+                example3_db, k=1, min_support=1, relax_step=0.0
+            )
+
+    def test_empty_database_region(self, example3_db):
+        # thresholds that can never match anything: returns [] gracefully
+        patterns = mine_top_k(
+            example3_db,
+            k=99,
+            min_support=10,
+            gamma_start=0.99,
+            epsilon_start=0.98,
+            relax_step=0.001,
+            max_rounds=2,
+        )
+        assert patterns == []

@@ -1,0 +1,110 @@
+"""Unit tests for repro.data.database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import TransactionDatabase
+from repro.errors import DataError, TaxonomyError
+from repro.taxonomy import Taxonomy
+
+
+class TestConstruction:
+    def test_encodes_and_sorts(self, grocery_taxonomy):
+        db = TransactionDatabase(
+            [["cola", "apples"], ["soap"]], grocery_taxonomy
+        )
+        assert db.n_transactions == 2
+        first = db.transaction_names(0)
+        assert set(first) == {"cola", "apples"}
+        assert list(db.transaction(0)) == sorted(db.transaction(0))
+
+    def test_deduplicates_items(self, grocery_taxonomy):
+        db = TransactionDatabase([["cola", "cola", "cola"]], grocery_taxonomy)
+        assert db.transaction_names(0) == ("cola",)
+
+    def test_unknown_item_strict(self, grocery_taxonomy):
+        with pytest.raises(DataError, match="unknown item"):
+            TransactionDatabase([["vodka"]], grocery_taxonomy)
+
+    def test_unknown_item_lenient(self, grocery_taxonomy):
+        db = TransactionDatabase(
+            [["vodka", "cola"]], grocery_taxonomy, strict=False
+        )
+        assert db.transaction_names(0) == ("cola",)
+
+    def test_empty_database_rejected(self, grocery_taxonomy):
+        with pytest.raises(DataError, match="empty"):
+            TransactionDatabase([], grocery_taxonomy)
+
+    def test_unbalanced_taxonomy_auto_rebalances(self):
+        tax = Taxonomy.from_dict({"a": {"a1": ["x"]}, "b": ["b1"]})
+        assert not tax.is_balanced
+        db = TransactionDatabase([["x", "b1"]], tax)
+        assert db.taxonomy.is_balanced
+        assert db.taxonomy.height == 3
+
+    def test_unbalanced_rejected_when_rebalance_off(self):
+        tax = Taxonomy.from_dict({"a": {"a1": ["x"]}, "b": ["b1"]})
+        with pytest.raises(TaxonomyError, match="rebalance"):
+            TransactionDatabase([["x"]], tax, rebalance=False)
+
+    def test_internal_node_name_is_not_an_item(self, grocery_taxonomy):
+        with pytest.raises(DataError, match="unknown item"):
+            TransactionDatabase([["beer"]], grocery_taxonomy)
+
+
+class TestAccessors:
+    def test_item_id_roundtrip(self, grocery_taxonomy):
+        db = TransactionDatabase([["cola"]], grocery_taxonomy)
+        item = db.item_id("cola")
+        assert db.item_name(item) == "cola"
+
+    def test_item_id_unknown(self, grocery_taxonomy):
+        db = TransactionDatabase([["cola"]], grocery_taxonomy)
+        with pytest.raises(DataError):
+            db.item_id("vodka")
+
+    def test_len_and_iter(self, grocery_taxonomy):
+        db = TransactionDatabase(
+            [["cola"], ["soap"], ["milk"]], grocery_taxonomy
+        )
+        assert len(db) == 3
+        assert len(list(db)) == 3
+
+
+class TestShapeStats:
+    def test_widths(self, grocery_taxonomy):
+        db = TransactionDatabase(
+            [["cola", "soap", "milk"], ["cola"]], grocery_taxonomy
+        )
+        assert db.max_width == 3
+        assert db.mean_width == pytest.approx(2.0)
+
+    def test_width_at_level_collapses_siblings(self, grocery_taxonomy):
+        # cola + lemonade are both 'soda' at level 2 and 'drinks' at level 1
+        db = TransactionDatabase([["cola", "lemonade"]], grocery_taxonomy)
+        assert db.max_width == 2
+        assert db.width_at_level(2) == 1
+        assert db.width_at_level(1) == 1
+
+
+class TestProjection:
+    def test_project_to_level(self, grocery_taxonomy, example3_db):
+        db = TransactionDatabase(
+            [["cola", "canned beer", "soap"]], grocery_taxonomy
+        )
+        level1 = db.project_to_level(1)[0]
+        names = {db.taxonomy.name_of(i) for i in level1}
+        assert names == {"drinks", "non-food"}
+
+    def test_projection_matches_paper_example(self, example3_db):
+        # Fig. 4: D1 = {a11,a22,b11,b22} -> level 1 {a, b}
+        level1 = example3_db.project_to_level(1)[0]
+        names = {example3_db.taxonomy.name_of(i) for i in level1}
+        assert names == {"a", "b"}
+
+    def test_describe(self, example3_db):
+        text = example3_db.describe()
+        assert "10 transactions" in text
+        assert "8 items" in text

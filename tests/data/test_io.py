@@ -1,0 +1,73 @@
+"""Unit tests for repro.data.io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    format_basket_text,
+    load_database,
+    load_transactions,
+    parse_basket_text,
+    save_transactions,
+)
+from repro.errors import DataError
+
+
+class TestBasketText:
+    def test_parse_basic(self):
+        rows = parse_basket_text("milk,bread\nbeer\n")
+        assert rows == [["milk", "bread"], ["beer"]]
+
+    def test_parse_strips_whitespace_and_comments(self):
+        rows = parse_basket_text("# header\n milk , bread \n\n")
+        assert rows == [["milk", "bread"]]
+
+    def test_parse_custom_delimiter(self):
+        rows = parse_basket_text("milk|bread\n", delimiter="|")
+        assert rows == [["milk", "bread"]]
+
+    def test_parse_rejects_empty_file(self):
+        with pytest.raises(DataError, match="no transactions"):
+            parse_basket_text("# nothing\n")
+
+    def test_format_roundtrip(self):
+        rows = [["milk", "bread"], ["beer"]]
+        assert parse_basket_text(format_basket_text(rows)) == rows
+
+    def test_format_rejects_delimiter_in_item(self):
+        with pytest.raises(DataError, match="delimiter"):
+            format_basket_text([["a,b"]])
+
+
+class TestFiles:
+    def test_text_roundtrip(self, tmp_path):
+        path = tmp_path / "baskets.txt"
+        rows = [["milk", "bread"], ["beer", "diapers"]]
+        save_transactions(rows, path)
+        assert load_transactions(path) == rows
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "baskets.jsonl"
+        rows = [["milk, with comma", "bread"], ["beer"]]
+        save_transactions(rows, path)
+        assert load_transactions(path) == rows
+
+    def test_jsonl_rejects_non_array(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not": "an array"}\n')
+        with pytest.raises(DataError, match="JSON array"):
+            load_transactions(path)
+
+    def test_jsonl_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n")
+        with pytest.raises(DataError, match="no transactions"):
+            load_transactions(path)
+
+    def test_load_database(self, tmp_path, grocery_taxonomy):
+        path = tmp_path / "baskets.txt"
+        save_transactions([["cola", "soap"]], path)
+        db = load_database(path, grocery_taxonomy)
+        assert db.n_transactions == 1
+        assert set(db.transaction_names(0)) == {"cola", "soap"}

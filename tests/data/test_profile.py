@@ -1,0 +1,83 @@
+"""Unit tests for database profiling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Thresholds, profile_database
+from repro.errors import ConfigError
+
+
+class TestToyProfile:
+    @pytest.fixture
+    def profile(self, example3_db):
+        return profile_database(example3_db)
+
+    def test_global_shape(self, profile, example3_db):
+        assert profile.n_transactions == 10
+        assert profile.n_items == 8
+        assert profile.n_active_items == 8
+        assert profile.mean_width == example3_db.mean_width
+        assert profile.max_width == 4
+
+    def test_width_histogram_sums_to_n(self, profile):
+        assert sum(profile.width_histogram.values()) == 10
+        assert profile.width_histogram[4] == 1  # D1 has four items
+
+    def test_level_profiles(self, profile):
+        assert [entry.level for entry in profile.levels] == [1, 2, 3]
+        top = profile.level(1)
+        assert top.n_nodes == 2
+        assert top.n_active_nodes == 2
+        # paper Fig. 4: sup(a)=8, sup(b)=9
+        assert top.max_support == 9
+        # densities shrink with depth: fewer of a level's nodes per txn
+        densities = [entry.density for entry in profile.levels]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_unknown_level_rejected(self, profile):
+        with pytest.raises(ConfigError):
+            profile.level(9)
+
+    def test_top_items_ordered(self, example3_db):
+        profile = profile_database(example3_db, top=3)
+        supports = [support for _name, support in profile.top_items]
+        assert supports == sorted(supports, reverse=True)
+        assert len(profile.top_items) == 3
+
+    def test_top_zero(self, example3_db):
+        assert profile_database(example3_db, top=0).top_items == []
+
+    def test_top_validated(self, example3_db):
+        with pytest.raises(ConfigError):
+            profile_database(example3_db, top=-1)
+
+
+class TestSuggestions:
+    def test_suggested_ladder_is_valid_thresholds(self, example3_db):
+        profile = profile_database(example3_db)
+        counts = profile.suggest_min_supports(bottom_fraction=0.1)
+        # must satisfy the paper's non-increasing constraint, i.e.
+        # construct a Thresholds without raising
+        thresholds = Thresholds(gamma=0.5, epsilon=0.1, min_support=counts)
+        assert thresholds.resolve(3, 10).min_counts == tuple(counts)
+
+    def test_bottom_anchored(self, random_db):
+        profile = profile_database(random_db)
+        counts = profile.suggest_min_supports(bottom_fraction=0.01)
+        assert counts[-1] >= 2
+        assert counts == sorted(counts, reverse=True)
+
+    def test_fraction_validated(self, example3_db):
+        profile = profile_database(example3_db)
+        with pytest.raises(ConfigError):
+            profile.suggest_min_supports(bottom_fraction=1.5)
+
+
+class TestDescribe:
+    def test_mentions_every_level_and_items(self, example3_db):
+        text = profile_database(example3_db).describe()
+        for level in (1, 2, 3):
+            assert f"h{level}" in text
+        assert "10 transactions" in text
+        assert "most frequent items:" in text

@@ -1,0 +1,103 @@
+"""Unit tests for repro.data.vertical: the bitmap index must agree with
+naive counting on every level."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import TransactionDatabase, VerticalIndex
+from repro.errors import DataError
+
+
+@pytest.fixture
+def index(example3_db) -> VerticalIndex:
+    return VerticalIndex(example3_db)
+
+
+def naive_support(db: TransactionDatabase, level: int, names: set[str]) -> int:
+    """Count by direct projection — the definition, not the index."""
+    tax = db.taxonomy
+    ids = {tax.node_by_name(n, level=level).node_id for n in names}
+    return sum(
+        1 for projected in db.project_to_level(level) if ids <= projected
+    )
+
+
+class TestSingleNodeSupports:
+    # Hand-computed from Fig. 4 (see paper Example 3).
+    @pytest.mark.parametrize(
+        "name,level,expected",
+        [
+            ("a11", 3, 2),
+            ("a12", 3, 4),
+            ("a21", 3, 4),
+            ("b12", 3, 4),
+            ("a1", 2, 6),
+            ("b1", 2, 6),
+            ("a", 1, 8),
+            ("b", 1, 9),
+        ],
+    )
+    def test_matches_paper_counts(self, index, example3_db, name, level, expected):
+        node = example3_db.taxonomy.node_by_name(name, level=level)
+        assert index.support_of_node(level, node.node_id) == expected
+
+    def test_node_supports_bulk(self, index, example3_db):
+        supports = index.node_supports(1)
+        by_name = {
+            example3_db.taxonomy.name_of(nid): s for nid, s in supports.items()
+        }
+        assert by_name == {"a": 8, "b": 9}
+
+
+class TestItemsetSupport:
+    def test_pair_support_matches_paper(self, index, example3_db):
+        tax = example3_db.taxonomy
+        a1 = tax.node_by_name("a1").node_id
+        b1 = tax.node_by_name("b1").node_id
+        assert index.support(2, (a1, b1)) == 2
+
+    def test_agrees_with_naive_counting(self, index, example3_db):
+        import itertools
+
+        tax = example3_db.taxonomy
+        for level in (1, 2, 3):
+            nodes = tax.nodes_at_level(level)
+            for pair in itertools.combinations(nodes, 2):
+                names = {tax.name_of(n) for n in pair}
+                assert index.support(level, pair) == naive_support(
+                    example3_db, level, names
+                ), (level, names)
+
+    def test_empty_itemset_rejected(self, index):
+        with pytest.raises(DataError):
+            index.support(1, ())
+
+    def test_wrong_level_rejected(self, index, example3_db):
+        leaf = example3_db.taxonomy.node_by_name("a11").node_id
+        with pytest.raises(DataError):
+            index.support(1, (leaf,))
+
+    def test_disjoint_itemset_is_zero(self, index, example3_db):
+        tax = example3_db.taxonomy
+        a11 = tax.node_by_name("a11").node_id
+        b21 = tax.node_by_name("b21").node_id
+        # a11 appears in D1, D2; b21 in D4, D5, D8, D9 — disjoint
+        assert index.support(3, (a11, b21)) == 0
+
+
+class TestBitsets:
+    def test_internal_bitset_is_union_of_items(self, index, example3_db):
+        tax = example3_db.taxonomy
+        a1 = tax.node_by_name("a1")
+        children_bits = 0
+        for item in tax.item_leaves(a1.node_id):
+            children_bits |= index.bitset(3, item)
+        assert index.bitset(2, a1.node_id) == children_bits
+
+    def test_itemset_bitset_popcount_equals_support(self, index, example3_db):
+        tax = example3_db.taxonomy
+        a = tax.node_by_name("a").node_id
+        b = tax.node_by_name("b").node_id
+        bits = index.itemset_bitset(1, (a, b))
+        assert bits.bit_count() == index.support(1, (a, b)) == 7

@@ -1,0 +1,100 @@
+"""Unit tests for the MOVIES simulator (paper Example 1 / Fig. 2a)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mine_flipping_patterns
+from repro.datasets import (
+    MOVIES_PLANTED,
+    MOVIES_THRESHOLDS,
+    chain_signature,
+    generate_movies,
+    movies_taxonomy,
+)
+
+
+class TestTaxonomy:
+    def test_two_levels_eight_genres(self):
+        taxonomy = movies_taxonomy()
+        assert taxonomy.height == 2
+        assert len(taxonomy.nodes_at_level(1)) == 8
+        assert len(taxonomy.leaf_ids) == 32
+
+    def test_paper_titles_present(self):
+        taxonomy = movies_taxonomy()
+        big_country = taxonomy.node_by_name("the big country (1958)")
+        high_noon = taxonomy.node_by_name("high noon (1952)")
+        assert taxonomy.name_of(big_country.parent_id) == "romance"
+        assert taxonomy.name_of(high_noon.parent_id) == "western"
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = generate_movies(scale=0.1, seed=3)
+        b = generate_movies(scale=0.1, seed=3)
+        assert [a.transaction(i) for i in range(len(a))] == [
+            b.transaction(i) for i in range(len(b))
+        ]
+
+    def test_seed_changes_noise(self):
+        a = generate_movies(scale=0.1, seed=3)
+        b = generate_movies(scale=0.1, seed=4)
+        assert [a.transaction(i) for i in range(len(a))] != [
+            b.transaction(i) for i in range(len(b))
+        ]
+
+    def test_scale_controls_size(self):
+        small = generate_movies(scale=0.1)
+        large = generate_movies(scale=0.3)
+        assert large.n_transactions > 2 * small.n_transactions
+
+
+class TestPlantedSignatures:
+    @pytest.mark.parametrize("scale", [0.1, 0.5])
+    def test_signatures_hold(self, scale):
+        database = generate_movies(scale=scale)
+        resolved = MOVIES_THRESHOLDS.resolve(
+            database.taxonomy.height, database.n_transactions
+        )
+        for pair, expected in MOVIES_PLANTED:
+            actual = chain_signature(
+                database,
+                pair,
+                resolved.gamma,
+                resolved.epsilon,
+                resolved.min_counts,
+            )
+            assert actual == expected, pair
+
+    def test_miner_recovers_both_planted_pairs(self):
+        database = generate_movies(scale=0.3)
+        result = mine_flipping_patterns(database, MOVIES_THRESHOLDS)
+        found = {frozenset(p.leaf_names) for p in result.patterns}
+        for pair, _signature in MOVIES_PLANTED:
+            assert frozenset(pair) in found, pair
+
+    def test_fig2a_chain_values(self):
+        """The Fig. 2(a) shape: genres negative, films positive."""
+        database = generate_movies(scale=0.3)
+        result = mine_flipping_patterns(database, MOVIES_THRESHOLDS)
+        target = frozenset(MOVIES_PLANTED[0][0])
+        pattern = next(
+            p for p in result.patterns if frozenset(p.leaf_names) == target
+        )
+        genre_link, movie_link = pattern.links
+        assert set(genre_link.names) == {"romance", "western"}
+        assert genre_link.correlation <= MOVIES_THRESHOLDS.epsilon
+        assert movie_link.correlation >= MOVIES_THRESHOLDS.gamma
+
+    def test_action_adventure_genres_positive(self):
+        """Example 1 prose: action and adventure are co-favored."""
+        database = generate_movies(scale=0.3)
+        result = mine_flipping_patterns(database, MOVIES_THRESHOLDS)
+        target = frozenset(MOVIES_PLANTED[1][0])
+        pattern = next(
+            p for p in result.patterns if frozenset(p.leaf_names) == target
+        )
+        genre_link = pattern.links[0]
+        assert set(genre_link.names) == {"action", "adventure"}
+        assert genre_link.correlation >= MOVIES_THRESHOLDS.gamma

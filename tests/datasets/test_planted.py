@@ -1,0 +1,128 @@
+"""Unit tests for repro.datasets.planted."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    BlockPlan,
+    chain_signature,
+    measure_chain,
+    plant_npn_chain,
+    plant_pnp_chain,
+)
+from repro.errors import ConfigError
+
+
+class TestBlockPlan:
+    def test_add_and_count(self):
+        plan = BlockPlan()
+        plan.add(["a", "b"], 3).add(["c"], 2)
+        assert plan.n_transactions == 5
+
+    def test_materialize_shuffles(self):
+        plan = BlockPlan()
+        plan.add(["a"], 50).add(["b"], 50)
+        ordered = plan.materialize()
+        shuffled = plan.materialize(random.Random(1))
+        assert sorted(map(tuple, ordered)) == sorted(map(tuple, shuffled))
+        assert ordered != shuffled
+
+    def test_validation(self):
+        plan = BlockPlan()
+        with pytest.raises(ConfigError):
+            plan.add([], 1)
+        with pytest.raises(ConfigError):
+            plan.add(["a"], -1)
+
+
+class TestMeasureChain:
+    def test_example3_values(self, example3_db):
+        chain = measure_chain(example3_db, ("a11", "b11"))
+        assert [level for level, _s, _c in chain] == [1, 2, 3]
+        assert chain[0][1] == 7  # sup({a,b})
+        assert chain[1][2] == pytest.approx(1 / 3)
+        assert chain[2][2] == pytest.approx(1.0)
+
+    def test_rejects_shared_ancestor(self, example3_db):
+        with pytest.raises(ConfigError, match="share"):
+            measure_chain(example3_db, ("a11", "a12"))
+
+    def test_rejects_single_item(self, example3_db):
+        with pytest.raises(ConfigError, match="two items"):
+            measure_chain(example3_db, ("a11",))
+
+
+class TestChainSignature:
+    def test_example3(self, example3_db):
+        signature = chain_signature(
+            example3_db, ("a11", "b11"), gamma=0.6, epsilon=0.35,
+            min_counts=[1, 1, 1],
+        )
+        assert signature == "+-+"
+
+    def test_infrequent_marked(self, example3_db):
+        signature = chain_signature(
+            example3_db, ("a11", "b11"), gamma=0.6, epsilon=0.35,
+            min_counts=[8, 8, 8],
+        )
+        assert "x" in signature
+
+    def test_wrong_min_counts_length(self, example3_db):
+        with pytest.raises(ConfigError, match="min counts"):
+            chain_signature(
+                example3_db, ("a11", "b11"), 0.6, 0.35, min_counts=[1]
+            )
+
+
+class TestRecipes:
+    def test_pnp_produces_signature(self, grocery_taxonomy):
+        from repro.data import TransactionDatabase
+
+        plan = BlockPlan()
+        plant_pnp_chain(plan, grocery_taxonomy, "canned beer", "baby cosmetics")
+        db = TransactionDatabase(plan.materialize(), grocery_taxonomy)
+        signature = chain_signature(
+            db, ("canned beer", "baby cosmetics"),
+            gamma=0.15, epsilon=0.10, min_counts=[2, 2, 2],
+        )
+        assert signature == "+-+"
+
+    def test_npn_produces_signature(self, grocery_taxonomy):
+        from repro.data import TransactionDatabase
+
+        plan = BlockPlan()
+        plant_npn_chain(plan, grocery_taxonomy, "cola", "soap")
+        db = TransactionDatabase(plan.materialize(), grocery_taxonomy)
+        signature = chain_signature(
+            db, ("cola", "soap"),
+            gamma=0.15, epsilon=0.10, min_counts=[2, 2, 2],
+        )
+        assert signature == "-+-"
+
+    def test_avoid_set_respected(self, grocery_taxonomy):
+        plan = BlockPlan()
+        # blocking the default cousin (cola) forces the alternate one
+        plant_pnp_chain(
+            plan,
+            grocery_taxonomy,
+            "canned beer",
+            "baby cosmetics",
+            avoid=frozenset({"cola"}),
+        )
+        used = {name for template, _ in plan.blocks for name in template}
+        assert "cola" not in used
+        assert "lemonade" in used  # the fallback cousin
+
+    def test_avoid_exhaustion_raises(self, grocery_taxonomy):
+        plan = BlockPlan()
+        with pytest.raises(ConfigError, match="free sibling"):
+            plant_pnp_chain(
+                plan,
+                grocery_taxonomy,
+                "canned beer",
+                "baby cosmetics",
+                avoid=frozenset({"bottled beer"}),
+            )

@@ -1,0 +1,111 @@
+"""Unit tests for repro.datasets.synthetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_synthetic, generate_taxonomy
+from repro.errors import ConfigError
+
+
+SMALL = SyntheticConfig(
+    n_transactions=400,
+    avg_width=4.0,
+    n_items=120,
+    height=3,
+    n_roots=6,
+    fanout=3,
+    n_patterns=40,
+    seed=3,
+)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = SyntheticConfig()
+        assert config.n_items == 1_000
+        assert config.height == 4
+        assert config.n_roots == 10
+        assert config.fanout == 5
+
+    def test_scaled_override(self):
+        config = SMALL.scaled(n_transactions=999)
+        assert config.n_transactions == 999
+        assert config.n_items == SMALL.n_items
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_transactions", 0),
+            ("avg_width", 0.5),
+            ("height", 1),
+            ("n_roots", 1),
+            ("fanout", 0),
+            ("correlation", 1.5),
+            ("corruption_mean", 1.0),
+            ("interior_fraction", -0.1),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ConfigError):
+            SMALL.scaled(**{field: value})
+
+    def test_too_few_items(self):
+        with pytest.raises(ConfigError, match="n_items"):
+            SyntheticConfig(n_items=10, n_roots=10, fanout=5, height=4)
+
+
+class TestTaxonomy:
+    def test_shape(self):
+        tax = generate_taxonomy(SMALL)
+        assert tax.height == 3
+        assert len(tax.nodes_at_level(1)) == 6
+        assert len(tax.nodes_at_level(2)) == 18
+        assert len(tax.nodes_at_level(3)) == 120
+
+    def test_exact_leaf_count_even_when_uneven(self):
+        config = SMALL.scaled(n_items=125)
+        tax = generate_taxonomy(config)
+        assert len(tax.nodes_at_level(3)) == 125
+
+    def test_balanced(self):
+        assert generate_taxonomy(SMALL).is_balanced
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        db1 = generate_synthetic(SMALL)
+        db2 = generate_synthetic(SMALL)
+        assert [tuple(t) for t in db1] == [tuple(t) for t in db2]
+
+    def test_seed_changes_data(self):
+        db1 = generate_synthetic(SMALL)
+        db2 = generate_synthetic(SMALL.scaled(seed=4))
+        assert [tuple(t) for t in db1] != [tuple(t) for t in db2]
+
+    def test_size_and_width(self):
+        db = generate_synthetic(SMALL)
+        assert db.n_transactions == 400
+        # geometric sampling around the mean: generous tolerance
+        assert 2.0 <= db.mean_width <= 7.0
+
+    def test_all_items_known(self):
+        db = generate_synthetic(SMALL)
+        names = {db.item_name(i) for i in db.item_ids}
+        for transaction in db:
+            for item in transaction:
+                assert db.item_name(item) in names
+
+    def test_default_config_smoke(self):
+        db = generate_synthetic(SyntheticConfig(n_transactions=200))
+        assert db.n_transactions == 200
+        assert db.taxonomy.height == 4
+
+    def test_minable(self):
+        from repro import Thresholds, mine_flipping_patterns
+
+        db = generate_synthetic(SMALL)
+        result = mine_flipping_patterns(
+            db, Thresholds(gamma=0.3, epsilon=0.1, min_support=1)
+        )
+        assert result.stats.cells_processed > 0

@@ -1,0 +1,69 @@
+"""Unit tests for repro.datasets.toy (paper Fig. 4 and Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.measures import expectation_sign, kulczynski
+from repro.datasets import (
+    EXAMPLE3_EPSILON,
+    EXAMPLE3_GAMMA,
+    example3_database,
+    example3_taxonomy,
+    example3_transactions,
+    table1_rows,
+)
+
+
+class TestExample3:
+    def test_ten_transactions(self):
+        assert len(example3_transactions()) == 10
+
+    def test_taxonomy_shape(self):
+        tax = example3_taxonomy()
+        assert tax.height == 3
+        assert len(tax.nodes_at_level(1)) == 2
+        assert len(tax.nodes_at_level(2)) == 4
+        assert len(tax.nodes_at_level(3)) == 8
+
+    def test_database_binds(self):
+        db = example3_database()
+        assert db.n_transactions == 10
+        assert len(db.item_ids) == 8
+
+    def test_paper_supports(self):
+        # Fig. 4 hand counts
+        from repro.data import VerticalIndex
+
+        db = example3_database()
+        index = VerticalIndex(db)
+        tax = db.taxonomy
+        assert index.support_of_node(3, tax.node_by_name("a11").node_id) == 2
+        assert index.support_of_node(2, tax.node_by_name("b1").node_id) == 6
+        assert index.support_of_node(1, tax.node_by_name("a").node_id) == 8
+
+    def test_thresholds_constants(self):
+        assert EXAMPLE3_GAMMA == 0.6
+        assert EXAMPLE3_EPSILON == 0.35
+
+
+class TestTable1:
+    def test_four_rows(self):
+        assert len(table1_rows()) == 4
+
+    def test_expectation_flips_with_n(self):
+        for row in table1_rows():
+            assert (
+                expectation_sign(
+                    row.sup_pair,
+                    [row.sup_first, row.sup_second],
+                    row.n_transactions,
+                )
+                == row.expected_paper_sign
+            )
+
+    def test_kulc_constant_per_pair(self):
+        for row in table1_rows():
+            assert kulczynski(
+                row.sup_pair, [row.sup_first, row.sup_second]
+            ) == pytest.approx(row.kulc_paper)

@@ -1,0 +1,151 @@
+"""Unit tests for the FP-growth miner."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpm import fp_growth, level_frequent_itemsets
+
+
+def bruteforce_frequent(
+    transactions: list[list[int]], min_count: int, max_k: int | None = None
+) -> dict[tuple[int, ...], int]:
+    """Oracle: enumerate every subset of the item universe."""
+    universe = sorted({i for t in transactions for i in t})
+    sets = [frozenset(t) for t in transactions]
+    bound = len(universe) if max_k is None else min(max_k, len(universe))
+    out: dict[tuple[int, ...], int] = {}
+    for size in range(1, bound + 1):
+        for combo in itertools.combinations(universe, size):
+            needed = set(combo)
+            support = sum(1 for t in sets if needed <= t)
+            if support >= min_count:
+                out[combo] = support
+    return out
+
+
+class TestSmallExamples:
+    def test_hand_checked_example(self):
+        transactions = [[1, 2], [1, 2], [1, 3], [2, 3], [1, 2, 3]]
+        result = fp_growth(transactions, min_count=2)
+        assert result == {
+            (1,): 4,
+            (2,): 4,
+            (3,): 3,
+            (1, 2): 3,
+            (1, 3): 2,
+            (2, 3): 2,
+        }
+
+    def test_han_example(self):
+        """The SIGMOD 2000 running example (see test_fptree)."""
+        transactions = [
+            [1, 3, 2, 7, 8, 10, 5, 6],
+            [3, 4, 2, 1, 13, 5, 15],
+            [4, 1, 9, 11, 15],
+            [4, 2, 12, 6],
+            [3, 1, 2, 14, 13, 6, 5],
+        ]
+        result = fp_growth(transactions, min_count=3)
+        assert result == bruteforce_frequent(transactions, 3)
+        # the two known maximal frequent itemsets of the example
+        assert result[(1, 2, 3, 5)] == 3
+        assert result[(2, 6)] == 3
+
+    def test_single_transaction(self):
+        result = fp_growth([[5, 3, 1]], min_count=1)
+        assert result == bruteforce_frequent([[5, 3, 1]], 1)
+        assert len(result) == 7  # 2^3 - 1 subsets
+
+    def test_duplicate_items_collapse(self):
+        assert fp_growth([[1, 1, 2]], min_count=1) == {
+            (1,): 1,
+            (2,): 1,
+            (1, 2): 1,
+        }
+
+    def test_min_count_above_everything(self):
+        assert fp_growth([[1, 2], [2, 3]], min_count=5) == {}
+
+    def test_empty_database(self):
+        assert fp_growth([], min_count=1) == {}
+
+
+class TestMaxK:
+    def test_max_k_caps_itemset_size(self):
+        transactions = [[1, 2, 3, 4]] * 3
+        result = fp_growth(transactions, min_count=2, max_k=2)
+        assert result == bruteforce_frequent(transactions, 2, max_k=2)
+        assert max(len(itemset) for itemset in result) == 2
+
+    def test_max_k_one_gives_single_items(self):
+        result = fp_growth([[1, 2], [1, 3]], min_count=1, max_k=1)
+        assert set(result) == {(1,), (2,), (3,)}
+
+    def test_max_k_validation(self):
+        with pytest.raises(ConfigError):
+            fp_growth([[1]], min_count=1, max_k=0)
+
+
+class TestRandomizedOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        universe = list(range(1, 9))
+        transactions = [
+            rng.sample(universe, rng.randint(1, 6))
+            for _ in range(rng.randint(1, 25))
+        ]
+        min_count = rng.randint(1, 4)
+        assert fp_growth(transactions, min_count) == bruteforce_frequent(
+            transactions, min_count
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bruteforce_with_max_k(self, seed):
+        rng = random.Random(100 + seed)
+        universe = list(range(1, 8))
+        transactions = [
+            rng.sample(universe, rng.randint(1, 6)) for _ in range(20)
+        ]
+        max_k = rng.randint(1, 4)
+        assert fp_growth(
+            transactions, 2, max_k=max_k
+        ) == bruteforce_frequent(transactions, 2, max_k=max_k)
+
+
+class TestLevelProjection:
+    def test_toy_level1_supports(self, example3_db):
+        """Paper Fig. 4: at h=1, sup(a)=8, sup(b)=9, sup(ab)=7."""
+        frequent = level_frequent_itemsets(example3_db, level=1, min_count=1)
+        taxonomy = example3_db.taxonomy
+        ids = {taxonomy.name_of(n): n for n in taxonomy.nodes_at_level(1)}
+        a, b = ids["a"], ids["b"]
+        assert frequent[(a,)] == 8
+        assert frequent[(b,)] == 9
+        assert frequent[tuple(sorted((a, b)))] == 7
+
+    def test_level_out_of_range(self, example3_db):
+        with pytest.raises(ConfigError):
+            level_frequent_itemsets(example3_db, level=0, min_count=1)
+        with pytest.raises(ConfigError):
+            level_frequent_itemsets(example3_db, level=99, min_count=1)
+
+    def test_leaf_level_matches_plain_fp_growth(self, example3_db):
+        height = example3_db.taxonomy.height
+        frequent = level_frequent_itemsets(
+            example3_db, level=height, min_count=2
+        )
+        # projecting to the leaf level is the identity on items (all
+        # leaves of the toy tree sit at depth H), modulo node ids
+        raw = fp_growth(list(example3_db), min_count=2)
+        mapping = example3_db.taxonomy.item_ancestor_map(height)
+        translated = {
+            tuple(sorted(mapping[i] for i in itemset)): support
+            for itemset, support in raw.items()
+        }
+        assert frequent == translated

@@ -1,0 +1,146 @@
+"""Unit tests for the FP-tree structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpm.fptree import FPNode, FPTree
+
+# The classic running example of Han, Pei & Yin (SIGMOD 2000), with
+# items renamed to integers: f=1, c=2, a=3, b=4, m=5, p=6, and the
+# infrequent extras d=7, g=8, h=9, i=10, j=11, k=12, l=13, n=14, o=15.
+HAN_TRANSACTIONS = [
+    [1, 3, 2, 7, 8, 10, 5, 6],
+    [3, 4, 2, 1, 13, 5, 15],
+    [4, 1, 9, 11, 15],
+    [4, 2, 12, 6, 6],
+    [3, 1, 2, 14, 13, 6, 5, 14],
+]
+
+
+def han_tree(min_count: int = 3) -> FPTree:
+    return FPTree.from_transactions(HAN_TRANSACTIONS, min_count)
+
+
+class TestConstruction:
+    def test_min_count_validation(self):
+        with pytest.raises(ConfigError):
+            FPTree(min_count=0)
+
+    def test_item_counts_drop_infrequent(self):
+        tree = han_tree()
+        assert tree.item_counts == {1: 4, 2: 4, 3: 3, 4: 3, 5: 3, 6: 3}
+
+    def test_f_list_descending_support_ties_by_id(self):
+        tree = han_tree()
+        # 1 and 2 both have support 4 (tie broken by id); the rest
+        # have support 3.
+        assert tree.f_list == [1, 2, 3, 4, 5, 6]
+
+    def test_duplicates_within_transaction_collapse(self):
+        # item 6 appears twice in transaction 4 and item 14 twice in
+        # transaction 5; each counts once per transaction
+        tree = han_tree()
+        assert tree.item_counts[6] == 3
+
+    def test_prefix_sharing_compresses_paths(self):
+        tree = han_tree()
+        # Han's example compresses 5 transactions into few nodes; the
+        # worst case (no sharing) would be sum of filtered lengths
+        # 5+5+2+3+5 = 20
+        assert tree.n_nodes < 15
+        # root's children: transactions split between the 1-prefix
+        # (four paths) and the standalone 2-prefix (transaction 4)
+        assert set(tree.root.children) == {1, 2}
+        assert tree.root.children[1].count == 4
+        assert tree.root.children[2].count == 1
+
+    def test_header_chain_counts_match_item_counts(self):
+        tree = han_tree()
+        for item, count in tree.item_counts.items():
+            assert sum(n.count for n in tree.nodes_of(item)) == count
+
+    def test_empty_input(self):
+        tree = FPTree.from_transactions([], min_count=1)
+        assert tree.is_empty
+        assert tree.f_list == []
+
+    def test_all_items_infrequent(self):
+        tree = FPTree.from_transactions([[1], [2], [3]], min_count=2)
+        assert tree.is_empty
+
+
+class TestNode:
+    def test_prefix_path_walks_to_root(self):
+        tree = han_tree()
+        # the deepest 6-node under the 1,2,3,5 path
+        for node in tree.nodes_of(6):
+            path = node.prefix_path()
+            assert 6 not in path
+            # paths only contain more-frequent (earlier f-list) items
+            ranks = [tree.f_list.index(i) for i in path]
+            assert ranks == sorted(ranks, reverse=True)
+
+    def test_root_prefix_path_empty(self):
+        node = FPNode(item=None, parent=None)
+        assert node.prefix_path() == []
+
+
+class TestConditional:
+    def test_conditional_pattern_base_of_p(self):
+        """Han's worked example: p=6 has prefix paths
+        {f,c,a,m}:2 and {c,b}:1."""
+        tree = han_tree()
+        base = {
+            tuple(sorted(path)): count
+            for path, count in tree.conditional_pattern_base(6)
+        }
+        assert base == {(1, 2, 3, 5): 2, (2, 4): 1}
+
+    def test_conditional_tree_of_p_keeps_only_c(self):
+        """In p's conditional base only c=2 reaches min_count 3."""
+        tree = han_tree()
+        conditional = tree.conditional_tree(6)
+        assert conditional.item_counts == {2: 3}
+
+    def test_conditional_tree_of_m_is_single_path(self):
+        """m=5's conditional tree is the single path f,c,a (3 each)."""
+        tree = han_tree()
+        conditional = tree.conditional_tree(5)
+        assert conditional.item_counts == {1: 3, 2: 3, 3: 3}
+        path = conditional.single_path()
+        assert path is not None
+        assert [node.item for node in path] == [1, 2, 3]
+        assert [node.count for node in path] == [3, 3, 3]
+
+    def test_conditional_base_weights_sum_to_support(self):
+        tree = han_tree()
+        for item in tree.f_list:
+            base = tree.conditional_pattern_base(item)
+            top_level = sum(
+                node.count
+                for node in tree.nodes_of(item)
+                if node.parent is tree.root
+            )
+            assert sum(c for _p, c in base) + top_level == (
+                tree.item_counts[item]
+            )
+
+
+class TestSinglePath:
+    def test_branching_tree_has_no_single_path(self):
+        assert han_tree().single_path() is None
+
+    def test_single_path_detected(self):
+        tree = FPTree.from_transactions(
+            [[1, 2, 3], [1, 2], [1]], min_count=1
+        )
+        path = tree.single_path()
+        assert path is not None
+        assert [node.item for node in path] == [1, 2, 3]
+        assert [node.count for node in path] == [3, 2, 1]
+
+    def test_empty_tree_single_path_is_empty_list(self):
+        tree = FPTree.from_transactions([], min_count=1)
+        assert tree.single_path() == []

@@ -1,0 +1,89 @@
+"""The post-hoc (generate-all-then-filter) pipeline must reproduce
+Flipper's output exactly — it is the prior-art oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PruningConfig, Thresholds, mine_flipping_patterns
+from repro.errors import ConfigError
+from repro.fpm import mine_flipping_posthoc
+from tests.conftest import make_random_database
+
+
+def keys(patterns):
+    return sorted(p.leaf_names for p in patterns)
+
+
+class TestToyExample:
+    def test_finds_the_paper_pattern(self, example3_db, example3_thresholds):
+        """Paper Example 3: {a11, b11} is the unique flipping pattern."""
+        report = mine_flipping_posthoc(example3_db, example3_thresholds)
+        assert keys(report.patterns) == [("a11", "b11")]
+
+    def test_chain_matches_flipper(self, example3_db, example3_thresholds):
+        report = mine_flipping_posthoc(example3_db, example3_thresholds)
+        mined = mine_flipping_patterns(example3_db, example3_thresholds)
+        for ours, theirs in zip(report.patterns, mined.patterns):
+            for link_a, link_b in zip(ours.links, theirs.links):
+                assert link_a.itemset == link_b.itemset
+                assert link_a.support == link_b.support
+                assert abs(link_a.correlation - link_b.correlation) < 1e-12
+                assert link_a.label is link_b.label
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_flipper_on_random_data(self, grocery_taxonomy, seed):
+        database = make_random_database(
+            grocery_taxonomy, 150, seed=seed, max_width=6
+        )
+        thresholds = Thresholds(gamma=0.4, epsilon=0.2, min_support=2)
+        report = mine_flipping_posthoc(database, thresholds)
+        mined = mine_flipping_patterns(
+            database, thresholds, pruning=PruningConfig.basic()
+        )
+        assert keys(report.patterns) == keys(mined.patterns)
+
+    def test_max_k_bounds_both(self, random_db):
+        thresholds = Thresholds(gamma=0.4, epsilon=0.2, min_support=2)
+        report = mine_flipping_posthoc(random_db, thresholds, max_k=2)
+        assert all(p.k <= 2 for p in report.patterns)
+
+
+class TestReport:
+    def test_accounting(self, example3_db, example3_thresholds):
+        report = mine_flipping_posthoc(example3_db, example3_thresholds)
+        assert report.total_frequent == sum(
+            report.frequent_per_level.values()
+        )
+        assert set(report.frequent_per_level) == {1, 2, 3}
+        assert report.positives > 0
+        assert report.negatives > 0
+        assert report.elapsed_seconds >= 0.0
+
+    def test_posthoc_materializes_more_than_it_keeps(
+        self, example3_db, example3_thresholds
+    ):
+        """The pipeline's defining weakness: it counts every frequent
+        itemset, of which flips are a tiny subset."""
+        report = mine_flipping_posthoc(example3_db, example3_thresholds)
+        assert report.total_frequent > len(report.patterns)
+
+    def test_summary_mentions_counts(self, example3_db, example3_thresholds):
+        report = mine_flipping_posthoc(example3_db, example3_thresholds)
+        text = report.summary()
+        assert "flipping" in text
+        assert str(report.total_frequent) in text
+
+
+class TestValidation:
+    def test_flat_taxonomy_rejected(self):
+        from repro import Taxonomy, TransactionDatabase
+
+        taxonomy = Taxonomy.from_dict({"a": None, "b": None})
+        database = TransactionDatabase([["a", "b"]], taxonomy)
+        with pytest.raises(ConfigError):
+            mine_flipping_posthoc(
+                database, Thresholds(gamma=0.5, epsilon=0.2, min_support=1)
+            )

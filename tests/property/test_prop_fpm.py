@@ -1,0 +1,103 @@
+"""Property-based tests for the FP-growth substrate.
+
+FP-growth is held against brute-force subset enumeration on random
+small databases, and the post-hoc flipping pipeline against the
+Flipper BASIC configuration (both complete by construction).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro import PruningConfig, mine_flipping_patterns
+from repro.fpm import fp_growth, mine_flipping_posthoc
+from repro.fpm.fptree import FPTree
+
+from tests.property.test_prop_equivalence import mining_instances
+
+
+@st.composite
+def transaction_lists(draw):
+    universe = list(range(1, draw(st.integers(min_value=2, max_value=7)) + 1))
+    n = draw(st.integers(min_value=0, max_value=15))
+    transactions = [
+        draw(
+            st.lists(
+                st.sampled_from(universe), min_size=1, max_size=len(universe)
+            )
+        )
+        for _ in range(n)
+    ]
+    min_count = draw(st.integers(min_value=1, max_value=4))
+    return transactions, min_count
+
+
+def bruteforce(transactions, min_count):
+    universe = sorted({i for t in transactions for i in t})
+    sets = [frozenset(t) for t in transactions]
+    out = {}
+    for size in range(1, len(universe) + 1):
+        for combo in itertools.combinations(universe, size):
+            support = sum(1 for t in sets if set(combo) <= t)
+            if support >= min_count:
+                out[combo] = support
+    return out
+
+
+@given(transaction_lists())
+@settings(max_examples=150, deadline=None)
+def test_fp_growth_matches_bruteforce(case):
+    transactions, min_count = case
+    assert fp_growth(transactions, min_count) == bruteforce(
+        transactions, min_count
+    )
+
+
+@given(transaction_lists(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=80, deadline=None)
+def test_fp_growth_max_k_is_a_filter(case, max_k):
+    """Mining with max_k equals mining everything then filtering."""
+    transactions, min_count = case
+    capped = fp_growth(transactions, min_count, max_k=max_k)
+    full = fp_growth(transactions, min_count)
+    assert capped == {
+        itemset: support
+        for itemset, support in full.items()
+        if len(itemset) <= max_k
+    }
+
+
+@given(transaction_lists())
+@settings(max_examples=100, deadline=None)
+def test_fptree_header_chains_account_for_all_support(case):
+    transactions, min_count = case
+    tree = FPTree.from_transactions(transactions, min_count)
+    for item, count in tree.item_counts.items():
+        assert sum(node.count for node in tree.nodes_of(item)) == count
+
+
+@given(transaction_lists())
+@settings(max_examples=100, deadline=None)
+def test_fptree_node_count_bounded_by_total_items(case):
+    """Prefix compression can only shrink the forest."""
+    transactions, min_count = case
+    tree = FPTree.from_transactions(transactions, min_count)
+    kept = sum(
+        len({i for i in t if i in tree.item_counts}) for t in transactions
+    )
+    assert tree.n_nodes <= max(kept, 0) + 1 or tree.n_nodes <= kept
+
+
+@given(mining_instances())
+@settings(max_examples=60, deadline=None)
+def test_posthoc_matches_flipper_basic(instance):
+    database, thresholds = instance
+    report = mine_flipping_posthoc(database, thresholds)
+    basic = mine_flipping_patterns(
+        database, thresholds, pruning=PruningConfig.basic()
+    )
+    assert sorted(p.leaf_names for p in report.patterns) == sorted(
+        p.leaf_names for p in basic.patterns
+    )

@@ -1,0 +1,96 @@
+"""Property-based null-invariance tests.
+
+The defining algebraic property of the Table-2 measures, plus the
+end-to-end mining property: inflating a database with null
+transactions can never change what Flipper finds (absolute-count
+thresholds).  Expectation-based measures provably lack the property —
+for any non-trivial support configuration there exist two N values
+giving opposite signs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.invariance import (
+    verify_mining_invariance,
+    with_null_transactions,
+)
+from repro.core.measures import MEASURES, expectation_sign
+from repro.data.vertical import VerticalIndex
+
+from tests.property.test_prop_equivalence import mining_instances
+
+
+@st.composite
+def support_configurations(draw):
+    """Consistent (sup_itemset, item_supports) pairs."""
+    k = draw(st.integers(min_value=2, max_value=5))
+    sup_itemset = draw(st.integers(min_value=1, max_value=50))
+    item_supports = [
+        draw(st.integers(min_value=sup_itemset, max_value=500))
+        for _ in range(k)
+    ]
+    return sup_itemset, item_supports
+
+
+@given(support_configurations(), st.integers(min_value=1, max_value=10**6))
+@settings(max_examples=200, deadline=None)
+def test_measures_never_mention_n(config, extra_n):
+    """Null-invariant measures are functions of supports alone; their
+    values cannot depend on any notion of N, which the signature
+    already enforces — the meaningful check is that values stay in
+    [0, 1] and keep the generalized-mean ordering."""
+    sup_itemset, item_supports = config
+    values = {
+        name: measure(sup_itemset, item_supports)
+        for name, measure in MEASURES.items()
+    }
+    assert all(0.0 <= v <= 1.0 for v in values.values())
+    assert (
+        values["all_confidence"]
+        <= values["coherence"] + 1e-12
+    )
+    assert values["coherence"] <= values["cosine"] + 1e-12
+    assert values["cosine"] <= values["kulczynski"] + 1e-12
+    assert values["kulczynski"] <= values["max_confidence"] + 1e-12
+
+
+@given(
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=1, max_value=400),
+    st.integers(min_value=1, max_value=400),
+)
+@settings(max_examples=200, deadline=None)
+def test_expectation_sign_always_flippable(sup_ab, slack_a, slack_b):
+    """For any 2-item configuration with sup(AB) < min supports there
+    exist two valid N values with opposite expectation signs."""
+    sup_a = sup_ab + slack_a
+    sup_b = sup_ab + slack_b
+    # crossing point: N* = sup_a * sup_b / sup_ab
+    crossing = sup_a * sup_b / sup_ab
+    n_small = max(sup_a + sup_b - sup_ab, int(crossing // 2))
+    n_large = int(crossing * 2) + 1
+    assume(n_small < crossing)  # a valid "negative" N exists
+    assert expectation_sign(sup_ab, [sup_a, sup_b], n_small) == "negative"
+    assert expectation_sign(sup_ab, [sup_a, sup_b], n_large) == "positive"
+
+
+@given(mining_instances(), st.integers(min_value=1, max_value=200))
+@settings(max_examples=60, deadline=None)
+def test_mining_unchanged_by_null_inflation(instance, n_nulls):
+    database, thresholds = instance
+    assert verify_mining_invariance(database, thresholds, n_nulls=n_nulls)
+
+
+@given(mining_instances(), st.integers(min_value=1, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_supports_unchanged_by_null_inflation(instance, n_nulls):
+    """The substrate-level version: per-level node supports are
+    untouched by null transactions."""
+    database, _thresholds = instance
+    inflated = with_null_transactions(database, n_nulls)
+    index_a = VerticalIndex(database)
+    index_b = VerticalIndex(inflated)
+    for level in range(1, database.taxonomy.height + 1):
+        assert index_a.node_supports(level) == index_b.node_supports(level)

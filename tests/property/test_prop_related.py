@@ -1,0 +1,146 @@
+"""Property-based tests for the related-work baselines."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Taxonomy, TransactionDatabase
+from repro.related import (
+    cumulate_frequent_itemsets,
+    extend_transaction,
+    generate_rules,
+    itemset_surprisingness,
+    mine_multilevel,
+    taxonomy_distance,
+)
+from repro.fpm import level_frequent_itemsets
+
+
+@st.composite
+def small_databases(draw):
+    """Random 3-level taxonomy (2-3 roots x 2 mids x 2 leaves) with
+    random transactions."""
+    n_roots = draw(st.integers(min_value=2, max_value=3))
+    tree: dict = {}
+    leaves: list[str] = []
+    for r in range(n_roots):
+        mids = {}
+        for m in range(2):
+            children = [f"r{r}m{m}l{j}" for j in range(2)]
+            mids[f"r{r}m{m}"] = children
+            leaves.extend(children)
+        tree[f"r{r}"] = mids
+    taxonomy = Taxonomy.from_dict(tree)
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    rng = random.Random(seed)
+    n = draw(st.integers(min_value=3, max_value=25))
+    transactions = [
+        rng.sample(leaves, rng.randint(1, min(5, len(leaves))))
+        for _ in range(n)
+    ]
+    return TransactionDatabase(transactions, taxonomy)
+
+
+@given(small_databases(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_cumulate_matches_extended_bruteforce(database, min_count):
+    """Cumulate == brute-force counting over extended transactions,
+    restricted to ancestor-clean combinations."""
+    taxonomy = database.taxonomy
+    extended = [extend_transaction(taxonomy, t) for t in database]
+    universe = sorted({node for t in extended for node in t})
+
+    def clean(combo):
+        return not any(
+            a != b and a in taxonomy.ancestors(b)
+            for a, b in itertools.permutations(combo, 2)
+        )
+
+    expected = {}
+    for size in (1, 2, 3):
+        for combo in itertools.combinations(universe, size):
+            if not clean(combo):
+                continue
+            support = sum(1 for t in extended if set(combo) <= t)
+            if support >= min_count:
+                expected[combo] = support
+    assert cumulate_frequent_itemsets(
+        database, min_count, max_k=3
+    ) == expected
+
+
+@given(small_databases(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_multilevel_is_per_level_subset_of_fp_growth(database, min_count):
+    """Every multilevel itemset must be frequent by the complete
+    per-level miner with the same support — the parent filter can
+    only remove, never invent or distort."""
+    result = mine_multilevel(
+        database, [min_count] * database.taxonomy.height
+    )
+    for level, itemsets in result.frequent.items():
+        complete = level_frequent_itemsets(database, level, min_count)
+        for itemset, support in itemsets.items():
+            assert complete[itemset] == support
+
+
+@given(small_databases())
+@settings(max_examples=40, deadline=None)
+def test_rules_confidence_definition(database):
+    """Every generated rule's confidence is exactly
+    sup(union)/sup(antecedent) and lies in (0, 1]."""
+    frequent = cumulate_frequent_itemsets(database, 1, max_k=3)
+    for rule in generate_rules(frequent, min_confidence=0.0):
+        assert rule.confidence == frequent[rule.items] / frequent[
+            rule.antecedent
+        ]
+        assert 0.0 < rule.confidence <= 1.0
+
+
+@given(small_databases(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_taxonomy_distance_is_a_metric(database, data):
+    """Symmetry, identity, and the triangle inequality on random node
+    triples (distances in a tree are a metric)."""
+    taxonomy = database.taxonomy
+    nodes = [
+        node.node_id
+        for node in taxonomy.iter_nodes()
+        if not node.is_copy
+    ]
+    a = data.draw(st.sampled_from(nodes))
+    b = data.draw(st.sampled_from(nodes))
+    c = data.draw(st.sampled_from(nodes))
+    assert taxonomy_distance(taxonomy, a, a) == 0
+    assert taxonomy_distance(taxonomy, a, b) == taxonomy_distance(
+        taxonomy, b, a
+    )
+    assert taxonomy_distance(taxonomy, a, c) <= taxonomy_distance(
+        taxonomy, a, b
+    ) + taxonomy_distance(taxonomy, b, c)
+
+
+@given(small_databases(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_surprisingness_bounded_by_diameter(database, data):
+    """Mean pairwise distance cannot exceed twice the tree height."""
+    taxonomy = database.taxonomy
+    leaves = [
+        node.node_id
+        for node in taxonomy.iter_nodes()
+        if node.is_leaf and not node.is_copy
+    ]
+    size = data.draw(st.integers(min_value=2, max_value=min(4, len(leaves))))
+    itemset = data.draw(
+        st.lists(
+            st.sampled_from(leaves),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    score = itemset_surprisingness(taxonomy, itemset)
+    assert 0.0 <= score <= 2 * taxonomy.height

@@ -1,0 +1,138 @@
+"""Property-based tests for the taxonomy/data substrates.
+
+These pin the invariants the miner silently relies on: support
+monotonicity under generalization, index/naive agreement, rebalancing
+preserving item identity, and IO round-trips.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data import TransactionDatabase, VerticalIndex
+from repro.taxonomy import Taxonomy, rebalance_with_copies
+
+
+@st.composite
+def taxonomy_trees(draw):
+    """Random 2-3 level taxonomies, possibly unbalanced."""
+    n_categories = draw(st.integers(min_value=2, max_value=4))
+    tree: dict = {}
+    leaves: list[str] = []
+    for c in range(n_categories):
+        category = f"c{c}"
+        deep = draw(st.booleans())
+        if deep:
+            subtree = {}
+            for m in range(draw(st.integers(min_value=1, max_value=2))):
+                mid = f"{category}m{m}"
+                children = [
+                    f"{mid}x{j}"
+                    for j in range(draw(st.integers(min_value=1, max_value=3)))
+                ]
+                subtree[mid] = children
+                leaves.extend(children)
+            tree[category] = subtree
+        else:
+            children = [
+                f"{category}x{j}"
+                for j in range(draw(st.integers(min_value=1, max_value=3)))
+            ]
+            tree[category] = children
+            leaves.extend(children)
+    return tree, leaves
+
+
+@st.composite
+def databases(draw):
+    tree, leaves = draw(taxonomy_trees())
+    taxonomy = Taxonomy.from_dict(tree)
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    rng = random.Random(seed)
+    n = draw(st.integers(min_value=1, max_value=25))
+    transactions = [
+        rng.sample(leaves, rng.randint(1, min(4, len(leaves))))
+        for _ in range(n)
+    ]
+    return TransactionDatabase(transactions, taxonomy)
+
+
+@given(databases())
+@settings(max_examples=100, deadline=None)
+def test_support_monotone_under_generalization(database):
+    """sup(parent node) >= sup(node) at every level: generalizing can
+    only gain transactions."""
+    taxonomy = database.taxonomy
+    index = VerticalIndex(database)
+    for level in range(2, taxonomy.height + 1):
+        for node_id in taxonomy.nodes_at_level(level):
+            parent_id = taxonomy.parent_id(node_id)
+            assert parent_id is not None
+            assert index.support_of_node(
+                level - 1, parent_id
+            ) >= index.support_of_node(level, node_id)
+
+
+@given(databases())
+@settings(max_examples=100, deadline=None)
+def test_index_agrees_with_definition(database):
+    """Bitmap support == direct projection counting, all levels."""
+    import itertools
+
+    taxonomy = database.taxonomy
+    index = VerticalIndex(database)
+    for level in range(1, taxonomy.height + 1):
+        projections = database.project_to_level(level)
+        nodes = taxonomy.nodes_at_level(level)
+        for pair in itertools.combinations(nodes[:6], 2):
+            expected = sum(
+                1 for projected in projections if set(pair) <= projected
+            )
+            assert index.support(level, pair) == expected
+
+
+@given(taxonomy_trees())
+@settings(max_examples=100, deadline=None)
+def test_rebalancing_preserves_items(tree_and_leaves):
+    tree, leaves = tree_and_leaves
+    taxonomy = Taxonomy.from_dict(tree)
+    balanced = rebalance_with_copies(taxonomy)
+    assert balanced.is_balanced
+    original_items = sorted(taxonomy.name_of(i) for i in taxonomy.item_ids)
+    balanced_items = sorted(balanced.name_of(i) for i in balanced.item_ids)
+    assert original_items == balanced_items
+
+
+@given(taxonomy_trees())
+@settings(max_examples=60, deadline=None)
+def test_taxonomy_io_roundtrip(tree_and_leaves):
+    import tempfile
+    from pathlib import Path
+
+    from repro.taxonomy import load_taxonomy, save_taxonomy, taxonomy_to_dict
+
+    tree, _leaves = tree_and_leaves
+    taxonomy = Taxonomy.from_dict(tree)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.json"
+        save_taxonomy(taxonomy, path)
+        loaded = load_taxonomy(path)
+    assert taxonomy_to_dict(loaded) == taxonomy_to_dict(taxonomy)
+
+
+@given(databases())
+@settings(max_examples=60, deadline=None)
+def test_every_ancestor_chain_spans_all_levels(database):
+    """After auto-rebalancing, every item maps to exactly one node at
+    every level, and chains are consistent parent-child paths."""
+    taxonomy = database.taxonomy
+    maps = {
+        level: taxonomy.item_ancestor_map(level)
+        for level in range(1, taxonomy.height + 1)
+    }
+    for item in database.item_ids:
+        chain = [maps[level][item] for level in sorted(maps)]
+        for upper, lower in zip(chain, chain[1:]):
+            assert taxonomy.parent_id(lower) == upper

@@ -1,0 +1,110 @@
+"""Property-based falsification of the paper's Theorems 1 and 2.
+
+Random small transaction databases are generated directly (as bit
+matrices), supports are counted exactly, and the theorem statements
+are checked for every null-invariant measure.  The paper proves both
+theorems; Hypothesis trying and failing to break them is the
+reproduction's independent audit of Section 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import (
+    correlation_of,
+    theorem1_upper_bound_holds,
+    theorem2_preconditions,
+)
+from repro.core.itemsets import k_minus_one_subsets
+from repro.core.measures import MEASURES
+
+MEASURE_NAMES = sorted(MEASURES)
+
+
+@st.composite
+def random_transaction_matrix(draw):
+    """A small random DB: k items (3..5), up to 14 transactions, each
+    transaction a subset of the items."""
+    k = draw(st.integers(min_value=3, max_value=5))
+    n = draw(st.integers(min_value=1, max_value=14))
+    rows = [
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=k - 1),
+                max_size=k,
+            )
+        )
+        for _ in range(n)
+    ]
+    return k, rows
+
+
+def make_support_fn(rows):
+    def support(itemset):
+        return sum(1 for row in rows if set(itemset) <= row)
+
+    return support
+
+
+@given(random_transaction_matrix(), st.sampled_from(MEASURE_NAMES))
+@settings(max_examples=300)
+def test_theorem1_correlation_upper_bound(matrix, measure):
+    """Corr(A) <= max over (k-1)-subsets, for the full itemset and
+    every sub-itemset of size >= 2."""
+    k, rows = matrix
+    support_fn = make_support_fn(rows)
+    if support_fn(tuple(range(k))) == 0:
+        # zero-support corner: Corr(A) = 0 <= anything; still check
+        pass
+    for size in range(2, k + 1):
+        for itemset in itertools.combinations(range(k), size):
+            if any(support_fn((item,)) == 0 for item in itemset):
+                continue  # items absent from the DB: conditionals undefined
+            assert theorem1_upper_bound_holds(measure, itemset, support_fn), (
+                measure,
+                itemset,
+                rows,
+            )
+
+
+@given(
+    random_transaction_matrix(),
+    st.sampled_from(MEASURE_NAMES),
+    st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=300)
+def test_theorem2_special_single_item(matrix, measure, gamma):
+    """Whenever Theorem 2's premises hold, its conclusion holds."""
+    k, rows = matrix
+    support_fn = make_support_fn(rows)
+    full = tuple(range(k))
+    if any(support_fn((item,)) == 0 for item in full):
+        return
+    for special in full:
+        if theorem2_preconditions(measure, full, special, gamma, support_fn):
+            assert correlation_of(measure, full, support_fn) < gamma + 1e-9, (
+                measure,
+                special,
+                gamma,
+                rows,
+            )
+
+
+@given(random_transaction_matrix(), st.sampled_from(MEASURE_NAMES))
+@settings(max_examples=200)
+def test_corollary1_all_subsets_nonpositive(matrix, measure):
+    """Corollary 1: if every (k-1)-subset is below gamma, so is A."""
+    k, rows = matrix
+    support_fn = make_support_fn(rows)
+    full = tuple(range(k))
+    if any(support_fn((item,)) == 0 for item in full):
+        return
+    subset_corrs = [
+        correlation_of(measure, subset, support_fn)
+        for subset in k_minus_one_subsets(full)
+    ]
+    gamma = max(subset_corrs) + 1e-6  # premise: all subsets non-positive
+    assert correlation_of(measure, full, support_fn) < gamma

@@ -1,0 +1,174 @@
+"""Unit tests for the Cumulate generalized-rule miner."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import Taxonomy, TransactionDatabase
+from repro.errors import ConfigError
+from repro.related import (
+    cumulate_frequent_itemsets,
+    extend_transaction,
+    mine_generalized_rules,
+)
+from tests.conftest import make_random_database
+
+
+@pytest.fixture
+def tiny_db():
+    taxonomy = Taxonomy.from_dict(
+        {
+            "c1": {"m1": ["a", "b"]},
+            "c2": {"m2": ["c", "d"]},
+        }
+    )
+    transactions = [["a", "c"], ["b", "c"], ["a", "b"], ["a", "c", "d"]]
+    return TransactionDatabase(transactions, taxonomy)
+
+
+def names_of(taxonomy, itemset):
+    return tuple(sorted(taxonomy.name_of(i) for i in itemset))
+
+
+def bruteforce_cumulate(database, min_count, max_k=None):
+    """Oracle: count every ancestor-clean node combination over the
+    extended transactions."""
+    taxonomy = database.taxonomy
+    extended = [extend_transaction(taxonomy, t) for t in database]
+    universe = sorted({n for t in extended for n in t})
+
+    def clean(combo):
+        for a, b in itertools.permutations(combo, 2):
+            if a in taxonomy.ancestors(b) and a != b:
+                return False
+        return True
+
+    out = {}
+    bound = len(universe) if max_k is None else max_k
+    for size in range(1, bound + 1):
+        for combo in itertools.combinations(universe, size):
+            if not clean(combo):
+                continue
+            support = sum(1 for t in extended if set(combo) <= t)
+            if support >= min_count:
+                out[combo] = support
+    return out
+
+
+class TestExtension:
+    def test_extension_adds_all_real_ancestors(self, tiny_db):
+        taxonomy = tiny_db.taxonomy
+        a = taxonomy.node_by_name("a").node_id
+        extended = extend_transaction(taxonomy, (a,))
+        assert {taxonomy.name_of(n) for n in extended} == {"a", "m1", "c1"}
+
+    def test_extension_skips_rebalancing_copies(self):
+        taxonomy = Taxonomy.from_dict(
+            {"deep": {"mid": ["leaf"]}, "shallow": None}
+        )
+        database = TransactionDatabase(
+            [["leaf", "shallow"], ["leaf"]], taxonomy
+        )
+        balanced = database.taxonomy
+        shallow = balanced.node_by_name("shallow", level=1).node_id
+        extended = extend_transaction(balanced, (shallow,))
+        # only the original level-1 node; its copies are not ancestors
+        assert {balanced.name_of(n) for n in extended} == {"shallow"}
+        assert len(extended) == 1
+
+
+class TestFrequentItemsets:
+    def test_hand_checked_supports(self, tiny_db):
+        taxonomy = tiny_db.taxonomy
+        frequent = cumulate_frequent_itemsets(tiny_db, min_support=2)
+        by_names = {
+            names_of(taxonomy, itemset): support
+            for itemset, support in frequent.items()
+        }
+        # every transaction touches c1; three touch c2
+        assert by_names[("c1",)] == 4
+        assert by_names[("c2",)] == 3
+        assert by_names[("c1", "c2")] == 3
+        assert by_names[("a", "c2")] == 2  # {a,c}, {a,c,d}
+        assert by_names[("a", "c")] == 2
+
+    def test_no_itemset_mixes_item_with_ancestor(self, tiny_db):
+        taxonomy = tiny_db.taxonomy
+        frequent = cumulate_frequent_itemsets(tiny_db, min_support=1)
+        for itemset in frequent:
+            for a, b in itertools.permutations(itemset, 2):
+                assert a not in taxonomy.ancestors(b) or a == b
+
+    def test_matches_bruteforce_oracle(self, tiny_db):
+        assert cumulate_frequent_itemsets(
+            tiny_db, min_support=2
+        ) == bruteforce_cumulate(tiny_db, 2)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_oracle_on_random_data(self, grocery_taxonomy, seed):
+        database = make_random_database(
+            grocery_taxonomy, 40, seed=seed, max_width=4
+        )
+        assert cumulate_frequent_itemsets(
+            database, min_support=3, max_k=3
+        ) == bruteforce_cumulate(database, 3, max_k=3)
+
+    def test_fractional_min_support(self, tiny_db):
+        by_fraction = cumulate_frequent_itemsets(tiny_db, min_support=0.5)
+        by_count = cumulate_frequent_itemsets(tiny_db, min_support=2)
+        assert by_fraction == by_count
+
+    def test_max_k_caps_size(self, tiny_db):
+        frequent = cumulate_frequent_itemsets(
+            tiny_db, min_support=1, max_k=2
+        )
+        assert max(len(itemset) for itemset in frequent) == 2
+
+    def test_max_k_one(self, tiny_db):
+        frequent = cumulate_frequent_itemsets(
+            tiny_db, min_support=1, max_k=1
+        )
+        assert all(len(itemset) == 1 for itemset in frequent)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_absolute_support_positive(self, tiny_db, bad):
+        with pytest.raises(ConfigError):
+            cumulate_frequent_itemsets(tiny_db, min_support=bad)
+
+    def test_fraction_range(self, tiny_db):
+        with pytest.raises(ConfigError):
+            cumulate_frequent_itemsets(tiny_db, min_support=1.5)
+
+    def test_max_k_validation(self, tiny_db):
+        with pytest.raises(ConfigError):
+            cumulate_frequent_itemsets(tiny_db, min_support=1, max_k=0)
+
+
+class TestGeneralizedRules:
+    def test_cross_level_rule_found(self, tiny_db):
+        """The defining capability of [17]: rules relating an item to
+        a *category*, e.g. a -> c2."""
+        taxonomy = tiny_db.taxonomy
+        rules = mine_generalized_rules(
+            tiny_db, min_support=2, min_confidence=0.6
+        )
+        sides = {
+            (names_of(taxonomy, r.antecedent), names_of(taxonomy, r.consequent))
+            for r in rules
+        }
+        assert (("a",), ("c2",)) in sides  # conf 2/3
+        assert (("c2",), ("c1",)) in sides  # conf 3/3
+
+    def test_rule_confidences_consistent(self, tiny_db):
+        frequent = cumulate_frequent_itemsets(tiny_db, min_support=1)
+        rules = mine_generalized_rules(
+            tiny_db, min_support=1, min_confidence=0.0
+        )
+        for rule in rules:
+            assert rule.confidence == pytest.approx(
+                frequent[rule.items] / frequent[rule.antecedent]
+            )

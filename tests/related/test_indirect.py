@@ -1,0 +1,117 @@
+"""Unit tests for indirect association mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Taxonomy, TransactionDatabase
+from repro.errors import ConfigError
+from repro.related import mine_indirect_associations
+
+
+@pytest.fixture
+def rivalry_db():
+    """Two rival items (cola, pepsi-like soda) never bought together,
+    both strongly bought with the mediator (chips)."""
+    taxonomy = Taxonomy.from_dict(
+        {"drinks": ["cola", "rival cola"], "snacks": ["chips", "nuts"]}
+    )
+    transactions = (
+        [["cola", "chips"]] * 10
+        + [["rival cola", "chips"]] * 10
+        + [["nuts"]] * 5
+        + [["cola", "rival cola"]] * 1  # rare joint purchase
+    )
+    return TransactionDatabase(transactions, taxonomy)
+
+
+def names(database, assoc):
+    return {
+        database.item_name(assoc.item_a),
+        database.item_name(assoc.item_b),
+    }
+
+
+class TestMining:
+    def test_finds_the_rivalry(self, rivalry_db):
+        found = mine_indirect_associations(
+            rivalry_db, min_count=5, itempair_threshold=5
+        )
+        assert found, "the mediated rivalry must surface"
+        top = found[0]
+        assert names(rivalry_db, top) == {"cola", "rival cola"}
+        assert [rivalry_db.item_name(m) for m in top.mediator] == ["chips"]
+        assert top.pair_support == 1
+
+    def test_direct_pairs_excluded(self, rivalry_db):
+        """With the pair threshold at 1, the single joint purchase
+        already counts as a direct association."""
+        found = mine_indirect_associations(
+            rivalry_db, min_count=5, itempair_threshold=1
+        )
+        assert all(
+            names(rivalry_db, assoc) != {"cola", "rival cola"}
+            for assoc in found
+        )
+
+    def test_dependence_threshold_filters(self, rivalry_db):
+        weak = mine_indirect_associations(
+            rivalry_db, min_count=5, dependence_threshold=0.99
+        )
+        assert weak == []
+
+    def test_dependences_are_cosines_in_range(self, rivalry_db):
+        for assoc in mine_indirect_associations(rivalry_db, min_count=3):
+            assert 0.0 < assoc.dependence_a <= 1.0
+            assert 0.0 < assoc.dependence_b <= 1.0
+            assert assoc.min_dependence == min(
+                assoc.dependence_a, assoc.dependence_b
+            )
+
+    def test_sorted_by_min_dependence(self, rivalry_db):
+        found = mine_indirect_associations(rivalry_db, min_count=3)
+        scores = [assoc.min_dependence for assoc in found]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_render_names_everything(self, rivalry_db):
+        found = mine_indirect_associations(rivalry_db, min_count=5)
+        text = found[0].render(rivalry_db)
+        assert "cola" in text and "chips" in text and "via" in text
+
+
+class TestValidation:
+    def test_min_count(self, rivalry_db):
+        with pytest.raises(ConfigError):
+            mine_indirect_associations(rivalry_db, min_count=0)
+
+    def test_dependence_range(self, rivalry_db):
+        with pytest.raises(ConfigError):
+            mine_indirect_associations(
+                rivalry_db, min_count=2, dependence_threshold=1.5
+            )
+
+    def test_mediator_size(self, rivalry_db):
+        with pytest.raises(ConfigError):
+            mine_indirect_associations(
+                rivalry_db, min_count=2, max_mediator_size=0
+            )
+
+
+class TestMediatorSize:
+    def test_two_item_mediators(self):
+        taxonomy = Taxonomy.from_dict(
+            {"g": ["a", "b", "m1", "m2"]}
+        )
+        transactions = (
+            [["a", "m1", "m2"]] * 8 + [["b", "m1", "m2"]] * 8
+        )
+        database = TransactionDatabase(transactions, taxonomy)
+        found = mine_indirect_associations(
+            database, min_count=4, max_mediator_size=2
+        )
+        mediators = {
+            tuple(database.item_name(m) for m in assoc.mediator)
+            for assoc in found
+            if names(database, assoc) == {"a", "b"}
+        }
+        assert ("m1", "m2") in mediators

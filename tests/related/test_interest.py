@@ -1,0 +1,149 @@
+"""Unit tests for R-interesting pruning of generalized rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Taxonomy
+from repro.errors import MiningError
+from repro.related import is_r_interesting, prune_uninteresting
+from repro.related.interest import ancestor_rules
+from repro.related.rules import AssociationRule
+
+
+@pytest.fixture
+def clothes_taxonomy():
+    """The running example of Srikant & Agrawal [17]."""
+    return Taxonomy.from_dict(
+        {
+            "clothes": {"outerwear": ["jackets", "ski pants"], "shirts": None},
+            "footwear": {"shoes": None, "hiking boots": None},
+        }
+    )
+
+
+@pytest.fixture
+def ids(clothes_taxonomy):
+    def lookup(name):
+        return clothes_taxonomy.node_by_name(name).node_id
+
+    return lookup
+
+
+def rule(antecedent, consequent, support, confidence):
+    return AssociationRule(
+        antecedent=tuple(antecedent),
+        consequent=tuple(consequent),
+        support=support,
+        confidence=confidence,
+    )
+
+
+class TestAncestorMatching:
+    def test_direct_generalization_found(self, clothes_taxonomy, ids):
+        child = rule([ids("jackets")], [ids("footwear")], 10, 0.5)
+        parent = rule([ids("outerwear")], [ids("footwear")], 30, 0.5)
+        unrelated = rule([ids("shirts")], [ids("footwear")], 5, 0.2)
+        found = ancestor_rules(
+            clothes_taxonomy, child, [child, parent, unrelated]
+        )
+        assert found == [parent]
+
+    def test_identical_rule_is_not_its_own_ancestor(
+        self, clothes_taxonomy, ids
+    ):
+        a_rule = rule([ids("jackets")], [ids("shoes")], 4, 0.4)
+        twin = rule([ids("jackets")], [ids("shoes")], 4, 0.4)
+        assert ancestor_rules(clothes_taxonomy, a_rule, [twin]) == []
+
+    def test_both_sides_may_generalize(self, clothes_taxonomy, ids):
+        child = rule([ids("jackets")], [ids("hiking boots")], 6, 0.3)
+        parent = rule([ids("clothes")], [ids("footwear")], 60, 0.4)
+        assert ancestor_rules(clothes_taxonomy, child, [parent]) == [parent]
+
+    def test_size_mismatch_never_matches(self, clothes_taxonomy, ids):
+        child = rule([ids("jackets")], [ids("shoes")], 4, 0.4)
+        wider = rule(
+            [ids("clothes"), ids("footwear")], [ids("shoes")], 9, 0.2
+        )
+        assert ancestor_rules(clothes_taxonomy, child, [wider]) == []
+
+
+class TestInterestTest:
+    def test_expected_support_scaling(self, clothes_taxonomy, ids):
+        """[17]'s worked example shape: if jackets are a quarter of
+        clothes sales, a jackets-rule is expected at a quarter of the
+        clothes-rule's support."""
+        singles = {ids("clothes"): 80, ids("jackets"): 20, ids("shoes"): 30}
+        parent = rule([ids("clothes")], [ids("shoes")], 40, 0.5)
+        exactly_expected = rule([ids("jackets")], [ids("shoes")], 10, 0.5)
+        above = rule([ids("jackets")], [ids("shoes")], 13, 0.65)
+        assert not is_r_interesting(
+            clothes_taxonomy, exactly_expected, parent, singles, r=1.1
+        )
+        assert is_r_interesting(
+            clothes_taxonomy, above, parent, singles, r=1.1
+        )
+
+    def test_confidence_route_also_qualifies(self, clothes_taxonomy, ids):
+        """A rule can be R-interesting on confidence alone (the
+        consequent did not specialize, so expected conf is the
+        ancestor's)."""
+        singles = {ids("clothes"): 80, ids("jackets"): 20, ids("shoes"): 30}
+        parent = rule([ids("clothes")], [ids("shoes")], 40, 0.5)
+        sharp = rule([ids("jackets")], [ids("shoes")], 8, 0.8)
+        # support 8 < 1.5 * 10 fails, confidence 0.8 >= 1.5 * 0.5 passes
+        assert is_r_interesting(
+            clothes_taxonomy, sharp, parent, singles, r=1.5
+        )
+
+    def test_r_below_one_rejected(self, clothes_taxonomy, ids):
+        singles = {ids("clothes"): 80, ids("jackets"): 20, ids("shoes"): 30}
+        parent = rule([ids("clothes")], [ids("shoes")], 40, 0.5)
+        child = rule([ids("jackets")], [ids("shoes")], 10, 0.5)
+        with pytest.raises(MiningError):
+            is_r_interesting(
+                clothes_taxonomy, child, parent, singles, r=0.5
+            )
+
+    def test_non_ancestor_pair_rejected(self, clothes_taxonomy, ids):
+        singles = {ids("shirts"): 10, ids("jackets"): 20, ids("shoes"): 30}
+        not_parent = rule([ids("shirts")], [ids("shoes")], 5, 0.5)
+        child = rule([ids("jackets")], [ids("shoes")], 10, 0.5)
+        with pytest.raises(MiningError):
+            is_r_interesting(
+                clothes_taxonomy, child, not_parent, singles, r=1.1
+            )
+
+    def test_missing_single_support_reported(self, clothes_taxonomy, ids):
+        parent = rule([ids("clothes")], [ids("shoes")], 40, 0.5)
+        child = rule([ids("jackets")], [ids("shoes")], 10, 0.5)
+        with pytest.raises(MiningError, match="single-item support"):
+            is_r_interesting(clothes_taxonomy, child, parent, {}, r=1.1)
+
+
+class TestPruning:
+    def test_rules_without_ancestors_survive(self, clothes_taxonomy, ids):
+        singles = {ids("clothes"): 80, ids("footwear"): 50}
+        top = rule([ids("clothes")], [ids("footwear")], 30, 0.4)
+        assert prune_uninteresting(
+            clothes_taxonomy, [top], singles, r=1.1
+        ) == [top]
+
+    def test_expected_children_pruned(self, clothes_taxonomy, ids):
+        singles = {
+            ids("clothes"): 80,
+            ids("jackets"): 20,
+            ids("shoes"): 30,
+        }
+        parent = rule([ids("clothes")], [ids("shoes")], 40, 0.5)
+        boring = rule([ids("jackets")], [ids("shoes")], 10, 0.5)
+        surprising = rule([ids("jackets")], [ids("shoes")], 25, 0.9)
+        kept = prune_uninteresting(
+            clothes_taxonomy, [parent, boring], singles, r=1.1
+        )
+        assert kept == [parent]
+        kept = prune_uninteresting(
+            clothes_taxonomy, [parent, surprising], singles, r=1.1
+        )
+        assert kept == [parent, surprising]

@@ -1,0 +1,99 @@
+"""Unit tests for Han-Fu progressive-deepening multi-level mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Thresholds
+from repro.errors import ConfigError
+from repro.fpm import level_frequent_itemsets
+from repro.related import mine_multilevel
+
+
+class TestAgainstFPGrowth:
+    def test_unfiltered_levels_match_fp_growth(self, example3_db):
+        """With θ=1 every parent is frequent, so the parent filter is
+        inert and each level must equal a complete per-level miner."""
+        result = mine_multilevel(example3_db, [1, 1, 1])
+        for level in (1, 2, 3):
+            expected = level_frequent_itemsets(
+                example3_db, level, min_count=1
+            )
+            assert result.frequent[level] == expected
+
+    def test_higher_threshold_is_a_subset(self, example3_db):
+        loose = mine_multilevel(example3_db, [1, 1, 1])
+        strict = mine_multilevel(example3_db, [3, 2, 2])
+        for level, itemsets in strict.frequent.items():
+            assert set(itemsets) <= set(loose.frequent[level])
+            for itemset, support in itemsets.items():
+                assert support == loose.frequent[level][itemset]
+
+
+class TestFilteredDescent:
+    def test_infrequent_parent_blocks_children(self, example3_db):
+        """Paper Fig. 4 data: sup(a)=8, sup(b)=9 at level 1.  A
+        threshold of 9 kills category a, so no descendant of a may be
+        examined at level 2."""
+        taxonomy = example3_db.taxonomy
+        result = mine_multilevel(example3_db, [9, 1, 1])
+        level2_names = {
+            taxonomy.name_of(itemset[0])
+            for itemset in result.frequent[2]
+            if len(itemset) == 1
+        }
+        assert level2_names == {"b1", "b2"}
+        assert result.skipped_nodes[2] == 2  # a1, a2 never examined
+        assert result.examined_nodes[2] == 2
+
+    def test_skip_propagates_downward(self, example3_db):
+        taxonomy = example3_db.taxonomy
+        result = mine_multilevel(example3_db, [9, 1, 1])
+        level3_names = {
+            taxonomy.name_of(itemset[0])
+            for itemset in result.frequent[3]
+            if len(itemset) == 1
+        }
+        assert all(name.startswith("b") for name in level3_names)
+
+
+class TestParameters:
+    def test_thresholds_object_accepted(self, example3_db):
+        by_list = mine_multilevel(example3_db, [2, 2, 1])
+        by_thresholds = mine_multilevel(
+            example3_db,
+            Thresholds(gamma=0.5, epsilon=0.1, min_support=[2, 2, 1]),
+        )
+        assert by_list.frequent == by_thresholds.frequent
+
+    def test_max_k_caps_itemset_size(self, example3_db):
+        result = mine_multilevel(example3_db, [1, 1, 1], max_k=1)
+        for itemsets in result.frequent.values():
+            assert all(len(itemset) == 1 for itemset in itemsets)
+
+    def test_max_k_validation(self, example3_db):
+        with pytest.raises(ConfigError):
+            mine_multilevel(example3_db, [1, 1, 1], max_k=0)
+
+    def test_increasing_supports_rejected(self, example3_db):
+        with pytest.raises(ConfigError):
+            mine_multilevel(example3_db, [1, 2, 3])
+
+
+class TestResult:
+    def test_total_counts_all_levels(self, example3_db):
+        result = mine_multilevel(example3_db, [1, 1, 1])
+        assert result.total_frequent == sum(
+            len(itemsets) for itemsets in result.frequent.values()
+        )
+        assert result.total_frequent > 0
+
+    def test_itemsets_at_missing_level_empty(self, example3_db):
+        result = mine_multilevel(example3_db, [1, 1, 1])
+        assert result.itemsets_at(99) == {}
+
+    def test_summary_mentions_every_level(self, example3_db):
+        result = mine_multilevel(example3_db, [1, 1, 1])
+        text = result.summary()
+        for level in (1, 2, 3):
+            assert f"h{level}" in text

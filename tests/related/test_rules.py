@@ -1,0 +1,96 @@
+"""Unit tests for classical association-rule generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MiningError
+from repro.related import generate_rules
+from repro.related.rules import AssociationRule
+
+FREQUENT = {
+    (1,): 4,
+    (2,): 4,
+    (3,): 3,
+    (1, 2): 3,
+    (1, 3): 2,
+    (2, 3): 2,
+}
+
+
+class TestGeneration:
+    def test_hand_checked_confidences(self):
+        rules = generate_rules(FREQUENT, min_confidence=0.7)
+        as_pairs = {
+            (rule.antecedent, rule.consequent): rule.confidence
+            for rule in rules
+        }
+        assert as_pairs == {
+            ((1,), (2,)): 0.75,
+            ((2,), (1,)): 0.75,
+        }
+
+    def test_low_threshold_yields_all_splits(self):
+        rules = generate_rules(FREQUENT, min_confidence=0.0)
+        # each k-itemset yields 2^k - 2 rules; three 2-itemsets -> 6
+        assert len(rules) == 6
+
+    def test_three_item_rules(self):
+        frequent = dict(FREQUENT)
+        frequent[(1, 2, 3)] = 2
+        rules = generate_rules(frequent, min_confidence=0.9)
+        by_sides = {(r.antecedent, r.consequent) for r in rules}
+        # {1,3} -> {2} has confidence 2/2 = 1.0; so does {2,3} -> {1}
+        assert ((1, 3), (2,)) in by_sides
+        assert ((2, 3), (1,)) in by_sides
+        assert ((1, 2), (3,)) not in by_sides  # 2/3 < 0.9
+
+    def test_support_is_union_support(self):
+        rules = generate_rules(FREQUENT, min_confidence=0.7)
+        assert all(rule.support == 3 for rule in rules)
+
+    def test_sorted_by_confidence_then_support(self):
+        frequent = dict(FREQUENT)
+        frequent[(1, 2, 3)] = 2
+        rules = generate_rules(frequent, min_confidence=0.0)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_single_items_produce_no_rules(self):
+        assert generate_rules({(1,): 5, (2,): 3}, min_confidence=0.0) == []
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_confidence_range(self, bad):
+        with pytest.raises(MiningError):
+            generate_rules(FREQUENT, min_confidence=bad)
+
+    def test_missing_subset_detected(self):
+        broken = {(1, 2): 3, (1,): 4}  # (2,) missing
+        with pytest.raises(MiningError, match="downward closed"):
+            generate_rules(broken, min_confidence=0.0)
+
+
+class TestRuleObject:
+    def test_items_union_sorted(self):
+        rule = AssociationRule(
+            antecedent=(5,), consequent=(2, 9), support=3, confidence=0.5
+        )
+        assert rule.items == (2, 5, 9)
+
+    def test_render_uses_taxonomy_names(self, grocery_taxonomy):
+        beer = grocery_taxonomy.node_by_name("beer").node_id
+        cola = grocery_taxonomy.node_by_name("cola").node_id
+        rule = AssociationRule(
+            antecedent=(beer,), consequent=(cola,), support=7, confidence=0.7
+        )
+        text = rule.render(grocery_taxonomy)
+        assert "beer" in text and "cola" in text
+        assert "0.700" in text
+
+    def test_str_contains_sides(self):
+        rule = AssociationRule(
+            antecedent=(1,), consequent=(2,), support=3, confidence=0.75
+        )
+        assert "(1,)" in str(rule) and "(2,)" in str(rule)

@@ -1,0 +1,112 @@
+"""Unit tests for taxonomy-distance surprisingness ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Taxonomy, TransactionDatabase
+from repro.errors import TaxonomyError
+from repro.related import (
+    itemset_surprisingness,
+    rank_by_surprisingness,
+    taxonomy_distance,
+)
+
+
+@pytest.fixture
+def ids(grocery_taxonomy):
+    def lookup(name):
+        return grocery_taxonomy.node_by_name(name).node_id
+
+    return lookup
+
+
+class TestDistance:
+    def test_self_distance_zero(self, grocery_taxonomy, ids):
+        assert taxonomy_distance(grocery_taxonomy, ids("cola"), ids("cola")) == 0
+
+    def test_sibling_leaves(self, grocery_taxonomy, ids):
+        # cola and lemonade share the parent "soda": up 1, down 1
+        assert (
+            taxonomy_distance(grocery_taxonomy, ids("cola"), ids("lemonade"))
+            == 2
+        )
+
+    def test_cousin_leaves(self, grocery_taxonomy, ids):
+        # cola (soda) vs canned beer (beer), both under drinks
+        assert (
+            taxonomy_distance(
+                grocery_taxonomy, ids("cola"), ids("canned beer")
+            )
+            == 4
+        )
+
+    def test_cross_category_leaves(self, grocery_taxonomy, ids):
+        # cola (drinks) vs soap (non-food): through the root, 3 + 3
+        assert (
+            taxonomy_distance(grocery_taxonomy, ids("cola"), ids("soap")) == 6
+        )
+
+    def test_node_to_own_ancestor(self, grocery_taxonomy, ids):
+        assert (
+            taxonomy_distance(grocery_taxonomy, ids("cola"), ids("soda")) == 1
+        )
+        assert (
+            taxonomy_distance(grocery_taxonomy, ids("cola"), ids("drinks"))
+            == 2
+        )
+
+    def test_symmetric(self, grocery_taxonomy, ids):
+        pairs = [("cola", "soap"), ("beer", "milk"), ("drinks", "fresh")]
+        for a, b in pairs:
+            assert taxonomy_distance(
+                grocery_taxonomy, ids(a), ids(b)
+            ) == taxonomy_distance(grocery_taxonomy, ids(b), ids(a))
+
+    def test_copies_collapse_to_source(self):
+        """Rebalancing copies are transparent: a shallow leaf's copy
+        chain must not inflate distances."""
+        taxonomy = Taxonomy.from_dict(
+            {"deep": {"mid": ["leaf"]}, "shallow": None}
+        )
+        database = TransactionDatabase([["leaf", "shallow"]], taxonomy)
+        balanced = database.taxonomy
+        leaf = balanced.node_by_name("leaf").node_id
+        shallow_top = balanced.node_by_name("shallow", level=1).node_id
+        # the deepest copy of "shallow" sits at level 3 but still
+        # measures as the level-1 original: path root->shallow is 1
+        deepest_copy = balanced.item_ancestor_map(3)[
+            balanced.node_by_name("shallow", level=1).node_id
+        ]
+        assert taxonomy_distance(balanced, deepest_copy, leaf) == 4
+        assert taxonomy_distance(balanced, shallow_top, deepest_copy) == 0
+
+
+class TestItemsetScore:
+    def test_pairwise_mean(self, grocery_taxonomy, ids):
+        itemset = [ids("cola"), ids("lemonade"), ids("soap")]
+        # distances: cola-lemonade 2, cola-soap 6, lemonade-soap 6
+        assert itemset_surprisingness(
+            grocery_taxonomy, itemset
+        ) == pytest.approx((2 + 6 + 6) / 3)
+
+    def test_single_item_rejected(self, grocery_taxonomy, ids):
+        with pytest.raises(TaxonomyError):
+            itemset_surprisingness(grocery_taxonomy, [ids("cola")])
+
+
+class TestRanking:
+    def test_cross_category_ranks_first(self, grocery_taxonomy, ids):
+        siblings = (ids("cola"), ids("lemonade"))
+        bridge = (ids("cola"), ids("soap"))
+        ranked = rank_by_surprisingness(
+            grocery_taxonomy, [siblings, bridge]
+        )
+        assert ranked[0] == (6.0, bridge)
+        assert ranked[1] == (2.0, siblings)
+
+    def test_deterministic_tie_break(self, grocery_taxonomy, ids):
+        a = (ids("cola"), ids("lemonade"))
+        b = (ids("apples"), ids("bananas"))
+        ranked = rank_by_surprisingness(grocery_taxonomy, [b, a])
+        assert [itemset for _s, itemset in ranked] == sorted([a, b])

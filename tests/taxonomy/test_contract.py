@@ -1,0 +1,134 @@
+"""Unit tests for level contraction (paper §2.2 level-subset queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Taxonomy,
+    Thresholds,
+    TransactionDatabase,
+    contract_levels,
+    mine_flipping_patterns,
+)
+from repro.errors import TaxonomyError
+
+
+@pytest.fixture
+def four_level_tax():
+    return Taxonomy.from_dict(
+        {
+            "a": {
+                "a1": {"a1x": ["a1x1", "a1x2"], "a1y": ["a1y1"]},
+                "a2": {"a2x": ["a2x1", "a2x2"]},
+            },
+            "b": {
+                "b1": {"b1x": ["b1x1", "b1x2"]},
+                "b2": {"b2x": ["b2x1"]},
+            },
+        }
+    )
+
+
+class TestStructure:
+    def test_identity_contraction(self, four_level_tax):
+        new, renames = contract_levels(four_level_tax, [1, 2, 3, 4])
+        assert new.height == 4
+        assert renames == {}
+        assert len(new.leaf_ids) == len(four_level_tax.leaf_ids)
+
+    def test_drop_middle_level(self, four_level_tax):
+        new, renames = contract_levels(four_level_tax, [1, 2, 4])
+        assert new.height == 3
+        assert renames == {}
+        # level-3 categories are spliced out: a1x1's parent is now a1
+        leaf = new.node_by_name("a1x1")
+        assert new.name_of(leaf.parent_id) == "a1"
+
+    def test_drop_bottom_absorbs_items(self, four_level_tax):
+        new, renames = contract_levels(four_level_tax, [1, 3])
+        assert new.height == 2
+        # every level-4 item renamed to its level-3 ancestor
+        assert renames["a1x1"] == "a1x"
+        assert renames["a1x2"] == "a1x"
+        assert renames["b2x1"] == "b2x"
+        # level-2 spliced: a1x hangs under a
+        node = new.node_by_name("a1x")
+        assert new.name_of(node.parent_id) == "a"
+
+    def test_single_level(self, four_level_tax):
+        new, renames = contract_levels(four_level_tax, [2])
+        assert new.height == 1
+        assert set(renames.values()) <= {
+            four_level_tax.name_of(n)
+            for n in four_level_tax.nodes_at_level(2)
+        }
+
+    def test_order_and_duplicates_ignored(self, four_level_tax):
+        a, _ = contract_levels(four_level_tax, [4, 1, 4])
+        b, _ = contract_levels(four_level_tax, [1, 4])
+        assert a.height == b.height == 2
+        assert {n.name for n in a.iter_nodes()} == {
+            n.name for n in b.iter_nodes()
+        }
+
+
+class TestValidation:
+    def test_empty_levels(self, four_level_tax):
+        with pytest.raises(TaxonomyError, match="at least one"):
+            contract_levels(four_level_tax, [])
+
+    def test_out_of_range(self, four_level_tax):
+        with pytest.raises(TaxonomyError, match="out of range"):
+            contract_levels(four_level_tax, [0, 2])
+        with pytest.raises(TaxonomyError, match="out of range"):
+            contract_levels(four_level_tax, [1, 9])
+
+    def test_rebalanced_tree_rejected(self):
+        unbalanced = Taxonomy.from_dict(
+            {"deep": {"mid": ["leaf"]}, "shallow": None}
+        )
+        database = TransactionDatabase([["leaf", "shallow"]], unbalanced)
+        with pytest.raises(TaxonomyError, match="original taxonomy"):
+            contract_levels(database.taxonomy, [1, 2])
+
+
+class TestUnbalancedInput:
+    def test_dropped_level_leaf_survives(self):
+        taxonomy = Taxonomy.from_dict(
+            {"deep": {"mid": ["leaf"]}, "shallow": None}
+        )
+        # drop level 2: "mid" is spliced, but the *item* "shallow"
+        # (a level-1 leaf) and "leaf" must both survive
+        new, renames = contract_levels(taxonomy, [1, 3])
+        names = {node.name for node in new.iter_nodes()}
+        assert {"deep", "shallow", "leaf"} <= names
+        assert renames == {}
+
+
+class TestMiningOnContractedLevels:
+    def test_levels_1_and_3_of_the_toy(self, example3_tax):
+        """Mining the toy data on levels {1, 3} only.
+
+        Flips are *level-specific*: the paper's {a11, b11} pattern is
+        ``+-+`` over all three levels, so with level 2 removed its
+        chain reads ``++`` — no longer a flip.  What does flip over
+        {1, 3} are the item pairs that anti-correlate under the
+        positively-correlated roots (e.g. {a12, b22})."""
+        from repro.datasets import example3_transactions
+
+        contracted, renames = contract_levels(example3_tax, [1, 3])
+        assert renames == {}
+        database = TransactionDatabase(
+            example3_transactions(), contracted
+        )
+        result = mine_flipping_patterns(
+            database,
+            Thresholds(gamma=0.6, epsilon=0.35, min_support=1),
+        )
+        found = {frozenset(p.leaf_names) for p in result.patterns}
+        assert frozenset({"a11", "b11"}) not in found
+        assert frozenset({"a12", "b22"}) in found
+        for pattern in result.patterns:
+            assert pattern.height == 2
+            assert pattern.signature == "+-"

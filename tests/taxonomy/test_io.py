@@ -1,0 +1,82 @@
+"""Unit tests for repro.taxonomy.io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy import (
+    Taxonomy,
+    load_taxonomy,
+    save_taxonomy,
+    taxonomy_to_dict,
+)
+from repro.taxonomy.io import format_edge_text, parse_edge_text
+
+
+class TestEdgeText:
+    def test_roundtrip(self, grocery_taxonomy, tmp_path):
+        path = tmp_path / "groceries.tax"
+        save_taxonomy(grocery_taxonomy, path)
+        loaded = load_taxonomy(path)
+        assert taxonomy_to_dict(loaded) == taxonomy_to_dict(grocery_taxonomy)
+
+    def test_parse_comments_and_blanks(self):
+        tax = parse_edge_text("# comment\n\na\ta1\na\ta2\n")
+        assert tax.height == 2
+
+    def test_parse_space_separated(self):
+        tax = parse_edge_text("a a1\n")
+        assert tax.node_by_name("a1").level == 2
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TaxonomyError, match="line 1"):
+            parse_edge_text("justoneword\n")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(TaxonomyError, match="no edges"):
+            parse_edge_text("# nothing here\n")
+
+    def test_format_skips_copies(self, tmp_path):
+        from repro.taxonomy import rebalance_with_copies
+
+        unbalanced = Taxonomy.from_dict({"a": {"a1": ["x"]}, "b": None})
+        balanced = rebalance_with_copies(unbalanced)
+        text = format_edge_text(balanced)
+        # the copy chain of 'b' must not be serialized
+        assert text.count("b\tb") == 0
+
+    def test_one_level_taxonomy_roundtrip(self, tmp_path):
+        tax = Taxonomy.from_edges([("*ROOT*", "a"), ("*ROOT*", "b")])
+        path = tmp_path / "flat.tax"
+        save_taxonomy(tax, path)
+        loaded = load_taxonomy(path)
+        assert sorted(loaded.name_of(i) for i in loaded.nodes_at_level(1)) == [
+            "a",
+            "b",
+        ]
+
+
+class TestJson:
+    def test_roundtrip(self, grocery_taxonomy, tmp_path):
+        path = tmp_path / "groceries.json"
+        save_taxonomy(grocery_taxonomy, path)
+        loaded = load_taxonomy(path)
+        assert taxonomy_to_dict(loaded) == taxonomy_to_dict(grocery_taxonomy)
+
+    def test_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(TaxonomyError, match="object"):
+            load_taxonomy(path)
+
+
+class TestToDict:
+    def test_shape(self, grocery_taxonomy):
+        data = taxonomy_to_dict(grocery_taxonomy)
+        assert set(data) == {"drinks", "non-food", "fresh"}
+        assert set(data["drinks"]) == {"beer", "soda"}
+        assert data["drinks"]["beer"] == {
+            "canned beer": None,
+            "bottled beer": None,
+        }

@@ -1,0 +1,104 @@
+"""Unit tests for repro.taxonomy.rebalance (paper Fig. 3 variants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy import (
+    Taxonomy,
+    min_leaf_depth,
+    rebalance_with_copies,
+    truncate,
+)
+
+
+@pytest.fixture
+def unbalanced() -> Taxonomy:
+    """The unbalanced tree of Fig. 3: b11/b12 sit directly under b."""
+    return Taxonomy.from_dict(
+        {
+            "a": {"a1": ["a11", "a12"], "a2": ["a21", "a22"]},
+            "b": {"b11": None, "b12": None, "b2": ["b21", "b22"]},
+        }
+    )
+
+
+class TestMinLeafDepth:
+    def test_unbalanced(self, unbalanced):
+        assert min_leaf_depth(unbalanced) == 2
+
+    def test_balanced(self, grocery_taxonomy):
+        assert min_leaf_depth(grocery_taxonomy) == 3
+
+
+class TestCopies:
+    def test_balances_to_full_height(self, unbalanced):
+        balanced = rebalance_with_copies(unbalanced)
+        assert balanced.height == 3
+        assert balanced.is_balanced
+
+    def test_copy_chain_shares_name(self, unbalanced):
+        balanced = rebalance_with_copies(unbalanced)
+        copy = balanced.node_by_name("b11", level=3)
+        assert copy.is_copy
+        assert copy.name == "b11"
+        original = balanced.node_by_name("b11", level=2)
+        assert not original.is_copy
+
+    def test_copy_resolves_to_original_item(self, unbalanced):
+        balanced = rebalance_with_copies(unbalanced)
+        copy = balanced.node_by_name("b11", level=3)
+        assert copy.source_id == balanced.node_by_name("b11", level=2).node_id
+
+    def test_item_ids_unchanged_by_copies(self, unbalanced):
+        balanced = rebalance_with_copies(unbalanced)
+        names = sorted(balanced.name_of(i) for i in balanced.item_ids)
+        assert names == [
+            "a11", "a12", "a21", "a22", "b11", "b12", "b21", "b22",
+        ]
+
+    def test_item_ancestor_map_spans_all_levels(self, unbalanced):
+        balanced = rebalance_with_copies(unbalanced)
+        b11 = balanced.node_by_name("b11", level=2).node_id
+        for level in (1, 2, 3):
+            mapping = balanced.item_ancestor_map(level)
+            assert b11 in mapping
+        assert balanced.name_of(balanced.item_ancestor_map(1)[b11]) == "b"
+        # at the leaf level, b11's generalization is its own copy
+        deep = balanced.item_ancestor_map(3)[b11]
+        assert balanced.name_of(deep) == "b11"
+
+    def test_balanced_input_returned_unchanged(self, grocery_taxonomy):
+        assert rebalance_with_copies(grocery_taxonomy) is grocery_taxonomy
+
+
+class TestTruncate:
+    def test_cuts_at_shallowest_leaf(self, unbalanced):
+        truncated, renames = truncate(unbalanced)
+        assert truncated.height == 2
+        assert truncated.is_balanced
+
+    def test_renames_deeper_items(self, unbalanced):
+        _truncated, renames = truncate(unbalanced)
+        assert renames["b21"] == "b2"
+        assert renames["b22"] == "b2"
+        assert "b11" not in renames  # already at the cut depth
+
+    def test_explicit_depth_one(self, unbalanced):
+        truncated, renames = truncate(unbalanced, depth=1)
+        assert truncated.height == 1
+        assert renames["a11"] == "a"
+
+    def test_depth_out_of_range(self, unbalanced):
+        with pytest.raises(TaxonomyError, match="out of range"):
+            truncate(unbalanced, depth=9)
+
+    def test_renamed_transactions_fit_truncated_tree(self, unbalanced):
+        from repro.data import TransactionDatabase
+
+        truncated, renames = truncate(unbalanced)
+        raw = [["a11", "b21"], ["b11", "a22"]]
+        renamed = [[renames.get(item, item) for item in t] for t in raw]
+        db = TransactionDatabase(renamed, truncated)
+        assert db.n_transactions == 2

@@ -1,0 +1,188 @@
+"""Unit tests for repro.taxonomy.tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy import ROOT_NAME, Taxonomy
+
+
+class TestFromEdges:
+    def test_builds_two_level_tree(self):
+        tax = Taxonomy.from_edges([("a", "a1"), ("a", "a2"), ("b", "b1")])
+        assert tax.height == 2
+        assert sorted(tax.name_of(i) for i in tax.nodes_at_level(1)) == ["a", "b"]
+        assert sorted(tax.name_of(i) for i in tax.nodes_at_level(2)) == [
+            "a1",
+            "a2",
+            "b1",
+        ]
+
+    def test_parentless_nodes_attach_to_root(self):
+        tax = Taxonomy.from_edges([("a", "a1")])
+        assert tax.node_by_name("a").parent_id == tax.root_id
+
+    def test_explicit_root_edges(self):
+        tax = Taxonomy.from_edges(
+            [(ROOT_NAME, "a"), (ROOT_NAME, "b"), ("a", "a1")]
+        )
+        assert sorted(tax.name_of(i) for i in tax.nodes_at_level(1)) == ["a", "b"]
+
+    def test_rejects_two_parents(self):
+        with pytest.raises(TaxonomyError, match="two parents"):
+            Taxonomy.from_edges([("a", "x"), ("b", "x")])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TaxonomyError, match="self-loop"):
+            Taxonomy.from_edges([("a", "a")])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy.from_edges([])
+
+    def test_rejects_non_string_names(self):
+        with pytest.raises(TaxonomyError, match="strings"):
+            Taxonomy.from_edges([("a", 1)])  # type: ignore[list-item]
+
+    def test_rejects_root_with_parent(self):
+        with pytest.raises(TaxonomyError, match="root"):
+            Taxonomy.from_edges([("a", ROOT_NAME)])
+
+
+class TestFromPaths:
+    def test_shared_prefixes_merge(self):
+        tax = Taxonomy.from_paths(
+            [
+                ("food", "dairy", "milk"),
+                ("food", "dairy", "yogurt"),
+                ("food", "bakery", "bagels"),
+            ]
+        )
+        assert tax.height == 3
+        dairy = tax.node_by_name("dairy")
+        names = sorted(tax.name_of(c) for c in dairy.children_ids)
+        assert names == ["milk", "yogurt"]
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(TaxonomyError, match="empty path"):
+            Taxonomy.from_paths([()])
+
+    def test_rejects_no_paths(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy.from_paths([])
+
+
+class TestFromDict:
+    def test_nested_mapping(self, grocery_taxonomy):
+        assert grocery_taxonomy.height == 3
+        assert len(grocery_taxonomy.nodes_at_level(1)) == 3
+        assert len(grocery_taxonomy.nodes_at_level(2)) == 6
+        assert len(grocery_taxonomy.nodes_at_level(3)) == 12
+
+    def test_bare_string_leaf(self):
+        tax = Taxonomy.from_dict({"a": "a1", "b": ["b1", "b2"]})
+        assert tax.node_by_name("a1").level == 2
+
+    def test_rejects_empty_mapping(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy.from_dict({})
+
+    def test_rejects_item_under_two_categories(self):
+        with pytest.raises(TaxonomyError, match="two parents"):
+            Taxonomy.from_dict({"a": ["x"], "b": ["x"]})
+
+
+class TestAccessors:
+    def test_len_excludes_root(self, grocery_taxonomy):
+        assert len(grocery_taxonomy) == 3 + 6 + 12
+
+    def test_contains(self, grocery_taxonomy):
+        assert "beer" in grocery_taxonomy
+        assert "vodka" not in grocery_taxonomy
+
+    def test_node_by_unknown_name(self, grocery_taxonomy):
+        with pytest.raises(TaxonomyError, match="unknown node name"):
+            grocery_taxonomy.node_by_name("vodka")
+
+    def test_node_unknown_id(self, grocery_taxonomy):
+        with pytest.raises(TaxonomyError, match="unknown node id"):
+            grocery_taxonomy.node(10_000)
+
+    def test_children_ids(self, grocery_taxonomy):
+        beer = grocery_taxonomy.node_by_name("beer")
+        names = sorted(
+            grocery_taxonomy.name_of(c)
+            for c in grocery_taxonomy.children_ids(beer.node_id)
+        )
+        assert names == ["bottled beer", "canned beer"]
+
+    def test_iter_nodes_level_order(self, grocery_taxonomy):
+        levels = [n.level for n in grocery_taxonomy.iter_nodes()]
+        assert levels == sorted(levels)
+
+    def test_nodes_at_level_bounds(self, grocery_taxonomy):
+        with pytest.raises(TaxonomyError, match="out of range"):
+            grocery_taxonomy.nodes_at_level(99)
+
+
+class TestAncestry:
+    def test_ancestors_chain(self, grocery_taxonomy):
+        leaf = grocery_taxonomy.node_by_name("canned beer")
+        chain = grocery_taxonomy.ancestors(leaf.node_id)
+        names = [grocery_taxonomy.name_of(i) for i in chain]
+        assert names == ["drinks", "beer", "canned beer"]
+
+    def test_ancestor_at_level(self, grocery_taxonomy):
+        leaf = grocery_taxonomy.node_by_name("cola")
+        level1 = grocery_taxonomy.ancestor_at_level(leaf.node_id, 1)
+        assert grocery_taxonomy.name_of(level1) == "drinks"
+        level3 = grocery_taxonomy.ancestor_at_level(leaf.node_id, 3)
+        assert level3 == leaf.node_id
+
+    def test_ancestor_above_node_level_rejected(self, grocery_taxonomy):
+        top = grocery_taxonomy.node_by_name("drinks")
+        with pytest.raises(TaxonomyError, match="no ancestor"):
+            grocery_taxonomy.ancestor_at_level(top.node_id, 2)
+
+    def test_level1_ancestor(self, grocery_taxonomy):
+        leaf = grocery_taxonomy.node_by_name("soap")
+        assert (
+            grocery_taxonomy.name_of(
+                grocery_taxonomy.level1_ancestor(leaf.node_id)
+            )
+            == "non-food"
+        )
+
+    def test_item_leaves_of_internal_node(self, grocery_taxonomy):
+        drinks = grocery_taxonomy.node_by_name("drinks")
+        leaves = {
+            grocery_taxonomy.name_of(i)
+            for i in grocery_taxonomy.item_leaves(drinks.node_id)
+        }
+        assert leaves == {"canned beer", "bottled beer", "cola", "lemonade"}
+
+    def test_item_ancestor_map_levels(self, grocery_taxonomy):
+        mapping = grocery_taxonomy.item_ancestor_map(2)
+        cola = grocery_taxonomy.node_by_name("cola").node_id
+        assert grocery_taxonomy.name_of(mapping[cola]) == "soda"
+
+    def test_item_ancestor_map_unbalanced_rejected(self):
+        tax = Taxonomy.from_edges([("a", "a1"), ("a", "a2"), ("a1", "x")])
+        assert not tax.is_balanced
+        with pytest.raises(TaxonomyError, match="unbalanced"):
+            tax.item_ancestor_map(1)
+
+
+class TestPresentation:
+    def test_describe_mentions_levels(self, grocery_taxonomy):
+        text = grocery_taxonomy.describe()
+        assert "level 1: 3 nodes" in text
+        assert "level 3: 12 nodes" in text
+
+    def test_render_contains_leaves(self, grocery_taxonomy):
+        assert "canned beer" in grocery_taxonomy.render()

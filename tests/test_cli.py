@@ -1,0 +1,273 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _parse_min_support, build_parser, main
+from repro.data.io import save_transactions
+from repro.datasets import example3_taxonomy, example3_transactions
+from repro.taxonomy.io import save_taxonomy
+
+
+@pytest.fixture
+def example_files(tmp_path):
+    transactions_path = tmp_path / "toy.basket"
+    taxonomy_path = tmp_path / "toy.json"
+    save_transactions(example3_transactions(), transactions_path)
+    save_taxonomy(example3_taxonomy(), taxonomy_path)
+    return str(transactions_path), str(taxonomy_path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_min_support_parsing(self):
+        assert _parse_min_support("0.01, 0.001") == [0.01, 0.001]
+        assert _parse_min_support("10,5,2") == [10, 5, 2]
+        assert _parse_min_support("1e-4") == [0.0001]
+
+
+class TestMine:
+    def test_finds_paper_pattern(self, example_files, capsys):
+        transactions, taxonomy = example_files
+        code = main(
+            [
+                "mine",
+                "--transactions", transactions,
+                "--taxonomy", taxonomy,
+                "--gamma", "0.6",
+                "--epsilon", "0.35",
+                "--min-support", "1,1,1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 flipping pattern(s)" in out
+        assert "a11" in out and "b11" in out
+
+    def test_json_output(self, example_files, capsys):
+        transactions, taxonomy = example_files
+        code = main(
+            [
+                "mine",
+                "--transactions", transactions,
+                "--taxonomy", taxonomy,
+                "--gamma", "0.6",
+                "--epsilon", "0.35",
+                "--min-support", "1,1,1",
+                "--json", "--stats",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["patterns"][0]["items"] == ["a11", "b11"]
+        assert payload["stats"]["n_patterns"] == 1
+
+    def test_top_k(self, example_files, capsys):
+        transactions, taxonomy = example_files
+        main(
+            [
+                "mine",
+                "--transactions", transactions,
+                "--taxonomy", taxonomy,
+                "--gamma", "0.5",
+                "--epsilon", "0.35",
+                "--min-support", "1,1,1",
+                "--top-k", "1",
+            ]
+        )
+        assert "pattern" in capsys.readouterr().out
+
+    def test_bad_thresholds_exit_code(self, example_files, capsys):
+        transactions, taxonomy = example_files
+        code = main(
+            [
+                "mine",
+                "--transactions", transactions,
+                "--taxonomy", taxonomy,
+                "--gamma", "0.2",
+                "--epsilon", "0.5",
+                "--min-support", "1,1,1",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRules:
+    def test_generalized_rules_printed(self, example_files, capsys):
+        transactions, taxonomy = example_files
+        code = main(
+            [
+                "rules",
+                "--transactions", transactions,
+                "--taxonomy", taxonomy,
+                "--min-support", "2",
+                "--min-confidence", "0.6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "generalized frequent itemsets" in out
+        assert "->" in out
+
+    def test_interest_pruning_reported(self, example_files, capsys):
+        transactions, taxonomy = example_files
+        code = main(
+            [
+                "rules",
+                "--transactions", transactions,
+                "--taxonomy", taxonomy,
+                "--min-support", "2",
+                "--min-confidence", "0.6",
+                "--interest", "1.3",
+            ]
+        )
+        assert code == 0
+        assert "R-interesting (R=1.3)" in capsys.readouterr().out
+
+    def test_json_output(self, example_files, capsys):
+        transactions, taxonomy = example_files
+        code = main(
+            [
+                "rules",
+                "--transactions", transactions,
+                "--taxonomy", taxonomy,
+                "--min-support", "2",
+                "--min-confidence", "0.5",
+                "--json", "--limit", "3",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_rules"] >= len(payload["rules"])
+        assert len(payload["rules"]) <= 3
+        for rule in payload["rules"]:
+            assert rule["confidence"] >= 0.5
+
+    def test_surprise_ranks_cross_category_first(
+        self, example_files, capsys
+    ):
+        transactions, taxonomy = example_files
+        code = main(
+            [
+                "rules",
+                "--transactions", transactions,
+                "--taxonomy", taxonomy,
+                "--min-support", "2",
+                "--min-confidence", "0.0",
+                "--surprise", "--json", "--limit", "1",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        top = payload["rules"][0]
+        sides = top["antecedent"] + top["consequent"]
+        # the most surprising rule bridges the a- and b-categories
+        assert any(name.startswith("a") for name in sides)
+        assert any(name.startswith("b") for name in sides)
+
+    def test_multiple_supports_rejected(self, example_files, capsys):
+        transactions, taxonomy = example_files
+        code = main(
+            [
+                "rules",
+                "--transactions", transactions,
+                "--taxonomy", taxonomy,
+                "--min-support", "2,1",
+                "--min-confidence", "0.5",
+            ]
+        )
+        assert code == 2
+        assert "single min-support" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_groceries_roundtrip(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "--dataset", "groceries",
+                "--out-dir", str(tmp_path),
+                "--scale", "0.1",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "groceries.basket").exists()
+        assert (tmp_path / "groceries.taxonomy.json").exists()
+
+    def test_synthetic(self, tmp_path):
+        code = main(
+            [
+                "generate",
+                "--dataset", "synthetic",
+                "--out-dir", str(tmp_path),
+                "--n-transactions", "100",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        text = (tmp_path / "synthetic.basket").read_text()
+        # 100 transactions plus the header comment
+        assert len([l for l in text.splitlines() if l and not l.startswith("#")]) == 100
+
+
+class TestExplain:
+    def test_kulc(self, capsys):
+        assert main(["explain", "--measure", "kulc"]) == 0
+        out = capsys.readouterr().out
+        assert "arithmetic" in out
+        assert "0.400" in out
+
+    def test_unknown_measure(self, capsys):
+        assert main(["explain", "--measure", "nope"]) == 2
+
+
+class TestProfile:
+    def test_describes_and_suggests(self, example_files, capsys):
+        transactions, taxonomy = example_files
+        code = main(
+            [
+                "profile",
+                "--transactions", transactions,
+                "--taxonomy", taxonomy,
+                "--bottom-fraction", "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "10 transactions" in out
+        assert "suggested per-level min supports" in out
+        assert "h1" in out and "h3" in out
+
+    def test_generated_dataset_roundtrip(self, tmp_path, capsys):
+        assert main(
+            [
+                "generate",
+                "--dataset", "movies",
+                "--out-dir", str(tmp_path),
+                "--scale", "0.05",
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "profile",
+                "--transactions", str(tmp_path / "movies.basket"),
+                "--taxonomy", str(tmp_path / "movies.taxonomy.json"),
+            ]
+        )
+        assert code == 0
+        assert "most frequent items" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_table1(self, capsys):
+        assert main(["bench", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "[PASS]" in out

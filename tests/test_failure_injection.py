@@ -1,0 +1,133 @@
+"""Failure injection: the library must fail loudly and specifically.
+
+Every user-facing entry point is fed malformed input; the assertion is
+always twofold — the right exception type, and a message that names
+the actual problem (not a bare KeyError three frames deep).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FlipperMiner,
+    PruningConfig,
+    Taxonomy,
+    Thresholds,
+    TransactionDatabase,
+    mine_flipping_patterns,
+)
+from repro.errors import ConfigError, DataError, ReproError, TaxonomyError
+
+
+@pytest.fixture
+def flat_taxonomy():
+    return Taxonomy.from_dict({"x": None, "y": None})
+
+
+@pytest.fixture
+def small_db(example3_tax):
+    return TransactionDatabase([["a11", "b11"]], example3_tax)
+
+
+class TestTaxonomyFailures:
+    def test_flat_taxonomy_cannot_flip(self, flat_taxonomy):
+        database = TransactionDatabase([["x", "y"]], flat_taxonomy)
+        with pytest.raises(ConfigError, match="height"):
+            mine_flipping_patterns(
+                database, Thresholds(gamma=0.5, epsilon=0.1)
+            )
+
+    def test_unbalanced_rejected_when_rebalance_off(self):
+        taxonomy = Taxonomy.from_dict(
+            {"deep": {"mid": ["leaf"]}, "shallow": None}
+        )
+        with pytest.raises(TaxonomyError, match="rebalance"):
+            TransactionDatabase([["leaf"]], taxonomy, rebalance=False)
+
+    def test_unknown_node_lookup(self, example3_tax):
+        with pytest.raises(TaxonomyError):
+            example3_tax.node_by_name("no-such-node")
+
+
+class TestDatabaseFailures:
+    def test_unknown_item_strict(self, example3_tax):
+        with pytest.raises(DataError, match="unknown item 'mystery'"):
+            TransactionDatabase([["a11", "mystery"]], example3_tax)
+
+    def test_unknown_item_lenient_drops(self, example3_tax):
+        database = TransactionDatabase(
+            [["a11", "mystery"]], example3_tax, strict=False
+        )
+        assert database.transaction_names(0) == ("a11",)
+
+    def test_empty_database_rejected(self, example3_tax):
+        with pytest.raises(DataError, match="empty"):
+            TransactionDatabase([], example3_tax)
+
+    def test_unknown_item_id(self, small_db):
+        with pytest.raises(DataError, match="unknown item"):
+            small_db.item_id("nothing")
+
+
+class TestThresholdFailures:
+    @pytest.mark.parametrize(
+        "kwargs,fragment",
+        [
+            (dict(gamma=0.0, epsilon=0.0), "gamma"),
+            (dict(gamma=1.5, epsilon=0.1), "gamma"),
+            (dict(gamma=0.5, epsilon=-0.1), "epsilon"),
+            (dict(gamma=0.3, epsilon=0.5), "below gamma"),
+            (dict(gamma=0.5, epsilon=0.1, min_support=[0.1, 2]), "mixes"),
+            (dict(gamma=0.5, epsilon=0.1, min_support=0), ">= 1"),
+            (dict(gamma=0.5, epsilon=0.1, min_support=[1, 2]), "non-increasing"),
+            (dict(gamma=0.5, epsilon=0.1, min_support=[]), "empty"),
+            (dict(gamma=0.5, epsilon=0.1, min_support=True), "bool"),
+        ],
+    )
+    def test_invalid_thresholds(self, kwargs, fragment):
+        with pytest.raises(ConfigError, match=fragment):
+            Thresholds(**kwargs)
+
+    def test_wrong_level_count_at_resolve(self, small_db):
+        thresholds = Thresholds(
+            gamma=0.5, epsilon=0.1, min_support=[4, 3, 2, 1]
+        )
+        with pytest.raises(ConfigError, match="levels"):
+            mine_flipping_patterns(small_db, thresholds)
+
+
+class TestMinerConfigFailures:
+    def test_tpg_without_flipping(self):
+        with pytest.raises(ConfigError, match="flipping"):
+            PruningConfig(flipping=False, tpg=True, sibp=False)
+
+    def test_unknown_measure(self, small_db):
+        with pytest.raises(ConfigError, match="unknown measure"):
+            mine_flipping_patterns(
+                small_db,
+                Thresholds(gamma=0.5, epsilon=0.1),
+                measure="pearson",
+            )
+
+    def test_unknown_backend(self, small_db):
+        with pytest.raises(ConfigError, match="unknown counting backend"):
+            mine_flipping_patterns(
+                small_db, Thresholds(gamma=0.5, epsilon=0.1), backend="gpu"
+            )
+
+    def test_max_k_too_small(self, small_db):
+        with pytest.raises(ConfigError, match="max_k"):
+            FlipperMiner(
+                small_db, Thresholds(gamma=0.5, epsilon=0.1), max_k=1
+            )
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (ConfigError, DataError, TaxonomyError):
+            assert issubclass(exc, ReproError)
+
+    def test_callers_can_catch_one_type(self, example3_tax):
+        with pytest.raises(ReproError):
+            TransactionDatabase([], example3_tax)
