@@ -1,0 +1,71 @@
+"""Engine smoke bench: serial vs parallel executor on one tiny profile.
+
+The pytest-benchmark face of ``python -m repro bench engine``: runs
+the full Flipper configuration under both executors, asserts the
+pattern sets agree, and writes the ``BENCH_engine.json`` baseline the
+CI engine-smoke job checks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import one_shot
+from repro import PruningConfig
+from repro.bench import run_method
+from repro.bench.engine import run_engine_smoke
+from repro.datasets import generate_groceries
+from repro.datasets.groceries import GROCERIES_THRESHOLDS
+
+EXECUTORS = [
+    ("serial", {"executor": "serial"}),
+    ("process", {"executor": "process", "workers": 2, "chunk_size": 50}),
+]
+
+
+@pytest.fixture(scope="module")
+def planted_db():
+    return generate_groceries(scale=0.2)
+
+
+@pytest.mark.parametrize(
+    "label,config", EXECUTORS, ids=[label for label, _ in EXECUTORS]
+)
+def test_executor_runtime(benchmark, planted_db, label, config):
+    record = one_shot(
+        benchmark,
+        run_method,
+        planted_db,
+        GROCERIES_THRESHOLDS,
+        PruningConfig.full(),
+        f"full[{label}]",
+        **config,
+    )
+    assert record.executor == config["executor"]
+    assert record.n_patterns > 0
+
+
+def test_executors_find_identical_patterns(planted_db):
+    records = {
+        label: run_method(
+            planted_db,
+            GROCERIES_THRESHOLDS,
+            PruningConfig.full(),
+            label,
+            **config,
+        )
+        for label, config in EXECUTORS
+    }
+    assert records["serial"].n_patterns == records["process"].n_patterns > 0
+
+
+def test_engine_smoke_writes_baseline(tmp_path, capsys):
+    out = tmp_path / "BENCH_engine.json"
+    report, data = run_engine_smoke(out_path=out)
+    with capsys.disabled():
+        print()
+        print(report)
+    assert data["checks_pass"] is True
+    assert json.loads(out.read_text())["patterns_identical"] is True

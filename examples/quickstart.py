@@ -12,47 +12,73 @@ Run:  python examples/quickstart.py
 
 from repro import Taxonomy, Thresholds, TransactionDatabase, mine_flipping_patterns
 
-# 1. The taxonomy (is-a hierarchy).  Leaves are the transaction items;
-#    internal nodes are their generalizations.
-taxonomy = Taxonomy.from_dict(
-    {
-        "a": {"a1": ["a11", "a12"], "a2": ["a21", "a22"]},
-        "b": {"b1": ["b11", "b12"], "b2": ["b21", "b22"]},
-    }
-)
-print(taxonomy.describe())
-print()
 
-# 2. The transactions (paper Fig. 4, D1..D10).
-transactions = [
-    ["a11", "a22", "b11", "b22"],
-    ["a11", "a21", "b11"],
-    ["a12", "a21"],
-    ["a12", "a22", "b21"],
-    ["a12", "a22", "b21"],
-    ["a12", "a21", "b22"],
-    ["a21", "b12"],
-    ["b12", "b21", "b22"],
-    ["b12", "b21"],
-    ["a22", "b12", "b22"],
-]
-database = TransactionDatabase(transactions, taxonomy)
-print(database.describe())
-print()
-
-# 3. Thresholds: positive when Kulc >= 0.6, negative when Kulc <= 0.35,
-#    minimum support 1 transaction at every level (Example 3).
-thresholds = Thresholds(gamma=0.6, epsilon=0.35, min_support=1)
-
-# 4. Mine.  The default configuration is the full Flipper algorithm
-#    (flipping + TPG + SIBP pruning) with the Kulczynski measure.
-result = mine_flipping_patterns(database, thresholds)
-
-print(f"found {len(result.patterns)} flipping pattern(s):")
-for pattern in result.patterns:
+def main() -> None:
+    # 1. The taxonomy (is-a hierarchy).  Leaves are the transaction
+    #    items; internal nodes are their generalizations.
+    taxonomy = Taxonomy.from_dict(
+        {
+            "a": {"a1": ["a11", "a12"], "a2": ["a21", "a22"]},
+            "b": {"b1": ["b11", "b12"], "b2": ["b21", "b22"]},
+        }
+    )
+    print(taxonomy.describe())
     print()
-    print(pattern.describe())
 
-# 5. Instrumentation: how much work did the pruning save?
-print()
-print(result.stats.summary())
+    # 2. The transactions (paper Fig. 4, D1..D10).
+    transactions = [
+        ["a11", "a22", "b11", "b22"],
+        ["a11", "a21", "b11"],
+        ["a12", "a21"],
+        ["a12", "a22", "b21"],
+        ["a12", "a22", "b21"],
+        ["a12", "a21", "b22"],
+        ["a21", "b12"],
+        ["b12", "b21", "b22"],
+        ["b12", "b21"],
+        ["a22", "b12", "b22"],
+    ]
+    database = TransactionDatabase(transactions, taxonomy)
+    print(database.describe())
+    print()
+
+    # 3. Thresholds: positive when Kulc >= 0.6, negative when
+    #    Kulc <= 0.35, minimum support 1 transaction at every level
+    #    (Example 3).
+    thresholds = Thresholds(gamma=0.6, epsilon=0.35, min_support=1)
+
+    # 4. Mine.  The default configuration is the full Flipper algorithm
+    #    (flipping + TPG + SIBP pruning) with the Kulczynski measure.
+    result = mine_flipping_patterns(database, thresholds)
+
+    print(f"found {len(result.patterns)} flipping pattern(s):")
+    for pattern in result.patterns:
+        print()
+        print(pattern.describe())
+
+    # 5. Instrumentation: how much work did the pruning save?
+    print()
+    print(result.stats.summary())
+
+    # 6. Scaling out: counting is batched behind a pluggable executor
+    #    (see ARCHITECTURE.md).  executor="process" fans support
+    #    counting out across worker processes; on a dataset this small
+    #    it only demonstrates that the results are identical.
+    parallel = mine_flipping_patterns(
+        database, thresholds, executor="process", workers=2
+    )
+    assert [p.to_dict() for p in parallel.patterns] == [
+        p.to_dict() for p in result.patterns
+    ]
+    print()
+    print(
+        f"process executor ({parallel.config['workers']} workers) found "
+        "the same patterns"
+    )
+
+
+# The __main__ guard is the standard multiprocessing requirement: under
+# the spawn start method the process executor's workers re-import this
+# script, and nothing here may run again when they do.
+if __name__ == "__main__":
+    main()

@@ -67,6 +67,14 @@ from repro.fpm import (
     level_frequent_itemsets,
     mine_flipping_posthoc,
 )
+from repro.engine import (
+    ExecutionPlan,
+    Executor,
+    MiningContext,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.errors import (
     ConfigError,
     DataError,
@@ -125,6 +133,13 @@ __all__ = [
     "fp_growth",
     "level_frequent_itemsets",
     "mine_flipping_posthoc",
+    # engine (plan -> stages -> executor -> backend; see ARCHITECTURE.md)
+    "ExecutionPlan",
+    "MiningContext",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
     # substrate
     "VerticalIndex",
     "TaxonomyNode",

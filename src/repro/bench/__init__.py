@@ -1,6 +1,7 @@
 """Benchmark harness: profiles, sweep machinery, reports, and one
 runner per table/figure of the paper's evaluation."""
 
+from repro.bench.engine import run_engine_smoke
 from repro.bench.experiments import (
     EXPERIMENTS,
     real_datasets,
@@ -48,6 +49,7 @@ __all__ = [
     "run_fig9b",
     "run_table1",
     "run_table4",
+    "run_engine_smoke",
     "real_datasets",
     "LADDER",
     "RunRecord",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.bench.chart import sweep_chart
+from repro.bench.engine import run_engine_smoke
 from repro.bench.harness import (
     LADDER,
     RunRecord,
@@ -58,6 +59,7 @@ __all__ = [
     "run_fig9b",
     "run_table1",
     "run_table4",
+    "run_engine_smoke",
     "real_datasets",
     "EXPERIMENTS",
 ]
@@ -476,4 +478,5 @@ EXPERIMENTS = {
     "fig9b": run_fig9b,
     "table1": run_table1,
     "table4": run_table4,
+    "engine": run_engine_smoke,
 }

@@ -30,7 +30,11 @@ LADDER: list[tuple[str, PruningConfig]] = [
 
 @dataclass
 class RunRecord:
-    """One (method, workload) measurement."""
+    """One (method, workload) measurement.
+
+    ``executor``/``workers``/``chunk_size`` record the engine
+    configuration the run used, so ablation benches can compare
+    serial vs parallel rows of the same method."""
 
     method: str
     seconds: float
@@ -43,6 +47,9 @@ class RunRecord:
     tpg_events: int
     sibp_bans: int
     peak_memory_bytes: int | None = None
+    executor: str = "serial"
+    workers: int = 1
+    chunk_size: int | None = None
 
     @classmethod
     def from_run(
@@ -51,6 +58,9 @@ class RunRecord:
         miner: FlipperMiner,
         n_patterns: int,
         peak_memory: int | None = None,
+        executor: str = "serial",
+        workers: int = 1,
+        chunk_size: int | None = None,
     ) -> "RunRecord":
         stats = miner.stats
         return cls(
@@ -65,6 +75,9 @@ class RunRecord:
             tpg_events=len(stats.tpg_events),
             sibp_bans=len(stats.sibp_bans),
             peak_memory_bytes=peak_memory,
+            executor=executor,
+            workers=workers,
+            chunk_size=chunk_size,
         )
 
 
@@ -75,6 +88,9 @@ def run_method(
     label: str | None = None,
     measure: str | Measure = "kulczynski",
     backend: str = "bitmap",
+    executor: str = "serial",
+    workers: int | None = None,
+    chunk_size: int | None = None,
     max_k: int | None = None,
     track_memory: bool = False,
 ) -> RunRecord:
@@ -83,6 +99,8 @@ def run_method(
     With ``track_memory=True`` the run is wrapped in ``tracemalloc``
     (Fig. 9(b)); this slows Python down noticeably, so runtime and
     memory are measured in separate benches, as the paper did.
+    ``executor``/``workers``/``chunk_size`` select the engine
+    configuration and are recorded in the returned row.
     """
     peak = None
     if track_memory:
@@ -94,6 +112,9 @@ def run_method(
             measure=measure,
             pruning=pruning,
             backend=backend,
+            executor=executor,
+            workers=workers,
+            chunk_size=chunk_size,
             max_k=max_k,
         )
         result = miner.mine()
@@ -103,7 +124,13 @@ def run_method(
         if track_memory:
             tracemalloc.stop()
     return RunRecord.from_run(
-        label or pruning.name, miner, len(result.patterns), peak
+        label or pruning.name,
+        miner,
+        len(result.patterns),
+        peak,
+        executor=result.config["executor"],
+        workers=result.config["workers"],
+        chunk_size=result.config["chunk_size"],
     )
 
 

@@ -86,6 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitmap",
         choices=["bitmap", "horizontal", "numpy"],
     )
+    mine.add_argument(
+        "--executor",
+        default="serial",
+        choices=["serial", "process"],
+        help="where batched support counting runs (see ARCHITECTURE.md)",
+    )
+    mine.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --executor process (default: CPU count)",
+    )
+    mine.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="candidates per counting chunk (default: auto)",
+    )
     mine.add_argument("--max-k", type=int, default=None)
     mine.add_argument("--top-k", type=int, default=None,
                       help="report only the K sharpest flips")
@@ -185,6 +199,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         measure=args.measure,
         pruning=_PRUNING_CHOICES[args.pruning](),
         backend=args.backend,
+        executor=args.executor,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
         max_k=args.max_k,
     )
     patterns = result.patterns

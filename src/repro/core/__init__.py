@@ -2,7 +2,13 @@
 
 from repro.core.basic import mine_flipping_bruteforce
 from repro.core.cells import Cell, CellEntry
-from repro.core.counting import BitmapBackend, HorizontalBackend, make_backend
+from repro.core.counting import (
+    BitmapBackend,
+    CountingBackend,
+    HorizontalBackend,
+    NumpyBackend,
+    make_backend,
+)
 from repro.core.flipper import FlipperMiner, PruningConfig, mine_flipping_patterns
 from repro.core.invariance import (
     InvarianceRow,
@@ -57,6 +63,8 @@ __all__ = [
     "BitmapBackend",
     "HorizontalBackend",
     "make_backend",
+    "CountingBackend",
+    "NumpyBackend",
     "mine_top_k",
     "top_k_most_flipping",
     "mine_discriminative",

@@ -16,14 +16,23 @@ The miner asks one question: *how many transactions contain this
   implementation of the same contract, and the vectorized option for
   very wide candidate batches.
 
+All backends implement the batched entry point
+:meth:`~CountingBackend.supports_batched`, the unit of work the
+engine's executors fan out across workers (see ARCHITECTURE.md):
+candidates are counted in deterministic chunks, so a chunk is both
+the horizontal backend's "one scan of the disk-resident input" and
+the parallel executor's per-worker task.  ``node_supports`` results
+are cached per level — the engine's stages and the SIBP device ask
+for them repeatedly and must not trigger rescans.
+
 All count *scans* so the harness can report IO-model work alongside
 wall-clock time.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-from typing import Protocol
+from collections.abc import Iterator, Sequence
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -37,9 +46,38 @@ __all__ = [
     "HorizontalBackend",
     "NumpyBackend",
     "make_backend",
+    "backend_name_of",
+    "iter_chunks",
 ]
 
 
+def iter_chunks(
+    itemsets: Sequence[tuple[int, ...]], chunk_size: int | None
+) -> Iterator[Sequence[tuple[int, ...]]]:
+    """Deterministic chunking of a candidate batch.
+
+    ``chunk_size=None`` (or a size covering the whole batch) yields a
+    single chunk.  Order is preserved, so merging per-chunk results in
+    yield order reproduces the unchunked result exactly.  Invalid
+    chunk sizes raise at the call, not on first ``next()``.
+    """
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+    return _iter_chunks(itemsets, chunk_size)
+
+
+def _iter_chunks(
+    itemsets: Sequence[tuple[int, ...]], chunk_size: int | None
+) -> Iterator[Sequence[tuple[int, ...]]]:
+    if chunk_size is None or chunk_size >= len(itemsets):
+        if itemsets:
+            yield itemsets
+        return
+    for start in range(0, len(itemsets), chunk_size):
+        yield itemsets[start : start + chunk_size]
+
+
+@runtime_checkable
 class CountingBackend(Protocol):
     """Protocol implemented by all counting backends."""
 
@@ -49,13 +87,27 @@ class CountingBackend(Protocol):
         ...
 
     def node_supports(self, level: int) -> dict[int, int]:
-        """Support of every taxonomy node at ``level``."""
+        """Support of every taxonomy node at ``level`` (cached)."""
         ...
 
     def supports(
         self, level: int, itemsets: Sequence[tuple[int, ...]]
     ) -> dict[tuple[int, ...], int]:
         """Support of each candidate itemset at ``level``."""
+        ...
+
+    def supports_batched(
+        self,
+        level: int,
+        itemsets: Sequence[tuple[int, ...]],
+        chunk_size: int | None = None,
+    ) -> dict[tuple[int, ...], int]:
+        """Support of each candidate, counted in deterministic chunks.
+
+        Semantically identical to :meth:`supports` for every chunk
+        size; the chunk is the batching/parallelism unit the engine's
+        executors dispatch.
+        """
         ...
 
 
@@ -65,6 +117,7 @@ class BitmapBackend:
     def __init__(self, database: TransactionDatabase) -> None:
         self._index = VerticalIndex(database)
         self._scans = 1  # building the index reads the database once
+        self._node_supports: dict[int, dict[int, int]] = {}
 
     @property
     def scans(self) -> int:
@@ -75,7 +128,9 @@ class BitmapBackend:
         return self._index
 
     def node_supports(self, level: int) -> dict[int, int]:
-        return self._index.node_supports(level)
+        if level not in self._node_supports:
+            self._node_supports[level] = self._index.node_supports(level)
+        return self._node_supports[level]
 
     def supports(
         self, level: int, itemsets: Sequence[tuple[int, ...]]
@@ -83,18 +138,34 @@ class BitmapBackend:
         support = self._index.support
         return {itemset: support(level, itemset) for itemset in itemsets}
 
+    def supports_batched(
+        self,
+        level: int,
+        itemsets: Sequence[tuple[int, ...]],
+        chunk_size: int | None = None,
+    ) -> dict[tuple[int, ...], int]:
+        support = self._index.support
+        out: dict[tuple[int, ...], int] = {}
+        for chunk in iter_chunks(itemsets, chunk_size):
+            for itemset in chunk:
+                out[itemset] = support(level, itemset)
+        return out
+
 
 class HorizontalBackend:
     """Sequential-scan counting over level projections.
 
-    Every :meth:`supports` call walks the projected transaction list
-    exactly once, whatever the number of candidates — the paper's
-    "counting by sequential scans of disk-resident input data" model.
+    Every batch (chunk) walks the projected transaction list exactly
+    once, whatever the number of candidates — the paper's "counting by
+    sequential scans of disk-resident input data" model.  A chunk is
+    one scan, so ``supports_batched`` with a finite ``chunk_size``
+    models a candidate set too large for one in-memory pass.
     """
 
     def __init__(self, database: TransactionDatabase) -> None:
         self._database = database
         self._projections: dict[int, list[frozenset[int]]] = {}
+        self._node_supports: dict[int, dict[int, int]] = {}
         self._scans = 0
 
     @property
@@ -107,6 +178,8 @@ class HorizontalBackend:
         return self._projections[level]
 
     def node_supports(self, level: int) -> dict[int, int]:
+        if level in self._node_supports:
+            return self._node_supports[level]
         self._scans += 1
         counts: dict[int, int] = {
             node_id: 0
@@ -115,6 +188,7 @@ class HorizontalBackend:
         for transaction in self._projection(level):
             for node_id in transaction:
                 counts[node_id] += 1
+        self._node_supports[level] = counts
         return counts
 
     def supports(
@@ -138,6 +212,17 @@ class HorizontalBackend:
                     counts[itemset] += 1
         return counts
 
+    def supports_batched(
+        self,
+        level: int,
+        itemsets: Sequence[tuple[int, ...]],
+        chunk_size: int | None = None,
+    ) -> dict[tuple[int, ...], int]:
+        out: dict[tuple[int, ...], int] = {}
+        for chunk in iter_chunks(itemsets, chunk_size):
+            out.update(self.supports(level, chunk))
+        return out
+
 
 class NumpyBackend:
     """Boolean-matrix counting on NumPy.
@@ -146,7 +231,9 @@ class NumpyBackend:
     n_nodes)`` boolean matrix; a candidate's support is the count of
     rows where all its columns are True.  Functionally identical to
     the other backends (the ablation bench asserts it), with the
-    vectorization profile of a column store.
+    vectorization profile of a column store.  ``supports_batched``
+    counts whole chunks with a single gather + AND-reduction, so the
+    chunk size bounds the temporary ``(n, chunk, k)`` tensor.
     """
 
     def __init__(self, database: TransactionDatabase) -> None:
@@ -155,6 +242,7 @@ class NumpyBackend:
         self._scans = 1  # materializing a level reads the database once
         #: level -> (matrix, node_id -> column)
         self._levels: dict[int, tuple[np.ndarray, dict[int, int]]] = {}
+        self._node_supports: dict[int, dict[int, int]] = {}
 
     @property
     def scans(self) -> int:
@@ -175,9 +263,23 @@ class NumpyBackend:
         return self._levels[level]
 
     def node_supports(self, level: int) -> dict[int, int]:
-        matrix, columns = self._level(level)
-        sums = matrix.sum(axis=0)
-        return {node_id: int(sums[col]) for node_id, col in columns.items()}
+        if level not in self._node_supports:
+            matrix, columns = self._level(level)
+            sums = matrix.sum(axis=0)
+            self._node_supports[level] = {
+                node_id: int(sums[col]) for node_id, col in columns.items()
+            }
+        return self._node_supports[level]
+
+    def _columns_of(
+        self, level: int, itemset: tuple[int, ...], columns: dict[int, int]
+    ) -> list[int]:
+        try:
+            return [columns[node_id] for node_id in itemset]
+        except KeyError as exc:
+            raise DataError(
+                f"itemset {itemset} contains a node not at level {level}"
+            ) from exc
 
     def supports(
         self, level: int, itemsets: Sequence[tuple[int, ...]]
@@ -185,13 +287,48 @@ class NumpyBackend:
         matrix, columns = self._level(level)
         out: dict[tuple[int, ...], int] = {}
         for itemset in itemsets:
-            try:
-                cols = [columns[node_id] for node_id in itemset]
-            except KeyError as exc:
-                raise DataError(
-                    f"itemset {itemset} contains a node not at level {level}"
-                ) from exc
+            cols = self._columns_of(level, itemset, columns)
             out[itemset] = int(matrix[:, cols].all(axis=1).sum())
+        return out
+
+    #: target element count of the (n, run, k) gather temporary; runs
+    #: are split so one tensor op stays around ~256 MiB of bools
+    _GATHER_BUDGET = 256 * 1024 * 1024
+
+    def supports_batched(
+        self,
+        level: int,
+        itemsets: Sequence[tuple[int, ...]],
+        chunk_size: int | None = None,
+    ) -> dict[tuple[int, ...], int]:
+        matrix, columns = self._level(level)
+        n = max(1, matrix.shape[0])
+        out: dict[tuple[int, ...], int] = {}
+        for chunk in iter_chunks(itemsets, chunk_size):
+            # One gather per uniform-k run within the chunk: cells have
+            # uniform k, so this is normally one tensor op per chunk.
+            # Runs are additionally capped so chunk_size=None cannot
+            # materialize an unbounded (n, run, k) temporary.
+            start = 0
+            while start < len(chunk):
+                k = len(chunk[start])
+                stop = start
+                while stop < len(chunk) and len(chunk[stop]) == k:
+                    stop += 1
+                cap = max(1, self._GATHER_BUDGET // (n * max(1, k)))
+                while start < stop:
+                    run = chunk[start : min(stop, start + cap)]
+                    cols = np.array(
+                        [
+                            self._columns_of(level, itemset, columns)
+                            for itemset in run
+                        ],
+                        dtype=np.intp,
+                    )
+                    counts = matrix[:, cols].all(axis=2).sum(axis=0)
+                    for itemset, count in zip(run, counts):
+                        out[itemset] = int(count)
+                    start += len(run)
         return out
 
 
@@ -215,3 +352,15 @@ def make_backend(
             f"unknown counting backend {name!r}; known: {known}"
         ) from None
     return factory(database)
+
+
+def backend_name_of(backend: CountingBackend) -> str:
+    """Registry name of a backend instance (for worker re-hydration)."""
+    for name, cls in _BACKENDS.items():
+        if type(backend) is cls:
+            return name
+    raise ConfigError(
+        f"backend {type(backend).__name__} is not registered; "
+        "parallel execution needs a registered backend to re-hydrate "
+        "worker processes"
+    )

@@ -18,29 +18,34 @@ then proceeding row by row.  Four pruning devices cut the space:
 :class:`PruningConfig` turns the devices on incrementally, producing
 exactly the BASIC → FLIPPING → +TPG → +SIBP ladder the paper
 evaluates in Figure 8.
+
+Since the engine refactor, :class:`FlipperMiner` is a thin
+orchestrator: it owns the *sweep* (visit order, TPG/SIBP cross-cell
+decisions, pattern extraction) while each cell visit is delegated to
+an :class:`~repro.engine.plan.ExecutionPlan` that stages candidate
+generation → batched support counting → labeling → pruning, with
+counting fanned out through a pluggable
+:class:`~repro.engine.executors.Executor` (``executor="serial"`` or
+``"process"``).  ARCHITECTURE.md documents the layering and the data
+handoffs between the stages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
 
-from repro.core.candidates import (
-    child_expansion_candidates,
-    filter_banned,
-    filter_known_infrequent_subsets,
-    pair_candidates,
-    row_join_candidates,
-)
-from repro.core.cells import Cell, CellEntry
-from repro.core.counting import BitmapBackend, CountingBackend, make_backend
+from repro.core.cells import Cell
+from repro.core.counting import CountingBackend, make_backend
 from repro.core.itemsets import generalize
-from repro.core.labels import Label, flips, label_for
+from repro.core.labels import Label, flips
 from repro.core.measures import Measure, get_measure
 from repro.core.patterns import ChainLink, FlippingPattern, MiningResult
-from repro.core.stats import CellStats, MiningStats, Timer
+from repro.core.stats import MiningStats, Timer
 from repro.core.thresholds import ResolvedThresholds, Thresholds
 from repro.data.database import TransactionDatabase
+from repro.engine.executors import Executor, make_executor
+from repro.engine.plan import ExecutionPlan, MiningContext
+from repro.engine.stages import build_default_stages
 from repro.errors import ConfigError
 
 __all__ = ["PruningConfig", "FlipperMiner", "mine_flipping_patterns"]
@@ -120,7 +125,19 @@ class FlipperMiner:
     pruning:
         Which devices to enable; default: full Flipper.
     backend:
-        ``"bitmap"`` (default) or ``"horizontal"`` counting.
+        ``"bitmap"`` (default), ``"horizontal"`` or ``"numpy"``
+        counting, or a :class:`CountingBackend` instance.
+    executor:
+        ``"serial"`` (default) or ``"process"`` — where batched
+        support counts run — or an :class:`Executor` instance (then
+        ``workers``/``chunk_size`` must be left unset; the miner does
+        not close executors it did not create).
+    workers:
+        Worker processes for the ``process`` executor (default: CPU
+        count).
+    chunk_size:
+        Candidates per counting chunk (default: executor-specific
+        auto sizing).
     max_k:
         Optional hard cap on itemset size (safety valve for
         pathological data; ``None`` = bounded by the data itself).
@@ -133,6 +150,9 @@ class FlipperMiner:
         measure: str | Measure = "kulczynski",
         pruning: PruningConfig | None = None,
         backend: str | CountingBackend = "bitmap",
+        executor: str | Executor = "serial",
+        workers: int | None = None,
+        chunk_size: int | None = None,
         max_k: int | None = None,
     ) -> None:
         self._database = database
@@ -152,28 +172,45 @@ class FlipperMiner:
             self._backend: CountingBackend = make_backend(backend, database)
         else:
             self._backend = backend
+        if isinstance(executor, str):
+            self._executor: Executor = make_executor(
+                executor,
+                self._backend,
+                database,
+                workers=workers,
+                chunk_size=chunk_size,
+            )
+            self._owns_executor = True
+        else:
+            if workers is not None or chunk_size is not None:
+                raise ConfigError(
+                    "workers/chunk_size configure a named executor; "
+                    "pass them to your Executor instance instead"
+                )
+            self._executor = executor
+            self._owns_executor = False
         if max_k is not None and max_k < 2:
             raise ConfigError(f"max_k must be >= 2, got {max_k}")
         self._max_k = max_k
 
-        # --- run state -------------------------------------------------
-        self._cells: dict[tuple[int, int], Cell] = {}
-        self._node_supports: dict[int, dict[int, int]] = {}
-        self._frequent_items: dict[int, set[int]] = {}
-        self._ancestor_maps: dict[int, dict[int, int]] = {}
-        # parent taxonomy node of every node, for SIBP's cross-level test
-        self._parent_of: dict[int, int] = {}
-        # SIBP: item -> largest itemset size it may still participate in
-        self._banned: dict[int, dict[int, int]] = {}
-        # lazy per-level pair-support cache for the candidate screen
-        self._pair_supports: dict[int, dict[tuple[int, int], int]] = {}
-        # SIBP removal-candidate lists per processed cell
-        self._removal_lists: dict[tuple[int, int], set[int]] = {}
-        # TPG: smallest column proven free of flipping patterns
-        self._k_cap: int | None = None
+        # --- run state, shared with the engine stages -------------------
         self._stats = MiningStats(
             method=self._pruning.name, measure=self._measure.name
         )
+        self._context = MiningContext(
+            database=database,
+            taxonomy=self._taxonomy,
+            thresholds=self._thresholds,
+            measure=self._measure,
+            pruning=self._pruning,
+            backend=self._backend,
+            executor=self._executor,
+            stats=self._stats,
+        )
+        self._plan = ExecutionPlan(self._context, build_default_stages())
+        self._ancestor_maps: dict[int, dict[int, int]] = {}
+        # TPG: smallest column proven free of flipping patterns
+        self._k_cap: int | None = None
 
     # ------------------------------------------------------------------
     # public API
@@ -181,15 +218,23 @@ class FlipperMiner:
 
     def mine(self) -> MiningResult:
         """Run the sweep and return the flipping patterns."""
-        with Timer() as timer:
-            self._prepare_levels()
-            if self._pruning.flipping:
-                self._sweep_flipping()
-            else:
-                self._sweep_basic()
-            patterns = self._extract_patterns()
+        try:
+            with Timer() as timer:
+                self._prepare_levels()
+                if self._pruning.flipping:
+                    self._sweep_flipping()
+                else:
+                    self._sweep_basic()
+                patterns = self._extract_patterns()
+        finally:
+            if self._owns_executor:
+                self._executor.close()
         self._stats.elapsed_seconds = timer.seconds
-        self._stats.db_scans = self._backend.scans
+        # Chunks counted inside worker processes increment the workers'
+        # backend counters, not the parent's; fold them back in.
+        self._stats.db_scans = self._backend.scans + getattr(
+            self._executor, "extra_scans", 0
+        )
         self._stats.n_patterns = len(patterns)
         config = {
             "method": self._pruning.name,
@@ -199,6 +244,9 @@ class FlipperMiner:
             "min_counts": list(self._thresholds.min_counts),
             "height": self._height,
             "n_transactions": self._database.n_transactions,
+            "executor": self._executor.name,
+            "workers": getattr(self._executor, "workers", 1),
+            "chunk_size": getattr(self._executor, "chunk_size", None),
         }
         return MiningResult(patterns=patterns, stats=self._stats, config=config)
 
@@ -206,9 +254,19 @@ class FlipperMiner:
     def stats(self) -> MiningStats:
         return self._stats
 
+    @property
+    def context(self) -> MiningContext:
+        """The run state shared with the engine stages (inspection)."""
+        return self._context
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The staged execution plan driving each cell visit."""
+        return self._plan
+
     def cell(self, level: int, k: int) -> Cell | None:
         """Access a processed cell (inspection / tests)."""
-        return self._cells.get((level, k))
+        return self._context.cells.get((level, k))
 
     def iter_cells(self) -> list[tuple[int, int, Cell]]:
         """All processed cells as ``(level, k, cell)``, sorted.
@@ -217,7 +275,7 @@ class FlipperMiner:
         across the whole search space (paper Table 4)."""
         return [
             (level, k, cell)
-            for (level, k), cell in sorted(self._cells.items())
+            for (level, k), cell in sorted(self._context.cells.items())
         ]
 
     # ------------------------------------------------------------------
@@ -228,19 +286,20 @@ class FlipperMiner:
         """Scan for single-node supports and frequent items per level
         (Algorithm 1, line 1)."""
         taxonomy = self._taxonomy
+        context = self._context
         for level in range(1, self._height + 1):
             supports = self._backend.node_supports(level)
-            self._node_supports[level] = supports
+            context.node_supports[level] = supports
             theta = self._thresholds.min_count(level)
-            self._frequent_items[level] = {
+            context.frequent_items[level] = {
                 node for node, support in supports.items() if support >= theta
             }
             self._ancestor_maps[level] = taxonomy.item_ancestor_map(level)
-            self._banned[level] = {}
+            context.banned[level] = {}
         for node in taxonomy.iter_nodes():
             if node.level >= 2:
                 assert node.parent_id is not None
-                self._parent_of[node.node_id] = node.parent_id
+                context.parent_of[node.node_id] = node.parent_id
 
     def _k_bound(self) -> int:
         """Upper bound on itemset size (paper Section 4.1): number of
@@ -254,8 +313,12 @@ class FlipperMiner:
         return bound
 
     # ------------------------------------------------------------------
-    # sweeps
+    # sweeps (the orchestration the engine stages don't see)
     # ------------------------------------------------------------------
+
+    def _process_cell(self, level: int, k: int) -> Cell:
+        """Run the staged plan for one ``Q(h,k)`` cell."""
+        return self._plan.run_cell(level, k)
 
     def _sweep_flipping(self) -> None:
         """Zigzag over rows 1–2, then row-wise (Algorithm 1)."""
@@ -280,7 +343,7 @@ class FlipperMiner:
             for k in columns:
                 if self._k_cap is not None and k >= self._k_cap:
                     break
-                cell_above = self._cells[(level - 1, k)]
+                cell_above = self._context.cells[(level - 1, k)]
                 cell_here = self._process_cell(level, k)
                 if self._pruning.sibp:
                     self._apply_sibp(
@@ -308,254 +371,9 @@ class FlipperMiner:
         itemsets — the only ones worth extending downward."""
         return sorted(
             k
-            for (row, k), cell in self._cells.items()
+            for (row, k), cell in self._context.cells.items()
             if row == level and cell.n_alive > 0
         )
-
-    # ------------------------------------------------------------------
-    # one cell
-    # ------------------------------------------------------------------
-
-    def _process_cell(self, level: int, k: int) -> Cell:
-        """Generate, filter, count, label and flag one ``Q(h,k)`` cell."""
-        cell_stats = CellStats(level=level, k=k)
-        with Timer() as timer:
-            fused = self._fused_expansion_supports(level, k, cell_stats)
-            if fused is not None:
-                supports = fused
-            else:
-                candidates = self._generate_candidates(level, k)
-                cell_stats.candidates = len(candidates)
-                if self._pruning.sibp and self._banned[level]:
-                    candidates, dropped = filter_banned(
-                        candidates, self._banned[level]
-                    )
-                    cell_stats.filtered_banned = dropped
-                cell_left = self._cells.get((level, k - 1))
-                candidates, dropped = filter_known_infrequent_subsets(
-                    candidates, cell_left, strict=not self._pruning.flipping
-                )
-                cell_stats.filtered_subset = dropped
-                supports = self._backend.supports(level, candidates)
-
-            cell = Cell(level=level, k=k, n_candidates=cell_stats.candidates)
-            node_supports = self._node_supports[level]
-            theta = self._thresholds.min_count(level)
-            gamma = self._thresholds.gamma
-            epsilon = self._thresholds.epsilon
-            measure = self._measure
-            parent_cell = self._cells.get((level - 1, k))
-
-            for itemset, support in supports.items():
-                item_supports = [node_supports[node] for node in itemset]
-                correlation = measure(support, item_supports)
-                label = label_for(support, correlation, theta, gamma, epsilon)
-                alive = self._chain_alive(level, itemset, label, parent_cell)
-                cell.add(
-                    CellEntry(
-                        itemset=itemset,
-                        support=support,
-                        correlation=correlation,
-                        label=label,
-                        alive=alive,
-                    )
-                )
-            self._cells[(level, k)] = cell
-            if self._pruning.sibp:
-                self._removal_lists[(level, k)] = self._removal_candidates(
-                    cell
-                )
-        cell_stats.seconds = timer.seconds
-        cell_stats.counted = len(cell)
-        cell_stats.frequent = cell.n_frequent
-        cell_stats.labeled = cell.n_labeled
-        cell_stats.alive = cell.n_alive
-        self._stats.record_cell(cell_stats)
-        return cell
-
-    def _generate_candidates(self, level: int, k: int) -> list[tuple[int, ...]]:
-        """Pick the generation regime for a cell (see module docstring)."""
-        use_row_join = level == 1 or not self._pruning.flipping
-        if use_row_join:
-            if k == 2:
-                return pair_candidates(sorted(self._frequent_items[level]))
-            cell_left = self._cells.get((level, k - 1))
-            if cell_left is None:
-                return []
-            return row_join_candidates(cell_left)
-        parent_cell = self._cells.get((level - 1, k))
-        if parent_cell is None:
-            return []
-        alive = [entry.itemset for entry in parent_cell.alive_entries]
-        children_of = {
-            node: self._taxonomy.children_ids(node)
-            for parent in alive
-            for node in parent
-        }
-        pair_ok = None
-        if k >= 3:
-            pair_ok = self._pair_predicate(level, alive, children_of)
-        return child_expansion_candidates(
-            alive,
-            children_of,
-            self._frequent_items[level],
-            pair_ok=pair_ok,
-        )
-
-    def _chain_alive(
-        self,
-        level: int,
-        itemset: tuple[int, ...],
-        label: Label,
-        parent_cell: Cell | None,
-    ) -> bool:
-        """Is the whole vertical chain down to this itemset flipping?"""
-        if not label.is_signed:
-            return False
-        if level == 1:
-            return True
-        if parent_cell is None:
-            return False
-        # Generalize by one level: map each level-h node to level-(h-1).
-        parent_itemset = tuple(
-            sorted({self._parent_of[node] for node in itemset})
-        )
-        if len(parent_itemset) != len(itemset):
-            return False  # siblings collapsed: items share a category
-        parent_entry = parent_cell.get(parent_itemset)
-        if parent_entry is None or not parent_entry.alive:
-            return False
-        return flips(parent_entry.label, label)
-
-    def _fused_expansion_supports(
-        self, level: int, k: int, cell_stats: CellStats
-    ) -> dict[tuple[int, ...], int] | None:
-        """Child expansion fused with bitset prefix counting.
-
-        For flipping-mode cells below the top row, expanding an alive
-        parent's children as a raw Cartesian product materializes
-        ``fanout**k`` combinations per parent, nearly all of which
-        support counting would discard.  With the bitmap backend we
-        instead walk the product as a DFS that carries the AND-bitset
-        of the chosen prefix: a prefix whose support drops below the
-        level's minimum kills its entire subtree (anti-monotonicity of
-        support, so no flipping pattern can be lost).  Returns the
-        supports of the surviving (frequent) candidates, or ``None``
-        when this cell should use the generic path (top row, BASIC
-        mode, or a non-bitmap backend).
-
-        ``cell_stats.candidates`` counts DFS nodes explored — the
-        fused equivalent of "candidates generated".
-        """
-        if level == 1 or not self._pruning.flipping:
-            return None
-        if not isinstance(self._backend, BitmapBackend):
-            return None
-        parent_cell = self._cells.get((level - 1, k))
-        if parent_cell is None:
-            return {}
-        index = self._backend.index
-        frequent = self._frequent_items[level]
-        banned = self._banned[level] if self._pruning.sibp else {}
-        theta = self._thresholds.min_count(level)
-        taxonomy = self._taxonomy
-        results: dict[tuple[int, ...], int] = {}
-        explored = 0
-        banned_dropped = 0
-        for entry in parent_cell.alive_entries:
-            child_lists = []
-            viable = True
-            for node in entry.itemset:
-                children = []
-                for child in taxonomy.children_ids(node):
-                    if child not in frequent:
-                        continue
-                    if banned.get(child, k) < k:
-                        banned_dropped += 1
-                        continue
-                    children.append(child)
-                if not children:
-                    viable = False
-                    break
-                child_lists.append(children)
-            if not viable:
-                continue
-            chosen: list[int] = []
-
-            def dfs(position: int, bits: int | None) -> None:
-                nonlocal explored
-                for child in child_lists[position]:
-                    explored += 1
-                    child_bits = index.bitset(level, child)
-                    new_bits = (
-                        child_bits if bits is None else bits & child_bits
-                    )
-                    support = new_bits.bit_count()
-                    if support < theta and position < len(child_lists) - 1:
-                        # infrequent prefix: no extension can recover
-                        continue
-                    if position == len(child_lists) - 1:
-                        results[tuple(sorted(chosen + [child]))] = support
-                    else:
-                        chosen.append(child)
-                        dfs(position + 1, new_bits)
-                        chosen.pop()
-
-            dfs(0, None)
-        cell_stats.candidates = explored
-        cell_stats.filtered_banned = banned_dropped
-        return results
-
-    def _pair_predicate(
-        self,
-        level: int,
-        alive_parents: list[tuple[int, ...]],
-        children_of: dict[int, tuple[int, ...]],
-    ):
-        """Build the ``pair_ok`` predicate for child expansion.
-
-        Child expansion at k >= 3 is complete but loose: after
-        vertical pruning the left cell can be missing subsets, so the
-        Apriori filter cannot reject much and the raw Cartesian
-        product explodes.  The cheapest unknowns — the level-h
-        2-subsets a candidate would contain — are batch-counted here
-        (once per level, cached) so the expansion can prune prefixes
-        containing a provably infrequent pair.  Pure support
-        reasoning: no flipping pattern can be lost.
-        """
-        cache = self._pair_supports.setdefault(level, {})
-        frequent = self._frequent_items[level]
-        # Distinct parent-node pairs across all alive parents...
-        node_pairs: set[tuple[int, int]] = set()
-        for parent in alive_parents:
-            for i in range(len(parent)):
-                for j in range(i + 1, len(parent)):
-                    node_pairs.add((parent[i], parent[j]))
-        # ...then every frequent child pair under them.
-        unknown: set[tuple[int, int]] = set()
-        for node_x, node_y in node_pairs:
-            for a in children_of.get(node_x, ()):
-                if a not in frequent:
-                    continue
-                for b in children_of.get(node_y, ()):
-                    if b not in frequent:
-                        continue
-                    pair = (a, b) if a < b else (b, a)
-                    if pair not in cache:
-                        unknown.add(pair)
-        if unknown:
-            cache.update(self._backend.supports(level, sorted(unknown)))
-            self._stats.extra["screen_pairs"] = (
-                self._stats.extra.get("screen_pairs", 0) + len(unknown)
-            )
-        theta = self._thresholds.min_count(level)
-
-        def pair_ok(a: int, b: int) -> bool:
-            pair = (a, b) if a < b else (b, a)
-            support = cache.get(pair)
-            return support is None or support >= theta
-
-        return pair_ok
 
     # ------------------------------------------------------------------
     # TPG (Theorem 3)
@@ -574,41 +392,22 @@ class FlipperMiner:
     # SIBP (Theorem 2 / Corollary 2)
     # ------------------------------------------------------------------
 
-    def _removal_candidates(self, cell: Cell) -> set[int]:
-        """The paper's R_h list for one cell: the longest prefix of the
-        support-ascending frequent-item list whose members have max
-        correlation below γ among the cell's counted itemsets.
-
-        The walk stops at the first item with a positive itemset — or
-        with *no* counted itemset, since a vacuous maximum is not
-        evidence (see DESIGN.md, "SIBP vacuous-max guard").
-        """
-        gamma = self._thresholds.gamma
-        supports = self._node_supports[cell.level]
-        ordered = sorted(
-            self._frequent_items[cell.level],
-            key=lambda node: (supports[node], node),
-        )
-        max_correlations = cell.max_correlation_per_item()
-        removal: set[int] = set()
-        for node in ordered:
-            best = max_correlations.get(node)
-            if best is None or best >= gamma:
-                break
-            removal.add(node)
-        return removal
-
     def _apply_sibp(self, upper_level: int, lower_level: int, k: int) -> None:
         """Ban lower-level items whose generalization is also a removal
         candidate: every superset of the item (size > k) then sits
-        under two consecutive non-positive rows and cannot flip."""
-        upper = self._removal_lists.get((upper_level, k), set())
-        lower = self._removal_lists.get((lower_level, k), set())
+        under two consecutive non-positive rows and cannot flip.
+
+        The per-cell removal lists are produced by the engine's
+        :class:`~repro.engine.stages.SibpRemovalStage`; this cross-cell
+        step stays with the sweep."""
+        context = self._context
+        upper = context.removal_lists.get((upper_level, k), set())
+        lower = context.removal_lists.get((lower_level, k), set())
         if not upper or not lower:
             return
-        banned = self._banned[lower_level]
+        banned = context.banned[lower_level]
         for item in lower:
-            parent = self._parent_of.get(item)
+            parent = context.parent_of.get(item)
             if parent is not None and parent in upper:
                 previous = banned.get(item)
                 if previous is None or k < previous:
@@ -626,7 +425,7 @@ class FlipperMiner:
         patterns: list[FlippingPattern] = []
         bottom_cells = sorted(
             (k, cell)
-            for (level, k), cell in self._cells.items()
+            for (level, k), cell in self._context.cells.items()
             if level == height
         )
         for _k, cell in bottom_cells:
@@ -661,7 +460,7 @@ class FlipperMiner:
             itemset = generalize(leaf_itemset, self._ancestor_maps[level])
             if len(itemset) != k:
                 return None
-            cell = self._cells.get((level, k))
+            cell = self._context.cells.get((level, k))
             entry = cell.get(itemset) if cell is not None else None
             if entry is None or not entry.label.is_signed:
                 return None
@@ -689,6 +488,9 @@ def mine_flipping_patterns(
     measure: str | Measure = "kulczynski",
     pruning: PruningConfig | None = None,
     backend: str = "bitmap",
+    executor: str = "serial",
+    workers: int | None = None,
+    chunk_size: int | None = None,
     max_k: int | None = None,
 ) -> MiningResult:
     """One-call façade over :class:`FlipperMiner` (the main entry point).
@@ -702,6 +504,9 @@ def mine_flipping_patterns(
         measure=measure,
         pruning=pruning,
         backend=backend,
+        executor=executor,
+        workers=workers,
+        chunk_size=chunk_size,
         max_k=max_k,
     )
     return miner.mine()

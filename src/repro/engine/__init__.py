@@ -1,0 +1,53 @@
+"""Staged mining engine: plan → stages → executor → backend.
+
+The engine decomposes one search-space cell visit into composable
+stages with explicit data handoffs (:mod:`repro.engine.plan`), routes
+all support counting through a batched API
+(:meth:`~repro.core.counting.CountingBackend.supports_batched`), and
+makes *where* the batches are counted a pluggable
+:class:`~repro.engine.executors.Executor` — in-process or fanned out
+across worker processes.  The sweep logic (zigzag order, TPG, SIBP
+ban application) stays in :class:`~repro.core.flipper.FlipperMiner`,
+which is a thin orchestrator over this package.  See ARCHITECTURE.md
+for the full layer diagram.
+"""
+
+from repro.engine.executors import (
+    EXECUTORS,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.plan import (
+    CellState,
+    CellTask,
+    ExecutionPlan,
+    MiningContext,
+    Stage,
+)
+from repro.engine.stages import (
+    CountStage,
+    GenerateStage,
+    LabelStage,
+    SibpRemovalStage,
+    build_default_stages,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "EXECUTORS",
+    "CellTask",
+    "CellState",
+    "MiningContext",
+    "Stage",
+    "ExecutionPlan",
+    "GenerateStage",
+    "CountStage",
+    "LabelStage",
+    "SibpRemovalStage",
+    "build_default_stages",
+]

@@ -1,0 +1,350 @@
+"""The default stages of one cell visit.
+
+Ported from the pre-engine ``FlipperMiner._process_cell`` monolith and
+split along the data handoffs (see :mod:`repro.engine.plan`):
+
+* :class:`GenerateStage` — pick the generation regime (row join vs
+  child expansion), apply the SIBP-ban and known-infrequent-subset
+  filters.  With the bitmap backend under a fused-capable executor it
+  instead runs the fused expand+count DFS and skips the count stage.
+* :class:`CountStage` — hand the candidate batch to the executor,
+  which chunks it and counts through
+  :meth:`~repro.core.counting.CountingBackend.supports_batched`.
+* :class:`LabelStage` — correlation, Definition-1 label and the
+  chain-alive flag for every counted candidate; builds the
+  :class:`~repro.core.cells.Cell`.
+* :class:`SibpRemovalStage` — the per-cell half of SIBP: the R_h
+  removal-candidate list (Theorem 2).  The cross-cell ban application
+  stays in the sweep.
+
+``build_default_stages`` assembles them in order.
+"""
+
+from __future__ import annotations
+
+from repro.core.candidates import (
+    child_expansion_candidates,
+    filter_banned,
+    filter_known_infrequent_subsets,
+    pair_candidates,
+    row_join_candidates,
+)
+from repro.core.cells import Cell, CellEntry
+from repro.core.counting import BitmapBackend
+from repro.core.labels import Label, flips, label_for
+from repro.engine.plan import CellState, MiningContext, Stage
+
+__all__ = [
+    "GenerateStage",
+    "CountStage",
+    "LabelStage",
+    "SibpRemovalStage",
+    "build_default_stages",
+]
+
+
+class GenerateStage:
+    """Candidate generation + pre-count filters (or the fused path)."""
+
+    name = "generate"
+
+    def run(self, context: MiningContext, state: CellState) -> None:
+        level, k = state.task.level, state.task.k
+        fused = self._fused_expansion_supports(context, state)
+        if fused is not None:
+            state.supports = fused
+            state.fused = True
+            return
+        candidates = self._generate(context, level, k)
+        state.stats.candidates = len(candidates)
+        if context.pruning.sibp and context.banned.get(level):
+            candidates, dropped = filter_banned(
+                candidates, context.banned[level]
+            )
+            state.stats.filtered_banned = dropped
+        cell_left = context.cells.get((level, k - 1))
+        candidates, dropped = filter_known_infrequent_subsets(
+            candidates, cell_left, strict=not context.pruning.flipping
+        )
+        state.stats.filtered_subset = dropped
+        state.candidates = candidates
+
+    # -- generation regimes -------------------------------------------
+
+    def _generate(
+        self, context: MiningContext, level: int, k: int
+    ) -> list[tuple[int, ...]]:
+        use_row_join = level == 1 or not context.pruning.flipping
+        if use_row_join:
+            if k == 2:
+                return pair_candidates(sorted(context.frequent_items[level]))
+            cell_left = context.cells.get((level, k - 1))
+            if cell_left is None:
+                return []
+            return row_join_candidates(cell_left)
+        parent_cell = context.cells.get((level - 1, k))
+        if parent_cell is None:
+            return []
+        alive = [entry.itemset for entry in parent_cell.alive_entries]
+        children_of = {
+            node: context.taxonomy.children_ids(node)
+            for parent in alive
+            for node in parent
+        }
+        pair_ok = None
+        if k >= 3:
+            pair_ok = self._pair_predicate(context, level, alive, children_of)
+        return child_expansion_candidates(
+            alive,
+            children_of,
+            context.frequent_items[level],
+            pair_ok=pair_ok,
+        )
+
+    def _pair_predicate(
+        self,
+        context: MiningContext,
+        level: int,
+        alive_parents: list[tuple[int, ...]],
+        children_of: dict[int, tuple[int, ...]],
+    ):
+        """Build the ``pair_ok`` predicate for child expansion.
+
+        Child expansion at k >= 3 is complete but loose: after
+        vertical pruning the left cell can be missing subsets, so the
+        Apriori filter cannot reject much and the raw Cartesian
+        product explodes.  The cheapest unknowns — the level-h
+        2-subsets a candidate would contain — are batch-counted here
+        through the executor (once per level, cached) so the expansion
+        can prune prefixes containing a provably infrequent pair.
+        Pure support reasoning: no flipping pattern can be lost.
+        """
+        cache = context.pair_supports.setdefault(level, {})
+        frequent = context.frequent_items[level]
+        # Distinct parent-node pairs across all alive parents...
+        node_pairs: set[tuple[int, int]] = set()
+        for parent in alive_parents:
+            for i in range(len(parent)):
+                for j in range(i + 1, len(parent)):
+                    node_pairs.add((parent[i], parent[j]))
+        # ...then every frequent child pair under them.
+        unknown: set[tuple[int, int]] = set()
+        for node_x, node_y in node_pairs:
+            for a in children_of.get(node_x, ()):
+                if a not in frequent:
+                    continue
+                for b in children_of.get(node_y, ()):
+                    if b not in frequent:
+                        continue
+                    pair = (a, b) if a < b else (b, a)
+                    if pair not in cache:
+                        unknown.add(pair)
+        if unknown:
+            cache.update(context.executor.supports(level, sorted(unknown)))
+            context.stats.extra["screen_pairs"] = (
+                context.stats.extra.get("screen_pairs", 0) + len(unknown)
+            )
+        theta = context.thresholds.min_count(level)
+
+        def pair_ok(a: int, b: int) -> bool:
+            pair = (a, b) if a < b else (b, a)
+            support = cache.get(pair)
+            return support is None or support >= theta
+
+        return pair_ok
+
+    # -- fused fast path ----------------------------------------------
+
+    def _fused_expansion_supports(
+        self, context: MiningContext, state: CellState
+    ) -> dict[tuple[int, ...], int] | None:
+        """Child expansion fused with bitset prefix counting.
+
+        For flipping-mode cells below the top row, expanding an alive
+        parent's children as a raw Cartesian product materializes
+        ``fanout**k`` combinations per parent, nearly all of which
+        support counting would discard.  With the bitmap backend we
+        instead walk the product as a DFS that carries the AND-bitset
+        of the chosen prefix: a prefix whose support drops below the
+        level's minimum kills its entire subtree (anti-monotonicity of
+        support, so no flipping pattern can be lost).  Returns the
+        supports of the surviving candidates, or ``None`` when this
+        cell should use the staged path (top row, BASIC mode, a
+        non-bitmap backend, or an executor that fans counting out —
+        the DFS is inherently sequential).
+
+        ``state.stats.candidates`` counts DFS nodes explored — the
+        fused equivalent of "candidates generated".
+        """
+        level, k = state.task.level, state.task.k
+        if level == 1 or not context.pruning.flipping:
+            return None
+        if not context.executor.supports_fused:
+            return None
+        if not isinstance(context.backend, BitmapBackend):
+            return None
+        parent_cell = context.cells.get((level - 1, k))
+        if parent_cell is None:
+            return {}
+        index = context.backend.index
+        frequent = context.frequent_items[level]
+        banned = context.banned[level] if context.pruning.sibp else {}
+        theta = context.thresholds.min_count(level)
+        taxonomy = context.taxonomy
+        results: dict[tuple[int, ...], int] = {}
+        explored = 0
+        banned_dropped = 0
+        for entry in parent_cell.alive_entries:
+            child_lists = []
+            viable = True
+            for node in entry.itemset:
+                children = []
+                for child in taxonomy.children_ids(node):
+                    if child not in frequent:
+                        continue
+                    if banned.get(child, k) < k:
+                        banned_dropped += 1
+                        continue
+                    children.append(child)
+                if not children:
+                    viable = False
+                    break
+                child_lists.append(children)
+            if not viable:
+                continue
+            chosen: list[int] = []
+
+            def dfs(position: int, bits: int | None) -> None:
+                nonlocal explored
+                for child in child_lists[position]:
+                    explored += 1
+                    child_bits = index.bitset(level, child)
+                    new_bits = (
+                        child_bits if bits is None else bits & child_bits
+                    )
+                    support = new_bits.bit_count()
+                    if support < theta and position < len(child_lists) - 1:
+                        # infrequent prefix: no extension can recover
+                        continue
+                    if position == len(child_lists) - 1:
+                        results[tuple(sorted(chosen + [child]))] = support
+                    else:
+                        chosen.append(child)
+                        dfs(position + 1, new_bits)
+                        chosen.pop()
+
+            dfs(0, None)
+        state.stats.candidates = explored
+        state.stats.filtered_banned = banned_dropped
+        return results
+
+
+class CountStage:
+    """Batched support counting through the executor."""
+
+    name = "count"
+
+    def run(self, context: MiningContext, state: CellState) -> None:
+        if state.fused:
+            return
+        state.supports = context.executor.supports(
+            state.task.level, state.candidates
+        )
+
+
+class LabelStage:
+    """Correlation, label and chain-alive flag; builds the cell."""
+
+    name = "label"
+
+    def run(self, context: MiningContext, state: CellState) -> None:
+        level, k = state.task.level, state.task.k
+        cell = Cell(level=level, k=k, n_candidates=state.stats.candidates)
+        node_supports = context.node_supports[level]
+        theta = context.thresholds.min_count(level)
+        gamma = context.thresholds.gamma
+        epsilon = context.thresholds.epsilon
+        measure = context.measure
+        parent_cell = context.cells.get((level - 1, k))
+        for itemset, support in state.supports.items():
+            item_supports = [node_supports[node] for node in itemset]
+            correlation = measure(support, item_supports)
+            label = label_for(support, correlation, theta, gamma, epsilon)
+            alive = self._chain_alive(
+                context, level, itemset, label, parent_cell
+            )
+            cell.add(
+                CellEntry(
+                    itemset=itemset,
+                    support=support,
+                    correlation=correlation,
+                    label=label,
+                    alive=alive,
+                )
+            )
+        state.cell = cell
+
+    def _chain_alive(
+        self,
+        context: MiningContext,
+        level: int,
+        itemset: tuple[int, ...],
+        label: Label,
+        parent_cell: Cell | None,
+    ) -> bool:
+        """Is the whole vertical chain down to this itemset flipping?"""
+        if not label.is_signed:
+            return False
+        if level == 1:
+            return True
+        if parent_cell is None:
+            return False
+        # Generalize by one level: map each level-h node to level-(h-1).
+        parent_itemset = tuple(
+            sorted({context.parent_of[node] for node in itemset})
+        )
+        if len(parent_itemset) != len(itemset):
+            return False  # siblings collapsed: items share a category
+        parent_entry = parent_cell.get(parent_itemset)
+        if parent_entry is None or not parent_entry.alive:
+            return False
+        return flips(parent_entry.label, label)
+
+
+class SibpRemovalStage:
+    """Per-cell SIBP removal candidates (Theorem 2's R_h list).
+
+    The list is the longest prefix of the support-ascending
+    frequent-item list whose members have max correlation below γ
+    among the cell's counted itemsets.  The walk stops at the first
+    item with a positive itemset — or with *no* counted itemset, since
+    a vacuous maximum is not evidence (see DESIGN.md, "SIBP
+    vacuous-max guard").  Skipped entirely when SIBP is off.
+    """
+
+    name = "prune"
+
+    def run(self, context: MiningContext, state: CellState) -> None:
+        if not context.pruning.sibp:
+            return
+        cell = state.cell
+        assert cell is not None, "SibpRemovalStage must run after LabelStage"
+        gamma = context.thresholds.gamma
+        supports = context.node_supports[cell.level]
+        ordered = sorted(
+            context.frequent_items[cell.level],
+            key=lambda node: (supports[node], node),
+        )
+        max_correlations = cell.max_correlation_per_item()
+        removal: set[int] = set()
+        for node in ordered:
+            best = max_correlations.get(node)
+            if best is None or best >= gamma:
+                break
+            removal.add(node)
+        context.removal_lists[(cell.level, cell.k)] = removal
+
+
+def build_default_stages() -> list[Stage]:
+    """The canonical generate → count → label → prune pipeline."""
+    return [GenerateStage(), CountStage(), LabelStage(), SibpRemovalStage()]

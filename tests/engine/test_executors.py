@@ -1,0 +1,232 @@
+"""Executor parity: serial and parallel runs must be indistinguishable.
+
+The acceptance bar for the engine: ``SerialExecutor`` and
+``ParallelExecutor`` produce byte-identical ``MiningResult`` pattern
+sets on the planted-pattern dataset, for every backend and chunking.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.core.counting import make_backend
+from repro.core.flipper import FlipperMiner, PruningConfig
+from repro.datasets.groceries import GROCERIES_THRESHOLDS, generate_groceries
+from repro.engine import (
+    ExecutionPlan,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.stages import build_default_stages
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def planted_db():
+    """The groceries simulator: four planted flipping chains."""
+    return generate_groceries(scale=0.2)
+
+
+def _fingerprint(result) -> str:
+    """Canonical byte string of a result's pattern set."""
+    return json.dumps(
+        [pattern.to_dict() for pattern in result.patterns], sort_keys=True
+    )
+
+
+def _mine(database, **kwargs):
+    return FlipperMiner(database, GROCERIES_THRESHOLDS, **kwargs).mine()
+
+
+class TestFactory:
+    def test_known_names(self, example3_db):
+        backend = make_backend("bitmap", example3_db)
+        serial = make_executor("serial", backend, example3_db)
+        assert isinstance(serial, SerialExecutor)
+        process = make_executor(
+            "process", backend, example3_db, workers=2, chunk_size=10
+        )
+        assert isinstance(process, ParallelExecutor)
+        assert process.workers == 2
+        process.close()
+
+    def test_unknown_rejected(self, example3_db):
+        backend = make_backend("bitmap", example3_db)
+        with pytest.raises(ConfigError, match="unknown executor"):
+            make_executor("gpu-cluster", backend, example3_db)
+
+    def test_serial_rejects_workers(self, example3_db):
+        backend = make_backend("bitmap", example3_db)
+        with pytest.raises(ConfigError, match="serial"):
+            make_executor("serial", backend, example3_db, workers=3)
+
+    def test_bad_worker_and_chunk_counts(self, example3_db):
+        backend = make_backend("bitmap", example3_db)
+        with pytest.raises(ConfigError, match="workers"):
+            ParallelExecutor(backend, example3_db, workers=0)
+        with pytest.raises(ConfigError, match="chunk_size"):
+            ParallelExecutor(backend, example3_db, chunk_size=0)
+
+
+class TestCountingParity:
+    @pytest.mark.parametrize("backend_name", ["bitmap", "horizontal", "numpy"])
+    def test_parallel_counts_equal_serial(self, planted_db, backend_name):
+        backend = make_backend(backend_name, planted_db)
+        candidates = [
+            tuple(sorted(pair))
+            for pair in itertools.combinations(
+                planted_db.taxonomy.nodes_at_level(2), 2
+            )
+        ]
+        serial = SerialExecutor(backend)
+        parallel = ParallelExecutor(
+            backend, planted_db, workers=2, chunk_size=7, min_parallel=1
+        )
+        try:
+            assert parallel.supports(2, candidates) == serial.supports(
+                2, candidates
+            )
+            assert parallel.chunks_dispatched > 0
+        finally:
+            parallel.close()
+
+
+class TestMiningParity:
+    def test_serial_and_process_results_identical(self, planted_db):
+        serial = _mine(planted_db)
+        process = _mine(
+            planted_db, executor="process", workers=2, chunk_size=25
+        )
+        assert len(serial.patterns) > 0
+        assert _fingerprint(serial) == _fingerprint(process)
+
+    @pytest.mark.parametrize("backend_name", ["bitmap", "numpy"])
+    def test_parity_across_backends(self, planted_db, backend_name):
+        serial = _mine(planted_db, backend=backend_name)
+        process = _mine(
+            planted_db, backend=backend_name, executor="process", workers=2
+        )
+        assert _fingerprint(serial) == _fingerprint(process)
+
+    def test_parity_in_basic_mode(self, planted_db):
+        serial = _mine(planted_db, pruning=PruningConfig.basic())
+        process = _mine(
+            planted_db,
+            pruning=PruningConfig.basic(),
+            executor="process",
+            workers=2,
+        )
+        assert _fingerprint(serial) == _fingerprint(process)
+
+    def test_explicit_executor_instance(self, planted_db):
+        backend = make_backend("bitmap", planted_db)
+        executor = ParallelExecutor(
+            backend, planted_db, workers=2, min_parallel=1
+        )
+        try:
+            result = FlipperMiner(
+                planted_db,
+                GROCERIES_THRESHOLDS,
+                backend=backend,
+                executor=executor,
+            ).mine()
+        finally:
+            executor.close()
+        assert _fingerprint(result) == _fingerprint(_mine(planted_db))
+        assert executor.chunks_dispatched > 0
+
+    def test_instance_plus_worker_config_rejected(self, planted_db):
+        backend = make_backend("bitmap", planted_db)
+        executor = SerialExecutor(backend)
+        with pytest.raises(ConfigError, match="workers/chunk_size"):
+            FlipperMiner(
+                planted_db,
+                GROCERIES_THRESHOLDS,
+                backend=backend,
+                executor=executor,
+                workers=2,
+            )
+
+    def test_config_records_executor(self, planted_db):
+        result = _mine(planted_db, executor="process", workers=2)
+        assert result.config["executor"] == "process"
+        assert result.config["workers"] == 2
+        serial = _mine(planted_db)
+        assert serial.config["executor"] == "serial"
+        assert serial.config["workers"] == 1
+
+
+class TestScanAccounting:
+    def test_worker_scans_fold_into_db_scans(self, planted_db):
+        """Chunks counted in workers must not vanish from the IO-model
+        metric: with the same chunking, serial and process runs of the
+        horizontal backend report the same db_scans."""
+        serial = FlipperMiner(
+            planted_db,
+            GROCERIES_THRESHOLDS,
+            backend="horizontal",
+            chunk_size=8,
+        ).mine()
+        backend = make_backend("horizontal", planted_db)
+        executor = ParallelExecutor(
+            backend, planted_db, workers=2, chunk_size=8, min_parallel=1
+        )
+        try:
+            process = FlipperMiner(
+                planted_db,
+                GROCERIES_THRESHOLDS,
+                backend=backend,
+                executor=executor,
+            ).mine()
+        finally:
+            executor.close()
+        assert executor.extra_scans > 0
+        assert process.stats.db_scans == serial.stats.db_scans
+
+
+class TestEngineSurface:
+    def test_miner_exposes_plan_and_context(self, example3_db):
+        from repro import Thresholds
+
+        miner = FlipperMiner(
+            example3_db, Thresholds(gamma=0.6, epsilon=0.35, min_support=1)
+        )
+        assert [stage.name for stage in miner.plan.stages] == [
+            "generate",
+            "count",
+            "label",
+            "prune",
+        ]
+        miner.mine()
+        assert miner.context.cells  # populated by the plan
+        assert set(miner.stats.extra["stage_seconds"]) == {
+            "generate",
+            "count",
+            "label",
+            "prune",
+        }
+
+    def test_plan_requires_stages(self, example3_db):
+        from repro import Thresholds
+
+        miner = FlipperMiner(
+            example3_db, Thresholds(gamma=0.6, epsilon=0.35, min_support=1)
+        )
+        with pytest.raises(ValueError, match="at least one stage"):
+            ExecutionPlan(miner.context, [])
+
+    def test_custom_plan_same_result(self, example3_db):
+        """Stages are composable: rebuilding the default pipeline by
+        hand produces the same patterns."""
+        from repro import Thresholds
+
+        thresholds = Thresholds(gamma=0.6, epsilon=0.35, min_support=1)
+        baseline = FlipperMiner(example3_db, thresholds).mine()
+        miner = FlipperMiner(example3_db, thresholds)
+        miner._plan = ExecutionPlan(miner.context, build_default_stages())
+        rebuilt = miner.mine()
+        assert _fingerprint(baseline) == _fingerprint(rebuilt)

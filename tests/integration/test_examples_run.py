@@ -8,6 +8,7 @@ traceback.
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -15,6 +16,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
 
 #: Minimal strings each example promises to print (a cheap output
@@ -37,12 +39,21 @@ def test_examples_directory_found():
     "script", SCRIPTS, ids=[script.name for script in SCRIPTS]
 )
 def test_example_runs_clean(script):
+    # The subprocess changes cwd, so a relative PYTHONPATH entry (the
+    # documented `PYTHONPATH=src` invocation) would no longer resolve;
+    # prepend the absolute src dir instead.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     completed = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=300,
         cwd=EXAMPLES_DIR,
+        env=env,
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert "Traceback" not in completed.stderr

@@ -114,4 +114,5 @@ class TestBenchRunnersSmoke:
             "fig9b",
             "table1",
             "table4",
+            "engine",
         }
