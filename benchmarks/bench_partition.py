@@ -1,0 +1,76 @@
+"""Partition bench: 1-shard vs N-shard mining on the planted profile.
+
+The pytest-benchmark face of ``python -m repro bench partition``:
+runs the full Flipper configuration monolithically and through the
+partitioned out-of-core path, asserts the pattern sets agree, and
+exercises the subprocess-isolated RSS probe that writes the
+``BENCH_partition.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import one_shot
+from repro import PruningConfig
+from repro.bench import run_method
+from repro.bench.partition import run_partition_bench
+from repro.datasets import generate_groceries
+from repro.datasets.groceries import GROCERIES_THRESHOLDS
+
+CONFIGS = [
+    ("monolithic", {}),
+    ("shards4", {"partitions": 4, "memory_budget_mb": 8.0}),
+]
+
+
+@pytest.fixture(scope="module")
+def planted_db():
+    return generate_groceries(scale=0.2)
+
+
+@pytest.mark.parametrize(
+    "label,config", CONFIGS, ids=[label for label, _ in CONFIGS]
+)
+def test_partition_runtime(benchmark, planted_db, label, config):
+    record = one_shot(
+        benchmark,
+        run_method,
+        planted_db,
+        GROCERIES_THRESHOLDS,
+        PruningConfig.full(),
+        f"full[{label}]",
+        **config,
+    )
+    assert record.partitions == config.get("partitions", 1)
+    assert record.n_patterns > 0
+
+
+def test_partitioned_finds_identical_patterns(planted_db):
+    records = {
+        label: run_method(
+            planted_db,
+            GROCERIES_THRESHOLDS,
+            PruningConfig.full(),
+            label,
+            **config,
+        )
+        for label, config in CONFIGS
+    }
+    assert (
+        records["monolithic"].n_patterns
+        == records["shards4"].n_patterns
+        > 0
+    )
+
+
+def test_partition_bench_writes_baseline(tmp_path, capsys):
+    out = tmp_path / "BENCH_partition.json"
+    report, data = run_partition_bench(out_path=out)
+    with capsys.disabled():
+        print()
+        print(report)
+    assert data["checks_pass"] is True
+    assert json.loads(out.read_text())["patterns_identical"] is True

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the engine bench baseline.
+
+Compares a freshly produced ``BENCH_engine.json`` against the
+committed baseline and fails (exit 1) when a tracked metric regressed
+beyond the tolerance factor.  Tracked metrics:
+
+* ``counting.batched_over_per_itemset`` — the batched/per-itemset
+  counting ratio.  A machine-independent ratio: if batching gets
+  slower relative to the seed path, the engine's core bargain broke.
+* serial executor stage totals — the summed per-stage wall-clock of
+  the serial end-to-end run.  Absolute seconds vary across runners,
+  so on top of the tolerance factor a regression must also exceed an
+  absolute noise floor (``NOISE_FLOOR_SECONDS``): at the bench's tiny
+  scale the totals sit in scheduler-jitter territory, and a gate that
+  fires on sub-millisecond cross-machine drift would be flaky on
+  every PR.  The floor still catches real regressions (an accidental
+  quadratic loop shows up as whole seconds, not milliseconds).
+
+Checks that the current run's own shape assertions
+(``checks_pass``) hold, too — a bench that fails its internal parity
+checks is a regression regardless of timing.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline BENCH_engine.json \
+        --current BENCH_engine_current.json \
+        --tolerance 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (human name, path into the bench JSON) of every gated metric
+TRACKED_METRICS: list[tuple[str, tuple[str, ...]]] = [
+    (
+        "counting.batched_over_per_itemset",
+        ("counting", "batched_over_per_itemset"),
+    ),
+]
+
+#: absolute stage-total growth below this is scheduler noise, not a
+#: regression (see module docstring)
+NOISE_FLOOR_SECONDS = 0.05
+
+
+def metric_at(data: dict, path: tuple[str, ...]) -> float:
+    node: object = data
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            raise KeyError(".".join(path))
+        node = node[key]
+    return float(node)  # type: ignore[arg-type]
+
+
+def serial_stage_total(data: dict) -> float:
+    """Summed per-stage seconds of the serial end-to-end run."""
+    stages = (
+        data.get("executors", {}).get("serial", {}).get("stage_seconds", {})
+    )
+    return float(sum(stages.values()))
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float
+) -> list[str]:
+    """Return a list of regression messages (empty = gate passes)."""
+    problems: list[str] = []
+    if not current.get("checks_pass", False):
+        problems.append(
+            "current bench failed its internal shape checks "
+            "(checks_pass is false)"
+        )
+    for name, path in TRACKED_METRICS:
+        try:
+            base = metric_at(baseline, path)
+            now = metric_at(current, path)
+        except KeyError as missing:
+            problems.append(f"metric {missing} missing from a bench file")
+            continue
+        if now > base * tolerance:
+            problems.append(
+                f"{name} regressed: {now:.4f} vs baseline {base:.4f} "
+                f"(> {tolerance:g}x)"
+            )
+    base_total = serial_stage_total(baseline)
+    now_total = serial_stage_total(current)
+    if base_total <= 0.0:
+        problems.append("baseline serial stage totals missing or zero")
+    elif now_total <= 0.0:
+        problems.append("current serial stage totals missing or zero")
+    elif (
+        now_total > base_total * tolerance
+        and now_total - base_total > NOISE_FLOOR_SECONDS
+    ):
+        problems.append(
+            f"serial stage totals regressed: {now_total:.4f}s vs "
+            f"baseline {base_total:.4f}s (> {tolerance:g}x and > "
+            f"{NOISE_FLOOR_SECONDS:g}s above it)"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", required=True, help="committed BENCH_engine.json"
+    )
+    parser.add_argument(
+        "--current", required=True, help="freshly produced bench JSON"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help="allowed regression factor (default: 1.5)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 1.0:
+        parser.error("tolerance must be >= 1.0")
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    current = json.loads(Path(args.current).read_text(encoding="utf-8"))
+    problems = compare(baseline, current, args.tolerance)
+    if problems:
+        print("perf-regression gate FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    for name, path in TRACKED_METRICS:
+        print(
+            f"ok: {name} = {metric_at(current, path):.4f} "
+            f"(baseline {metric_at(baseline, path):.4f})"
+        )
+    print(
+        f"ok: serial stage totals = {serial_stage_total(current):.4f}s "
+        f"(baseline {serial_stage_total(baseline):.4f}s)"
+    )
+    print(f"perf-regression gate passed (tolerance {args.tolerance:g}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 runner per table/figure of the paper's evaluation."""
 
 from repro.bench.engine import run_engine_smoke
+from repro.bench.partition import run_partition_bench
 from repro.bench.experiments import (
     EXPERIMENTS,
     real_datasets,
@@ -50,6 +51,7 @@ __all__ = [
     "run_table1",
     "run_table4",
     "run_engine_smoke",
+    "run_partition_bench",
     "real_datasets",
     "LADDER",
     "RunRecord",

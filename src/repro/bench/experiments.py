@@ -12,6 +12,7 @@ from collections.abc import Sequence
 
 from repro.bench.chart import sweep_chart
 from repro.bench.engine import run_engine_smoke
+from repro.bench.partition import run_partition_bench
 from repro.bench.harness import (
     LADDER,
     RunRecord,
@@ -60,6 +61,7 @@ __all__ = [
     "run_table1",
     "run_table4",
     "run_engine_smoke",
+    "run_partition_bench",
     "real_datasets",
     "EXPERIMENTS",
 ]
@@ -479,4 +481,5 @@ EXPERIMENTS = {
     "table1": run_table1,
     "table4": run_table4,
     "engine": run_engine_smoke,
+    "partition": run_partition_bench,
 }

@@ -50,6 +50,8 @@ class RunRecord:
     executor: str = "serial"
     workers: int = 1
     chunk_size: int | None = None
+    partitions: int = 1
+    memory_budget_mb: float | None = None
 
     @classmethod
     def from_run(
@@ -61,6 +63,8 @@ class RunRecord:
         executor: str = "serial",
         workers: int = 1,
         chunk_size: int | None = None,
+        partitions: int = 1,
+        memory_budget_mb: float | None = None,
     ) -> "RunRecord":
         stats = miner.stats
         return cls(
@@ -78,6 +82,8 @@ class RunRecord:
             executor=executor,
             workers=workers,
             chunk_size=chunk_size,
+            partitions=partitions,
+            memory_budget_mb=memory_budget_mb,
         )
 
 
@@ -92,6 +98,8 @@ def run_method(
     workers: int | None = None,
     chunk_size: int | None = None,
     max_k: int | None = None,
+    partitions: int | None = None,
+    memory_budget_mb: float | None = None,
     track_memory: bool = False,
 ) -> RunRecord:
     """Run one configuration and record its costs.
@@ -116,6 +124,8 @@ def run_method(
             workers=workers,
             chunk_size=chunk_size,
             max_k=max_k,
+            partitions=partitions,
+            memory_budget_mb=memory_budget_mb,
         )
         result = miner.mine()
         if track_memory:
@@ -131,6 +141,8 @@ def run_method(
         executor=result.config["executor"],
         workers=result.config["workers"],
         chunk_size=result.config["chunk_size"],
+        partitions=result.config["partitions"],
+        memory_budget_mb=result.config["memory_budget_mb"],
     )
 
 

@@ -1,0 +1,190 @@
+"""Partition bench: 1-shard vs N-shard wall-clock and peak RSS.
+
+The out-of-core partitioned path trades re-reading shards from disk
+for a bounded resident set; this bench quantifies the trade on the
+planted groceries dataset and asserts the property that makes the
+trade safe — N-shard mining produces *byte-identical* patterns to the
+single-partition path.
+
+Each configuration runs in a fresh ``spawn`` subprocess so its peak
+RSS (``getrusage(RUSAGE_SELF).ru_maxrss``) is its own: peak RSS is a
+process-lifetime high-water mark, so in-process sequential runs would
+all report the first run's peak.  ``run_partition_bench`` collects
+the probes, renders a report, and writes the machine-readable
+``BENCH_partition.json`` (path overridable via
+``REPRO_BENCH_PARTITION_OUT``) so later PRs can diff the partitioned
+path's cost profile.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import resource
+import sys
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.bench.profiles import bench_scale
+from repro.bench.report import ShapeCheck, format_table, render_checks
+
+__all__ = ["run_partition_bench", "DEFAULT_OUT_PATH"]
+
+DEFAULT_OUT_PATH = "BENCH_partition.json"
+
+#: shard count of the partitioned probe
+_N_SHARDS = 4
+#: per-process resident-shard budget of the partitioned probe (MiB)
+_MEMORY_BUDGET_MB = 8.0
+
+
+def _peak_rss_mb() -> float:
+    """Process-lifetime peak resident set size, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalize both.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def _partition_probe(config: dict[str, object]) -> dict[str, object]:
+    """One configuration, run inside a fresh subprocess."""
+    # Imports stay inside the probe: under ``spawn`` the worker pays
+    # them itself, so both configurations carry the same baseline.
+    from repro.core.flipper import FlipperMiner
+    from repro.data.shards import ShardedTransactionStore
+    from repro.datasets.groceries import (
+        GROCERIES_THRESHOLDS,
+        generate_groceries,
+    )
+
+    database = generate_groceries(scale=float(config["scale"]))  # type: ignore[arg-type]
+    partitions = int(config["partitions"])  # type: ignore[arg-type]
+    budget = config["memory_budget_mb"]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shards-") as tmp:
+        start = time.perf_counter()
+        if partitions > 1:
+            store = ShardedTransactionStore.partition_database(
+                database, tmp, partitions
+            )
+            ingest_seconds = time.perf_counter() - start
+            miner = FlipperMiner(
+                store,
+                GROCERIES_THRESHOLDS,
+                memory_budget_mb=(
+                    float(budget) if budget is not None else None  # type: ignore[arg-type]
+                ),
+            )
+        else:
+            ingest_seconds = 0.0
+            miner = FlipperMiner(database, GROCERIES_THRESHOLDS)
+        start = time.perf_counter()
+        result = miner.mine()
+        mine_seconds = time.perf_counter() - start
+    return {
+        "partitions": partitions,
+        "memory_budget_mb": budget,
+        "ingest_seconds": ingest_seconds,
+        "mine_seconds": mine_seconds,
+        "peak_rss_mb": _peak_rss_mb(),
+        "n_patterns": len(result.patterns),
+        "db_scans": result.stats.db_scans,
+        "fingerprint": json.dumps(
+            [pattern.to_dict() for pattern in result.patterns],
+            sort_keys=True,
+        ),
+    }
+
+
+def _run_probe(config: dict[str, object]) -> dict[str, object]:
+    """Run one probe in a fresh spawned subprocess (fresh RSS)."""
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=1, mp_context=context
+    ) as pool:
+        return pool.submit(_partition_probe, config).result()
+
+
+def run_partition_bench(
+    out_path: str | os.PathLike[str] | None = None,
+) -> tuple[str, dict[str, object]]:
+    """Run the partition bench and write ``BENCH_partition.json``."""
+    if out_path is None:
+        out_path = os.environ.get(
+            "REPRO_BENCH_PARTITION_OUT", DEFAULT_OUT_PATH
+        )
+    scale = min(1.0, max(0.1, bench_scale() * 10))
+    configs: dict[str, dict[str, object]] = {
+        "shards=1": {
+            "scale": scale,
+            "partitions": 1,
+            "memory_budget_mb": None,
+        },
+        f"shards={_N_SHARDS}": {
+            "scale": scale,
+            "partitions": _N_SHARDS,
+            "memory_budget_mb": _MEMORY_BUDGET_MB,
+        },
+    }
+    probes = {name: _run_probe(config) for name, config in configs.items()}
+
+    names = list(probes)
+    fingerprints = [probes[name].pop("fingerprint") for name in names]
+    identical = len(set(fingerprints)) == 1
+    baseline, partitioned = (probes[name] for name in names)
+    checks = [
+        ShapeCheck(
+            f"{_N_SHARDS}-shard patterns byte-identical to 1-shard",
+            identical,
+            f"{baseline['n_patterns']} vs {partitioned['n_patterns']} "
+            "patterns",
+        ),
+        ShapeCheck(
+            "the planted patterns were found",
+            int(baseline["n_patterns"]) > 0,  # type: ignore[call-overload]
+            f"{baseline['n_patterns']} patterns",
+        ),
+    ]
+    data: dict[str, object] = {
+        "bench": "partition",
+        "scale": scale,
+        "n_shards": _N_SHARDS,
+        "memory_budget_mb": _MEMORY_BUDGET_MB,
+        "runs": probes,
+        "patterns_identical": identical,
+        "checks_pass": all(check.passed for check in checks),
+    }
+    Path(out_path).write_text(json.dumps(data, indent=2) + "\n")
+
+    rows = [
+        [
+            name,
+            f"{probe['mine_seconds']:.3f}",
+            f"{probe['ingest_seconds']:.3f}",
+            f"{probe['peak_rss_mb']:.1f}",
+            probe["n_patterns"],
+            probe["db_scans"],
+        ]
+        for name, probe in probes.items()
+    ]
+    report = "\n".join(
+        [
+            f"== Partition bench (groceries scale {scale:g}) ==",
+            "each config in a fresh subprocess; RSS is the process peak",
+            "",
+            format_table(
+                ["config", "mine s", "shard s", "peak MB", "patterns",
+                 "scans"],
+                rows,
+            ),
+            "",
+            render_checks(checks),
+            f"baseline written to {out_path}",
+        ]
+    )
+    return report, data

@@ -89,7 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--executor",
         default="serial",
-        choices=["serial", "process"],
+        choices=["serial", "process", "partitioned"],
         help="where batched support counting runs (see ARCHITECTURE.md)",
     )
     mine.add_argument(
@@ -99,6 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--chunk-size", type=int, default=None,
         help="candidates per counting chunk (default: auto)",
+    )
+    mine.add_argument(
+        "--partitions", type=int, default=None,
+        help="mine through N on-disk shards (SON partition-and-merge; "
+             "output is byte-identical to the single-partition path)",
+    )
+    mine.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="bound resident per-shard counting state (per process) in "
+             "a partitioned run; shards are evicted LRU and re-read "
+             "from disk (requires --partitions)",
     )
     mine.add_argument("--max-k", type=int, default=None)
     mine.add_argument("--top-k", type=int, default=None,
@@ -203,6 +214,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         max_k=args.max_k,
+        partitions=args.partitions,
+        memory_budget_mb=args.memory_budget_mb,
     )
     patterns = result.patterns
     if args.top_k is not None:

@@ -37,6 +37,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.data.database import TransactionDatabase
+from repro.data.shards import ShardedTransactionStore
 from repro.data.vertical import VerticalIndex
 from repro.errors import ConfigError, DataError
 
@@ -45,9 +46,12 @@ __all__ = [
     "BitmapBackend",
     "HorizontalBackend",
     "NumpyBackend",
+    "PartitionedBackend",
+    "ShardBackendPool",
     "make_backend",
     "backend_name_of",
     "iter_chunks",
+    "merge_shard_counts",
 ]
 
 
@@ -330,6 +334,258 @@ class NumpyBackend:
                         out[itemset] = int(count)
                     start += len(run)
         return out
+
+
+def merge_shard_counts(
+    merged: dict[tuple[int, ...], int],
+    shard_counts: dict[tuple[int, ...], int],
+) -> None:
+    """Fold one shard's counts into the global tally, in place.
+
+    Shards are disjoint subsets of the transactions, so exact global
+    support is the plain integer sum — the merge half of the SON
+    partition-and-merge scheme.
+    """
+    for itemset, count in shard_counts.items():
+        merged[itemset] = merged.get(itemset, 0) + count
+
+
+class ShardBackendPool:
+    """Memory-budgeted residency of per-shard counting backends.
+
+    The pool lazily builds ``inner``-type backends over the shards of
+    a :class:`~repro.data.shards.ShardedTransactionStore` and keeps at
+    most a budget's worth of them resident, evicting in LRU order.
+    Per-shard resident cost is estimated from the shard file's on-disk
+    size times a fixed expansion factor — crude, but deterministic,
+    and it is the bound that matters: with ``memory_budget_mb`` set,
+    resident index structures stay proportional to the budget instead
+    of the dataset.  Scans performed by evicted backends are retained
+    so the store-wide ``scans`` counter stays truthful.
+    """
+
+    #: estimated resident bytes per on-disk shard byte (index
+    #: structures, python object overhead)
+    RESIDENCY_FACTOR = 16
+
+    def __init__(
+        self,
+        store: ShardedTransactionStore,
+        inner: str = "bitmap",
+        memory_budget_mb: float | None = None,
+    ) -> None:
+        if inner not in _BACKENDS:
+            known = ", ".join(sorted(_BACKENDS))
+            raise ConfigError(
+                f"unknown counting backend {inner!r}; known: {known}"
+            )
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise ConfigError(
+                f"memory_budget_mb must be > 0, got {memory_budget_mb}"
+            )
+        self._store = store
+        self._inner = inner
+        self._budget_bytes = (
+            None
+            if memory_budget_mb is None
+            else int(memory_budget_mb * 1024 * 1024)
+        )
+        #: insertion order == LRU order (moved on access)
+        self._resident: dict[int, CountingBackend | None] = {}
+        self._resident_bytes: dict[int, int] = {}
+        self._retired_scans = 0
+        #: builds beyond the first per shard == evictions paid for
+        self.rebuilds = 0
+        self._built: set[int] = set()
+
+    @property
+    def store(self) -> ShardedTransactionStore:
+        return self._store
+
+    @property
+    def inner_name(self) -> str:
+        return self._inner
+
+    @property
+    def resident_shards(self) -> list[int]:
+        """Currently resident shard indexes (LRU first)."""
+        return list(self._resident)
+
+    @property
+    def scans(self) -> int:
+        """Scans across every backend the pool ever built."""
+        total = self._retired_scans
+        for backend in self._resident.values():
+            if backend is not None:
+                total += backend.scans
+        return total
+
+    def _estimate_bytes(self, index: int) -> int:
+        try:
+            size = self._store.shard_path(index).stat().st_size
+        except OSError:
+            size = 0
+        return max(1, size) * self.RESIDENCY_FACTOR
+
+    def _evict_for(self, incoming_bytes: int) -> None:
+        if self._budget_bytes is None:
+            return
+        while (
+            self._resident
+            and sum(self._resident_bytes.values()) + incoming_bytes
+            > self._budget_bytes
+        ):
+            victim = next(iter(self._resident))
+            backend = self._resident.pop(victim)
+            self._resident_bytes.pop(victim)
+            if backend is not None:
+                self._retired_scans += backend.scans
+            # the budget always admits at least the incoming shard
+
+    def backend(self, index: int) -> CountingBackend | None:
+        """The backend of one shard (``None`` for an empty shard),
+        building and evicting as the budget requires."""
+        if index in self._resident:
+            # refresh LRU position
+            backend = self._resident.pop(index)
+            self._resident[index] = backend
+            return backend
+        database = self._store.shard_database(index)
+        if database is None:
+            self._resident[index] = None
+            self._resident_bytes[index] = 0
+            return None
+        estimate = self._estimate_bytes(index)
+        self._evict_for(estimate)
+        backend = make_backend(self._inner, database)
+        if index in self._built:
+            self.rebuilds += 1
+        self._built.add(index)
+        self._resident[index] = backend
+        self._resident_bytes[index] = estimate
+        return backend
+
+    def iter_backends(self) -> Iterator[tuple[int, CountingBackend]]:
+        """Stream ``(shard_index, backend)`` over non-empty shards."""
+        for index in range(self._store.n_shards):
+            backend = self.backend(index)
+            if backend is not None:
+                yield index, backend
+
+
+class PartitionedBackend:
+    """Partition-and-merge counting over a sharded store.
+
+    Implements the :class:`CountingBackend` protocol by instantiating
+    one *inner* backend (``bitmap``, ``horizontal`` or ``numpy``) per
+    shard and summing per-shard counts into exact global supports —
+    shards partition the transactions, so the sums equal what a
+    monolithic backend over the whole database would report, and the
+    mining output is byte-identical (the engine parity tests assert
+    it).  Shard residency is delegated to :class:`ShardBackendPool`,
+    so the working set follows ``memory_budget_mb``, not the dataset.
+    """
+
+    def __init__(
+        self,
+        store: ShardedTransactionStore,
+        inner: str = "bitmap",
+        memory_budget_mb: float | None = None,
+    ) -> None:
+        self._pool = ShardBackendPool(
+            store, inner=inner, memory_budget_mb=memory_budget_mb
+        )
+        self._taxonomy = store.taxonomy
+        self._node_supports: dict[int, dict[int, int]] = {}
+        self._memory_budget_mb = memory_budget_mb
+
+    @property
+    def store(self) -> ShardedTransactionStore:
+        return self._pool.store
+
+    @property
+    def pool(self) -> ShardBackendPool:
+        return self._pool
+
+    @property
+    def inner_name(self) -> str:
+        return self._pool.inner_name
+
+    @property
+    def n_shards(self) -> int:
+        return self._pool.store.n_shards
+
+    @property
+    def memory_budget_mb(self) -> float | None:
+        return self._memory_budget_mb
+
+    @property
+    def scans(self) -> int:
+        return self._pool.scans
+
+    def node_supports(self, level: int) -> dict[int, int]:
+        if level not in self._node_supports:
+            # One residency pass over the shards computes *every*
+            # mining level's node supports: the miner's preparation
+            # asks for all of them anyway, and under a tight memory
+            # budget a per-level pass would evict and re-read each
+            # shard once per taxonomy level (height x n_shards I/O
+            # instead of n_shards).  Out-of-range / level-0 requests
+            # fall back to a single-level pass (and the taxonomy's
+            # own error for invalid levels).
+            levels = (
+                range(1, self._taxonomy.height + 1)
+                if 1 <= level <= self._taxonomy.height
+                else [level]
+            )
+            merged = {
+                lvl: {
+                    node_id: 0
+                    for node_id in self._taxonomy.nodes_at_level(lvl)
+                }
+                for lvl in levels
+            }
+            for _index, backend in self._pool.iter_backends():
+                for lvl, counts in merged.items():
+                    for node_id, count in backend.node_supports(
+                        lvl
+                    ).items():
+                        counts[node_id] += count
+            self._node_supports.update(merged)
+        return self._node_supports[level]
+
+    def shard_supports_batched(
+        self,
+        level: int,
+        itemsets: Sequence[tuple[int, ...]],
+        chunk_size: int | None = None,
+    ) -> Iterator[tuple[int, dict[tuple[int, ...], int]]]:
+        """Per-shard counts of one candidate batch (empty shards are
+        skipped — they contribute zero to every support)."""
+        for index, backend in self._pool.iter_backends():
+            yield index, backend.supports_batched(
+                level, itemsets, chunk_size=chunk_size
+            )
+
+    def supports(
+        self, level: int, itemsets: Sequence[tuple[int, ...]]
+    ) -> dict[tuple[int, ...], int]:
+        return self.supports_batched(level, itemsets)
+
+    def supports_batched(
+        self,
+        level: int,
+        itemsets: Sequence[tuple[int, ...]],
+        chunk_size: int | None = None,
+    ) -> dict[tuple[int, ...], int]:
+        merged: dict[tuple[int, ...], int] = {
+            itemset: 0 for itemset in itemsets
+        }
+        for _index, counts in self.shard_supports_batched(
+            level, itemsets, chunk_size=chunk_size
+        ):
+            merge_shard_counts(merged, counts)
+        return merged
 
 
 _BACKENDS = {

@@ -32,10 +32,17 @@ handoffs between the stages.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.cells import Cell
-from repro.core.counting import CountingBackend, make_backend
+from repro.core.counting import (
+    CountingBackend,
+    PartitionedBackend,
+    make_backend,
+)
 from repro.core.itemsets import generalize
 from repro.core.labels import Label, flips
 from repro.core.measures import Measure, get_measure
@@ -43,7 +50,12 @@ from repro.core.patterns import ChainLink, FlippingPattern, MiningResult
 from repro.core.stats import MiningStats, Timer
 from repro.core.thresholds import ResolvedThresholds, Thresholds
 from repro.data.database import TransactionDatabase
+from repro.data.shards import ShardedTransactionStore
 from repro.engine.executors import Executor, make_executor
+from repro.engine.partition import (
+    PartitionedExecutor,
+    build_partitioned_stages,
+)
 from repro.engine.plan import ExecutionPlan, MiningContext
 from repro.engine.stages import build_default_stages
 from repro.errors import ConfigError
@@ -116,7 +128,10 @@ class FlipperMiner:
     Parameters
     ----------
     database:
-        The transactions, bound to a balanced taxonomy.
+        The transactions, bound to a balanced taxonomy — either an
+        in-memory :class:`TransactionDatabase` or an on-disk
+        :class:`~repro.data.shards.ShardedTransactionStore` (the
+        out-of-core partitioned path; see ARCHITECTURE.md).
     thresholds:
         γ, ε and the per-level minimum supports.
     measure:
@@ -141,11 +156,24 @@ class FlipperMiner:
     max_k:
         Optional hard cap on itemset size (safety valve for
         pathological data; ``None`` = bounded by the data itself).
+    partitions:
+        Split an in-memory database into this many contiguous on-disk
+        shards and mine through the partitioned path (SON-style
+        count-and-merge; output is byte-identical to the monolithic
+        path).  Implied when ``database`` is already a
+        :class:`ShardedTransactionStore`.
+    memory_budget_mb:
+        Bound (per process) on resident per-shard counting backends in
+        a partitioned run; shards beyond the budget are evicted LRU
+        and re-read from disk on demand.
+    shard_dir:
+        Where ``partitions=N`` materializes the shards (default: a
+        temporary directory removed after :meth:`mine`).
     """
 
     def __init__(
         self,
-        database: TransactionDatabase,
+        database: TransactionDatabase | ShardedTransactionStore,
         thresholds: Thresholds,
         measure: str | Measure = "kulczynski",
         pruning: PruningConfig | None = None,
@@ -154,9 +182,17 @@ class FlipperMiner:
         workers: int | None = None,
         chunk_size: int | None = None,
         max_k: int | None = None,
+        partitions: int | None = None,
+        memory_budget_mb: float | None = None,
+        shard_dir: str | Path | None = None,
     ) -> None:
-        self._database = database
-        self._taxonomy = database.taxonomy
+        self._shard_tmpdir: tempfile.TemporaryDirectory[str] | None = None
+        store = self._resolve_store(
+            database, partitions, memory_budget_mb, shard_dir
+        )
+        self._store = store
+        self._database = database if store is None else store
+        self._taxonomy = self._database.taxonomy
         self._height = self._taxonomy.height
         if self._height < 2:
             raise ConfigError(
@@ -164,31 +200,41 @@ class FlipperMiner:
                 f"(got height {self._height})"
             )
         self._thresholds: ResolvedThresholds = thresholds.resolve(
-            self._height, database.n_transactions
+            self._height, self._database.n_transactions
         )
         self._measure = get_measure(measure)
         self._pruning = pruning if pruning is not None else PruningConfig.full()
-        if isinstance(backend, str):
-            self._backend: CountingBackend = make_backend(backend, database)
-        else:
-            self._backend = backend
-        if isinstance(executor, str):
-            self._executor: Executor = make_executor(
-                executor,
-                self._backend,
-                database,
-                workers=workers,
-                chunk_size=chunk_size,
+        self._memory_budget_mb = memory_budget_mb
+        if store is not None:
+            self._init_partitioned(
+                store, backend, executor, workers, chunk_size,
+                memory_budget_mb,
             )
-            self._owns_executor = True
         else:
-            if workers is not None or chunk_size is not None:
-                raise ConfigError(
-                    "workers/chunk_size configure a named executor; "
-                    "pass them to your Executor instance instead"
+            assert isinstance(database, TransactionDatabase)
+            if isinstance(backend, str):
+                self._backend: CountingBackend = make_backend(
+                    backend, database
                 )
-            self._executor = executor
-            self._owns_executor = False
+            else:
+                self._backend = backend
+            if isinstance(executor, str):
+                self._executor: Executor = make_executor(
+                    executor,
+                    self._backend,
+                    database,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                )
+                self._owns_executor = True
+            else:
+                if workers is not None or chunk_size is not None:
+                    raise ConfigError(
+                        "workers/chunk_size configure a named executor; "
+                        "pass them to your Executor instance instead"
+                    )
+                self._executor = executor
+                self._owns_executor = False
         if max_k is not None and max_k < 2:
             raise ConfigError(f"max_k must be >= 2, got {max_k}")
         self._max_k = max_k
@@ -198,7 +244,7 @@ class FlipperMiner:
             method=self._pruning.name, measure=self._measure.name
         )
         self._context = MiningContext(
-            database=database,
+            database=self._database,
             taxonomy=self._taxonomy,
             thresholds=self._thresholds,
             measure=self._measure,
@@ -207,10 +253,134 @@ class FlipperMiner:
             executor=self._executor,
             stats=self._stats,
         )
-        self._plan = ExecutionPlan(self._context, build_default_stages())
+        stages = (
+            build_partitioned_stages()
+            if store is not None
+            else build_default_stages()
+        )
+        self._plan = ExecutionPlan(self._context, stages)
         self._ancestor_maps: dict[int, dict[int, int]] = {}
         # TPG: smallest column proven free of flipping patterns
         self._k_cap: int | None = None
+
+    # ------------------------------------------------------------------
+    # partitioned-path construction
+    # ------------------------------------------------------------------
+
+    def _resolve_store(
+        self,
+        database: TransactionDatabase | ShardedTransactionStore,
+        partitions: int | None,
+        memory_budget_mb: float | None,
+        shard_dir: str | Path | None,
+    ) -> ShardedTransactionStore | None:
+        """Decide whether this run is partitioned, materializing the
+        shard store when ``partitions=N`` asks for one."""
+        if isinstance(database, ShardedTransactionStore):
+            if partitions is not None and partitions != database.n_shards:
+                raise ConfigError(
+                    f"partitions={partitions} conflicts with a store of "
+                    f"{database.n_shards} shard(s); drop the argument"
+                )
+            if shard_dir is not None:
+                raise ConfigError(
+                    "shard_dir names where partitions=N materializes "
+                    "shards; this store already lives at "
+                    f"{database.directory}"
+                )
+            return database
+        if partitions is None:
+            if memory_budget_mb is not None:
+                raise ConfigError(
+                    "memory_budget_mb bounds the partitioned path; "
+                    "pass partitions=N or a ShardedTransactionStore"
+                )
+            if shard_dir is not None:
+                raise ConfigError(
+                    "shard_dir only applies with partitions=N"
+                )
+            return None
+        if partitions < 1:
+            raise ConfigError(f"partitions must be >= 1, got {partitions}")
+        if shard_dir is None:
+            self._shard_tmpdir = tempfile.TemporaryDirectory(
+                prefix="repro-shards-"
+            )
+            shard_dir = self._shard_tmpdir.name
+        return ShardedTransactionStore.partition_database(
+            database, shard_dir, partitions
+        )
+
+    def _init_partitioned(
+        self,
+        store: ShardedTransactionStore,
+        backend: str | CountingBackend,
+        executor: str | Executor,
+        workers: int | None,
+        chunk_size: int | None,
+        memory_budget_mb: float | None,
+    ) -> None:
+        """Build the partitioned backend + executor pair."""
+        if isinstance(backend, str):
+            self._backend = PartitionedBackend(
+                store, inner=backend, memory_budget_mb=memory_budget_mb
+            )
+        elif isinstance(backend, PartitionedBackend):
+            if backend.store is not store:
+                raise ConfigError(
+                    "the PartitionedBackend counts a different store "
+                    "than the one being mined; build it from the same "
+                    "ShardedTransactionStore"
+                )
+            if memory_budget_mb is not None:
+                raise ConfigError(
+                    "memory_budget_mb configures a backend the miner "
+                    "builds; pass it to your PartitionedBackend instead"
+                )
+            self._backend = backend
+        else:
+            raise ConfigError(
+                "a partitioned run counts through per-shard backends; "
+                "pass a backend name or a PartitionedBackend instance, "
+                f"not {type(backend).__name__}"
+            )
+        if isinstance(executor, str):
+            key = executor.strip().lower()
+            if key == "serial":
+                if workers not in (None, 1):
+                    raise ConfigError(
+                        "the serial executor runs one worker, got "
+                        f"workers={workers}"
+                    )
+                resolved_workers = 1
+            elif key == "partitioned":
+                resolved_workers = workers or 1
+            elif key == "process":
+                resolved_workers = workers or os.cpu_count() or 1
+            else:
+                raise ConfigError(
+                    f"unknown executor {executor!r} for a partitioned "
+                    "run; known: serial, process, partitioned"
+                )
+            self._executor = PartitionedExecutor(
+                self._backend,
+                workers=resolved_workers,
+                chunk_size=chunk_size,
+            )
+            self._owns_executor = True
+        elif isinstance(executor, PartitionedExecutor):
+            if workers is not None or chunk_size is not None:
+                raise ConfigError(
+                    "workers/chunk_size configure a named executor; "
+                    "pass them to your Executor instance instead"
+                )
+            self._executor = executor
+            self._owns_executor = False
+        else:
+            raise ConfigError(
+                "a partitioned run needs a PartitionedExecutor, not "
+                f"{type(executor).__name__}"
+            )
 
     # ------------------------------------------------------------------
     # public API
@@ -229,6 +399,9 @@ class FlipperMiner:
         finally:
             if self._owns_executor:
                 self._executor.close()
+            # self._shard_tmpdir is NOT cleaned here: repeated mine()
+            # calls must still find the shards, and TemporaryDirectory
+            # removes itself when the miner is garbage-collected.
         self._stats.elapsed_seconds = timer.seconds
         # Chunks counted inside worker processes increment the workers'
         # backend counters, not the parent's; fold them back in.
@@ -247,6 +420,16 @@ class FlipperMiner:
             "executor": self._executor.name,
             "workers": getattr(self._executor, "workers", 1),
             "chunk_size": getattr(self._executor, "chunk_size", None),
+            "partitions": (
+                self._store.n_shards if self._store is not None else 1
+            ),
+            # report the budget actually in force (a user-supplied
+            # PartitionedBackend carries its own)
+            "memory_budget_mb": (
+                self._backend.memory_budget_mb
+                if isinstance(self._backend, PartitionedBackend)
+                else self._memory_budget_mb
+            ),
         }
         return MiningResult(patterns=patterns, stats=self._stats, config=config)
 
@@ -483,7 +666,7 @@ class FlipperMiner:
 
 
 def mine_flipping_patterns(
-    database: TransactionDatabase,
+    database: TransactionDatabase | ShardedTransactionStore,
     thresholds: Thresholds,
     measure: str | Measure = "kulczynski",
     pruning: PruningConfig | None = None,
@@ -492,6 +675,9 @@ def mine_flipping_patterns(
     workers: int | None = None,
     chunk_size: int | None = None,
     max_k: int | None = None,
+    partitions: int | None = None,
+    memory_budget_mb: float | None = None,
+    shard_dir: str | Path | None = None,
 ) -> MiningResult:
     """One-call façade over :class:`FlipperMiner` (the main entry point).
 
@@ -508,5 +694,8 @@ def mine_flipping_patterns(
         workers=workers,
         chunk_size=chunk_size,
         max_k=max_k,
+        partitions=partitions,
+        memory_budget_mb=memory_budget_mb,
+        shard_dir=shard_dir,
     )
     return miner.mine()

@@ -13,10 +13,12 @@ from repro.data.profile import (
     LevelProfile,
     profile_database,
 )
+from repro.data.shards import ShardedTransactionStore
 from repro.data.vertical import VerticalIndex
 
 __all__ = [
     "TransactionDatabase",
+    "ShardedTransactionStore",
     "VerticalIndex",
     "DatabaseProfile",
     "LevelProfile",

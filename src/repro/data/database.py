@@ -144,7 +144,8 @@ class TransactionDatabase:
     @property
     def mean_width(self) -> float:
         """Average number of distinct items per transaction."""
-        return sum(len(t) for t in self._transactions) / len(self._transactions)
+        total = sum(len(t) for t in self._transactions)
+        return total / len(self._transactions)
 
     def width_at_level(self, level: int) -> int:
         """Largest distinct-node width after projecting to ``level``.

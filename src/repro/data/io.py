@@ -61,12 +61,14 @@ def format_basket_text(
     return "\n".join(lines) + "\n"
 
 
-def load_transactions(path: str | Path, delimiter: str = ",") -> list[list[str]]:
+def load_transactions(
+    path: str | Path, delimiter: str = ","
+) -> list[list[str]]:
     """Load transactions from basket text or ``.jsonl``."""
     path = Path(path)
     text = path.read_text(encoding="utf-8")
     if path.suffix.lower() in {".jsonl", ".ndjson"}:
-        transactions = []
+        transactions: list[list[str]] = []
         for lineno, line in enumerate(text.splitlines(), start=1):
             if not line.strip():
                 continue

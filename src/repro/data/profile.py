@@ -59,7 +59,9 @@ class DatabaseProfile:
                 return entry
         raise ConfigError(f"no level {level} in this profile")
 
-    def suggest_min_supports(self, bottom_fraction: float = 0.001) -> list[int]:
+    def suggest_min_supports(
+        self, bottom_fraction: float = 0.001
+    ) -> list[int]:
         """A starting per-level threshold ladder per the paper's §5.1
         guidance: anchor the bottom level at ``bottom_fraction`` of N
         and raise each level above it proportionally to its density.
@@ -69,11 +71,10 @@ class DatabaseProfile:
                 f"bottom_fraction must be in (0, 1), got {bottom_fraction}"
             )
         bottom = self.levels[-1]
-        counts = []
+        counts: list[int] = []
         for entry in self.levels:
-            ratio = (
-                entry.density / bottom.density if bottom.density else 1.0
-            )
+            base = bottom.density
+            ratio = entry.density / base if base else 1.0
             count = max(
                 2, round(bottom_fraction * self.n_transactions * ratio)
             )
@@ -115,7 +116,7 @@ def profile_database(
     index = VerticalIndex(database)
 
     widths = Counter(len(transaction) for transaction in database)
-    levels = []
+    levels: list[LevelProfile] = []
     for level in range(1, taxonomy.height + 1):
         supports = index.node_supports(level)
         active = [s for s in supports.values() if s > 0]

@@ -1,0 +1,389 @@
+"""Sharded on-disk transaction store (the out-of-core substrate).
+
+A :class:`ShardedTransactionStore` is the partitioned counterpart of
+:class:`~repro.data.database.TransactionDatabase`: the same logical
+set ``D`` of transactions, but split into contiguous *shards* that
+live on disk and are loaded one at a time.  It is the data layer of
+the SON-style partitioned mining path (see ARCHITECTURE.md): every
+counting backend can be instantiated per shard, per-shard supports
+sum to exact global supports, and the resident set of shard backends
+is bounded by a memory budget instead of the dataset size.
+
+Two ways to build a store:
+
+* :meth:`ShardedTransactionStore.partition_database` — split an
+  in-memory database into ``n_shards`` contiguous, near-equal shards
+  (the parity-testing path; shards may be empty when ``n_shards``
+  exceeds the transaction count).
+* :meth:`ShardedTransactionStore.ingest` — stream transactions from
+  any iterable (dataset generators, file readers) and cut a new shard
+  whenever the in-memory buffer reaches ``rows_per_shard`` or the
+  ``memory_budget_mb`` estimate — the true out-of-core path, which
+  never holds more than one shard of raw transactions.
+
+On disk a store is a directory of JSONL shard files plus a
+``manifest.json`` recording the shard layout.  The taxonomy is bound
+at construction/open time (exactly like ``TransactionDatabase``), so
+a reopened store resolves item names through the identical balanced
+tree and mining results cannot drift between open sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.data.database import TransactionDatabase
+from repro.errors import DataError
+from repro.taxonomy.rebalance import rebalance_with_copies
+from repro.taxonomy.tree import Taxonomy
+
+__all__ = ["ShardedTransactionStore", "estimate_transaction_bytes"]
+
+_MANIFEST_NAME = "manifest.json"
+_MANIFEST_VERSION = 1
+
+#: Rough per-item cost (in bytes) of one buffered transaction entry:
+#: a short Python string plus list/pointer overhead.  Only used to
+#: turn ``memory_budget_mb`` into a shard-cut heuristic — exactness
+#: does not matter, determinism does.
+_BYTES_PER_ITEM = 96
+_BYTES_PER_TRANSACTION = 128
+
+
+def estimate_transaction_bytes(transaction: Iterable[str]) -> int:
+    """Deterministic buffered-size estimate of one transaction."""
+    n_items = sum(1 for _ in transaction)
+    return _BYTES_PER_TRANSACTION + _BYTES_PER_ITEM * n_items
+
+
+class ShardedTransactionStore:
+    """Contiguous on-disk shards of one logical transaction set.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding the shard files and ``manifest.json``.
+    taxonomy:
+        The taxonomy the transactions are bound to.  Unbalanced trees
+        are rebalanced with leaf copies exactly as
+        :class:`TransactionDatabase` does, so per-shard databases and
+        a monolithic database see the same item universe.
+    """
+
+    def __init__(self, directory: str | Path, taxonomy: Taxonomy) -> None:
+        self._directory = Path(directory)
+        if not taxonomy.is_balanced:
+            taxonomy = rebalance_with_copies(taxonomy)
+        self._taxonomy = taxonomy
+        manifest_path = self._directory / _MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise DataError(
+                f"{self._directory} is not a shard store "
+                f"(missing {_MANIFEST_NAME})"
+            )
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise DataError(
+                f"unsupported shard manifest version "
+                f"{manifest.get('version')!r}"
+            )
+        self._shard_files: list[str] = list(manifest["shards"])
+        self._shard_sizes: list[int] = [
+            int(size) for size in manifest["shard_sizes"]
+        ]
+        if len(self._shard_files) != len(self._shard_sizes):
+            raise DataError("shard manifest is inconsistent")
+        self._n_transactions = int(manifest["n_transactions"])
+        if self._n_transactions != sum(self._shard_sizes):
+            raise DataError(
+                "shard manifest transaction count does not match shards"
+            )
+        if self._n_transactions == 0:
+            raise DataError("shard store is empty")
+        for name in self._shard_files:
+            if not (self._directory / name).is_file():
+                raise DataError(f"missing shard file {name}")
+        self._width_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def partition_database(
+        cls,
+        database: TransactionDatabase,
+        directory: str | Path,
+        n_shards: int,
+    ) -> "ShardedTransactionStore":
+        """Split an in-memory database into ``n_shards`` contiguous
+        shards of near-equal size (first shards get the remainder).
+
+        ``n_shards`` may exceed the transaction count; the surplus
+        shards are empty and contribute zero to every merged count.
+        """
+        if n_shards < 1:
+            raise DataError(f"n_shards must be >= 1, got {n_shards}")
+        n = database.n_transactions
+        base, remainder = divmod(n, n_shards)
+        sizes = [
+            base + (1 if index < remainder else 0)
+            for index in range(n_shards)
+        ]
+        rows = (database.transaction_names(index) for index in range(n))
+        return cls._write(directory, database.taxonomy, rows, sizes)
+
+    @classmethod
+    def ingest(
+        cls,
+        transactions: Iterable[Iterable[str]],
+        taxonomy: Taxonomy,
+        directory: str | Path,
+        *,
+        rows_per_shard: int | None = None,
+        memory_budget_mb: float | None = None,
+    ) -> "ShardedTransactionStore":
+        """Stream transactions into shard files.
+
+        A shard is cut when the buffered row count reaches
+        ``rows_per_shard`` or the buffered-size estimate reaches
+        ``memory_budget_mb`` (whichever is configured and hits first);
+        only one shard's worth of rows is ever held in memory.  With
+        neither bound set, everything lands in a single shard.
+        """
+        if rows_per_shard is not None and rows_per_shard < 1:
+            raise DataError(
+                f"rows_per_shard must be >= 1, got {rows_per_shard}"
+            )
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise DataError(
+                f"memory_budget_mb must be > 0, got {memory_budget_mb}"
+            )
+        budget_bytes = (
+            None
+            if memory_budget_mb is None
+            else int(memory_budget_mb * 1024 * 1024)
+        )
+        if not taxonomy.is_balanced:
+            taxonomy = rebalance_with_copies(taxonomy)
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        shard_files: list[str] = []
+        shard_sizes: list[int] = []
+        buffer: list[tuple[str, ...]] = []
+        buffered_bytes = 0
+
+        def flush() -> None:
+            nonlocal buffered_bytes
+            if not buffer:
+                return
+            name = _shard_file_name(len(shard_files))
+            _write_shard(directory / name, buffer)
+            shard_files.append(name)
+            shard_sizes.append(len(buffer))
+            buffer.clear()
+            buffered_bytes = 0
+
+        for raw in transactions:
+            row = tuple(str(item) for item in raw)
+            buffer.append(row)
+            buffered_bytes += estimate_transaction_bytes(row)
+            full = (
+                rows_per_shard is not None and len(buffer) >= rows_per_shard
+            ) or (budget_bytes is not None and buffered_bytes >= budget_bytes)
+            if full:
+                flush()
+        flush()
+        if not shard_sizes:
+            raise DataError("transaction stream is empty")
+        _write_manifest(directory, shard_files, shard_sizes)
+        return cls(directory, taxonomy)
+
+    @classmethod
+    def _write(
+        cls,
+        directory: str | Path,
+        taxonomy: Taxonomy,
+        rows: Iterator[tuple[str, ...]],
+        sizes: list[int],
+    ) -> "ShardedTransactionStore":
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        shard_files: list[str] = []
+        for index, size in enumerate(sizes):
+            name = _shard_file_name(index)
+            chunk = [next(rows) for _ in range(size)]
+            _write_shard(directory / name, chunk)
+            shard_files.append(name)
+        _write_manifest(directory, shard_files, sizes)
+        return cls(directory, taxonomy)
+
+    @classmethod
+    def open(
+        cls, directory: str | Path, taxonomy: Taxonomy
+    ) -> "ShardedTransactionStore":
+        """Open an existing store (alias of the constructor)."""
+        return cls(directory, taxonomy)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def taxonomy(self) -> Taxonomy:
+        """The (balanced) taxonomy the store is bound to."""
+        return self._taxonomy
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shard_files)
+
+    @property
+    def n_transactions(self) -> int:
+        return self._n_transactions
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Transactions per shard (zeros allowed)."""
+        return list(self._shard_sizes)
+
+    def shard_path(self, index: int) -> Path:
+        return self._directory / self._shard_files[index]
+
+    def __len__(self) -> int:
+        return self._n_transactions
+
+    # ------------------------------------------------------------------
+    # shard access (the memory-budgeted read path)
+    # ------------------------------------------------------------------
+
+    def shard_transactions(self, index: int) -> list[tuple[str, ...]]:
+        """The raw item-name rows of one shard."""
+        if self._shard_sizes[index] == 0:
+            return []
+        rows = _read_shard(self.shard_path(index))
+        if len(rows) != self._shard_sizes[index]:
+            raise DataError(
+                f"shard {index} holds {len(rows)} transactions, "
+                f"manifest says {self._shard_sizes[index]}"
+            )
+        return rows
+
+    def shard_database(self, index: int) -> TransactionDatabase | None:
+        """One shard materialized as a :class:`TransactionDatabase`
+        bound to the shared taxonomy, or ``None`` for an empty shard.
+
+        This is the unit of residency: callers (the partitioned
+        backend's shard pool) hold as many of these as their memory
+        budget allows and re-read evicted ones from disk.
+        """
+        rows = self.shard_transactions(index)
+        if not rows:
+            return None
+        return TransactionDatabase(rows, self._taxonomy)
+
+    def iter_shard_databases(
+        self,
+    ) -> Iterator[tuple[int, TransactionDatabase | None]]:
+        """Stream ``(index, database)`` one shard at a time."""
+        for index in range(self.n_shards):
+            yield index, self.shard_database(index)
+
+    # ------------------------------------------------------------------
+    # database-compatible shape queries (what the miner needs)
+    # ------------------------------------------------------------------
+
+    def width_at_level(self, level: int) -> int:
+        """Largest distinct-node width after projecting to ``level``,
+        computed by streaming the shards (never all at once)."""
+        if level not in self._width_cache:
+            mapping = self._taxonomy.item_ancestor_map(level)
+            id_by_name = {
+                self._taxonomy.name_of(item): item
+                for item in self._taxonomy.item_ids
+            }
+            best = 0
+            for index in range(self.n_shards):
+                for row in self.shard_transactions(index):
+                    nodes: set[int] = set()
+                    for name in row:
+                        item = id_by_name.get(name)
+                        if item is None:
+                            raise DataError(
+                                f"shard {index}: unknown item {name!r}"
+                            )
+                        nodes.add(mapping[item])
+                    if len(nodes) > best:
+                        best = len(nodes)
+            self._width_cache[level] = best
+        return self._width_cache[level]
+
+    def to_database(self) -> TransactionDatabase:
+        """Materialize the whole store in memory (tests / small data)."""
+        rows: list[tuple[str, ...]] = []
+        for index in range(self.n_shards):
+            rows.extend(self.shard_transactions(index))
+        return TransactionDatabase(rows, self._taxonomy)
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI and examples."""
+        sizes = self._shard_sizes
+        return (
+            f"ShardedTransactionStore: {self._n_transactions} transactions "
+            f"in {self.n_shards} shard(s) "
+            f"(sizes {min(sizes)}..{max(sizes)}) at {self._directory}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ShardedTransactionStore(n={self._n_transactions}, "
+            f"shards={self.n_shards})"
+        )
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+
+
+def _shard_file_name(index: int) -> str:
+    return f"shard-{index:05d}.jsonl"
+
+
+def _write_shard(path: Path, rows: list[tuple[str, ...]]) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(list(row)) + "\n")
+
+
+def _read_shard(path: Path) -> list[tuple[str, ...]]:
+    rows: list[tuple[str, ...]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            if not isinstance(row, list):
+                raise DataError(f"{path}:{lineno}: expected a JSON array")
+            rows.append(tuple(str(item) for item in row))
+    return rows
+
+
+def _write_manifest(
+    directory: Path, shard_files: list[str], shard_sizes: list[int]
+) -> None:
+    manifest = {
+        "version": _MANIFEST_VERSION,
+        "shards": shard_files,
+        "shard_sizes": shard_sizes,
+        "n_transactions": sum(shard_sizes),
+    }
+    (directory / _MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )

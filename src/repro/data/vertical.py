@@ -82,7 +82,9 @@ class VerticalIndex:
                 f"itemset {itemset} contains a node not at level {level}"
             ) from exc
         except IndexError:
-            raise DataError("support of an empty itemset is undefined") from None
+            raise DataError(
+                "support of an empty itemset is undefined"
+            ) from None
 
     def itemset_bitset(self, level: int, itemset: tuple[int, ...]) -> int:
         """Raw AND-bitset of an itemset (for callers that reuse it)."""

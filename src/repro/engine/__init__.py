@@ -19,6 +19,11 @@ from repro.engine.executors import (
     SerialExecutor,
     make_executor,
 )
+from repro.engine.partition import (
+    PartitionedCountStage,
+    PartitionedExecutor,
+    build_partitioned_stages,
+)
 from repro.engine.plan import (
     CellState,
     CellTask,
@@ -38,6 +43,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "PartitionedExecutor",
     "make_executor",
     "EXECUTORS",
     "CellTask",
@@ -47,7 +53,9 @@ __all__ = [
     "ExecutionPlan",
     "GenerateStage",
     "CountStage",
+    "PartitionedCountStage",
     "LabelStage",
     "SibpRemovalStage",
     "build_default_stages",
+    "build_partitioned_stages",
 ]

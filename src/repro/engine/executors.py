@@ -288,7 +288,12 @@ class ParallelExecutor:
             self._pool = None
 
 
-EXECUTORS = {"serial": SerialExecutor, "process": ParallelExecutor}
+#: ``partitioned`` is registered by :mod:`repro.engine.partition` on
+#: package import (a static entry here would create an import cycle).
+EXECUTORS: dict[str, type] = {
+    "serial": SerialExecutor,
+    "process": ParallelExecutor,
+}
 
 
 def make_executor(
@@ -298,7 +303,8 @@ def make_executor(
     workers: int | None = None,
     chunk_size: int | None = None,
 ) -> Executor:
-    """Instantiate an executor by name (``serial`` or ``process``)."""
+    """Instantiate an executor by name (``serial``, ``process`` or
+    ``partitioned`` — the latter requires a partitioned backend)."""
     key = name.strip().lower()
     if key == "serial":
         if workers not in (None, 1):
@@ -310,5 +316,19 @@ def make_executor(
         return ParallelExecutor(
             backend, database, workers=workers, chunk_size=chunk_size
         )
-    known = ", ".join(sorted(EXECUTORS))
+    if key == "partitioned":
+        # Local import: partition → stages → plan → executors.
+        from repro.core.counting import PartitionedBackend
+        from repro.engine.partition import PartitionedExecutor
+
+        if not isinstance(backend, PartitionedBackend):
+            raise ConfigError(
+                "the partitioned executor needs a partitioned backend; "
+                "pass partitions=N (or a ShardedTransactionStore) to "
+                "the miner"
+            )
+        return PartitionedExecutor(
+            backend, workers=workers, chunk_size=chunk_size
+        )
+    known = ", ".join(sorted(set(EXECUTORS) | {"partitioned"}))
     raise ConfigError(f"unknown executor {name!r}; known: {known}")

@@ -30,6 +30,7 @@ from repro.core.counting import CountingBackend
 from repro.core.stats import CellStats, MiningStats, Timer
 from repro.core.thresholds import ResolvedThresholds
 from repro.data.database import TransactionDatabase
+from repro.data.shards import ShardedTransactionStore
 from repro.engine.executors import Executor
 from repro.taxonomy.tree import Taxonomy
 
@@ -73,7 +74,7 @@ class MiningContext:
     loosely to keep the engine free of a core→engine→core cycle).
     """
 
-    database: TransactionDatabase
+    database: TransactionDatabase | ShardedTransactionStore
     taxonomy: Taxonomy
     thresholds: ResolvedThresholds
     measure: Any

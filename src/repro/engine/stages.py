@@ -195,10 +195,10 @@ class GenerateStage:
         explored = 0
         banned_dropped = 0
         for entry in parent_cell.alive_entries:
-            child_lists = []
+            child_lists: list[list[int]] = []
             viable = True
             for node in entry.itemset:
-                children = []
+                children: list[int] = []
                 for child in taxonomy.children_ids(node):
                     if child not in frequent:
                         continue

@@ -1,0 +1,36 @@
+"""End-to-end smoke of the partition bench (tiny scale)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+
+
+def test_partition_bench_writes_baseline(tmp_path, monkeypatch):
+    from repro.bench import run_partition_bench
+
+    out = tmp_path / "BENCH_partition.json"
+    report, data = run_partition_bench(out_path=out)
+    assert "Partition bench" in report
+    assert "[PASS]" in report and "[FAIL]" not in report
+    assert data["checks_pass"] is True
+    assert data["patterns_identical"] is True
+    on_disk = json.loads(out.read_text())
+    assert on_disk["bench"] == "partition"
+    runs = on_disk["runs"]
+    assert set(runs) == {"shards=1", "shards=4"}
+    for run in runs.values():
+        assert run["peak_rss_mb"] > 0
+        assert run["n_patterns"] > 0
+
+
+def test_peak_rss_is_positive():
+    from repro.bench.partition import _peak_rss_mb
+
+    assert _peak_rss_mb() > 0

@@ -1,0 +1,185 @@
+"""Unit tests for the sharded on-disk transaction store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.data.shards import (
+    ShardedTransactionStore,
+    estimate_transaction_bytes,
+)
+from repro.errors import DataError
+
+
+class TestPartitionDatabase:
+    def test_round_trips_all_transactions(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 4
+        )
+        assert store.n_shards == 4
+        assert store.n_transactions == random_db.n_transactions
+        assert sum(store.shard_sizes) == random_db.n_transactions
+        rebuilt = store.to_database()
+        assert list(rebuilt) == list(random_db)
+
+    def test_shards_are_contiguous_and_near_equal(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 3
+        )
+        sizes = store.shard_sizes
+        assert max(sizes) - min(sizes) <= 1
+        # contiguity: concatenated shard rows == original order
+        rows = []
+        for index in range(store.n_shards):
+            rows.extend(store.shard_transactions(index))
+        expected = [
+            random_db.transaction_names(i)
+            for i in range(random_db.n_transactions)
+        ]
+        assert rows == expected
+
+    def test_more_shards_than_transactions(self, example3_db, tmp_path):
+        n = example3_db.n_transactions
+        store = ShardedTransactionStore.partition_database(
+            example3_db, tmp_path, n + 5
+        )
+        assert store.n_shards == n + 5
+        assert store.shard_sizes.count(0) == 5
+        assert store.shard_database(store.n_shards - 1) is None
+        assert store.shard_transactions(store.n_shards - 1) == []
+
+    def test_single_transaction_shards(self, example3_db, tmp_path):
+        n = example3_db.n_transactions
+        store = ShardedTransactionStore.partition_database(
+            example3_db, tmp_path, n
+        )
+        assert store.shard_sizes == [1] * n
+        db = store.shard_database(0)
+        assert db is not None and db.n_transactions == 1
+
+    def test_rejects_bad_shard_count(self, example3_db, tmp_path):
+        with pytest.raises(DataError, match="n_shards"):
+            ShardedTransactionStore.partition_database(
+                example3_db, tmp_path, 0
+            )
+
+    def test_shard_databases_share_balanced_taxonomy(
+        self, random_db, tmp_path
+    ):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        for _index, db in store.iter_shard_databases():
+            assert db is not None
+            assert db.taxonomy is store.taxonomy
+
+
+class TestIngest:
+    def test_rows_per_shard_cut(self, grocery_taxonomy, tmp_path):
+        rows = [["cola"], ["milk", "soap"], ["apples"], ["cola", "milk"]]
+        store = ShardedTransactionStore.ingest(
+            rows, grocery_taxonomy, tmp_path, rows_per_shard=3
+        )
+        assert store.shard_sizes == [3, 1]
+        assert store.to_database().n_transactions == 4
+
+    def test_memory_budget_cut(self, grocery_taxonomy, tmp_path):
+        rows = [["cola", "milk"] for _ in range(100)]
+        per_row = estimate_transaction_bytes(rows[0])
+        budget_mb = (per_row * 10) / (1024 * 1024)
+        store = ShardedTransactionStore.ingest(
+            rows, grocery_taxonomy, tmp_path, memory_budget_mb=budget_mb
+        )
+        assert store.n_shards == 10
+        assert all(size == 10 for size in store.shard_sizes)
+
+    def test_unbounded_ingest_is_one_shard(self, grocery_taxonomy, tmp_path):
+        rows = [["cola"], ["milk"]]
+        store = ShardedTransactionStore.ingest(
+            rows, grocery_taxonomy, tmp_path
+        )
+        assert store.n_shards == 1
+
+    def test_empty_stream_rejected(self, grocery_taxonomy, tmp_path):
+        with pytest.raises(DataError, match="empty"):
+            ShardedTransactionStore.ingest([], grocery_taxonomy, tmp_path)
+
+    def test_bad_bounds_rejected(self, grocery_taxonomy, tmp_path):
+        with pytest.raises(DataError, match="rows_per_shard"):
+            ShardedTransactionStore.ingest(
+                [["cola"]], grocery_taxonomy, tmp_path, rows_per_shard=0
+            )
+        with pytest.raises(DataError, match="memory_budget_mb"):
+            ShardedTransactionStore.ingest(
+                [["cola"]], grocery_taxonomy, tmp_path, memory_budget_mb=0
+            )
+
+
+class TestOpenAndManifest:
+    def test_reopen_sees_same_data(self, random_db, tmp_path):
+        created = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 3
+        )
+        reopened = ShardedTransactionStore.open(
+            tmp_path, random_db.taxonomy
+        )
+        assert reopened.n_shards == created.n_shards
+        assert reopened.shard_sizes == created.shard_sizes
+        assert list(reopened.to_database()) == list(random_db)
+
+    def test_missing_manifest_rejected(self, random_db, tmp_path):
+        with pytest.raises(DataError, match="manifest"):
+            ShardedTransactionStore.open(tmp_path, random_db.taxonomy)
+
+    def test_corrupt_counts_rejected(self, random_db, tmp_path):
+        ShardedTransactionStore.partition_database(random_db, tmp_path, 2)
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["n_transactions"] += 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(DataError, match="count"):
+            ShardedTransactionStore.open(tmp_path, random_db.taxonomy)
+
+    def test_missing_shard_file_rejected(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        store.shard_path(1).unlink()
+        with pytest.raises(DataError, match="missing shard"):
+            ShardedTransactionStore.open(tmp_path, random_db.taxonomy)
+
+
+class TestShapeQueries:
+    def test_width_at_level_matches_database(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 3
+        )
+        height = random_db.taxonomy.height
+        for level in range(1, height + 1):
+            assert store.width_at_level(level) == random_db.width_at_level(
+                level
+            )
+
+    def test_describe_mentions_shards(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        assert "2 shard(s)" in store.describe()
+
+    def test_unbalanced_taxonomy_rebalanced_consistently(self, tmp_path):
+        from repro.taxonomy.tree import Taxonomy
+
+        unbalanced = Taxonomy.from_dict(
+            {"a": {"a1": ["a11", "a12"]}, "b": ["b1"]}
+        )
+        database = TransactionDatabase(
+            [["a11", "b1"], ["a12"], ["b1"]], unbalanced
+        )
+        store = ShardedTransactionStore.partition_database(
+            database, tmp_path, 2
+        )
+        assert store.taxonomy.is_balanced
+        assert list(store.to_database()) == list(database)

@@ -115,4 +115,5 @@ class TestBenchRunnersSmoke:
             "table1",
             "table4",
             "engine",
+            "partition",
         }

@@ -1,0 +1,147 @@
+"""Unit tests for the CI perf-regression gate script."""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "check_bench_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression", _SCRIPT
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def baseline():
+    return {
+        "counting": {"batched_over_per_itemset": 1.0},
+        "executors": {
+            "serial": {
+                "stage_seconds": {"generate": 0.2, "count": 0.3}
+            }
+        },
+        "checks_pass": True,
+    }
+
+
+class TestCompare:
+    def test_identical_passes(self, gate, baseline):
+        assert gate.compare(baseline, copy.deepcopy(baseline), 1.5) == []
+
+    def test_within_tolerance_passes(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["counting"]["batched_over_per_itemset"] = 1.4
+        current["executors"]["serial"]["stage_seconds"] = {
+            "generate": 0.3,
+            "count": 0.4,
+        }
+        assert gate.compare(baseline, current, 1.5) == []
+
+    def test_counting_ratio_regression_fails(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["counting"]["batched_over_per_itemset"] = 1.6
+        problems = gate.compare(baseline, current, 1.5)
+        assert any("batched_over_per_itemset" in p for p in problems)
+
+    def test_stage_total_regression_fails(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["executors"]["serial"]["stage_seconds"] = {
+            "generate": 0.5,
+            "count": 0.5,
+        }
+        problems = gate.compare(baseline, current, 1.5)
+        assert any("stage totals" in p for p in problems)
+
+    def test_failed_shape_checks_fail_the_gate(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["checks_pass"] = False
+        problems = gate.compare(baseline, current, 1.5)
+        assert any("shape checks" in p for p in problems)
+
+    def test_missing_metric_reported(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        del current["counting"]
+        problems = gate.compare(baseline, current, 1.5)
+        assert any("missing" in p for p in problems)
+
+    def test_missing_baseline_stage_totals_reported(self, gate, baseline):
+        broken = copy.deepcopy(baseline)
+        broken["executors"] = {}
+        problems = gate.compare(broken, copy.deepcopy(baseline), 1.5)
+        assert any("baseline serial stage totals" in p for p in problems)
+
+    def test_missing_current_stage_totals_reported(self, gate, baseline):
+        current = copy.deepcopy(baseline)
+        current["executors"] = {}
+        problems = gate.compare(baseline, current, 1.5)
+        assert any("current serial stage totals" in p for p in problems)
+
+    def test_sub_noise_floor_jitter_passes(self, gate, baseline):
+        """Cross-machine jitter on millisecond-scale totals must not
+        flake the gate: over tolerance but under the absolute floor."""
+        tiny_base = copy.deepcopy(baseline)
+        tiny_base["executors"]["serial"]["stage_seconds"] = {
+            "count": 0.001
+        }
+        current = copy.deepcopy(tiny_base)
+        current["executors"]["serial"]["stage_seconds"] = {"count": 0.005}
+        assert gate.compare(tiny_base, current, 1.5) == []
+
+
+class TestMain:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, gate, baseline, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", baseline)
+        current = self._write(tmp_path, "current.json", baseline)
+        code = gate.main(
+            ["--baseline", base, "--current", current, "--tolerance", "1.5"]
+        )
+        assert code == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, gate, baseline, tmp_path, capsys):
+        current_data = copy.deepcopy(baseline)
+        current_data["counting"]["batched_over_per_itemset"] = 99.0
+        base = self._write(tmp_path, "base.json", baseline)
+        current = self._write(tmp_path, "current.json", current_data)
+        code = gate.main(["--baseline", base, "--current", current])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_rejects_sub_one_tolerance(self, gate, baseline, tmp_path):
+        base = self._write(tmp_path, "base.json", baseline)
+        with pytest.raises(SystemExit):
+            gate.main(
+                [
+                    "--baseline", base,
+                    "--current", base,
+                    "--tolerance", "0.5",
+                ]
+            )
+
+    def test_gates_the_committed_baseline_format(self, gate):
+        """The committed BENCH_engine.json must carry every gated
+        metric (otherwise the CI gate cannot run)."""
+        committed = json.loads(
+            (_SCRIPT.parent.parent / "BENCH_engine.json").read_text()
+        )
+        assert gate.compare(committed, copy.deepcopy(committed), 1.5) == []

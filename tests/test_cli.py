@@ -83,6 +83,46 @@ class TestMine:
         )
         assert "pattern" in capsys.readouterr().out
 
+    def test_partitioned_mine_matches_default(self, example_files, capsys):
+        transactions, taxonomy = example_files
+        args = [
+            "mine",
+            "--transactions", transactions,
+            "--taxonomy", taxonomy,
+            "--gamma", "0.6",
+            "--epsilon", "0.35",
+            "--min-support", "1,1,1",
+            "--json",
+        ]
+        assert main(args) == 0
+        baseline = json.loads(capsys.readouterr().out)
+        assert (
+            main(args + ["--partitions", "3", "--memory-budget-mb", "8"])
+            == 0
+        )
+        partitioned = json.loads(capsys.readouterr().out)
+        assert partitioned["patterns"] == baseline["patterns"]
+        assert partitioned["config"]["partitions"] == 3
+        assert partitioned["config"]["memory_budget_mb"] == 8.0
+
+    def test_memory_budget_without_partitions_errors(
+        self, example_files, capsys
+    ):
+        transactions, taxonomy = example_files
+        code = main(
+            [
+                "mine",
+                "--transactions", transactions,
+                "--taxonomy", taxonomy,
+                "--gamma", "0.6",
+                "--epsilon", "0.35",
+                "--min-support", "1,1,1",
+                "--memory-budget-mb", "8",
+            ]
+        )
+        assert code == 2
+        assert "partitions" in capsys.readouterr().err
+
     def test_bad_thresholds_exit_code(self, example_files, capsys):
         transactions, taxonomy = example_files
         code = main(
