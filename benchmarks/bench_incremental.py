@@ -1,0 +1,30 @@
+"""Incremental bench: delta update vs. full re-mine.
+
+The pytest face of ``python -m repro bench incremental``: runs the
+delta-update protocol at the current bench scale, prints the report,
+and asserts the internal checks — pattern parity with a full
+re-mine and the 3x +10%-delta speedup floor — all pass.
+
+Note: the speedup checks are scale-sensitive (the delta-counting
+trade shows at real sizes); this suite runs at the default scale
+where they are expected to hold.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.incremental import run_incremental_bench
+
+
+def test_incremental_bench_writes_baseline(tmp_path, capsys):
+    out = tmp_path / "BENCH_incremental.json"
+    report, data = run_incremental_bench(out_path=out)
+    with capsys.disabled():
+        print()
+        print(report)
+    assert data["checks_pass"] is True
+    on_disk = json.loads(out.read_text())
+    for run in on_disk["runs"].values():
+        assert run["patterns_identical"] is True
+        assert run["mode"] == "incremental"

@@ -21,12 +21,23 @@ Checks that the current run's own shape assertions
 (``checks_pass``) hold, too — a bench that fails its internal parity
 checks is a regression regardless of timing.
 
+When ``--incremental-baseline``/``--incremental-current`` are given,
+the gate additionally checks ``BENCH_incremental.json``: the current
+run must pass its internal checks (which include pattern parity with
+a full re-mine), its +10%-delta speedup must clear the absolute
+``--min-speedup`` floor, and the speedup must not have collapsed
+versus the committed baseline beyond the tolerance factor (ratios
+near the floor are already absorbed by the absolute check, so no
+extra noise floor is needed).
+
 Usage::
 
     python scripts/check_bench_regression.py \
         --baseline BENCH_engine.json \
         --current BENCH_engine_current.json \
-        --tolerance 1.5
+        --tolerance 1.5 \
+        [--incremental-baseline BENCH_incremental.json \
+         --incremental-current BENCH_incremental_current.json]
 """
 
 from __future__ import annotations
@@ -106,6 +117,44 @@ def compare(
     return problems
 
 
+#: default absolute floor on the +10%-delta speedup (the incremental
+#: subsystem's acceptance criterion)
+MIN_SPEEDUP_10PCT = 3.0
+
+
+def compare_incremental(
+    baseline: dict,
+    current: dict,
+    tolerance: float,
+    min_speedup: float = MIN_SPEEDUP_10PCT,
+) -> list[str]:
+    """Gate the incremental bench (empty list = gate passes)."""
+    problems: list[str] = []
+    if not current.get("checks_pass", False):
+        problems.append(
+            "current incremental bench failed its internal checks "
+            "(checks_pass is false; this includes delta-vs-full "
+            "pattern parity)"
+        )
+    now = float(current.get("speedup_10pct", 0.0))
+    if now < min_speedup:
+        problems.append(
+            f"+10% delta speedup {now:.2f}x is below the "
+            f"{min_speedup:g}x floor"
+        )
+    base = float(baseline.get("speedup_10pct", 0.0))
+    if base <= 0.0:
+        problems.append(
+            "baseline incremental speedup missing or zero"
+        )
+    elif now * tolerance < base:
+        problems.append(
+            f"incremental speedup regressed: {now:.2f}x vs baseline "
+            f"{base:.2f}x (> {tolerance:g}x collapse)"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -120,12 +169,59 @@ def main(argv: list[str] | None = None) -> int:
         default=1.5,
         help="allowed regression factor (default: 1.5)",
     )
+    parser.add_argument(
+        "--incremental-baseline",
+        default=None,
+        help="committed BENCH_incremental.json (optional)",
+    )
+    parser.add_argument(
+        "--incremental-current",
+        default=None,
+        help="freshly produced incremental bench JSON (optional)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="absolute floor on the +10%%-delta speedup (default: the "
+             "baseline's recorded min_speedup_10pct, else "
+             f"{MIN_SPEEDUP_10PCT:g})",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 1.0:
         parser.error("tolerance must be >= 1.0")
+    if (args.incremental_baseline is None) != (
+        args.incremental_current is None
+    ):
+        parser.error(
+            "--incremental-baseline and --incremental-current "
+            "go together"
+        )
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
     current = json.loads(Path(args.current).read_text(encoding="utf-8"))
     problems = compare(baseline, current, args.tolerance)
+    min_speedup = args.min_speedup
+    incremental_current = None
+    if args.incremental_baseline is not None:
+        incremental_baseline = json.loads(
+            Path(args.incremental_baseline).read_text(encoding="utf-8")
+        )
+        incremental_current = json.loads(
+            Path(args.incremental_current).read_text(encoding="utf-8")
+        )
+        if min_speedup is None:
+            # single source of truth: the floor the bench recorded
+            min_speedup = float(
+                incremental_baseline.get(
+                    "min_speedup_10pct", MIN_SPEEDUP_10PCT
+                )
+            )
+        problems += compare_incremental(
+            incremental_baseline,
+            incremental_current,
+            args.tolerance,
+            min_speedup=min_speedup,
+        )
     if problems:
         print("perf-regression gate FAILED:")
         for problem in problems:
@@ -140,6 +236,12 @@ def main(argv: list[str] | None = None) -> int:
         f"ok: serial stage totals = {serial_stage_total(current):.4f}s "
         f"(baseline {serial_stage_total(baseline):.4f}s)"
     )
+    if incremental_current is not None:
+        print(
+            f"ok: incremental +10% speedup = "
+            f"{float(incremental_current.get('speedup_10pct', 0.0)):.2f}x "
+            f"(floor {min_speedup:g}x)"
+        )
     print(f"perf-regression gate passed (tolerance {args.tolerance:g}x)")
     return 0
 

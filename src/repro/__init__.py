@@ -70,6 +70,7 @@ from repro.fpm import (
 from repro.engine import (
     ExecutionPlan,
     Executor,
+    IncrementalMiner,
     MiningContext,
     ParallelExecutor,
     SerialExecutor,
@@ -135,6 +136,7 @@ __all__ = [
     "mine_flipping_posthoc",
     # engine (plan -> stages -> executor -> backend; see ARCHITECTURE.md)
     "ExecutionPlan",
+    "IncrementalMiner",
     "MiningContext",
     "Executor",
     "SerialExecutor",

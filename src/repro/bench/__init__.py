@@ -2,6 +2,7 @@
 runner per table/figure of the paper's evaluation."""
 
 from repro.bench.engine import run_engine_smoke
+from repro.bench.incremental import run_incremental_bench
 from repro.bench.partition import run_partition_bench
 from repro.bench.experiments import (
     EXPERIMENTS,
@@ -52,6 +53,7 @@ __all__ = [
     "run_table4",
     "run_engine_smoke",
     "run_partition_bench",
+    "run_incremental_bench",
     "real_datasets",
     "LADDER",
     "RunRecord",

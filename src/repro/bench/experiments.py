@@ -12,6 +12,7 @@ from collections.abc import Sequence
 
 from repro.bench.chart import sweep_chart
 from repro.bench.engine import run_engine_smoke
+from repro.bench.incremental import run_incremental_bench
 from repro.bench.partition import run_partition_bench
 from repro.bench.harness import (
     LADDER,
@@ -62,6 +63,7 @@ __all__ = [
     "run_table4",
     "run_engine_smoke",
     "run_partition_bench",
+    "run_incremental_bench",
     "real_datasets",
     "EXPERIMENTS",
 ]
@@ -482,4 +484,5 @@ EXPERIMENTS = {
     "table4": run_table4,
     "engine": run_engine_smoke,
     "partition": run_partition_bench,
+    "incremental": run_incremental_bench,
 }

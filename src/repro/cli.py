@@ -1,16 +1,22 @@
 """Command-line interface.
 
-Five subcommands cover the library's workflows::
+The subcommands cover the library's workflows::
 
     flipper-mine mine     --transactions data.basket --taxonomy tax.json ...
+    flipper-mine update   --store ./shards --taxonomy tax.json --append d.basket
     flipper-mine rules    --transactions data.basket --taxonomy tax.json ...
     flipper-mine generate --dataset groceries --out-dir ./data
     flipper-mine bench    fig8a fig8b ... | all
     flipper-mine explain  --measure kulczynski
 
-``mine`` runs Flipper (this paper); ``rules`` runs the related-work
-Cumulate pipeline (generalized association rules with optional
-R-interesting pruning and surprisingness ranking) for comparison.
+``mine`` runs Flipper (this paper); ``mine --append delta.basket``
+additionally streams delta batches through the incremental path and
+reports the refreshed patterns.  ``update`` maintains a persistent
+on-disk shard store: it appends delta files as new shards (never
+rewriting existing ones) and optionally re-mines the grown store.
+``rules`` runs the related-work Cumulate pipeline (generalized
+association rules with optional R-interesting pruning and
+surprisingness ranking) for comparison.
 
 (Available both as the ``flipper-mine`` console script and as
 ``python -m repro``.)
@@ -21,15 +27,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
 from repro.bench.experiments import EXPERIMENTS
-from repro.core.flipper import PruningConfig, mine_flipping_patterns
+from repro.core.flipper import (
+    FlipperMiner,
+    PruningConfig,
+    mine_flipping_patterns,
+)
 from repro.core.measures import MEASURES, get_measure
 from repro.core.thresholds import Thresholds
 from repro.core.topk import top_k_most_flipping
-from repro.data.io import load_database, save_transactions
+from repro.data.io import load_database, load_transactions, save_transactions
+from repro.data.shards import ShardedTransactionStore
 from repro.datasets.census import generate_census
 from repro.datasets.groceries import generate_groceries
 from repro.datasets.medline import generate_medline
@@ -114,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-k", type=int, default=None)
     mine.add_argument("--top-k", type=int, default=None,
                       help="report only the K sharpest flips")
+    mine.add_argument(
+        "--append", action="append", default=None, metavar="FILE",
+        help="after mining, append this delta file and re-mine "
+             "incrementally (repeatable; implies --partitions 1 when "
+             "--partitions is not set)",
+    )
     mine.add_argument("--json", action="store_true", help="JSON output")
     mine.add_argument("--stats", action="store_true", help="print run statistics")
 
@@ -142,6 +160,53 @@ def build_parser() -> argparse.ArgumentParser:
     rules.add_argument("--limit", type=int, default=20,
                        help="print at most this many rules")
     rules.add_argument("--json", action="store_true", help="JSON output")
+
+    update = sub.add_parser(
+        "update",
+        help="append delta transactions to an on-disk shard store "
+             "(and optionally re-mine it)",
+    )
+    update.add_argument(
+        "--store", required=True,
+        help="shard-store directory (see ShardedTransactionStore)",
+    )
+    update.add_argument("--taxonomy", required=True, help="edge-text/json file")
+    update.add_argument(
+        "--init-from", default=None, metavar="FILE",
+        help="create the store from this transactions file when the "
+             "directory is not a store yet",
+    )
+    update.add_argument(
+        "--rows-per-shard", type=int, default=None,
+        help="shard-cut size for --init-from and appended deltas",
+    )
+    update.add_argument(
+        "--append", action="append", default=None, metavar="FILE",
+        help="delta transactions file to append (repeatable)",
+    )
+    update.add_argument("--gamma", type=float, default=None)
+    update.add_argument("--epsilon", type=float, default=None)
+    update.add_argument(
+        "--min-support", default=None,
+        help="comma-separated per-level fractions or counts; when the "
+             "three threshold options are given the grown store is "
+             "mined and the patterns printed",
+    )
+    update.add_argument(
+        "--measure", default="kulczynski", choices=sorted(MEASURES)
+    )
+    update.add_argument(
+        "--pruning", default="full", choices=sorted(_PRUNING_CHOICES)
+    )
+    update.add_argument(
+        "--backend",
+        default="bitmap",
+        choices=["bitmap", "horizontal", "numpy"],
+    )
+    update.add_argument("--memory-budget-mb", type=float, default=None)
+    update.add_argument("--max-k", type=int, default=None)
+    update.add_argument("--json", action="store_true", help="JSON output")
+    update.add_argument("--stats", action="store_true", help="print run statistics")
 
     generate = sub.add_parser(
         "generate", help="generate a bundled dataset to files"
@@ -204,7 +269,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         min_support=_parse_min_support(args.min_support),
     )
-    result = mine_flipping_patterns(
+    appends = list(args.append or [])
+    partitions = args.partitions
+    if appends and partitions is None:
+        # the incremental path lives on the partitioned substrate
+        partitions = 1
+    miner = FlipperMiner(
         database,
         thresholds,
         measure=args.measure,
@@ -214,9 +284,22 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         max_k=args.max_k,
-        partitions=args.partitions,
+        partitions=partitions,
         memory_budget_mb=args.memory_budget_mb,
     )
+    result = miner.mine()
+    updates: list[dict[str, object]] = []
+    for path in appends:
+        delta = load_transactions(path)
+        started = time.perf_counter()
+        result = miner.update(delta)
+        info: dict[str, object] = {
+            "file": str(path),
+            "rows": len(delta),
+            "seconds": time.perf_counter() - started,
+        }
+        info.update(result.config.get("incremental", {}))
+        updates.append(info)
     patterns = result.patterns
     if args.top_k is not None:
         patterns = top_k_most_flipping(patterns, k=args.top_k)
@@ -225,10 +308,20 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             "config": result.config,
             "patterns": [pattern.to_dict() for pattern in patterns],
         }
+        if updates:
+            payload["updates"] = updates
         if args.stats:
             payload["stats"] = result.stats.to_dict()
         print(json.dumps(payload, indent=2))
     else:
+        for info in updates:
+            print(
+                f"applied delta {info['file']}: {info['rows']} row(s) in "
+                f"{info['seconds']:.3f}s ({info.get('mode', 'incremental')}"
+                f" mode, {info.get('cache_hits', 0)} cached supports)"
+            )
+        if updates:
+            print()
         print(f"{len(patterns)} flipping pattern(s)")
         for pattern in patterns:
             print()
@@ -236,6 +329,98 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         if args.stats:
             print()
             print(result.stats.summary())
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    taxonomy = load_taxonomy(args.taxonomy)
+    store_dir = Path(args.store)
+    if (store_dir / "manifest.json").is_file():
+        if args.init_from is not None:
+            raise ReproError(
+                f"{store_dir} is already a shard store; drop --init-from"
+            )
+        store = ShardedTransactionStore.open(store_dir, taxonomy)
+    else:
+        if args.init_from is None:
+            raise ReproError(
+                f"{store_dir} is not a shard store; pass --init-from "
+                "FILE to create it"
+            )
+        store = ShardedTransactionStore.ingest(
+            load_transactions(args.init_from),
+            taxonomy,
+            store_dir,
+            rows_per_shard=args.rows_per_shard,
+        )
+        print(f"created {store.describe()}")
+    appended: list[dict[str, object]] = []
+    for path in args.append or []:
+        rows = load_transactions(path)
+        new_shards = store.append_batch(
+            rows, rows_per_shard=args.rows_per_shard
+        )
+        appended.append(
+            {
+                "file": str(path),
+                "rows": len(rows),
+                "new_shards": new_shards,
+            }
+        )
+    threshold_options = (args.gamma, args.epsilon, args.min_support)
+    result = None
+    if any(option is not None for option in threshold_options):
+        if not all(option is not None for option in threshold_options):
+            raise ReproError(
+                "mining the grown store needs --gamma, --epsilon and "
+                "--min-support together"
+            )
+        thresholds = Thresholds(
+            gamma=args.gamma,
+            epsilon=args.epsilon,
+            min_support=_parse_min_support(args.min_support),
+        )
+        result = mine_flipping_patterns(
+            store,
+            thresholds,
+            measure=args.measure,
+            pruning=_PRUNING_CHOICES[args.pruning](),
+            backend=args.backend,
+            memory_budget_mb=args.memory_budget_mb,
+            max_k=args.max_k,
+        )
+    if args.json:
+        payload: dict[str, object] = {
+            "store": str(store_dir),
+            "n_transactions": store.n_transactions,
+            "n_shards": store.n_shards,
+            "appended": appended,
+        }
+        if result is not None:
+            payload["config"] = result.config
+            payload["patterns"] = [
+                pattern.to_dict() for pattern in result.patterns
+            ]
+            if args.stats:
+                payload["stats"] = result.stats.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        for info in appended:
+            shards = ", ".join(str(s) for s in info["new_shards"])  # type: ignore[union-attr]
+            print(
+                f"appended {info['rows']} row(s) from {info['file']} "
+                f"as shard(s) [{shards}]"
+            )
+        print(store.describe())
+        if result is not None:
+            print()
+            print(f"{len(result.patterns)} flipping pattern(s)")
+            for pattern in result.patterns:
+                print()
+                print(pattern.describe())
+            if args.stats:
+                print()
+                print(result.stats.summary())
     return 0
 
 
@@ -387,6 +572,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "mine": _cmd_mine,
+        "update": _cmd_update,
         "rules": _cmd_rules,
         "generate": _cmd_generate,
         "bench": _cmd_bench,

@@ -31,7 +31,7 @@ wall-clock time.
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -47,6 +47,7 @@ __all__ = [
     "HorizontalBackend",
     "NumpyBackend",
     "PartitionedBackend",
+    "DeltaCounter",
     "ShardBackendPool",
     "make_backend",
     "backend_name_of",
@@ -362,6 +363,17 @@ class ShardBackendPool:
     resident index structures stay proportional to the budget instead
     of the dataset.  Scans performed by evicted backends are retained
     so the store-wide ``scans`` counter stays truthful.
+
+    Two residency guarantees hold for *any* budget, including one
+    smaller than a single shard:
+
+    * the shard being admitted is always admitted (the pool runs
+      temporarily over budget rather than serving nothing), so there
+      is always at least one resident backend after an access;
+    * a *pinned* shard — one currently being counted through
+      :meth:`iter_backends` — is never chosen as an eviction victim,
+      so re-entrant pool access (another shard faulted in mid-count)
+      cannot evict and silently rebuild the backend in use.
     """
 
     #: estimated resident bytes per on-disk shard byte (index
@@ -393,6 +405,9 @@ class ShardBackendPool:
         #: insertion order == LRU order (moved on access)
         self._resident: dict[int, CountingBackend | None] = {}
         self._resident_bytes: dict[int, int] = {}
+        #: shards currently handed out by iter_backends; exempt from
+        #: eviction until the consumer is done with them
+        self._pinned: set[int] = set()
         self._retired_scans = 0
         #: builds beyond the first per shard == evictions paid for
         self.rebuilds = 0
@@ -431,11 +446,21 @@ class ShardBackendPool:
         if self._budget_bytes is None:
             return
         while (
-            self._resident
-            and sum(self._resident_bytes.values()) + incoming_bytes
+            sum(self._resident_bytes.values()) + incoming_bytes
             > self._budget_bytes
         ):
-            victim = next(iter(self._resident))
+            victim = next(
+                (
+                    index
+                    for index in self._resident
+                    if index not in self._pinned
+                ),
+                None,
+            )
+            if victim is None:
+                # Only pinned shards (or nothing) left: run over budget
+                # rather than evict a backend that is mid-count.
+                return
             backend = self._resident.pop(victim)
             self._resident_bytes.pop(victim)
             if backend is not None:
@@ -466,11 +491,21 @@ class ShardBackendPool:
         return backend
 
     def iter_backends(self) -> Iterator[tuple[int, CountingBackend]]:
-        """Stream ``(shard_index, backend)`` over non-empty shards."""
+        """Stream ``(shard_index, backend)`` over non-empty shards.
+
+        The yielded shard is pinned while the consumer holds it, so
+        nested pool accesses (or another iteration) cannot evict the
+        backend out from under a count in progress.
+        """
         for index in range(self._store.n_shards):
             backend = self.backend(index)
-            if backend is not None:
+            if backend is None:
+                continue
+            self._pinned.add(index)
+            try:
                 yield index, backend
+            finally:
+                self._pinned.discard(index)
 
 
 class PartitionedBackend:
@@ -586,6 +621,213 @@ class PartitionedBackend:
         ):
             merge_shard_counts(merged, counts)
         return merged
+
+
+class DeltaCounter(PartitionedBackend):
+    """Incremental (SON-style, exact) counting over a *growing* store.
+
+    A :class:`PartitionedBackend` whose per-level node supports and
+    per-itemset supports are **cached and maintained under deltas**:
+    when the underlying :class:`~repro.data.shards.ShardedTransactionStore`
+    grows through ``append_batch``, :meth:`refresh` counts the *delta
+    shards only* and folds their contributions into the cached global
+    tallies.  Shards partition the transactions, so cached support +
+    delta support is the exact global support — the same SON merge the
+    partitioned path already relies on, applied over time instead of
+    over space.
+
+    Every public counting entry point refreshes first, so a counter is
+    never served stale: cache hits are dict lookups, cache misses are
+    counted over all shards (through the memory-budgeted pool) and
+    memoized.  Re-mining after a delta therefore pays
+
+    * one backend build + one count pass over the delta shards, and
+    * full counting only for candidates never seen before,
+
+    instead of re-reading and re-counting the whole store — the cost
+    profile :class:`~repro.engine.incremental.IncrementalMiner` and
+    the ``repro bench incremental`` harness quantify.
+
+    With ``memory_budget_mb`` set, the supports cache honors the
+    budget too: once its estimated footprint reaches the budget, new
+    entries are simply not memoized (counts stay exact — uncached
+    candidates are recounted on demand), so the partitioned path's
+    bounded-memory contract survives the caching layer.
+    """
+
+    #: executors consult this to route counting through the cache
+    serves_cached_supports = True
+
+    #: rough resident bytes per cached itemset entry (tuple key,
+    #: ints, dict slot) — only used to turn ``memory_budget_mb``
+    #: into a cache-size cap, so exactness does not matter
+    CACHE_BYTES_PER_ITEMSET = 200
+
+    def __init__(
+        self,
+        store: ShardedTransactionStore,
+        inner: str = "bitmap",
+        memory_budget_mb: float | None = None,
+    ) -> None:
+        super().__init__(
+            store, inner=inner, memory_budget_mb=memory_budget_mb
+        )
+        #: shards [0, _counted) are folded into every cache below
+        self._counted = store.n_shards
+        #: level -> {itemset -> exact support over counted shards}
+        self._supports_cache: dict[
+            int, dict[tuple[int, ...], int]
+        ] = {}
+        self._max_cached_itemsets = (
+            None
+            if memory_budget_mb is None
+            else max(
+                1024,
+                int(memory_budget_mb * 1024 * 1024)
+                // self.CACHE_BYTES_PER_ITEMSET,
+            )
+        )
+        #: instrumentation (cumulative across refreshes/runs)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.refreshes = 0
+        self.delta_shards_counted = 0
+
+    # ------------------------------------------------------------------
+    # delta maintenance
+    # ------------------------------------------------------------------
+
+    @property
+    def counted_shards(self) -> int:
+        """Number of shards folded into the caches so far."""
+        return self._counted
+
+    @property
+    def cached_itemsets(self) -> int:
+        """Itemsets held in the supports cache (all levels)."""
+        return sum(len(cache) for cache in self._supports_cache.values())
+
+    def refresh(self) -> list[int]:
+        """Fold shards appended since the last refresh into the caches.
+
+        Counts node supports (for every cached level) and every cached
+        itemset over the *new shards only*, adds the delta counts to
+        the cached global tallies, and returns the new shard indexes.
+        A no-op (returning ``[]``) when the store has not grown.
+        """
+        n_shards = self._pool.store.n_shards
+        if n_shards == self._counted:
+            return []
+        new_indices = list(range(self._counted, n_shards))
+        # Advance first: a cache miss during this refresh (impossible
+        # today, but cheap insurance) must count over the new total.
+        self._counted = n_shards
+        self.refreshes += 1
+        for index in new_indices:
+            backend = self._pool.backend(index)
+            if backend is None:  # empty shard: zero contribution
+                continue
+            self.delta_shards_counted += 1
+            for level, counts in self._node_supports.items():
+                for node_id, count in backend.node_supports(level).items():
+                    counts[node_id] += count
+            for level, cache in self._supports_cache.items():
+                if not cache:
+                    continue
+                delta = backend.supports_batched(level, list(cache))
+                for itemset, count in delta.items():
+                    cache[itemset] += count
+        return new_indices
+
+    # ------------------------------------------------------------------
+    # cache plumbing (shared with the partitioned executor)
+    # ------------------------------------------------------------------
+
+    def cached_split(
+        self, level: int, itemsets: Sequence[tuple[int, ...]]
+    ) -> tuple[dict[tuple[int, ...], int], list[tuple[int, ...]]]:
+        """Split a batch into cached supports and uncached itemsets."""
+        cache = self._supports_cache.setdefault(level, {})
+        hits: dict[tuple[int, ...], int] = {}
+        misses: list[tuple[int, ...]] = []
+        for itemset in itemsets:
+            count = cache.get(itemset)
+            if count is None:
+                misses.append(itemset)
+            else:
+                hits[itemset] = count
+        self.cache_hits += len(hits)
+        self.cache_misses += len(misses)
+        return hits, misses
+
+    def store_counts(
+        self, level: int, counts: dict[tuple[int, ...], int]
+    ) -> None:
+        """Memoize freshly merged global counts (must cover all
+        currently counted shards — call :meth:`refresh` first).
+        Entries beyond the budget-derived cache cap are dropped, not
+        stored: they will be recounted on demand, exactly."""
+        cache = self._supports_cache.setdefault(level, {})
+        if self._max_cached_itemsets is None:
+            cache.update(counts)
+            return
+        room = self._max_cached_itemsets - self.cached_itemsets
+        if room <= 0:
+            return
+        for itemset, count in counts.items():
+            cache[itemset] = count
+            room -= 1
+            if room <= 0:
+                break
+
+    def serve(
+        self,
+        level: int,
+        itemsets: Sequence[tuple[int, ...]],
+        *,
+        chunk_size: int | None = None,
+        fan: "Callable[[int, list[tuple[int, ...]]], Iterable[tuple[int, dict[tuple[int, ...], int]]]] | None" = None,
+    ) -> dict[tuple[int, ...], int]:
+        """The cache-serving counting envelope: refresh, split into
+        hits/misses, count the misses per shard (through ``fan`` —
+        e.g. the partitioned executor's worker fan-out — or the
+        in-process shard loop), memoize, and return exact supports in
+        the request's itemset order.  The single implementation behind
+        both :meth:`supports_batched` and the executor path."""
+        self.refresh()
+        hits, misses = self.cached_split(level, itemsets)
+        if misses:
+            merged: dict[tuple[int, ...], int] = {
+                itemset: 0 for itemset in misses
+            }
+            shard_counts = (
+                self.shard_supports_batched(
+                    level, misses, chunk_size=chunk_size
+                )
+                if fan is None
+                else fan(level, misses)
+            )
+            for _index, counts in shard_counts:
+                merge_shard_counts(merged, counts)
+            self.store_counts(level, merged)
+            hits.update(merged)
+        return {itemset: hits[itemset] for itemset in itemsets}
+
+    # ------------------------------------------------------------------
+    # CountingBackend protocol (cache-serving overrides)
+    # ------------------------------------------------------------------
+
+    def node_supports(self, level: int) -> dict[int, int]:
+        self.refresh()
+        return super().node_supports(level)
+
+    def supports_batched(
+        self,
+        level: int,
+        itemsets: Sequence[tuple[int, ...]],
+        chunk_size: int | None = None,
+    ) -> dict[tuple[int, ...], int]:
+        return self.serve(level, itemsets, chunk_size=chunk_size)
 
 
 _BACKENDS = {

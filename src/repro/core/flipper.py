@@ -40,6 +40,7 @@ from pathlib import Path
 from repro.core.cells import Cell
 from repro.core.counting import (
     CountingBackend,
+    DeltaCounter,
     PartitionedBackend,
     make_backend,
 )
@@ -50,7 +51,10 @@ from repro.core.patterns import ChainLink, FlippingPattern, MiningResult
 from repro.core.stats import MiningStats, Timer
 from repro.core.thresholds import ResolvedThresholds, Thresholds
 from repro.data.database import TransactionDatabase
-from repro.data.shards import ShardedTransactionStore
+from repro.data.shards import (
+    ShardedTransactionStore,
+    open_or_partition_store,
+)
 from repro.engine.executors import Executor, make_executor
 from repro.engine.partition import (
     PartitionedExecutor,
@@ -187,6 +191,8 @@ class FlipperMiner:
         shard_dir: str | Path | None = None,
     ) -> None:
         self._shard_tmpdir: tempfile.TemporaryDirectory[str] | None = None
+        self._raw_thresholds = thresholds
+        self._incremental_runner: object | None = None
         store = self._resolve_store(
             database, partitions, memory_budget_mb, shard_dir
         )
@@ -276,20 +282,10 @@ class FlipperMiner:
     ) -> ShardedTransactionStore | None:
         """Decide whether this run is partitioned, materializing the
         shard store when ``partitions=N`` asks for one."""
-        if isinstance(database, ShardedTransactionStore):
-            if partitions is not None and partitions != database.n_shards:
-                raise ConfigError(
-                    f"partitions={partitions} conflicts with a store of "
-                    f"{database.n_shards} shard(s); drop the argument"
-                )
-            if shard_dir is not None:
-                raise ConfigError(
-                    "shard_dir names where partitions=N materializes "
-                    "shards; this store already lives at "
-                    f"{database.directory}"
-                )
-            return database
-        if partitions is None:
+        if (
+            not isinstance(database, ShardedTransactionStore)
+            and partitions is None
+        ):
             if memory_budget_mb is not None:
                 raise ConfigError(
                     "memory_budget_mb bounds the partitioned path; "
@@ -300,16 +296,10 @@ class FlipperMiner:
                     "shard_dir only applies with partitions=N"
                 )
             return None
-        if partitions < 1:
-            raise ConfigError(f"partitions must be >= 1, got {partitions}")
-        if shard_dir is None:
-            self._shard_tmpdir = tempfile.TemporaryDirectory(
-                prefix="repro-shards-"
-            )
-            shard_dir = self._shard_tmpdir.name
-        return ShardedTransactionStore.partition_database(
-            database, shard_dir, partitions
+        store, self._shard_tmpdir = open_or_partition_store(
+            database, partitions, shard_dir
         )
+        return store
 
     def _init_partitioned(
         self,
@@ -320,9 +310,15 @@ class FlipperMiner:
         chunk_size: int | None,
         memory_budget_mb: float | None,
     ) -> None:
-        """Build the partitioned backend + executor pair."""
+        """Build the partitioned backend + executor pair.
+
+        Named backends are wrapped in a :class:`DeltaCounter` (a
+        caching, delta-maintainable :class:`PartitionedBackend`), so
+        every partitioned run leaves warm support caches behind and
+        :meth:`update` can re-mine a grown store incrementally.
+        """
         if isinstance(backend, str):
-            self._backend = PartitionedBackend(
+            self._backend = DeltaCounter(
                 store, inner=backend, memory_budget_mb=memory_budget_mb
             )
         elif isinstance(backend, PartitionedBackend):
@@ -388,6 +384,30 @@ class FlipperMiner:
 
     def mine(self) -> MiningResult:
         """Run the sweep and return the flipping patterns."""
+        # Re-resolve thresholds against the current transaction count
+        # and drop per-run cross-cell state: update() grows the shard
+        # store in place, so a repeated mine() must bind fractional
+        # minimum supports to the grown N and must not reuse cells or
+        # cached pair supports counted over the smaller store (for a
+        # static database all of this is a no-op re-derivation).
+        resolved = self._raw_thresholds.resolve(
+            self._height, self._database.n_transactions
+        )
+        if resolved != self._thresholds:
+            self._thresholds = resolved
+            self._context.thresholds = resolved
+        context = self._context
+        context.cells.clear()
+        context.node_supports.clear()
+        context.frequent_items.clear()
+        context.banned.clear()
+        context.pair_supports.clear()
+        context.removal_lists.clear()
+        self._k_cap = None
+        self._stats = MiningStats(
+            method=self._pruning.name, measure=self._measure.name
+        )
+        context.stats = self._stats
         try:
             with Timer() as timer:
                 self._prepare_levels()
@@ -409,6 +429,7 @@ class FlipperMiner:
             self._executor, "extra_scans", 0
         )
         self._stats.n_patterns = len(patterns)
+        self._n_mined_transactions = self._database.n_transactions
         config = {
             "method": self._pruning.name,
             "measure": self._measure.name,
@@ -431,7 +452,62 @@ class FlipperMiner:
                 else self._memory_budget_mb
             ),
         }
-        return MiningResult(patterns=patterns, stats=self._stats, config=config)
+        result = MiningResult(
+            patterns=patterns, stats=self._stats, config=config
+        )
+        self._last_result = result
+        return result
+
+    def update(self, transactions) -> MiningResult:
+        """Append a delta batch to the shard store and re-mine
+        incrementally (see :class:`~repro.engine.incremental.
+        IncrementalMiner`).
+
+        Only available on partitioned runs (``partitions=N`` or a
+        :class:`ShardedTransactionStore`): the delta lands in new
+        shard files, the run's :class:`DeltaCounter` folds the delta
+        counts into its cached global supports, and the returned
+        patterns are byte-identical to a from-scratch mine of the
+        grown store.
+        """
+        if self._store is None:
+            raise ConfigError(
+                "update() maintains results over an on-disk shard "
+                "store; pass partitions=N or a ShardedTransactionStore "
+                "to the miner"
+            )
+        if self._incremental_runner is None:
+            # Local import: engine.incremental imports this module.
+            from repro.engine.incremental import IncrementalMiner
+
+            counter = (
+                self._backend
+                if isinstance(self._backend, DeltaCounter)
+                else DeltaCounter(
+                    self._store,
+                    inner=self._backend.inner_name,  # type: ignore[union-attr]
+                    memory_budget_mb=self._backend.memory_budget_mb,  # type: ignore[union-attr]
+                )
+            )
+            runner = IncrementalMiner(
+                self._store,
+                self._raw_thresholds,
+                measure=self._measure,
+                pruning=self._pruning,
+                backend=counter,
+                workers=getattr(self._executor, "workers", None),
+                chunk_size=getattr(self._executor, "chunk_size", None),
+                max_k=self._max_k,
+            )
+            last = getattr(self, "_last_result", None)
+            if (
+                last is not None
+                and self._n_mined_transactions
+                == self._database.n_transactions
+            ):
+                runner.seed(last, self._thresholds)
+            self._incremental_runner = runner
+        return self._incremental_runner.update(transactions)  # type: ignore[attr-defined]
 
     @property
     def stats(self) -> MiningStats:

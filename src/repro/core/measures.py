@@ -23,6 +23,7 @@ transaction count ``N``.
 from __future__ import annotations
 
 import math
+import re
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Callable
@@ -187,19 +188,29 @@ MEASURES: dict[str, Measure] = {
     )
 }
 
+def _normalize_measure_name(name: str) -> str:
+    """Canonical lookup key: lowercase, with whitespace/hyphen/underscore
+    runs collapsed to a single underscore, so ``"Kulc"``, ``" cosine "``
+    and ``"All Confidence"`` all resolve."""
+    return re.sub(r"[\s_-]+", "_", name.strip().lower())
+
+
 _ALIAS_INDEX: dict[str, str] = {}
 for _measure in MEASURES.values():
-    _ALIAS_INDEX[_measure.name] = _measure.name
+    _ALIAS_INDEX[_normalize_measure_name(_measure.name)] = _measure.name
     for _alias in _measure.aliases:
-        _ALIAS_INDEX[_alias] = _measure.name
+        _ALIAS_INDEX[_normalize_measure_name(_alias)] = _measure.name
 
 
 def get_measure(measure: str | Measure) -> Measure:
-    """Resolve a measure by name/alias, or pass an instance through."""
+    """Resolve a measure by name/alias, or pass an instance through.
+
+    Resolution is insensitive to case, surrounding whitespace, and the
+    choice of space/hyphen/underscore separator.
+    """
     if isinstance(measure, Measure):
         return measure
-    key = measure.strip().lower()
-    canonical = _ALIAS_INDEX.get(key)
+    canonical = _ALIAS_INDEX.get(_normalize_measure_name(measure))
     if canonical is None:
         known = ", ".join(sorted(MEASURES))
         raise ConfigError(f"unknown measure {measure!r}; known: {known}")

@@ -21,6 +21,14 @@ Two ways to build a store:
   ``memory_budget_mb`` estimate — the true out-of-core path, which
   never holds more than one shard of raw transactions.
 
+An existing store *grows* through
+:meth:`ShardedTransactionStore.append_batch`: a delta batch is written
+as one or more brand-new shard files and the manifest is extended in
+place — existing shard files are never rewritten, so per-shard
+artifacts derived from them (resident counting backends, cached
+supports) stay valid and incremental mining only has to look at the
+delta shards (see :class:`~repro.core.counting.DeltaCounter`).
+
 On disk a store is a directory of JSONL shard files plus a
 ``manifest.json`` recording the shard layout.  The taxonomy is bound
 at construction/open time (exactly like ``TransactionDatabase``), so
@@ -31,15 +39,20 @@ tree and mining results cannot drift between open sessions.
 from __future__ import annotations
 
 import json
+import tempfile
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from repro.data.database import TransactionDatabase
-from repro.errors import DataError
+from repro.errors import ConfigError, DataError
 from repro.taxonomy.rebalance import rebalance_with_copies
 from repro.taxonomy.tree import Taxonomy
 
-__all__ = ["ShardedTransactionStore", "estimate_transaction_bytes"]
+__all__ = [
+    "ShardedTransactionStore",
+    "estimate_transaction_bytes",
+    "open_or_partition_store",
+]
 
 _MANIFEST_NAME = "manifest.json"
 _MANIFEST_VERSION = 1
@@ -228,6 +241,87 @@ class ShardedTransactionStore:
         return cls(directory, taxonomy)
 
     # ------------------------------------------------------------------
+    # delta ingestion
+    # ------------------------------------------------------------------
+
+    def append_batch(
+        self,
+        transactions: Iterable[Iterable[str]],
+        *,
+        rows_per_shard: int | None = None,
+    ) -> list[int]:
+        """Append a delta batch as new shard(s); never rewrites data.
+
+        The batch is written to fresh shard files (split every
+        ``rows_per_shard`` rows when set, one shard otherwise) and the
+        manifest is extended with them.  Returns the indexes of the
+        new shards — the exact set an incremental consumer has to
+        count.  An empty batch is a no-op returning ``[]``.
+        """
+        if rows_per_shard is not None and rows_per_shard < 1:
+            raise DataError(
+                f"rows_per_shard must be >= 1, got {rows_per_shard}"
+            )
+        rows = [tuple(str(item) for item in raw) for raw in transactions]
+        if not rows:
+            return []
+        # Validate before the first write: a bad delta must not leave
+        # the on-disk store half-extended.
+        id_by_name = self._id_by_name()
+        for row_index, row in enumerate(rows):
+            for name in row:
+                if name not in id_by_name:
+                    raise DataError(
+                        f"delta transaction {row_index}: unknown item "
+                        f"{name!r}"
+                    )
+        new_indices: list[int] = []
+        step = rows_per_shard or len(rows)
+        for start in range(0, len(rows), step):
+            chunk = rows[start : start + step]
+            index = len(self._shard_files)
+            name = _shard_file_name(index)
+            path = self._directory / name
+            if path.exists():
+                raise DataError(
+                    f"refusing to overwrite existing shard file {name}"
+                )
+            _write_shard(path, chunk)
+            self._shard_files.append(name)
+            self._shard_sizes.append(len(chunk))
+            self._n_transactions += len(chunk)
+            new_indices.append(index)
+        _write_manifest(self._directory, self._shard_files, self._shard_sizes)
+        # Cached per-level widths stay exact: fold in the delta rows
+        # instead of re-streaming every shard.
+        for level, best in list(self._width_cache.items()):
+            self._width_cache[level] = max(
+                best, self._rows_width_at_level(rows, level, id_by_name)
+            )
+        return new_indices
+
+    def _id_by_name(self) -> dict[str, int]:
+        return {
+            self._taxonomy.name_of(item): item
+            for item in self._taxonomy.item_ids
+        }
+
+    def _rows_width_at_level(
+        self,
+        rows: list[tuple[str, ...]],
+        level: int,
+        id_by_name: dict[str, int],
+    ) -> int:
+        """Largest distinct-node width among ``rows`` at ``level``."""
+        mapping = self._taxonomy.item_ancestor_map(level)
+        best = 0
+        for row in rows:
+            nodes = {mapping[id_by_name[name]] for name in row}
+            if len(nodes) > best:
+                best = len(nodes)
+        return best
+
+    # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
 
@@ -304,10 +398,7 @@ class ShardedTransactionStore:
         computed by streaming the shards (never all at once)."""
         if level not in self._width_cache:
             mapping = self._taxonomy.item_ancestor_map(level)
-            id_by_name = {
-                self._taxonomy.name_of(item): item
-                for item in self._taxonomy.item_ids
-            }
+            id_by_name = self._id_by_name()
             best = 0
             for index in range(self.n_shards):
                 for row in self.shard_transactions(index):
@@ -345,6 +436,51 @@ class ShardedTransactionStore:
             f"ShardedTransactionStore(n={self._n_transactions}, "
             f"shards={self.n_shards})"
         )
+
+
+def open_or_partition_store(
+    database: TransactionDatabase | ShardedTransactionStore,
+    partitions: int | None,
+    shard_dir: str | Path | None,
+    *,
+    tmp_prefix: str = "repro-shards-",
+) -> tuple[
+    ShardedTransactionStore, "tempfile.TemporaryDirectory[str] | None"
+]:
+    """Resolve a miner's ``(database, partitions, shard_dir)`` trio
+    into an on-disk store — the single implementation behind
+    :class:`~repro.core.flipper.FlipperMiner` and
+    :class:`~repro.engine.incremental.IncrementalMiner`.
+
+    An existing store passes through (``partitions`` must agree and
+    ``shard_dir`` must be unset); an in-memory database is split into
+    ``partitions or 1`` shards under ``shard_dir`` or a fresh
+    temporary directory, which is returned so the caller can own its
+    lifetime (it self-deletes when garbage-collected).
+    """
+    if isinstance(database, ShardedTransactionStore):
+        if partitions is not None and partitions != database.n_shards:
+            raise ConfigError(
+                f"partitions={partitions} conflicts with a store of "
+                f"{database.n_shards} shard(s); drop the argument"
+            )
+        if shard_dir is not None:
+            raise ConfigError(
+                "shard_dir names where partitions=N materializes "
+                "shards; this store already lives at "
+                f"{database.directory}"
+            )
+        return database, None
+    if partitions is not None and partitions < 1:
+        raise ConfigError(f"partitions must be >= 1, got {partitions}")
+    tmpdir: tempfile.TemporaryDirectory[str] | None = None
+    if shard_dir is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix=tmp_prefix)
+        shard_dir = tmpdir.name
+    store = ShardedTransactionStore.partition_database(
+        database, shard_dir, partitions or 1
+    )
+    return store, tmpdir
 
 
 # ----------------------------------------------------------------------

@@ -32,6 +32,11 @@ class VerticalIndex:
         for position, transaction in enumerate(database):
             mask = 1 << position
             for item in transaction:
+                if item not in item_bits:
+                    raise DataError(
+                        f"transaction {position}: item id {item} is not "
+                        "an item of the bound taxonomy"
+                    )
                 item_bits[item] |= mask
         # level height..1: bitset of node = OR over items beneath it
         self._level_bits: dict[int, dict[int, int]] = {}

@@ -19,6 +19,7 @@ from repro.engine.executors import (
     SerialExecutor,
     make_executor,
 )
+from repro.engine.incremental import IncrementalMiner
 from repro.engine.partition import (
     PartitionedCountStage,
     PartitionedExecutor,
@@ -44,6 +45,7 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "PartitionedExecutor",
+    "IncrementalMiner",
     "make_executor",
     "EXECUTORS",
     "CellTask",

@@ -1,0 +1,271 @@
+"""Incremental delta mining over a growing shard store.
+
+The batch path re-mines the whole store on every change; this module
+keeps mining results fresh while paying only for what changed.  An
+:class:`IncrementalMiner` owns three pieces of durable state:
+
+* a :class:`~repro.data.shards.ShardedTransactionStore` that grows
+  through ``append_batch`` — deltas land in brand-new shard files and
+  the existing shards (and anything derived from them) stay valid;
+* a :class:`~repro.core.counting.DeltaCounter`, whose cached global
+  node/itemset supports are maintained exactly under deltas by
+  counting the *delta shards only* (the SON merge applied over time);
+* the last :class:`~repro.core.patterns.MiningResult` together with
+  the resolved thresholds it was mined under.
+
+``update(transactions)`` appends the delta and re-runs the full
+generate → count → label → prune pipeline through a fresh
+:class:`~repro.core.flipper.FlipperMiner` over the shared counter.
+The sweep is exact and byte-identical to a from-scratch mine of the
+concatenated database by construction — every stage sees the same
+exact global supports — while the count stage, the only stage whose
+cost scales with the dataset, degenerates to dict lookups for every
+(h,k)-cell whose candidates were already counted: only supports that
+actually changed (the delta shards' contributions, folded in by
+``refresh``) and candidates never seen before touch transaction data.
+
+Two run modes are reported in ``result.config["incremental"]``:
+
+* ``"incremental"`` — resolved thresholds unchanged; cached counts
+  and, for an empty delta, the previous result itself are reused;
+* ``"full"`` — the thresholds *shifted* (fractional minimum supports
+  re-resolved against a grown transaction count), so nothing mined
+  earlier can be trusted and the update falls back to a full re-mine
+  (support caches are threshold-independent and survive even this).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.core.counting import DeltaCounter
+from repro.core.measures import Measure, get_measure
+from repro.core.patterns import MiningResult
+from repro.core.thresholds import ResolvedThresholds, Thresholds
+from repro.data.database import TransactionDatabase
+from repro.data.shards import (
+    ShardedTransactionStore,
+    open_or_partition_store,
+)
+from repro.errors import ConfigError
+
+__all__ = ["IncrementalMiner"]
+
+
+class IncrementalMiner:
+    """Keep flipping-pattern results fresh under streaming deltas.
+
+    Parameters
+    ----------
+    database:
+        The starting transactions: a :class:`ShardedTransactionStore`
+        (used in place, and grown by :meth:`update`) or an in-memory
+        :class:`TransactionDatabase` (partitioned into ``partitions``
+        on-disk shards under ``shard_dir`` or a temporary directory).
+    thresholds:
+        γ, ε and per-level minimum supports.  Absolute counts keep
+        updates on the incremental path; fractional supports shift
+        with the transaction count, forcing the full-re-mine fallback.
+    measure, pruning, max_k:
+        Passed through to every underlying mining run.
+    backend:
+        Inner per-shard backend name (``bitmap``/``horizontal``/
+        ``numpy``), or an existing :class:`DeltaCounter` to adopt
+        (it must count the same store; its caches are reused).
+    workers, chunk_size:
+        Partitioned-executor configuration for the underlying runs.
+    memory_budget_mb:
+        Resident-shard-backend budget of the counter's pool (ignored
+        when adopting an existing counter, which carries its own).
+    """
+
+    def __init__(
+        self,
+        database: TransactionDatabase | ShardedTransactionStore,
+        thresholds: Thresholds,
+        *,
+        measure: str | Measure = "kulczynski",
+        pruning: object | None = None,
+        backend: str | DeltaCounter = "bitmap",
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        max_k: int | None = None,
+        partitions: int | None = None,
+        memory_budget_mb: float | None = None,
+        shard_dir: str | Path | None = None,
+    ) -> None:
+        store, self._shard_tmpdir = open_or_partition_store(
+            database,
+            partitions,
+            shard_dir,
+            tmp_prefix="repro-delta-shards-",
+        )
+        self._store = store
+        if isinstance(backend, DeltaCounter):
+            if backend.store is not store:
+                raise ConfigError(
+                    "the DeltaCounter counts a different store than the "
+                    "one being mined; build it from the same "
+                    "ShardedTransactionStore"
+                )
+            if memory_budget_mb is not None:
+                raise ConfigError(
+                    "memory_budget_mb configures a counter the miner "
+                    "builds; pass it to your DeltaCounter instead"
+                )
+            self._counter = backend
+        else:
+            self._counter = DeltaCounter(
+                store, inner=backend, memory_budget_mb=memory_budget_mb
+            )
+        self._thresholds = thresholds
+        self._measure = get_measure(measure)
+        self._pruning = pruning
+        self._workers = workers
+        self._chunk_size = chunk_size
+        self._max_k = max_k
+        self._last_result: MiningResult | None = None
+        self._last_resolved: ResolvedThresholds | None = None
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> ShardedTransactionStore:
+        return self._store
+
+    @property
+    def counter(self) -> DeltaCounter:
+        return self._counter
+
+    @property
+    def last_result(self) -> MiningResult | None:
+        """The most recent mining result (``None`` before the first)."""
+        return self._last_result
+
+    def seed(
+        self, result: MiningResult, resolved: ResolvedThresholds
+    ) -> None:
+        """Adopt a result already mined over the current store state
+        (lets :meth:`~repro.core.flipper.FlipperMiner.update` hand over
+        its first full mine instead of re-paying it)."""
+        self._last_result = result
+        self._last_resolved = resolved
+
+    def _resolve(self) -> ResolvedThresholds:
+        return self._thresholds.resolve(
+            self._store.taxonomy.height, self._store.n_transactions
+        )
+
+    # ------------------------------------------------------------------
+    # mining
+    # ------------------------------------------------------------------
+
+    def mine(self) -> MiningResult:
+        """Full mine of the current store (fills the counter caches)."""
+        return self._run(mode="initial", delta_shards=0, delta_rows=0)
+
+    def update(self, transactions: Iterable[Iterable[str]]) -> MiningResult:
+        """Append a delta batch and return fresh, exact results.
+
+        The patterns are byte-identical to a from-scratch mine of the
+        grown store; only the delta shards (and never-seen candidates)
+        are counted against transaction data.  An empty delta returns
+        the previous result unchanged.
+        """
+        new_shards = self._store.append_batch(transactions)
+        delta_rows = sum(
+            self._store.shard_sizes[index] for index in new_shards
+        )
+        self._counter.refresh()
+        resolved = self._resolve()
+        if (
+            not new_shards
+            and self._last_result is not None
+            and resolved == self._last_resolved
+        ):
+            # Nothing changed: the previous result is still exact.
+            # Share patterns/stats but annotate a *copied* config, so
+            # the result the caller already holds keeps its metadata.
+            result = MiningResult(
+                patterns=self._last_result.patterns,
+                stats=self._last_result.stats,
+                config=dict(self._last_result.config),
+            )
+            self._annotate(
+                result,
+                mode="noop",
+                delta_shards=0,
+                delta_rows=0,
+                cache_hits=0,
+                cache_misses=0,
+            )
+            return result
+        mode = "incremental"
+        if (
+            self._last_resolved is not None
+            and resolved != self._last_resolved
+        ):
+            # Fractional thresholds re-resolved against the grown N:
+            # nothing mined earlier can be reused — full re-mine.
+            mode = "full"
+        return self._run(
+            mode=mode,
+            delta_shards=len(new_shards),
+            delta_rows=delta_rows,
+        )
+
+    def _run(
+        self, mode: str, delta_shards: int, delta_rows: int
+    ) -> MiningResult:
+        # Local import: core.flipper imports the engine package.
+        from repro.core.flipper import FlipperMiner
+
+        hits_before = self._counter.cache_hits
+        misses_before = self._counter.cache_misses
+        miner = FlipperMiner(
+            self._store,
+            self._thresholds,
+            measure=self._measure,
+            pruning=self._pruning,  # type: ignore[arg-type]
+            backend=self._counter,
+            executor="partitioned",
+            workers=self._workers,
+            chunk_size=self._chunk_size,
+            max_k=self._max_k,
+        )
+        result = miner.mine()
+        self._annotate(
+            result,
+            mode=mode,
+            delta_shards=delta_shards,
+            delta_rows=delta_rows,
+            cache_hits=self._counter.cache_hits - hits_before,
+            cache_misses=self._counter.cache_misses - misses_before,
+        )
+        self._last_result = result
+        self._last_resolved = self._resolve()
+        return result
+
+    def _annotate(
+        self,
+        result: MiningResult,
+        *,
+        mode: str,
+        delta_shards: int,
+        delta_rows: int,
+        cache_hits: int,
+        cache_misses: int,
+    ) -> None:
+        result.config["incremental"] = {
+            "mode": mode,
+            "n_shards": self._store.n_shards,
+            "counted_shards": self._counter.counted_shards,
+            "delta_shards": delta_shards,
+            "delta_rows": delta_rows,
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "cached_itemsets": self._counter.cached_itemsets,
+        }

@@ -34,6 +34,7 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
 
 from repro.core.counting import (
+    DeltaCounter,
     PartitionedBackend,
     ShardBackendPool,
     merge_shard_counts,
@@ -185,6 +186,12 @@ class PartitionedExecutor:
         self.batches += 1
         if not itemsets:
             return []
+        return self._fan_shards(level, list(itemsets))
+
+    def _fan_shards(
+        self, level: int, itemsets: list[tuple[int, ...]]
+    ) -> list[tuple[int, dict[tuple[int, ...], int]]]:
+        """Raw per-shard fan-out of one batch (no caching layer)."""
         if self._workers == 1 or self._backend.n_shards == 1:
             results = list(
                 self._backend.shard_supports_batched(
@@ -193,7 +200,6 @@ class PartitionedExecutor:
             )
             self.shard_batches += len(results)
             return results
-        itemsets = list(itemsets)
         tasks = [
             (shard, level, itemsets, self._chunk_size)
             for shard in range(self._backend.n_shards)
@@ -210,7 +216,26 @@ class PartitionedExecutor:
     def supports(
         self, level: int, itemsets: Sequence[tuple[int, ...]]
     ) -> dict[tuple[int, ...], int]:
-        """Exact global supports: the merge of the shard counts."""
+        """Exact global supports: the merge of the shard counts.
+
+        With a :class:`~repro.core.counting.DeltaCounter` backend the
+        batch is first served from the counter's support cache (after
+        folding in any freshly appended delta shards); only cache
+        misses pay the per-shard fan-out, and their merged counts are
+        memoized for the next run.  Either way the result is the exact
+        SON sum, in the request's itemset order.
+        """
+        backend = self._backend
+        if isinstance(backend, DeltaCounter):
+            self.batches += 1
+            if not itemsets:
+                return {}
+            return backend.serve(
+                level,
+                list(itemsets),
+                chunk_size=self._chunk_size,
+                fan=self._fan_shards,
+            )
         merged: dict[tuple[int, ...], int] = {
             itemset: 0 for itemset in itemsets
         }

@@ -113,3 +113,194 @@ class TestMinerIntegration:
             example3_db, example3_thresholds, backend=name
         )
         assert [p.leaf_names for p in result.patterns] == [("a11", "b11")]
+
+
+# ---------------------------------------------------------------------------
+# DeltaCounter: incremental SON counting over a growing store
+# ---------------------------------------------------------------------------
+
+
+class TestDeltaCounter:
+    @pytest.fixture
+    def store(self, random_db, tmp_path):
+        from repro.data.shards import ShardedTransactionStore
+
+        return ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 3
+        )
+
+    def test_refresh_is_noop_without_growth(self, store):
+        from repro.core.counting import DeltaCounter
+
+        counter = DeltaCounter(store)
+        assert counter.refresh() == []
+        counter.node_supports(1)
+        assert counter.refresh() == []
+        assert counter.refreshes == 0
+
+    def test_node_supports_track_appends(self, store, random_db):
+        from repro.core.counting import DeltaCounter, PartitionedBackend
+
+        counter = DeltaCounter(store)
+        before = dict(counter.node_supports(2))
+        delta = [
+            random_db.transaction_names(index) for index in range(40)
+        ]
+        store.append_batch(delta)
+        after = counter.node_supports(2)
+        oracle = PartitionedBackend(store).node_supports(2)
+        assert after == oracle
+        assert after != before
+        assert counter.counted_shards == store.n_shards
+
+    def test_cached_supports_merge_delta_counts(self, store, random_db):
+        from repro.core.counting import DeltaCounter, PartitionedBackend
+
+        counter = DeltaCounter(store)
+        nodes = sorted(store.taxonomy.nodes_at_level(2))
+        itemsets = [
+            (nodes[i], nodes[j])
+            for i in range(len(nodes))
+            for j in range(i + 1, len(nodes))
+        ][:12]
+        first = counter.supports_batched(2, itemsets)
+        assert counter.cache_misses == len(itemsets)
+        delta = [
+            random_db.transaction_names(index) for index in range(25)
+        ]
+        store.append_batch(delta)
+        second = counter.supports_batched(2, itemsets)
+        # second pass is all hits: no itemset was recounted in full
+        assert counter.cache_misses == len(itemsets)
+        assert counter.cache_hits == len(itemsets)
+        oracle = PartitionedBackend(store).supports_batched(2, itemsets)
+        assert second == oracle
+        assert any(second[i] > first[i] for i in itemsets)
+
+    def test_supports_preserve_request_order(self, store):
+        from repro.core.counting import DeltaCounter
+
+        counter = DeltaCounter(store)
+        nodes = sorted(store.taxonomy.nodes_at_level(1))
+        itemsets = [(nodes[1], nodes[2]), (nodes[0], nodes[1])]
+        out = counter.supports_batched(1, itemsets)
+        assert list(out) == itemsets
+
+    def test_empty_delta_shard_contributes_zero(self, store):
+        from repro.core.counting import DeltaCounter
+
+        counter = DeltaCounter(store)
+        before = dict(counter.node_supports(1))
+        assert store.append_batch([]) == []
+        assert counter.refresh() == []
+        assert counter.node_supports(1) == before
+
+
+class TestShardPoolResidency:
+    """Regression: a budget smaller than one shard must neither starve
+    the pool nor evict the shard currently being counted."""
+
+    @pytest.fixture
+    def store(self, random_db, tmp_path):
+        from repro.data.shards import ShardedTransactionStore
+
+        return ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 4
+        )
+
+    def test_tiny_budget_always_keeps_one_resident(self, store):
+        from repro.core.counting import ShardBackendPool
+
+        pool = ShardBackendPool(store, memory_budget_mb=0.0001)
+        for index in range(store.n_shards):
+            backend = pool.backend(index)
+            assert backend is not None
+            assert pool.resident_shards == [index]
+
+    def test_counted_shard_is_not_evicted_by_nested_access(self, store):
+        from repro.core.counting import ShardBackendPool
+
+        pool = ShardBackendPool(store, memory_budget_mb=0.0001)
+        for index, backend in pool.iter_backends():
+            # nested accesses mid-count (as a re-entrant consumer
+            # would trigger) must not evict the pinned shard ...
+            other = (index + 1) % store.n_shards
+            pool.backend(other)
+            again = pool.backend(index)
+            # ... so re-asking for it returns the very same object
+            assert again is backend
+            assert index in pool.resident_shards
+
+    def test_tiny_budget_counts_are_exact(self, store, random_db):
+        from repro.core.counting import (
+            BitmapBackend,
+            PartitionedBackend,
+        )
+
+        budgeted = PartitionedBackend(store, memory_budget_mb=0.0001)
+        oracle = BitmapBackend(random_db)
+        assert budgeted.node_supports(1) == oracle.node_supports(1)
+        nodes = sorted(store.taxonomy.nodes_at_level(1))
+        itemsets = [(nodes[0], nodes[1]), (nodes[1], nodes[2])]
+        assert budgeted.supports_batched(1, itemsets) == (
+            oracle.supports_batched(1, itemsets)
+        )
+
+    def test_unpinned_lru_eviction_still_happens(self, store):
+        from repro.core.counting import ShardBackendPool
+
+        pool = ShardBackendPool(store, memory_budget_mb=0.0001)
+        pool.backend(0)
+        pool.backend(1)
+        assert pool.resident_shards == [1]
+        pool.backend(0)
+        assert pool.rebuilds == 1
+
+
+class TestDeltaCounterCacheCap:
+    def test_budget_caps_memoization_but_not_exactness(
+        self, random_db, tmp_path, monkeypatch
+    ):
+        from repro.core.counting import (
+            DeltaCounter,
+            PartitionedBackend,
+        )
+        from repro.data.shards import ShardedTransactionStore
+
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 3
+        )
+        monkeypatch.setattr(
+            DeltaCounter, "CACHE_BYTES_PER_ITEMSET", 1024 * 1024
+        )
+        counter = DeltaCounter(store, memory_budget_mb=2.0)
+        # budget / bytes-per-entry = 2 entries, floored at... the
+        # floor is 1024; shrink it through the estimate instead
+        counter._max_cached_itemsets = 2
+        nodes = sorted(store.taxonomy.nodes_at_level(2))
+        itemsets = [
+            (nodes[i], nodes[j])
+            for i in range(len(nodes))
+            for j in range(i + 1, len(nodes))
+        ][:8]
+        out = counter.supports_batched(2, itemsets)
+        assert counter.cached_itemsets == 2
+        oracle = PartitionedBackend(store).supports_batched(2, itemsets)
+        assert out == oracle
+        # uncached entries are recounted, still exactly
+        assert counter.supports_batched(2, itemsets) == oracle
+
+    def test_unbudgeted_counter_memoizes_everything(
+        self, random_db, tmp_path
+    ):
+        from repro.core.counting import DeltaCounter
+        from repro.data.shards import ShardedTransactionStore
+
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        counter = DeltaCounter(store)
+        nodes = sorted(store.taxonomy.nodes_at_level(1))
+        itemsets = [(nodes[0], nodes[1]), (nodes[1], nodes[2])]
+        counter.supports_batched(1, itemsets)
+        assert counter.cached_itemsets == len(itemsets)

@@ -194,3 +194,32 @@ class TestExpectationBased:
             chi_square(5, 5, 6, 100)
         with pytest.raises(ConfigError):
             chi_square(5, 5, 2, 0)
+
+
+class TestAliasNormalization:
+    """get_measure must be insensitive to case, whitespace and the
+    space/hyphen/underscore separator choice (regression: exact-match
+    lookup rejected "Kulc", " cosine " and "All Confidence")."""
+
+    @pytest.mark.parametrize(
+        "spelling, canonical",
+        [
+            ("Kulc", "kulczynski"),
+            (" cosine ", "cosine"),
+            ("All Confidence", "all_confidence"),
+            ("ALL-CONFIDENCE", "all_confidence"),
+            ("all   confidence", "all_confidence"),
+            ("Max_Confidence", "max_confidence"),
+            ("\tJaccard\n", "coherence"),
+            ("KULCZYNSKI", "kulczynski"),
+        ],
+    )
+    def test_resolves_loose_spellings(self, spelling, canonical):
+        assert get_measure(spelling).name == canonical
+
+    def test_unknown_error_lists_canonical_names(self):
+        with pytest.raises(ConfigError) as excinfo:
+            get_measure("Pearson Rho")
+        message = str(excinfo.value)
+        for name in MEASURES:
+            assert name in message

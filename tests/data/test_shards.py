@@ -183,3 +183,104 @@ class TestShapeQueries:
         )
         assert store.taxonomy.is_balanced
         assert list(store.to_database()) == list(database)
+
+
+class TestAppendBatch:
+    def test_appends_new_shard_and_extends_manifest(
+        self, random_db, tmp_path
+    ):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 3
+        )
+        delta = [
+            random_db.transaction_names(index) for index in range(20)
+        ]
+        new = store.append_batch(delta)
+        assert new == [3]
+        assert store.n_shards == 4
+        assert store.n_transactions == random_db.n_transactions + 20
+        manifest = json.loads(
+            (tmp_path / "manifest.json").read_text(encoding="utf-8")
+        )
+        assert len(manifest["shards"]) == 4
+        assert manifest["n_transactions"] == store.n_transactions
+        assert store.shard_transactions(3) == [tuple(t) for t in delta]
+
+    def test_existing_shard_files_are_untouched(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        before = [
+            store.shard_path(index).read_bytes() for index in range(2)
+        ]
+        store.append_batch([("milk", "cola")])
+        after = [
+            store.shard_path(index).read_bytes() for index in range(2)
+        ]
+        assert before == after
+
+    def test_rows_per_shard_splits_the_delta(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        delta = [
+            random_db.transaction_names(index) for index in range(25)
+        ]
+        new = store.append_batch(delta, rows_per_shard=10)
+        assert new == [2, 3, 4]
+        assert store.shard_sizes[2:] == [10, 10, 5]
+
+    def test_empty_batch_is_a_noop(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        assert store.append_batch([]) == []
+        assert store.n_shards == 2
+
+    def test_unknown_item_rejected_before_writing(
+        self, random_db, tmp_path
+    ):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        before = store.n_shards
+        with pytest.raises(DataError, match="delta transaction 1"):
+            store.append_batch([("milk",), ("milk", "no-such-item")])
+        assert store.n_shards == before
+        manifest = json.loads(
+            (tmp_path / "manifest.json").read_text(encoding="utf-8")
+        )
+        assert len(manifest["shards"]) == before
+
+    def test_reopened_store_sees_the_delta(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        store.append_batch([("milk", "cola"), ("apples",)])
+        reopened = ShardedTransactionStore.open(
+            tmp_path, random_db.taxonomy
+        )
+        assert reopened.n_transactions == store.n_transactions
+        assert reopened.shard_sizes == store.shard_sizes
+
+    def test_width_cache_stays_exact_after_append(
+        self, random_db, tmp_path
+    ):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        width_before = store.width_at_level(1)  # populates the cache
+        assert width_before == random_db.width_at_level(1)
+        wide = tuple(
+            random_db.taxonomy.name_of(item)
+            for item in random_db.taxonomy.item_ids
+        )
+        store.append_batch([wide])
+        assert store.width_at_level(1) == store.to_database().width_at_level(1)
+
+    def test_invalid_rows_per_shard(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        with pytest.raises(DataError, match="rows_per_shard"):
+            store.append_batch([("milk",)], rows_per_shard=0)

@@ -101,3 +101,19 @@ class TestBitsets:
         b = tax.node_by_name("b").node_id
         bits = index.itemset_bitset(1, (a, b))
         assert bits.bit_count() == index.support(1, (a, b)) == 7
+
+
+class TestUnknownItemValidation:
+    """Regression: a transaction holding an item id outside the bound
+    taxonomy's item universe used to surface as a bare KeyError."""
+
+    def test_foreign_item_id_raises_data_error(self, example3_db):
+        bogus = max(example3_db.item_ids) + 999
+        example3_db._transactions[3] = example3_db._transactions[3] + (
+            bogus,
+        )
+        with pytest.raises(DataError) as excinfo:
+            VerticalIndex(example3_db)
+        message = str(excinfo.value)
+        assert "transaction 3" in message
+        assert str(bogus) in message

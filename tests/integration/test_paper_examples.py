@@ -116,4 +116,5 @@ class TestBenchRunnersSmoke:
             "table4",
             "engine",
             "partition",
+            "incremental",
         }

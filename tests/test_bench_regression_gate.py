@@ -145,3 +145,124 @@ class TestMain:
             (_SCRIPT.parent.parent / "BENCH_engine.json").read_text()
         )
         assert gate.compare(committed, copy.deepcopy(committed), 1.5) == []
+
+
+@pytest.fixture
+def incremental_baseline():
+    return {
+        "bench": "incremental",
+        "speedup_10pct": 5.0,
+        "checks_pass": True,
+    }
+
+
+class TestCompareIncremental:
+    def test_identical_passes(self, gate, incremental_baseline):
+        assert gate.compare_incremental(
+            incremental_baseline,
+            copy.deepcopy(incremental_baseline),
+            1.5,
+        ) == []
+
+    def test_below_absolute_floor_fails(self, gate, incremental_baseline):
+        current = copy.deepcopy(incremental_baseline)
+        current["speedup_10pct"] = 2.4
+        problems = gate.compare_incremental(
+            incremental_baseline, current, 1.5
+        )
+        assert any("floor" in p for p in problems)
+
+    def test_collapse_versus_baseline_fails(self, gate):
+        baseline = {"speedup_10pct": 12.0, "checks_pass": True}
+        current = {"speedup_10pct": 4.0, "checks_pass": True}
+        problems = gate.compare_incremental(baseline, current, 1.5)
+        assert any("regressed" in p for p in problems)
+
+    def test_within_tolerance_passes(self, gate):
+        baseline = {"speedup_10pct": 6.0, "checks_pass": True}
+        current = {"speedup_10pct": 4.5, "checks_pass": True}
+        assert gate.compare_incremental(baseline, current, 1.5) == []
+
+    def test_failed_internal_checks_fail(self, gate, incremental_baseline):
+        current = copy.deepcopy(incremental_baseline)
+        current["checks_pass"] = False
+        problems = gate.compare_incremental(
+            incremental_baseline, current, 1.5
+        )
+        assert any("internal checks" in p for p in problems)
+
+    def test_missing_baseline_speedup_reported(self, gate):
+        problems = gate.compare_incremental(
+            {}, {"speedup_10pct": 5.0, "checks_pass": True}, 1.5
+        )
+        assert any("baseline" in p for p in problems)
+
+    def test_custom_floor(self, gate, incremental_baseline):
+        current = copy.deepcopy(incremental_baseline)
+        current["speedup_10pct"] = 4.0
+        assert (
+            gate.compare_incremental(
+                incremental_baseline, current, 1.5, min_speedup=4.5
+            )
+            != []
+        )
+
+
+class TestMainIncremental:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_exit_zero_with_incremental_pair(
+        self, gate, baseline, incremental_baseline, tmp_path, capsys
+    ):
+        base = self._write(tmp_path, "base.json", baseline)
+        current = self._write(tmp_path, "current.json", baseline)
+        inc = self._write(tmp_path, "inc.json", incremental_baseline)
+        code = gate.main([
+            "--baseline", base, "--current", current,
+            "--incremental-baseline", inc,
+            "--incremental-current", inc,
+        ])
+        assert code == 0
+        assert "+10% speedup" in capsys.readouterr().out
+
+    def test_exit_one_on_incremental_floor_breach(
+        self, gate, baseline, incremental_baseline, tmp_path, capsys
+    ):
+        slow = copy.deepcopy(incremental_baseline)
+        slow["speedup_10pct"] = 1.2
+        base = self._write(tmp_path, "base.json", baseline)
+        current = self._write(tmp_path, "current.json", baseline)
+        inc_base = self._write(
+            tmp_path, "inc_base.json", incremental_baseline
+        )
+        inc_now = self._write(tmp_path, "inc_now.json", slow)
+        code = gate.main([
+            "--baseline", base, "--current", current,
+            "--incremental-baseline", inc_base,
+            "--incremental-current", inc_now,
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_lone_incremental_option_rejected(
+        self, gate, baseline, tmp_path
+    ):
+        base = self._write(tmp_path, "base.json", baseline)
+        with pytest.raises(SystemExit):
+            gate.main([
+                "--baseline", base, "--current", base,
+                "--incremental-baseline", base,
+            ])
+
+    def test_gates_the_committed_incremental_baseline(self, gate):
+        """The committed BENCH_incremental.json must satisfy its own
+        gate (otherwise CI fails on an untouched checkout)."""
+        committed = json.loads(
+            (_SCRIPT.parent.parent / "BENCH_incremental.json").read_text()
+        )
+        assert gate.compare_incremental(
+            committed, copy.deepcopy(committed), 1.5
+        ) == []

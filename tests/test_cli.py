@@ -311,3 +311,84 @@ class TestBench:
         assert main(["bench", "table1"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "[PASS]" in out
+
+
+class TestUpdateCommand:
+    def test_init_append_and_mine(self, example_files, tmp_path, capsys):
+        transactions, taxonomy = example_files
+        store_dir = str(tmp_path / "store")
+        # create the store from the base file
+        assert main([
+            "update", "--store", store_dir, "--taxonomy", taxonomy,
+            "--init-from", transactions,
+        ]) == 0
+        capsys.readouterr()
+        # append a delta file and mine the grown store
+        delta_path = tmp_path / "delta.basket"
+        save_transactions(
+            [["a11", "b11"], ["a11", "b11", "a22"]], delta_path
+        )
+        assert main([
+            "update", "--store", store_dir, "--taxonomy", taxonomy,
+            "--append", str(delta_path),
+            "--gamma", "0.6", "--epsilon", "0.35", "--min-support", "1",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_transactions"] == 12
+        assert payload["appended"][0]["rows"] == 2
+        assert payload["appended"][0]["new_shards"] == [1]
+        assert "patterns" in payload  # mining ran on the grown store
+        assert payload["config"]["n_transactions"] == 12
+
+    def test_missing_store_without_init_errors(
+        self, example_files, tmp_path, capsys
+    ):
+        _, taxonomy = example_files
+        assert main([
+            "update", "--store", str(tmp_path / "nope"),
+            "--taxonomy", taxonomy,
+        ]) == 2
+        assert "--init-from" in capsys.readouterr().err
+
+    def test_partial_threshold_options_error(
+        self, example_files, tmp_path, capsys
+    ):
+        transactions, taxonomy = example_files
+        store_dir = str(tmp_path / "store")
+        assert main([
+            "update", "--store", store_dir, "--taxonomy", taxonomy,
+            "--init-from", transactions, "--gamma", "0.6",
+        ]) == 2
+        assert "--min-support" in capsys.readouterr().err
+
+
+class TestMineAppend:
+    def test_append_matches_mining_everything_at_once(
+        self, example_files, tmp_path, capsys
+    ):
+        transactions, taxonomy = example_files
+        base_rows = example3_transactions()[:-3]
+        delta_rows = example3_transactions()[-3:]
+        base_path = tmp_path / "base.basket"
+        delta_path = tmp_path / "delta.basket"
+        save_transactions(base_rows, base_path)
+        save_transactions(delta_rows, delta_path)
+        common = [
+            "--taxonomy", taxonomy, "--gamma", "0.6",
+            "--epsilon", "0.35", "--min-support", "1", "--json",
+        ]
+        assert main([
+            "mine", "--transactions", str(base_path),
+            "--append", str(delta_path), *common,
+        ]) == 0
+        incremental = json.loads(capsys.readouterr().out)
+        assert main([
+            "mine", "--transactions", transactions, *common,
+        ]) == 0
+        full = json.loads(capsys.readouterr().out)
+        assert incremental["patterns"] == full["patterns"]
+        assert incremental["updates"][0]["rows"] == 3
+        assert incremental["updates"][0]["mode"] in {
+            "incremental", "full"
+        }
