@@ -126,6 +126,36 @@ def main() -> None:
         f"{info['cache_hits']} cached supports) matches a full re-mine"
     )
 
+    # 9. Serving: a PatternStore puts the mined patterns behind
+    #    inverted indexes (leaf item, taxonomy node at any chain
+    #    level, signature, height) plus sorted measure arrays, so
+    #    queries resolve in O(log n) instead of scanning.  A Query
+    #    composes filters + ordering + pagination; answers are
+    #    exactly what a brute-force scan returns.  On the command
+    #    line: `flipper-mine query --store DIR --items a11`, or
+    #    `flipper-mine serve ... --port 8787` to put the same store
+    #    behind a JSON HTTP API (GET /patterns, POST /update).
+    from repro.serve import PatternStore, Query, QueryEngine, linear_scan
+
+    store = PatternStore.build(result)
+    engine = QueryEngine(store)
+    query = Query(contains_items=("a11",), sort_by="min_gap", limit=5)
+    answer = engine.execute(query)
+    assert answer.ids == linear_scan(store, query).ids
+    print()
+    print(
+        f"pattern store v{store.version} serves {answer.total} "
+        f"match(es) for items=a11 via plan: {answer.plan.describe()}"
+    )
+    # updates re-feed the store; only changed patterns reindex, the
+    # version bumps, and cached/paginating readers fail loudly
+    # instead of seeing a mix of two generations
+    diff = store.apply_result(updated)
+    print(
+        f"after the delta: store v{store.version} "
+        f"(+{diff['added']} ~{diff['changed']} -{diff['removed']})"
+    )
+
 
 # The __main__ guard is the standard multiprocessing requirement: under
 # the spawn start method the process executor's workers re-import this

@@ -30,6 +30,13 @@ versus the committed baseline beyond the tolerance factor (ratios
 near the floor are already absorbed by the absolute check, so no
 extra noise floor is needed).
 
+``--serve-baseline``/``--serve-current`` gate ``BENCH_serve.json``
+the same way: internal checks (indexed-vs-scan answer parity over
+the whole workload) must pass, the indexed-vs-scan speedup must
+clear the absolute ``--serve-min-speedup`` floor, and it must not
+have collapsed versus the committed baseline beyond the tolerance
+factor.
+
 Usage::
 
     python scripts/check_bench_regression.py \
@@ -37,7 +44,9 @@ Usage::
         --current BENCH_engine_current.json \
         --tolerance 1.5 \
         [--incremental-baseline BENCH_incremental.json \
-         --incremental-current BENCH_incremental_current.json]
+         --incremental-current BENCH_incremental_current.json] \
+        [--serve-baseline BENCH_serve.json \
+         --serve-current BENCH_serve_current.json]
 """
 
 from __future__ import annotations
@@ -155,6 +164,42 @@ def compare_incremental(
     return problems
 
 
+#: default absolute floor on the indexed-vs-scan speedup (the serving
+#: subsystem's acceptance criterion)
+MIN_SERVE_SPEEDUP = 5.0
+
+
+def compare_serve(
+    baseline: dict,
+    current: dict,
+    tolerance: float,
+    min_speedup: float = MIN_SERVE_SPEEDUP,
+) -> list[str]:
+    """Gate the serve bench (empty list = gate passes)."""
+    problems: list[str] = []
+    if not current.get("checks_pass", False):
+        problems.append(
+            "current serve bench failed its internal checks "
+            "(checks_pass is false; this includes indexed-vs-scan "
+            "answer parity)"
+        )
+    now = float(current.get("speedup", 0.0))
+    if now < min_speedup:
+        problems.append(
+            f"indexed-vs-scan speedup {now:.2f}x is below the "
+            f"{min_speedup:g}x floor"
+        )
+    base = float(baseline.get("speedup", 0.0))
+    if base <= 0.0:
+        problems.append("baseline serve speedup missing or zero")
+    elif now * tolerance < base:
+        problems.append(
+            f"serve speedup regressed: {now:.2f}x vs baseline "
+            f"{base:.2f}x (> {tolerance:g}x collapse)"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -187,6 +232,24 @@ def main(argv: list[str] | None = None) -> int:
              "baseline's recorded min_speedup_10pct, else "
              f"{MIN_SPEEDUP_10PCT:g})",
     )
+    parser.add_argument(
+        "--serve-baseline",
+        default=None,
+        help="committed BENCH_serve.json (optional)",
+    )
+    parser.add_argument(
+        "--serve-current",
+        default=None,
+        help="freshly produced serve bench JSON (optional)",
+    )
+    parser.add_argument(
+        "--serve-min-speedup",
+        type=float,
+        default=None,
+        help="absolute floor on the indexed-vs-scan speedup (default: "
+             "the baseline's recorded min_speedup, else "
+             f"{MIN_SERVE_SPEEDUP:g})",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 1.0:
         parser.error("tolerance must be >= 1.0")
@@ -196,6 +259,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             "--incremental-baseline and --incremental-current "
             "go together"
+        )
+    if (args.serve_baseline is None) != (args.serve_current is None):
+        parser.error(
+            "--serve-baseline and --serve-current go together"
         )
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
     current = json.loads(Path(args.current).read_text(encoding="utf-8"))
@@ -222,6 +289,26 @@ def main(argv: list[str] | None = None) -> int:
             args.tolerance,
             min_speedup=min_speedup,
         )
+    serve_min_speedup = args.serve_min_speedup
+    serve_current = None
+    if args.serve_baseline is not None:
+        serve_baseline = json.loads(
+            Path(args.serve_baseline).read_text(encoding="utf-8")
+        )
+        serve_current = json.loads(
+            Path(args.serve_current).read_text(encoding="utf-8")
+        )
+        if serve_min_speedup is None:
+            # single source of truth: the floor the bench recorded
+            serve_min_speedup = float(
+                serve_baseline.get("min_speedup", MIN_SERVE_SPEEDUP)
+            )
+        problems += compare_serve(
+            serve_baseline,
+            serve_current,
+            args.tolerance,
+            min_speedup=serve_min_speedup,
+        )
     if problems:
         print("perf-regression gate FAILED:")
         for problem in problems:
@@ -241,6 +328,12 @@ def main(argv: list[str] | None = None) -> int:
             f"ok: incremental +10% speedup = "
             f"{float(incremental_current.get('speedup_10pct', 0.0)):.2f}x "
             f"(floor {min_speedup:g}x)"
+        )
+    if serve_current is not None:
+        print(
+            f"ok: serve indexed-vs-scan speedup = "
+            f"{float(serve_current.get('speedup', 0.0)):.2f}x "
+            f"(floor {serve_min_speedup:g}x)"
         )
     print(f"perf-regression gate passed (tolerance {args.tolerance:g}x)")
     return 0

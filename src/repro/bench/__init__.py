@@ -4,6 +4,7 @@ runner per table/figure of the paper's evaluation."""
 from repro.bench.engine import run_engine_smoke
 from repro.bench.incremental import run_incremental_bench
 from repro.bench.partition import run_partition_bench
+from repro.bench.serve import run_serve_bench
 from repro.bench.experiments import (
     EXPERIMENTS,
     real_datasets,
@@ -54,6 +55,7 @@ __all__ = [
     "run_engine_smoke",
     "run_partition_bench",
     "run_incremental_bench",
+    "run_serve_bench",
     "real_datasets",
     "LADDER",
     "RunRecord",

@@ -14,6 +14,7 @@ from repro.bench.chart import sweep_chart
 from repro.bench.engine import run_engine_smoke
 from repro.bench.incremental import run_incremental_bench
 from repro.bench.partition import run_partition_bench
+from repro.bench.serve import run_serve_bench
 from repro.bench.harness import (
     LADDER,
     RunRecord,
@@ -64,6 +65,7 @@ __all__ = [
     "run_engine_smoke",
     "run_partition_bench",
     "run_incremental_bench",
+    "run_serve_bench",
     "real_datasets",
     "EXPERIMENTS",
 ]
@@ -485,4 +487,5 @@ EXPERIMENTS = {
     "engine": run_engine_smoke,
     "partition": run_partition_bench,
     "incremental": run_incremental_bench,
+    "serve": run_serve_bench,
 }

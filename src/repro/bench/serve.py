@@ -1,0 +1,382 @@
+"""Serve bench: indexed query latency vs. a brute-force linear scan.
+
+The serving subsystem's bargain is that a query resolves through
+posting-list intersections and ``bisect`` range scans instead of
+testing every pattern.  This bench quantifies the bargain on a
+deterministic synthetic pattern corpus (mining produces corpora far
+too small to stress an index; serving millions of users means serving
+stores far larger than one toy mine) and asserts the two properties
+that make it trustworthy:
+
+* the indexed answers are **byte-identical** to
+  :func:`~repro.serve.query.linear_scan` over the same store, for
+  every query in the workload, and
+* the indexed pass beats the scan pass by at least
+  :data:`MIN_SPEEDUP` overall (the acceptance criterion CI gates).
+
+Protocol: build a :class:`~repro.serve.store.PatternStore` over
+``~200k * scale`` synthetic flipping patterns, round-trip it through
+disk (serving always starts from a saved store), then run a fixed
+mixed workload — point item lookups, pair intersections, taxonomy
+node queries, signature + support ranges, correlation-range top-k,
+height filters — three ways: indexed with the cache off, brute-force
+scan, and indexed with the cache on (the steady state a hot serving
+path sees).  Per-pass wall-clock, throughput and p50/p99 latency are
+recorded to ``BENCH_serve.json`` (path overridable via
+``REPRO_BENCH_SERVE_OUT``), which
+``scripts/check_bench_regression.py --serve-baseline`` gates in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.profiles import bench_scale
+from repro.bench.report import ShapeCheck, format_table, render_checks
+from repro.core.labels import Label
+from repro.core.patterns import ChainLink, FlippingPattern, MiningResult
+from repro.core.stats import MiningStats
+from repro.serve.query import Query, QueryEngine, linear_scan
+from repro.serve.store import PatternStore
+
+__all__ = [
+    "run_serve_bench",
+    "synthetic_serve_result",
+    "serve_workload",
+    "DEFAULT_OUT_PATH",
+    "MIN_SPEEDUP",
+]
+
+DEFAULT_OUT_PATH = "BENCH_serve.json"
+
+#: acceptance floor: the indexed pass must beat the linear-scan pass
+#: by at least this factor (the CI gate enforces it on every PR)
+MIN_SPEEDUP = 5.0
+
+#: synthetic taxonomy namespace: 12 categories x 80 groups x 600 items
+_N_CATS = 12
+_N_GROUPS = 80
+_N_ITEMS = 600
+
+_LABEL_OF = {"+": Label.POSITIVE, "-": Label.NEGATIVE}
+
+
+def _cat(c: int) -> tuple[int, str]:
+    return c, f"cat{c:02d}"
+
+
+def _group(g: int) -> tuple[int, str]:
+    return 100 + g, f"grp{g:03d}"
+
+
+def _item(i: int) -> tuple[int, str]:
+    return 1000 + i, f"item{i:04d}"
+
+
+def _group_of_item(i: int) -> int:
+    return (i - 1) % _N_GROUPS + 1
+
+
+def _cat_of_group(g: int) -> int:
+    return (g - 1) % _N_CATS + 1
+
+
+def _link(
+    level: int,
+    members: list[tuple[int, str]],
+    support: int,
+    correlation: float,
+    symbol: str,
+) -> ChainLink:
+    members = sorted(members)
+    return ChainLink(
+        level=level,
+        itemset=tuple(node_id for node_id, _ in members),
+        names=tuple(name for _, name in members),
+        support=support,
+        correlation=correlation,
+        label=_LABEL_OF[symbol],
+    )
+
+
+def synthetic_serve_result(
+    n_patterns: int, seed: int = 7
+) -> MiningResult:
+    """A deterministic corpus of ``n_patterns`` flipping patterns.
+
+    Chains span the fixed category/group/item namespace: ~85% are
+    3-level chains over concrete items, the rest 2-level chains over
+    groups, with alternating signatures, generalization-monotone
+    supports and label-consistent correlations — structurally exactly
+    what the miner emits, at serving scale.
+    """
+    rng = random.Random(seed)
+    patterns: list[FlippingPattern] = []
+    seen: set[tuple[int, ...]] = set()
+    while len(patterns) < n_patterns:
+        k = rng.choice((2, 2, 3))
+        tall = rng.random() < 0.85
+        if tall:
+            picks = rng.sample(range(1, _N_ITEMS + 1), k)
+            leaves = [_item(i) for i in picks]
+            groups = sorted({_group_of_item(i) for i in picks})
+            cats = sorted({_cat_of_group(g) for g in groups})
+        else:
+            picks = rng.sample(range(1, _N_GROUPS + 1), k)
+            leaves = [_group(g) for g in picks]
+            groups = []
+            cats = sorted({_cat_of_group(g) for g in picks})
+        key = tuple(sorted(node_id for node_id, _ in leaves))
+        if key in seen:
+            continue
+        seen.add(key)
+        signature = "+-+" if rng.random() < 0.5 else "-+-"
+        signature = signature[: 3 if tall else 2]
+        support = rng.randint(20, 2000)
+        links: list[ChainLink] = []
+        chain_levels: list[list[tuple[int, str]]] = [
+            [_cat(c) for c in cats]
+        ]
+        if tall:
+            chain_levels.append([_group(g) for g in groups])
+        chain_levels.append(leaves)
+        supports = [support]
+        for _ in range(len(chain_levels) - 1):
+            supports.append(supports[-1] + rng.randint(0, 4000))
+        supports.reverse()
+        for depth, members in enumerate(chain_levels):
+            symbol = signature[depth]
+            correlation = (
+                rng.uniform(0.5, 1.0)
+                if symbol == "+"
+                else rng.uniform(0.0, 0.3)
+            )
+            links.append(
+                _link(
+                    depth + 1, members, supports[depth], correlation, symbol
+                )
+            )
+        patterns.append(FlippingPattern(links=tuple(links)))
+    stats = MiningStats(
+        method="synthetic-serve",
+        measure="kulczynski",
+        n_patterns=len(patterns),
+    )
+    return MiningResult(
+        patterns=patterns,
+        stats=stats,
+        config={"synthetic": True, "seed": seed, "n_patterns": n_patterns},
+    )
+
+
+def serve_workload(seed: int = 13) -> list[Query]:
+    """The fixed mixed query workload (≈120 distinct queries)."""
+    rng = random.Random(seed)
+    queries: list[Query] = []
+    for _ in range(40):
+        i = rng.randint(1, _N_ITEMS)
+        queries.append(
+            Query(contains_items=(_item(i)[1],), limit=50)
+        )
+    for _ in range(15):
+        a, b = rng.sample(range(1, _N_ITEMS + 1), 2)
+        queries.append(
+            Query(contains_items=(_item(a)[1], _item(b)[1]))
+        )
+    for _ in range(20):
+        g = rng.randint(1, _N_GROUPS)
+        queries.append(
+            Query(
+                under_node=_group(g)[1],
+                min_correlation=0.5,
+                limit=20,
+            )
+        )
+    for _ in range(10):
+        c = rng.randint(1, _N_CATS)
+        queries.append(
+            Query(
+                under_node=_cat(c)[1],
+                sort_by="support",
+                limit=50,
+            )
+        )
+    for _ in range(15):
+        lo = rng.randint(100, 3000)
+        queries.append(
+            Query(
+                signature="+-+",
+                min_support=lo,
+                max_support=lo + 500,
+                sort_by="support",
+                descending=False,
+            )
+        )
+    for _ in range(10):
+        queries.append(
+            Query(
+                min_correlation=round(rng.uniform(0.90, 0.96), 3),
+                max_correlation=1.0,
+                sort_by="min_gap",
+                limit=10,
+            )
+        )
+    for _ in range(10):
+        queries.append(
+            Query(
+                max_height=2,
+                signature=rng.choice(("+-", "-+")),
+                sort_by="mean_gap",
+                limit=25,
+            )
+        )
+    return queries
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1,
+        int(round(fraction * (len(sorted_values) - 1))),
+    )
+    return sorted_values[index]
+
+
+def _timed_pass(run, queries) -> tuple[list, dict[str, float]]:
+    results = []
+    latencies: list[float] = []
+    for query in queries:
+        started = time.perf_counter()
+        results.append(run(query))
+        latencies.append(time.perf_counter() - started)
+    total = sum(latencies)
+    latencies.sort()
+    return results, {
+        "seconds": total,
+        "qps": len(queries) / total if total > 0 else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+    }
+
+
+def run_serve_bench(
+    out_path: str | Path | None = None,
+) -> tuple[str, dict]:
+    """Run the serve bench; returns ``(report_text, data)``."""
+    if out_path is None:
+        out_path = os.environ.get(
+            "REPRO_BENCH_SERVE_OUT", DEFAULT_OUT_PATH
+        )
+    scale = bench_scale()
+    n_patterns = max(300, round(200_000 * scale))
+    result = synthetic_serve_result(n_patterns)
+    built = PatternStore.build(result)
+    # Serving always starts from a saved store: include the disk
+    # round-trip so a persistence regression cannot hide.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        store_file = built.save(tmp)
+        store_bytes = store_file.stat().st_size
+        store = PatternStore.open(store_file)
+    queries = serve_workload()
+    engine = QueryEngine(store, cache_size=len(queries))
+
+    indexed_results, indexed = _timed_pass(
+        lambda q: engine.execute(q, use_cache=False), queries
+    )
+    scan_results, scan = _timed_pass(
+        lambda q: linear_scan(store, q), queries
+    )
+    # Cache warm-up, then the steady-state cached pass.
+    for query in queries:
+        engine.execute(query)
+    cached_results, cached = _timed_pass(
+        lambda q: engine.execute(q), queries
+    )
+
+    parity = all(
+        a.ids == b.ids and a.total == b.total
+        for a, b in zip(indexed_results, scan_results)
+    ) and all(
+        a.ids == b.ids for a, b in zip(cached_results, scan_results)
+    )
+    speedup = (
+        scan["seconds"] / indexed["seconds"]
+        if indexed["seconds"] > 0
+        else 0.0
+    )
+    n_nonempty = sum(1 for r in scan_results if r.total > 0)
+
+    checks = [
+        ShapeCheck(
+            "indexed answers identical to the linear scan "
+            "(cache off and on)",
+            parity,
+            f"{len(queries)} queries",
+        ),
+        ShapeCheck(
+            f"indexed pass is >= {MIN_SPEEDUP:g}x faster than the scan",
+            speedup >= MIN_SPEEDUP,
+            f"{speedup:.1f}x",
+        ),
+        ShapeCheck(
+            "workload exercises the store (most queries match)",
+            n_nonempty >= len(queries) // 2,
+            f"{n_nonempty}/{len(queries)} non-empty",
+        ),
+    ]
+
+    data: dict[str, object] = {
+        "bench": "serve",
+        "scale": scale,
+        "n_patterns": len(store),
+        "store_bytes": store_bytes,
+        "n_queries": len(queries),
+        "indexed": indexed,
+        "scan": scan,
+        "cached": cached,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "parity": parity,
+        "checks_pass": all(check.passed for check in checks),
+    }
+    Path(out_path).write_text(json.dumps(data, indent=2) + "\n")
+
+    rows = [
+        [
+            name,
+            f"{stats['seconds']:.3f}",
+            f"{stats['qps']:.0f}",
+            f"{stats['p50_ms']:.3f}",
+            f"{stats['p99_ms']:.3f}",
+        ]
+        for name, stats in (
+            ("indexed", indexed),
+            ("scan", scan),
+            ("cached", cached),
+        )
+    ]
+    report = "\n".join(
+        [
+            f"== Serve bench (bench scale {scale:g}) ==",
+            f"{len(store)} patterns "
+            f"({store_bytes / 1024:.0f} KiB on disk), "
+            f"{len(queries)} queries per pass",
+            "",
+            format_table(
+                ["pass", "seconds", "qps", "p50 ms", "p99 ms"], rows
+            ),
+            "",
+            f"indexed-vs-scan speedup: {speedup:.1f}x "
+            f"(floor {MIN_SPEEDUP:g}x)",
+            "",
+            render_checks(checks),
+            f"baseline written to {out_path}",
+        ]
+    )
+    return report, data

@@ -4,19 +4,26 @@ The subcommands cover the library's workflows::
 
     flipper-mine mine     --transactions data.basket --taxonomy tax.json ...
     flipper-mine update   --store ./shards --taxonomy tax.json --append d.basket
+    flipper-mine serve    --store ./shards --taxonomy tax.json ... --port 8787
+    flipper-mine query    --store ./shards --items "milk,beer" --limit 10
     flipper-mine rules    --transactions data.basket --taxonomy tax.json ...
     flipper-mine generate --dataset groceries --out-dir ./data
-    flipper-mine bench    fig8a fig8b ... | all
-    flipper-mine explain  --measure kulczynski
+    flipper-mine bench    fig8a fig8b ... serve | all
+    flipper-mine explain  [--measure kulczynski]
 
 ``mine`` runs Flipper (this paper); ``mine --append delta.basket``
 additionally streams delta batches through the incremental path and
 reports the refreshed patterns.  ``update`` maintains a persistent
 on-disk shard store: it appends delta files as new shards (never
 rewriting existing ones) and optionally re-mines the grown store.
-``rules`` runs the related-work Cumulate pipeline (generalized
-association rules with optional R-interesting pruning and
-surprisingness ranking) for comparison.
+``serve`` puts an indexed :class:`~repro.serve.store.PatternStore`
+behind the JSON HTTP API (read-only from a ``save_result`` archive
+via ``--result``, or live — mining at startup and accepting ``POST
+/update`` deltas — from a shard store via ``--store``); ``query``
+answers one-shot queries against a saved store or archive without a
+server.  ``rules`` runs the related-work Cumulate pipeline
+(generalized association rules with optional R-interesting pruning
+and surprisingness ranking) for comparison.
 
 (Available both as the ``flipper-mine`` console script and as
 ``python -m repro``.)
@@ -48,6 +55,13 @@ from repro.datasets.medline import generate_medline
 from repro.datasets.movies import generate_movies
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
 from repro.errors import ReproError
+from repro.serve import (
+    MEASURE_GETTERS,
+    PatternServer,
+    PatternStore,
+    Query,
+    QueryEngine,
+)
 from repro.taxonomy.io import load_taxonomy, save_taxonomy
 
 __all__ = ["main", "build_parser"]
@@ -208,6 +222,93 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("--json", action="store_true", help="JSON output")
     update.add_argument("--stats", action="store_true", help="print run statistics")
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve mined patterns over a JSON HTTP API",
+    )
+    serve.add_argument(
+        "--result", default=None, metavar="FILE",
+        help="save_result archive to index and serve read-only",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="shard-store directory: mine it at startup and serve "
+             "with live POST /update deltas (needs --taxonomy, "
+             "--gamma, --epsilon, --min-support)",
+    )
+    serve.add_argument("--taxonomy", default=None, help="edge-text/json file")
+    serve.add_argument("--gamma", type=float, default=None)
+    serve.add_argument("--epsilon", type=float, default=None)
+    serve.add_argument(
+        "--min-support", default=None,
+        help="comma-separated per-level fractions or counts",
+    )
+    serve.add_argument(
+        "--measure", default="kulczynski", choices=sorted(MEASURES)
+    )
+    serve.add_argument(
+        "--pruning", default="full", choices=sorted(_PRUNING_CHOICES)
+    )
+    serve.add_argument(
+        "--backend",
+        default="bitmap",
+        choices=["bitmap", "horizontal", "numpy"],
+    )
+    serve.add_argument("--memory-budget-mb", type=float, default=None)
+    serve.add_argument("--max-k", type=int, default=None)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port (0 picks a free one; default: 8787)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU entries of the query-result cache",
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="one-shot pattern query against a store or archive",
+    )
+    query.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="pattern-store file, or a directory holding "
+             "pattern_store.json (e.g. a served shard store)",
+    )
+    query.add_argument(
+        "--result", default=None, metavar="FILE",
+        help="save_result archive to index ad hoc and query",
+    )
+    query.add_argument(
+        "--items", default=None,
+        help="comma-separated leaf item names the pattern must contain",
+    )
+    query.add_argument(
+        "--under", default=None,
+        help="taxonomy node the pattern must touch at any chain level",
+    )
+    query.add_argument(
+        "--signature", default=None,
+        help="exact label trajectory, e.g. '+-+'",
+    )
+    query.add_argument("--min-height", type=int, default=None)
+    query.add_argument("--max-height", type=int, default=None)
+    query.add_argument("--min-corr", type=float, default=None)
+    query.add_argument("--max-corr", type=float, default=None)
+    query.add_argument("--min-support", type=int, default=None)
+    query.add_argument("--max-support", type=int, default=None)
+    query.add_argument(
+        "--sort", default="correlation", choices=sorted(MEASURE_GETTERS)
+    )
+    query.add_argument("--order", default="desc", choices=["asc", "desc"])
+    query.add_argument("--limit", type=int, default=None)
+    query.add_argument("--offset", type=int, default=0)
+    query.add_argument(
+        "--plan", action="store_true",
+        help="print the cost-ordered index plan the engine chose",
+    )
+    query.add_argument("--json", action="store_true", help="JSON output")
+
     generate = sub.add_parser(
         "generate", help="generate a bundled dataset to files"
     )
@@ -232,8 +333,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment ids (fig8a..fig9b, table1, table4) or 'all'",
     )
 
-    explain = sub.add_parser("explain", help="describe a correlation measure")
-    explain.add_argument("--measure", default="kulczynski")
+    explain = sub.add_parser(
+        "explain",
+        help="describe a correlation measure (or list them all)",
+    )
+    explain.add_argument(
+        "--measure", default=None,
+        help="measure name or alias; omit to list every registered "
+             "measure",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -424,6 +532,158 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_server(args: argparse.Namespace) -> PatternServer:
+    """Resolve serve's ``--result``/``--store`` into a ready server.
+
+    Factored out of :func:`_cmd_serve` so tests can build (and probe)
+    the server without entering the blocking accept loop.
+    """
+    if (args.result is None) == (args.store is None):
+        raise ReproError(
+            "serve needs exactly one of --result (read-only archive) "
+            "or --store (live shard store)"
+        )
+    if args.result is not None:
+        store = PatternStore.from_archive(args.result)
+        return PatternServer(
+            store,
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+        )
+    needed = (args.taxonomy, args.gamma, args.epsilon, args.min_support)
+    if any(option is None for option in needed):
+        raise ReproError(
+            "serving a shard store needs --taxonomy, --gamma, "
+            "--epsilon and --min-support (the thresholds its patterns "
+            "are mined and updated under)"
+        )
+    from repro.engine.incremental import IncrementalMiner
+
+    taxonomy = load_taxonomy(args.taxonomy)
+    shard_store = ShardedTransactionStore.open(args.store, taxonomy)
+    miner = IncrementalMiner(
+        shard_store,
+        Thresholds(
+            gamma=args.gamma,
+            epsilon=args.epsilon,
+            min_support=_parse_min_support(args.min_support),
+        ),
+        measure=args.measure,
+        pruning=_PRUNING_CHOICES[args.pruning](),
+        backend=args.backend,
+        memory_budget_mb=args.memory_budget_mb,
+        max_k=args.max_k,
+    )
+    result = miner.mine()
+    store_path = shard_store.directory / "pattern_store.json"
+    if store_path.is_file():
+        # Warm start: reindex only what moved since the last save.
+        store = PatternStore.open(store_path)
+        diff = store.apply_result(result)
+        print(
+            f"reopened pattern store v{store.version}: "
+            f"+{diff['added']} ~{diff['changed']} -{diff['removed']} "
+            f"patterns reindexed"
+        )
+    else:
+        store = PatternStore.build(result)
+    store.save(store_path)
+    return PatternServer(
+        store,
+        miner=miner,
+        store_path=store_path,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    server = _build_server(args)
+    read_only = args.result is not None
+    print(
+        f"serving {len(server.store)} pattern(s) "
+        f"(store version {server.store.version}"
+        f"{', read-only' if read_only else ''}) at {server.url}",
+        flush=True,
+    )
+    print(
+        "endpoints: GET /patterns  GET /patterns/{id}  GET /stats  "
+        "POST /update  GET /healthz",
+        flush=True,
+    )
+
+    def _terminate(signum: int, frame: object) -> None:
+        # Graceful SIGTERM/SIGINT: unwind through the KeyboardInterrupt
+        # path below so in-flight requests drain and the socket closes.
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.close()
+    return 0
+
+
+def _load_pattern_store(args: argparse.Namespace) -> PatternStore:
+    if (args.result is None) == (args.store is None):
+        raise ReproError(
+            "query needs exactly one of --store (saved pattern store) "
+            "or --result (save_result archive)"
+        )
+    if args.result is not None:
+        return PatternStore.from_archive(args.result)
+    return PatternStore.open(args.store)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    store = _load_pattern_store(args)
+    query = Query(
+        contains_items=tuple(
+            part.strip()
+            for part in (args.items or "").split(",")
+            if part.strip()
+        ),
+        under_node=args.under,
+        min_height=args.min_height,
+        max_height=args.max_height,
+        signature=args.signature,
+        min_correlation=args.min_corr,
+        max_correlation=args.max_corr,
+        min_support=args.min_support,
+        max_support=args.max_support,
+        sort_by=args.sort,
+        descending=args.order == "desc",
+        limit=args.limit,
+        offset=args.offset,
+    )
+    engine = QueryEngine(store, cache_size=0)
+    result = engine.execute(query, use_cache=False)
+    if args.json:
+        payload = result.to_dict()
+        if args.plan and result.plan is not None:
+            payload["plan"] = result.plan.describe()
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{result.total} match(es) over {len(store)} pattern(s) "
+        f"(store version {store.version})"
+    )
+    if args.plan and result.plan is not None:
+        print(f"plan: {result.plan.describe()}")
+    for pid, pattern in zip(result.ids, result.patterns):
+        value = store.measure_value(args.sort, pid)
+        print(f"  {pid}: {pattern} {args.sort}={value:.4f}")
+    return 0
+
+
 def _cmd_rules(args: argparse.Namespace) -> int:
     from repro.related import (
         cumulate_frequent_itemsets,
@@ -536,6 +796,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    if args.measure is None:
+        # No measure named: one line per registered measure.
+        for measure in sorted(MEASURES.values(), key=lambda m: m.name):
+            aliases = (
+                f" (aliases: {', '.join(measure.aliases)})"
+                if measure.aliases
+                else ""
+            )
+            print(
+                f"{measure.name:<16} {measure.mean_kind} mean; "
+                f"null-invariant={measure.null_invariant}; "
+                f"anti-monotonic={measure.anti_monotonic}{aliases}"
+            )
+        return 0
     measure = get_measure(args.measure)
     print(f"{measure.name}: {measure.mean_kind} mean of P(A|a_i)")
     print(f"  null-invariant:  {measure.null_invariant}")
@@ -573,6 +847,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "mine": _cmd_mine,
         "update": _cmd_update,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
         "rules": _cmd_rules,
         "generate": _cmd_generate,
         "bench": _cmd_bench,

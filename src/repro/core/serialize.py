@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -32,6 +34,7 @@ __all__ = [
     "result_from_dict",
     "save_result",
     "load_result",
+    "atomic_write_json",
 ]
 
 FORMAT_NAME = "repro.mining-result"
@@ -143,6 +146,12 @@ def result_from_dict(raw: dict[str, Any]) -> MiningResult:
             f"not a {FORMAT_NAME} document (format={raw.get('format')!r})"
         )
     version = raw.get("version")
+    if isinstance(version, int) and version > FORMAT_VERSION:
+        raise DataError(
+            f"unsupported format version {version}: the archive was "
+            f"written by a newer tool than this build, which reads "
+            f"version {FORMAT_VERSION}"
+        )
     if version != FORMAT_VERSION:
         raise DataError(
             f"unsupported format version {version!r} "
@@ -166,11 +175,41 @@ def result_from_dict(raw: dict[str, Any]) -> MiningResult:
 # ---------------------------------------------------------------------------
 
 
-def save_result(result: MiningResult, path: str | Path) -> None:
-    """Write a mining result as JSON."""
-    Path(path).write_text(
-        json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+def atomic_write_json(payload: Any, path: str | Path) -> None:
+    """Serialize ``payload`` to ``path`` atomically.
+
+    The JSON is written to a temporary sibling file and moved into
+    place with :func:`os.replace`, so a crash mid-write can never
+    leave a truncated or half-written document at ``path`` — readers
+    see either the old complete file or the new complete file.
+    """
+    target = Path(path)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=target.parent,
+        prefix=f".{target.name}.",
+        suffix=".tmp",
+        delete=False,
     )
+    try:
+        with handle:
+            handle.write(text)
+        os.replace(handle.name, target)
+    except BaseException:
+        # Never leave the temp file behind next to the target.
+        try:
+            os.unlink(handle.name)
+        except FileNotFoundError:
+            pass
+        raise
+
+
+def save_result(result: MiningResult, path: str | Path) -> None:
+    """Write a mining result as JSON (atomically; see
+    :func:`atomic_write_json`)."""
+    atomic_write_json(result_to_dict(result), path)
 
 
 def load_result(path: str | Path) -> MiningResult:
@@ -184,4 +223,7 @@ def load_result(path: str | Path) -> MiningResult:
         raise DataError(f"{target} is not valid JSON: {exc}") from None
     if not isinstance(raw, dict):
         raise DataError(f"{target} does not hold a result object")
-    return result_from_dict(raw)
+    try:
+        return result_from_dict(raw)
+    except DataError as exc:
+        raise DataError(f"{target}: {exc}") from None

@@ -14,6 +14,7 @@ __all__ = [
     "DataError",
     "ConfigError",
     "MiningError",
+    "ServeError",
 ]
 
 
@@ -39,3 +40,8 @@ class ConfigError(ReproError):
 class MiningError(ReproError):
     """Raised when a mining run cannot proceed (e.g. resource caps
     exceeded in a deliberately bounded run)."""
+
+
+class ServeError(ReproError):
+    """Raised by the pattern-serving subsystem (stale store versions,
+    malformed pattern stores, queries against missing patterns)."""

@@ -1,0 +1,42 @@
+"""Pattern serving: indexed store, query engine, live HTTP API.
+
+The path from "mined patterns" to "answering user queries": a
+:class:`PatternStore` indexes a
+:class:`~repro.core.patterns.MiningResult` (and stays fresh under
+incremental updates), a :class:`QueryEngine` compiles composable
+:class:`Query` filters against the indexes with a cost-ordered plan
+and an LRU result cache, and a :class:`PatternServer` exposes the
+whole thing as a stdlib JSON-over-HTTP API.  See ARCHITECTURE.md
+("The serving subsystem") for the data flow.
+"""
+
+from repro.serve.query import (
+    Query,
+    QueryEngine,
+    QueryPlan,
+    QueryResult,
+    linear_scan,
+    matches,
+)
+from repro.serve.server import PatternServer, query_from_params
+from repro.serve.store import (
+    MEASURE_GETTERS,
+    STORE_FILE_NAME,
+    PatternStore,
+    pattern_id_of,
+)
+
+__all__ = [
+    "MEASURE_GETTERS",
+    "STORE_FILE_NAME",
+    "PatternStore",
+    "PatternServer",
+    "Query",
+    "QueryEngine",
+    "QueryPlan",
+    "QueryResult",
+    "linear_scan",
+    "matches",
+    "pattern_id_of",
+    "query_from_params",
+]

@@ -1,0 +1,458 @@
+"""Composable queries over a :class:`~repro.serve.store.PatternStore`.
+
+A :class:`Query` is a frozen dataclass of optional filters —
+contains-items, under-taxonomy-node, chain-height range, correlation
+and support bounds, label signature — plus ordering (sort-by measure,
+ascending/descending) and pagination (offset, limit).  Being frozen
+and normalized it doubles as a cache key.
+
+:class:`QueryEngine` compiles a query against the store's indexes
+with a *cost-ordered* plan: every filter contributes a candidate
+source with a size estimate (posting-list length, bisect range
+width), the smallest source seeds the candidate set, other cheap
+sources intersect into it, expensive ones are left to the final
+per-pattern verification.  Verification re-checks **all** predicates
+via :func:`matches`, so plan choices affect speed only — the answer
+is always exactly what :func:`linear_scan`, the index-free reference
+used by the parity tests and the serve bench, returns.
+
+Results are stamped with the store version, and an LRU cache keyed by
+``(store version, query)`` makes repeated queries free until the next
+content change (a new version changes every key, so invalidation is
+structural).  Readers that pinned a version — e.g. a paginating HTTP
+client — pass ``expect_version`` and fail loudly on mismatch instead
+of silently mixing generations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Any
+
+from repro.core.patterns import FlippingPattern
+from repro.errors import ConfigError
+from repro.serve.store import MEASURE_GETTERS, PatternStore
+
+__all__ = [
+    "Query",
+    "PlanStep",
+    "QueryPlan",
+    "QueryResult",
+    "QueryEngine",
+    "matches",
+    "linear_scan",
+]
+
+#: label symbols that may appear in a signature filter
+_SIGNATURE_SYMBOLS = set("+-.x")
+
+#: a source at most this many times larger than the current candidate
+#: set is still worth a set intersection; anything bigger is left to
+#: the final verification pass
+_INTERSECT_FACTOR = 4
+
+
+@dataclass(frozen=True)
+class Query:
+    """One pattern query; every filter is optional and they compose.
+
+    ``contains_items`` are leaf item *names* (all must appear in the
+    pattern's leaf itemset); ``under_node`` is a taxonomy node name
+    matched at any chain level; ``signature`` is the label trajectory
+    (e.g. ``"+-+"``); correlation/support bounds apply to the leaf
+    link; ``min_height``/``max_height`` bound the chain length.
+    Ordering is by ``sort_by`` (one of the serving measures) with
+    pattern id as the deterministic tie-break; ``offset``/``limit``
+    paginate the ordered matches.
+    """
+
+    contains_items: tuple[str, ...] = ()
+    under_node: str | None = None
+    min_height: int | None = None
+    max_height: int | None = None
+    signature: str | None = None
+    min_correlation: float | None = None
+    max_correlation: float | None = None
+    min_support: int | None = None
+    max_support: int | None = None
+    sort_by: str = "correlation"
+    descending: bool = True
+    limit: int | None = None
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        items = tuple(
+            sorted({str(name) for name in self.contains_items})
+        )
+        object.__setattr__(self, "contains_items", items)
+        if self.sort_by not in MEASURE_GETTERS:
+            known = ", ".join(sorted(MEASURE_GETTERS))
+            raise ConfigError(
+                f"unknown sort measure {self.sort_by!r} (known: {known})"
+            )
+        if self.signature is not None:
+            bad = set(self.signature) - _SIGNATURE_SYMBOLS
+            if not self.signature or bad:
+                raise ConfigError(
+                    f"signature {self.signature!r} must be a non-empty "
+                    "string of label symbols (+ - . x)"
+                )
+        for name in ("min_height", "max_height"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value}")
+        if self.offset < 0:
+            raise ConfigError(f"offset must be >= 0, got {self.offset}")
+        if self.limit is not None and self.limit < 0:
+            raise ConfigError(f"limit must be >= 0, got {self.limit}")
+
+    @property
+    def is_unfiltered(self) -> bool:
+        return not (
+            self.contains_items
+            or self.under_node is not None
+            or self.min_height is not None
+            or self.max_height is not None
+            or self.signature is not None
+            or self.min_correlation is not None
+            or self.max_correlation is not None
+            or self.min_support is not None
+            or self.max_support is not None
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value != spec.default and spec.name != "contains_items":
+                out[spec.name] = value
+        if self.contains_items:
+            out["contains_items"] = list(self.contains_items)
+        return out
+
+
+def matches(pattern: FlippingPattern, query: Query) -> bool:
+    """The full predicate; the single source of filter semantics."""
+    if query.contains_items:
+        leaf = set(pattern.leaf_names)
+        if not leaf.issuperset(query.contains_items):
+            return False
+    if query.under_node is not None:
+        if not any(
+            query.under_node in link.names for link in pattern.links
+        ):
+            return False
+    if query.min_height is not None and pattern.height < query.min_height:
+        return False
+    if query.max_height is not None and pattern.height > query.max_height:
+        return False
+    if query.signature is not None and pattern.signature != query.signature:
+        return False
+    leaf_link = pattern.leaf_link
+    if (
+        query.min_correlation is not None
+        and leaf_link.correlation < query.min_correlation
+    ):
+        return False
+    if (
+        query.max_correlation is not None
+        and leaf_link.correlation > query.max_correlation
+    ):
+        return False
+    if query.min_support is not None and leaf_link.support < query.min_support:
+        return False
+    if query.max_support is not None and leaf_link.support > query.max_support:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One candidate source and how the plan used it."""
+
+    source: str  #: e.g. ``item:milk``, ``range:correlation``
+    estimate: int  #: posting-list length / range width at plan time
+    action: str  #: ``seed`` | ``intersect`` | ``verify``
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    steps: tuple[PlanStep, ...]
+
+    def describe(self) -> str:
+        if not self.steps:
+            return "full scan (no index-backed filters)"
+        return " -> ".join(
+            f"{step.action} {step.source} (~{step.estimate})"
+            for step in self.steps
+        )
+
+
+@dataclass
+class QueryResult:
+    """Ordered, paginated matches stamped with the store version."""
+
+    store_version: int
+    query: Query
+    total: int  #: matches before pagination
+    ids: list[str]
+    patterns: list[FlippingPattern]
+    plan: QueryPlan | None = None
+    cached: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "store_version": self.store_version,
+            "query": self.query.to_dict(),
+            "total": self.total,
+            "offset": self.query.offset,
+            "count": len(self.ids),
+            "patterns": [
+                dict(pattern.to_dict(), id=pid)
+                for pid, pattern in zip(self.ids, self.patterns)
+            ],
+        }
+
+
+def _order_and_paginate(
+    store: PatternStore, candidates: list[str], query: Query
+) -> tuple[int, list[str]]:
+    """Shared ordering/pagination of matched ids (engine and scan)."""
+    getter = MEASURE_GETTERS[query.sort_by]
+    if query.descending:
+        # value descending, pattern id ascending on ties (measure
+        # values are all finite floats, so negation is order-exact)
+        def key(pid: str) -> tuple[float, str]:
+            return (-getter(store.get(pid)), pid)  # type: ignore[arg-type]
+    else:
+        def key(pid: str) -> tuple[float, str]:
+            return (getter(store.get(pid)), pid)  # type: ignore[arg-type]
+
+    total = len(candidates)
+    if query.limit is None:
+        page = sorted(candidates, key=key)[query.offset :]
+    else:
+        # top-k selection: O(n log k) instead of a full O(n log n)
+        # sort; heapq.nsmallest on the same key yields exactly
+        # sorted(...)[:k]
+        wanted = query.offset + query.limit
+        if wanted < total:
+            page = heapq.nsmallest(wanted, candidates, key=key)[
+                query.offset :
+            ]
+        else:
+            page = sorted(candidates, key=key)[query.offset : wanted]
+    return total, page
+
+
+def linear_scan(store: PatternStore, query: Query) -> QueryResult:
+    """Brute-force reference: test every pattern, no indexes.
+
+    The parity oracle for the query engine and the baseline the serve
+    bench measures the indexes against.
+    """
+    candidates = [
+        pid for pid, pattern in store.items() if matches(pattern, query)
+    ]
+    total, page = _order_and_paginate(store, candidates, query)
+    return QueryResult(
+        store_version=store.version,
+        query=query,
+        total=total,
+        ids=page,
+        patterns=[store.get(pid) for pid in page],  # type: ignore[misc]
+    )
+
+
+class QueryEngine:
+    """Compiles queries against the store indexes, with an LRU cache."""
+
+    def __init__(self, store: PatternStore, *, cache_size: int = 128) -> None:
+        self._store = store
+        self._cache_size = max(0, cache_size)
+        self._cache: OrderedDict[tuple[int, Query], QueryResult] = (
+            OrderedDict()
+        )
+        # guards the cache dict and hit/miss counters only; query
+        # compilation runs outside it, so concurrent readers (e.g.
+        # the threaded HTTP server) never serialize on real work
+        self._cache_lock = threading.Lock()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def store(self) -> PatternStore:
+        return self._store
+
+    # ------------------------------------------------------------------
+
+    def _sources(self, query: Query) -> list[tuple[str, int, Any]]:
+        """Candidate sources: ``(name, size estimate, materializer)``."""
+        store = self._store
+        sources: list[tuple[str, int, Any]] = []
+        for name in query.contains_items:
+            postings = store.item_postings(name)
+            sources.append((f"item:{name}", len(postings), postings))
+        if query.under_node is not None:
+            postings = store.node_postings(query.under_node)
+            sources.append(
+                (f"node:{query.under_node}", len(postings), postings)
+            )
+        if query.signature is not None:
+            postings = store.signature_postings(query.signature)
+            sources.append(
+                (f"signature:{query.signature}", len(postings), postings)
+            )
+        if query.min_height is not None or query.max_height is not None:
+            estimate = store.height_estimate(
+                query.min_height, query.max_height
+            )
+            sources.append(
+                (
+                    f"height:{query.min_height}..{query.max_height}",
+                    estimate,
+                    lambda q=query: store.height_postings(
+                        q.min_height, q.max_height
+                    ),
+                )
+            )
+        for measure, lo, hi in (
+            ("correlation", query.min_correlation, query.max_correlation),
+            ("support", query.min_support, query.max_support),
+        ):
+            if lo is None and hi is None:
+                continue
+            left, right = store.range_bounds(measure, lo, hi)
+            sources.append(
+                (
+                    f"range:{measure}",
+                    right - left,
+                    lambda m=measure, a=lo, b=hi: store.range_postings(
+                        m, a, b
+                    ),
+                )
+            )
+        sources.sort(key=lambda source: (source[1], source[0]))
+        return sources
+
+    def plan(self, query: Query) -> QueryPlan:
+        """The cost-ordered plan :meth:`execute` would run."""
+        return self._compile(query)[1]
+
+    def _compile(self, query: Query) -> tuple[list[str], QueryPlan]:
+        store = self._store
+        sources = self._sources(query)
+        steps: list[PlanStep] = []
+        if not sources:
+            candidates = set(store.ids())
+        else:
+            name, estimate, postings = sources[0]
+            candidates = _materialize(postings)
+            steps.append(PlanStep(name, estimate, "seed"))
+            for name, estimate, postings in sources[1:]:
+                if not candidates:
+                    break
+                if estimate <= _INTERSECT_FACTOR * len(candidates):
+                    candidates &= _materialize(postings)
+                    steps.append(PlanStep(name, estimate, "intersect"))
+                else:
+                    # cheaper to verify per candidate than to build
+                    # the big posting set
+                    steps.append(PlanStep(name, estimate, "verify"))
+        # Every source is an *exact* realization of its filter, so
+        # when all of them landed as seed/intersect the candidate set
+        # already is the answer; per-pattern verification is only
+        # needed for filters the plan chose not to materialize.
+        applied = sum(
+            1 for step in steps if step.action in ("seed", "intersect")
+        )
+        if applied == len(sources):
+            matched = list(candidates)
+        else:
+            matched = [
+                pid
+                for pid in candidates
+                if matches(store.get(pid), query)  # type: ignore[arg-type]
+            ]
+        return matched, QueryPlan(tuple(steps))
+
+    def execute(
+        self,
+        query: Query,
+        *,
+        expect_version: int | None = None,
+        use_cache: bool = True,
+    ) -> QueryResult:
+        """Run ``query``; exactly :func:`linear_scan`'s answer, faster."""
+        store = self._store
+        if expect_version is not None:
+            store.require_version(expect_version)
+        key = (store.version, query)
+        if use_cache and self._cache_size:
+            with self._cache_lock:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self._cache.move_to_end(key)
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
+            if hit is not None:
+                return QueryResult(
+                    store_version=hit.store_version,
+                    query=hit.query,
+                    total=hit.total,
+                    ids=list(hit.ids),
+                    patterns=list(hit.patterns),
+                    plan=hit.plan,
+                    cached=True,
+                )
+        matched, plan = self._compile(query)
+        total, page = _order_and_paginate(store, matched, query)
+        result = QueryResult(
+            store_version=store.version,
+            query=query,
+            total=total,
+            ids=page,
+            patterns=[store.get(pid) for pid in page],  # type: ignore[misc]
+            plan=plan,
+        )
+        if use_cache and self._cache_size:
+            # Cache a private copy: the caller owns the returned
+            # lists and must not be able to corrupt later hits.
+            snapshot = QueryResult(
+                store_version=result.store_version,
+                query=result.query,
+                total=result.total,
+                ids=list(result.ids),
+                patterns=list(result.patterns),
+                plan=result.plan,
+            )
+            with self._cache_lock:
+                self._cache[key] = snapshot
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> dict[str, int]:
+        with self._cache_lock:
+            return {
+                "size": len(self._cache),
+                "max_size": self._cache_size,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            }
+
+    def clear_cache(self) -> None:
+        with self._cache_lock:
+            self._cache.clear()
+
+
+def _materialize(postings: Any) -> set[str]:
+    if callable(postings):
+        postings = postings()
+    return set(postings)

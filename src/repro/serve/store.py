@@ -1,0 +1,417 @@
+"""Indexed, persistent store of mined flipping patterns.
+
+A :class:`PatternStore` is the serving-side counterpart of a
+:class:`~repro.core.patterns.MiningResult`: the same patterns, but
+held behind inverted indexes so queries resolve through posting-list
+intersections instead of linear scans.  Four index families are
+maintained:
+
+* **item → patterns** — leaf (level-H) item names;
+* **node → patterns** — every taxonomy node appearing at *any* chain
+  level, which is exactly the descendant-or-self relation restricted
+  to the pattern's generalization path;
+* **signature → patterns** — the label trajectory (e.g. ``+-+``);
+* **height → patterns** — chain length, for level-range filters;
+
+plus one sorted ``(value, pattern_id)`` array per serving measure
+(leaf correlation/support and the three flip-sharpness gaps), giving
+``O(log n)`` range scans through :mod:`bisect`.
+
+Pattern identity is the leaf itemset (``pattern_id`` is its item ids
+joined with ``-``), which makes the store *incrementally* rebuildable:
+:meth:`PatternStore.apply_result` diffs an updated
+:class:`MiningResult` (e.g. from
+:meth:`~repro.engine.incremental.IncrementalMiner.update`) against
+what is indexed and touches only added, changed and removed patterns.
+Every content change bumps the store ``version``; query consumers
+stamp results with it and fail loudly on mismatch instead of serving
+a mix of two generations (see :mod:`repro.serve.query`).
+
+The store round-trips to disk as a single JSON document (written
+atomically, so readers never observe a torn file) — conventionally
+``pattern_store.json`` next to the shard manifest it was mined from.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from collections.abc import Callable, Iterator
+from pathlib import Path
+from typing import Any
+
+from repro.core.patterns import FlippingPattern, MiningResult
+from repro.core.serialize import (
+    _link_from_dict,
+    _link_to_dict,
+    atomic_write_json,
+    load_result,
+)
+from repro.errors import ServeError
+
+__all__ = [
+    "PatternStore",
+    "STORE_FORMAT",
+    "STORE_FORMAT_VERSION",
+    "STORE_FILE_NAME",
+    "MEASURE_GETTERS",
+    "pattern_id_of",
+]
+
+STORE_FORMAT = "repro.pattern-store"
+STORE_FORMAT_VERSION = 1
+
+#: conventional file name when the store lives in a directory (next
+#: to a shard manifest)
+STORE_FILE_NAME = "pattern_store.json"
+
+#: serving measures with a sorted array each: name -> value getter
+MEASURE_GETTERS: dict[str, Callable[[FlippingPattern], float]] = {
+    "correlation": lambda p: p.leaf_link.correlation,
+    "support": lambda p: float(p.leaf_link.support),
+    "min_gap": lambda p: p.min_gap,
+    "max_gap": lambda p: p.max_gap,
+    "mean_gap": lambda p: p.mean_gap,
+}
+
+#: sorts above every pattern id in tuple comparisons (ids are ASCII)
+_ID_CEILING = "\U0010ffff"
+
+
+def pattern_id_of(pattern: FlippingPattern) -> str:
+    """Stable identity of a pattern: its leaf item ids joined by ``-``.
+
+    The leaf itemset is what a flipping pattern *is* (the chain is its
+    derived trajectory), so the id survives re-mines and incremental
+    updates — the same itemset keeps the same id even when supports
+    and correlations move.
+    """
+    return "-".join(str(item) for item in pattern.leaf_link.itemset)
+
+
+class PatternStore:
+    """Patterns behind inverted indexes and sorted measure arrays.
+
+    Build one with :meth:`build` (from a ``MiningResult``),
+    :meth:`from_archive` (from a ``save_result`` JSON file) or
+    :meth:`open` (from a saved store); keep it fresh with
+    :meth:`apply_result`.
+    """
+
+    def __init__(self) -> None:
+        self._patterns: dict[str, FlippingPattern] = {}
+        # canonical JSON of each pattern's chain, for cheap change
+        # detection during apply_result
+        self._fingerprints: dict[str, str] = {}
+        self._by_item: dict[str, set[str]] = {}
+        self._by_node: dict[str, set[str]] = {}
+        self._by_signature: dict[str, set[str]] = {}
+        self._by_height: dict[int, set[str]] = {}
+        self._sorted: dict[str, list[tuple[float, str]]] = {
+            name: [] for name in MEASURE_GETTERS
+        }
+        self._version = 0
+        self._config: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, result: MiningResult) -> "PatternStore":
+        """Index a mining result (store version starts at 1)."""
+        store = cls()
+        store.apply_result(result)
+        return store
+
+    @classmethod
+    def from_archive(cls, path: str | Path) -> "PatternStore":
+        """Index a :func:`~repro.core.serialize.save_result` archive."""
+        return cls.build(load_result(path))
+
+    @classmethod
+    def open(cls, path: str | Path) -> "PatternStore":
+        """Reopen a store written by :meth:`save`.
+
+        ``path`` may be the store file itself or a directory holding
+        ``pattern_store.json`` (the shard-store convention).
+        """
+        target = _store_file(path)
+        try:
+            raw = json.loads(target.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ServeError(f"no such pattern store: {target}") from None
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"{target} is not a valid pattern store: {exc}"
+            ) from None
+        if not isinstance(raw, dict) or raw.get("format") != STORE_FORMAT:
+            raise ServeError(
+                f"{target} is not a {STORE_FORMAT} document "
+                f"(format={raw.get('format') if isinstance(raw, dict) else None!r})"
+            )
+        file_version = raw.get("format_version")
+        if file_version != STORE_FORMAT_VERSION:
+            raise ServeError(
+                f"{target}: unsupported pattern-store format version "
+                f"{file_version!r} (this build reads version "
+                f"{STORE_FORMAT_VERSION})"
+            )
+        store = cls()
+        for chain in raw.get("patterns", []):
+            pattern = FlippingPattern(
+                links=tuple(_link_from_dict(link) for link in chain)
+            )
+            pid = pattern_id_of(pattern)
+            if pid in store._patterns:
+                raise ServeError(
+                    f"{target}: duplicate pattern id {pid!r}"
+                )
+            store._insert(pid, pattern)
+        store._version = int(raw.get("store_version", 1))
+        store._config = dict(raw.get("config", {}))
+        return store
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+
+    def apply_result(self, result: MiningResult) -> dict[str, int]:
+        """Re-point the store at ``result``, reindexing only changes.
+
+        Patterns are diffed by id and chain fingerprint: unchanged
+        patterns keep their index entries untouched, changed ones are
+        removed and re-inserted, and ids absent from ``result`` are
+        dropped.  The version is bumped exactly when content changed,
+        so an empty diff (e.g. a ``noop`` incremental update) keeps
+        cached query results valid.  Returns the diff counts.
+        """
+        incoming: dict[str, FlippingPattern] = {}
+        for pattern in result.patterns:
+            pid = pattern_id_of(pattern)
+            if pid in incoming:
+                raise ServeError(
+                    f"mining result contains two patterns with leaf "
+                    f"itemset {pid!r}"
+                )
+            incoming[pid] = pattern
+        added = changed = unchanged = 0
+        removed_ids = [
+            pid for pid in self._patterns if pid not in incoming
+        ]
+        for pid in removed_ids:
+            self._remove(pid)
+        for pid, pattern in incoming.items():
+            fingerprint = _fingerprint(pattern)
+            if pid not in self._patterns:
+                self._insert(pid, pattern, fingerprint)
+                added += 1
+            elif self._fingerprints[pid] != fingerprint:
+                self._remove(pid)
+                self._insert(pid, pattern, fingerprint)
+                changed += 1
+            else:
+                unchanged += 1
+        dirty = bool(added or changed or removed_ids)
+        if dirty or self._version == 0:
+            self._version += 1
+        self._config = dict(result.config)
+        return {
+            "added": added,
+            "changed": changed,
+            "removed": len(removed_ids),
+            "unchanged": unchanged,
+            "version": self._version,
+        }
+
+    def _insert(
+        self,
+        pid: str,
+        pattern: FlippingPattern,
+        fingerprint: str | None = None,
+    ) -> None:
+        self._patterns[pid] = pattern
+        self._fingerprints[pid] = fingerprint or _fingerprint(pattern)
+        for name in pattern.leaf_names:
+            self._by_item.setdefault(name, set()).add(pid)
+        for link in pattern.links:
+            for name in link.names:
+                self._by_node.setdefault(name, set()).add(pid)
+        self._by_signature.setdefault(pattern.signature, set()).add(pid)
+        self._by_height.setdefault(pattern.height, set()).add(pid)
+        for name, getter in MEASURE_GETTERS.items():
+            bisect.insort(self._sorted[name], (getter(pattern), pid))
+
+    def _remove(self, pid: str) -> None:
+        pattern = self._patterns.pop(pid)
+        del self._fingerprints[pid]
+        for name in pattern.leaf_names:
+            _discard(self._by_item, name, pid)
+        for link in pattern.links:
+            for name in link.names:
+                _discard(self._by_node, name, pid)
+        _discard(self._by_signature, pattern.signature, pid)
+        _discard(self._by_height, pattern.height, pid)
+        for name, getter in MEASURE_GETTERS.items():
+            entry = (getter(pattern), pid)
+            array = self._sorted[name]
+            index = bisect.bisect_left(array, entry)
+            if index < len(array) and array[index] == entry:
+                del array[index]
+
+    # ------------------------------------------------------------------
+    # read access (what the query engine compiles against)
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic content version; bumped by every real change."""
+        return self._version
+
+    @property
+    def config(self) -> dict[str, Any]:
+        """Run configuration of the indexed mining result."""
+        return dict(self._config)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __contains__(self, pid: str) -> bool:
+        return pid in self._patterns
+
+    def get(self, pid: str) -> FlippingPattern | None:
+        return self._patterns.get(pid)
+
+    def ids(self) -> list[str]:
+        """All pattern ids, sorted (the deterministic scan order)."""
+        return sorted(self._patterns)
+
+    def items(self) -> Iterator[tuple[str, FlippingPattern]]:
+        for pid in sorted(self._patterns):
+            yield pid, self._patterns[pid]
+
+    def item_postings(self, name: str) -> set[str]:
+        """Patterns whose *leaf* itemset contains the item ``name``."""
+        return set(self._by_item.get(name, ()))
+
+    def node_postings(self, name: str) -> set[str]:
+        """Patterns touching taxonomy node ``name`` at any chain level."""
+        return set(self._by_node.get(name, ()))
+
+    def signature_postings(self, signature: str) -> set[str]:
+        return set(self._by_signature.get(signature, ()))
+
+    def height_postings(self, lo: int | None, hi: int | None) -> set[str]:
+        found: set[str] = set()
+        for height, pids in self._by_height.items():
+            if lo is not None and height < lo:
+                continue
+            if hi is not None and height > hi:
+                continue
+            found |= pids
+        return found
+
+    def height_estimate(self, lo: int | None, hi: int | None) -> int:
+        return sum(
+            len(pids)
+            for height, pids in self._by_height.items()
+            if (lo is None or height >= lo) and (hi is None or height <= hi)
+        )
+
+    def range_bounds(
+        self, measure: str, lo: float | None, hi: float | None
+    ) -> tuple[int, int]:
+        """``[left, right)`` slice of the sorted ``measure`` array
+        holding values in the inclusive ``[lo, hi]`` range."""
+        array = self._sorted[measure]
+        left = (
+            0 if lo is None else bisect.bisect_left(array, (float(lo), ""))
+        )
+        right = (
+            len(array)
+            if hi is None
+            else bisect.bisect_right(array, (float(hi), _ID_CEILING))
+        )
+        return left, max(left, right)
+
+    def range_postings(
+        self, measure: str, lo: float | None, hi: float | None
+    ) -> set[str]:
+        left, right = self.range_bounds(measure, lo, hi)
+        return {pid for _, pid in self._sorted[measure][left:right]}
+
+    def measure_value(self, measure: str, pid: str) -> float:
+        return MEASURE_GETTERS[measure](self._patterns[pid])
+
+    def require_version(self, expected: int) -> None:
+        """Fail loudly when a reader pinned a different generation."""
+        if expected != self._version:
+            raise ServeError(
+                f"stale store version: reader expected {expected}, "
+                f"store is at {self._version}"
+            )
+
+    def stats(self) -> dict[str, Any]:
+        """Index shape summary (the ``/stats`` endpoint payload)."""
+        return {
+            "version": self._version,
+            "n_patterns": len(self._patterns),
+            "n_items_indexed": len(self._by_item),
+            "n_nodes_indexed": len(self._by_node),
+            "signatures": {
+                signature: len(pids)
+                for signature, pids in sorted(self._by_signature.items())
+            },
+            "heights": {
+                str(height): len(pids)
+                for height, pids in sorted(self._by_height.items())
+            },
+            "measures": sorted(MEASURE_GETTERS),
+        }
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the store as one JSON document, atomically.
+
+        ``path`` may be a directory (the file lands at
+        ``path/pattern_store.json``, next to a shard manifest) or an
+        explicit file path.  Returns the file written.
+        """
+        target = _store_file(path)
+        payload = {
+            "format": STORE_FORMAT,
+            "format_version": STORE_FORMAT_VERSION,
+            "store_version": self._version,
+            "config": self._config,
+            "patterns": [
+                [_link_to_dict(link) for link in pattern.links]
+                for _, pattern in self.items()
+            ],
+        }
+        atomic_write_json(payload, target)
+        return target
+
+
+def _store_file(path: str | Path) -> Path:
+    target = Path(path)
+    if target.is_dir():
+        return target / STORE_FILE_NAME
+    return target
+
+
+def _fingerprint(pattern: FlippingPattern) -> str:
+    return json.dumps(
+        [_link_to_dict(link) for link in pattern.links], sort_keys=True
+    )
+
+
+def _discard(index: dict, key: Any, pid: str) -> None:
+    postings = index.get(key)
+    if postings is None:
+        return
+    postings.discard(pid)
+    if not postings:
+        del index[key]

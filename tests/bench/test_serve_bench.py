@@ -1,0 +1,76 @@
+"""End-to-end smoke of the serve bench (tiny scale).
+
+The speedup check is scale-dependent (posting lists only beat a scan
+once the corpus is real-sized, which CI's perf-gate job runs at the
+default scale), so this smoke asserts the *exactness* properties —
+indexed-vs-scan answer parity over the whole workload — and the
+baseline file shape, not ``checks_pass``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+
+
+def test_serve_bench_writes_baseline(tmp_path):
+    from repro.bench import run_serve_bench
+
+    out = tmp_path / "BENCH_serve.json"
+    report, data = run_serve_bench(out_path=out)
+    assert "Serve bench" in report
+    assert data["bench"] == "serve"
+    on_disk = json.loads(out.read_text())
+    # exactness holds at every scale
+    assert on_disk["parity"] is True
+    assert on_disk["n_patterns"] >= 300
+    assert on_disk["n_queries"] > 100
+    for name in ("indexed", "scan", "cached"):
+        stats = on_disk[name]
+        assert stats["seconds"] > 0
+        assert stats["qps"] > 0
+        assert stats["p50_ms"] <= stats["p99_ms"]
+    assert on_disk["speedup"] > 0
+    assert on_disk["min_speedup"] == 5.0
+
+
+def test_out_path_env_override(tmp_path, monkeypatch):
+    from repro.bench import run_serve_bench
+
+    out = tmp_path / "custom.json"
+    monkeypatch.setenv("REPRO_BENCH_SERVE_OUT", str(out))
+    run_serve_bench()
+    assert out.is_file()
+
+
+def test_synthetic_corpus_is_deterministic():
+    from repro.bench.serve import synthetic_serve_result
+
+    a = synthetic_serve_result(50, seed=3)
+    b = synthetic_serve_result(50, seed=3)
+    assert [p.to_dict() for p in a.patterns] == [
+        p.to_dict() for p in b.patterns
+    ]
+    assert len({tuple(p.leaf_link.itemset) for p in a.patterns}) == 50
+
+
+def test_committed_baseline_passes_its_own_checks():
+    """The committed BENCH_serve.json (produced at the default scale)
+    must satisfy its internal checks, including the 5x speedup floor
+    the CI gate enforces."""
+    from pathlib import Path
+
+    committed = json.loads(
+        (
+            Path(__file__).resolve().parents[2] / "BENCH_serve.json"
+        ).read_text()
+    )
+    assert committed["checks_pass"] is True
+    assert committed["speedup"] >= committed["min_speedup"]
+    assert committed["parity"] is True

@@ -119,3 +119,68 @@ class TestFailureModes:
         raw["stats"]["stored_entries"] += 7
         with pytest.raises(DataError, match="corrupt stats"):
             result_from_dict(raw)
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_droppings(self, toy_result, tmp_path):
+        save_result(toy_result, tmp_path / "run.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["run.json"]
+
+    def test_crash_mid_save_preserves_old_archive(
+        self, toy_result, tmp_path, monkeypatch
+    ):
+        """A failure before the final os.replace must leave the
+        previous complete archive untouched and clean up its temp."""
+        import repro.core.serialize as serialize
+
+        path = tmp_path / "run.json"
+        save_result(toy_result, path)
+        before = path.read_text()
+
+        def crash(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(serialize.os, "replace", crash)
+        with pytest.raises(OSError, match="disk full"):
+            save_result(toy_result, path)
+        monkeypatch.undo()
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["run.json"]
+        # and the preserved archive still loads
+        assert len(load_result(path).patterns) == len(toy_result.patterns)
+
+    def test_overwrite_is_all_or_nothing(self, toy_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(toy_result, path)
+        save_result(toy_result, path)
+        assert len(load_result(path).patterns) == len(toy_result.patterns)
+
+
+class TestVersionMessages:
+    def test_future_version_names_both_versions(self, toy_result):
+        raw = result_to_dict(toy_result)
+        raw["version"] = FORMAT_VERSION + 1
+        with pytest.raises(DataError) as info:
+            result_from_dict(raw)
+        message = str(info.value)
+        assert str(FORMAT_VERSION + 1) in message
+        assert str(FORMAT_VERSION) in message
+        assert "newer" in message
+
+    def test_older_unknown_version_still_rejected(self, toy_result):
+        raw = result_to_dict(toy_result)
+        raw["version"] = 0
+        with pytest.raises(DataError, match="unsupported format version"):
+            result_from_dict(raw)
+
+    def test_load_result_reports_offending_path(
+        self, toy_result, tmp_path
+    ):
+        path = tmp_path / "future.json"
+        raw = result_to_dict(toy_result)
+        raw["version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(raw))
+        with pytest.raises(DataError) as info:
+            load_result(path)
+        assert "future.json" in str(info.value)
+        assert "unsupported format version" in str(info.value)

@@ -117,4 +117,5 @@ class TestBenchRunnersSmoke:
             "engine",
             "partition",
             "incremental",
+            "serve",
         }

@@ -1,0 +1,202 @@
+"""Property test: the indexed engine IS the linear scan, faster.
+
+Every ``Query`` filter combination, over adversarial corpora (empty
+stores, single-pattern stores, stores reindexed by ``apply_result``),
+must return exactly the ids and totals a brute-force scan returns —
+with the cache cold, warm, and disabled.  This is the guarantee the
+whole serving subsystem rests on: plans and caches may only change
+the speed of an answer, never the answer.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import Label
+from repro.core.patterns import ChainLink, FlippingPattern, MiningResult
+from repro.core.stats import MiningStats
+from repro.serve import PatternStore, Query, QueryEngine, linear_scan
+
+# A deliberately tiny namespace so patterns collide on items, nodes,
+# signatures and measure values: 6 items over 3 groups over 2 cats.
+_N_ITEMS, _N_GROUPS, _N_CATS = 6, 3, 2
+
+_LABEL_OF = {"+": Label.POSITIVE, "-": Label.NEGATIVE}
+
+
+def _cat(c):
+    return c, f"c{c}"
+
+
+def _group(g):
+    return 10 + g, f"g{g}"
+
+
+def _item(i):
+    return 100 + i, f"i{i}"
+
+
+def _group_of(i):
+    return (i - 1) % _N_GROUPS + 1
+
+
+def _cat_of(g):
+    return (g - 1) % _N_CATS + 1
+
+
+@st.composite
+def _pattern_params(draw):
+    return (
+        draw(st.booleans()),  # tall (3 links) or short (2 links)
+        draw(st.sampled_from("+-")),  # signature start
+        draw(st.integers(1, 30)),  # leaf support
+        draw(st.integers(0, 20)),  # support step per level up
+        draw(
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=3,
+                max_size=3,
+            )
+        ),
+    )
+
+
+def _build_pattern(item_key: frozenset[int], params) -> FlippingPattern:
+    tall, start, leaf_support, step, correlations = params
+    items = sorted(item_key)
+    groups = sorted({_group_of(i) for i in items})
+    cats = sorted({_cat_of(g) for g in groups})
+    levels = [[_cat(c) for c in cats]]
+    if tall:
+        levels.append([_group(g) for g in groups])
+    levels.append([_item(i) for i in items])
+    links = []
+    for depth, members in enumerate(levels):
+        members = sorted(members)
+        symbol = start if depth % 2 == 0 else ("-" if start == "+" else "+")
+        links.append(
+            ChainLink(
+                level=depth + 1,
+                itemset=tuple(node_id for node_id, _ in members),
+                names=tuple(name for _, name in members),
+                support=leaf_support + step * (len(levels) - 1 - depth),
+                correlation=correlations[depth],
+                label=_LABEL_OF[symbol],
+            )
+        )
+    return FlippingPattern(links=tuple(links))
+
+
+# item-key -> params; the frozenset key makes leaf itemsets (and so
+# pattern ids) unique by construction
+_corpora = st.dictionaries(
+    st.frozensets(st.integers(1, _N_ITEMS), min_size=1, max_size=3),
+    _pattern_params(),
+    max_size=12,
+)
+
+_names = (
+    [_item(i)[1] for i in range(1, _N_ITEMS + 1)]
+    + [_group(g)[1] for g in range(1, _N_GROUPS + 1)]
+    + [_cat(c)[1] for c in range(1, _N_CATS + 1)]
+)
+
+_queries = st.builds(
+    Query,
+    contains_items=st.sets(
+        st.sampled_from(_names[:_N_ITEMS]), max_size=2
+    ).map(tuple),
+    under_node=st.none() | st.sampled_from(_names),
+    min_height=st.none() | st.integers(1, 4),
+    max_height=st.none() | st.integers(1, 4),
+    signature=st.none()
+    | st.sampled_from(["+-+", "-+-", "+-", "-+", "+", "."]),
+    min_correlation=st.none() | st.floats(0.0, 1.0, allow_nan=False),
+    max_correlation=st.none() | st.floats(0.0, 1.0, allow_nan=False),
+    min_support=st.none() | st.integers(0, 80),
+    max_support=st.none() | st.integers(0, 80),
+    sort_by=st.sampled_from(
+        ["correlation", "support", "min_gap", "max_gap", "mean_gap"]
+    ),
+    descending=st.booleans(),
+    limit=st.none() | st.integers(0, 8),
+    offset=st.integers(0, 8),
+)
+
+
+def _store_of(corpus) -> PatternStore:
+    patterns = [
+        _build_pattern(key, params) for key, params in sorted(
+            corpus.items(), key=lambda kv: sorted(kv[0])
+        )
+    ]
+    return PatternStore.build(
+        MiningResult(
+            patterns=patterns,
+            stats=MiningStats(method="prop", measure="kulczynski"),
+        )
+    )
+
+
+def _assert_parity(store: PatternStore, query: Query) -> None:
+    engine = QueryEngine(store, cache_size=4)
+    expected = linear_scan(store, query)
+    uncached = engine.execute(query, use_cache=False)
+    cold = engine.execute(query)
+    warm = engine.execute(query)
+    for result in (uncached, cold, warm):
+        assert result.ids == expected.ids, (query, result.plan)
+        assert result.total == expected.total
+        assert result.store_version == store.version
+    assert warm.cached
+
+
+@given(corpus=_corpora, query=_queries)
+@settings(max_examples=150, deadline=None)
+def test_engine_matches_scan(corpus, query):
+    _assert_parity(_store_of(corpus), query)
+
+
+@given(
+    corpus_a=_corpora,
+    corpus_b=_corpora,
+    query=_queries,
+)
+@settings(max_examples=100, deadline=None)
+def test_reindexed_store_matches_fresh_build(corpus_a, corpus_b, query):
+    """apply_result's incremental diff must leave the store
+    indistinguishable from one built from scratch."""
+    store = _store_of(corpus_a)
+    fresh = _store_of(corpus_b)
+    patterns = [fresh.get(pid) for pid in fresh.ids()]
+    store.apply_result(
+        MiningResult(
+            patterns=patterns,
+            stats=MiningStats(method="prop", measure="kulczynski"),
+        )
+    )
+    assert store.ids() == fresh.ids()
+    expected = linear_scan(fresh, query)
+    got = QueryEngine(store).execute(query, use_cache=False)
+    assert got.ids == expected.ids
+    assert got.total == expected.total
+
+
+@given(query=_queries)
+@settings(max_examples=30, deadline=None)
+def test_empty_store(query):
+    store = _store_of({})
+    result = QueryEngine(store).execute(query, use_cache=False)
+    assert result.ids == []
+    assert result.total == 0
+
+
+@given(
+    key=st.frozensets(st.integers(1, _N_ITEMS), min_size=1, max_size=3),
+    params=_pattern_params(),
+    query=_queries,
+)
+@settings(max_examples=60, deadline=None)
+def test_single_pattern_store(key, params, query):
+    _assert_parity(_store_of({key: params}), query)

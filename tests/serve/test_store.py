@@ -1,0 +1,222 @@
+"""Unit tests for the indexed pattern store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.patterns import MiningResult
+from repro.core.stats import MiningStats
+from repro.errors import ServeError
+from repro.serve import (
+    PatternStore,
+    Query,
+    QueryEngine,
+    linear_scan,
+    pattern_id_of,
+)
+from repro.serve.store import STORE_FILE_NAME, STORE_FORMAT_VERSION
+
+
+def _empty_result(config=None):
+    return MiningResult(
+        patterns=[],
+        stats=MiningStats(method="test", measure="kulczynski"),
+        config=dict(config or {}),
+    )
+
+
+def _result_with(patterns, config=None):
+    return MiningResult(
+        patterns=list(patterns),
+        stats=MiningStats(method="test", measure="kulczynski"),
+        config=dict(config or {}),
+    )
+
+
+class TestBuild:
+    def test_indexes_toy_pattern(self, toy_store, toy_result):
+        assert len(toy_store) == len(toy_result.patterns) == 1
+        pattern = toy_result.patterns[0]
+        pid = pattern_id_of(pattern)
+        assert pid in toy_store
+        assert toy_store.get(pid) == pattern
+        # leaf items are indexed...
+        for name in pattern.leaf_names:
+            assert toy_store.item_postings(name) == {pid}
+        # ...and every chain level's nodes are
+        for link in pattern.links:
+            for name in link.names:
+                assert pid in toy_store.node_postings(name)
+        assert toy_store.signature_postings(pattern.signature) == {pid}
+        assert toy_store.height_postings(None, None) == {pid}
+
+    def test_version_starts_at_one(self, toy_store):
+        assert toy_store.version == 1
+
+    def test_empty_store(self):
+        store = PatternStore.build(_empty_result())
+        assert len(store) == 0
+        assert store.version == 1
+        assert store.ids() == []
+        assert store.item_postings("anything") == set()
+
+    def test_duplicate_leaf_itemset_rejected(self, corpus_result):
+        pattern = corpus_result.patterns[0]
+        with pytest.raises(ServeError, match="two patterns"):
+            PatternStore.build(_result_with([pattern, pattern]))
+
+    def test_stats_shape(self, corpus_store):
+        stats = corpus_store.stats()
+        assert stats["n_patterns"] == len(corpus_store)
+        assert stats["version"] == corpus_store.version
+        assert sum(stats["signatures"].values()) == len(corpus_store)
+        assert sum(stats["heights"].values()) == len(corpus_store)
+
+    def test_sorted_arrays_cover_all_patterns(self, corpus_store):
+        for measure in ("correlation", "support", "min_gap"):
+            left, right = corpus_store.range_bounds(measure, None, None)
+            assert right - left == len(corpus_store)
+
+    def test_range_bounds_inclusive(self, corpus_store):
+        # every pattern's own leaf correlation is inside [v, v]
+        for pid, pattern in list(corpus_store.items())[:20]:
+            value = pattern.leaf_link.correlation
+            assert pid in corpus_store.range_postings(
+                "correlation", value, value
+            )
+
+
+class TestApplyResult:
+    def test_noop_diff_keeps_version(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        before = store.version
+        diff = store.apply_result(corpus_result)
+        assert diff["added"] == diff["changed"] == diff["removed"] == 0
+        assert diff["unchanged"] == len(corpus_result.patterns)
+        assert store.version == before
+
+    def test_added_and_removed(self, corpus_result):
+        half = _result_with(corpus_result.patterns[:200])
+        store = PatternStore.build(half)
+        diff = store.apply_result(corpus_result)
+        assert diff["added"] == len(corpus_result.patterns) - 200
+        assert diff["removed"] == 0
+        assert store.version == 2
+        diff = store.apply_result(half)
+        assert diff["removed"] == len(corpus_result.patterns) - 200
+        assert len(store) == 200
+        assert store.version == 3
+
+    def test_changed_patterns_reindexed(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        mutated = corpus_result.patterns[0]
+        import dataclasses
+
+        new_leaf = dataclasses.replace(
+            mutated.links[-1], correlation=0.987654
+        )
+        changed = dataclasses.replace(
+            mutated, links=mutated.links[:-1] + (new_leaf,)
+        )
+        result = _result_with(
+            [changed] + list(corpus_result.patterns[1:])
+        )
+        diff = store.apply_result(result)
+        assert diff["changed"] == 1
+        assert diff["unchanged"] == len(corpus_result.patterns) - 1
+        pid = pattern_id_of(changed)
+        assert pid in store.range_postings(
+            "correlation", 0.987654, 0.987654
+        )
+
+    def test_removal_cleans_every_index(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        store.apply_result(_empty_result())
+        assert len(store) == 0
+        assert store.height_postings(None, None) == set()
+        for measure in ("correlation", "support", "min_gap"):
+            left, right = store.range_bounds(measure, None, None)
+            assert right == left == 0
+        # full query surface agrees
+        engine = QueryEngine(store)
+        assert engine.execute(Query()).ids == []
+
+
+class TestVersioning:
+    def test_require_version(self, toy_store):
+        toy_store.require_version(toy_store.version)
+        with pytest.raises(ServeError, match="stale store version"):
+            toy_store.require_version(toy_store.version + 1)
+
+
+class TestPersistence:
+    def test_round_trip_directory(self, corpus_store, tmp_path):
+        written = corpus_store.save(tmp_path)
+        assert written.name == STORE_FILE_NAME
+        again = PatternStore.open(tmp_path)
+        assert again.version == corpus_store.version
+        assert again.ids() == corpus_store.ids()
+        query = Query(min_correlation=0.5, sort_by="min_gap", limit=25)
+        assert (
+            QueryEngine(again).execute(query).ids
+            == QueryEngine(corpus_store).execute(query).ids
+        )
+
+    def test_round_trip_explicit_file(self, toy_store, tmp_path):
+        target = tmp_path / "custom.json"
+        assert toy_store.save(target) == target
+        assert PatternStore.open(target).ids() == toy_store.ids()
+
+    def test_save_is_atomic(self, toy_store, tmp_path):
+        toy_store.save(tmp_path)
+        # no temp droppings next to the store file
+        assert [p.name for p in tmp_path.iterdir()] == [STORE_FILE_NAME]
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(ServeError, match="no such pattern store"):
+            PatternStore.open(tmp_path / "absent.json")
+
+    def test_open_invalid_json(self, tmp_path):
+        path = tmp_path / STORE_FILE_NAME
+        path.write_text("{torn")
+        with pytest.raises(ServeError, match="not a valid pattern store"):
+            PatternStore.open(path)
+
+    def test_open_wrong_format(self, tmp_path):
+        path = tmp_path / STORE_FILE_NAME
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ServeError, match="not a repro.pattern-store"):
+            PatternStore.open(path)
+
+    def test_open_future_format_version(self, toy_store, tmp_path):
+        target = toy_store.save(tmp_path)
+        raw = json.loads(target.read_text())
+        raw["format_version"] = STORE_FORMAT_VERSION + 1
+        target.write_text(json.dumps(raw))
+        with pytest.raises(ServeError, match="unsupported"):
+            PatternStore.open(target)
+
+    def test_saved_store_version_survives(self, corpus_result, tmp_path):
+        store = PatternStore.build(corpus_result)
+        store.apply_result(_result_with(corpus_result.patterns[:10]))
+        assert store.version == 2
+        store.save(tmp_path)
+        assert PatternStore.open(tmp_path).version == 2
+
+
+class TestParityOnMinedData:
+    def test_indexed_equals_scan_on_toy(self, toy_store):
+        engine = QueryEngine(toy_store)
+        for query in (
+            Query(),
+            Query(contains_items=("a11",)),
+            Query(under_node="a1"),
+            Query(signature="+-+"),
+            Query(min_correlation=0.0, max_correlation=1.0),
+        ):
+            assert (
+                engine.execute(query).ids
+                == linear_scan(toy_store, query).ids
+            )

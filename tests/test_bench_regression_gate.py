@@ -266,3 +266,132 @@ class TestMainIncremental:
         assert gate.compare_incremental(
             committed, copy.deepcopy(committed), 1.5
         ) == []
+
+
+@pytest.fixture
+def serve_baseline():
+    return {
+        "bench": "serve",
+        "speedup": 12.0,
+        "min_speedup": 5.0,
+        "checks_pass": True,
+    }
+
+
+class TestCompareServe:
+    def test_identical_passes(self, gate, serve_baseline):
+        assert gate.compare_serve(
+            serve_baseline, copy.deepcopy(serve_baseline), 1.5
+        ) == []
+
+    def test_below_absolute_floor_fails(self, gate, serve_baseline):
+        current = copy.deepcopy(serve_baseline)
+        current["speedup"] = 4.0
+        problems = gate.compare_serve(serve_baseline, current, 1.5)
+        assert any("floor" in p for p in problems)
+
+    def test_collapse_versus_baseline_fails(self, gate, serve_baseline):
+        current = copy.deepcopy(serve_baseline)
+        current["speedup"] = 6.0  # clears the 5x floor, but 2x collapse
+        problems = gate.compare_serve(serve_baseline, current, 1.5)
+        assert any("regressed" in p for p in problems)
+
+    def test_within_tolerance_passes(self, gate):
+        baseline = {"speedup": 9.0, "checks_pass": True}
+        current = {"speedup": 7.0, "checks_pass": True}
+        assert gate.compare_serve(baseline, current, 1.5) == []
+
+    def test_failed_internal_checks_fail(self, gate, serve_baseline):
+        current = copy.deepcopy(serve_baseline)
+        current["checks_pass"] = False
+        problems = gate.compare_serve(serve_baseline, current, 1.5)
+        assert any("internal checks" in p for p in problems)
+
+    def test_missing_baseline_speedup_reported(self, gate):
+        problems = gate.compare_serve(
+            {}, {"speedup": 8.0, "checks_pass": True}, 1.5
+        )
+        assert any("baseline" in p for p in problems)
+
+    def test_custom_floor(self, gate, serve_baseline):
+        current = copy.deepcopy(serve_baseline)
+        current["speedup"] = 9.0
+        assert (
+            gate.compare_serve(
+                serve_baseline, current, 1.5, min_speedup=10.0
+            )
+            != []
+        )
+
+
+class TestMainServe:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_exit_zero_with_serve_pair(
+        self, gate, baseline, serve_baseline, tmp_path, capsys
+    ):
+        base = self._write(tmp_path, "base.json", baseline)
+        serve = self._write(tmp_path, "serve.json", serve_baseline)
+        code = gate.main([
+            "--baseline", base, "--current", base,
+            "--serve-baseline", serve,
+            "--serve-current", serve,
+        ])
+        assert code == 0
+        assert "indexed-vs-scan speedup" in capsys.readouterr().out
+
+    def test_exit_one_on_serve_floor_breach(
+        self, gate, baseline, serve_baseline, tmp_path, capsys
+    ):
+        slow = copy.deepcopy(serve_baseline)
+        slow["speedup"] = 2.0
+        base = self._write(tmp_path, "base.json", baseline)
+        serve_base = self._write(tmp_path, "serve_base.json", serve_baseline)
+        serve_now = self._write(tmp_path, "serve_now.json", slow)
+        code = gate.main([
+            "--baseline", base, "--current", base,
+            "--serve-baseline", serve_base,
+            "--serve-current", serve_now,
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_floor_defaults_to_baseline_recorded_floor(
+        self, gate, baseline, serve_baseline, tmp_path
+    ):
+        # baseline records a stricter floor than the built-in default;
+        # a current run between the two must fail
+        strict = copy.deepcopy(serve_baseline)
+        strict["min_speedup"] = 11.0
+        current = copy.deepcopy(serve_baseline)
+        current["speedup"] = 10.0
+        base = self._write(tmp_path, "base.json", baseline)
+        serve_base = self._write(tmp_path, "serve_base.json", strict)
+        serve_now = self._write(tmp_path, "serve_now.json", current)
+        code = gate.main([
+            "--baseline", base, "--current", base,
+            "--serve-baseline", serve_base,
+            "--serve-current", serve_now,
+        ])
+        assert code == 1
+
+    def test_lone_serve_option_rejected(self, gate, baseline, tmp_path):
+        base = self._write(tmp_path, "base.json", baseline)
+        with pytest.raises(SystemExit):
+            gate.main([
+                "--baseline", base, "--current", base,
+                "--serve-current", base,
+            ])
+
+    def test_gates_the_committed_serve_baseline(self, gate):
+        """The committed BENCH_serve.json must satisfy its own gate
+        (otherwise CI fails on an untouched checkout)."""
+        committed = json.loads(
+            (_SCRIPT.parent.parent / "BENCH_serve.json").read_text()
+        )
+        assert gate.compare_serve(
+            committed, copy.deepcopy(committed), 1.5
+        ) == []

@@ -392,3 +392,183 @@ class TestMineAppend:
         assert incremental["updates"][0]["mode"] in {
             "incremental", "full"
         }
+
+
+class TestExplainListing:
+    def test_no_measure_lists_all(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 5
+        for name in (
+            "all_confidence", "coherence", "cosine",
+            "kulczynski", "max_confidence",
+        ):
+            assert any(line.startswith(name) for line in lines)
+        assert "aliases: kulc" in out
+
+
+@pytest.fixture
+def served_store(example_files, tmp_path):
+    """A shard store with a saved pattern_store.json (serve's layout)."""
+    from repro.cli import _build_server
+
+    transactions, taxonomy = example_files
+    store_dir = tmp_path / "shards"
+    assert main([
+        "update", "--store", str(store_dir), "--taxonomy", taxonomy,
+        "--init-from", transactions,
+    ]) == 0
+    args = build_parser().parse_args([
+        "serve", "--store", str(store_dir), "--taxonomy", taxonomy,
+        "--gamma", "0.6", "--epsilon", "0.35", "--min-support", "1",
+        "--port", "0",
+    ])
+    server = _build_server(args)
+    return store_dir, server
+
+
+class TestServe:
+    def test_build_server_and_http_round_trip(self, served_store, capsys):
+        import json as jsonlib
+        import urllib.request
+
+        store_dir, server = served_store
+        assert (store_dir / "pattern_store.json").is_file()
+        with server:
+            with urllib.request.urlopen(server.url + "/healthz") as resp:
+                health = jsonlib.load(resp)
+            assert health["status"] == "ok"
+            assert health["n_patterns"] == 1
+            with urllib.request.urlopen(
+                server.url + "/patterns?items=a11"
+            ) as resp:
+                page = jsonlib.load(resp)
+            assert page["total"] == 1
+            assert page["patterns"][0]["items"] == ["a11", "b11"]
+
+    def test_warm_start_reopens_saved_store(
+        self, served_store, example_files, capsys
+    ):
+        from repro.cli import _build_server
+
+        store_dir, server = served_store
+        server.close()
+        capsys.readouterr()
+        _, taxonomy = example_files
+        args = build_parser().parse_args([
+            "serve", "--store", str(store_dir), "--taxonomy", taxonomy,
+            "--gamma", "0.6", "--epsilon", "0.35", "--min-support", "1",
+            "--port", "0",
+        ])
+        again = _build_server(args)
+        again.close()
+        out = capsys.readouterr().out
+        assert "reopened pattern store" in out
+        assert "+0 ~0 -0" in out  # nothing changed: no reindexing
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_store_requires_thresholds(self, served_store, capsys):
+        store_dir, server = served_store
+        server.close()
+        assert main(["serve", "--store", str(store_dir)]) == 2
+        assert "--min-support" in capsys.readouterr().err
+
+    def test_result_archive_is_read_only(self, example_files, tmp_path):
+        from repro.cli import _build_server
+        from repro.core.serialize import save_result
+        from repro.core.flipper import mine_flipping_patterns
+        from repro.core.thresholds import Thresholds
+        from repro.data.io import load_database
+        from repro.taxonomy.io import load_taxonomy
+
+        transactions, taxonomy = example_files
+        database = load_database(transactions, load_taxonomy(taxonomy))
+        result = mine_flipping_patterns(
+            database, Thresholds(gamma=0.6, epsilon=0.35, min_support=1)
+        )
+        archive = tmp_path / "run.json"
+        save_result(result, archive)
+        args = build_parser().parse_args([
+            "serve", "--result", str(archive), "--port", "0",
+        ])
+        server = _build_server(args)
+        try:
+            assert len(server.store) == 1
+        finally:
+            server.close()
+
+
+class TestQueryCommand:
+    def test_query_saved_store(self, served_store, capsys):
+        store_dir, server = served_store
+        server.close()
+        capsys.readouterr()
+        assert main([
+            "query", "--store", str(store_dir),
+            "--items", "a11", "--plan",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 match(es)" in out
+        assert "plan: seed item:a11" in out
+
+    def test_query_json_matches_scan(self, served_store, capsys):
+        from repro.serve import PatternStore, Query, linear_scan
+
+        store_dir, server = served_store
+        server.close()
+        capsys.readouterr()
+        assert main([
+            "query", "--store", str(store_dir),
+            "--signature", "+-+", "--sort", "min_gap", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        store = PatternStore.open(store_dir / "pattern_store.json")
+        expected = linear_scan(
+            store, Query(signature="+-+", sort_by="min_gap")
+        )
+        assert [p["id"] for p in payload["patterns"]] == expected.ids
+
+    def test_query_archive(self, example_files, tmp_path, capsys):
+        transactions, taxonomy = example_files
+        assert main([
+            "mine", "--transactions", transactions, "--taxonomy",
+            taxonomy, "--gamma", "0.6", "--epsilon", "0.35",
+            "--min-support", "1", "--json",
+        ]) == 0
+        capsys.readouterr()
+        from repro.core.flipper import mine_flipping_patterns
+        from repro.core.serialize import save_result
+        from repro.core.thresholds import Thresholds
+        from repro.data.io import load_database
+        from repro.taxonomy.io import load_taxonomy
+
+        database = load_database(transactions, load_taxonomy(taxonomy))
+        archive = tmp_path / "run.json"
+        save_result(
+            mine_flipping_patterns(
+                database,
+                Thresholds(gamma=0.6, epsilon=0.35, min_support=1),
+            ),
+            archive,
+        )
+        assert main([
+            "query", "--result", str(archive), "--under", "a1",
+        ]) == 0
+        assert "1 match(es)" in capsys.readouterr().out
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["query"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_no_matches(self, served_store, capsys):
+        store_dir, server = served_store
+        server.close()
+        capsys.readouterr()
+        assert main([
+            "query", "--store", str(store_dir), "--items", "a22",
+        ]) == 0
+        assert "0 match(es)" in capsys.readouterr().out
