@@ -37,6 +37,15 @@ clear the absolute ``--serve-min-speedup`` floor, and it must not
 have collapsed versus the committed baseline beyond the tolerance
 factor.
 
+``--approx-baseline``/``--approx-current`` gate ``BENCH_approx.json``:
+the current run must pass its internal checks, report **recall 1.0**
+(every exact pattern recovered byte-identically by the
+sample-then-verify run — approximation may trade latency, never
+silently trade answers), clear the absolute ``--approx-min-speedup``
+floor, and not collapse versus the committed baseline beyond the
+tolerance factor.  A ``--quick`` bench file is rejected: the smoke
+run skips the wall-clock floor and must not serve as the gate input.
+
 Usage::
 
     python scripts/check_bench_regression.py \
@@ -200,6 +209,59 @@ def compare_serve(
     return problems
 
 
+#: default absolute floor on the sample-then-verify speedup (the
+#: approximate subsystem's acceptance criterion)
+MIN_APPROX_SPEEDUP = 2.0
+
+
+def compare_approx(
+    baseline: dict,
+    current: dict,
+    tolerance: float,
+    min_speedup: float = MIN_APPROX_SPEEDUP,
+) -> list[str]:
+    """Gate the approx bench (empty list = gate passes)."""
+    problems: list[str] = []
+    if baseline.get("quick", False):
+        problems.append(
+            "committed approx baseline is a --quick smoke run; "
+            "regenerate it with the full bench (python -m repro "
+            "bench approx)"
+        )
+    if current.get("quick", False):
+        problems.append(
+            "current approx bench is a --quick smoke run; the gate "
+            "needs the full bench (no wall-clock floor was measured)"
+        )
+    if not current.get("checks_pass", False):
+        problems.append(
+            "current approx bench failed its internal checks "
+            "(checks_pass is false; this includes byte-identical "
+            "recall of every exact pattern)"
+        )
+    recall = float(current.get("recall", 0.0))
+    if recall < 1.0:
+        problems.append(
+            f"approx recall {recall:.3f} is below 1.0: the "
+            "sample-then-verify run missed exact patterns"
+        )
+    now = float(current.get("speedup", 0.0))
+    if now < min_speedup:
+        problems.append(
+            f"sample-then-verify speedup {now:.2f}x is below the "
+            f"{min_speedup:g}x floor"
+        )
+    base = float(baseline.get("speedup", 0.0))
+    if base <= 0.0:
+        problems.append("baseline approx speedup missing or zero")
+    elif now * tolerance < base:
+        problems.append(
+            f"approx speedup regressed: {now:.2f}x vs baseline "
+            f"{base:.2f}x (> {tolerance:g}x collapse)"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -250,6 +312,24 @@ def main(argv: list[str] | None = None) -> int:
              "the baseline's recorded min_speedup, else "
              f"{MIN_SERVE_SPEEDUP:g})",
     )
+    parser.add_argument(
+        "--approx-baseline",
+        default=None,
+        help="committed BENCH_approx.json (optional)",
+    )
+    parser.add_argument(
+        "--approx-current",
+        default=None,
+        help="freshly produced approx bench JSON (optional)",
+    )
+    parser.add_argument(
+        "--approx-min-speedup",
+        type=float,
+        default=None,
+        help="absolute floor on the sample-then-verify speedup "
+             "(default: the baseline's recorded min_speedup, else "
+             f"{MIN_APPROX_SPEEDUP:g})",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 1.0:
         parser.error("tolerance must be >= 1.0")
@@ -263,6 +343,10 @@ def main(argv: list[str] | None = None) -> int:
     if (args.serve_baseline is None) != (args.serve_current is None):
         parser.error(
             "--serve-baseline and --serve-current go together"
+        )
+    if (args.approx_baseline is None) != (args.approx_current is None):
+        parser.error(
+            "--approx-baseline and --approx-current go together"
         )
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
     current = json.loads(Path(args.current).read_text(encoding="utf-8"))
@@ -309,6 +393,26 @@ def main(argv: list[str] | None = None) -> int:
             args.tolerance,
             min_speedup=serve_min_speedup,
         )
+    approx_min_speedup = args.approx_min_speedup
+    approx_current = None
+    if args.approx_baseline is not None:
+        approx_baseline = json.loads(
+            Path(args.approx_baseline).read_text(encoding="utf-8")
+        )
+        approx_current = json.loads(
+            Path(args.approx_current).read_text(encoding="utf-8")
+        )
+        if approx_min_speedup is None:
+            # single source of truth: the floor the bench recorded
+            approx_min_speedup = float(
+                approx_baseline.get("min_speedup", MIN_APPROX_SPEEDUP)
+            )
+        problems += compare_approx(
+            approx_baseline,
+            approx_current,
+            args.tolerance,
+            min_speedup=approx_min_speedup,
+        )
     if problems:
         print("perf-regression gate FAILED:")
         for problem in problems:
@@ -334,6 +438,13 @@ def main(argv: list[str] | None = None) -> int:
             f"ok: serve indexed-vs-scan speedup = "
             f"{float(serve_current.get('speedup', 0.0)):.2f}x "
             f"(floor {serve_min_speedup:g}x)"
+        )
+    if approx_current is not None:
+        print(
+            f"ok: approx sample-then-verify speedup = "
+            f"{float(approx_current.get('speedup', 0.0)):.2f}x "
+            f"at recall {float(approx_current.get('recall', 0.0)):.3f} "
+            f"(floor {approx_min_speedup:g}x)"
         )
     print(f"perf-regression gate passed (tolerance {args.tolerance:g}x)")
     return 0

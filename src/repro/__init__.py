@@ -55,6 +55,12 @@ from repro.core import (
     verify_mining_invariance,
     with_null_transactions,
 )
+from repro.approx import (
+    ApproxCandidate,
+    ApproxMiner,
+    SampleBounds,
+    mine_approximate,
+)
 from repro.data import (
     TransactionDatabase,
     VerticalIndex,
@@ -129,6 +135,11 @@ __all__ = [
     "DiscriminativePattern",
     "GroupSide",
     "mine_flipping_bruteforce",
+    # approximate sample-then-verify mining
+    "mine_approximate",
+    "ApproxMiner",
+    "ApproxCandidate",
+    "SampleBounds",
     # frequent-pattern-mining substrate (prior art)
     "FPTree",
     "fp_growth",

@@ -1,0 +1,42 @@
+"""Sample-then-verify approximate mining.
+
+Phase 1 screens a bounded sample of the store under thresholds
+relaxed by Hoeffding margins at a chosen confidence; phase 2 exactly
+verifies the surviving candidates through the partitioned counting
+path, so the final result contains only exact-verified patterns.  See
+ARCHITECTURE.md ("Approximate mining: sample, then verify") for the
+data flow and :mod:`repro.approx.bounds` for the bound derivation.
+"""
+
+from repro.approx.bounds import (
+    SampleBounds,
+    correlation_margin,
+    hoeffding_epsilon,
+    required_sample_size,
+    support_interval,
+)
+from repro.approx.miner import (
+    ApproxCandidate,
+    ApproxMiner,
+    CandidateLink,
+    mine_approximate,
+)
+from repro.approx.sampling import SAMPLE_METHODS, SampleDraw, draw_sample
+from repro.approx.stages import ApproxCountStage, build_approx_stages
+
+__all__ = [
+    "SampleBounds",
+    "hoeffding_epsilon",
+    "required_sample_size",
+    "correlation_margin",
+    "support_interval",
+    "SampleDraw",
+    "draw_sample",
+    "SAMPLE_METHODS",
+    "ApproxCountStage",
+    "build_approx_stages",
+    "CandidateLink",
+    "ApproxCandidate",
+    "ApproxMiner",
+    "mine_approximate",
+]

@@ -1,0 +1,269 @@
+"""Concentration-bound math for sample-then-verify mining.
+
+The approximate path mines a size-``n`` sample of an ``N``-transaction
+store and must not lose patterns the exact miner would report.  The
+screening guarantees come from Hoeffding's inequality applied to
+per-transaction indicator variables (does transaction ``t`` contain
+itemset ``A``?): the sample frequency ``p̂`` of any fixed itemset
+deviates from its true frequency ``p`` by more than ``eps`` with
+probability at most ``exp(-2 n eps**2)`` per side.  Solving for the
+failure budget ``delta`` gives the additive margin
+
+    eps(n, delta) = sqrt(ln(1 / delta) / (2 n))
+
+used three ways (see :class:`SampleBounds`):
+
+* **support relaxation** — a level with fractional minimum support
+  ``f`` is mined on the sample at a relaxed count, so any itemset
+  truly frequent in the full data stays frequent in the sample with
+  probability ``>= 1 - delta'``.  Two valid relaxations exist and the
+  *larger* (tighter) one is used per level:
+
+  - Hoeffding (additive): ``(f - eps) * n`` — sharp for common
+    itemsets, vacuous once ``eps >= f``;
+  - Chernoff (multiplicative lower tail,
+    ``P(X < (1 - eta) n f) <= exp(-n f eta**2 / 2)``):
+    ``(1 - eta) * f * n`` with ``eta = sqrt(2 ln(1/delta') / (n f))``
+    — much sharper for the rare fractions of the deep taxonomy
+    levels, where the additive margin would collapse the threshold to
+    1 and the screen would enumerate the degenerate everything-is-
+    frequent space;
+* **correlation relaxation** — every null-invariant measure is a mean
+  of conditionals ``sup(A) / sup(a_i)`` whose numerator and
+  denominator each carry at most ``eps`` of additive frequency error,
+  so the sampled correlation sits within
+  ``m = 2 eps / (f_H - eps)`` of the true one (``f_H`` is the
+  bottom-level support fraction — the smallest denominator a counted
+  itemset can have).  The positive/negative label bands are widened by
+  ``m`` (clamped at the gamma/epsilon midpoint so the two bands can
+  never overlap);
+* **confidence intervals** — a sampled support count ``c`` scales to
+  the full-data interval ``[(c/n - eps) N, (c/n + eps) N]``.
+
+The total failure budget ``delta = 1 - confidence`` is split evenly
+across the per-level support tests plus one correlation test (a union
+bound over one pattern's chain), following the screen-then-confirm
+framing of large-scale inference.  The guarantee is therefore
+**per pattern**: any *given* true pattern survives the screen with
+probability ``>= confidence``; it is not a simultaneous bound over
+all patterns at once (with many true patterns, the expected number of
+misses is still ``<= delta`` per pattern, but the probability that
+*some* pattern is missed can exceed ``delta`` — the bench's recall
+check quantifies the simultaneous behaviour empirically).  Phase 1
+may only *miss*, never fabricate, because phase 2 re-counts every
+candidate exactly.  When the correlation margin has to be clamped at
+the gamma/epsilon midpoint (``margin_clamped``), even the per-pattern
+guarantee is weakened — the sample was too small for the requested
+thresholds; grow the sample or lower the confidence.
+
+Sampling here is without replacement (reservoir / stratified), for
+which Hoeffding's bound still holds (Serfling 1974 gives a strictly
+tighter constant, so using the with-replacement form is conservative).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.thresholds import ResolvedThresholds
+from repro.errors import ConfigError
+
+__all__ = [
+    "hoeffding_epsilon",
+    "chernoff_sample_count",
+    "required_sample_size",
+    "correlation_margin",
+    "support_interval",
+    "SampleBounds",
+]
+
+
+def hoeffding_epsilon(n_sample: int, delta: float) -> float:
+    """Additive frequency margin ``eps`` such that a sample mean of
+    ``n_sample`` bounded indicators undershoots its expectation by
+    more than ``eps`` with probability at most ``delta``."""
+    if n_sample < 1:
+        raise ConfigError(f"sample size must be >= 1, got {n_sample}")
+    if not 0.0 < delta < 1.0:
+        raise ConfigError(f"delta must be in (0, 1), got {delta}")
+    return math.sqrt(math.log(1.0 / delta) / (2.0 * n_sample))
+
+
+def chernoff_sample_count(
+    fraction: float, n_sample: int, delta: float
+) -> float:
+    """Multiplicative-Chernoff lower bound on the sampled count of an
+    itemset with true frequency ``>= fraction``: with probability at
+    least ``1 - delta`` the sample contains more than the returned
+    number of occurrences.  Zero (no information) when the expected
+    count is too small for the tail to bite."""
+    if not 0.0 < delta < 1.0:
+        raise ConfigError(f"delta must be in (0, 1), got {delta}")
+    expected = fraction * n_sample
+    if expected <= 0.0:
+        return 0.0
+    eta = math.sqrt(2.0 * math.log(1.0 / delta) / expected)
+    if eta >= 1.0:
+        return 0.0
+    return (1.0 - eta) * expected
+
+
+def required_sample_size(epsilon: float, delta: float) -> int:
+    """Smallest ``n`` with ``hoeffding_epsilon(n, delta) <= epsilon``
+    — the inverse used by ``explain`` to answer "how many rows buy me
+    a ±epsilon support estimate at this confidence?"."""
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ConfigError(f"delta must be in (0, 1), got {delta}")
+    return math.ceil(math.log(1.0 / delta) / (2.0 * epsilon**2))
+
+
+def correlation_margin(
+    epsilon_support: float, bottom_fraction: float
+) -> float:
+    """Worst-case drift of a null-invariant correlation under
+    ``epsilon_support`` of additive frequency error.
+
+    Every measure is a mean of ratios ``p(A) / p(a_i)`` with
+    ``p(a_i) >= bottom_fraction`` for any itemset the miner counts
+    (items below the level's minimum support never enter a cell).
+    Perturbing numerator and denominator by ``eps`` moves each ratio
+    by at most ``2 eps / (bottom_fraction - eps)``; a mean of ratios
+    moves no further.  Degenerates to 1.0 (band fully open) when the
+    sample is too small for the threshold, i.e. ``eps >=
+    bottom_fraction``.
+    """
+    if bottom_fraction <= epsilon_support:
+        return 1.0
+    return min(1.0, 2.0 * epsilon_support / (bottom_fraction - epsilon_support))
+
+
+def support_interval(
+    sample_count: int, n_sample: int, n_total: int, epsilon_support: float
+) -> tuple[int, int]:
+    """Full-data support confidence interval for a sampled count,
+    as integer transaction counts clamped to ``[0, n_total]``."""
+    fraction = sample_count / max(1, n_sample)
+    lo = max(0, math.floor((fraction - epsilon_support) * n_total))
+    hi = min(n_total, math.ceil((fraction + epsilon_support) * n_total))
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class SampleBounds:
+    """Everything phase 1 derives from ``(N, n, confidence)`` once.
+
+    Attributes mirror the derivation in the module docstring;
+    ``sample_min_counts`` and the relaxed gamma/epsilon are what the
+    sample miner actually runs with, and :meth:`to_dict` is what the
+    result config and ``explain`` report.
+    """
+
+    n_total: int
+    n_sample: int
+    confidence: float
+    delta: float
+    #: union-bound split: one test per taxonomy level plus one for
+    #: the correlation band
+    tests: int
+    delta_per_test: float
+    epsilon_support: float
+    margin: float
+    margin_clamped: bool
+    gamma: float
+    epsilon: float
+    relaxed_gamma: float
+    relaxed_epsilon: float
+    min_fractions: tuple[float, ...]
+    sample_min_counts: tuple[int, ...]
+
+    @classmethod
+    def derive(
+        cls,
+        resolved: ResolvedThresholds,
+        n_total: int,
+        n_sample: int,
+        confidence: float,
+    ) -> "SampleBounds":
+        """Derive the relaxed sample-mining parameters from exact
+        thresholds resolved against the full store."""
+        if not 0.0 < confidence < 1.0:
+            raise ConfigError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        if n_sample < 1 or n_sample > n_total:
+            raise ConfigError(
+                f"sample size {n_sample} out of range [1, {n_total}]"
+            )
+        delta = 1.0 - confidence
+        tests = resolved.height + 1
+        delta_per_test = delta / tests
+        eps = hoeffding_epsilon(n_sample, delta_per_test)
+        fractions = tuple(
+            count / n_total for count in resolved.min_counts
+        )
+        # Per level, the tighter of the two valid relaxations (both
+        # monotone in the fraction, so the per-level non-increasing
+        # threshold shape survives).
+        sample_counts = tuple(
+            max(
+                1,
+                math.ceil(
+                    max(
+                        (fraction - eps) * n_sample,
+                        chernoff_sample_count(
+                            fraction, n_sample, delta_per_test
+                        ),
+                    )
+                ),
+            )
+            for fraction in fractions
+        )
+        raw_margin = correlation_margin(eps, fractions[-1])
+        # The relaxed bands may approach but never cross the
+        # gamma/epsilon midpoint: positive and negative labels stay
+        # mutually exclusive for any sample size.
+        half_band = (resolved.gamma - resolved.epsilon) / 2.0
+        margin = min(raw_margin, max(0.0, half_band - 1e-9))
+        return cls(
+            n_total=n_total,
+            n_sample=n_sample,
+            confidence=confidence,
+            delta=delta,
+            tests=tests,
+            delta_per_test=delta_per_test,
+            epsilon_support=eps,
+            margin=margin,
+            margin_clamped=margin < raw_margin,
+            gamma=resolved.gamma,
+            epsilon=resolved.epsilon,
+            relaxed_gamma=resolved.gamma - margin,
+            relaxed_epsilon=resolved.epsilon + margin,
+            min_fractions=fractions,
+            sample_min_counts=sample_counts,
+        )
+
+    def interval(self, sample_count: int) -> tuple[int, int]:
+        """Full-data support CI of one sampled count."""
+        return support_interval(
+            sample_count, self.n_sample, self.n_total, self.epsilon_support
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_total": self.n_total,
+            "n_sample": self.n_sample,
+            "confidence": self.confidence,
+            "delta": self.delta,
+            "tests": self.tests,
+            "delta_per_test": self.delta_per_test,
+            "epsilon_support": self.epsilon_support,
+            "margin": self.margin,
+            "margin_clamped": self.margin_clamped,
+            "relaxed_gamma": self.relaxed_gamma,
+            "relaxed_epsilon": self.relaxed_epsilon,
+            "sample_min_counts": list(self.sample_min_counts),
+        }

@@ -1,0 +1,182 @@
+"""Deterministic transaction sampling over a sharded store.
+
+Phase 1 of sample-then-verify mining draws its rows here.  Two
+methods, both streaming one shard at a time (the store's residency
+contract) and both fully deterministic under a seed:
+
+* **stratified** (default) — proportional allocation per shard: shard
+  ``i`` contributes ``round(rate * size_i)`` rows drawn uniformly
+  without replacement, with its own seed derived from ``(seed, i)``.
+  Growing the store through ``append_batch`` never changes which rows
+  earlier shards contribute, so repeated approximate runs over a
+  growing store stay comparable.
+* **reservoir** — Vitter's algorithm R over the concatenated shard
+  stream: a uniform without-replacement sample of exactly the target
+  size regardless of how the rows are split into shards.
+
+The target size comes from ``sample_rate`` and is optionally capped
+by an absolute row budget and/or a memory budget (translated to rows
+through the store's own per-transaction byte estimate, averaged over
+the first non-empty shard).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.data.shards import (
+    ShardedTransactionStore,
+    estimate_transaction_bytes,
+)
+from repro.errors import ConfigError
+
+__all__ = ["SampleDraw", "draw_sample", "SAMPLE_METHODS"]
+
+SAMPLE_METHODS = ("stratified", "reservoir")
+
+
+@dataclass(frozen=True)
+class SampleDraw:
+    """The rows phase 1 mines, plus how they were chosen."""
+
+    rows: tuple[tuple[str, ...], ...]
+    method: str
+    seed: int
+    sample_rate: float
+    target_rows: int
+    #: which budget (if any) shrank the rate-derived target:
+    #: "" | "max_rows" | "memory_budget_mb"
+    capped_by: str
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+
+def _budgeted_target(
+    store: ShardedTransactionStore,
+    sample_rate: float,
+    max_rows: int | None,
+    memory_budget_mb: float | None,
+) -> tuple[int, str]:
+    target = max(1, round(sample_rate * store.n_transactions))
+    capped_by = ""
+    if max_rows is not None:
+        if max_rows < 1:
+            raise ConfigError(f"max_rows must be >= 1, got {max_rows}")
+        if max_rows < target:
+            target, capped_by = max_rows, "max_rows"
+    if memory_budget_mb is not None:
+        if memory_budget_mb <= 0:
+            raise ConfigError(
+                f"memory_budget_mb must be > 0, got {memory_budget_mb}"
+            )
+        budget_rows = _rows_for_budget(store, memory_budget_mb)
+        if budget_rows < target:
+            target, capped_by = budget_rows, "memory_budget_mb"
+    return target, capped_by
+
+
+def _rows_for_budget(
+    store: ShardedTransactionStore, memory_budget_mb: float
+) -> int:
+    """Rows fitting the budget, from the first non-empty shard's
+    average per-row byte estimate (deterministic, like every other
+    budget heuristic in the data layer)."""
+    for index in range(store.n_shards):
+        rows = store.shard_transactions(index)
+        if rows:
+            average = sum(
+                estimate_transaction_bytes(row) for row in rows
+            ) / len(rows)
+            budget_bytes = memory_budget_mb * 1024 * 1024
+            return max(1, math.floor(budget_bytes / average))
+    raise ConfigError("cannot budget a sample of an empty store")
+
+
+def _stratified(
+    store: ShardedTransactionStore, target: int, seed: int
+) -> list[tuple[str, ...]]:
+    n = store.n_transactions
+    rate = target / n
+    rows: list[tuple[str, ...]] = []
+    for index in range(store.n_shards):
+        size = store.shard_sizes[index]
+        if size == 0:
+            continue
+        take = min(size, round(rate * size))
+        if take == 0:
+            continue
+        rng = random.Random(f"{seed}:{index}")
+        shard_rows = store.shard_transactions(index)
+        for row_index in sorted(rng.sample(range(size), take)):
+            rows.append(shard_rows[row_index])
+    if not rows:
+        # Every shard rounded to zero (tiny rate over tiny shards):
+        # fall back to one uniform row so the sample is never empty.
+        rng = random.Random(f"{seed}:fallback")
+        flat_index = rng.randrange(n)
+        for index in range(store.n_shards):
+            size = store.shard_sizes[index]
+            if flat_index < size:
+                rows.append(store.shard_transactions(index)[flat_index])
+                break
+            flat_index -= size
+    return rows
+
+
+def _reservoir(
+    store: ShardedTransactionStore, target: int, seed: int
+) -> list[tuple[str, ...]]:
+    rng = random.Random(seed)
+    reservoir: list[tuple[str, ...]] = []
+    seen = 0
+    for index in range(store.n_shards):
+        for row in store.shard_transactions(index):
+            seen += 1
+            if len(reservoir) < target:
+                reservoir.append(row)
+            else:
+                slot = rng.randrange(seen)
+                if slot < target:
+                    reservoir[slot] = row
+    return reservoir
+
+
+def draw_sample(
+    store: ShardedTransactionStore,
+    sample_rate: float,
+    *,
+    method: str = "stratified",
+    seed: int = 0,
+    max_rows: int | None = None,
+    memory_budget_mb: float | None = None,
+) -> SampleDraw:
+    """Draw one deterministic sample from the store."""
+    if not 0.0 < sample_rate <= 1.0:
+        raise ConfigError(
+            f"sample_rate must be in (0, 1], got {sample_rate}"
+        )
+    key = method.strip().lower()
+    if key not in SAMPLE_METHODS:
+        known = ", ".join(SAMPLE_METHODS)
+        raise ConfigError(
+            f"unknown sample method {method!r}; known: {known}"
+        )
+    target, capped_by = _budgeted_target(
+        store, sample_rate, max_rows, memory_budget_mb
+    )
+    if key == "stratified":
+        rows = _stratified(store, target, seed)
+    else:
+        rows = _reservoir(store, target, seed)
+    return SampleDraw(
+        rows=tuple(rows),
+        method=key,
+        seed=seed,
+        sample_rate=sample_rate,
+        target_rows=target,
+        capped_by=capped_by,
+    )

@@ -1,6 +1,7 @@
 """Benchmark harness: profiles, sweep machinery, reports, and one
 runner per table/figure of the paper's evaluation."""
 
+from repro.bench.approx import run_approx_bench
 from repro.bench.engine import run_engine_smoke
 from repro.bench.incremental import run_incremental_bench
 from repro.bench.partition import run_partition_bench
@@ -56,6 +57,7 @@ __all__ = [
     "run_partition_bench",
     "run_incremental_bench",
     "run_serve_bench",
+    "run_approx_bench",
     "real_datasets",
     "LADDER",
     "RunRecord",

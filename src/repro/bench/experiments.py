@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.bench.approx import run_approx_bench
 from repro.bench.chart import sweep_chart
 from repro.bench.engine import run_engine_smoke
 from repro.bench.incremental import run_incremental_bench
@@ -488,4 +489,5 @@ EXPERIMENTS = {
     "partition": run_partition_bench,
     "incremental": run_incremental_bench,
     "serve": run_serve_bench,
+    "approx": run_approx_bench,
 }

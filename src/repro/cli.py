@@ -11,9 +11,12 @@ The subcommands cover the library's workflows::
     flipper-mine bench    fig8a fig8b ... serve | all
     flipper-mine explain  [--measure kulczynski]
 
-``mine`` runs Flipper (this paper); ``mine --append delta.basket``
-additionally streams delta batches through the incremental path and
-reports the refreshed patterns.  ``update`` maintains a persistent
+``mine`` runs Flipper (this paper); ``mine --sample-rate 0.1
+--confidence 0.95`` switches to sample-then-verify approximate mining
+(screen a sample under bound-relaxed thresholds, exactly verify the
+candidates — ``explain --approx`` walks the bound math); ``mine
+--append delta.basket`` additionally streams delta batches through
+the incremental path and reports the refreshed patterns.  ``update`` maintains a persistent
 on-disk shard store: it appends delta files as new shards (never
 rewriting existing ones) and optionally re-mines the grown store.
 ``serve`` puts an indexed :class:`~repro.serve.store.PatternStore`
@@ -136,6 +139,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound resident per-shard counting state (per process) in "
              "a partitioned run; shards are evicted LRU and re-read "
              "from disk (requires --partitions)",
+    )
+    mine.add_argument(
+        "--sample-rate", type=float, default=None,
+        help="mine approximately: screen this fraction of the data "
+             "under Hoeffding/Chernoff-relaxed thresholds, then "
+             "exactly verify the candidates (patterns may be missed "
+             "with probability <= 1 - confidence; reported patterns "
+             "are always exact)",
+    )
+    mine.add_argument(
+        "--confidence", type=float, default=None,
+        help="probability the approximate screen keeps every true "
+             "pattern (default: 0.95; requires --sample-rate)",
+    )
+    mine.add_argument(
+        "--sample-method", default=None,
+        choices=["stratified", "reservoir"],
+        help="how the sample is drawn (default: stratified; requires "
+             "--sample-rate)",
+    )
+    mine.add_argument(
+        "--sample-seed", type=int, default=None,
+        help="deterministic sampling seed (default: 0; requires "
+             "--sample-rate)",
     )
     mine.add_argument("--max-k", type=int, default=None)
     mine.add_argument("--top-k", type=int, default=None,
@@ -332,15 +359,51 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment ids (fig8a..fig9b, table1, table4) or 'all'",
     )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="reduced-size smoke run: correctness checks only, no "
+             "wall-clock floor (approx bench only)",
+    )
 
     explain = sub.add_parser(
         "explain",
-        help="describe a correlation measure (or list them all)",
+        help="describe a correlation measure, the approximate-mining "
+             "bound math, or list all measures",
     )
     explain.add_argument(
         "--measure", default=None,
         help="measure name or alias; omit to list every registered "
              "measure",
+    )
+    explain.add_argument(
+        "--approx", action="store_true",
+        help="walk through the sample-then-verify bound derivation "
+             "for a concrete (N, sample-rate, confidence)",
+    )
+    explain.add_argument(
+        "--n-transactions", type=int, default=100_000,
+        help="dataset size for --approx (default: 100000)",
+    )
+    explain.add_argument(
+        "--sample-rate", type=float, default=0.1,
+        help="sample rate for --approx (default: 0.1)",
+    )
+    explain.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="confidence for --approx (default: 0.95)",
+    )
+    explain.add_argument(
+        "--min-support", default=None,
+        help="comma-separated per-level fractions for --approx "
+             "(default: the paper's 0.01,0.001,0.0005,0.0001)",
+    )
+    explain.add_argument(
+        "--gamma", type=float, default=0.3,
+        help="positive threshold for --approx (default: 0.3)",
+    )
+    explain.add_argument(
+        "--epsilon", type=float, default=0.1,
+        help="negative threshold for --approx (default: 0.1)",
     )
 
     profile = sub.add_parser(
@@ -382,6 +445,18 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if appends and partitions is None:
         # the incremental path lives on the partitioned substrate
         partitions = 1
+    if args.sample_rate is None:
+        for option in ("confidence", "sample_method", "sample_seed"):
+            if getattr(args, option) is not None:
+                raise ReproError(
+                    f"--{option.replace('_', '-')} tunes the "
+                    "sample-then-verify path; pass --sample-rate too"
+                )
+    elif appends:
+        raise ReproError(
+            "--append re-mines incrementally and exactly; "
+            "drop --sample-rate (or run a separate approximate mine)"
+        )
     miner = FlipperMiner(
         database,
         thresholds,
@@ -394,6 +469,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         max_k=args.max_k,
         partitions=partitions,
         memory_budget_mb=args.memory_budget_mb,
+        sample_rate=args.sample_rate,
+        confidence=args.confidence,
+        sample_method=args.sample_method or "stratified",
+        sample_seed=args.sample_seed or 0,
     )
     result = miner.mine()
     updates: list[dict[str, object]] = []
@@ -429,6 +508,27 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 f" mode, {info.get('cache_hits', 0)} cached supports)"
             )
         if updates:
+            print()
+        approx_info = result.config.get("approx")
+        if approx_info:
+            print(
+                f"sample-then-verify: screened "
+                f"{approx_info['n_sample']}/{approx_info['n_total']} "
+                f"rows ({approx_info['sample_method']}, support margin "
+                f"±{approx_info['epsilon_support']:.4f} at "
+                f"{approx_info['confidence']:g} confidence); "
+                f"{approx_info['n_candidates']} candidate(s) -> "
+                f"{approx_info['n_verified']} exact-verified, "
+                f"{approx_info['n_rejected']} rejected"
+            )
+            if approx_info["margin_clamped"]:
+                print(
+                    "note: the correlation margin clamped at the "
+                    "gamma/epsilon midpoint — the sample is small for "
+                    "these thresholds and the miss-probability "
+                    "guarantee is weakened; raise --sample-rate or "
+                    "lower --confidence"
+                )
             print()
         print(f"{len(patterns)} flipping pattern(s)")
         for pattern in patterns:
@@ -788,14 +888,126 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    if args.quick and "approx" not in names:
+        raise ReproError(
+            "--quick is the approx bench's smoke mode; add 'approx' "
+            "to the experiment list"
+        )
     for name in names:
-        report, _data = EXPERIMENTS[name]()
+        if name == "approx" and args.quick:
+            report, _data = EXPERIMENTS[name](quick=True)  # type: ignore[call-arg]
+        else:
+            report, _data = EXPERIMENTS[name]()
         print(report)
         print()
     return 0
 
 
+def _cmd_explain_approx(args: argparse.Namespace) -> int:
+    """Walk the sample-then-verify bound derivation for concrete
+    numbers (the math behind ``mine --sample-rate/--confidence``)."""
+    from repro.approx.bounds import (
+        SampleBounds,
+        chernoff_sample_count,
+        hoeffding_epsilon,
+        required_sample_size,
+    )
+    from repro.core.thresholds import Thresholds
+
+    n_total = args.n_transactions
+    if n_total < 1:
+        raise ReproError(
+            f"--n-transactions must be >= 1, got {n_total}"
+        )
+    fractions = (
+        _parse_min_support(args.min_support)
+        if args.min_support is not None
+        else [0.01, 0.001, 0.0005, 0.0001]
+    )
+    thresholds = Thresholds(
+        gamma=args.gamma, epsilon=args.epsilon, min_support=fractions
+    )
+    resolved = thresholds.resolve(len(fractions), n_total)
+    n_sample = max(1, round(args.sample_rate * n_total))
+    bounds = SampleBounds.derive(
+        resolved, n_total, n_sample, args.confidence
+    )
+    print("Sample-then-verify bound math (see ARCHITECTURE.md):")
+    print(
+        f"  data: N = {n_total} transactions, sample rate "
+        f"{args.sample_rate:g} -> n = {n_sample} rows"
+    )
+    print(
+        f"  failure budget: delta = 1 - {args.confidence:g} = "
+        f"{bounds.delta:g}, split over {bounds.tests} tests "
+        f"({len(fractions)} support levels + 1 correlation band) -> "
+        f"delta' = {bounds.delta_per_test:.5f}"
+    )
+    print(
+        "  Hoeffding margin: eps = sqrt(ln(1/delta') / (2n)) = "
+        f"{bounds.epsilon_support:.5f}"
+    )
+    print(
+        "  per-level screen thresholds (tighter of Hoeffding's "
+        "(f - eps) * n and"
+    )
+    print(
+        "  Chernoff's (1 - sqrt(2 ln(1/delta') / (n f))) * n f, "
+        "floored at 1):"
+    )
+    for level, fraction in enumerate(bounds.min_fractions, start=1):
+        hoeffding = (fraction - bounds.epsilon_support) * n_sample
+        chernoff = chernoff_sample_count(
+            fraction, n_sample, bounds.delta_per_test
+        )
+        print(
+            f"    level {level}: exact {resolved.min_counts[level - 1]}"
+            f" of N (f = {fraction:.5f}) -> sample count "
+            f"{bounds.sample_min_counts[level - 1]} "
+            f"(hoeffding {hoeffding:.1f}, chernoff {chernoff:.1f})"
+        )
+    print(
+        f"  correlation band: gamma {bounds.gamma:g} / epsilon "
+        f"{bounds.epsilon:g} widened per itemset by up to "
+        f"m = {bounds.margin:.4f}"
+        + (
+            " (clamped at the gamma/epsilon midpoint)"
+            if bounds.margin_clamped
+            else ""
+        )
+    )
+    print(
+        "  a sampled support c maps to the full-data interval "
+        "[(c/n - eps) N, (c/n + eps) N];"
+    )
+    print(
+        "  phase 2 then re-counts every candidate exactly, so "
+        "reported patterns carry"
+    )
+    print(
+        "  exact supports; the only residual risk is a miss — any "
+        "given true pattern"
+    )
+    print(
+        f"  is kept with probability >= {args.confidence:g} "
+        "(per pattern, via the union bound above)"
+    )
+    for target in (0.01, 0.005):
+        needed = required_sample_size(target, bounds.delta_per_test)
+        print(
+            f"  (a ±{target:g} support margin at this confidence "
+            f"needs n >= {needed} rows)"
+        )
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
+    if args.approx:
+        if args.measure is not None:
+            raise ReproError(
+                "explain takes --measure or --approx, not both"
+            )
+        return _cmd_explain_approx(args)
     if args.measure is None:
         # No measure named: one line per registered measure.
         for measure in sorted(MEASURES.values(), key=lambda m: m.name):

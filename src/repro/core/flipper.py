@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -60,7 +61,7 @@ from repro.engine.partition import (
     PartitionedExecutor,
     build_partitioned_stages,
 )
-from repro.engine.plan import ExecutionPlan, MiningContext
+from repro.engine.plan import ExecutionPlan, MiningContext, Stage
 from repro.engine.stages import build_default_stages
 from repro.errors import ConfigError
 
@@ -173,6 +174,24 @@ class FlipperMiner:
     shard_dir:
         Where ``partitions=N`` materializes the shards (default: a
         temporary directory removed after :meth:`mine`).
+    sample_rate:
+        Switch :meth:`mine` onto the sample-then-verify approximate
+        path (see :class:`~repro.approx.miner.ApproxMiner`): phase 1
+        screens this fraction of the store under Hoeffding-relaxed
+        thresholds, phase 2 exactly verifies the candidates through
+        the partitioned counting path, so every returned pattern is
+        exact.  Implies ``partitions=1`` for an in-memory database.
+    confidence:
+        Probability that the approximate screen keeps every true
+        pattern (default 0.95); only with ``sample_rate``.
+    sample_method, sample_seed:
+        ``"stratified"`` (default) or ``"reservoir"`` sampling, and
+        its deterministic seed; only with ``sample_rate``.
+    stages:
+        Override the engine pipeline run per cell visit (default:
+        :func:`~repro.engine.stages.build_default_stages`, or the
+        partitioned variant).  The approximate path uses this hook
+        for its instrumented count stage.
     """
 
     def __init__(
@@ -189,10 +208,46 @@ class FlipperMiner:
         partitions: int | None = None,
         memory_budget_mb: float | None = None,
         shard_dir: str | Path | None = None,
+        sample_rate: float | None = None,
+        confidence: float | None = None,
+        sample_method: str = "stratified",
+        sample_seed: int = 0,
+        stages: "Sequence[Stage] | None" = None,
     ) -> None:
         self._shard_tmpdir: tempfile.TemporaryDirectory[str] | None = None
         self._raw_thresholds = thresholds
         self._incremental_runner: object | None = None
+        if sample_rate is None:
+            if (
+                confidence is not None
+                or sample_seed != 0
+                or sample_method != "stratified"
+            ):
+                raise ConfigError(
+                    "confidence/sample_method/sample_seed tune the "
+                    "sample-then-verify path; pass sample_rate as well"
+                )
+        else:
+            if not 0.0 < sample_rate <= 1.0:
+                raise ConfigError(
+                    f"sample_rate must be in (0, 1], got {sample_rate}"
+                )
+            if stages is not None:
+                raise ConfigError(
+                    "the sample-then-verify path builds its own screen "
+                    "pipeline; stages= cannot be combined with "
+                    "sample_rate"
+                )
+            if partitions is None and not isinstance(
+                database, ShardedTransactionStore
+            ):
+                # approximate mining samples from (and verifies over)
+                # the shard substrate
+                partitions = 1
+        self._sample_rate = sample_rate
+        self._confidence = confidence
+        self._sample_method = sample_method
+        self._sample_seed = sample_seed
         store = self._resolve_store(
             database, partitions, memory_budget_mb, shard_dir
         )
@@ -259,12 +314,14 @@ class FlipperMiner:
             executor=self._executor,
             stats=self._stats,
         )
-        stages = (
-            build_partitioned_stages()
+        pipeline: Sequence[Stage] = (
+            list(stages)
+            if stages is not None
+            else build_partitioned_stages()
             if store is not None
             else build_default_stages()
         )
-        self._plan = ExecutionPlan(self._context, stages)
+        self._plan = ExecutionPlan(self._context, pipeline)
         self._ancestor_maps: dict[int, dict[int, int]] = {}
         # TPG: smallest column proven free of flipping patterns
         self._k_cap: int | None = None
@@ -383,7 +440,16 @@ class FlipperMiner:
     # ------------------------------------------------------------------
 
     def mine(self) -> MiningResult:
-        """Run the sweep and return the flipping patterns."""
+        """Run the sweep and return the flipping patterns.
+
+        With ``sample_rate`` set this runs the sample-then-verify
+        approximate path instead: the returned patterns are still
+        exact-verified, but patterns may be missed with probability
+        at most ``1 - confidence`` (see
+        :class:`~repro.approx.miner.ApproxMiner`).
+        """
+        if self._sample_rate is not None:
+            return self._mine_approximate()
         # Re-resolve thresholds against the current transaction count
         # and drop per-run cross-cell state: update() grows the shard
         # store in place, so a repeated mine() must bind fractional
@@ -458,6 +524,43 @@ class FlipperMiner:
         self._last_result = result
         return result
 
+    def _mine_approximate(self) -> MiningResult:
+        """The sample-then-verify path behind ``sample_rate=``.
+
+        Phase 2 verification runs through this miner's own
+        partitioned backend, so repeated approximate runs (and later
+        exact runs or :meth:`update` calls) share one warm counter.
+        """
+        # Local import: repro.approx imports this module.
+        from repro.approx.miner import ApproxMiner
+
+        assert self._store is not None  # guaranteed by __init__
+        assert isinstance(self._backend, PartitionedBackend)
+        runner = ApproxMiner(
+            self._store,
+            self._raw_thresholds,
+            sample_rate=self._sample_rate,  # type: ignore[arg-type]
+            confidence=(
+                0.95 if self._confidence is None else self._confidence
+            ),
+            measure=self._measure,
+            pruning=self._pruning,
+            sample_method=self._sample_method,
+            sample_seed=self._sample_seed,
+            max_k=self._max_k,
+            chunk_size=getattr(self._executor, "chunk_size", None),
+            verify_backend=self._backend,
+        )
+        result = runner.mine()
+        self._stats = result.stats
+        self._context.stats = self._stats
+        self._n_mined_transactions = self._database.n_transactions
+        #: phase-1 candidates with support confidence intervals
+        self.approx_candidates = runner.candidates
+        self.approx_bounds = runner.bounds
+        self._last_result = result
+        return result
+
     def update(self, transactions) -> MiningResult:
         """Append a delta batch to the shard store and re-mine
         incrementally (see :class:`~repro.engine.incremental.
@@ -502,6 +605,9 @@ class FlipperMiner:
             last = getattr(self, "_last_result", None)
             if (
                 last is not None
+                # an approximate result may under-report patterns and
+                # must never seed the exact incremental path
+                and "approx" not in last.config
                 and self._n_mined_transactions
                 == self._database.n_transactions
             ):
@@ -754,8 +860,16 @@ def mine_flipping_patterns(
     partitions: int | None = None,
     memory_budget_mb: float | None = None,
     shard_dir: str | Path | None = None,
+    sample_rate: float | None = None,
+    confidence: float | None = None,
+    sample_method: str = "stratified",
+    sample_seed: int = 0,
 ) -> MiningResult:
     """One-call façade over :class:`FlipperMiner` (the main entry point).
+
+    ``sample_rate=``/``confidence=`` switch the run onto the
+    sample-then-verify approximate path (exact-verified output,
+    bounded risk of missed patterns; see ARCHITECTURE.md).
 
     >>> result = mine_flipping_patterns(db, Thresholds(0.6, 0.35))
     ... # doctest: +SKIP
@@ -773,5 +887,9 @@ def mine_flipping_patterns(
         partitions=partitions,
         memory_budget_mb=memory_budget_mb,
         shard_dir=shard_dir,
+        sample_rate=sample_rate,
+        confidence=confidence,
+        sample_method=sample_method,
+        sample_seed=sample_seed,
     )
     return miner.mine()

@@ -66,13 +66,21 @@ def load_transactions(
 ) -> list[list[str]]:
     """Load transactions from basket text or ``.jsonl``."""
     path = Path(path)
-    text = path.read_text(encoding="utf-8")
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DataError(f"cannot read transactions: {exc}") from None
     if path.suffix.lower() in {".jsonl", ".ndjson"}:
         transactions: list[list[str]] = []
         for lineno, line in enumerate(text.splitlines(), start=1):
             if not line.strip():
                 continue
-            row = json.loads(line)
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DataError(
+                    f"{path}:{lineno}: not valid JSON ({exc.msg})"
+                ) from None
             if not isinstance(row, list):
                 raise DataError(f"{path}:{lineno}: expected a JSON array")
             transactions.append([str(item) for item in row])

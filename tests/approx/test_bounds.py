@@ -1,0 +1,192 @@
+"""Unit and property tests for the sample-bound math."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.approx.bounds import (
+    SampleBounds,
+    chernoff_sample_count,
+    correlation_margin,
+    hoeffding_epsilon,
+    required_sample_size,
+    support_interval,
+)
+from repro.core.thresholds import Thresholds
+from repro.errors import ConfigError
+
+
+class TestHoeffding:
+    def test_known_value(self):
+        # eps = sqrt(ln(1/0.01) / (2 * 10000))
+        assert hoeffding_epsilon(10_000, 0.01) == pytest.approx(
+            math.sqrt(math.log(100) / 20_000)
+        )
+
+    def test_shrinks_with_sample_size(self):
+        assert hoeffding_epsilon(40_000, 0.05) < hoeffding_epsilon(
+            10_000, 0.05
+        )
+
+    def test_grows_with_confidence(self):
+        assert hoeffding_epsilon(10_000, 0.001) > hoeffding_epsilon(
+            10_000, 0.1
+        )
+
+    def test_inverse_of_required_sample_size(self):
+        for eps in (0.05, 0.01, 0.002):
+            n = required_sample_size(eps, 0.05)
+            assert hoeffding_epsilon(n, 0.05) <= eps
+            assert hoeffding_epsilon(n - 1, 0.05) > eps
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_rejects_bad_sample_size(self, bad):
+        with pytest.raises(ConfigError):
+            hoeffding_epsilon(bad, 0.05)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 2.0])
+    def test_rejects_bad_delta(self, bad):
+        with pytest.raises(ConfigError):
+            hoeffding_epsilon(100, bad)
+        with pytest.raises(ConfigError):
+            required_sample_size(0.01, bad)
+        with pytest.raises(ConfigError):
+            chernoff_sample_count(0.1, 100, bad)
+
+
+class TestChernoff:
+    def test_below_expected_count(self):
+        expected = 0.01 * 10_000
+        bound = chernoff_sample_count(0.01, 10_000, 0.01)
+        assert 0.0 < bound < expected
+
+    def test_vacuous_for_rare_fractions(self):
+        # expected count so small the tail gives no information
+        assert chernoff_sample_count(0.0001, 1_000, 0.01) == 0.0
+
+    def test_monotone_in_fraction(self):
+        values = [
+            chernoff_sample_count(fraction, 10_000, 0.01)
+            for fraction in (0.001, 0.01, 0.05, 0.2)
+        ]
+        assert values == sorted(values)
+
+    def test_beats_hoeffding_on_rare_fractions(self):
+        """The reason both bounds are taken: the additive margin is
+        vacuous exactly where the multiplicative one still bites."""
+        n, delta, fraction = 10_000, 0.01, 0.005
+        hoeffding = (fraction - hoeffding_epsilon(n, delta)) * n
+        assert hoeffding < 0  # additive bound collapsed
+        assert chernoff_sample_count(fraction, n, delta) > 1
+
+
+class TestCorrelationMargin:
+    def test_degenerates_when_sample_too_small(self):
+        assert correlation_margin(0.02, 0.01) == 1.0
+
+    def test_shrinks_with_common_items(self):
+        assert correlation_margin(0.01, 0.5) < correlation_margin(
+            0.01, 0.05
+        )
+
+
+class TestSupportInterval:
+    def test_contains_scaled_estimate(self):
+        lo, hi = support_interval(50, 1_000, 100_000, 0.01)
+        assert lo <= 50 * 100 <= hi
+
+    def test_clamped_to_valid_counts(self):
+        lo, _hi = support_interval(0, 1_000, 100_000, 0.01)
+        assert lo == 0
+        _lo, hi = support_interval(1_000, 1_000, 100_000, 0.05)
+        assert hi == 100_000
+
+
+def _resolved(fractions, gamma=0.3, epsilon=0.1, n_total=100_000):
+    return Thresholds(
+        gamma=gamma, epsilon=epsilon, min_support=list(fractions)
+    ).resolve(len(fractions), n_total)
+
+
+class TestSampleBounds:
+    def test_thresholds_stay_non_increasing(self):
+        bounds = SampleBounds.derive(
+            _resolved([0.01, 0.001, 0.0005, 0.0001]), 100_000, 10_000, 0.95
+        )
+        counts = bounds.sample_min_counts
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+        assert all(count >= 1 for count in counts)
+
+    def test_thresholds_never_exceed_proportional(self):
+        bounds = SampleBounds.derive(
+            _resolved([0.05, 0.01]), 100_000, 10_000, 0.95
+        )
+        for count, fraction in zip(
+            bounds.sample_min_counts, bounds.min_fractions
+        ):
+            assert count <= max(1, math.ceil(fraction * 10_000))
+
+    def test_band_never_inverts(self):
+        bounds = SampleBounds.derive(
+            _resolved([0.001], gamma=0.21, epsilon=0.2), 50_000, 500, 0.99
+        )
+        assert bounds.relaxed_epsilon < bounds.relaxed_gamma
+        assert bounds.margin_clamped
+
+    def test_union_bound_split(self):
+        bounds = SampleBounds.derive(
+            _resolved([0.01, 0.001, 0.0001]), 100_000, 10_000, 0.9
+        )
+        assert bounds.tests == 4  # 3 levels + the correlation band
+        assert bounds.delta_per_test == pytest.approx(0.1 / 4)
+
+    def test_interval_roundtrip(self):
+        bounds = SampleBounds.derive(
+            _resolved([0.01]), 100_000, 10_000, 0.95
+        )
+        lo, hi = bounds.interval(100)
+        assert lo <= 1_000 <= hi
+
+    def test_to_dict_is_json_shaped(self):
+        data = SampleBounds.derive(
+            _resolved([0.01, 0.001]), 100_000, 10_000, 0.95
+        ).to_dict()
+        assert data["n_sample"] == 10_000
+        assert isinstance(data["sample_min_counts"], list)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -1.0])
+    def test_rejects_bad_confidence(self, bad):
+        with pytest.raises(ConfigError):
+            SampleBounds.derive(_resolved([0.01]), 1_000, 100, bad)
+
+    @pytest.mark.parametrize("n_sample", [0, 1_001])
+    def test_rejects_bad_sample_size(self, n_sample):
+        with pytest.raises(ConfigError):
+            SampleBounds.derive(_resolved([0.01]), 1_000, n_sample, 0.95)
+
+    @given(
+        n_total=st.integers(min_value=100, max_value=1_000_000),
+        rate=st.floats(min_value=0.01, max_value=1.0),
+        confidence=st.floats(min_value=0.5, max_value=0.999),
+        gamma=st.floats(min_value=0.2, max_value=0.9),
+    )
+    def test_derivation_invariants(self, n_total, rate, confidence, gamma):
+        """For any configuration: thresholds positive, non-increasing,
+        at most proportional; band ordered; epsilon positive."""
+        n_sample = max(1, min(n_total, round(rate * n_total)))
+        resolved = _resolved(
+            [0.02, 0.002], gamma=gamma, epsilon=0.1, n_total=n_total
+        )
+        bounds = SampleBounds.derive(
+            resolved, n_total, n_sample, confidence
+        )
+        assert bounds.epsilon_support > 0
+        counts = bounds.sample_min_counts
+        assert all(count >= 1 for count in counts)
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+        for count, fraction in zip(counts, bounds.min_fractions):
+            assert count <= max(1, math.ceil(fraction * n_sample))
+        assert bounds.relaxed_epsilon < bounds.relaxed_gamma

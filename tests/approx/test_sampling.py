@@ -1,0 +1,128 @@
+"""Tests for the deterministic store samplers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx.sampling import SampleDraw, draw_sample
+from repro.data.database import TransactionDatabase
+from repro.data.shards import ShardedTransactionStore
+from repro.errors import ConfigError
+from tests.conftest import make_random_database
+
+
+@pytest.fixture
+def store(grocery_taxonomy, tmp_path) -> ShardedTransactionStore:
+    database = make_random_database(
+        grocery_taxonomy, 400, seed=13, max_width=5
+    )
+    return ShardedTransactionStore.partition_database(
+        database, tmp_path / "shards", n_shards=4
+    )
+
+
+class TestDrawSample:
+    @pytest.mark.parametrize("method", ["stratified", "reservoir"])
+    def test_deterministic_under_seed(self, store, method):
+        first = draw_sample(store, 0.25, method=method, seed=9)
+        second = draw_sample(store, 0.25, method=method, seed=9)
+        assert first.rows == second.rows
+        other = draw_sample(store, 0.25, method=method, seed=10)
+        assert other.rows != first.rows
+
+    @pytest.mark.parametrize("method", ["stratified", "reservoir"])
+    def test_rows_come_from_the_store(self, store, method):
+        universe: list[tuple[str, ...]] = []
+        for index in range(store.n_shards):
+            universe.extend(store.shard_transactions(index))
+        draw = draw_sample(store, 0.2, method=method, seed=3)
+        for row in draw.rows:
+            assert row in universe
+
+    @pytest.mark.parametrize("method", ["stratified", "reservoir"])
+    def test_full_rate_returns_every_row(self, store, method):
+        draw = draw_sample(store, 1.0, method=method, seed=0)
+        assert draw.n_rows == store.n_transactions
+
+    def test_reservoir_hits_exact_target(self, store):
+        draw = draw_sample(store, 0.17, method="reservoir", seed=1)
+        assert draw.n_rows == draw.target_rows == round(0.17 * 400)
+
+    def test_stratified_is_proportional_per_shard(self, store):
+        draw = draw_sample(store, 0.25, method="stratified", seed=2)
+        # 4 shards of 100 rows each at rate 0.25 -> 25 rows per shard,
+        # emitted in shard order
+        assert draw.n_rows == 100
+        for index in range(4):
+            shard_rows = set(store.shard_transactions(index))
+            block = draw.rows[index * 25 : (index + 1) * 25]
+            assert all(row in shard_rows for row in block)
+
+    def test_stratified_prefix_stable_under_append(
+        self, store, grocery_taxonomy
+    ):
+        """Growing the store never changes what the old shards
+        contribute — repeated approximate runs stay comparable."""
+        before = draw_sample(store, 0.25, seed=5)
+        names = [
+            grocery_taxonomy.name_of(item)
+            for item in grocery_taxonomy.item_ids
+        ]
+        store.append_batch([names[:2], names[2:4]])
+        after = draw_sample(store, 0.25, seed=5)
+        old_contribution = before.n_rows
+        assert after.rows[:old_contribution] == before.rows
+
+    def test_tiny_rate_still_yields_a_row(self, store):
+        draw = draw_sample(store, 0.0001, seed=4)
+        assert draw.n_rows >= 1
+
+    def test_max_rows_budget(self, store):
+        draw = draw_sample(store, 0.5, max_rows=30, seed=0)
+        assert draw.target_rows == 30
+        assert draw.capped_by == "max_rows"
+        assert draw.n_rows <= 34  # per-shard rounding slack
+
+    def test_memory_budget_caps_target(self, store):
+        unbounded = draw_sample(store, 1.0, seed=0)
+        tiny = draw_sample(store, 1.0, memory_budget_mb=0.001, seed=0)
+        assert tiny.capped_by == "memory_budget_mb"
+        assert tiny.target_rows < unbounded.target_rows
+
+    def test_generous_memory_budget_does_not_cap(self, store):
+        draw = draw_sample(store, 0.5, memory_budget_mb=1024, seed=0)
+        assert draw.capped_by == ""
+        assert draw.target_rows == 200
+
+
+class TestDrawSampleErrors:
+    @pytest.mark.parametrize("rate", [0.0, -0.5, 1.5])
+    def test_rejects_bad_rate(self, store, rate):
+        with pytest.raises(ConfigError, match="sample_rate"):
+            draw_sample(store, rate)
+
+    def test_rejects_unknown_method(self, store):
+        with pytest.raises(ConfigError, match="unknown sample method"):
+            draw_sample(store, 0.5, method="bernoulli")
+
+    def test_rejects_bad_budgets(self, store):
+        with pytest.raises(ConfigError, match="max_rows"):
+            draw_sample(store, 0.5, max_rows=0)
+        with pytest.raises(ConfigError, match="memory_budget_mb"):
+            draw_sample(store, 0.5, memory_budget_mb=0.0)
+
+
+class TestSampleDraw:
+    def test_carries_provenance(self, store):
+        draw = draw_sample(store, 0.3, method="reservoir", seed=21)
+        assert isinstance(draw, SampleDraw)
+        assert draw.method == "reservoir"
+        assert draw.seed == 21
+        assert draw.sample_rate == 0.3
+
+    def test_sampled_rows_bind_to_the_taxonomy(self, store):
+        draw = draw_sample(store, 0.2, seed=6)
+        database = TransactionDatabase(
+            list(draw.rows), store.taxonomy
+        )
+        assert database.n_transactions == draw.n_rows

@@ -1,0 +1,60 @@
+"""End-to-end smoke of the approx bench (quick mode).
+
+The wall-clock speedup floor is scale-dependent (CI's perf-gate job
+measures it at the default scale against the committed baseline), so
+this smoke runs the bench's ``quick`` mode — which skips the floor
+but keeps every correctness check — and asserts the exactness
+properties plus the baseline file shape.  Everything in the quick run
+is deterministic (fixed dataset seed, fixed sample seed), so its
+recall check is stable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+
+
+def test_approx_bench_quick_writes_baseline(tmp_path):
+    from repro.bench import run_approx_bench
+
+    out = tmp_path / "BENCH_approx.json"
+    report, data = run_approx_bench(out_path=out, quick=True)
+    assert "Approx bench" in report
+    assert "quick" in report
+    assert data["bench"] == "approx"
+    on_disk = json.loads(out.read_text())
+    assert on_disk["quick"] is True
+    # correctness holds at every scale: full recall, no fabrications
+    assert on_disk["checks_pass"] is True
+    assert on_disk["recall"] == 1.0
+    assert on_disk["n_verified"] <= on_disk["n_candidates"]
+    assert on_disk["exact_seconds"] > 0
+    assert on_disk["approx_seconds"] > 0
+    assert on_disk["exact_pool_rebuilds"] > 0  # out-of-core regime
+    assert set(on_disk["phase_seconds"]) == {
+        "sample", "screen", "verify",
+    }
+
+
+def test_committed_baseline_passes_its_own_checks():
+    """The committed BENCH_approx.json (produced at the default
+    scale, quick=False) must satisfy its internal checks, including
+    the 2x speedup floor and perfect recall the CI gate enforces."""
+    committed = json.loads(
+        (
+            Path(__file__).resolve().parents[2] / "BENCH_approx.json"
+        ).read_text()
+    )
+    assert committed["quick"] is False
+    assert committed["checks_pass"] is True
+    assert committed["recall"] == 1.0
+    assert committed["speedup"] >= committed["min_speedup"]
+    assert committed["sample_rate"] == 0.1

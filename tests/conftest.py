@@ -1,10 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+The strategies (:func:`taxonomy_trees`, :func:`databases`,
+:func:`corpora`) are the single source of random taxonomy/transaction
+generation for property tests — the substrate suite and the
+cross-subsystem end-to-end suite draw from the same shapes, so a
+corpus that falsifies one invariant is immediately replayable against
+the others.
+"""
 
 from __future__ import annotations
 
 import random
 
 import pytest
+from hypothesis import strategies as st
 
 from repro import Taxonomy, Thresholds, TransactionDatabase
 from repro.datasets import example3_database, example3_taxonomy
@@ -66,3 +75,78 @@ def make_random_database(
 @pytest.fixture
 def random_db(grocery_taxonomy) -> TransactionDatabase:
     return make_random_database(grocery_taxonomy, 200, seed=7, max_width=6)
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies (shared by the property suites)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def taxonomy_trees(draw):
+    """Random 2-3 level taxonomies, possibly unbalanced.
+
+    Returns ``(tree_dict, leaf_names)``; build the taxonomy with
+    ``Taxonomy.from_dict(tree)``.
+    """
+    n_categories = draw(st.integers(min_value=2, max_value=4))
+    tree: dict = {}
+    leaves: list[str] = []
+    for c in range(n_categories):
+        category = f"c{c}"
+        deep = draw(st.booleans())
+        if deep:
+            subtree = {}
+            for m in range(draw(st.integers(min_value=1, max_value=2))):
+                mid = f"{category}m{m}"
+                children = [
+                    f"{mid}x{j}"
+                    for j in range(draw(st.integers(min_value=1, max_value=3)))
+                ]
+                subtree[mid] = children
+                leaves.extend(children)
+            tree[category] = subtree
+        else:
+            children = [
+                f"{category}x{j}"
+                for j in range(draw(st.integers(min_value=1, max_value=3)))
+            ]
+            tree[category] = children
+            leaves.extend(children)
+    return tree, leaves
+
+
+def _random_rows(
+    leaves: list[str], seed: int, n: int
+) -> list[list[str]]:
+    rng = random.Random(seed)
+    return [
+        rng.sample(leaves, rng.randint(1, min(4, len(leaves))))
+        for _ in range(n)
+    ]
+
+
+@st.composite
+def databases(draw):
+    """A random in-memory database over a random taxonomy."""
+    tree, leaves = draw(taxonomy_trees())
+    taxonomy = Taxonomy.from_dict(tree)
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    n = draw(st.integers(min_value=1, max_value=25))
+    return TransactionDatabase(_random_rows(leaves, seed, n), taxonomy)
+
+
+@st.composite
+def corpora(draw):
+    """A random ``(taxonomy, base_rows, delta_rows)`` triple — the
+    input shape of the cross-subsystem pipeline property test.  The
+    delta draws from the same leaf universe as the base (a delta with
+    foreign items is rejected by ``append_batch`` by design) and may
+    be empty (the incremental no-op path)."""
+    tree, leaves = draw(taxonomy_trees())
+    taxonomy = Taxonomy.from_dict(tree)
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    n_base = draw(st.integers(min_value=2, max_value=25))
+    n_delta = draw(st.integers(min_value=0, max_value=10))
+    rows = _random_rows(leaves, seed, n_base + n_delta)
+    return taxonomy, rows[:n_base], rows[n_base:]

@@ -118,4 +118,5 @@ class TestBenchRunnersSmoke:
             "partition",
             "incremental",
             "serve",
+            "approx",
         }

@@ -3,60 +3,20 @@
 These pin the invariants the miner silently relies on: support
 monotonicity under generalization, index/naive agreement, rebalancing
 preserving item identity, and IO round-trips.
+
+The taxonomy/transaction strategies live in ``tests/conftest.py``;
+every property suite (this one, the cross-subsystem pipeline suite)
+draws the same corpus shapes.
 """
 
 from __future__ import annotations
 
-import random
+from hypothesis import given, settings
 
-from hypothesis import given, settings, strategies as st
-
-from repro.data import TransactionDatabase, VerticalIndex
+from repro.data import VerticalIndex
 from repro.taxonomy import Taxonomy, rebalance_with_copies
 
-
-@st.composite
-def taxonomy_trees(draw):
-    """Random 2-3 level taxonomies, possibly unbalanced."""
-    n_categories = draw(st.integers(min_value=2, max_value=4))
-    tree: dict = {}
-    leaves: list[str] = []
-    for c in range(n_categories):
-        category = f"c{c}"
-        deep = draw(st.booleans())
-        if deep:
-            subtree = {}
-            for m in range(draw(st.integers(min_value=1, max_value=2))):
-                mid = f"{category}m{m}"
-                children = [
-                    f"{mid}x{j}"
-                    for j in range(draw(st.integers(min_value=1, max_value=3)))
-                ]
-                subtree[mid] = children
-                leaves.extend(children)
-            tree[category] = subtree
-        else:
-            children = [
-                f"{category}x{j}"
-                for j in range(draw(st.integers(min_value=1, max_value=3)))
-            ]
-            tree[category] = children
-            leaves.extend(children)
-    return tree, leaves
-
-
-@st.composite
-def databases(draw):
-    tree, leaves = draw(taxonomy_trees())
-    taxonomy = Taxonomy.from_dict(tree)
-    seed = draw(st.integers(min_value=0, max_value=9999))
-    rng = random.Random(seed)
-    n = draw(st.integers(min_value=1, max_value=25))
-    transactions = [
-        rng.sample(leaves, rng.randint(1, min(4, len(leaves))))
-        for _ in range(n)
-    ]
-    return TransactionDatabase(transactions, taxonomy)
+from tests.conftest import databases, taxonomy_trees
 
 
 @given(databases())

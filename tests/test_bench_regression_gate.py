@@ -395,3 +395,144 @@ class TestMainServe:
         assert gate.compare_serve(
             committed, copy.deepcopy(committed), 1.5
         ) == []
+
+
+@pytest.fixture
+def approx_baseline():
+    return {
+        "bench": "approx",
+        "quick": False,
+        "speedup": 3.0,
+        "recall": 1.0,
+        "min_speedup": 2.0,
+        "checks_pass": True,
+    }
+
+
+class TestCompareApprox:
+    def test_identical_passes(self, gate, approx_baseline):
+        assert gate.compare_approx(
+            approx_baseline, copy.deepcopy(approx_baseline), 1.5
+        ) == []
+
+    def test_below_absolute_floor_fails(self, gate, approx_baseline):
+        current = copy.deepcopy(approx_baseline)
+        current["speedup"] = 1.5
+        problems = gate.compare_approx(approx_baseline, current, 1.5)
+        assert any("floor" in p for p in problems)
+
+    def test_imperfect_recall_fails(self, gate, approx_baseline):
+        current = copy.deepcopy(approx_baseline)
+        current["recall"] = 0.9
+        problems = gate.compare_approx(approx_baseline, current, 1.5)
+        assert any("recall" in p for p in problems)
+
+    def test_collapse_versus_baseline_fails(self, gate):
+        baseline = {"speedup": 8.0, "recall": 1.0, "checks_pass": True}
+        current = {"speedup": 2.5, "recall": 1.0, "checks_pass": True}
+        problems = gate.compare_approx(baseline, current, 1.5)
+        assert any("regressed" in p for p in problems)
+
+    def test_within_tolerance_passes(self, gate):
+        baseline = {"speedup": 3.5, "recall": 1.0, "checks_pass": True}
+        current = {"speedup": 2.5, "recall": 1.0, "checks_pass": True}
+        assert gate.compare_approx(baseline, current, 1.5) == []
+
+    def test_failed_internal_checks_fail(self, gate, approx_baseline):
+        current = copy.deepcopy(approx_baseline)
+        current["checks_pass"] = False
+        problems = gate.compare_approx(approx_baseline, current, 1.5)
+        assert any("internal checks" in p for p in problems)
+
+    def test_quick_bench_rejected(self, gate, approx_baseline):
+        current = copy.deepcopy(approx_baseline)
+        current["quick"] = True
+        problems = gate.compare_approx(approx_baseline, current, 1.5)
+        assert any("quick" in p for p in problems)
+
+    def test_missing_baseline_speedup_reported(self, gate):
+        problems = gate.compare_approx(
+            {}, {"speedup": 3.0, "recall": 1.0, "checks_pass": True}, 1.5
+        )
+        assert any("baseline" in p for p in problems)
+
+
+class TestMainApprox:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_exit_zero_with_approx_pair(
+        self, gate, baseline, approx_baseline, tmp_path, capsys
+    ):
+        base = self._write(tmp_path, "base.json", baseline)
+        approx = self._write(tmp_path, "approx.json", approx_baseline)
+        code = gate.main([
+            "--baseline", base, "--current", base,
+            "--approx-baseline", approx,
+            "--approx-current", approx,
+        ])
+        assert code == 0
+        assert "sample-then-verify speedup" in capsys.readouterr().out
+
+    def test_exit_one_on_recall_breach(
+        self, gate, baseline, approx_baseline, tmp_path, capsys
+    ):
+        lossy = copy.deepcopy(approx_baseline)
+        lossy["recall"] = 0.875
+        base = self._write(tmp_path, "base.json", baseline)
+        approx_base = self._write(
+            tmp_path, "approx_base.json", approx_baseline
+        )
+        approx_now = self._write(tmp_path, "approx_now.json", lossy)
+        code = gate.main([
+            "--baseline", base, "--current", base,
+            "--approx-baseline", approx_base,
+            "--approx-current", approx_now,
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_floor_defaults_to_baseline_recorded_floor(
+        self, gate, baseline, approx_baseline, tmp_path
+    ):
+        strict = copy.deepcopy(approx_baseline)
+        strict["min_speedup"] = 4.0
+        current = copy.deepcopy(approx_baseline)
+        current["speedup"] = 3.5
+        base = self._write(tmp_path, "base.json", baseline)
+        approx_base = self._write(tmp_path, "approx_base.json", strict)
+        approx_now = self._write(tmp_path, "approx_now.json", current)
+        code = gate.main([
+            "--baseline", base, "--current", base,
+            "--approx-baseline", approx_base,
+            "--approx-current", approx_now,
+        ])
+        assert code == 1
+
+    def test_lone_approx_option_rejected(self, gate, baseline, tmp_path):
+        base = self._write(tmp_path, "base.json", baseline)
+        with pytest.raises(SystemExit):
+            gate.main([
+                "--baseline", base, "--current", base,
+                "--approx-current", base,
+            ])
+
+    def test_gates_the_committed_approx_baseline(self, gate):
+        """The committed BENCH_approx.json must satisfy its own gate
+        (otherwise CI fails on an untouched checkout)."""
+        committed = json.loads(
+            (_SCRIPT.parent.parent / "BENCH_approx.json").read_text()
+        )
+        assert gate.compare_approx(
+            committed, copy.deepcopy(committed), 1.5
+        ) == []
+
+    def test_quick_baseline_rejected(self, gate, approx_baseline):
+        stale = copy.deepcopy(approx_baseline)
+        stale["quick"] = True
+        problems = gate.compare_approx(
+            stale, copy.deepcopy(approx_baseline), 1.5
+        )
+        assert any("baseline" in p and "quick" in p for p in problems)
