@@ -46,6 +46,16 @@ floor, and not collapse versus the committed baseline beyond the
 tolerance factor.  A ``--quick`` bench file is rejected: the smoke
 run skips the wall-clock floor and must not serve as the gate input.
 
+``--partition-baseline``/``--partition-current`` gate
+``BENCH_partition.json``: the current run must pass its internal
+checks (cold *and* warm N-shard patterns byte-identical to the
+1-shard run, warm admits all served from persisted images), its
+image-admit-vs-rebuild speedup must clear the absolute
+``--partition-min-admit-speedup`` floor, and its warm
+N-shard/1-shard mine ratio must stay under the absolute
+``--partition-max-mine-ratio`` ceiling.  ``--quick`` bench files are
+rejected here too.
+
 Usage::
 
     python scripts/check_bench_regression.py \
@@ -262,6 +272,64 @@ def compare_approx(
     return problems
 
 
+#: default absolute floor on the image-admit-vs-rebuild speedup (the
+#: columnar shard format's acceptance criterion)
+MIN_ADMIT_SPEEDUP = 5.0
+
+#: default absolute ceiling on the warm N-shard/1-shard mine ratio
+MAX_MINE_RATIO = 2.5
+
+
+def compare_partition(
+    baseline: dict,
+    current: dict,
+    tolerance: float,
+    min_admit_speedup: float = MIN_ADMIT_SPEEDUP,
+    max_mine_ratio: float = MAX_MINE_RATIO,
+) -> list[str]:
+    """Gate the partition bench (empty list = gate passes)."""
+    problems: list[str] = []
+    if baseline.get("quick", False):
+        problems.append(
+            "committed partition baseline is a --quick smoke run; "
+            "regenerate it with the full bench (python -m repro "
+            "bench partition)"
+        )
+    if current.get("quick", False):
+        problems.append(
+            "current partition bench is a --quick smoke run; the "
+            "gate needs the full bench (no wall-clock floors were "
+            "measured)"
+        )
+    if not current.get("checks_pass", False):
+        problems.append(
+            "current partition bench failed its internal checks "
+            "(checks_pass is false; this includes cold/warm N-shard "
+            "pattern parity with the 1-shard run)"
+        )
+    admit_now = float(current.get("admit_speedup", 0.0))
+    if admit_now < min_admit_speedup:
+        problems.append(
+            f"image-admit speedup {admit_now:.2f}x over rebuild is "
+            f"below the {min_admit_speedup:g}x floor"
+        )
+    admit_base = float(baseline.get("admit_speedup", 0.0))
+    if admit_base <= 0.0:
+        problems.append("baseline partition admit speedup missing or zero")
+    elif admit_now * tolerance < admit_base:
+        problems.append(
+            f"image-admit speedup regressed: {admit_now:.2f}x vs "
+            f"baseline {admit_base:.2f}x (> {tolerance:g}x collapse)"
+        )
+    ratio_now = float(current.get("mine_ratio", float("inf")))
+    if ratio_now > max_mine_ratio:
+        problems.append(
+            f"warm N-shard/1-shard mine ratio {ratio_now:.2f}x is "
+            f"above the {max_mine_ratio:g}x ceiling"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -330,6 +398,32 @@ def main(argv: list[str] | None = None) -> int:
              "(default: the baseline's recorded min_speedup, else "
              f"{MIN_APPROX_SPEEDUP:g})",
     )
+    parser.add_argument(
+        "--partition-baseline",
+        default=None,
+        help="committed BENCH_partition.json (optional)",
+    )
+    parser.add_argument(
+        "--partition-current",
+        default=None,
+        help="freshly produced partition bench JSON (optional)",
+    )
+    parser.add_argument(
+        "--partition-min-admit-speedup",
+        type=float,
+        default=None,
+        help="absolute floor on the image-admit-vs-rebuild speedup "
+             "(default: the baseline's recorded min_admit_speedup, "
+             f"else {MIN_ADMIT_SPEEDUP:g})",
+    )
+    parser.add_argument(
+        "--partition-max-mine-ratio",
+        type=float,
+        default=None,
+        help="absolute ceiling on the warm N-shard/1-shard mine "
+             "ratio (default: the baseline's recorded "
+             f"max_mine_ratio, else {MAX_MINE_RATIO:g})",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 1.0:
         parser.error("tolerance must be >= 1.0")
@@ -347,6 +441,12 @@ def main(argv: list[str] | None = None) -> int:
     if (args.approx_baseline is None) != (args.approx_current is None):
         parser.error(
             "--approx-baseline and --approx-current go together"
+        )
+    if (args.partition_baseline is None) != (
+        args.partition_current is None
+    ):
+        parser.error(
+            "--partition-baseline and --partition-current go together"
         )
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
     current = json.loads(Path(args.current).read_text(encoding="utf-8"))
@@ -413,6 +513,34 @@ def main(argv: list[str] | None = None) -> int:
             args.tolerance,
             min_speedup=approx_min_speedup,
         )
+    partition_min_admit = args.partition_min_admit_speedup
+    partition_max_ratio = args.partition_max_mine_ratio
+    partition_current = None
+    if args.partition_baseline is not None:
+        partition_baseline = json.loads(
+            Path(args.partition_baseline).read_text(encoding="utf-8")
+        )
+        partition_current = json.loads(
+            Path(args.partition_current).read_text(encoding="utf-8")
+        )
+        if partition_min_admit is None:
+            # single source of truth: the floors the bench recorded
+            partition_min_admit = float(
+                partition_baseline.get(
+                    "min_admit_speedup", MIN_ADMIT_SPEEDUP
+                )
+            )
+        if partition_max_ratio is None:
+            partition_max_ratio = float(
+                partition_baseline.get("max_mine_ratio", MAX_MINE_RATIO)
+            )
+        problems += compare_partition(
+            partition_baseline,
+            partition_current,
+            args.tolerance,
+            min_admit_speedup=partition_min_admit,
+            max_mine_ratio=partition_max_ratio,
+        )
     if problems:
         print("perf-regression gate FAILED:")
         for problem in problems:
@@ -445,6 +573,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{float(approx_current.get('speedup', 0.0)):.2f}x "
             f"at recall {float(approx_current.get('recall', 0.0)):.3f} "
             f"(floor {approx_min_speedup:g}x)"
+        )
+    if partition_current is not None:
+        print(
+            f"ok: partition image-admit speedup = "
+            f"{float(partition_current.get('admit_speedup', 0.0)):.2f}x "
+            f"(floor {partition_min_admit:g}x), warm mine ratio = "
+            f"{float(partition_current.get('mine_ratio', 0.0)):.2f}x "
+            f"(ceiling {partition_max_ratio:g}x)"
         )
     print(f"perf-regression gate passed (tolerance {args.tolerance:g}x)")
     return 0

@@ -311,6 +311,10 @@ class ApproxMiner:
                 "sample_seconds": sample_timer.seconds,
                 "screen_seconds": screen_timer.seconds,
                 "verify_seconds": verify_timer.seconds,
+                "pool_rebuilds": self._verify_backend.pool.rebuilds,
+                "pool_image_admits": (
+                    self._verify_backend.pool.image_admits
+                ),
             },
         }
         return MiningResult(

@@ -110,9 +110,8 @@ def _stratified(
         if take == 0:
             continue
         rng = random.Random(f"{seed}:{index}")
-        shard_rows = store.shard_transactions(index)
-        for row_index in sorted(rng.sample(range(size), take)):
-            rows.append(shard_rows[row_index])
+        chosen = sorted(rng.sample(range(size), take))
+        rows.extend(store.shard_transactions_at(index, chosen))
     if not rows:
         # Every shard rounded to zero (tiny rate over tiny shards):
         # fall back to one uniform row so the sample is never empty.
@@ -121,7 +120,9 @@ def _stratified(
         for index in range(store.n_shards):
             size = store.shard_sizes[index]
             if flat_index < size:
-                rows.append(store.shard_transactions(index)[flat_index])
+                rows.extend(
+                    store.shard_transactions_at(index, [flat_index])
+                )
                 break
             flat_index -= size
     return rows

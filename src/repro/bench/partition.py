@@ -1,19 +1,36 @@
-"""Partition bench: 1-shard vs N-shard wall-clock and peak RSS.
+"""Partition bench: 1-shard vs N-shard wall-clock, RSS, admit cost.
 
 The out-of-core partitioned path trades re-reading shards from disk
 for a bounded resident set; this bench quantifies the trade on the
-planted groceries dataset and asserts the property that makes the
-trade safe — N-shard mining produces *byte-identical* patterns to the
-single-partition path.
+planted groceries dataset and asserts the properties that make the
+trade safe and cheap:
+
+* **parity** — N-shard mining produces *byte-identical* patterns to
+  the single-partition path, cold and warm;
+* **admit beats rebuild** — re-admitting an evicted shard backend
+  from its persisted image (mmap + header check) is at least
+  :data:`MIN_ADMIT_SPEEDUP` times faster than parse-and-rebuild;
+* **warm out-of-core mining is near-monolithic** — a budgeted
+  N-shard mine over a store whose backend images are on disk stays
+  within :data:`MAX_MINE_RATIO` of the 1-shard run (before images,
+  rebuild churn put this at ~6x).
 
 Each configuration runs in a fresh ``spawn`` subprocess so its peak
 RSS (``getrusage(RUSAGE_SELF).ru_maxrss``) is its own: peak RSS is a
 process-lifetime high-water mark, so in-process sequential runs would
-all report the first run's peak.  ``run_partition_bench`` collects
-the probes, renders a report, and writes the machine-readable
-``BENCH_partition.json`` (path overridable via
-``REPRO_BENCH_PARTITION_OUT``) so later PRs can diff the partitioned
-path's cost profile.
+all report the first run's peak.  The N-shard probe runs the mine
+twice inside its subprocess — cold (building, saving images on
+eviction) and warm (every admit served from an image) — and then
+times the admit and rebuild paths directly on the same shards.
+
+``run_partition_bench`` collects the probes, renders a report, and
+writes the machine-readable ``BENCH_partition.json`` (path
+overridable via ``REPRO_BENCH_PARTITION_OUT``), which
+``scripts/check_bench_regression.py --partition-baseline`` gates in
+CI.  ``quick=True`` (the per-Python CI smoke: ``repro bench
+partition --quick``) keeps every parity and image-serving check but
+skips the wall-clock floors — timing at smoke scale is scheduler
+noise.
 """
 
 from __future__ import annotations
@@ -31,14 +48,37 @@ from pathlib import Path
 from repro.bench.profiles import bench_scale
 from repro.bench.report import ShapeCheck, format_table, render_checks
 
-__all__ = ["run_partition_bench", "DEFAULT_OUT_PATH"]
+__all__ = [
+    "run_partition_bench",
+    "DEFAULT_OUT_PATH",
+    "MIN_ADMIT_SPEEDUP",
+    "MAX_MINE_RATIO",
+]
 
 DEFAULT_OUT_PATH = "BENCH_partition.json"
 
+#: acceptance floor: admitting a shard backend from its persisted
+#: image must beat parse-and-rebuild by at least this factor
+MIN_ADMIT_SPEEDUP = 5.0
+
+#: acceptance ceiling: the warm budgeted N-shard mine must stay
+#: within this factor of the monolithic 1-shard mine
+MAX_MINE_RATIO = 2.5
+
 #: shard count of the partitioned probe
 _N_SHARDS = 4
-#: per-process resident-shard budget of the partitioned probe (MiB)
-_MEMORY_BUDGET_MB = 8.0
+
+#: resident-backend budget, as a multiple of one shard's estimated
+#: resident size (same out-of-core regime as the approx bench: the
+#: pool churns through evictions and re-admits on every mining batch)
+_BUDGET_SHARDS = 1.6
+
+#: admit/rebuild microbenchmark repetitions (best-of to shed noise)
+_MICRO_REPEATS = 5
+
+#: gated mine-time repetitions (best-of, fresh miner each time —
+#: single-digit-ms mines would otherwise gate on scheduler jitter)
+_MINE_REPEATS = 3
 
 
 def _peak_rss_mb() -> float:
@@ -52,10 +92,47 @@ def _peak_rss_mb() -> float:
     return peak / 1024
 
 
-def _partition_probe(config: dict[str, object]) -> dict[str, object]:
-    """One configuration, run inside a fresh subprocess."""
-    # Imports stay inside the probe: under ``spawn`` the worker pays
-    # them itself, so both configurations carry the same baseline.
+def _fingerprint(result: object) -> str:
+    return json.dumps(
+        [pattern.to_dict() for pattern in result.patterns],  # type: ignore[attr-defined]
+        sort_keys=True,
+    )
+
+
+def _monolithic_probe(config: dict[str, object]) -> dict[str, object]:
+    """The 1-shard reference run, in a fresh subprocess."""
+    from repro.core.flipper import FlipperMiner
+    from repro.datasets.groceries import (
+        GROCERIES_THRESHOLDS,
+        generate_groceries,
+    )
+
+    database = generate_groceries(scale=float(config["scale"]))  # type: ignore[arg-type]
+    mine_seconds = float("inf")
+    for _ in range(_MINE_REPEATS):
+        miner = FlipperMiner(database, GROCERIES_THRESHOLDS)
+        start = time.perf_counter()
+        result = miner.mine()
+        mine_seconds = min(mine_seconds, time.perf_counter() - start)
+    return {
+        "partitions": 1,
+        "mine_seconds": mine_seconds,
+        "peak_rss_mb": _peak_rss_mb(),
+        "n_patterns": len(result.patterns),
+        "db_scans": result.stats.db_scans,
+        "fingerprint": _fingerprint(result),
+    }
+
+
+def _partitioned_probe(config: dict[str, object]) -> dict[str, object]:
+    """The N-shard out-of-core runs, in a fresh subprocess.
+
+    One subprocess, three measurements over the same on-disk store:
+    a cold budgeted mine (building backends, persisting images), a
+    warm budgeted mine (every admit served from an image), and the
+    per-shard admit-vs-rebuild microbenchmark.
+    """
+    from repro.core.counting import ShardBackendPool
     from repro.core.flipper import FlipperMiner
     from repro.data.shards import ShardedTransactionStore
     from repro.datasets.groceries import (
@@ -65,81 +142,138 @@ def _partition_probe(config: dict[str, object]) -> dict[str, object]:
 
     database = generate_groceries(scale=float(config["scale"]))  # type: ignore[arg-type]
     partitions = int(config["partitions"])  # type: ignore[arg-type]
-    budget = config["memory_budget_mb"]
     with tempfile.TemporaryDirectory(prefix="repro-bench-shards-") as tmp:
         start = time.perf_counter()
-        if partitions > 1:
-            store = ShardedTransactionStore.partition_database(
-                database, tmp, partitions
-            )
-            ingest_seconds = time.perf_counter() - start
-            miner = FlipperMiner(
-                store,
-                GROCERIES_THRESHOLDS,
-                memory_budget_mb=(
-                    float(budget) if budget is not None else None  # type: ignore[arg-type]
-                ),
-            )
-        else:
-            ingest_seconds = 0.0
-            miner = FlipperMiner(database, GROCERIES_THRESHOLDS)
+        store = ShardedTransactionStore.partition_database(
+            database, tmp, partitions
+        )
+        ingest_seconds = time.perf_counter() - start
+
+        # budget for ~1.6 shards, in the pool's own truthful estimate
+        probe = ShardBackendPool(store)
+        largest = max(
+            probe._estimate_bytes(index)
+            for index in range(store.n_shards)
+        )
+        budget_mb = (_BUDGET_SHARDS * largest) / (1024 * 1024)
+
+        cold_miner = FlipperMiner(
+            store, GROCERIES_THRESHOLDS, memory_budget_mb=budget_mb
+        )
         start = time.perf_counter()
-        result = miner.mine()
-        mine_seconds = time.perf_counter() - start
+        cold = cold_miner.mine()
+        cold_seconds = time.perf_counter() - start
+        cold_pool = cold_miner.context.backend.pool  # type: ignore[attr-defined]
+        # evictions persist images lazily; flush the still-resident
+        # backends so the warm run (and future sessions) can map
+        # every shard
+        cold_pool.save_images()
+
+        warm_seconds = float("inf")
+        for _ in range(_MINE_REPEATS):
+            warm_store = ShardedTransactionStore.open(
+                tmp, database.taxonomy
+            )
+            warm_miner = FlipperMiner(
+                warm_store,
+                GROCERIES_THRESHOLDS,
+                memory_budget_mb=budget_mb,
+            )
+            start = time.perf_counter()
+            warm = warm_miner.mine()
+            warm_seconds = min(
+                warm_seconds, time.perf_counter() - start
+            )
+            warm_pool = warm_miner.context.backend.pool  # type: ignore[attr-defined]
+
+        # admit-vs-rebuild microbenchmark: every image is on disk, so
+        # one pool pass per mode touches all shards; best-of repeats
+        rebuild_seconds = admit_seconds = float("inf")
+        admits = 0
+        for _ in range(_MICRO_REPEATS):
+            rebuild_pool = ShardBackendPool(store, persist_images=False)
+            start = time.perf_counter()
+            for index in range(store.n_shards):
+                rebuild_pool.backend(index)
+            rebuild_seconds = min(
+                rebuild_seconds, time.perf_counter() - start
+            )
+            admit_pool = ShardBackendPool(store)
+            start = time.perf_counter()
+            for index in range(store.n_shards):
+                admit_pool.backend(index)
+            admit_seconds = min(
+                admit_seconds, time.perf_counter() - start
+            )
+            admits = admit_pool.image_admits
     return {
         "partitions": partitions,
-        "memory_budget_mb": budget,
+        "memory_budget_mb": budget_mb,
         "ingest_seconds": ingest_seconds,
-        "mine_seconds": mine_seconds,
+        "mine_seconds": cold_seconds,
+        "warm_mine_seconds": warm_seconds,
+        "cold_rebuilds": cold_pool.rebuilds,
+        "cold_image_admits": cold_pool.image_admits,
+        "images_saved": cold_pool.images_saved,
+        "warm_rebuilds": warm_pool.rebuilds,
+        "warm_image_admits": warm_pool.image_admits,
+        "rebuild_seconds": rebuild_seconds,
+        "admit_seconds": admit_seconds,
+        "micro_image_admits": admits,
         "peak_rss_mb": _peak_rss_mb(),
-        "n_patterns": len(result.patterns),
-        "db_scans": result.stats.db_scans,
-        "fingerprint": json.dumps(
-            [pattern.to_dict() for pattern in result.patterns],
-            sort_keys=True,
-        ),
+        "n_patterns": len(cold.patterns),
+        "db_scans": cold.stats.db_scans,
+        "fingerprint": _fingerprint(cold),
+        "warm_fingerprint": _fingerprint(warm),
     }
 
 
-def _run_probe(config: dict[str, object]) -> dict[str, object]:
+def _run_probe(probe, config: dict[str, object]) -> dict[str, object]:
     """Run one probe in a fresh spawned subprocess (fresh RSS)."""
     context = multiprocessing.get_context("spawn")
     with ProcessPoolExecutor(
         max_workers=1, mp_context=context
     ) as pool:
-        return pool.submit(_partition_probe, config).result()
+        return pool.submit(probe, config).result()
 
 
 def run_partition_bench(
     out_path: str | os.PathLike[str] | None = None,
+    quick: bool = False,
 ) -> tuple[str, dict[str, object]]:
     """Run the partition bench and write ``BENCH_partition.json``."""
     if out_path is None:
-        out_path = os.environ.get(
-            "REPRO_BENCH_PARTITION_OUT", DEFAULT_OUT_PATH
+        # A quick run must never silently overwrite the committed
+        # full-scale baseline the CI gate compares against.
+        default = (
+            "BENCH_partition_quick.json" if quick else DEFAULT_OUT_PATH
         )
-    scale = min(1.0, max(0.1, bench_scale() * 10))
-    configs: dict[str, dict[str, object]] = {
-        "shards=1": {
-            "scale": scale,
-            "partitions": 1,
-            "memory_budget_mb": None,
-        },
-        f"shards={_N_SHARDS}": {
-            "scale": scale,
-            "partitions": _N_SHARDS,
-            "memory_budget_mb": _MEMORY_BUDGET_MB,
-        },
+        out_path = os.environ.get("REPRO_BENCH_PARTITION_OUT", default)
+    scale = min(1.0, max(0.1, bench_scale() * 40))
+    config: dict[str, object] = {
+        "scale": scale,
+        "partitions": _N_SHARDS,
     }
-    probes = {name: _run_probe(config) for name, config in configs.items()}
+    baseline = _run_probe(_monolithic_probe, config)
+    partitioned = _run_probe(_partitioned_probe, config)
 
-    names = list(probes)
-    fingerprints = [probes[name].pop("fingerprint") for name in names]
-    identical = len(set(fingerprints)) == 1
-    baseline, partitioned = (probes[name] for name in names)
+    identical = (
+        baseline["fingerprint"]
+        == partitioned["fingerprint"]
+        == partitioned.pop("warm_fingerprint")
+    )
+    baseline.pop("fingerprint")
+    partitioned.pop("fingerprint")
+    mine_ratio = float(partitioned["warm_mine_seconds"]) / max(  # type: ignore[arg-type]
+        float(baseline["mine_seconds"]), 1e-9  # type: ignore[arg-type]
+    )
+    admit_speedup = float(partitioned["rebuild_seconds"]) / max(  # type: ignore[arg-type]
+        float(partitioned["admit_seconds"]), 1e-9  # type: ignore[arg-type]
+    )
     checks = [
         ShapeCheck(
-            f"{_N_SHARDS}-shard patterns byte-identical to 1-shard",
+            f"{_N_SHARDS}-shard patterns (cold and warm) "
+            "byte-identical to 1-shard",
             identical,
             f"{baseline['n_patterns']} vs {partitioned['n_patterns']} "
             "patterns",
@@ -149,13 +283,50 @@ def run_partition_bench(
             int(baseline["n_patterns"]) > 0,  # type: ignore[call-overload]
             f"{baseline['n_patterns']} patterns",
         ),
+        ShapeCheck(
+            "warm run never rebuilt: every admit mapped an image",
+            int(partitioned["warm_rebuilds"]) == 0  # type: ignore[call-overload]
+            and int(partitioned["warm_image_admits"]) > 0,  # type: ignore[call-overload]
+            f"{partitioned['warm_image_admits']} image admits, "
+            f"{partitioned['warm_rebuilds']} rebuilds",
+        ),
+        ShapeCheck(
+            "microbenchmark admitted every shard from its image",
+            int(partitioned["micro_image_admits"]) == _N_SHARDS,  # type: ignore[call-overload]
+            f"{partitioned['micro_image_admits']}/{_N_SHARDS}",
+        ),
     ]
+    if not quick:
+        checks.extend(
+            [
+                ShapeCheck(
+                    f"image admit >= {MIN_ADMIT_SPEEDUP:g}x faster "
+                    "than parse-and-rebuild",
+                    admit_speedup >= MIN_ADMIT_SPEEDUP,
+                    f"{admit_speedup:.1f}x",
+                ),
+                ShapeCheck(
+                    f"warm {_N_SHARDS}-shard mine within "
+                    f"{MAX_MINE_RATIO:g}x of 1-shard",
+                    mine_ratio <= MAX_MINE_RATIO,
+                    f"{mine_ratio:.2f}x",
+                ),
+            ]
+        )
     data: dict[str, object] = {
         "bench": "partition",
         "scale": scale,
+        "quick": quick,
         "n_shards": _N_SHARDS,
-        "memory_budget_mb": _MEMORY_BUDGET_MB,
-        "runs": probes,
+        "memory_budget_mb": partitioned["memory_budget_mb"],
+        "min_admit_speedup": MIN_ADMIT_SPEEDUP,
+        "max_mine_ratio": MAX_MINE_RATIO,
+        "admit_speedup": admit_speedup,
+        "mine_ratio": mine_ratio,
+        "runs": {
+            "shards=1": baseline,
+            f"shards={_N_SHARDS}": partitioned,
+        },
         "patterns_identical": identical,
         "checks_pass": all(check.passed for check in checks),
     }
@@ -163,18 +334,36 @@ def run_partition_bench(
 
     rows = [
         [
-            name,
-            f"{probe['mine_seconds']:.3f}",
-            f"{probe['ingest_seconds']:.3f}",
-            f"{probe['peak_rss_mb']:.1f}",
-            probe["n_patterns"],
-            probe["db_scans"],
-        ]
-        for name, probe in probes.items()
+            "shards=1",
+            f"{baseline['mine_seconds']:.3f}",
+            "-",
+            f"{baseline['peak_rss_mb']:.1f}",
+            baseline["n_patterns"],
+            baseline["db_scans"],
+        ],
+        [
+            f"shards={_N_SHARDS} cold",
+            f"{partitioned['mine_seconds']:.3f}",
+            f"{partitioned['ingest_seconds']:.3f}",
+            f"{partitioned['peak_rss_mb']:.1f}",
+            partitioned["n_patterns"],
+            partitioned["db_scans"],
+        ],
+        [
+            f"shards={_N_SHARDS} warm",
+            f"{partitioned['warm_mine_seconds']:.3f}",
+            "-",
+            "-",
+            partitioned["n_patterns"],
+            "-",
+        ],
     ]
     report = "\n".join(
         [
-            f"== Partition bench (groceries scale {scale:g}) ==",
+            f"== Partition bench (groceries scale {scale:g}, budget "
+            f"{partitioned['memory_budget_mb']:.1f} MB"
+            + (", quick" if quick else "")
+            + ") ==",
             "each config in a fresh subprocess; RSS is the process peak",
             "",
             format_table(
@@ -182,6 +371,11 @@ def run_partition_bench(
                  "scans"],
                 rows,
             ),
+            "",
+            f"admit {partitioned['admit_seconds'] * 1000:.2f} ms vs "
+            f"rebuild {partitioned['rebuild_seconds'] * 1000:.2f} ms "
+            f"per {_N_SHARDS}-shard pass ({admit_speedup:.1f}x); "
+            f"warm/monolithic mine ratio {mine_ratio:.2f}x",
             "",
             render_checks(checks),
             f"baseline written to {out_path}",

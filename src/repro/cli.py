@@ -51,7 +51,7 @@ from repro.core.measures import MEASURES, get_measure
 from repro.core.thresholds import Thresholds
 from repro.core.topk import top_k_most_flipping
 from repro.data.io import load_database, load_transactions, save_transactions
-from repro.data.shards import ShardedTransactionStore
+from repro.data.shards import SHARD_FORMATS, ShardedTransactionStore
 from repro.datasets.census import generate_census
 from repro.datasets.groceries import generate_groceries
 from repro.datasets.medline import generate_medline
@@ -222,6 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard-cut size for --init-from and appended deltas",
     )
     update.add_argument(
+        "--format", default="columnar", choices=sorted(SHARD_FORMATS),
+        help="shard format for --init-from and appended deltas "
+             "(default: columnar)",
+    )
+    update.add_argument(
         "--append", action="append", default=None, metavar="FILE",
         help="delta transactions file to append (repeatable)",
     )
@@ -362,7 +367,46 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quick", action="store_true",
         help="reduced-size smoke run: correctness checks only, no "
-             "wall-clock floor (approx bench only)",
+             "wall-clock floor (approx and partition benches only)",
+    )
+
+    store = sub.add_parser(
+        "store",
+        help="inspect or migrate an on-disk shard store",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_migrate = store_sub.add_parser(
+        "migrate",
+        help="rewrite every shard into a target format (atomic: the "
+             "store stays readable in its old format until the new "
+             "manifest is committed)",
+    )
+    store_migrate.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="shard-store directory",
+    )
+    store_migrate.add_argument(
+        "--taxonomy", required=True, help="edge-text/json file"
+    )
+    store_migrate.add_argument(
+        "--to", required=True, choices=sorted(SHARD_FORMATS),
+        help="target shard format (columnar is the binary "
+             "memory-mapped default; jsonl is the legacy text form)",
+    )
+    store_describe = store_sub.add_parser(
+        "describe",
+        help="per-shard format, row counts, on-disk bytes and "
+             "persisted backend images",
+    )
+    store_describe.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="shard-store directory",
+    )
+    store_describe.add_argument(
+        "--taxonomy", required=True, help="edge-text/json file"
+    )
+    store_describe.add_argument(
+        "--json", action="store_true", help="JSON output"
     )
 
     explain = sub.add_parser(
@@ -560,13 +604,14 @@ def _cmd_update(args: argparse.Namespace) -> int:
             taxonomy,
             store_dir,
             rows_per_shard=args.rows_per_shard,
+            format=args.format,
         )
         print(f"created {store.describe()}")
     appended: list[dict[str, object]] = []
     for path in args.append or []:
         rows = load_transactions(path)
         new_shards = store.append_batch(
-            rows, rows_per_shard=args.rows_per_shard
+            rows, rows_per_shard=args.rows_per_shard, format=args.format
         )
         appended.append(
             {
@@ -886,20 +931,56 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: benches whose runners take a ``quick=True`` smoke mode
+_QUICK_BENCHES = frozenset({"approx", "partition"})
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    if args.quick and "approx" not in names:
+    if args.quick and not _QUICK_BENCHES & set(names):
         raise ReproError(
-            "--quick is the approx bench's smoke mode; add 'approx' "
-            "to the experiment list"
+            "--quick is the approx/partition benches' smoke mode; add "
+            "'approx' or 'partition' to the experiment list"
         )
     for name in names:
-        if name == "approx" and args.quick:
+        if name in _QUICK_BENCHES and args.quick:
             report, _data = EXPERIMENTS[name](quick=True)  # type: ignore[call-arg]
         else:
             report, _data = EXPERIMENTS[name]()
         print(report)
         print()
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    taxonomy = load_taxonomy(args.taxonomy)
+    store = ShardedTransactionStore.open(args.store, taxonomy)
+    if args.store_command == "migrate":
+        rewritten = store.migrate(args.to)
+        print(f"rewrote {rewritten} shard(s) to {args.to}")
+        print(store.describe())
+        return 0
+    if args.json:
+        payload = {
+            "store": str(store.directory),
+            "n_transactions": store.n_transactions,
+            "n_shards": store.n_shards,
+            "shards": [
+                {
+                    "index": index,
+                    "file": store.shard_path(index).name,
+                    "format": store.shard_format(index),
+                    "rows": store.shard_sizes[index],
+                    "bytes": store.shard_bytes(index),
+                    "image_bytes": store.image_bytes(index),
+                    "images": store.shard_images(index),
+                }
+                for index in range(store.n_shards)
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(store.describe())
     return 0
 
 
@@ -1064,6 +1145,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "rules": _cmd_rules,
         "generate": _cmd_generate,
         "bench": _cmd_bench,
+        "store": _cmd_store,
         "explain": _cmd_explain,
         "profile": _cmd_profile,
     }

@@ -32,14 +32,21 @@ wall-clock time.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Iterator, Sequence
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.data.columnar import (
+    ColumnarShard,
+    read_backend_image,
+    taxonomy_fingerprint,
+    write_backend_image,
+)
 from repro.data.database import TransactionDatabase
 from repro.data.shards import ShardedTransactionStore
 from repro.data.vertical import VerticalIndex
 from repro.errors import ConfigError, DataError
+from repro.taxonomy.tree import Taxonomy
 
 __all__ = [
     "CountingBackend",
@@ -116,6 +123,68 @@ class CountingBackend(Protocol):
         ...
 
 
+def _local_item_ids(
+    reader: ColumnarShard, taxonomy: Taxonomy
+) -> np.ndarray:
+    """Global item id of every *local* item id of a columnar shard."""
+    id_by_name = {
+        taxonomy.name_of(item): item for item in taxonomy.item_ids
+    }
+    items = np.empty(len(reader.item_names), dtype=np.int64)
+    for local, name in enumerate(reader.item_names):
+        item = id_by_name.get(name)
+        if item is None:
+            raise DataError(
+                f"{reader.path}: unknown item {name!r} for the bound "
+                "taxonomy"
+            )
+        items[local] = item
+    return items
+
+
+class _LazyLevelBits(dict):
+    """Level -> per-node bitsets, decoded from packed image planes on
+    first access.
+
+    An image admit stays a true mmap-plus-header-check: the bigint
+    decode of a level's plane is deferred until that level is actually
+    counted.  Under budgeted evict/re-admit churn a re-admitted shard
+    is typically counted at a single level, so the other levels'
+    planes are never decoded at all.  Decoded levels are cached in the
+    dict itself, so each level pays the decode at most once.
+    """
+
+    def __init__(
+        self, planes: dict[int, tuple[list[Any], np.ndarray]]
+    ) -> None:
+        super().__init__()
+        #: level -> (node id table, packed uint8 plane)
+        self._planes = planes
+
+    def __missing__(self, level: int) -> dict[int, int]:
+        nodes, plane = self._planes[level]
+        width = plane.shape[1]
+        raw = plane.tobytes()
+        from_bytes = int.from_bytes
+        bits = {
+            int(node_id): from_bytes(
+                raw[i * width : (i + 1) * width], "little"
+            )
+            for i, node_id in enumerate(nodes)
+        }
+        self[level] = bits
+        return bits
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._planes)
+
+    def __len__(self) -> int:
+        return len(self._planes)
+
+    def __contains__(self, level: object) -> bool:
+        return level in self._planes
+
+
 class BitmapBackend:
     """Vertical bitset counting (see :class:`VerticalIndex`)."""
 
@@ -123,6 +192,100 @@ class BitmapBackend:
         self._index = VerticalIndex(database)
         self._scans = 1  # building the index reads the database once
         self._node_supports: dict[int, dict[int, int]] = {}
+
+    @classmethod
+    def from_columnar(
+        cls, reader: ColumnarShard, taxonomy: Taxonomy
+    ) -> "BitmapBackend":
+        """Build the bitset index straight from a shard's mapped CSR
+        arrays — one vectorized bit-scatter per level, no per-row
+        Python objects and no :class:`TransactionDatabase`."""
+        n_rows = reader.n_rows
+        width = (n_rows + 7) // 8
+        local_items = _local_item_ids(reader, taxonomy)
+        row_index = reader.row_index()
+        byte_index = row_index >> 3
+        bit_values = (1 << (row_index & 7).astype(np.uint8)).astype(
+            np.uint8
+        )
+        level_bits: dict[int, dict[int, int]] = {}
+        for level in range(1, taxonomy.height + 1):
+            mapping = taxonomy.item_ancestor_map(level)
+            nodes = taxonomy.nodes_at_level(level)
+            columns = {node_id: i for i, node_id in enumerate(nodes)}
+            local_to_col = np.array(
+                [columns[mapping[int(item)]] for item in local_items],
+                dtype=np.intp,
+            )
+            plane = np.zeros((len(nodes), width), dtype=np.uint8)
+            if reader.n_values:
+                np.bitwise_or.at(
+                    plane,
+                    (local_to_col[reader.items], byte_index),
+                    bit_values,
+                )
+            level_bits[level] = {
+                node_id: int.from_bytes(plane[col].tobytes(), "little")
+                for node_id, col in columns.items()
+            }
+        backend = cls.__new__(cls)
+        backend._index = VerticalIndex.from_level_bits(
+            level_bits, taxonomy.height
+        )
+        backend._scans = 1
+        backend._node_supports = {}
+        return backend
+
+    @classmethod
+    def from_image(
+        cls,
+        header: dict[str, Any],
+        arrays: list[np.ndarray],
+        height: int,
+    ) -> "BitmapBackend":
+        """Reattach an index from a persisted backend image without
+        any database scan (``scans`` stays 0).
+
+        Plane shapes and level coverage are validated eagerly; the
+        bigint decode of each plane is deferred to the first count at
+        that level (see :class:`_LazyLevelBits`), so the admit itself
+        touches headers and array metadata only.
+        """
+        planes: dict[int, tuple[list[Any], np.ndarray]] = {}
+        for entry, plane in zip(header["levels"], arrays):
+            nodes = entry["nodes"]
+            if plane.ndim != 2 or plane.shape[0] != len(nodes):
+                raise DataError("bitmap image plane shape mismatch")
+            planes[int(entry["level"])] = (nodes, plane)
+        if set(planes) != set(range(1, height + 1)):
+            raise DataError("bitmap image does not cover every level")
+        backend = cls.__new__(cls)
+        backend._index = VerticalIndex.from_level_bits(
+            _LazyLevelBits(planes), height
+        )
+        backend._scans = 0
+        backend._node_supports = {}
+        return backend
+
+    def image_payload(
+        self, n_rows: int
+    ) -> tuple[dict[str, Any], list[np.ndarray]]:
+        """The persistable form of this backend: per level, the node
+        id table plus the bitsets packed little-endian into a
+        ``uint8 (n_nodes, ceil(n_rows / 8))`` plane."""
+        width = (n_rows + 7) // 8
+        levels: list[dict[str, Any]] = []
+        arrays: list[np.ndarray] = []
+        for level in sorted(self._index.level_bits):
+            bits = self._index.level_bits[level]
+            nodes = list(bits)
+            plane = np.zeros((len(nodes), width), dtype=np.uint8)
+            for i, node_id in enumerate(nodes):
+                raw = bits[node_id].to_bytes(width, "little")
+                plane[i] = np.frombuffer(raw, dtype=np.uint8)
+            levels.append({"level": level, "nodes": nodes})
+            arrays.append(plane)
+        return {"backend": "bitmap", "levels": levels}, arrays
 
     @property
     def scans(self) -> int:
@@ -242,12 +405,99 @@ class NumpyBackend:
     """
 
     def __init__(self, database: TransactionDatabase) -> None:
-        self._database = database
+        self._database: TransactionDatabase | None = database
         self._taxonomy = database.taxonomy
         self._scans = 1  # materializing a level reads the database once
         #: level -> (matrix, node_id -> column)
         self._levels: dict[int, tuple[np.ndarray, dict[int, int]]] = {}
         self._node_supports: dict[int, dict[int, int]] = {}
+        #: columnar source (reader, global item id per local id) — set
+        #: by :meth:`from_columnar`, drives the vectorized level build
+        self._columnar: tuple[ColumnarShard, np.ndarray] | None = None
+        self._row_index: np.ndarray | None = None
+        #: lazy database loader for image-restored backends that get
+        #: asked for a level the image did not carry
+        self._loader: Callable[[], TransactionDatabase | None] | None = None
+
+    @classmethod
+    def from_columnar(
+        cls, reader: ColumnarShard, taxonomy: Taxonomy
+    ) -> "NumpyBackend":
+        """Count straight off a shard's mapped CSR arrays.
+
+        Levels are still materialized lazily, but each build is one
+        vectorized scatter over the mapped ``(row, item)`` pairs — the
+        per-row Python-object loop of the database path never runs.
+        """
+        backend = cls.__new__(cls)
+        backend._database = None
+        backend._taxonomy = taxonomy
+        backend._scans = 1
+        backend._levels = {}
+        backend._node_supports = {}
+        backend._columnar = (reader, _local_item_ids(reader, taxonomy))
+        backend._row_index = None
+        backend._loader = None
+        return backend
+
+    @classmethod
+    def from_image(
+        cls,
+        taxonomy: Taxonomy,
+        header: dict[str, Any],
+        arrays: list[np.ndarray],
+        *,
+        reader: ColumnarShard | None = None,
+        loader: Callable[[], TransactionDatabase | None] | None = None,
+    ) -> "NumpyBackend":
+        """Reattach level matrices from a persisted backend image.
+
+        The mapped boolean matrices are served directly (``scans``
+        stays 0).  ``reader``/``loader`` supply a fallback source for
+        any level the image does not carry.
+        """
+        n_rows = int(header["n_rows"])
+        backend = cls.__new__(cls)
+        backend._database = None
+        backend._taxonomy = taxonomy
+        backend._scans = 0
+        backend._levels = {}
+        backend._node_supports = {}
+        backend._columnar = (
+            None
+            if reader is None
+            else (reader, _local_item_ids(reader, taxonomy))
+        )
+        backend._row_index = None
+        backend._loader = loader
+        for entry, matrix in zip(header["levels"], arrays):
+            nodes = entry["nodes"]
+            if (
+                matrix.ndim != 2
+                or matrix.dtype != np.bool_
+                or matrix.shape != (n_rows, len(nodes))
+            ):
+                raise DataError("numpy image matrix shape mismatch")
+            columns = {
+                int(node_id): i for i, node_id in enumerate(nodes)
+            }
+            backend._levels[int(entry["level"])] = (matrix, columns)
+        return backend
+
+    def image_payload(
+        self, n_rows: int
+    ) -> tuple[dict[str, Any], list[np.ndarray]]:
+        """The persistable form: every *materialized* level's node
+        table and boolean matrix (a level never asked for is not in
+        the image; a restored backend rebuilds it on demand)."""
+        levels: list[dict[str, Any]] = []
+        arrays: list[np.ndarray] = []
+        for level in sorted(self._levels):
+            matrix, columns = self._levels[level]
+            nodes = sorted(columns, key=columns.__getitem__)
+            levels.append({"level": level, "nodes": nodes})
+            arrays.append(np.ascontiguousarray(matrix))
+        return {"backend": "numpy", "levels": levels}, arrays
 
     @property
     def scans(self) -> int:
@@ -257,13 +507,41 @@ class NumpyBackend:
         if level not in self._levels:
             nodes = self._taxonomy.nodes_at_level(level)
             columns = {node_id: i for i, node_id in enumerate(nodes)}
-            matrix = np.zeros(
-                (self._database.n_transactions, len(nodes)), dtype=bool
-            )
             mapping = self._taxonomy.item_ancestor_map(level)
-            for row, transaction in enumerate(self._database):
-                for item in transaction:
-                    matrix[row, columns[mapping[item]]] = True
+            if self._columnar is not None:
+                reader, local_items = self._columnar
+                if self._row_index is None:
+                    self._row_index = reader.row_index()
+                matrix = np.zeros(
+                    (reader.n_rows, len(nodes)), dtype=bool
+                )
+                if reader.n_values:
+                    local_to_col = np.array(
+                        [
+                            columns[mapping[int(item)]]
+                            for item in local_items
+                        ],
+                        dtype=np.intp,
+                    )
+                    matrix[
+                        self._row_index, local_to_col[reader.items]
+                    ] = True
+            else:
+                if self._database is None and self._loader is not None:
+                    self._database = self._loader()
+                    self._scans += 1  # the fallback re-reads the rows
+                if self._database is None:
+                    raise DataError(
+                        f"level {level} is not in this backend's image "
+                        "and no row source is attached"
+                    )
+                matrix = np.zeros(
+                    (self._database.n_transactions, len(nodes)),
+                    dtype=bool,
+                )
+                for row, transaction in enumerate(self._database):
+                    for item in transaction:
+                        matrix[row, columns[mapping[item]]] = True
             self._levels[level] = (matrix, columns)
         return self._levels[level]
 
@@ -357,12 +635,29 @@ class ShardBackendPool:
     The pool lazily builds ``inner``-type backends over the shards of
     a :class:`~repro.data.shards.ShardedTransactionStore` and keeps at
     most a budget's worth of them resident, evicting in LRU order.
-    Per-shard resident cost is estimated from the shard file's on-disk
-    size times a fixed expansion factor — crude, but deterministic,
-    and it is the bound that matters: with ``memory_budget_mb`` set,
-    resident index structures stay proportional to the budget instead
-    of the dataset.  Scans performed by evicted backends are retained
-    so the store-wide ``scans`` counter stays truthful.
+    With ``memory_budget_mb`` set, resident index structures stay
+    proportional to the budget instead of the dataset.  Scans
+    performed by evicted backends are retained so the store-wide
+    ``scans`` counter stays truthful.
+
+    Re-admitting an evicted shard normally means parse-and-rebuild.
+    With ``persist_images`` (the default, for the ``bitmap`` and
+    ``numpy`` inners) the pool writes an evicted backend's built
+    structure next to the shard as a backend image (see
+    :mod:`repro.data.columnar`), and a later admit of the same shard
+    becomes an mmap plus a header check.  Image validity is enforced
+    on every admit — format version, backend kind, row count, source
+    file size and taxonomy fingerprint must all match, otherwise the
+    image is ignored and the shard is rebuilt (a stale image is never
+    served).  ``rebuilds`` counts parse-and-rebuild admits beyond the
+    first build; ``image_admits`` counts zero-parse admits from a
+    persisted image.
+
+    Per-shard resident cost: columnar shards are charged their actual
+    mapped bytes (shard file plus image file, or an analytic size of
+    the built structure when no image exists yet); legacy jsonl
+    shards keep the historical on-disk-size-times-expansion-factor
+    heuristic.
 
     Two residency guarantees hold for *any* budget, including one
     smaller than a single shard:
@@ -376,15 +671,25 @@ class ShardBackendPool:
       cannot evict and silently rebuild the backend in use.
     """
 
-    #: estimated resident bytes per on-disk shard byte (index
-    #: structures, python object overhead)
+    #: estimated resident bytes per on-disk shard byte for the legacy
+    #: jsonl parse-and-build path (index structures, python object
+    #: overhead); columnar shards are charged actual mapped sizes
     RESIDENCY_FACTOR = 16
+
+    #: rough python-object overhead per bitset (the ``int`` header
+    #: plus a dict slot) in the analytic bitmap size model
+    _BITSET_OVERHEAD = 64
+
+    #: inner backends that support persisted images
+    _IMAGE_BACKENDS = frozenset({"bitmap", "numpy"})
 
     def __init__(
         self,
         store: ShardedTransactionStore,
         inner: str = "bitmap",
         memory_budget_mb: float | None = None,
+        *,
+        persist_images: bool = True,
     ) -> None:
         if inner not in _BACKENDS:
             known = ", ".join(sorted(_BACKENDS))
@@ -409,9 +714,21 @@ class ShardBackendPool:
         #: eviction until the consumer is done with them
         self._pinned: set[int] = set()
         self._retired_scans = 0
-        #: builds beyond the first per shard == evictions paid for
+        #: parse-and-rebuilds beyond the first per shard == evictions
+        #: paid for in full
         self.rebuilds = 0
+        #: zero-parse admits served from a persisted backend image
+        self.image_admits = 0
+        #: backend images written on eviction / save_images()
+        self.images_saved = 0
         self._built: set[int] = set()
+        self._persist_images = (
+            persist_images and inner in self._IMAGE_BACKENDS
+        )
+        self._fingerprint = taxonomy_fingerprint(store.taxonomy)
+        #: resident shards whose backend came from (or was saved to)
+        #: an on-disk image — no need to rewrite it on eviction
+        self._imaged: set[int] = set()
 
     @property
     def store(self) -> ShardedTransactionStore:
@@ -427,6 +744,11 @@ class ShardBackendPool:
         return list(self._resident)
 
     @property
+    def resident_bytes(self) -> int:
+        """Estimated bytes of everything currently resident."""
+        return sum(self._resident_bytes.values())
+
+    @property
     def scans(self) -> int:
         """Scans across every backend the pool ever built."""
         total = self._retired_scans
@@ -435,12 +757,45 @@ class ShardBackendPool:
                 total += backend.scans
         return total
 
+    def _analytic_built_bytes(self, index: int) -> int:
+        """Size model of the built ``inner`` structure of one shard —
+        exact array math for numpy, bitset bytes plus per-object
+        overhead for bitmap."""
+        n_rows = self._store.shard_sizes[index]
+        taxonomy = self._store.taxonomy
+        total = 0
+        for level in range(1, taxonomy.height + 1):
+            n_nodes = len(taxonomy.nodes_at_level(level))
+            if self._inner == "numpy":
+                total += n_nodes * n_rows  # bool matrix
+            else:  # bitmap
+                total += n_nodes * (
+                    (n_rows + 7) // 8 + self._BITSET_OVERHEAD
+                )
+        return total
+
     def _estimate_bytes(self, index: int) -> int:
+        """Resident cost of one shard's backend.
+
+        Columnar shards are charged truthfully: the mapped shard file
+        plus either the mapped image file (when one exists for this
+        inner) or the analytic size of the structure a build would
+        materialize.  Jsonl shards keep the legacy expansion-factor
+        heuristic — their resident cost is dominated by parsed Python
+        objects, which no file size reflects.
+        """
+        size = self._store.shard_bytes(index)
+        if (
+            self._store.shard_format(index) != "columnar"
+            or self._inner not in self._IMAGE_BACKENDS
+        ):
+            return max(1, size) * self.RESIDENCY_FACTOR
+        image_path = self._store.image_path(index, self._inner)
         try:
-            size = self._store.shard_path(index).stat().st_size
+            built = image_path.stat().st_size
         except OSError:
-            size = 0
-        return max(1, size) * self.RESIDENCY_FACTOR
+            built = self._analytic_built_bytes(index)
+        return max(1, size + built)
 
     def _evict_for(self, incoming_bytes: int) -> None:
         if self._budget_bytes is None:
@@ -465,26 +820,137 @@ class ShardBackendPool:
             self._resident_bytes.pop(victim)
             if backend is not None:
                 self._retired_scans += backend.scans
+                # An eviction is exactly when a rebuild threat exists:
+                # persist the built structure so the next admit maps
+                # it instead of rebuilding.
+                self._save_image(victim, backend)
+            self._imaged.discard(victim)
             # the budget always admits at least the incoming shard
+
+    # ------------------------------------------------------------------
+    # image persistence
+    # ------------------------------------------------------------------
+
+    def _save_image(self, index: int, backend: CountingBackend) -> bool:
+        """Best-effort write of one resident backend's image (skipped
+        when the backend already came from the on-disk image)."""
+        if not self._persist_images or index in self._imaged:
+            return False
+        payload = getattr(backend, "image_payload", None)
+        if payload is None:
+            return False
+        n_rows = self._store.shard_sizes[index]
+        try:
+            meta, arrays = payload(n_rows)
+            if not arrays:
+                return False
+            meta["n_rows"] = n_rows
+            meta["taxonomy_fingerprint"] = self._fingerprint
+            meta["source_bytes"] = self._store.shard_bytes(index)
+            write_backend_image(
+                self._store.image_path(index, self._inner), meta, arrays
+            )
+        except (OSError, DataError):
+            return False
+        self.images_saved += 1
+        self._imaged.add(index)
+        return True
+
+    def save_images(self) -> int:
+        """Persist every resident backend's image now (evictions do
+        this lazily; call this to warm a store for future sessions).
+        Returns the number of images written."""
+        saved = 0
+        for index, backend in list(self._resident.items()):
+            if backend is not None and self._save_image(index, backend):
+                saved += 1
+        return saved
+
+    def _admit_from_image(self, index: int) -> CountingBackend | None:
+        """Map a persisted backend image if — and only if — its header
+        proves it matches this shard, backend and taxonomy."""
+        if not self._persist_images:
+            return None
+        path = self._store.image_path(index, self._inner)
+        loaded = read_backend_image(path)
+        if loaded is None:
+            return None
+        header, arrays = loaded
+        n_rows = self._store.shard_sizes[index]
+        if (
+            header.get("backend") != self._inner
+            or header.get("n_rows") != n_rows
+            or header.get("taxonomy_fingerprint") != self._fingerprint
+            or header.get("source_bytes") != self._store.shard_bytes(index)
+        ):
+            return None
+        levels = header.get("levels")
+        if not isinstance(levels, list) or len(levels) != len(arrays):
+            return None
+        taxonomy = self._store.taxonomy
+        try:
+            if self._inner == "bitmap":
+                return BitmapBackend.from_image(
+                    header, arrays, taxonomy.height
+                )
+            if self._store.shard_format(index) == "columnar":
+                return NumpyBackend.from_image(
+                    taxonomy,
+                    header,
+                    arrays,
+                    reader=self._store.columnar_reader(index),
+                )
+            store, inner_index = self._store, index
+            return NumpyBackend.from_image(
+                taxonomy,
+                header,
+                arrays,
+                loader=lambda: store.shard_database(inner_index),
+            )
+        except (DataError, KeyError, TypeError, ValueError):
+            return None
+
+    def _build(self, index: int) -> CountingBackend:
+        """Parse-and-build one shard's backend.  Columnar shards feed
+        the vectorized ``from_columnar`` constructors; jsonl shards
+        (and the horizontal inner) go through a per-shard database."""
+        if self._store.shard_format(index) == "columnar":
+            reader = self._store.columnar_reader(index)
+            if self._inner == "bitmap":
+                return BitmapBackend.from_columnar(
+                    reader, self._store.taxonomy
+                )
+            if self._inner == "numpy":
+                return NumpyBackend.from_columnar(
+                    reader, self._store.taxonomy
+                )
+        database = self._store.shard_database(index)
+        assert database is not None  # empty shards never reach here
+        return make_backend(self._inner, database)
 
     def backend(self, index: int) -> CountingBackend | None:
         """The backend of one shard (``None`` for an empty shard),
-        building and evicting as the budget requires."""
+        admitting from a persisted image when a valid one exists,
+        building otherwise, and evicting as the budget requires."""
         if index in self._resident:
             # refresh LRU position
             backend = self._resident.pop(index)
             self._resident[index] = backend
             return backend
-        database = self._store.shard_database(index)
-        if database is None:
+        if self._store.shard_sizes[index] == 0:
             self._resident[index] = None
             self._resident_bytes[index] = 0
             return None
         estimate = self._estimate_bytes(index)
         self._evict_for(estimate)
-        backend = make_backend(self._inner, database)
-        if index in self._built:
-            self.rebuilds += 1
+        backend = self._admit_from_image(index)
+        if backend is not None:
+            self.image_admits += 1
+            self._imaged.add(index)
+        else:
+            backend = self._build(index)
+            if index in self._built:
+                self.rebuilds += 1
         self._built.add(index)
         self._resident[index] = backend
         self._resident_bytes[index] = estimate
@@ -526,9 +992,14 @@ class PartitionedBackend:
         store: ShardedTransactionStore,
         inner: str = "bitmap",
         memory_budget_mb: float | None = None,
+        *,
+        persist_images: bool = True,
     ) -> None:
         self._pool = ShardBackendPool(
-            store, inner=inner, memory_budget_mb=memory_budget_mb
+            store,
+            inner=inner,
+            memory_budget_mb=memory_budget_mb,
+            persist_images=persist_images,
         )
         self._taxonomy = store.taxonomy
         self._node_supports: dict[int, dict[int, int]] = {}
@@ -668,9 +1139,14 @@ class DeltaCounter(PartitionedBackend):
         store: ShardedTransactionStore,
         inner: str = "bitmap",
         memory_budget_mb: float | None = None,
+        *,
+        persist_images: bool = True,
     ) -> None:
         super().__init__(
-            store, inner=inner, memory_budget_mb=memory_budget_mb
+            store,
+            inner=inner,
+            memory_budget_mb=memory_budget_mb,
+            persist_images=persist_images,
         )
         #: shards [0, _counted) are folded into every cache below
         self._counted = store.n_shards

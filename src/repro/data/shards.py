@@ -26,29 +26,52 @@ An existing store *grows* through
 as one or more brand-new shard files and the manifest is extended in
 place — existing shard files are never rewritten, so per-shard
 artifacts derived from them (resident counting backends, cached
-supports) stay valid and incremental mining only has to look at the
-delta shards (see :class:`~repro.core.counting.DeltaCounter`).
+supports, persisted backend images) stay valid and incremental mining
+only has to look at the delta shards (see
+:class:`~repro.core.counting.DeltaCounter`).  The manifest is the
+commit point: new shard files are fully written (via same-directory
+temp files and ``os.replace``) *before* the manifest is atomically
+replaced, so a mid-write crash leaves at worst unreferenced orphan
+files, never a manifest naming a torn shard.
 
-On disk a store is a directory of JSONL shard files plus a
-``manifest.json`` recording the shard layout.  The taxonomy is bound
-at construction/open time (exactly like ``TransactionDatabase``), so
-a reopened store resolves item names through the identical balanced
-tree and mining results cannot drift between open sessions.
+On disk a store is a directory of shard files plus a ``manifest.json``
+recording the shard layout.  Shards come in two formats, inferred
+from the file suffix:
+
+* ``columnar`` (``.col``, the default) — the binary CSR layout of
+  :mod:`repro.data.columnar`, memory-mapped on read so counting
+  backends are built from the raw arrays without parsing.  Built
+  backends may be persisted next to the shard as ``.img`` files and
+  re-admitted by the shard pool with an mmap + header check.
+* ``jsonl`` (``.jsonl``) — the legacy line-per-transaction JSON
+  format, kept read-compatible; :meth:`migrate` rewrites a store
+  between the formats in place.
+
+The taxonomy is bound at construction/open time (exactly like
+``TransactionDatabase``), so a reopened store resolves item names
+through the identical balanced tree and mining results cannot drift
+between open sessions.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
 import tempfile
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 
+import numpy as np
+
+from repro.data.columnar import ColumnarShard, write_columnar_shard
 from repro.data.database import TransactionDatabase
 from repro.errors import ConfigError, DataError
 from repro.taxonomy.rebalance import rebalance_with_copies
 from repro.taxonomy.tree import Taxonomy
 
 __all__ = [
+    "SHARD_FORMATS",
     "ShardedTransactionStore",
     "estimate_transaction_bytes",
     "open_or_partition_store",
@@ -56,6 +79,12 @@ __all__ = [
 
 _MANIFEST_NAME = "manifest.json"
 _MANIFEST_VERSION = 1
+
+#: shard formats and their file suffixes (format is inferred from the
+#: suffix, so a store may legitimately mix them after append_batch
+#: grows a legacy store with columnar delta shards)
+SHARD_FORMATS = {"columnar": ".col", "jsonl": ".jsonl"}
+_FORMAT_BY_SUFFIX = {suffix: name for name, suffix in SHARD_FORMATS.items()}
 
 #: Rough per-item cost (in bytes) of one buffered transaction entry:
 #: a short Python string plus list/pointer overhead.  Only used to
@@ -71,6 +100,15 @@ def estimate_transaction_bytes(transaction: Iterable[str]) -> int:
     return _BYTES_PER_TRANSACTION + _BYTES_PER_ITEM * n_items
 
 
+def _check_format(format: str) -> str:
+    if format not in SHARD_FORMATS:
+        known = ", ".join(sorted(SHARD_FORMATS))
+        raise DataError(
+            f"unknown shard format {format!r}; known: {known}"
+        )
+    return format
+
+
 class ShardedTransactionStore:
     """Contiguous on-disk shards of one logical transaction set.
 
@@ -83,9 +121,18 @@ class ShardedTransactionStore:
         are rebalanced with leaf copies exactly as
         :class:`TransactionDatabase` does, so per-shard databases and
         a monolithic database see the same item universe.
+    format:
+        When set (``"columnar"`` or ``"jsonl"``), require every shard
+        to be stored in that format; ``None`` accepts any mix.
     """
 
-    def __init__(self, directory: str | Path, taxonomy: Taxonomy) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        taxonomy: Taxonomy,
+        *,
+        format: str | None = None,
+    ) -> None:
         self._directory = Path(directory)
         if not taxonomy.is_balanced:
             taxonomy = rebalance_with_copies(taxonomy)
@@ -118,7 +165,33 @@ class ShardedTransactionStore:
         for name in self._shard_files:
             if not (self._directory / name).is_file():
                 raise DataError(f"missing shard file {name}")
+            if format is not None and _format_of(name) != format:
+                raise DataError(
+                    f"shard file {name} is not in the requested "
+                    f"{format!r} format"
+                )
         self._width_cache: dict[int, int] = {}
+        #: columnar readers are cached (they hold mmaps); dropped on
+        #: pickling — worker processes re-map lazily
+        self._columnar_readers: dict[int, ColumnarShard] = {}
+        #: shard files are immutable once written (appends and
+        #: migrations introduce *new* names), so resolved paths and
+        #: stat sizes are cached by file name — the budgeted admit
+        #: path asks for both on every access
+        self._path_cache: dict[str, Path] = {}
+        self._size_cache: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # pickling (stores are shipped to partitioned-executor workers)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_columnar_readers"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # constructors
@@ -130,6 +203,8 @@ class ShardedTransactionStore:
         database: TransactionDatabase,
         directory: str | Path,
         n_shards: int,
+        *,
+        format: str = "columnar",
     ) -> "ShardedTransactionStore":
         """Split an in-memory database into ``n_shards`` contiguous
         shards of near-equal size (first shards get the remainder).
@@ -137,6 +212,7 @@ class ShardedTransactionStore:
         ``n_shards`` may exceed the transaction count; the surplus
         shards are empty and contribute zero to every merged count.
         """
+        _check_format(format)
         if n_shards < 1:
             raise DataError(f"n_shards must be >= 1, got {n_shards}")
         n = database.n_transactions
@@ -146,7 +222,7 @@ class ShardedTransactionStore:
             for index in range(n_shards)
         ]
         rows = (database.transaction_names(index) for index in range(n))
-        return cls._write(directory, database.taxonomy, rows, sizes)
+        return cls._write(directory, database.taxonomy, rows, sizes, format)
 
     @classmethod
     def ingest(
@@ -157,6 +233,7 @@ class ShardedTransactionStore:
         *,
         rows_per_shard: int | None = None,
         memory_budget_mb: float | None = None,
+        format: str = "columnar",
     ) -> "ShardedTransactionStore":
         """Stream transactions into shard files.
 
@@ -166,6 +243,7 @@ class ShardedTransactionStore:
         only one shard's worth of rows is ever held in memory.  With
         neither bound set, everything lands in a single shard.
         """
+        _check_format(format)
         if rows_per_shard is not None and rows_per_shard < 1:
             raise DataError(
                 f"rows_per_shard must be >= 1, got {rows_per_shard}"
@@ -192,8 +270,8 @@ class ShardedTransactionStore:
             nonlocal buffered_bytes
             if not buffer:
                 return
-            name = _shard_file_name(len(shard_files))
-            _write_shard(directory / name, buffer)
+            name = _shard_file_name(len(shard_files), format)
+            _write_shard_file(directory / name, buffer, format)
             shard_files.append(name)
             shard_sizes.append(len(buffer))
             buffer.clear()
@@ -221,24 +299,31 @@ class ShardedTransactionStore:
         taxonomy: Taxonomy,
         rows: Iterator[tuple[str, ...]],
         sizes: list[int],
+        format: str,
     ) -> "ShardedTransactionStore":
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         shard_files: list[str] = []
         for index, size in enumerate(sizes):
-            name = _shard_file_name(index)
+            name = _shard_file_name(index, format)
             chunk = [next(rows) for _ in range(size)]
-            _write_shard(directory / name, chunk)
+            _write_shard_file(directory / name, chunk, format)
             shard_files.append(name)
         _write_manifest(directory, shard_files, sizes)
         return cls(directory, taxonomy)
 
     @classmethod
     def open(
-        cls, directory: str | Path, taxonomy: Taxonomy
+        cls,
+        directory: str | Path,
+        taxonomy: Taxonomy,
+        *,
+        format: str | None = None,
     ) -> "ShardedTransactionStore":
         """Open an existing store (alias of the constructor)."""
-        return cls(directory, taxonomy)
+        if format is not None:
+            _check_format(format)
+        return cls(directory, taxonomy, format=format)
 
     # ------------------------------------------------------------------
     # delta ingestion
@@ -249,6 +334,7 @@ class ShardedTransactionStore:
         transactions: Iterable[Iterable[str]],
         *,
         rows_per_shard: int | None = None,
+        format: str = "columnar",
     ) -> list[int]:
         """Append a delta batch as new shard(s); never rewrites data.
 
@@ -257,7 +343,15 @@ class ShardedTransactionStore:
         manifest is extended with them.  Returns the indexes of the
         new shards — the exact set an incremental consumer has to
         count.  An empty batch is a no-op returning ``[]``.
+
+        Crash safety: every new shard file is fully written (temp +
+        ``os.replace``) *before* the manifest is atomically replaced,
+        and the in-memory state only advances after the manifest
+        commit.  A crash anywhere in between leaves the previous
+        manifest intact and at worst some unreferenced shard files,
+        which a retried append simply overwrites.
         """
+        _check_format(format)
         if rows_per_shard is not None and rows_per_shard < 1:
             raise DataError(
                 f"rows_per_shard must be >= 1, got {rows_per_shard}"
@@ -275,30 +369,37 @@ class ShardedTransactionStore:
                         f"delta transaction {row_index}: unknown item "
                         f"{name!r}"
                     )
-        new_indices: list[int] = []
+        new_files: list[str] = []
+        new_sizes: list[int] = []
         step = rows_per_shard or len(rows)
         for start in range(0, len(rows), step):
             chunk = rows[start : start + step]
-            index = len(self._shard_files)
-            name = _shard_file_name(index)
-            path = self._directory / name
-            if path.exists():
-                raise DataError(
-                    f"refusing to overwrite existing shard file {name}"
-                )
-            _write_shard(path, chunk)
-            self._shard_files.append(name)
-            self._shard_sizes.append(len(chunk))
-            self._n_transactions += len(chunk)
-            new_indices.append(index)
-        _write_manifest(self._directory, self._shard_files, self._shard_sizes)
+            index = len(self._shard_files) + len(new_files)
+            name = _shard_file_name(index, format)
+            # An existing file at a brand-new index is an orphan from
+            # a crashed earlier append (written, never committed to
+            # the manifest); replacing it is the recovery path.
+            _write_shard_file(self._directory / name, chunk, format)
+            new_files.append(name)
+            new_sizes.append(len(chunk))
+        _write_manifest(
+            self._directory,
+            self._shard_files + new_files,
+            self._shard_sizes + new_sizes,
+        )
+        # The manifest replace above is the commit point; only now is
+        # the in-memory view allowed to see the delta.
+        first_new = len(self._shard_files)
+        self._shard_files.extend(new_files)
+        self._shard_sizes.extend(new_sizes)
+        self._n_transactions += len(rows)
         # Cached per-level widths stay exact: fold in the delta rows
         # instead of re-streaming every shard.
         for level, best in list(self._width_cache.items()):
             self._width_cache[level] = max(
                 best, self._rows_width_at_level(rows, level, id_by_name)
             )
-        return new_indices
+        return list(range(first_new, len(self._shard_files)))
 
     def _id_by_name(self) -> dict[str, int]:
         return {
@@ -320,6 +421,61 @@ class ShardedTransactionStore:
             if len(nodes) > best:
                 best = len(nodes)
         return best
+
+    # ------------------------------------------------------------------
+    # format migration
+    # ------------------------------------------------------------------
+
+    def migrate(self, to: str) -> int:
+        """Rewrite every shard in ``to`` format, in place, atomically.
+
+        Shard boundaries (and therefore all mining results) are
+        preserved exactly; only the encoding changes.  New shard files
+        are staged in a temporary subdirectory, renamed into the store
+        directory, and the manifest replace is the commit point — a
+        crash before it leaves the old store fully intact, a crash
+        after it leaves the new store fully intact (plus harmless
+        orphan files).  Persisted backend images of rewritten shards
+        are dropped (they are keyed to shard file names) and will be
+        regenerated by the pool on demand.
+
+        Returns the number of shard files rewritten (0 when the store
+        already is entirely in the target format).
+        """
+        _check_format(to)
+        old_files = list(self._shard_files)
+        if all(_format_of(name) == to for name in old_files):
+            return 0
+        staging = Path(
+            tempfile.mkdtemp(prefix=".migrate-", dir=self._directory)
+        )
+        try:
+            new_files = [
+                _shard_file_name(index, to)
+                for index in range(len(old_files))
+            ]
+            for index, name in enumerate(new_files):
+                _write_shard_file(
+                    staging / name, self.shard_transactions(index), to
+                )
+            # Release mmaps over the old files before unlinking them.
+            self._columnar_readers.clear()
+            for name in new_files:
+                os.replace(staging / name, self._directory / name)
+            _write_manifest(self._directory, new_files, self._shard_sizes)
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
+        # Committed: retire the old encodings and their images.
+        rewritten = 0
+        for name in old_files:
+            if name in new_files:
+                continue
+            rewritten += 1
+            _unlink_quietly(self._directory / name)
+            for image in self._directory.glob(f"{name}.*.img"):
+                _unlink_quietly(image)
+        self._shard_files = new_files
+        return rewritten
 
     # ------------------------------------------------------------------
     # accessors
@@ -348,7 +504,62 @@ class ShardedTransactionStore:
         return list(self._shard_sizes)
 
     def shard_path(self, index: int) -> Path:
-        return self._directory / self._shard_files[index]
+        name = self._shard_files[index]
+        path = self._path_cache.get(name)
+        if path is None:
+            path = self._directory / name
+            self._path_cache[name] = path
+        return path
+
+    def shard_format(self, index: int) -> str:
+        """Storage format of one shard (``columnar`` or ``jsonl``)."""
+        return _format_of(self._shard_files[index])
+
+    def shard_bytes(self, index: int) -> int:
+        """On-disk size of one shard file (0 if unreadable).
+
+        Cached per file name — shard files never change in place
+        (appends and migrations write new names).
+        """
+        name = self._shard_files[index]
+        size = self._size_cache.get(name)
+        if size is None:
+            try:
+                size = self.shard_path(index).stat().st_size
+            except OSError:
+                return 0
+            self._size_cache[name] = size
+        return size
+
+    def image_path(self, index: int, inner: str) -> Path:
+        """Where shard ``index``'s persisted ``inner``-backend image
+        lives (the file may or may not exist yet)."""
+        name = f"{self._shard_files[index]}.{inner}.img"
+        path = self._path_cache.get(name)
+        if path is None:
+            path = self._directory / name
+            self._path_cache[name] = path
+        return path
+
+    def image_bytes(self, index: int) -> int:
+        """Total on-disk size of every persisted image of one shard."""
+        total = 0
+        for image in self._directory.glob(
+            f"{self._shard_files[index]}.*.img"
+        ):
+            try:
+                total += image.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def shard_images(self, index: int) -> list[str]:
+        """Backend names with a persisted image for shard ``index``."""
+        prefix = f"{self._shard_files[index]}."
+        names = []
+        for image in self._directory.glob(f"{prefix}*.img"):
+            names.append(image.name[len(prefix) : -len(".img")])
+        return sorted(names)
 
     def __len__(self) -> int:
         return self._n_transactions
@@ -357,17 +568,59 @@ class ShardedTransactionStore:
     # shard access (the memory-budgeted read path)
     # ------------------------------------------------------------------
 
+    def columnar_reader(self, index: int) -> ColumnarShard:
+        """The memory-mapped reader of one columnar shard (cached).
+
+        Raises :class:`DataError` for a jsonl shard — callers decide
+        per shard via :meth:`shard_format` whether the zero-parse path
+        applies.
+        """
+        if self.shard_format(index) != "columnar":
+            raise DataError(
+                f"shard {index} ({self._shard_files[index]}) is not "
+                "columnar"
+            )
+        reader = self._columnar_readers.get(index)
+        if reader is None:
+            reader = ColumnarShard(self.shard_path(index))
+            if reader.n_rows != self._shard_sizes[index]:
+                raise DataError(
+                    f"shard {index} holds {reader.n_rows} transactions, "
+                    f"manifest says {self._shard_sizes[index]}"
+                )
+            self._columnar_readers[index] = reader
+        return reader
+
     def shard_transactions(self, index: int) -> list[tuple[str, ...]]:
         """The raw item-name rows of one shard."""
         if self._shard_sizes[index] == 0:
             return []
-        rows = _read_shard(self.shard_path(index))
+        if self.shard_format(index) == "columnar":
+            return self.columnar_reader(index).rows()
+        rows = _read_jsonl_shard(self.shard_path(index))
         if len(rows) != self._shard_sizes[index]:
             raise DataError(
                 f"shard {index} holds {len(rows)} transactions, "
                 f"manifest says {self._shard_sizes[index]}"
             )
         return rows
+
+    def shard_transactions_at(
+        self, index: int, row_indices: list[int]
+    ) -> list[tuple[str, ...]]:
+        """Selected rows of one shard, in the given order.
+
+        Columnar shards decode only the requested rows (CSR random
+        access); jsonl shards fall back to a full parse.  Samplers
+        use this so a k-row draw over a columnar store never
+        materializes the other ``n - k`` rows.
+        """
+        if not row_indices:
+            return []
+        if self.shard_format(index) == "columnar":
+            return self.columnar_reader(index).rows_at(row_indices)
+        rows = self.shard_transactions(index)
+        return [rows[row] for row in row_indices]
 
     def shard_database(self, index: int) -> TransactionDatabase | None:
         """One shard materialized as a :class:`TransactionDatabase`
@@ -393,14 +646,54 @@ class ShardedTransactionStore:
     # database-compatible shape queries (what the miner needs)
     # ------------------------------------------------------------------
 
+    def _local_node_map(
+        self,
+        reader: ColumnarShard,
+        index: int,
+        level: int,
+        mapping: dict[int, int],
+        id_by_name: dict[str, int],
+    ) -> np.ndarray:
+        """Level-``level`` ancestor node id of every *local* item id
+        of one columnar shard (the vectorized projection table)."""
+        nodes = np.empty(len(reader.item_names), dtype=np.int64)
+        for local, name in enumerate(reader.item_names):
+            item = id_by_name.get(name)
+            if item is None:
+                raise DataError(f"shard {index}: unknown item {name!r}")
+            nodes[local] = mapping[item]
+        return nodes
+
     def width_at_level(self, level: int) -> int:
         """Largest distinct-node width after projecting to ``level``,
-        computed by streaming the shards (never all at once)."""
+        computed by streaming the shards (never all at once).
+
+        Columnar shards are measured directly on the mapped arrays:
+        distinct ``(row, node)`` pairs via one vectorized pass, no
+        per-row Python objects.
+        """
         if level not in self._width_cache:
             mapping = self._taxonomy.item_ancestor_map(level)
             id_by_name = self._id_by_name()
+            stride = max(mapping.values(), default=0) + 1
             best = 0
             for index in range(self.n_shards):
+                if self._shard_sizes[index] == 0:
+                    continue
+                if self.shard_format(index) == "columnar":
+                    reader = self.columnar_reader(index)
+                    if reader.n_values == 0:
+                        continue
+                    node_of = self._local_node_map(
+                        reader, index, level, mapping, id_by_name
+                    )
+                    keys = np.unique(
+                        reader.row_index() * stride
+                        + node_of[reader.items]
+                    )
+                    widths = np.bincount(keys // stride)
+                    best = max(best, int(widths.max()))
+                    continue
                 for row in self.shard_transactions(index):
                     nodes: set[int] = set()
                     for name in row:
@@ -423,13 +716,26 @@ class ShardedTransactionStore:
         return TransactionDatabase(rows, self._taxonomy)
 
     def describe(self) -> str:
-        """One-line summary used by the CLI and examples."""
+        """Store summary used by the CLI and examples: one header
+        line, then one line per shard with format, on-disk bytes and
+        persisted backend images."""
         sizes = self._shard_sizes
-        return (
+        lines = [
             f"ShardedTransactionStore: {self._n_transactions} transactions "
             f"in {self.n_shards} shard(s) "
             f"(sizes {min(sizes)}..{max(sizes)}) at {self._directory}"
-        )
+        ]
+        for index, name in enumerate(self._shard_files):
+            images = self.shard_images(index)
+            image_note = (
+                f"images: {', '.join(images)}" if images else "images: none"
+            )
+            lines.append(
+                f"  shard {index}: {name} [{self.shard_format(index)}] "
+                f"{sizes[index]} row(s), {self.shard_bytes(index)} bytes, "
+                f"{image_note}"
+            )
+        return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -488,17 +794,47 @@ def open_or_partition_store(
 # ----------------------------------------------------------------------
 
 
-def _shard_file_name(index: int) -> str:
-    return f"shard-{index:05d}.jsonl"
+def _shard_file_name(index: int, format: str = "columnar") -> str:
+    return f"shard-{index:05d}{SHARD_FORMATS[format]}"
 
 
-def _write_shard(path: Path, rows: list[tuple[str, ...]]) -> None:
-    with path.open("w", encoding="utf-8") as handle:
-        for row in rows:
-            handle.write(json.dumps(list(row)) + "\n")
+def _format_of(name: str) -> str:
+    suffix = Path(name).suffix
+    try:
+        return _FORMAT_BY_SUFFIX[suffix]
+    except KeyError:
+        raise DataError(
+            f"shard file {name!r} has an unknown format suffix"
+        ) from None
 
 
-def _read_shard(path: Path) -> list[tuple[str, ...]]:
+def _write_shard_file(
+    path: Path, rows: list[tuple[str, ...]], format: str
+) -> None:
+    if format == "columnar":
+        write_columnar_shard(path, rows)
+        return
+    handle = tempfile.NamedTemporaryFile(
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+        mode="w",
+        encoding="utf-8",
+    )
+    try:
+        with handle:
+            for row in rows:
+                handle.write(json.dumps(list(row)) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        _unlink_quietly(Path(handle.name))
+        raise
+
+
+def _read_jsonl_shard(path: Path) -> list[tuple[str, ...]]:
     rows: list[tuple[str, ...]] = []
     with path.open("r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
@@ -511,15 +847,37 @@ def _read_shard(path: Path) -> list[tuple[str, ...]]:
     return rows
 
 
+def _unlink_quietly(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
 def _write_manifest(
     directory: Path, shard_files: list[str], shard_sizes: list[int]
 ) -> None:
+    """Atomically replace the manifest — the store's commit point."""
     manifest = {
         "version": _MANIFEST_VERSION,
         "shards": shard_files,
         "shard_sizes": shard_sizes,
         "n_transactions": sum(shard_sizes),
     }
-    (directory / _MANIFEST_NAME).write_text(
-        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    handle = tempfile.NamedTemporaryFile(
+        dir=directory,
+        prefix=f".{_MANIFEST_NAME}.",
+        suffix=".tmp",
+        delete=False,
+        mode="w",
+        encoding="utf-8",
     )
+    try:
+        with handle:
+            handle.write(json.dumps(manifest, indent=2) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, directory / _MANIFEST_NAME)
+    except BaseException:
+        _unlink_quietly(Path(handle.name))
+        raise

@@ -25,7 +25,7 @@ class VerticalIndex:
     """Per-level bitmap index of a :class:`TransactionDatabase`."""
 
     def __init__(self, database: TransactionDatabase) -> None:
-        self._database = database
+        self._database: TransactionDatabase | None = database
         taxonomy = database.taxonomy
         self._height = taxonomy.height
         item_bits: dict[int, int] = {item: 0 for item in database.item_ids}
@@ -49,15 +49,43 @@ class VerticalIndex:
                 bits[node_id] = value
             self._level_bits[level] = bits
 
+    @classmethod
+    def from_level_bits(
+        cls, level_bits: dict[int, dict[int, int]], height: int
+    ) -> "VerticalIndex":
+        """Reattach an index from already-built per-level bitsets.
+
+        The restore path of persisted backend images (see
+        :mod:`repro.data.columnar`): no database scan happens, and the
+        resulting index has no bound database — only the counting
+        surface (``bitset`` / ``support`` / ``node_supports``), which
+        is all the shard pool ever uses.
+        """
+        index = cls.__new__(cls)
+        index._database = None
+        index._height = height
+        index._level_bits = level_bits
+        return index
+
     # ------------------------------------------------------------------
 
     @property
     def database(self) -> TransactionDatabase:
+        if self._database is None:
+            raise DataError(
+                "this VerticalIndex was restored from a backend image "
+                "and carries no transaction database"
+            )
         return self._database
 
     @property
     def height(self) -> int:
         return self._height
+
+    @property
+    def level_bits(self) -> dict[int, dict[int, int]]:
+        """The raw per-level bitsets (image persistence reads these)."""
+        return self._level_bits
 
     def bitset(self, level: int, node_id: int) -> int:
         """Transaction bitset of a single node at ``level``."""

@@ -268,4 +268,6 @@ class IncrementalMiner:
             "cache_hits": cache_hits,
             "cache_misses": cache_misses,
             "cached_itemsets": self._counter.cached_itemsets,
+            "pool_rebuilds": self._counter.pool.rebuilds,
+            "pool_image_admits": self._counter.pool.image_admits,
         }

@@ -58,11 +58,15 @@ __all__ = [
 # store (the store pickles as paths + manifest + taxonomy; the shard
 # data itself is read from disk inside the worker).  The pool carries
 # the store's memory budget, so each worker's resident shard backends
-# stay within budget.  Scan accounting mirrors executors._count_chunk:
-# each result ships the worker's not-yet-reported scan delta.
+# stay within budget.  Counter accounting mirrors
+# executors._count_chunk: each result ships the worker's
+# not-yet-reported scan / rebuild / image-admit deltas, so the parent
+# executor's totals stay truthful across process boundaries.
 
 _WORKER_POOL: ShardBackendPool | None = None
 _WORKER_SCANS_REPORTED = 0
+_WORKER_REBUILDS_REPORTED = 0
+_WORKER_IMAGE_ADMITS_REPORTED = 0
 
 
 def _hydrate_shard_worker(
@@ -71,26 +75,36 @@ def _hydrate_shard_worker(
     memory_budget_mb: float | None,
 ) -> None:
     global _WORKER_POOL, _WORKER_SCANS_REPORTED
+    global _WORKER_REBUILDS_REPORTED, _WORKER_IMAGE_ADMITS_REPORTED
     _WORKER_POOL = ShardBackendPool(
         store, inner=inner, memory_budget_mb=memory_budget_mb
     )
     _WORKER_SCANS_REPORTED = 0
+    _WORKER_REBUILDS_REPORTED = 0
+    _WORKER_IMAGE_ADMITS_REPORTED = 0
 
 
 def _count_shard(
     task: tuple[int, int, Sequence[tuple[int, ...]], int | None]
-) -> tuple[int, dict[tuple[int, ...], int], int]:
+) -> tuple[int, dict[tuple[int, ...], int], int, int, int]:
     """Count one candidate batch on one shard inside a worker."""
     global _WORKER_SCANS_REPORTED
+    global _WORKER_REBUILDS_REPORTED, _WORKER_IMAGE_ADMITS_REPORTED
     shard_index, level, itemsets, chunk_size = task
     assert _WORKER_POOL is not None, "shard worker not initialized"
     backend = _WORKER_POOL.backend(shard_index)
     if backend is None:  # empty shard: zero contribution
-        return shard_index, {}, 0
+        return shard_index, {}, 0, 0, 0
     counts = backend.supports_batched(level, itemsets, chunk_size=chunk_size)
-    delta = _WORKER_POOL.scans - _WORKER_SCANS_REPORTED
+    scan_delta = _WORKER_POOL.scans - _WORKER_SCANS_REPORTED
     _WORKER_SCANS_REPORTED = _WORKER_POOL.scans
-    return shard_index, counts, delta
+    rebuild_delta = _WORKER_POOL.rebuilds - _WORKER_REBUILDS_REPORTED
+    _WORKER_REBUILDS_REPORTED = _WORKER_POOL.rebuilds
+    admit_delta = (
+        _WORKER_POOL.image_admits - _WORKER_IMAGE_ADMITS_REPORTED
+    )
+    _WORKER_IMAGE_ADMITS_REPORTED = _WORKER_POOL.image_admits
+    return shard_index, counts, scan_delta, rebuild_delta, admit_delta
 
 
 class PartitionedExecutor:
@@ -141,6 +155,10 @@ class PartitionedExecutor:
         self.shard_batches = 0
         #: scans performed inside worker processes
         self.worker_scans = 0
+        #: shard backends parse-and-rebuilt inside worker processes
+        self.worker_rebuilds = 0
+        #: shard backends re-admitted from persisted images in workers
+        self.worker_image_admits = 0
 
     @property
     def backend(self) -> PartitionedBackend:
@@ -206,8 +224,12 @@ class PartitionedExecutor:
         ]
         pool = self._ensure_pool()
         results: list[tuple[int, dict[tuple[int, ...], int]]] = []
-        for shard_index, counts, scans in pool.map(_count_shard, tasks):
+        for shard_index, counts, scans, rebuilds, admits in pool.map(
+            _count_shard, tasks
+        ):
             self.worker_scans += scans
+            self.worker_rebuilds += rebuilds
+            self.worker_image_admits += admits
             if counts:
                 results.append((shard_index, counts))
         self.shard_batches += len(results)

@@ -1,8 +1,19 @@
-"""End-to-end smoke of the partition bench (tiny scale)."""
+"""End-to-end smoke of the partition bench (quick mode).
+
+The admit-speedup floor and warm-mine ratio ceiling are wall-clock
+properties that only hold at the default bench scale (CI's perf-gate
+job measures them against the committed baseline), so this smoke runs
+the bench's ``quick`` mode — which skips the floors but keeps every
+parity and image-serving check: byte-identical patterns across the
+monolithic, cold-partitioned and warm-partitioned runs, a warm run
+that never rebuilds, and a microbenchmark that admits every shard
+from its image.
+"""
 
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -12,22 +23,50 @@ def tiny_scale(monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
 
 
-def test_partition_bench_writes_baseline(tmp_path, monkeypatch):
+def test_partition_bench_quick_writes_baseline(tmp_path):
     from repro.bench import run_partition_bench
 
     out = tmp_path / "BENCH_partition.json"
-    report, data = run_partition_bench(out_path=out)
+    report, data = run_partition_bench(out_path=out, quick=True)
     assert "Partition bench" in report
+    assert "quick" in report
     assert "[PASS]" in report and "[FAIL]" not in report
     assert data["checks_pass"] is True
     assert data["patterns_identical"] is True
     on_disk = json.loads(out.read_text())
     assert on_disk["bench"] == "partition"
+    assert on_disk["quick"] is True
     runs = on_disk["runs"]
     assert set(runs) == {"shards=1", "shards=4"}
     for run in runs.values():
         assert run["peak_rss_mb"] > 0
         assert run["n_patterns"] > 0
+    partitioned = runs["shards=4"]
+    # the warm mine was served entirely from persisted images
+    assert partitioned["warm_rebuilds"] == 0
+    assert partitioned["warm_image_admits"] > 0
+    assert partitioned["images_saved"] > 0
+    assert partitioned["micro_image_admits"] == on_disk["n_shards"]
+    assert partitioned["admit_seconds"] > 0
+    assert partitioned["rebuild_seconds"] > 0
+
+
+def test_committed_baseline_passes_its_own_checks():
+    """The committed BENCH_partition.json (produced at the default
+    scale, quick=False) must satisfy the floors the CI gate enforces:
+    image admits beat parse-and-rebuild by the committed factor, and
+    the warm budgeted 4-shard mine stays near-monolithic."""
+    committed = json.loads(
+        (
+            Path(__file__).resolve().parents[2]
+            / "BENCH_partition.json"
+        ).read_text()
+    )
+    assert committed["quick"] is False
+    assert committed["checks_pass"] is True
+    assert committed["patterns_identical"] is True
+    assert committed["admit_speedup"] >= committed["min_admit_speedup"]
+    assert committed["mine_ratio"] <= committed["max_mine_ratio"]
 
 
 def test_peak_rss_is_positive():

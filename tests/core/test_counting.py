@@ -254,7 +254,209 @@ class TestShardPoolResidency:
         pool.backend(1)
         assert pool.resident_shards == [1]
         pool.backend(0)
+        # the evicted shard was re-admitted: either rebuilt from rows
+        # or (columnar default) mapped back from its persisted image
+        assert pool.rebuilds + pool.image_admits == 1
+
+    def test_eviction_without_image_persistence_rebuilds(self, store):
+        from repro.core.counting import ShardBackendPool
+
+        pool = ShardBackendPool(
+            store, memory_budget_mb=0.0001, persist_images=False
+        )
+        pool.backend(0)
+        pool.backend(1)
+        pool.backend(0)
         assert pool.rebuilds == 1
+        assert pool.image_admits == 0
+
+
+class TestBackendImageAdmits:
+    """Persisted backend images: zero-parse re-admits, staleness."""
+
+    @pytest.fixture
+    def store(self, random_db, tmp_path):
+        from repro.data.shards import ShardedTransactionStore
+
+        return ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 3
+        )
+
+    def _imaged_store(self, store, inner="bitmap"):
+        from repro.core.counting import ShardBackendPool
+
+        pool = ShardBackendPool(store, inner=inner)
+        height = store.taxonomy.height
+        for index in range(store.n_shards):
+            backend = pool.backend(index)
+            # materialize every level (numpy builds them lazily) so
+            # the persisted image carries the full structure
+            for level in range(1, height + 1):
+                backend.node_supports(level)
+        assert pool.save_images() == store.n_shards
+        return pool
+
+    @pytest.mark.parametrize("inner", ["bitmap", "numpy"])
+    def test_image_admit_counts_match_build(
+        self, store, random_db, inner
+    ):
+        from repro.core.counting import ShardBackendPool, make_backend
+
+        self._imaged_store(store, inner)
+        warm = ShardBackendPool(store, inner=inner)
+        oracle = make_backend(inner, random_db)
+        height = random_db.taxonomy.height
+        for level in range(1, height + 1):
+            merged: dict[int, int] = {}
+            for index in range(store.n_shards):
+                backend = warm.backend(index)
+                for node, count in backend.node_supports(level).items():
+                    merged[node] = merged.get(node, 0) + count
+            assert merged == oracle.node_supports(level)
+        assert warm.image_admits == store.n_shards
+        assert warm.rebuilds == 0
+        assert warm.scans == 0  # no shard was ever re-parsed
+
+    def test_stale_taxonomy_fingerprint_forces_rebuild(
+        self, store, grocery_taxonomy, tmp_path
+    ):
+        from repro.core.counting import ShardBackendPool
+        from repro.data.shards import ShardedTransactionStore
+        from repro.taxonomy.tree import Taxonomy
+
+        self._imaged_store(store)
+        # same leaves, different grouping: images written under the
+        # original taxonomy must not be served under this one
+        regrouped = Taxonomy.from_dict(
+            {
+                "drinks": {
+                    "beer": ["canned beer", "bottled beer"],
+                    "soda": ["cola", "lemonade"],
+                },
+                "non-food": {
+                    "cosmetics": ["baby cosmetics", "soap"],
+                    "cleaning": ["detergent", "sponges"],
+                },
+                "fresh": {
+                    "fruit": ["apples", "milk"],  # swapped pair
+                    "dairy": ["bananas", "yogurt"],
+                },
+            }
+        )
+        reopened = ShardedTransactionStore.open(tmp_path, regrouped)
+        pool = ShardBackendPool(reopened)
+        backend = pool.backend(0)
+        assert pool.image_admits == 0  # stale image was never served
+        assert backend is not None
+        # counts reflect the *new* taxonomy: "milk" sits under fruit
+        fruit = regrouped.node_by_name("fruit").node_id
+        rows = reopened.shard_transactions(0)
+        expected = sum(
+            1
+            for row in rows
+            if any(item in ("apples", "milk") for item in row)
+        )
+        assert backend.node_supports(2)[fruit] == expected
+
+    def test_corrupt_image_falls_back_to_rebuild(self, store):
+        from repro.core.counting import ShardBackendPool
+
+        self._imaged_store(store)
+        image = store.image_path(0, "bitmap")
+        image.write_bytes(b"FLIPIMG1" + b"\x00" * 32)
+        pool = ShardBackendPool(store)
+        assert pool.backend(0) is not None
+        assert pool.image_admits == 0
+
+    def test_truncated_image_falls_back_to_rebuild(self, store):
+        from repro.core.counting import ShardBackendPool
+
+        self._imaged_store(store)
+        image = store.image_path(0, "bitmap")
+        raw = image.read_bytes()
+        image.write_bytes(raw[: len(raw) // 2])
+        pool = ShardBackendPool(store)
+        backend = pool.backend(0)
+        assert pool.image_admits == 0
+        assert backend.node_supports(1)  # still serves exact counts
+
+    def test_image_admits_count_separately_from_rebuilds(self, store):
+        from repro.core.counting import ShardBackendPool
+
+        self._imaged_store(store)
+        pool = ShardBackendPool(store, memory_budget_mb=0.0001)
+        pool.backend(0)
+        pool.backend(1)  # evicts 0
+        pool.backend(0)  # re-admit: from image, not rebuild
+        assert pool.image_admits >= 2
+        assert pool.rebuilds == 0
+
+    def test_horizontal_inner_never_persists_images(self, store):
+        from repro.core.counting import ShardBackendPool
+
+        pool = ShardBackendPool(store, inner="horizontal")
+        for index in range(store.n_shards):
+            pool.backend(index)
+        assert pool.save_images() == 0
+        assert store.shard_images(0) == []
+
+
+class TestBudgetRespected:
+    """S1: truthful estimates keep the resident set within budget."""
+
+    @pytest.fixture
+    def store(self, random_db, tmp_path):
+        from repro.data.shards import ShardedTransactionStore
+
+        return ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 4
+        )
+
+    def test_resident_bytes_track_budget_within_ten_percent(
+        self, store
+    ):
+        from repro.core.counting import ShardBackendPool
+
+        probe = ShardBackendPool(store)
+        largest = max(
+            probe._estimate_bytes(index)
+            for index in range(store.n_shards)
+        )
+        budget_bytes = int(largest * 1.6)
+        pool = ShardBackendPool(
+            store, memory_budget_mb=budget_bytes / (1024 * 1024)
+        )
+        for index in list(range(store.n_shards)) * 3:
+            pool.backend(index)
+            # the pool may run over only for the single shard it is
+            # admitting; steady-state residency honours the budget
+            assert pool.resident_bytes <= budget_bytes * 1.1
+
+    def test_columnar_estimate_is_truthful(self, store):
+        from repro.core.counting import ShardBackendPool
+
+        pool = ShardBackendPool(store)
+        for index in range(store.n_shards):
+            pool.backend(index)
+        pool.save_images()
+        estimate = pool._estimate_bytes(0)
+        actual = store.shard_bytes(0) + store.image_bytes(0)
+        # estimate equals mapped shard + image bytes once on disk
+        assert estimate == actual
+
+    def test_jsonl_estimate_keeps_expansion_heuristic(
+        self, random_db, tmp_path
+    ):
+        from repro.core.counting import ShardBackendPool
+        from repro.data.shards import ShardedTransactionStore
+
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2, format="jsonl"
+        )
+        pool = ShardBackendPool(store)
+        assert pool._estimate_bytes(0) == (
+            store.shard_bytes(0) * ShardBackendPool.RESIDENCY_FACTOR
+        )
 
 
 class TestDeltaCounterCacheCap:

@@ -1,0 +1,263 @@
+"""Unit and property tests for the binary columnar containers.
+
+Covers the FLIPCOL1 shard files (CSR round trip, header validation,
+corruption handling) and the FLIPIMG1 backend images (array round
+trip, structural-integrity fallback to ``None``), plus the taxonomy
+fingerprint that keys image validity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.columnar import (
+    COLUMNAR_FORMAT_VERSION,
+    ColumnarShard,
+    read_backend_image,
+    taxonomy_fingerprint,
+    write_backend_image,
+    write_columnar_shard,
+)
+from repro.errors import DataError
+from repro.taxonomy.tree import Taxonomy
+
+
+class TestColumnarRoundTrip:
+    def test_rows_round_trip_exactly(self, tmp_path):
+        rows = [
+            ("milk", "cola"),
+            (),
+            ("cola", "cola", "milk"),  # duplicates survive
+            ("soap",),
+        ]
+        path = tmp_path / "shard.col"
+        write_columnar_shard(path, rows)
+        reader = ColumnarShard(path)
+        assert reader.rows() == rows
+        assert reader.n_rows == 4
+        assert reader.n_values == 6
+
+    def test_name_table_is_first_occurrence_order(self, tmp_path):
+        path = tmp_path / "shard.col"
+        write_columnar_shard(path, [("b", "a"), ("c", "a")])
+        reader = ColumnarShard(path)
+        assert reader.item_names == ("b", "a", "c")
+        # local ids index into the name table
+        assert list(reader.items) == [0, 1, 2, 1]
+
+    def test_file_content_is_deterministic(self, tmp_path):
+        rows = [("x", "y"), ("y",)]
+        write_columnar_shard(tmp_path / "a.col", rows)
+        write_columnar_shard(tmp_path / "b.col", rows)
+        assert (tmp_path / "a.col").read_bytes() == (
+            tmp_path / "b.col"
+        ).read_bytes()
+
+    def test_empty_shard_round_trips(self, tmp_path):
+        path = tmp_path / "empty.col"
+        write_columnar_shard(path, [])
+        reader = ColumnarShard(path)
+        assert reader.n_rows == 0
+        assert reader.rows() == []
+
+    def test_row_index_matches_offsets(self, tmp_path):
+        path = tmp_path / "shard.col"
+        write_columnar_shard(path, [("a", "b"), ("c",), ("a", "b", "c")])
+        reader = ColumnarShard(path)
+        assert list(reader.row_index()) == [0, 0, 1, 2, 2, 2]
+
+    def test_rows_at_selects_without_full_decode(self, tmp_path):
+        rows = [("a", "b"), (), ("c",), ("a", "c", "b"), ("b",)]
+        path = tmp_path / "shard.col"
+        write_columnar_shard(path, rows)
+        reader = ColumnarShard(path)
+        assert reader.rows_at([3, 0]) == [rows[3], rows[0]]
+        assert reader.rows_at([1]) == [()]
+        assert reader.rows_at([]) == []
+        assert reader.rows_at(range(5)) == rows
+
+    def test_rows_at_out_of_range_rejected(self, tmp_path):
+        path = tmp_path / "shard.col"
+        write_columnar_shard(path, [("a",)])
+        reader = ColumnarShard(path)
+        with pytest.raises(DataError, match="out of range"):
+            reader.rows_at([1])
+        with pytest.raises(DataError, match="out of range"):
+            reader.rows_at([-1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.lists(
+            st.lists(
+                st.text(
+                    alphabet=st.characters(
+                        min_codepoint=33, max_codepoint=0x2FF
+                    ),
+                    min_size=1,
+                    max_size=8,
+                ),
+                max_size=6,
+            ).map(tuple),
+            max_size=25,
+        )
+    )
+    def test_any_rows_round_trip(self, tmp_path_factory, rows):
+        path = tmp_path_factory.mktemp("col") / "shard.col"
+        write_columnar_shard(path, rows)
+        assert ColumnarShard(path).rows() == rows
+
+
+class TestColumnarValidation:
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.col"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 64)
+        with pytest.raises(DataError, match="not a FLIPCOL1"):
+            ColumnarShard(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "future.col"
+        write_columnar_shard(path, [("a",)])
+        raw = bytearray(path.read_bytes())
+        marker = f'"format":{COLUMNAR_FORMAT_VERSION}'.encode()
+        at = raw.index(marker)
+        raw[at : at + len(marker)] = marker.replace(
+            str(COLUMNAR_FORMAT_VERSION).encode(), b"9"
+        )
+        path.write_bytes(bytes(raw))
+        with pytest.raises(DataError, match="unsupported columnar"):
+            ColumnarShard(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = tmp_path / "cut.col"
+        write_columnar_shard(path, [("a", "b", "c"), ("a",)])
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 8])
+        with pytest.raises(DataError, match="truncated"):
+            ColumnarShard(path)
+
+    def test_corrupt_header_json_rejected(self, tmp_path):
+        path = tmp_path / "junk.col"
+        header = b"{not json"
+        raw = (
+            b"FLIPCOL1" + len(header).to_bytes(4, "little") + header
+        )
+        path.write_bytes(raw + b"\x00" * (64 - len(raw) % 64))
+        with pytest.raises(DataError, match="corrupt header"):
+            ColumnarShard(path)
+
+
+class TestBackendImages:
+    def _meta(self):
+        return {
+            "backend": "bitmap",
+            "n_rows": 3,
+            "taxonomy_fingerprint": "abc123",
+            "source_bytes": 99,
+            "levels": [{"level": 1, "nodes": [4, 5]}],
+        }
+
+    def test_arrays_round_trip(self, tmp_path):
+        path = tmp_path / "shard.col.bitmap.img"
+        plane = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+        matrix = np.ones((3, 2), dtype=np.bool_)
+        write_backend_image(path, self._meta(), [plane, matrix])
+        loaded = read_backend_image(path)
+        assert loaded is not None
+        header, arrays = loaded
+        assert header["backend"] == "bitmap"
+        assert header["taxonomy_fingerprint"] == "abc123"
+        assert [spec["dtype"] for spec in header["arrays"]] == [
+            plane.dtype.str,
+            matrix.dtype.str,
+        ]
+        np.testing.assert_array_equal(arrays[0], plane)
+        np.testing.assert_array_equal(arrays[1], matrix)
+
+    def test_arrays_are_zero_copy_views(self, tmp_path):
+        path = tmp_path / "img"
+        plane = np.arange(128, dtype=np.uint8).reshape(2, 64)
+        write_backend_image(path, self._meta(), [plane])
+        _, arrays = read_backend_image(path)
+        # served straight off the mapped file, not a heap copy
+        assert not arrays[0].flags["OWNDATA"]
+        assert not arrays[0].flags["WRITEABLE"]
+
+    def test_empty_array_round_trips(self, tmp_path):
+        path = tmp_path / "img"
+        write_backend_image(
+            path, self._meta(), [np.empty((0, 4), dtype=np.uint8)]
+        )
+        _, arrays = read_backend_image(path)
+        assert arrays[0].shape == (0, 4)
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert read_backend_image(tmp_path / "nope.img") is None
+
+    def test_wrong_magic_is_none(self, tmp_path):
+        path = tmp_path / "img"
+        path.write_bytes(b"WRONG!!!" + b"\x00" * 64)
+        assert read_backend_image(path) is None
+
+    def test_truncated_arrays_are_none(self, tmp_path):
+        path = tmp_path / "img"
+        write_backend_image(
+            path, self._meta(), [np.ones((8, 64), dtype=np.uint8)]
+        )
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 256])
+        assert read_backend_image(path) is None
+
+    def test_corrupt_header_is_none(self, tmp_path):
+        path = tmp_path / "img"
+        header = b"12345"
+        raw = b"FLIPIMG1" + len(header).to_bytes(4, "little") + header
+        path.write_bytes(raw + b"\x00" * 64)
+        assert read_backend_image(path) is None
+
+    def test_future_version_is_none(self, tmp_path):
+        path = tmp_path / "img"
+        write_backend_image(
+            path, self._meta(), [np.ones(4, dtype=np.uint8)]
+        )
+        raw = path.read_bytes()
+        # bump the declared format version in place
+        patched = raw.replace(b'"format":1', b'"format":9', 1)
+        path.write_bytes(patched)
+        assert read_backend_image(path) is None
+
+
+class TestTaxonomyFingerprint:
+    def test_equal_trees_share_a_fingerprint(self):
+        tree = {"a": {"m": ["x", "y"]}, "b": {"n": ["z", "w"]}}
+        first = Taxonomy.from_dict(tree)
+        second = Taxonomy.from_dict(tree)
+        assert taxonomy_fingerprint(first) == taxonomy_fingerprint(
+            second
+        )
+
+    def test_different_trees_differ(self):
+        first = Taxonomy.from_dict({"a": {"m": ["x", "y"]}})
+        second = Taxonomy.from_dict({"a": {"m": ["x", "q"]}})
+        assert taxonomy_fingerprint(first) != taxonomy_fingerprint(
+            second
+        )
+
+    def test_invariant_under_rebalancing(self):
+        from repro.taxonomy.rebalance import rebalance_with_copies
+
+        unbalanced = Taxonomy.from_dict(
+            {"deep": {"mid": ["leaf"]}, "shallow": None}
+        )
+        balanced = rebalance_with_copies(unbalanced)
+        assert taxonomy_fingerprint(unbalanced) == taxonomy_fingerprint(
+            balanced
+        )
+
+    def test_memoized_per_instance(self):
+        taxonomy = Taxonomy.from_dict({"a": ["x", "y"]})
+        assert taxonomy_fingerprint(taxonomy) is taxonomy_fingerprint(
+            taxonomy
+        )

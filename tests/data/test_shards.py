@@ -185,6 +185,158 @@ class TestShapeQueries:
         assert list(store.to_database()) == list(database)
 
 
+class TestFormats:
+    def test_default_format_is_columnar(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 3
+        )
+        assert all(
+            store.shard_format(index) == "columnar"
+            for index in range(store.n_shards)
+        )
+        assert store.shard_path(0).suffix == ".col"
+
+    def test_jsonl_format_still_writable(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 3, format="jsonl"
+        )
+        assert all(
+            store.shard_format(index) == "jsonl"
+            for index in range(store.n_shards)
+        )
+        assert list(store.to_database()) == list(random_db)
+
+    def test_formats_round_trip_identically(
+        self, random_db, tmp_path
+    ):
+        columnar = ShardedTransactionStore.partition_database(
+            random_db, tmp_path / "col", 3, format="columnar"
+        )
+        jsonl = ShardedTransactionStore.partition_database(
+            random_db, tmp_path / "jsonl", 3, format="jsonl"
+        )
+        for index in range(3):
+            assert columnar.shard_transactions(
+                index
+            ) == jsonl.shard_transactions(index)
+
+    def test_transactions_at_matches_full_read_in_both_formats(
+        self, random_db, tmp_path
+    ):
+        """Random row access (the sampler's path) agrees with the
+        full decode for columnar shards and the jsonl fallback."""
+        for format in ("columnar", "jsonl"):
+            store = ShardedTransactionStore.partition_database(
+                random_db, tmp_path / format, 3, format=format
+            )
+            for index in range(store.n_shards):
+                rows = store.shard_transactions(index)
+                picks = list(range(0, len(rows), 2))
+                assert store.shard_transactions_at(index, picks) == [
+                    rows[row] for row in picks
+                ]
+            assert store.shard_transactions_at(0, []) == []
+
+    def test_unknown_format_rejected(self, random_db, tmp_path):
+        with pytest.raises(DataError, match="format"):
+            ShardedTransactionStore.partition_database(
+                random_db, tmp_path, 2, format="parquet"
+            )
+
+    def test_open_with_format_filter(self, random_db, tmp_path):
+        ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2, format="jsonl"
+        )
+        with pytest.raises(DataError, match="columnar"):
+            ShardedTransactionStore.open(
+                tmp_path, random_db.taxonomy, format="columnar"
+            )
+
+    def test_describe_reports_format_bytes_and_images(
+        self, random_db, tmp_path
+    ):
+        from repro.core.counting import ShardBackendPool
+
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        pool = ShardBackendPool(store)
+        for index in range(store.n_shards):
+            pool.backend(index)
+        pool.save_images()
+        text = store.describe()
+        assert "2 shard(s)" in text
+        assert "[columnar]" in text
+        assert "bytes" in text
+        assert "images: bitmap" in text
+        assert store.image_bytes(0) > 0
+        assert store.shard_images(0) == ["bitmap"]
+
+
+class TestMigrate:
+    def test_columnar_to_jsonl_and_back(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 3
+        )
+        before = [
+            store.shard_transactions(index) for index in range(3)
+        ]
+        assert store.migrate("jsonl") == 3
+        assert all(
+            store.shard_format(index) == "jsonl" for index in range(3)
+        )
+        assert store.migrate("columnar") == 3
+        after = [
+            store.shard_transactions(index) for index in range(3)
+        ]
+        assert before == after
+        assert store.shard_sizes == [
+            len(chunk) for chunk in before
+        ]
+
+    def test_migrate_is_idempotent(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        assert store.migrate("columnar") == 0
+
+    def test_migrate_commits_via_manifest(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        store.migrate("jsonl")
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert all(
+            name.endswith(".jsonl") for name in manifest["shards"]
+        )
+        reopened = ShardedTransactionStore.open(
+            tmp_path, random_db.taxonomy
+        )
+        assert list(reopened.to_database()) == list(random_db)
+
+    def test_migrate_drops_stale_images(self, random_db, tmp_path):
+        from repro.core.counting import ShardBackendPool
+
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        pool = ShardBackendPool(store)
+        for index in range(store.n_shards):
+            pool.backend(index)
+        assert pool.save_images() == 2
+        assert store.shard_images(0) == ["bitmap"]
+        store.migrate("jsonl")
+        assert store.shard_images(0) == []
+        assert not list(tmp_path.glob("*.img"))
+
+    def test_migrate_rejects_unknown_format(self, random_db, tmp_path):
+        store = ShardedTransactionStore.partition_database(
+            random_db, tmp_path, 2
+        )
+        with pytest.raises(DataError, match="format"):
+            store.migrate("parquet")
+
+
 class TestAppendBatch:
     def test_appends_new_shard_and_extends_manifest(
         self, random_db, tmp_path

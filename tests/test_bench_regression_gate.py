@@ -536,3 +536,154 @@ class TestMainApprox:
             stale, copy.deepcopy(approx_baseline), 1.5
         )
         assert any("baseline" in p and "quick" in p for p in problems)
+
+
+@pytest.fixture
+def partition_baseline():
+    return {
+        "bench": "partition",
+        "quick": False,
+        "admit_speedup": 8.0,
+        "mine_ratio": 1.6,
+        "min_admit_speedup": 5.0,
+        "max_mine_ratio": 2.5,
+        "checks_pass": True,
+    }
+
+
+class TestComparePartition:
+    def test_identical_passes(self, gate, partition_baseline):
+        assert gate.compare_partition(
+            partition_baseline, copy.deepcopy(partition_baseline), 1.5
+        ) == []
+
+    def test_below_admit_floor_fails(self, gate, partition_baseline):
+        current = copy.deepcopy(partition_baseline)
+        current["admit_speedup"] = 3.0
+        problems = gate.compare_partition(
+            partition_baseline, current, 1.5
+        )
+        assert any("floor" in p for p in problems)
+
+    def test_above_mine_ratio_ceiling_fails(
+        self, gate, partition_baseline
+    ):
+        current = copy.deepcopy(partition_baseline)
+        current["mine_ratio"] = 4.8
+        problems = gate.compare_partition(
+            partition_baseline, current, 1.5
+        )
+        assert any("ceiling" in p for p in problems)
+
+    def test_admit_collapse_versus_baseline_fails(
+        self, gate, partition_baseline
+    ):
+        baseline = copy.deepcopy(partition_baseline)
+        baseline["admit_speedup"] = 20.0
+        current = copy.deepcopy(partition_baseline)
+        current["admit_speedup"] = 6.0  # above floor, > 1.5x collapse
+        problems = gate.compare_partition(baseline, current, 1.5)
+        assert any("regressed" in p for p in problems)
+
+    def test_failed_internal_checks_fail(
+        self, gate, partition_baseline
+    ):
+        current = copy.deepcopy(partition_baseline)
+        current["checks_pass"] = False
+        problems = gate.compare_partition(
+            partition_baseline, current, 1.5
+        )
+        assert any("internal checks" in p for p in problems)
+
+    def test_quick_runs_rejected_both_ways(
+        self, gate, partition_baseline
+    ):
+        quick = copy.deepcopy(partition_baseline)
+        quick["quick"] = True
+        assert any(
+            "quick" in p
+            for p in gate.compare_partition(
+                quick, copy.deepcopy(partition_baseline), 1.5
+            )
+        )
+        assert any(
+            "quick" in p
+            for p in gate.compare_partition(
+                copy.deepcopy(partition_baseline), quick, 1.5
+            )
+        )
+
+    def test_gates_the_committed_partition_baseline(self, gate):
+        """The committed BENCH_partition.json must satisfy its own
+        gate (otherwise CI fails on an untouched checkout)."""
+        committed = json.loads(
+            (_SCRIPT.parent.parent / "BENCH_partition.json").read_text()
+        )
+        assert gate.compare_partition(
+            committed, copy.deepcopy(committed), 1.5
+        ) == []
+
+
+class TestMainPartition:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_exit_zero_with_partition_pair(
+        self, gate, baseline, partition_baseline, tmp_path, capsys
+    ):
+        base = self._write(tmp_path, "base.json", baseline)
+        part = self._write(tmp_path, "part.json", partition_baseline)
+        code = gate.main([
+            "--baseline", base, "--current", base,
+            "--partition-baseline", part,
+            "--partition-current", part,
+        ])
+        assert code == 0
+        assert "image-admit speedup" in capsys.readouterr().out
+
+    def test_exit_one_on_admit_floor_breach(
+        self, gate, baseline, partition_baseline, tmp_path, capsys
+    ):
+        slow = copy.deepcopy(partition_baseline)
+        slow["admit_speedup"] = 2.0
+        base = self._write(tmp_path, "base.json", baseline)
+        part_base = self._write(
+            tmp_path, "part_base.json", partition_baseline
+        )
+        part_now = self._write(tmp_path, "part_now.json", slow)
+        code = gate.main([
+            "--baseline", base, "--current", base,
+            "--partition-baseline", part_base,
+            "--partition-current", part_now,
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_floors_default_to_baseline_recorded_floors(
+        self, gate, baseline, partition_baseline, tmp_path
+    ):
+        strict = copy.deepcopy(partition_baseline)
+        strict["min_admit_speedup"] = 10.0
+        current = copy.deepcopy(partition_baseline)
+        current["admit_speedup"] = 8.0  # above 5.0, below 10.0
+        base = self._write(tmp_path, "base.json", baseline)
+        part_base = self._write(tmp_path, "part_base.json", strict)
+        part_now = self._write(tmp_path, "part_now.json", current)
+        code = gate.main([
+            "--baseline", base, "--current", base,
+            "--partition-baseline", part_base,
+            "--partition-current", part_now,
+        ])
+        assert code == 1
+
+    def test_lone_partition_option_rejected(
+        self, gate, baseline, tmp_path
+    ):
+        base = self._write(tmp_path, "base.json", baseline)
+        with pytest.raises(SystemExit):
+            gate.main([
+                "--baseline", base, "--current", base,
+                "--partition-current", base,
+            ])

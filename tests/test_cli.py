@@ -363,6 +363,95 @@ class TestUpdateCommand:
         assert "--min-support" in capsys.readouterr().err
 
 
+class TestStoreCommand:
+    @pytest.fixture
+    def store_dir(self, example_files, tmp_path):
+        transactions, taxonomy = example_files
+        directory = str(tmp_path / "store")
+        assert main([
+            "update", "--store", directory, "--taxonomy", taxonomy,
+            "--init-from", transactions,
+        ]) == 0
+        return directory
+
+    def test_describe_text(self, store_dir, example_files, capsys):
+        _, taxonomy = example_files
+        capsys.readouterr()
+        assert main([
+            "store", "describe",
+            "--store", store_dir, "--taxonomy", taxonomy,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ShardedTransactionStore" in out
+        assert "[columnar]" in out
+
+    def test_describe_json(self, store_dir, example_files, capsys):
+        _, taxonomy = example_files
+        capsys.readouterr()
+        assert main([
+            "store", "describe",
+            "--store", store_dir, "--taxonomy", taxonomy, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_shards"] == len(payload["shards"])
+        shard = payload["shards"][0]
+        assert shard["format"] == "columnar"
+        assert shard["bytes"] > 0
+        assert shard["rows"] > 0
+        assert shard["images"] == []
+
+    def test_migrate_round_trip(
+        self, store_dir, example_files, capsys
+    ):
+        _, taxonomy = example_files
+        capsys.readouterr()
+        assert main([
+            "store", "migrate",
+            "--store", store_dir, "--taxonomy", taxonomy,
+            "--to", "jsonl",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rewrote 1 shard(s) to jsonl" in out
+        assert "[jsonl]" in out
+        assert main([
+            "store", "migrate",
+            "--store", store_dir, "--taxonomy", taxonomy,
+            "--to", "columnar",
+        ]) == 0
+        assert "[columnar]" in capsys.readouterr().out
+
+    def test_migrate_noop_reports_zero(
+        self, store_dir, example_files, capsys
+    ):
+        _, taxonomy = example_files
+        capsys.readouterr()
+        assert main([
+            "store", "migrate",
+            "--store", store_dir, "--taxonomy", taxonomy,
+            "--to", "columnar",
+        ]) == 0
+        assert "rewrote 0 shard(s)" in capsys.readouterr().out
+
+    def test_update_format_flag_writes_jsonl(
+        self, example_files, tmp_path, capsys
+    ):
+        transactions, taxonomy = example_files
+        directory = str(tmp_path / "legacy")
+        assert main([
+            "update", "--store", directory, "--taxonomy", taxonomy,
+            "--init-from", transactions, "--format", "jsonl",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "store", "describe",
+            "--store", directory, "--taxonomy", taxonomy, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(
+            shard["format"] == "jsonl" for shard in payload["shards"]
+        )
+
+
 class TestMineAppend:
     def test_append_matches_mining_everything_at_once(
         self, example_files, tmp_path, capsys

@@ -123,6 +123,97 @@ class TestMinerConfigFailures:
             )
 
 
+class TestCrashSafeAppend:
+    """S6: ``append_batch`` must commit via the manifest replace only.
+
+    A crash (simulated by failing the manifest write) after the shard
+    files hit disk must leave the store exactly as before: the old
+    manifest intact, the in-memory view unchanged, and a reopened
+    store seeing only the pre-append data.  A retried append then
+    succeeds and adopts the orphaned shard files.
+    """
+
+    @pytest.fixture
+    def store(self, example3_tax, tmp_path):
+        from repro.data.shards import ShardedTransactionStore
+
+        database = TransactionDatabase(
+            [["a11", "b11"], ["a12"], ["b12", "a11"], ["b11"]],
+            example3_tax,
+        )
+        return ShardedTransactionStore.partition_database(
+            database, tmp_path, 2
+        )
+
+    def test_manifest_crash_leaves_old_state(
+        self, store, example3_tax, tmp_path, monkeypatch
+    ):
+        import repro.data.shards as shards_module
+
+        before_files = store.n_shards
+        before_rows = store.n_transactions
+        manifest_before = (tmp_path / "manifest.json").read_bytes()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(shards_module, "_write_manifest", explode)
+        with pytest.raises(OSError, match="disk full"):
+            store.append_batch([("a11", "b12")])
+        monkeypatch.undo()
+
+        # in-memory view never advanced past the failed commit
+        assert store.n_shards == before_files
+        assert store.n_transactions == before_rows
+        # on-disk manifest is byte-identical to the pre-append one
+        assert (
+            tmp_path / "manifest.json"
+        ).read_bytes() == manifest_before
+        # a reopened store sees only the committed data, even though
+        # an orphaned shard file may exist on disk
+        from repro.data.shards import ShardedTransactionStore
+
+        reopened = ShardedTransactionStore.open(tmp_path, example3_tax)
+        assert reopened.n_transactions == before_rows
+
+        # the retry overwrites the orphan and commits cleanly
+        new = store.append_batch([("a11", "b12")])
+        assert new == [before_files]
+        assert store.n_transactions == before_rows + 1
+        retried = ShardedTransactionStore.open(tmp_path, example3_tax)
+        assert retried.n_transactions == before_rows + 1
+        assert retried.shard_transactions(before_files) == [
+            ("a11", "b12")
+        ]
+
+    def test_shard_write_crash_leaves_old_state(
+        self, store, example3_tax, tmp_path, monkeypatch
+    ):
+        import repro.data.columnar as columnar_module
+
+        before_rows = store.n_transactions
+
+        def explode(*args, **kwargs):
+            raise OSError("no space")
+
+        monkeypatch.setattr(
+            columnar_module, "_atomic_write", explode
+        )
+        with pytest.raises(OSError, match="no space"):
+            store.append_batch([("a11",)])
+        monkeypatch.undo()
+
+        from repro.data.shards import ShardedTransactionStore
+
+        reopened = ShardedTransactionStore.open(tmp_path, example3_tax)
+        assert reopened.n_transactions == before_rows
+        # no torn shard file is visible to the reopened store
+        for index in range(reopened.n_shards):
+            assert len(
+                reopened.shard_transactions(index)
+            ) == reopened.shard_sizes[index]
+
+
 class TestErrorHierarchy:
     def test_all_errors_are_repro_errors(self):
         for exc in (ConfigError, DataError, TaxonomyError):
