@@ -147,13 +147,58 @@ def main() -> None:
         f"pattern store v{store.version} serves {answer.total} "
         f"match(es) for items=a11 via plan: {answer.plan.describe()}"
     )
-    # updates re-feed the store; only changed patterns reindex, the
-    # version bumps, and cached/paginating readers fail loudly
-    # instead of seeing a mix of two generations
+    # updates re-feed the store; only changed patterns reindex (the
+    # next immutable snapshot is built copy-on-write and published
+    # by one atomic reference swap), the version bumps, and
+    # cached/paginating readers fail loudly instead of seeing a mix
+    # of two generations
     diff = store.apply_result(updated)
     print(
         f"after the delta: store v{store.version} "
         f"(+{diff['added']} ~{diff['changed']} -{diff['removed']})"
+    )
+
+    # 9b. The HTTP API is versioned under /v1 — served identically by
+    #     the threaded server (`flipper-mine serve`) and the asyncio
+    #     front end (`flipper-mine serve --async`, which adds a
+    #     bounded update queue, a byte-level response cache, and
+    #     `--workers N` SO_REUSEPORT replicas).  PatternAPI is the
+    #     route layer both share; driving it directly shows the
+    #     exact wire contract without a socket:
+    #
+    #       GET  /v1/patterns        query params: items, under,
+    #            signature, min/max_height, min/max_corr(elation),
+    #            min/max_support, sort, order, limit, offset —
+    #            plus cursor (opaque continuation) and
+    #            expect_version (409 if the store moved)
+    #       GET  /v1/patterns/{id}   one pattern or a 404 envelope
+    #       GET  /v1/stats           store/cache/server counters
+    #       GET  /v1/healthz         status, store_version, queue
+    #       POST /v1/update          {"transactions": [[item, ...]]}
+    #
+    #     Every 4xx/5xx is {"error": {"code", "message", "detail"}};
+    #     unknown query params and body fields are loud 400s.  The
+    #     unprefixed legacy routes still answer, with a
+    #     `Deprecation: true` header.  Responses carry an ETag keyed
+    #     on the snapshot version (If-None-Match => 304), and page
+    #     cursors pin the version: a mid-walk update answers 409
+    #     stale_cursor rather than silently skipping patterns.
+    import json
+
+    from repro.serve import PatternAPI
+
+    api = PatternAPI(QueryEngine(store))
+    page = json.loads(
+        api.dispatch("GET", "/v1/patterns?sort=support&limit=1").encode()
+    )
+    assert page["store_version"] == store.version
+    error = json.loads(
+        api.dispatch("GET", "/v1/patterns/no-such-id").encode()
+    )["error"]
+    assert error["code"] == "not_found"
+    print(
+        f"/v1/patterns answers {page['count']}/{page['total']} "
+        f"pattern(s); next_cursor={page.get('next_cursor', '-')!s}"
     )
 
     # 10. Approximate mining: `sample_rate=` screens a sample of the

@@ -32,10 +32,27 @@ extra noise floor is needed).
 
 ``--serve-baseline``/``--serve-current`` gate ``BENCH_serve.json``
 the same way: internal checks (indexed-vs-scan answer parity over
-the whole workload) must pass, the indexed-vs-scan speedup must
+the whole workload, plus byte-parity of the served ``/v1`` responses
+with the query engine) must pass, the indexed-vs-scan speedup must
 clear the absolute ``--serve-min-speedup`` floor, and it must not
 have collapsed versus the committed baseline beyond the tolerance
-factor.
+factor.  The concurrent-load block is gated on machine-independent
+SLOs only — every floor is a same-run ratio, because absolute qps
+and p99 swing with runner load while same-run comparisons do not:
+
+* the bench must have driven at least ``MIN_GATE_CONCURRENCY``
+  connections (a smoke run records metrics without binding SLOs and
+  must not serve as the gate input),
+* the asyncio front end must sustain at least
+  ``--serve-min-concurrent-speedup`` times the threaded server's qps
+  under mixed read/update load,
+* the async mixed-phase read p99 must stay within
+  ``--serve-max-blocked-ratio`` of its own read-only p99 ("no read
+  blocked by an update" — snapshot swaps cool per-version caches,
+  which bounds the churn; an actual reader-blocking lock would push
+  the ratio toward the update duration), and
+* the async mixed p99 must beat the threaded mixed p99 measured in
+  the same run.
 
 ``--approx-baseline``/``--approx-current`` gate ``BENCH_approx.json``:
 the current run must pass its internal checks, report **recall 1.0**
@@ -187,12 +204,25 @@ def compare_incremental(
 #: subsystem's acceptance criterion)
 MIN_SERVE_SPEEDUP = 5.0
 
+#: default floor on async-over-threaded qps under mixed load
+MIN_SERVE_CONCURRENT_SPEEDUP = 3.0
+
+#: default ceiling on mixed-p99 / read-only-p99 for the async server
+MAX_SERVE_BLOCKED_RATIO = 20.0
+
+#: below this many connections the concurrent SLOs were never under
+#: real load; such a run must not serve as the gate input (mirrors
+#: the bench's own gating threshold)
+MIN_GATE_CONCURRENCY = 50
+
 
 def compare_serve(
     baseline: dict,
     current: dict,
     tolerance: float,
     min_speedup: float = MIN_SERVE_SPEEDUP,
+    min_concurrent_speedup: float = MIN_SERVE_CONCURRENT_SPEEDUP,
+    max_blocked_ratio: float = MAX_SERVE_BLOCKED_RATIO,
 ) -> list[str]:
     """Gate the serve bench (empty list = gate passes)."""
     problems: list[str] = []
@@ -200,7 +230,7 @@ def compare_serve(
         problems.append(
             "current serve bench failed its internal checks "
             "(checks_pass is false; this includes indexed-vs-scan "
-            "answer parity)"
+            "answer parity and served-bytes parity with the engine)"
         )
     now = float(current.get("speedup", 0.0))
     if now < min_speedup:
@@ -215,6 +245,52 @@ def compare_serve(
         problems.append(
             f"serve speedup regressed: {now:.2f}x vs baseline "
             f"{base:.2f}x (> {tolerance:g}x collapse)"
+        )
+    conc = current.get("concurrent")
+    if not isinstance(conc, dict):
+        problems.append(
+            "current serve bench has no concurrent-load block; "
+            "regenerate it (python -m repro bench serve "
+            "--concurrency 100)"
+        )
+        return problems
+    connections = int(conc.get("concurrency", 0))
+    if connections < MIN_GATE_CONCURRENCY:
+        problems.append(
+            f"serve bench drove only {connections} connections; the "
+            f"concurrent SLOs bind at >= {MIN_GATE_CONCURRENCY} "
+            "(run python -m repro bench serve --concurrency 100)"
+        )
+        return problems
+    ratio = float(conc.get("async_over_threaded", 0.0))
+    if ratio < min_concurrent_speedup:
+        problems.append(
+            f"async front end sustains only {ratio:.2f}x the "
+            f"threaded qps under mixed load (floor "
+            f"{min_concurrent_speedup:g}x)"
+        )
+    blocked = float(conc.get("blocked_read_ratio", 0.0))
+    if not 0.0 < blocked <= max_blocked_ratio:
+        problems.append(
+            f"async mixed-phase read p99 is {blocked:.2f}x its "
+            f"read-only p99 (ceiling {max_blocked_ratio:g}x): reads "
+            "are being blocked by updates"
+        )
+    async_p99 = float(
+        conc.get("async", {}).get("mixed", {}).get("p99_ms", 0.0)
+    )
+    threaded_p99 = float(
+        conc.get("threaded", {}).get("mixed", {}).get("p99_ms", 0.0)
+    )
+    if threaded_p99 <= 0.0 or async_p99 <= 0.0:
+        problems.append(
+            "concurrent mixed-phase p99 metrics missing or zero"
+        )
+    elif async_p99 > threaded_p99:
+        problems.append(
+            f"async mixed read p99 ({async_p99:.2f}ms) is worse than "
+            f"the threaded baseline's ({threaded_p99:.2f}ms) in the "
+            "same run"
         )
     return problems
 
@@ -381,6 +457,24 @@ def main(argv: list[str] | None = None) -> int:
              f"{MIN_SERVE_SPEEDUP:g})",
     )
     parser.add_argument(
+        "--serve-min-concurrent-speedup",
+        type=float,
+        default=None,
+        help="floor on async-over-threaded qps under mixed load "
+             "(default: the baseline's recorded "
+             "concurrent.min_async_over_threaded, else "
+             f"{MIN_SERVE_CONCURRENT_SPEEDUP:g})",
+    )
+    parser.add_argument(
+        "--serve-max-blocked-ratio",
+        type=float,
+        default=None,
+        help="ceiling on async mixed-p99 over read-only-p99 "
+             "(default: the baseline's recorded "
+             "concurrent.max_blocked_read_ratio, else "
+             f"{MAX_SERVE_BLOCKED_RATIO:g})",
+    )
+    parser.add_argument(
         "--approx-baseline",
         default=None,
         help="committed BENCH_approx.json (optional)",
@@ -474,6 +568,8 @@ def main(argv: list[str] | None = None) -> int:
             min_speedup=min_speedup,
         )
     serve_min_speedup = args.serve_min_speedup
+    serve_min_concurrent = args.serve_min_concurrent_speedup
+    serve_max_blocked = args.serve_max_blocked_ratio
     serve_current = None
     if args.serve_baseline is not None:
         serve_baseline = json.loads(
@@ -482,16 +578,32 @@ def main(argv: list[str] | None = None) -> int:
         serve_current = json.loads(
             Path(args.serve_current).read_text(encoding="utf-8")
         )
+        # single source of truth: the floors the bench recorded
+        base_conc = serve_baseline.get("concurrent", {})
         if serve_min_speedup is None:
-            # single source of truth: the floor the bench recorded
             serve_min_speedup = float(
                 serve_baseline.get("min_speedup", MIN_SERVE_SPEEDUP)
+            )
+        if serve_min_concurrent is None:
+            serve_min_concurrent = float(
+                base_conc.get(
+                    "min_async_over_threaded",
+                    MIN_SERVE_CONCURRENT_SPEEDUP,
+                )
+            )
+        if serve_max_blocked is None:
+            serve_max_blocked = float(
+                base_conc.get(
+                    "max_blocked_read_ratio", MAX_SERVE_BLOCKED_RATIO
+                )
             )
         problems += compare_serve(
             serve_baseline,
             serve_current,
             args.tolerance,
             min_speedup=serve_min_speedup,
+            min_concurrent_speedup=serve_min_concurrent,
+            max_blocked_ratio=serve_max_blocked,
         )
     approx_min_speedup = args.approx_min_speedup
     approx_current = None
@@ -566,6 +678,15 @@ def main(argv: list[str] | None = None) -> int:
             f"ok: serve indexed-vs-scan speedup = "
             f"{float(serve_current.get('speedup', 0.0)):.2f}x "
             f"(floor {serve_min_speedup:g}x)"
+        )
+        conc = serve_current.get("concurrent", {})
+        print(
+            f"ok: serve async-over-threaded = "
+            f"{float(conc.get('async_over_threaded', 0.0)):.2f}x "
+            f"(floor {serve_min_concurrent:g}x), blocked-read ratio "
+            f"= {float(conc.get('blocked_read_ratio', 0.0)):.2f}x "
+            f"(ceiling {serve_max_blocked:g}x) at concurrency "
+            f"{int(conc.get('concurrency', 0))}"
         )
     if approx_current is not None:
         print(

@@ -60,10 +60,13 @@ from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
 from repro.errors import ReproError
 from repro.serve import (
     MEASURE_GETTERS,
+    AsyncPatternServer,
     PatternServer,
     PatternStore,
     Query,
     QueryEngine,
+    decode_cursor,
+    encode_cursor,
 )
 from repro.taxonomy.io import load_taxonomy, save_taxonomy
 
@@ -297,6 +300,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=256,
         help="LRU entries of the query-result cache",
     )
+    serve.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="serve from a single asyncio event loop instead of a "
+             "thread per connection (the high-concurrency front end)",
+    )
+    serve.add_argument(
+        "--connections", type=int, default=1024,
+        help="concurrent connections the async front end accepts "
+             "before new ones wait (default: 1024; needs --async)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="async read-only replicas sharing the port via "
+             "SO_REUSEPORT (needs --async and --result; default: 1)",
+    )
 
     query = sub.add_parser(
         "query",
@@ -336,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--limit", type=int, default=None)
     query.add_argument("--offset", type=int, default=0)
     query.add_argument(
+        "--cursor", default=None,
+        help="resume a paginated walk from the cursor a previous "
+             "--limit run printed (mutually exclusive with --offset; "
+             "fails if the store moved to a new version)",
+    )
+    query.add_argument(
         "--plan", action="store_true",
         help="print the cost-ordered index plan the engine chose",
     )
@@ -368,6 +392,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="reduced-size smoke run: correctness checks only, no "
              "wall-clock floor (approx and partition benches only)",
+    )
+    bench.add_argument(
+        "--concurrency", type=int, default=None,
+        help="connections the serve bench's concurrent phase drives "
+             "(serve bench only; default: 100)",
     )
 
     store = sub.add_parser(
@@ -677,7 +706,38 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_server(args: argparse.Namespace) -> PatternServer:
+def _make_server(
+    args: argparse.Namespace,
+    store: PatternStore,
+    *,
+    miner: object | None = None,
+    store_path: Path | None = None,
+    reuse_port: bool = False,
+) -> PatternServer | AsyncPatternServer:
+    if getattr(args, "use_async", False):
+        return AsyncPatternServer(
+            store,
+            miner=miner,
+            store_path=store_path,
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            max_connections=args.connections,
+            reuse_port=reuse_port,
+        )
+    return PatternServer(
+        store,
+        miner=miner,
+        store_path=store_path,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+    )
+
+
+def _build_server(
+    args: argparse.Namespace, *, reuse_port: bool = False
+) -> PatternServer | AsyncPatternServer:
     """Resolve serve's ``--result``/``--store`` into a ready server.
 
     Factored out of :func:`_cmd_serve` so tests can build (and probe)
@@ -688,14 +748,26 @@ def _build_server(args: argparse.Namespace) -> PatternServer:
             "serve needs exactly one of --result (read-only archive) "
             "or --store (live shard store)"
         )
+    use_async = getattr(args, "use_async", False)
+    if not use_async:
+        if getattr(args, "connections", 1024) != 1024:
+            raise ReproError(
+                "--connections tunes the asyncio front end; pass "
+                "--async too"
+            )
+        if getattr(args, "workers", 1) != 1:
+            raise ReproError(
+                "--workers runs SO_REUSEPORT async replicas; pass "
+                "--async too"
+            )
+    if getattr(args, "workers", 1) != 1 and args.result is None:
+        raise ReproError(
+            "--workers replicas are read-only; serve an archive with "
+            "--result (live --store updates would diverge)"
+        )
     if args.result is not None:
         store = PatternStore.from_archive(args.result)
-        return PatternServer(
-            store,
-            host=args.host,
-            port=args.port,
-            cache_size=args.cache_size,
-        )
+        return _make_server(args, store, reuse_port=reuse_port)
     needed = (args.taxonomy, args.gamma, args.epsilon, args.min_support)
     if any(option is None for option in needed):
         raise ReproError(
@@ -734,30 +806,62 @@ def _build_server(args: argparse.Namespace) -> PatternServer:
     else:
         store = PatternStore.build(result)
     store.save(store_path)
-    return PatternServer(
+    return _make_server(
+        args,
         store,
         miner=miner,
         store_path=store_path,
-        host=args.host,
-        port=args.port,
-        cache_size=args.cache_size,
+        reuse_port=reuse_port,
     )
+
+
+def _reuseport_worker(args: argparse.Namespace) -> None:
+    """One SO_REUSEPORT replica: its own store, the shared port."""
+    server = _build_server(args, reuse_port=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - signal path
+        pass
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
-    server = _build_server(args)
+    workers = getattr(args, "workers", 1)
+    multi = workers > 1
+    if multi and args.port == 0:
+        raise ReproError(
+            "--workers replicas share one port via SO_REUSEPORT; pass "
+            "an explicit --port"
+        )
+    server = _build_server(args, reuse_port=multi)
+    processes: list[object] = []
+    if multi:
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        processes = [
+            context.Process(
+                target=_reuseport_worker, args=(args,), daemon=True
+            )
+            for _ in range(workers - 1)
+        ]
+        for process in processes:
+            process.start()  # type: ignore[attr-defined]
     read_only = args.result is not None
+    front = "async" if getattr(args, "use_async", False) else "threaded"
     print(
         f"serving {len(server.store)} pattern(s) "
         f"(store version {server.store.version}"
-        f"{', read-only' if read_only else ''}) at {server.url}",
+        f"{', read-only' if read_only else ''}, {front} front end"
+        + (f", {workers} SO_REUSEPORT replicas" if multi else "")
+        + f") at http://{args.host}:{args.port or server.port}",
         flush=True,
     )
     print(
-        "endpoints: GET /patterns  GET /patterns/{id}  GET /stats  "
-        "POST /update  GET /healthz",
+        "endpoints: GET /v1/patterns  GET /v1/patterns/{id}  "
+        "GET /v1/stats  POST /v1/update  GET /v1/healthz  "
+        "(legacy unprefixed aliases answer with a Deprecation header)",
         flush=True,
     )
 
@@ -773,6 +877,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down", flush=True)
     finally:
         signal.signal(signal.SIGTERM, previous)
+        for process in processes:
+            process.terminate()  # type: ignore[attr-defined]
+            process.join(timeout=5)  # type: ignore[attr-defined]
         server.close()
     return 0
 
@@ -790,6 +897,20 @@ def _load_pattern_store(args: argparse.Namespace) -> PatternStore:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     store = _load_pattern_store(args)
+    offset = args.offset
+    if args.cursor is not None:
+        if offset:
+            raise ReproError(
+                "--cursor and --offset are mutually exclusive (the "
+                "cursor already encodes the resume offset)"
+            )
+        cursor_version, offset = decode_cursor(args.cursor)
+        if cursor_version != store.version:
+            raise ReproError(
+                f"stale cursor: it pinned store version "
+                f"{cursor_version}, the store is at {store.version}; "
+                "restart the walk from page one"
+            )
     query = Query(
         contains_items=tuple(
             part.strip()
@@ -807,12 +928,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
         sort_by=args.sort,
         descending=args.order == "desc",
         limit=args.limit,
-        offset=args.offset,
+        offset=offset,
     )
     engine = QueryEngine(store, cache_size=0)
     result = engine.execute(query, use_cache=False)
+    next_cursor = None
+    if query.limit is not None and offset + len(result.ids) < result.total:
+        next_cursor = encode_cursor(
+            store.version, offset + len(result.ids)
+        )
     if args.json:
         payload = result.to_dict()
+        if next_cursor is not None:
+            payload["next_cursor"] = next_cursor
         if args.plan and result.plan is not None:
             payload["plan"] = result.plan.describe()
         print(json.dumps(payload, indent=2))
@@ -826,6 +954,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     for pid, pattern in zip(result.ids, result.patterns):
         value = store.measure_value(args.sort, pid)
         print(f"  {pid}: {pattern} {args.sort}={value:.4f}")
+    if next_cursor is not None:
+        print(f"next page: --cursor {next_cursor}")
     return 0
 
 
@@ -942,9 +1072,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "--quick is the approx/partition benches' smoke mode; add "
             "'approx' or 'partition' to the experiment list"
         )
+    if args.concurrency is not None and "serve" not in names:
+        raise ReproError(
+            "--concurrency tunes the serve bench's concurrent phase; "
+            "add 'serve' to the experiment list"
+        )
     for name in names:
         if name in _QUICK_BENCHES and args.quick:
             report, _data = EXPERIMENTS[name](quick=True)  # type: ignore[call-arg]
+        elif name == "serve" and args.concurrency is not None:
+            report, _data = EXPERIMENTS[name](  # type: ignore[call-arg]
+                concurrency=args.concurrency
+            )
         else:
             report, _data = EXPERIMENTS[name]()
         print(report)

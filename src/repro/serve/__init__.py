@@ -1,15 +1,29 @@
 """Pattern serving: indexed store, query engine, live HTTP API.
 
 The path from "mined patterns" to "answering user queries": a
-:class:`PatternStore` indexes a
+:class:`PatternStore` publishes immutable :class:`StoreSnapshot`
+generations of an indexed
 :class:`~repro.core.patterns.MiningResult` (and stays fresh under
-incremental updates), a :class:`QueryEngine` compiles composable
-:class:`Query` filters against the indexes with a cost-ordered plan
-and an LRU result cache, and a :class:`PatternServer` exposes the
-whole thing as a stdlib JSON-over-HTTP API.  See ARCHITECTURE.md
-("The serving subsystem") for the data flow.
+incremental updates via atomic snapshot swaps), a
+:class:`QueryEngine` compiles composable :class:`Query` filters
+against a pinned snapshot with a cost-ordered plan and an LRU result
+cache, and two front ends expose the whole thing over HTTP through
+the shared :class:`PatternAPI` route layer: the threaded
+:class:`PatternServer` and the high-concurrency asyncio
+:class:`AsyncPatternServer`.  See ARCHITECTURE.md ("The serving
+subsystem" and "Lock-free serving") for the data flow.
 """
 
+from repro.serve.api import (
+    ApiError,
+    ApiResponse,
+    PatternAPI,
+    UpdateIntent,
+    decode_cursor,
+    encode_cursor,
+    query_from_params,
+)
+from repro.serve.aserver import AsyncPatternServer
 from repro.serve.query import (
     Query,
     QueryEngine,
@@ -18,23 +32,32 @@ from repro.serve.query import (
     linear_scan,
     matches,
 )
-from repro.serve.server import PatternServer, query_from_params
+from repro.serve.server import PatternServer
 from repro.serve.store import (
     MEASURE_GETTERS,
     STORE_FILE_NAME,
     PatternStore,
+    StoreSnapshot,
     pattern_id_of,
 )
 
 __all__ = [
     "MEASURE_GETTERS",
     "STORE_FILE_NAME",
+    "ApiError",
+    "ApiResponse",
+    "AsyncPatternServer",
+    "PatternAPI",
     "PatternStore",
     "PatternServer",
     "Query",
     "QueryEngine",
     "QueryPlan",
     "QueryResult",
+    "StoreSnapshot",
+    "UpdateIntent",
+    "decode_cursor",
+    "encode_cursor",
     "linear_scan",
     "matches",
     "pattern_id_of",

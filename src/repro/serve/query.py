@@ -16,12 +16,16 @@ via :func:`matches`, so plan choices affect speed only — the answer
 is always exactly what :func:`linear_scan`, the index-free reference
 used by the parity tests and the serve bench, returns.
 
-Results are stamped with the store version, and an LRU cache keyed by
-``(store version, query)`` makes repeated queries free until the next
-content change (a new version changes every key, so invalidation is
-structural).  Readers that pinned a version — e.g. a paginating HTTP
-client — pass ``expect_version`` and fail loudly on mismatch instead
-of silently mixing generations.
+Every execution *pins* one immutable
+:class:`~repro.serve.store.StoreSnapshot` up front and compiles,
+verifies, orders and paginates entirely against it, so a concurrent
+snapshot swap mid-query can never mix two generations into one
+answer.  Results are stamped with the pinned snapshot's version, and
+an LRU cache keyed by ``(snapshot version, query)`` makes repeated
+queries free until the next content change (a new version changes
+every key, so invalidation is structural).  Readers that pinned a
+version — e.g. a paginating HTTP client — pass ``expect_version`` and
+fail loudly on mismatch instead of silently mixing generations.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from typing import Any
 
 from repro.core.patterns import FlippingPattern
 from repro.errors import ConfigError
-from repro.serve.store import MEASURE_GETTERS, PatternStore
+from repro.serve.store import MEASURE_GETTERS, PatternStore, StoreSnapshot
 
 __all__ = [
     "Query",
@@ -217,8 +221,15 @@ class QueryResult:
         }
 
 
+def _pin(source: PatternStore | StoreSnapshot) -> StoreSnapshot:
+    """One immutable generation to serve a whole request from."""
+    if isinstance(source, PatternStore):
+        return source.snapshot()
+    return source
+
+
 def _order_and_paginate(
-    store: PatternStore, candidates: list[str], query: Query
+    store: StoreSnapshot, candidates: list[str], query: Query
 ) -> tuple[int, list[str]]:
     """Shared ordering/pagination of matched ids (engine and scan)."""
     getter = MEASURE_GETTERS[query.sort_by]
@@ -248,29 +259,45 @@ def _order_and_paginate(
     return total, page
 
 
-def linear_scan(store: PatternStore, query: Query) -> QueryResult:
+def linear_scan(
+    store: PatternStore | StoreSnapshot, query: Query
+) -> QueryResult:
     """Brute-force reference: test every pattern, no indexes.
 
     The parity oracle for the query engine and the baseline the serve
     bench measures the indexes against.
     """
+    snap = _pin(store)
     candidates = [
-        pid for pid, pattern in store.items() if matches(pattern, query)
+        pid for pid, pattern in snap.items() if matches(pattern, query)
     ]
-    total, page = _order_and_paginate(store, candidates, query)
+    total, page = _order_and_paginate(snap, candidates, query)
     return QueryResult(
-        store_version=store.version,
+        store_version=snap.version,
         query=query,
         total=total,
         ids=page,
-        patterns=[store.get(pid) for pid in page],  # type: ignore[misc]
+        patterns=[snap.get(pid) for pid in page],  # type: ignore[misc]
     )
 
 
 class QueryEngine:
-    """Compiles queries against the store indexes, with an LRU cache."""
+    """Compiles queries against the store indexes, with an LRU cache.
 
-    def __init__(self, store: PatternStore, *, cache_size: int = 128) -> None:
+    Works over a live :class:`PatternStore` (each execution pins the
+    then-current snapshot) or over one fixed :class:`StoreSnapshot`.
+    The engine itself holds no per-generation state beyond the
+    version-keyed cache, so one instance is safe to share across the
+    threaded server's handler pool and the asyncio server's event
+    loop alike.
+    """
+
+    def __init__(
+        self,
+        store: PatternStore | StoreSnapshot,
+        *,
+        cache_size: int = 128,
+    ) -> None:
         self._store = store
         self._cache_size = max(0, cache_size)
         self._cache: OrderedDict[tuple[int, Query], QueryResult] = (
@@ -284,14 +311,15 @@ class QueryEngine:
         self.cache_misses = 0
 
     @property
-    def store(self) -> PatternStore:
+    def store(self) -> PatternStore | StoreSnapshot:
         return self._store
 
     # ------------------------------------------------------------------
 
-    def _sources(self, query: Query) -> list[tuple[str, int, Any]]:
+    def _sources(
+        self, store: StoreSnapshot, query: Query
+    ) -> list[tuple[str, int, Any]]:
         """Candidate sources: ``(name, size estimate, materializer)``."""
-        store = self._store
         sources: list[tuple[str, int, Any]] = []
         for name in query.contains_items:
             postings = store.item_postings(name)
@@ -338,13 +366,16 @@ class QueryEngine:
         sources.sort(key=lambda source: (source[1], source[0]))
         return sources
 
-    def plan(self, query: Query) -> QueryPlan:
+    def plan(
+        self, query: Query, *, snapshot: StoreSnapshot | None = None
+    ) -> QueryPlan:
         """The cost-ordered plan :meth:`execute` would run."""
-        return self._compile(query)[1]
+        return self._compile(snapshot or _pin(self._store), query)[1]
 
-    def _compile(self, query: Query) -> tuple[list[str], QueryPlan]:
-        store = self._store
-        sources = self._sources(query)
+    def _compile(
+        self, store: StoreSnapshot, query: Query
+    ) -> tuple[list[str], QueryPlan]:
+        sources = self._sources(store, query)
         steps: list[PlanStep] = []
         if not sources:
             candidates = set(store.ids())
@@ -385,9 +416,17 @@ class QueryEngine:
         *,
         expect_version: int | None = None,
         use_cache: bool = True,
+        snapshot: StoreSnapshot | None = None,
     ) -> QueryResult:
-        """Run ``query``; exactly :func:`linear_scan`'s answer, faster."""
-        store = self._store
+        """Run ``query``; exactly :func:`linear_scan`'s answer, faster.
+
+        The whole execution — version check, compilation,
+        verification, ordering — runs against one pinned snapshot
+        (``snapshot`` if given, else the store's current generation),
+        so the answer is internally consistent no matter how many
+        swaps land mid-flight.
+        """
+        store = snapshot or _pin(self._store)
         if expect_version is not None:
             store.require_version(expect_version)
         key = (store.version, query)
@@ -409,7 +448,7 @@ class QueryEngine:
                     plan=hit.plan,
                     cached=True,
                 )
-        matched, plan = self._compile(query)
+        matched, plan = self._compile(store, query)
         total, page = _order_and_paginate(store, matched, query)
         result = QueryResult(
             store_version=store.version,

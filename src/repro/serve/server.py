@@ -1,41 +1,46 @@
-"""Live HTTP serving of a pattern store (stdlib only).
+"""Threaded HTTP serving of a pattern store (stdlib only).
 
 :class:`PatternServer` wraps a :class:`http.server.ThreadingHTTPServer`
-around a :class:`~repro.serve.store.PatternStore` and its
-:class:`~repro.serve.query.QueryEngine`:
+around a :class:`~repro.serve.store.PatternStore` and dispatches every
+request through the shared :class:`~repro.serve.api.PatternAPI` route
+layer, so it answers exactly what the asyncio front end
+(:class:`~repro.serve.aserver.AsyncPatternServer`) answers: the
+``/v1`` surface (``/v1/healthz``, ``/v1/stats``, ``/v1/patterns``,
+``/v1/patterns/{id}``, ``POST /v1/update``) plus the deprecated
+legacy aliases.
 
-* ``GET /healthz`` — liveness plus the current store version;
-* ``GET /stats`` — store/index shape, cache counters, request counts;
-* ``GET /patterns`` — query endpoint; filters arrive as query-string
-  parameters (``items``, ``under``, ``signature``, ``min_corr`` …)
-  and map onto one :class:`~repro.serve.query.Query`;
-* ``GET /patterns/{id}`` — one pattern by id;
-* ``POST /update`` — feeds a delta batch (``{"transactions": [...]}``)
-  to the attached incremental miner, re-indexes the store from the
-  fresh result and persists it; 409 on a read-only server.
+There is no readers-writer lock anywhere in the read path: each
+request pins one immutable store snapshot and serves itself entirely
+from it, while updates build the *next* snapshot off to the side and
+publish it with a single atomic reference swap (see
+:mod:`repro.serve.store`).  Only updates serialize — against each
+other, through a plain mutex, because the miner's internal state is
+not concurrency-safe.  Readers never wait on writers and writers
+never wait on readers.
 
-Every response is JSON.  Requests are logged through the
-``repro.serve`` logger, query/update handling is serialized against a
-lock so readers never observe a half-applied re-index, and clients
-that pinned a store generation pass ``expect_version=N`` and get a
-409 (stale version) instead of silently mixed results.  Shutdown is
-graceful: :meth:`PatternServer.close` stops accepting, drains
-in-flight handlers and releases the socket.
+Shutdown is graceful: :meth:`PatternServer.close` stops accepting,
+flips health to ``draining`` and waits (bounded) for in-flight
+handlers to finish before releasing the socket, so clients on
+keep-alive connections see complete responses rather than resets.
 """
 
 from __future__ import annotations
 
-import json
 import logging
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
-from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import ConfigError, ReproError, ServeError
-from repro.serve.query import Query, QueryEngine
+from repro.errors import ServeError
+from repro.serve.api import (
+    ApiResponse,
+    PatternAPI,
+    UpdateIntent,
+    query_from_params,
+)
+from repro.serve.query import QueryEngine
 from repro.serve.store import PatternStore
 
 __all__ = ["PatternServer", "query_from_params"]
@@ -43,102 +48,14 @@ __all__ = ["PatternServer", "query_from_params"]
 logger = logging.getLogger("repro.serve")
 
 
-class _ReadWriteLock:
-    """Many concurrent readers or one exclusive writer.
-
-    Queries only read the store, so they must not serialize behind
-    each other — that would make the threaded server effectively
-    single-threaded for its hot path.  Updates mutate the indexes in
-    place and need exclusivity.  Writer-preferring: a waiting update
-    blocks new readers, so a busy query stream cannot starve it.
-    """
-
-    def __init__(self) -> None:
-        self._cond = threading.Condition()
-        self._readers = 0
-        self._writer_active = False
-        self._writers_waiting = 0
-
-    def acquire_read(self) -> None:
-        with self._cond:
-            while self._writer_active or self._writers_waiting:
-                self._cond.wait()
-            self._readers += 1
-
-    def release_read(self) -> None:
-        with self._cond:
-            self._readers -= 1
-            if self._readers == 0:
-                self._cond.notify_all()
-
-    def acquire_write(self) -> None:
-        with self._cond:
-            self._writers_waiting += 1
-            try:
-                while self._writer_active or self._readers:
-                    self._cond.wait()
-            finally:
-                self._writers_waiting -= 1
-            self._writer_active = True
-
-    def release_write(self) -> None:
-        with self._cond:
-            self._writer_active = False
-            self._cond.notify_all()
-
-#: query-string parameter -> Query field (+ value parser)
-_QUERY_PARAMS: dict[str, tuple[str, Any]] = {
-    "items": ("contains_items", lambda v: tuple(
-        part.strip() for part in v.split(",") if part.strip()
-    )),
-    "under": ("under_node", str),
-    "signature": ("signature", str),
-    "min_height": ("min_height", int),
-    "max_height": ("max_height", int),
-    "min_corr": ("min_correlation", float),
-    "max_corr": ("max_correlation", float),
-    "min_correlation": ("min_correlation", float),
-    "max_correlation": ("max_correlation", float),
-    "min_support": ("min_support", int),
-    "max_support": ("max_support", int),
-    "sort": ("sort_by", str),
-    "order": ("descending", lambda v: _parse_order(v)),
-    "limit": ("limit", int),
-    "offset": ("offset", int),
-}
-
-
-def _parse_order(value: str) -> bool:
-    if value not in ("asc", "desc"):
-        raise ConfigError(
-            f"order must be 'asc' or 'desc', got {value!r}"
-        )
-    return value == "desc"
-
-
-def query_from_params(params: dict[str, str]) -> Query:
-    """Build a :class:`Query` from HTTP query-string parameters.
-
-    Unknown parameters are rejected (a typoed filter silently
-    matching everything is the worst failure mode a serving API can
-    have).
-    """
-    kwargs: dict[str, Any] = {}
-    for key, raw in params.items():
-        spec = _QUERY_PARAMS.get(key)
-        if spec is None:
-            known = ", ".join(sorted(_QUERY_PARAMS) + ["expect_version"])
-            raise ConfigError(
-                f"unknown query parameter {key!r} (known: {known})"
-            )
-        name, parse = spec
-        try:
-            kwargs[name] = parse(raw)
-        except (TypeError, ValueError):
-            raise ConfigError(
-                f"bad value {raw!r} for query parameter {key!r}"
-            ) from None
-    return Query(**kwargs)
+class _Server(ThreadingHTTPServer):
+    # a hundred clients connecting at once must not overflow the
+    # default listen backlog of 5
+    request_queue_size = 128
+    daemon_threads = True
+    # headers and body go out as separate writes; without TCP_NODELAY
+    # Nagle + delayed ACK turns that into ~40ms per response
+    disable_nagle_algorithm = True
 
 
 class PatternServer:
@@ -161,6 +78,8 @@ class PatternServer:
         Bind address; ``port=0`` picks a free port (see :attr:`port`).
     cache_size:
         LRU entries of the query cache.
+    drain_timeout:
+        Longest :meth:`close` waits for in-flight handlers, seconds.
     """
 
     def __init__(
@@ -172,15 +91,18 @@ class PatternServer:
         host: str = "127.0.0.1",
         port: int = 0,
         cache_size: int = 256,
+        drain_timeout: float = 5.0,
     ) -> None:
         self._engine = QueryEngine(store, cache_size=cache_size)
-        self._miner = miner
-        self._store_path = Path(store_path) if store_path else None
-        self._lock = _ReadWriteLock()
-        self._counter_lock = threading.Lock()
-        self._started = time.monotonic()
-        self._requests = 0
-        self._updates = 0
+        self._api = PatternAPI(
+            self._engine, miner=miner, store_path=store_path
+        )
+        # updates serialize against each other only (miner state is
+        # not concurrency-safe); reads never touch this lock
+        self._update_lock = threading.Lock()
+        self._drain_timeout = drain_timeout
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
         self._thread: threading.Thread | None = None
         server = self
 
@@ -196,8 +118,7 @@ class PatternServer:
             def log_message(self, format: str, *args: Any) -> None:
                 logger.debug("%s " + format, self.address_string(), *args)
 
-        self._http = ThreadingHTTPServer((host, port), Handler)
-        self._http.daemon_threads = True
+        self._http = _Server((host, port), Handler)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -217,11 +138,15 @@ class PatternServer:
 
     @property
     def store(self) -> PatternStore:
-        return self._engine.store
+        return self._api.store
 
     @property
     def engine(self) -> QueryEngine:
         return self._engine
+
+    @property
+    def api(self) -> PatternAPI:
+        return self._api
 
     def start(self) -> "PatternServer":
         """Serve from a daemon thread (returns once listening)."""
@@ -242,11 +167,27 @@ class PatternServer:
         self._http.serve_forever()
 
     def close(self) -> None:
-        """Stop accepting, drain handlers, release the socket."""
+        """Stop accepting, drain in-flight handlers, release the socket.
+
+        Handlers still running get up to ``drain_timeout`` seconds to
+        write their responses; health reports ``draining`` meanwhile.
+        """
+        self._api.begin_drain()
         if self._thread is not None:
             self._http.shutdown()
             self._thread.join(timeout=10)
             self._thread = None
+        deadline = time.monotonic() + self._drain_timeout
+        with self._inflight_cond:
+            while self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    logger.warning(
+                        "drain timeout: %d handler(s) still in flight",
+                        self._inflight,
+                    )
+                    break
+                self._inflight_cond.wait(timeout=remaining)
         self._http.server_close()
         logger.info("server at %s closed", self.url)
 
@@ -262,163 +203,47 @@ class PatternServer:
 
     def _handle(self, request: BaseHTTPRequestHandler, method: str) -> None:
         started = time.perf_counter()
-        split = urlsplit(request.path)
-        path = split.path.rstrip("/") or "/"
         # Always drain the request body first: under HTTP/1.1
         # keep-alive, unread body bytes would be parsed as the next
         # request line on the reused socket (even for 404/409 paths).
         length = int(request.headers.get("Content-Length") or 0)
         body = request.rfile.read(length) if length > 0 else b""
-        with self._counter_lock:
-            self._requests += 1
+        with self._inflight_cond:
+            self._inflight += 1
         try:
-            raw_params = parse_qs(split.query, keep_blank_values=True)
-            repeated = sorted(
-                key for key, values in raw_params.items()
-                if len(values) > 1
+            headers = {}
+            if_none_match = request.headers.get("If-None-Match")
+            if if_none_match:
+                headers["if-none-match"] = if_none_match
+            answer = self._api.dispatch(
+                method, request.path, body, headers
             )
-            if repeated:
-                raise ConfigError(
-                    "duplicate query parameter(s): "
-                    + ", ".join(repeated)
-                )
-            params = {
-                key: values[0] for key, values in raw_params.items()
-            }
-            if method == "GET" and path == "/healthz":
-                status, payload = 200, self._healthz()
-            elif method == "GET" and path == "/stats":
-                status, payload = 200, self._stats()
-            elif method == "GET" and path == "/patterns":
-                status, payload = 200, self._query(params)
-            elif method == "GET" and path.startswith("/patterns/"):
-                status, payload = self._one(path[len("/patterns/"):])
-            elif method == "POST" and path == "/update":
-                status, payload = self._update(body)
-            else:
-                status, payload = 404, {
-                    "error": f"no route {method} {path}"
-                }
-        except ServeError as exc:
-            status, payload = 409, {"error": str(exc)}
-        except ReproError as exc:
-            status, payload = 400, {"error": str(exc)}
-        except Exception as exc:  # pragma: no cover - defensive
-            logger.exception("unhandled error on %s %s", method, path)
-            status, payload = 500, {"error": f"internal error: {exc}"}
-        body = json.dumps(payload).encode("utf-8")
-        request.send_response(status)
+            if isinstance(answer, UpdateIntent):
+                with self._update_lock:
+                    answer = self._api.run_update(answer)
+            self._send(request, answer)
+            logger.info(
+                "%s %s -> %d (%.1fms)",
+                method,
+                request.path,
+                answer.status,
+                (time.perf_counter() - started) * 1000.0,
+            )
+        finally:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+
+    @staticmethod
+    def _send(
+        request: BaseHTTPRequestHandler, answer: ApiResponse
+    ) -> None:
+        body = answer.encode()
+        request.send_response(answer.status)
+        for name, value in answer.headers.items():
+            request.send_header(name, value)
         request.send_header("Content-Type", "application/json")
         request.send_header("Content-Length", str(len(body)))
         request.end_headers()
-        request.wfile.write(body)
-        logger.info(
-            "%s %s -> %d (%.1fms)",
-            method,
-            request.path,
-            status,
-            (time.perf_counter() - started) * 1000.0,
-        )
-
-    # ------------------------------------------------------------------
-    # endpoints
-    # ------------------------------------------------------------------
-
-    def _healthz(self) -> dict[str, Any]:
-        return {
-            "status": "ok",
-            "store_version": self.store.version,
-            "n_patterns": len(self.store),
-        }
-
-    def _stats(self) -> dict[str, Any]:
-        self._lock.acquire_read()
-        try:
-            store_stats = self.store.stats()
-        finally:
-            self._lock.release_read()
-        with self._counter_lock:
-            requests, updates = self._requests, self._updates
-        return {
-            "store": store_stats,
-            "cache": self._engine.cache_info(),
-            "server": {
-                "uptime_seconds": time.monotonic() - self._started,
-                "requests": requests,
-                "updates": updates,
-                "read_only": self._miner is None,
-            },
-        }
-
-    def _query(self, params: dict[str, str]) -> dict[str, Any]:
-        expect_raw = params.pop("expect_version", None)
-        expect_version = None
-        if expect_raw is not None:
-            try:
-                expect_version = int(expect_raw)
-            except ValueError:
-                raise ConfigError(
-                    f"bad value {expect_raw!r} for expect_version"
-                ) from None
-        query = query_from_params(params)
-        self._lock.acquire_read()
-        try:
-            result = self._engine.execute(
-                query, expect_version=expect_version
-            )
-        finally:
-            self._lock.release_read()
-        payload = result.to_dict()
-        payload["cached"] = result.cached
-        return payload
-
-    def _one(self, pid: str) -> tuple[int, dict[str, Any]]:
-        self._lock.acquire_read()
-        try:
-            pattern = self.store.get(pid)
-            version = self.store.version
-        finally:
-            self._lock.release_read()
-        if pattern is None:
-            return 404, {"error": f"no pattern with id {pid!r}"}
-        return 200, {
-            "store_version": version,
-            "pattern": dict(pattern.to_dict(), id=pid),
-        }
-
-    def _update(self, raw: bytes) -> tuple[int, dict[str, Any]]:
-        if self._miner is None:
-            return 409, {
-                "error": "server is read-only (started from a result "
-                "archive; no incremental miner attached)"
-            }
-        try:
-            body = json.loads(raw.decode("utf-8")) if raw else {}
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise ConfigError(f"update body is not valid JSON: {exc}") from None
-        transactions = body.get("transactions")
-        if not isinstance(transactions, list):
-            raise ConfigError(
-                'update body must be {"transactions": [[item, ...], ...]}'
-            )
-        self._lock.acquire_write()
-        try:
-            result = self._miner.update(transactions)
-            diff = self.store.apply_result(result)
-            if self._store_path is not None:
-                self.store.save(self._store_path)
-            with self._counter_lock:
-                self._updates += 1
-        finally:
-            self._lock.release_write()
-        info = result.config.get("incremental", {})
-        return 200, {
-            "store_version": diff["version"],
-            "n_patterns": len(self.store),
-            "mode": info.get("mode"),
-            "delta_rows": info.get("delta_rows", len(transactions)),
-            "reindexed": {
-                key: diff[key]
-                for key in ("added", "changed", "removed", "unchanged")
-            },
-        }
+        if body:
+            request.wfile.write(body)

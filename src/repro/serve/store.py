@@ -1,6 +1,6 @@
 """Indexed, persistent store of mined flipping patterns.
 
-A :class:`PatternStore` is the serving-side counterpart of a
+The serving-side counterpart of a
 :class:`~repro.core.patterns.MiningResult`: the same patterns, but
 held behind inverted indexes so queries resolve through posting-list
 intersections instead of linear scans.  Four index families are
@@ -17,15 +17,26 @@ plus one sorted ``(value, pattern_id)`` array per serving measure
 (leaf correlation/support and the three flip-sharpness gaps), giving
 ``O(log n)`` range scans through :mod:`bisect`.
 
+Since the lock-free serving redesign the indexes live in an
+**immutable** :class:`StoreSnapshot`.  A snapshot never changes after
+it is built; :meth:`StoreSnapshot.with_result` diffs an updated
+:class:`MiningResult` against what is indexed and builds the *next*
+snapshot copy-on-write — unchanged posting lists and measure arrays
+are shared structurally between generations, only touched entries are
+copied.  :class:`PatternStore` is the mutable facade the rest of the
+system holds on to: it keeps a reference to the current snapshot and
+:meth:`PatternStore.apply_result` publishes the next generation with
+a single atomic reference swap.  Readers pin one snapshot
+(:meth:`PatternStore.snapshot`) and serve their whole request from
+it, so no read ever takes a lock, never observes a torn index, and
+``expect_version``/409 semantics fall out of snapshot identity.
+
 Pattern identity is the leaf itemset (``pattern_id`` is its item ids
-joined with ``-``), which makes the store *incrementally* rebuildable:
-:meth:`PatternStore.apply_result` diffs an updated
-:class:`MiningResult` (e.g. from
-:meth:`~repro.engine.incremental.IncrementalMiner.update`) against
-what is indexed and touches only added, changed and removed patterns.
-Every content change bumps the store ``version``; query consumers
-stamp results with it and fail loudly on mismatch instead of serving
-a mix of two generations (see :mod:`repro.serve.query`).
+joined with ``-``), which makes the diff incremental: only added,
+changed and removed patterns are reindexed.  Every content change
+bumps the ``version``; query consumers stamp results with it and fail
+loudly on mismatch instead of serving a mix of two generations (see
+:mod:`repro.serve.query`).
 
 The store round-trips to disk as a single JSON document (written
 atomically, so readers never observe a torn file) — conventionally
@@ -51,6 +62,7 @@ from repro.errors import ServeError
 
 __all__ = [
     "PatternStore",
+    "StoreSnapshot",
     "STORE_FORMAT",
     "STORE_FORMAT_VERSION",
     "STORE_FILE_NAME",
@@ -89,102 +101,191 @@ def pattern_id_of(pattern: FlippingPattern) -> str:
     return "-".join(str(item) for item in pattern.leaf_link.itemset)
 
 
-class PatternStore:
-    """Patterns behind inverted indexes and sorted measure arrays.
+class _SnapshotBuilder:
+    """Mutable scratch space that produces one :class:`StoreSnapshot`.
 
-    Build one with :meth:`build` (from a ``MiningResult``),
-    :meth:`from_archive` (from a ``save_result`` JSON file) or
-    :meth:`open` (from a saved store); keep it fresh with
-    :meth:`apply_result`.
+    Built either empty (a from-scratch index) or on top of an existing
+    snapshot, in which case the top-level dicts are shallow copies and
+    each posting set / sorted array is copied at most once, the first
+    time this build touches it (copy-on-write with structural sharing:
+    untouched entries remain the *same objects* as the base
+    snapshot's, which is what keeps generation swaps cheap when a
+    delta changes a handful of patterns out of millions).
     """
 
+    def __init__(self, base: StoreSnapshot | None = None) -> None:
+        if base is None:
+            self._patterns: dict[str, FlippingPattern] = {}
+            self._fingerprints: dict[str, str] = {}
+            self._by_item: dict[str, set[str]] = {}
+            self._by_node: dict[str, set[str]] = {}
+            self._by_signature: dict[str, set[str]] = {}
+            self._by_height: dict[int, set[str]] = {}
+            self._sorted: dict[str, list[tuple[float, str]]] = {
+                name: [] for name in MEASURE_GETTERS
+            }
+        else:
+            self._patterns = dict(base._patterns)
+            self._fingerprints = dict(base._fingerprints)
+            self._by_item = dict(base._by_item)
+            self._by_node = dict(base._by_node)
+            self._by_signature = dict(base._by_signature)
+            self._by_height = dict(base._by_height)
+            self._sorted = dict(base._sorted)
+        # sets created (and therefore safely mutable) in THIS build;
+        # everything else may be shared with the base snapshot.  The
+        # builder holds references to every owned set via the index
+        # dicts, so the ids stay unique for the build's lifetime.
+        self._owned: set[int] = set()
+        self._owned_arrays: set[str] = set()
+
+    # -- copy-on-write primitives --------------------------------------
+
+    def _posting_add(self, index: dict, key: Any, pid: str) -> None:
+        postings = index.get(key)
+        if postings is None:
+            postings = {pid}
+            index[key] = postings
+            self._owned.add(id(postings))
+            return
+        if id(postings) not in self._owned:
+            postings = set(postings)
+            index[key] = postings
+            self._owned.add(id(postings))
+        postings.add(pid)
+
+    def _posting_discard(self, index: dict, key: Any, pid: str) -> None:
+        postings = index.get(key)
+        if postings is None:
+            return
+        if id(postings) not in self._owned:
+            postings = set(postings)
+            index[key] = postings
+            self._owned.add(id(postings))
+        postings.discard(pid)
+        if not postings:
+            del index[key]
+
+    def _array(self, name: str) -> list[tuple[float, str]]:
+        if name not in self._owned_arrays:
+            self._sorted[name] = list(self._sorted[name])
+            self._owned_arrays.add(name)
+        return self._sorted[name]
+
+    # -- pattern-level operations --------------------------------------
+
+    def __contains__(self, pid: str) -> bool:
+        return pid in self._patterns
+
+    def insert(
+        self,
+        pid: str,
+        pattern: FlippingPattern,
+        fingerprint: str | None = None,
+    ) -> None:
+        self._patterns[pid] = pattern
+        self._fingerprints[pid] = fingerprint or _fingerprint(pattern)
+        for name in pattern.leaf_names:
+            self._posting_add(self._by_item, name, pid)
+        for link in pattern.links:
+            for name in link.names:
+                self._posting_add(self._by_node, name, pid)
+        self._posting_add(self._by_signature, pattern.signature, pid)
+        self._posting_add(self._by_height, pattern.height, pid)
+        for name, getter in MEASURE_GETTERS.items():
+            bisect.insort(self._array(name), (getter(pattern), pid))
+
+    def remove(self, pid: str) -> None:
+        pattern = self._patterns.pop(pid)
+        del self._fingerprints[pid]
+        for name in pattern.leaf_names:
+            self._posting_discard(self._by_item, name, pid)
+        for link in pattern.links:
+            for name in link.names:
+                self._posting_discard(self._by_node, name, pid)
+        self._posting_discard(self._by_signature, pattern.signature, pid)
+        self._posting_discard(self._by_height, pattern.height, pid)
+        for name, getter in MEASURE_GETTERS.items():
+            entry = (getter(pattern), pid)
+            array = self._array(name)
+            index = bisect.bisect_left(array, entry)
+            if index < len(array) and array[index] == entry:
+                del array[index]
+
+    def fingerprint_of(self, pid: str) -> str:
+        return self._fingerprints[pid]
+
+    def freeze(self, version: int, config: dict[str, Any]) -> "StoreSnapshot":
+        snapshot = StoreSnapshot.__new__(StoreSnapshot)
+        snapshot._patterns = self._patterns
+        snapshot._fingerprints = self._fingerprints
+        snapshot._by_item = self._by_item
+        snapshot._by_node = self._by_node
+        snapshot._by_signature = self._by_signature
+        snapshot._by_height = self._by_height
+        snapshot._sorted = self._sorted
+        snapshot._ids = tuple(sorted(self._patterns))
+        snapshot._version = version
+        snapshot._config = dict(config)
+        return snapshot
+
+
+class StoreSnapshot:
+    """One immutable generation of the indexed pattern corpus.
+
+    Never mutated after construction: readers that hold a reference
+    see exactly one consistent generation forever, no matter how many
+    newer generations are published behind their back.  The snapshot
+    *is* the unit of consistency — its :attr:`version` is the value
+    stamped into query answers, encoded into pagination cursors and
+    checked by ``expect_version``.
+
+    Build the next generation with :meth:`with_result`; it returns a
+    brand-new snapshot (plus the reindex diff) and leaves ``self``
+    untouched.
+    """
+
+    __slots__ = (
+        "_patterns",
+        "_fingerprints",
+        "_by_item",
+        "_by_node",
+        "_by_signature",
+        "_by_height",
+        "_sorted",
+        "_ids",
+        "_version",
+        "_config",
+    )
+
     def __init__(self) -> None:
-        self._patterns: dict[str, FlippingPattern] = {}
-        # canonical JSON of each pattern's chain, for cheap change
-        # detection during apply_result
-        self._fingerprints: dict[str, str] = {}
-        self._by_item: dict[str, set[str]] = {}
-        self._by_node: dict[str, set[str]] = {}
-        self._by_signature: dict[str, set[str]] = {}
-        self._by_height: dict[int, set[str]] = {}
-        self._sorted: dict[str, list[tuple[float, str]]] = {
-            name: [] for name in MEASURE_GETTERS
-        }
-        self._version = 0
-        self._config: dict[str, Any] = {}
-
-    # ------------------------------------------------------------------
-    # constructors
-    # ------------------------------------------------------------------
+        empty = _SnapshotBuilder()
+        frozen = empty.freeze(0, {})
+        for slot in StoreSnapshot.__slots__:
+            setattr(self, slot, getattr(frozen, slot))
 
     @classmethod
-    def build(cls, result: MiningResult) -> "PatternStore":
-        """Index a mining result (store version starts at 1)."""
-        store = cls()
-        store.apply_result(result)
-        return store
-
-    @classmethod
-    def from_archive(cls, path: str | Path) -> "PatternStore":
-        """Index a :func:`~repro.core.serialize.save_result` archive."""
-        return cls.build(load_result(path))
-
-    @classmethod
-    def open(cls, path: str | Path) -> "PatternStore":
-        """Reopen a store written by :meth:`save`.
-
-        ``path`` may be the store file itself or a directory holding
-        ``pattern_store.json`` (the shard-store convention).
-        """
-        target = _store_file(path)
-        try:
-            raw = json.loads(target.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            raise ServeError(f"no such pattern store: {target}") from None
-        except json.JSONDecodeError as exc:
-            raise ServeError(
-                f"{target} is not a valid pattern store: {exc}"
-            ) from None
-        if not isinstance(raw, dict) or raw.get("format") != STORE_FORMAT:
-            raise ServeError(
-                f"{target} is not a {STORE_FORMAT} document "
-                f"(format={raw.get('format') if isinstance(raw, dict) else None!r})"
-            )
-        file_version = raw.get("format_version")
-        if file_version != STORE_FORMAT_VERSION:
-            raise ServeError(
-                f"{target}: unsupported pattern-store format version "
-                f"{file_version!r} (this build reads version "
-                f"{STORE_FORMAT_VERSION})"
-            )
-        store = cls()
-        for chain in raw.get("patterns", []):
-            pattern = FlippingPattern(
-                links=tuple(_link_from_dict(link) for link in chain)
-            )
-            pid = pattern_id_of(pattern)
-            if pid in store._patterns:
-                raise ServeError(
-                    f"{target}: duplicate pattern id {pid!r}"
-                )
-            store._insert(pid, pattern)
-        store._version = int(raw.get("store_version", 1))
-        store._config = dict(raw.get("config", {}))
-        return store
+    def empty(cls) -> "StoreSnapshot":
+        """The version-0 snapshot an unbuilt store starts from."""
+        return cls()
 
     # ------------------------------------------------------------------
-    # indexing
+    # building the next generation
     # ------------------------------------------------------------------
 
-    def apply_result(self, result: MiningResult) -> dict[str, int]:
-        """Re-point the store at ``result``, reindexing only changes.
+    def with_result(
+        self, result: MiningResult
+    ) -> tuple["StoreSnapshot", dict[str, int]]:
+        """Index ``result`` as the next generation, copy-on-write.
 
         Patterns are diffed by id and chain fingerprint: unchanged
-        patterns keep their index entries untouched, changed ones are
-        removed and re-inserted, and ids absent from ``result`` are
-        dropped.  The version is bumped exactly when content changed,
-        so an empty diff (e.g. a ``noop`` incremental update) keeps
-        cached query results valid.  Returns the diff counts.
+        patterns keep their index entries (shared with this
+        snapshot), changed ones are removed and re-inserted, and ids
+        absent from ``result`` are dropped.  The version is bumped
+        exactly when content changed, so an empty diff (e.g. a
+        ``noop`` incremental update) keeps cached query results
+        valid.  Returns ``(next_snapshot, diff_counts)``; ``self`` is
+        not modified.
         """
         incoming: dict[str, FlippingPattern] = {}
         for pattern in result.patterns:
@@ -195,69 +296,36 @@ class PatternStore:
                     f"itemset {pid!r}"
                 )
             incoming[pid] = pattern
+        builder = _SnapshotBuilder(self)
         added = changed = unchanged = 0
         removed_ids = [
             pid for pid in self._patterns if pid not in incoming
         ]
         for pid in removed_ids:
-            self._remove(pid)
+            builder.remove(pid)
         for pid, pattern in incoming.items():
             fingerprint = _fingerprint(pattern)
-            if pid not in self._patterns:
-                self._insert(pid, pattern, fingerprint)
+            if pid not in builder:
+                builder.insert(pid, pattern, fingerprint)
                 added += 1
-            elif self._fingerprints[pid] != fingerprint:
-                self._remove(pid)
-                self._insert(pid, pattern, fingerprint)
+            elif builder.fingerprint_of(pid) != fingerprint:
+                builder.remove(pid)
+                builder.insert(pid, pattern, fingerprint)
                 changed += 1
             else:
                 unchanged += 1
         dirty = bool(added or changed or removed_ids)
-        if dirty or self._version == 0:
-            self._version += 1
-        self._config = dict(result.config)
-        return {
+        version = self._version
+        if dirty or version == 0:
+            version += 1
+        snapshot = builder.freeze(version, dict(result.config))
+        return snapshot, {
             "added": added,
             "changed": changed,
             "removed": len(removed_ids),
             "unchanged": unchanged,
-            "version": self._version,
+            "version": version,
         }
-
-    def _insert(
-        self,
-        pid: str,
-        pattern: FlippingPattern,
-        fingerprint: str | None = None,
-    ) -> None:
-        self._patterns[pid] = pattern
-        self._fingerprints[pid] = fingerprint or _fingerprint(pattern)
-        for name in pattern.leaf_names:
-            self._by_item.setdefault(name, set()).add(pid)
-        for link in pattern.links:
-            for name in link.names:
-                self._by_node.setdefault(name, set()).add(pid)
-        self._by_signature.setdefault(pattern.signature, set()).add(pid)
-        self._by_height.setdefault(pattern.height, set()).add(pid)
-        for name, getter in MEASURE_GETTERS.items():
-            bisect.insort(self._sorted[name], (getter(pattern), pid))
-
-    def _remove(self, pid: str) -> None:
-        pattern = self._patterns.pop(pid)
-        del self._fingerprints[pid]
-        for name in pattern.leaf_names:
-            _discard(self._by_item, name, pid)
-        for link in pattern.links:
-            for name in link.names:
-                _discard(self._by_node, name, pid)
-        _discard(self._by_signature, pattern.signature, pid)
-        _discard(self._by_height, pattern.height, pid)
-        for name, getter in MEASURE_GETTERS.items():
-            entry = (getter(pattern), pid)
-            array = self._sorted[name]
-            index = bisect.bisect_left(array, entry)
-            if index < len(array) and array[index] == entry:
-                del array[index]
 
     # ------------------------------------------------------------------
     # read access (what the query engine compiles against)
@@ -284,10 +352,10 @@ class PatternStore:
 
     def ids(self) -> list[str]:
         """All pattern ids, sorted (the deterministic scan order)."""
-        return sorted(self._patterns)
+        return list(self._ids)
 
     def items(self) -> Iterator[tuple[str, FlippingPattern]]:
-        for pid in sorted(self._patterns):
+        for pid in self._ids:
             yield pid, self._patterns[pid]
 
     def item_postings(self, name: str) -> set[str]:
@@ -374,7 +442,7 @@ class PatternStore:
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> Path:
-        """Write the store as one JSON document, atomically.
+        """Write the snapshot as one JSON document, atomically.
 
         ``path`` may be a directory (the file lands at
         ``path/pattern_store.json``, next to a shard manifest) or an
@@ -395,6 +463,187 @@ class PatternStore:
         return target
 
 
+class PatternStore:
+    """Patterns behind inverted indexes and sorted measure arrays.
+
+    A thin mutable facade over an immutable :class:`StoreSnapshot`:
+    every read delegates to the *current* snapshot, and
+    :meth:`apply_result` builds the next generation off to the side
+    and publishes it with one atomic reference swap.  Concurrent
+    readers therefore never block and never see a half-applied
+    reindex — they either got the old snapshot or the new one.
+
+    Build one with :meth:`build` (from a ``MiningResult``),
+    :meth:`from_archive` (from a ``save_result`` JSON file) or
+    :meth:`open` (from a saved store); keep it fresh with
+    :meth:`apply_result`; pin a consistent generation with
+    :meth:`snapshot`.
+    """
+
+    def __init__(self) -> None:
+        self._snap = StoreSnapshot.empty()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, result: MiningResult) -> "PatternStore":
+        """Index a mining result (store version starts at 1)."""
+        store = cls()
+        store.apply_result(result)
+        return store
+
+    @classmethod
+    def from_archive(cls, path: str | Path) -> "PatternStore":
+        """Index a :func:`~repro.core.serialize.save_result` archive."""
+        return cls.build(load_result(path))
+
+    @classmethod
+    def open(cls, path: str | Path) -> "PatternStore":
+        """Reopen a store written by :meth:`save`.
+
+        ``path`` may be the store file itself or a directory holding
+        ``pattern_store.json`` (the shard-store convention).
+        """
+        target = _store_file(path)
+        try:
+            raw = json.loads(target.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ServeError(f"no such pattern store: {target}") from None
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"{target} is not a valid pattern store: {exc}"
+            ) from None
+        if not isinstance(raw, dict) or raw.get("format") != STORE_FORMAT:
+            raise ServeError(
+                f"{target} is not a {STORE_FORMAT} document "
+                f"(format={raw.get('format') if isinstance(raw, dict) else None!r})"
+            )
+        file_version = raw.get("format_version")
+        if file_version != STORE_FORMAT_VERSION:
+            raise ServeError(
+                f"{target}: unsupported pattern-store format version "
+                f"{file_version!r} (this build reads version "
+                f"{STORE_FORMAT_VERSION})"
+            )
+        builder = _SnapshotBuilder()
+        for chain in raw.get("patterns", []):
+            pattern = FlippingPattern(
+                links=tuple(_link_from_dict(link) for link in chain)
+            )
+            pid = pattern_id_of(pattern)
+            if pid in builder:
+                raise ServeError(
+                    f"{target}: duplicate pattern id {pid!r}"
+                )
+            builder.insert(pid, pattern)
+        store = cls()
+        store._snap = builder.freeze(
+            int(raw.get("store_version", 1)), dict(raw.get("config", {}))
+        )
+        return store
+
+    # ------------------------------------------------------------------
+    # snapshots and indexing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> StoreSnapshot:
+        """Pin the current generation (a plain reference read).
+
+        The returned snapshot is immutable: serve a whole request —
+        or a whole paginated session — from it and every answer is
+        internally consistent, regardless of concurrent
+        :meth:`apply_result` swaps.
+        """
+        return self._snap
+
+    def apply_result(self, result: MiningResult) -> dict[str, int]:
+        """Re-point the store at ``result``, reindexing only changes.
+
+        Builds the next snapshot copy-on-write (readers keep serving
+        the old one throughout) and publishes it with a single
+        reference assignment — atomic under the GIL, so a concurrent
+        :meth:`snapshot` pin gets either the old generation or the
+        new one, never a mix.  Returns the diff counts.
+        """
+        snapshot, diff = self._snap.with_result(result)
+        self._snap = snapshot
+        return diff
+
+    # ------------------------------------------------------------------
+    # read access — delegates to the current snapshot
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic content version; bumped by every real change."""
+        return self._snap.version
+
+    @property
+    def config(self) -> dict[str, Any]:
+        """Run configuration of the indexed mining result."""
+        return self._snap.config
+
+    def __len__(self) -> int:
+        return len(self._snap)
+
+    def __contains__(self, pid: str) -> bool:
+        return pid in self._snap
+
+    def get(self, pid: str) -> FlippingPattern | None:
+        return self._snap.get(pid)
+
+    def ids(self) -> list[str]:
+        """All pattern ids, sorted (the deterministic scan order)."""
+        return self._snap.ids()
+
+    def items(self) -> Iterator[tuple[str, FlippingPattern]]:
+        return self._snap.items()
+
+    def item_postings(self, name: str) -> set[str]:
+        """Patterns whose *leaf* itemset contains the item ``name``."""
+        return self._snap.item_postings(name)
+
+    def node_postings(self, name: str) -> set[str]:
+        """Patterns touching taxonomy node ``name`` at any chain level."""
+        return self._snap.node_postings(name)
+
+    def signature_postings(self, signature: str) -> set[str]:
+        return self._snap.signature_postings(signature)
+
+    def height_postings(self, lo: int | None, hi: int | None) -> set[str]:
+        return self._snap.height_postings(lo, hi)
+
+    def height_estimate(self, lo: int | None, hi: int | None) -> int:
+        return self._snap.height_estimate(lo, hi)
+
+    def range_bounds(
+        self, measure: str, lo: float | None, hi: float | None
+    ) -> tuple[int, int]:
+        return self._snap.range_bounds(measure, lo, hi)
+
+    def range_postings(
+        self, measure: str, lo: float | None, hi: float | None
+    ) -> set[str]:
+        return self._snap.range_postings(measure, lo, hi)
+
+    def measure_value(self, measure: str, pid: str) -> float:
+        return self._snap.measure_value(measure, pid)
+
+    def require_version(self, expected: int) -> None:
+        """Fail loudly when a reader pinned a different generation."""
+        self._snap.require_version(expected)
+
+    def stats(self) -> dict[str, Any]:
+        """Index shape summary (the ``/stats`` endpoint payload)."""
+        return self._snap.stats()
+
+    def save(self, path: str | Path) -> Path:
+        """Write the current snapshot as one JSON document, atomically."""
+        return self._snap.save(path)
+
+
 def _store_file(path: str | Path) -> Path:
     target = Path(path)
     if target.is_dir():
@@ -406,12 +655,3 @@ def _fingerprint(pattern: FlippingPattern) -> str:
     return json.dumps(
         [_link_to_dict(link) for link in pattern.links], sort_keys=True
     )
-
-
-def _discard(index: dict, key: Any, pid: str) -> None:
-    postings = index.get(key)
-    if postings is None:
-        return
-    postings.discard(pid)
-    if not postings:
-        del index[key]

@@ -17,6 +17,10 @@ import pytest
 @pytest.fixture(autouse=True)
 def tiny_scale(monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+    # below the gating threshold: the concurrent phase runs and is
+    # recorded, but its SLO floors don't bind at smoke scale
+    monkeypatch.setenv("REPRO_BENCH_SERVE_CONCURRENCY", "4")
+    monkeypatch.setenv("REPRO_BENCH_SERVE_SECONDS", "0.2")
 
 
 def test_serve_bench_writes_baseline(tmp_path):
@@ -38,6 +42,22 @@ def test_serve_bench_writes_baseline(tmp_path):
         assert stats["p50_ms"] <= stats["p99_ms"]
     assert on_disk["speedup"] > 0
     assert on_disk["min_speedup"] == 5.0
+    # the concurrent phase ran both front ends over real sockets and
+    # spot-checked served-bytes parity with the engine
+    concurrent = on_disk["concurrent"]
+    assert concurrent["parity"] is True
+    assert concurrent["concurrency"] == 4
+    for kind in ("threaded", "async"):
+        for phase in ("read_only", "mixed"):
+            stats = concurrent[kind][phase]
+            assert stats["qps"] > 0
+            assert stats["p50_ms"] <= stats["p99_ms"]
+    assert concurrent["threaded"]["mixed"]["updates"] >= 1
+    assert concurrent["async"]["mixed"]["updates"] >= 1
+    assert concurrent["async_over_threaded"] > 0
+    assert concurrent["blocked_read_ratio"] > 0
+    assert concurrent["min_async_over_threaded"] == 3.0
+    assert concurrent["max_blocked_read_ratio"] == 20.0
 
 
 def test_out_path_env_override(tmp_path, monkeypatch):
@@ -74,3 +94,21 @@ def test_committed_baseline_passes_its_own_checks():
     assert committed["checks_pass"] is True
     assert committed["speedup"] >= committed["min_speedup"]
     assert committed["parity"] is True
+    # the committed concurrent block was produced at gating
+    # concurrency and satisfies every SLO floor it records
+    concurrent = committed["concurrent"]
+    assert concurrent["concurrency"] >= 50
+    assert concurrent["parity"] is True
+    assert (
+        concurrent["async_over_threaded"]
+        >= concurrent["min_async_over_threaded"]
+    )
+    assert (
+        0
+        < concurrent["blocked_read_ratio"]
+        <= concurrent["max_blocked_read_ratio"]
+    )
+    assert (
+        concurrent["async"]["mixed"]["p99_ms"]
+        <= concurrent["threaded"]["mixed"]["p99_ms"]
+    )

@@ -1,0 +1,327 @@
+"""The asyncio front end: lifecycle, parity, backpressure, drain."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.patterns import MiningResult
+from repro.errors import ServeError
+from repro.serve import (
+    AsyncPatternServer,
+    PatternAPI,
+    PatternStore,
+    QueryEngine,
+)
+
+
+def _get(server, target, headers=None):
+    conn = http.client.HTTPConnection(
+        server.host, server.port, timeout=10
+    )
+    try:
+        conn.request("GET", target, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, response.read(), dict(response.headers)
+    finally:
+        conn.close()
+
+
+def _post(server, target, payload):
+    conn = http.client.HTTPConnection(
+        server.host, server.port, timeout=30
+    )
+    try:
+        conn.request("POST", target, body=json.dumps(payload).encode())
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class _GatedMiner:
+    """A miner whose update blocks until the test opens the gate."""
+
+    def __init__(self, result: MiningResult) -> None:
+        self._result = result
+        self.entered = threading.Event()
+        self.gate = threading.Event()
+
+    def update(self, transactions) -> MiningResult:
+        self.entered.set()
+        assert self.gate.wait(timeout=30), "test never opened the gate"
+        return self._result
+
+
+class TestLifecycle:
+    def test_port_unknown_before_start(self, corpus_store):
+        server = AsyncPatternServer(corpus_store)
+        with pytest.raises(ServeError, match="not started"):
+            _ = server.port
+
+    def test_double_start_rejected(self, corpus_store):
+        with AsyncPatternServer(corpus_store) as server:
+            with pytest.raises(ServeError, match="already started"):
+                server.start()
+
+    def test_close_is_idempotent_and_frees_the_port(self, corpus_store):
+        server = AsyncPatternServer(corpus_store).start()
+        port = server.port
+        status, _, _ = _get(server, "/v1/healthz")
+        assert status == 200
+        server.close()
+        server.close()  # second close is a no-op
+        rebound = AsyncPatternServer(corpus_store, port=port)
+        try:
+            rebound.start()
+            status, body, _ = _get(rebound, "/v1/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+        finally:
+            rebound.close()
+
+    def test_reuse_port_shares_one_socket_address(self, corpus_store):
+        """Two servers (the `--workers` replica shape) bind the same
+        port via SO_REUSEPORT and both answer."""
+        first = AsyncPatternServer(
+            corpus_store, reuse_port=True
+        ).start()
+        try:
+            second = AsyncPatternServer(
+                corpus_store, port=first.port, reuse_port=True
+            ).start()
+            try:
+                for server in (first, second):
+                    status, body, _ = _get(server, "/v1/healthz")
+                    assert status == 200
+                    assert json.loads(body)["n_patterns"] == len(
+                        corpus_store
+                    )
+            finally:
+                second.close()
+        finally:
+            first.close()
+
+    def test_graceful_drain_finishes_in_flight_update(self, toy_result):
+        """close() begun while an update is still mining must wait
+        for it and let the client read its 200 — not cut the
+        connection."""
+        store = PatternStore.build(toy_result)
+        miner = _GatedMiner(toy_result)
+        server = AsyncPatternServer(
+            store, miner=miner, drain_timeout=15.0
+        ).start()
+        results: list[int] = []
+
+        def update() -> None:
+            status, _ = _post(
+                server, "/v1/update", {"transactions": [["x"]]}
+            )
+            results.append(status)
+
+        poster = threading.Thread(target=update)
+        poster.start()
+        assert miner.entered.wait(timeout=10)
+        closer = threading.Thread(target=server.close)
+        closer.start()
+        time.sleep(0.1)  # close() is now draining, miner still parked
+        miner.gate.set()
+        closer.join(timeout=30)
+        poster.join(timeout=30)
+        assert results == [200]
+
+
+class TestByteParity:
+    TARGETS = [
+        "/v1/patterns",
+        "/v1/patterns?sort=support&limit=10",
+        "/v1/patterns?under=cat01&sort=correlation&order=asc",
+        "/v1/patterns?signature=%2B-%2B&min_support=50&limit=7",
+        "/v1/patterns?min_corr=0.4&max_corr=0.9&sort=min_gap",
+        "/v1/patterns?min_height=3&limit=13&offset=5",
+    ]
+
+    def test_served_bytes_equal_the_engine(self, corpus_store):
+        """Property: whatever the async server serves for /v1 reads
+        is byte-identical to PatternAPI over a QueryEngine pinned to
+        the same snapshot."""
+        offline = PatternAPI(QueryEngine(corpus_store, cache_size=0))
+        with AsyncPatternServer(corpus_store) as server:
+            conn = http.client.HTTPConnection(
+                server.host, server.port, timeout=10
+            )
+            try:
+                for target in self.TARGETS:
+                    for _ in range(2):  # second hit: byte cache
+                        conn.request("GET", target)
+                        served = conn.getresponse().read()
+                        expected = offline.dispatch(
+                            "GET", target
+                        ).encode()
+                        assert served == expected, target
+            finally:
+                conn.close()
+            assert server.response_cache_hits > 0
+
+    def test_parity_holds_across_generations(self, live_miner):
+        store = PatternStore.build(live_miner.mine())
+        deltas = [
+            [["a11", "b11"], ["a12", "b12"]],
+            [["a11", "b12"]],
+        ]
+        probe = "/v1/patterns?sort=support"
+        with AsyncPatternServer(store, miner=live_miner) as server:
+            for delta in deltas:
+                status, payload = _post(
+                    server, "/v1/update", {"transactions": delta}
+                )
+                assert status == 200
+                offline = PatternAPI(
+                    QueryEngine(store, cache_size=0)
+                )
+                _, served, _ = _get(server, probe)
+                assert served == offline.dispatch(
+                    "GET", probe
+                ).encode()
+                assert (
+                    json.loads(served)["store_version"]
+                    == payload["store_version"]
+                )
+
+
+class TestUpdateQueue:
+    def test_update_round_trip_and_counters(self, live_miner):
+        store = PatternStore.build(live_miner.mine())
+        with AsyncPatternServer(store, miner=live_miner) as server:
+            before = store.version
+            status, payload = _post(
+                server,
+                "/v1/update",
+                {"transactions": [["a11", "b11"], ["a12", "b12"]]},
+            )
+            assert status == 200
+            assert payload["store_version"] > before
+            assert payload["mode"] in ("incremental", "full")
+            status, body, _ = _get(server, "/v1/stats")
+            stats = json.loads(body)
+            assert stats["server"]["updates"] == 1
+            assert stats["server"]["read_only"] is False
+            status, body, _ = _get(server, "/v1/healthz")
+            health = json.loads(body)
+            assert health["queue_depth"] == 0
+            assert health["store_version"] == store.version
+
+    def test_bounded_queue_sheds_load_with_503(self, toy_result):
+        store = PatternStore.build(toy_result)
+        miner = _GatedMiner(toy_result)
+        server = AsyncPatternServer(
+            store,
+            miner=miner,
+            update_queue_size=1,
+            drain_timeout=15.0,
+        ).start()
+        statuses: list[int] = []
+        lock = threading.Lock()
+
+        def update() -> None:
+            status, payload = _post(
+                server, "/v1/update", {"transactions": [["x"]]}
+            )
+            with lock:
+                statuses.append(status)
+            if status == 503:
+                assert payload["error"]["code"] == "overloaded"
+
+        first = threading.Thread(target=update)
+        first.start()
+        # the writer has dequeued the first intent and is parked on
+        # the gated miner; the queue (capacity 1) is empty again
+        assert miner.entered.wait(timeout=10)
+        rest = [threading.Thread(target=update) for _ in range(4)]
+        try:
+            for thread in rest:
+                thread.start()
+            # one of the four gets the queue slot; the other three
+            # are shed immediately while the writer is still parked
+            start = time.monotonic()
+            while time.monotonic() - start < 30.0:
+                with lock:
+                    if len(statuses) >= 3:
+                        break
+                time.sleep(0.01)
+            with lock:
+                assert statuses and set(statuses) == {503}
+        finally:
+            miner.gate.set()
+            for thread in [first] + rest:
+                thread.join(timeout=30)
+            server.close()
+        # the parked update and the queued one complete once the
+        # gate opens; the three shed while the queue was full stay 503
+        assert statuses.count(200) == 2
+        assert statuses.count(503) == 3
+
+    def test_read_only_server_rejects_updates(self, corpus_store):
+        with AsyncPatternServer(corpus_store) as server:
+            status, payload = _post(
+                server, "/v1/update", {"transactions": []}
+            )
+            assert status == 409
+            assert payload["error"]["code"] == "read_only"
+
+
+class TestSwapStress:
+    def test_concurrent_reads_see_only_whole_generations(
+        self, live_miner
+    ):
+        store = PatternStore.build(live_miner.mine())
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def read_loop(url_host: str, url_port: int) -> None:
+            conn = http.client.HTTPConnection(
+                url_host, url_port, timeout=10
+            )
+            try:
+                while not stop.is_set():
+                    conn.request(
+                        "GET", "/v1/patterns?sort=support"
+                    )
+                    page = json.loads(conn.getresponse().read())
+                    assert page["count"] == len(page["patterns"])
+                    assert page["count"] == page["total"]
+                    for pattern in page["patterns"]:
+                        assert pattern["chain"]
+            except Exception as exc:  # pragma: no cover - failure
+                errors.append(exc)
+            finally:
+                conn.close()
+
+        with AsyncPatternServer(store, miner=live_miner) as server:
+            readers = [
+                threading.Thread(
+                    target=read_loop, args=(server.host, server.port)
+                )
+                for _ in range(4)
+            ]
+            for thread in readers:
+                thread.start()
+            try:
+                for delta in (
+                    [["a11", "b11"]],
+                    [["a12", "b12"]],
+                    [["a11", "b12"]],
+                ):
+                    status, _ = _post(
+                        server, "/v1/update", {"transactions": delta}
+                    )
+                    assert status == 200
+            finally:
+                stop.set()
+                for thread in readers:
+                    thread.join(timeout=30)
+        assert errors == []

@@ -98,11 +98,12 @@ class TestReadEndpoints:
     def test_healthz(self, server, corpus_store):
         status, payload = _get(server.url + "/healthz")
         assert status == 200
-        assert payload == {
-            "status": "ok",
-            "store_version": corpus_store.version,
-            "n_patterns": len(corpus_store),
-        }
+        assert payload["status"] == "ok"
+        assert payload["store_version"] == corpus_store.version
+        assert payload["n_patterns"] == len(corpus_store)
+        assert payload["uptime_seconds"] >= 0
+        assert payload["queue_depth"] == 0
+        assert payload["draining"] is False
 
     def test_patterns_matches_linear_scan(self, server, corpus_store):
         status, payload = _get(
@@ -139,7 +140,8 @@ class TestReadEndpoints:
             )
         )
         assert code == 404
-        assert "999-999" in payload["error"]
+        assert payload["error"]["code"] == "not_found"
+        assert "999-999" in payload["error"]["message"]
 
     def test_unknown_route(self, server):
         code, payload = _error(
@@ -154,7 +156,8 @@ class TestReadEndpoints:
             )
         )
         assert code == 400
-        assert "unknown query parameter" in payload["error"]
+        assert payload["error"]["code"] == "bad_request"
+        assert "unknown query parameter" in payload["error"]["message"]
 
     def test_stale_version_is_409(self, server):
         code, payload = _error(
@@ -163,7 +166,7 @@ class TestReadEndpoints:
             )
         )
         assert code == 409
-        assert "stale store version" in payload["error"]
+        assert "stale store version" in payload["error"]["message"]
 
     def test_stats_shape(self, server, corpus_store):
         status, payload = _get(server.url + "/stats")
@@ -180,7 +183,8 @@ class TestUpdates:
             lambda: _post(server.url + "/update", {"transactions": []})
         )
         assert code == 409
-        assert "read-only" in payload["error"]
+        assert payload["error"]["code"] == "read_only"
+        assert "read-only" in payload["error"]["message"]
 
     def test_live_update_round_trip(
         self, live_miner, toy_database, toy_thresholds, tmp_path
@@ -226,11 +230,19 @@ class TestUpdates:
     def test_malformed_update_body(self, live_miner):
         store = PatternStore.build(live_miner.mine())
         with PatternServer(store, miner=live_miner) as server:
+            # unknown body fields are a loud 400...
             code, payload = _error(
                 lambda: _post(server.url + "/update", {"rows": []})
             )
             assert code == 400
-            assert "transactions" in payload["error"]
+            assert "rows" in payload["error"]["message"]
+            assert payload["error"]["detail"]["known"] == ["transactions"]
+            # ...and so is a missing/mistyped transactions list
+            code, payload = _error(
+                lambda: _post(server.url + "/update", {})
+            )
+            assert code == 400
+            assert "transactions" in payload["error"]["message"]
 
 
 class TestLifecycle:
@@ -303,7 +315,7 @@ class TestKeepAlive:
             )
         )
         assert code == 400
-        assert "duplicate query parameter" in payload["error"]
+        assert "duplicate query parameter" in payload["error"]["message"]
 
 
 class TestConcurrency:

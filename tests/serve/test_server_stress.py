@@ -175,4 +175,4 @@ def test_stale_version_pins_conflict_cleanly(generations):
             _get(server.url + f"/patterns?expect_version={pinned}")
         assert info.value.code == 409
         payload = json.loads(info.value.read().decode("utf-8"))
-        assert "version" in payload["error"]
+        assert "version" in payload["error"]["message"]

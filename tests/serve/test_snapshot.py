@@ -1,0 +1,265 @@
+"""Copy-on-write snapshot semantics of the pattern store.
+
+The serving tier's whole concurrency story rests on three properties
+of :class:`~repro.serve.store.StoreSnapshot`:
+
+* a published snapshot never changes — readers that pinned it keep
+  seeing exactly the world they pinned, however many updates land
+  after;
+* building the next generation shares every untouched structure with
+  the previous one (updates cost O(delta), not O(corpus));
+* publication is a single reference swap, so concurrent readers only
+  ever observe fully-built generations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro.bench.serve import synthetic_serve_result
+from repro.core.patterns import MiningResult
+from repro.errors import ServeError
+from repro.serve import PatternStore, Query, linear_scan
+from repro.serve.store import pattern_id_of
+
+
+def _bumped(pattern):
+    """The same pattern id with a different leaf support."""
+    leaf = pattern.links[-1]
+    links = pattern.links[:-1] + (
+        dataclasses.replace(leaf, support=leaf.support - 1),
+    )
+    return dataclasses.replace(pattern, links=links)
+
+
+def _variant(base: MiningResult, delta: int, seed: int) -> MiningResult:
+    """A next corpus generation: ``delta`` patterns changed in place,
+    ``delta`` fresh ones added, ``delta // 2`` dropped from the tail."""
+    kept = base.patterns[: len(base.patterns) - delta // 2]
+    patterns = [
+        _bumped(p) if i < delta else p for i, p in enumerate(kept)
+    ]
+    ids = {pattern_id_of(p) for p in patterns}
+    patterns += [
+        p
+        for p in synthetic_serve_result(delta, seed=seed).patterns
+        if pattern_id_of(p) not in ids
+    ]
+    return MiningResult(
+        patterns=patterns,
+        stats=base.stats,
+        config=dict(base.config),
+    )
+
+
+class TestPinnedSnapshots:
+    def test_old_snapshot_survives_update_unchanged(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        pinned = store.snapshot()
+        before_ids = pinned.ids()
+        before_version = pinned.version
+        before_answer = linear_scan(
+            pinned, Query(sort_by="support", limit=20)
+        )
+        store.apply_result(_variant(corpus_result, 40, seed=77))
+        # the store moved on...
+        assert store.version == before_version + 1
+        assert store.snapshot() is not pinned
+        # ...but the pinned generation is exactly as it was
+        assert pinned.version == before_version
+        assert pinned.ids() == before_ids
+        assert (
+            linear_scan(pinned, Query(sort_by="support", limit=20)).ids
+            == before_answer.ids
+        )
+
+    def test_pinned_pattern_keeps_its_old_measures(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        pinned = store.snapshot()
+        update = _variant(corpus_result, 40, seed=77)
+        changed = [
+            pattern_id_of(p)
+            for p in update.patterns
+            if pinned.get(pattern_id_of(p)) is not None
+            and pinned.get(pattern_id_of(p)).to_dict() != p.to_dict()
+        ]
+        assert changed, "variant must overlap the base corpus"
+        store.apply_result(update)
+        fresh = store.snapshot()
+        pid = changed[0]
+        assert pinned.get(pid).to_dict() != fresh.get(pid).to_dict()
+
+    def test_apply_result_returns_incremental_diff(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        diff = store.apply_result(_variant(corpus_result, 40, seed=77))
+        assert {"added", "changed", "removed", "unchanged"} <= set(diff)
+        assert diff["changed"] == 40
+        assert diff["removed"] == 20
+        assert diff["added"] > 0
+        assert diff["unchanged"] > 0
+        assert diff["version"] == store.version
+
+    def test_identical_result_does_not_bump_version(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        version = store.version
+        diff = store.apply_result(corpus_result)
+        assert store.version == version
+        assert diff["added"] == diff["changed"] == diff["removed"] == 0
+
+    def test_versions_are_monotonic(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        seen = [store.version]
+        for i in range(4):
+            store.apply_result(_variant(corpus_result, 25, seed=100 + i))
+            seen.append(store.version)
+        assert seen == sorted(set(seen))
+
+    def test_stale_expect_version_raises(self, corpus_store):
+        snap = corpus_store.snapshot()
+        snap.require_version(snap.version)
+        with pytest.raises(ServeError, match="stale store version"):
+            snap.require_version(snap.version + 1)
+
+    def test_duplicate_pattern_ids_rejected(self, corpus_result):
+        doubled = MiningResult(
+            patterns=list(corpus_result.patterns)
+            + [corpus_result.patterns[0]],
+            stats=corpus_result.stats,
+            config=dict(corpus_result.config),
+        )
+        with pytest.raises(ServeError, match="two patterns"):
+            PatternStore.build(doubled)
+
+
+class TestStructuralSharing:
+    def test_untouched_postings_are_shared(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        old = store.snapshot()
+        store.apply_result(_variant(corpus_result, 30, seed=91))
+        new = store.snapshot()
+        touched_ids = (set(old.ids()) ^ set(new.ids())) | {
+            pid
+            for pid in old.ids()
+            if pid in new
+            and old.get(pid).to_dict() != new.get(pid).to_dict()
+        }
+        touched = {
+            name
+            for pid in touched_ids
+            for link in (old.get(pid) or new.get(pid)).links
+            for name in link.names
+        }
+        shared = dirty = 0
+        for item, postings in old._by_item.items():
+            if item in touched:
+                continue
+            if new._by_item.get(item) is postings:
+                shared += 1
+            else:
+                dirty += 1
+        # copy-on-write: every posting set no update touched is the
+        # *same object* in both generations
+        assert dirty == 0
+        assert shared > 0
+
+    def test_touched_postings_are_copied_not_mutated(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        old = store.snapshot()
+        before = {
+            item: set(postings)
+            for item, postings in old._by_item.items()
+        }
+        store.apply_result(_variant(corpus_result, 30, seed=91))
+        # whatever the update rewired, the old snapshot's sets still
+        # hold their original members
+        assert {
+            item: set(postings)
+            for item, postings in old._by_item.items()
+        } == before
+
+    def test_noop_update_shares_everything(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        old = store.snapshot()
+        # re-applying the same corpus keeps the version (cached query
+        # results stay valid) and every index structure is the same
+        # object, not a rebuilt copy
+        store.apply_result(corpus_result)
+        new = store.snapshot()
+        assert new.version == old.version
+        for name in old._sorted:
+            assert new._sorted[name] is old._sorted[name]
+        for item, postings in old._by_item.items():
+            assert new._by_item[item] is postings
+
+
+class TestConcurrentSwaps:
+    def test_readers_never_observe_a_torn_generation(self, corpus_result):
+        """Hammer snapshot() from reader threads while a writer swaps
+        generations: every pinned snapshot must be internally
+        consistent (ids, postings, and measures all from the same
+        generation)."""
+        store = PatternStore.build(corpus_result)
+        generations = [
+            _variant(corpus_result, 30, seed=200 + i) for i in range(6)
+        ]
+        expected = {}
+        probe = Query(sort_by="correlation", limit=15)
+        for generation in [corpus_result] + generations:
+            reference = PatternStore.build(generation)
+            expected[len(reference)] = {
+                "ids": set(reference.ids()),
+                "answer": linear_scan(reference, probe).ids,
+            }
+        errors: list[AssertionError] = []
+        stop = threading.Event()
+
+        def read_loop() -> None:
+            try:
+                while not stop.is_set():
+                    snap = store.snapshot()
+                    ids = snap.ids()
+                    assert len(ids) == len(snap)
+                    reference = expected.get(len(snap))
+                    if reference is not None and set(ids) == reference[
+                        "ids"
+                    ]:
+                        assert (
+                            linear_scan(snap, probe).ids
+                            == reference["answer"]
+                        )
+                    for pid in ids[:5]:
+                        assert pid in snap
+                        assert snap.get(pid) is not None
+            except AssertionError as exc:  # pragma: no cover - failure
+                errors.append(exc)
+
+        readers = [
+            threading.Thread(target=read_loop) for _ in range(4)
+        ]
+        for thread in readers:
+            thread.start()
+        try:
+            for _ in range(3):
+                for generation in generations:
+                    store.apply_result(generation)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=30)
+        assert errors == []
+
+    def test_many_generations_stay_independent(self, corpus_result):
+        store = PatternStore.build(corpus_result)
+        pinned = [store.snapshot()]
+        for i in range(5):
+            store.apply_result(_variant(corpus_result, 20, seed=300 + i))
+            pinned.append(store.snapshot())
+        versions = [snap.version for snap in pinned]
+        assert versions == sorted(set(versions))
+        # each pinned generation still answers for itself
+        for snap in pinned:
+            assert len(snap.ids()) == len(snap)
+            assert snap.stats()["version"] == snap.version

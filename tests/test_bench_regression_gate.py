@@ -275,6 +275,21 @@ def serve_baseline():
         "speedup": 12.0,
         "min_speedup": 5.0,
         "checks_pass": True,
+        "concurrent": {
+            "concurrency": 100,
+            "async_over_threaded": 6.0,
+            "blocked_read_ratio": 10.0,
+            "min_async_over_threaded": 3.0,
+            "max_blocked_read_ratio": 20.0,
+            "threaded": {
+                "read_only": {"p99_ms": 200.0},
+                "mixed": {"p99_ms": 300.0},
+            },
+            "async": {
+                "read_only": {"p99_ms": 10.0},
+                "mixed": {"p99_ms": 100.0},
+            },
+        },
     }
 
 
@@ -296,9 +311,11 @@ class TestCompareServe:
         problems = gate.compare_serve(serve_baseline, current, 1.5)
         assert any("regressed" in p for p in problems)
 
-    def test_within_tolerance_passes(self, gate):
-        baseline = {"speedup": 9.0, "checks_pass": True}
-        current = {"speedup": 7.0, "checks_pass": True}
+    def test_within_tolerance_passes(self, gate, serve_baseline):
+        baseline = copy.deepcopy(serve_baseline)
+        baseline["speedup"] = 9.0
+        current = copy.deepcopy(serve_baseline)
+        current["speedup"] = 7.0
         assert gate.compare_serve(baseline, current, 1.5) == []
 
     def test_failed_internal_checks_fail(self, gate, serve_baseline):
@@ -319,6 +336,62 @@ class TestCompareServe:
         assert (
             gate.compare_serve(
                 serve_baseline, current, 1.5, min_speedup=10.0
+            )
+            != []
+        )
+
+    def test_concurrent_speedup_below_floor_fails(
+        self, gate, serve_baseline
+    ):
+        current = copy.deepcopy(serve_baseline)
+        current["concurrent"]["async_over_threaded"] = 2.0
+        problems = gate.compare_serve(serve_baseline, current, 1.5)
+        assert any("threaded qps" in p for p in problems)
+
+    def test_blocked_read_ratio_above_ceiling_fails(
+        self, gate, serve_baseline
+    ):
+        current = copy.deepcopy(serve_baseline)
+        current["concurrent"]["blocked_read_ratio"] = 45.0
+        problems = gate.compare_serve(serve_baseline, current, 1.5)
+        assert any("blocked by updates" in p for p in problems)
+
+    def test_async_p99_worse_than_threaded_fails(
+        self, gate, serve_baseline
+    ):
+        current = copy.deepcopy(serve_baseline)
+        current["concurrent"]["async"]["mixed"]["p99_ms"] = 400.0
+        problems = gate.compare_serve(serve_baseline, current, 1.5)
+        assert any("worse than" in p for p in problems)
+
+    def test_smoke_concurrency_rejected(self, gate, serve_baseline):
+        current = copy.deepcopy(serve_baseline)
+        current["concurrent"]["concurrency"] = 8
+        problems = gate.compare_serve(serve_baseline, current, 1.5)
+        assert any("--concurrency 100" in p for p in problems)
+
+    def test_missing_concurrent_block_rejected(
+        self, gate, serve_baseline
+    ):
+        current = copy.deepcopy(serve_baseline)
+        del current["concurrent"]
+        problems = gate.compare_serve(serve_baseline, current, 1.5)
+        assert any("concurrent-load block" in p for p in problems)
+
+    def test_custom_concurrent_floors(self, gate, serve_baseline):
+        current = copy.deepcopy(serve_baseline)
+        assert (
+            gate.compare_serve(
+                serve_baseline,
+                current,
+                1.5,
+                min_concurrent_speedup=8.0,
+            )
+            != []
+        )
+        assert (
+            gate.compare_serve(
+                serve_baseline, current, 1.5, max_blocked_ratio=5.0
             )
             != []
         )
@@ -368,6 +441,25 @@ class TestMainServe:
         strict["min_speedup"] = 11.0
         current = copy.deepcopy(serve_baseline)
         current["speedup"] = 10.0
+        base = self._write(tmp_path, "base.json", baseline)
+        serve_base = self._write(tmp_path, "serve_base.json", strict)
+        serve_now = self._write(tmp_path, "serve_now.json", current)
+        code = gate.main([
+            "--baseline", base, "--current", base,
+            "--serve-baseline", serve_base,
+            "--serve-current", serve_now,
+        ])
+        assert code == 1
+
+    def test_concurrent_floors_default_to_baseline_recorded(
+        self, gate, baseline, serve_baseline, tmp_path
+    ):
+        # baseline records a stricter concurrent floor than the
+        # built-in default; a current run between the two must fail
+        strict = copy.deepcopy(serve_baseline)
+        strict["concurrent"]["min_async_over_threaded"] = 7.0
+        current = copy.deepcopy(serve_baseline)
+        current["concurrent"]["async_over_threaded"] = 5.0
         base = self._write(tmp_path, "base.json", baseline)
         serve_base = self._write(tmp_path, "serve_base.json", strict)
         serve_now = self._write(tmp_path, "serve_now.json", current)
