@@ -58,7 +58,9 @@ def test_backends_find_identical_patterns(benchmark, small_db, capsys):
         out = {}
         for backend in BACKENDS:
             miner = FlipperMiner(
-                small_db, thresholds, pruning=PruningConfig.full(),
+                small_db,
+                thresholds,
+                pruning=PruningConfig.full(),
                 backend=backend,
             )
             result = miner.mine()

@@ -33,7 +33,9 @@ def groceries():
     raise RuntimeError("GROCERIES missing from real_datasets()")
 
 
-def test_posthoc_fpgrowth_synthetic(benchmark, synthetic_db, default_thresholds):
+def test_posthoc_fpgrowth_synthetic(
+    benchmark, synthetic_db, default_thresholds
+):
     report = one_shot(
         benchmark, mine_flipping_posthoc, synthetic_db, default_thresholds
     )

@@ -15,7 +15,9 @@ from repro.bench import run_fig9a, run_method
 from repro.bench.experiments import NAIVE_VS_FULL
 
 
-@pytest.mark.parametrize("dataset_index", [0, 1, 2], ids=["groceries", "census", "medline"])
+@pytest.mark.parametrize(
+    "dataset_index", [0, 1, 2], ids=["groceries", "census", "medline"]
+)
 @pytest.mark.parametrize(
     "label,pruning", NAIVE_VS_FULL, ids=[m for m, _ in NAIVE_VS_FULL]
 )

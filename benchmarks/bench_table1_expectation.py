@@ -13,7 +13,11 @@ def test_table1_report(benchmark, capsys):
     with capsys.disabled():
         print("\n" + report)
     # the AB pair must flip its expectation verdict between DB1/DB2
-    signs = {row["db"]: row["expectation_sign"] for row in data if row["pair"] == "AB"}
+    signs = {
+        row["db"]: row["expectation_sign"]
+        for row in data
+        if row["pair"] == "AB"
+    }
     assert signs == {"DB1": "positive", "DB2": "negative"}
     kulcs = {row["kulc"] for row in data if row["pair"] == "AB"}
     assert len(kulcs) == 1  # Kulc identical across DB1/DB2

@@ -37,4 +37,6 @@ def real_workloads():
 def one_shot(benchmark, fn, *args, **kwargs):
     """Run a mining benchmark exactly once (mining is deterministic;
     repeated rounds would only re-measure the same work)."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

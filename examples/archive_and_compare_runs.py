@@ -37,9 +37,7 @@ for name in MEASURES:
 # ---------------------------------------------------------------------------
 # 2. Reload and diff: which patterns does every measure agree on?
 # ---------------------------------------------------------------------------
-loaded = {
-    name: load_result(archive / f"{name}.json") for name in MEASURES
-}
+loaded = {name: load_result(archive / f"{name}.json") for name in MEASURES}
 pattern_sets = {
     name: {pattern.leaf_names for pattern in result.patterns}
     for name, result in loaded.items()

@@ -43,9 +43,7 @@ for pattern in income_patterns:
     # Narrative: walk the chain and describe each reversal.
     print("  narrative:")
     for upper, lower in zip(pattern.links, pattern.links[1:]):
-        subject = next(
-            name for name in lower.names if name != INCOME_HIGH
-        )
+        subject = next(name for name in lower.names if name != INCOME_HIGH)
         direction = (
             "correlates with high income"
             if lower.label.is_positive

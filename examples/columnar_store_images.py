@@ -68,9 +68,7 @@ def main() -> None:
         # 4. Warm mine through a fresh store: every backend is
         #    re-admitted from its image — mmap + header check, no
         #    shard parsing, no index rebuild.
-        warm_store = ShardedTransactionStore.open(
-            directory, database.taxonomy
-        )
+        warm_store = ShardedTransactionStore.open(directory, database.taxonomy)
         warm_miner = FlipperMiner(warm_store, GROCERIES_THRESHOLDS)
         warm = warm_miner.mine()
         warm_pool = warm_miner.context.backend.pool

@@ -8,9 +8,20 @@ the resulting chain.  Expected output: the single flipping pattern
 down the hierarchy (paper Fig. 5).
 
 Run:  python examples/quickstart.py
+
+Hacking on the repo itself?  `flipper-mine analyze` runs the
+project's invariant linter (snapshot immutability, atomic writes,
+async-blocking, error contracts — see "Enforced invariants" in
+ARCHITECTURE.md) over `src` and `scripts`; CI fails on any finding
+not in the committed baseline.
 """
 
-from repro import Taxonomy, Thresholds, TransactionDatabase, mine_flipping_patterns
+from repro import (
+    Taxonomy,
+    Thresholds,
+    TransactionDatabase,
+    mine_flipping_patterns,
+)
 
 
 def main() -> None:
@@ -107,9 +118,7 @@ def main() -> None:
 
     streaming = FlipperMiner(database, thresholds, partitions=2)
     streaming.mine()
-    updated = streaming.update(
-        [["a11", "b11", "a21"], ["a11", "b11"]]
-    )
+    updated = streaming.update([["a11", "b11", "a21"], ["a11", "b11"]])
     everything = mine_flipping_patterns(
         TransactionDatabase(
             transactions + [["a11", "b11", "a21"], ["a11", "b11"]],

@@ -74,7 +74,8 @@ print()
 # 4. Indirect associations: rarely-together pairs sharing a mediator
 # ---------------------------------------------------------------------------
 indirect = mine_indirect_associations(
-    database, min_count=max(5, database.n_transactions // 400),
+    database,
+    min_count=max(5, database.n_transactions // 400),
     dependence_threshold=0.2,
 )
 print(f"[Indirect] {len(indirect)} mediated pairs; strongest:")

@@ -122,9 +122,7 @@ def serial_stage_total(data: dict) -> float:
     return float(sum(stages.values()))
 
 
-def compare(
-    baseline: dict, current: dict, tolerance: float
-) -> list[str]:
+def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
     """Return a list of regression messages (empty = gate passes)."""
     problems: list[str] = []
     if not current.get("checks_pass", False):
@@ -189,9 +187,7 @@ def compare_incremental(
         )
     base = float(baseline.get("speedup_10pct", 0.0))
     if base <= 0.0:
-        problems.append(
-            "baseline incremental speedup missing or zero"
-        )
+        problems.append("baseline incremental speedup missing or zero")
     elif now * tolerance < base:
         problems.append(
             f"incremental speedup regressed: {now:.2f}x vs baseline "
@@ -283,9 +279,7 @@ def compare_serve(
         conc.get("threaded", {}).get("mixed", {}).get("p99_ms", 0.0)
     )
     if threaded_p99 <= 0.0 or async_p99 <= 0.0:
-        problems.append(
-            "concurrent mixed-phase p99 metrics missing or zero"
-        )
+        problems.append("concurrent mixed-phase p99 metrics missing or zero")
     elif async_p99 > threaded_p99:
         problems.append(
             f"async mixed read p99 ({async_p99:.2f}ms) is worse than "
@@ -529,16 +523,10 @@ def main(argv: list[str] | None = None) -> int:
             "go together"
         )
     if (args.serve_baseline is None) != (args.serve_current is None):
-        parser.error(
-            "--serve-baseline and --serve-current go together"
-        )
+        parser.error("--serve-baseline and --serve-current go together")
     if (args.approx_baseline is None) != (args.approx_current is None):
-        parser.error(
-            "--approx-baseline and --approx-current go together"
-        )
-    if (args.partition_baseline is None) != (
-        args.partition_current is None
-    ):
+        parser.error("--approx-baseline and --approx-current go together")
+    if (args.partition_baseline is None) != (args.partition_current is None):
         parser.error(
             "--partition-baseline and --partition-current go together"
         )

@@ -1,0 +1,45 @@
+"""Repo-specific invariant linter (``repro analyze``).
+
+A stdlib-``ast`` static-analysis pass encoding the contracts the
+codebase's correctness rests on — snapshot immutability, event-loop
+non-blocking, atomic persistence writes, the DataError error
+contract, byte determinism, and swap-publication discipline — as six
+FLIP rules with a content-keyed baseline ratchet.  See
+:mod:`repro.analysis.rules` for the rule catalogue and
+ARCHITECTURE.md's "Enforced invariants" section for the contracts'
+history.
+"""
+
+from repro.analysis.baseline import (
+    BASELINE_FORMAT,
+    BASELINE_FORMAT_VERSION,
+    Baseline,
+    BaselineEntry,
+)
+from repro.analysis.findings import (
+    REPORT_FORMAT,
+    REPORT_FORMAT_VERSION,
+    Finding,
+    render_text,
+    report_to_dict,
+)
+from repro.analysis.rules import RULE_IDS, RULES, Rule, resolve_rules
+from repro.analysis.runner import analyze_paths, discover_files
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "BASELINE_FORMAT_VERSION",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "REPORT_FORMAT",
+    "REPORT_FORMAT_VERSION",
+    "RULES",
+    "RULE_IDS",
+    "Rule",
+    "analyze_paths",
+    "discover_files",
+    "render_text",
+    "report_to_dict",
+    "resolve_rules",
+]

@@ -1,0 +1,164 @@
+"""Grandfathered-finding baselines: the linter ratchets, never blocks.
+
+A baseline file records the findings a PR deliberately keeps (each
+with a one-line justification), so ``repro analyze`` fails only on
+*new* violations.  The contract is a ratchet in both directions:
+
+* a finding **not** in the baseline fails the run — the violation
+  count can never silently grow;
+* a baseline entry matching **no** finding is *stale* and also fails
+  the run — fixed violations must leave the baseline, so the
+  grandfathered set can never silently linger after the code it
+  excused is gone.
+
+Entries match on ``(path, rule, stripped source line)`` rather than
+line numbers, so edits elsewhere in a file never invalidate them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.findings import Finding
+from repro.errors import DataError
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "BASELINE_FORMAT_VERSION",
+    "Baseline",
+    "BaselineEntry",
+]
+
+BASELINE_FORMAT = "repro.analysis-baseline"
+BASELINE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding, keyed by content, not line number."""
+
+    path: str
+    rule: str
+    line_content: str
+    justification: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.line_content)
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "path": self.path,
+            "rule": self.rule,
+            "line_content": self.line_content,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """The set of grandfathered findings a run is allowed to keep."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries: list[BaselineEntry] = list(entries or [])
+        seen: set[tuple[str, str, str]] = set()
+        for entry in self.entries:
+            if entry.key() in seen:
+                raise DataError(
+                    f"duplicate baseline entry for {entry.path} "
+                    f"{entry.rule} {entry.line_content!r}"
+                )
+            seen.add(entry.key())
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; loud :class:`DataError` on anything
+        malformed (a silently ignored baseline would un-ratchet)."""
+        target = Path(path)
+        try:
+            raw = json.loads(target.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise DataError(f"cannot read baseline: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise DataError(f"{target} is not valid JSON: {exc}") from None
+        if not isinstance(raw, dict) or raw.get("format") != BASELINE_FORMAT:
+            raise DataError(f"{target} is not a {BASELINE_FORMAT} document")
+        if raw.get("version") != BASELINE_FORMAT_VERSION:
+            raise DataError(
+                f"{target}: unsupported baseline version "
+                f"{raw.get('version')!r} (this build reads version "
+                f"{BASELINE_FORMAT_VERSION})"
+            )
+        entries: list[BaselineEntry] = []
+        for index, item in enumerate(raw.get("entries", [])):
+            if not isinstance(item, dict):
+                raise DataError(f"{target}: entry {index} is not an object")
+            try:
+                entries.append(
+                    BaselineEntry(
+                        path=str(item["path"]),
+                        rule=str(item["rule"]),
+                        line_content=str(item["line_content"]),
+                        justification=str(
+                            item.get("justification", "")
+                        ),
+                    )
+                )
+            except KeyError as exc:
+                raise DataError(
+                    f"{target}: entry {index} is missing key {exc}"
+                ) from None
+        return cls(entries)
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: list[Finding],
+        justification: str = "TODO: justify this entry or fix the finding",
+    ) -> "Baseline":
+        """A baseline grandfathering every given finding (dedup'd)."""
+        entries: dict[tuple[str, str, str], BaselineEntry] = {}
+        for finding in findings:
+            entry = BaselineEntry(
+                path=finding.path,
+                rule=finding.rule,
+                line_content=finding.line_content,
+                justification=justification,
+            )
+            entries.setdefault(entry.key(), entry)
+        return cls(list(entries.values()))
+
+    def match(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[BaselineEntry]]:
+        """Stamp ``baselined`` on matched findings; return the stale
+        entries (those matching no finding) alongside."""
+        by_key = {entry.key(): entry for entry in self.entries}
+        used: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            key = (finding.path, finding.rule, finding.line_content)
+            if key in by_key:
+                finding.baselined = True
+                used.add(key)
+        stale = [entry for entry in self.entries if entry.key() not in used]
+        return findings, stale
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": BASELINE_FORMAT,
+            "version": BASELINE_FORMAT_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def write(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target

@@ -1,0 +1,112 @@
+"""Findings and report rendering for the invariant linter.
+
+A :class:`Finding` is one rule violation at one source location.  The
+``line_content`` field (the stripped source line) doubles as the
+baseline key: baselines match on *what the line says*, not on its
+line number, so unrelated edits that shift code up or down never
+invalidate a grandfathered entry (see :mod:`repro.analysis.baseline`).
+
+Reports render in two stable shapes: ``text`` (one
+``path:line:col RULEID message`` line per finding, the format every
+editor's error-matcher already understands) and ``json`` (a versioned
+envelope whose schema is pinned by tests — CI consumes it to surface
+finding counts in the job summary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.baseline import BaselineEntry
+
+__all__ = [
+    "REPORT_FORMAT",
+    "REPORT_FORMAT_VERSION",
+    "Finding",
+    "render_text",
+    "report_to_dict",
+]
+
+REPORT_FORMAT = "repro.analysis-report"
+REPORT_FORMAT_VERSION = 1
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is posix-style and relative to the scan root, ``line`` is
+    1-based and ``col`` 0-based (the :mod:`ast` convention).
+    ``baselined`` is stamped by :meth:`Baseline.match` — a baselined
+    finding is reported but does not fail the run.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    line_content: str = field(default="", repr=False)
+    baselined: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "baselined": self.baselined,
+        }
+
+
+def render_text(findings: list[Finding], stale: list["BaselineEntry"]) -> str:
+    """The human/editor report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in findings:
+        suffix = "  [baselined]" if finding.baselined else ""
+        lines.append(
+            f"{finding.location()} {finding.rule} "
+            f"{finding.message}{suffix}"
+        )
+    for entry in stale:
+        lines.append(
+            f"{entry.path} {entry.rule} stale baseline entry (no "
+            f"finding matches {entry.line_content!r}); remove it from "
+            "the baseline"
+        )
+    baselined = sum(1 for finding in findings if finding.baselined)
+    new = len(findings) - baselined
+    lines.append(
+        f"{len(findings)} finding(s): {new} new, {baselined} "
+        f"baselined; {len(stale)} stale baseline entr"
+        + ("y" if len(stale) == 1 else "ies")
+    )
+    return "\n".join(lines)
+
+
+def report_to_dict(
+    findings: list[Finding],
+    stale: list["BaselineEntry"],
+    rule_ids: list[str],
+) -> dict[str, Any]:
+    """The versioned JSON report envelope (schema pinned by tests)."""
+    baselined = sum(1 for finding in findings if finding.baselined)
+    return {
+        "format": REPORT_FORMAT,
+        "version": REPORT_FORMAT_VERSION,
+        "rules": list(rule_ids),
+        "counts": {
+            "total": len(findings),
+            "new": len(findings) - baselined,
+            "baselined": baselined,
+            "stale_baseline": len(stale),
+        },
+        "findings": [finding.to_dict() for finding in findings],
+        "stale_baseline": [entry.to_dict() for entry in stale],
+    }

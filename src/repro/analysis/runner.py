@@ -1,0 +1,123 @@
+"""File discovery and rule execution for ``repro analyze``.
+
+The runner walks the given paths (files taken as-is, directories
+recursed for ``*.py``), parses each file once, runs every applicable
+rule over the shared tree, and attaches the stripped source line to
+each finding so baselines can match on content rather than line
+number.  Findings come back sorted by ``(path, line, col, rule)`` —
+a stable order the text report, the JSON report, and the baseline
+all share.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULE_IDS, RULES, Rule, resolve_rules
+from repro.errors import DataError
+
+__all__ = [
+    "RULE_IDS",
+    "RULES",
+    "analyze_paths",
+    "discover_files",
+    "resolve_rules",
+]
+
+_SKIP_DIRS = frozenset({"__pycache__"})
+
+
+def discover_files(
+    paths: list[str | Path], root: Path | None = None
+) -> list[Path]:
+    """The python files under ``paths``, deduplicated and sorted.
+
+    Relative paths resolve against ``root`` (default: cwd).  A named
+    file is taken as-is — even without a ``.py`` suffix — so callers
+    can point the analyzer at scripts; directories recurse.  A path
+    that exists nowhere is a loud :class:`DataError`, not a silent
+    empty scan.
+    """
+    base = Path.cwd() if root is None else Path(root)
+    seen: set[Path] = set()
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = base / path
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not _SKIP_DIRS & set(candidate.parts)
+            )
+        else:
+            raise DataError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                files.append(candidate)
+    return sorted(files)
+
+
+def _relative_posix(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_paths(
+    paths: list[str | Path],
+    *,
+    root: str | Path | None = None,
+    rules: list[str] | None = None,
+) -> list[Finding]:
+    """Run the selected rules over ``paths``; all findings, sorted.
+
+    ``root`` anchors both relative-path resolution and the
+    root-relative ``Finding.path`` values (default: cwd), so reports
+    and baselines are stable regardless of where the command runs
+    from.  Unparseable files raise :class:`DataError` — a syntax
+    error would otherwise silently exempt a file from every rule.
+    """
+    base = Path.cwd() if root is None else Path(root)
+    selected = resolve_rules(rules)
+    findings: list[Finding] = []
+    for file_path in discover_files(paths, root=base):
+        rel = _relative_posix(file_path, base)
+        applicable = [rule for rule in selected if rule.applies_to(rel)]
+        if not applicable:
+            continue
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise DataError(f"cannot read {rel}: {exc}") from None
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            raise DataError(
+                f"cannot parse {rel}: {exc.msg} (line {exc.lineno})"
+            ) from None
+        lines = source.splitlines()
+        for rule in applicable:
+            for raw in rule.check(tree, rel):
+                content = ""
+                if 1 <= raw.line <= len(lines):
+                    content = lines[raw.line - 1].strip()
+                findings.append(
+                    Finding(
+                        path=rel,
+                        line=raw.line,
+                        col=raw.col,
+                        rule=raw.rule,
+                        message=raw.message,
+                        line_content=content,
+                    )
+                )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

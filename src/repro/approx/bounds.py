@@ -138,7 +138,9 @@ def correlation_margin(
     """
     if bottom_fraction <= epsilon_support:
         return 1.0
-    return min(1.0, 2.0 * epsilon_support / (bottom_fraction - epsilon_support))
+    return min(
+        1.0, 2.0 * epsilon_support / (bottom_fraction - epsilon_support)
+    )
 
 
 def support_interval(
@@ -202,9 +204,7 @@ class SampleBounds:
         tests = resolved.height + 1
         delta_per_test = delta / tests
         eps = hoeffding_epsilon(n_sample, delta_per_test)
-        fractions = tuple(
-            count / n_total for count in resolved.min_counts
-        )
+        fractions = tuple(count / n_total for count in resolved.min_counts)
         # Per level, the tighter of the two valid relaxations (both
         # monotone in the fraction, so the per-level non-increasing
         # threshold shape survives).

@@ -184,7 +184,8 @@ class ApproxMiner:
             self._inner = verify_backend.inner_name
         else:
             self._verify_backend = DeltaCounter(
-                self._store, inner=backend,
+                self._store,
+                inner=backend,
                 memory_budget_mb=memory_budget_mb,
             )
             self._inner = backend
@@ -235,9 +236,7 @@ class ApproxMiner:
                     max_rows=self._max_sample_rows,
                     memory_budget_mb=self._sample_memory_budget_mb,
                 )
-                sample_db = TransactionDatabase(
-                    list(draw.rows), taxonomy
-                )
+                sample_db = TransactionDatabase(list(draw.rows), taxonomy)
             bounds = SampleBounds.derive(
                 resolved, n_total, draw.n_rows, self._confidence
             )
@@ -281,9 +280,7 @@ class ApproxMiner:
                 for pattern in screened.patterns
             ]
             with Timer() as verify_timer:
-                verified, rejected = self._verify(
-                    screened.patterns, resolved
-                )
+                verified, rejected = self._verify(screened.patterns, resolved)
         stats = screened.stats
         stats.method = f"approx+{stats.method}"
         stats.elapsed_seconds = total_timer.seconds
@@ -317,9 +314,7 @@ class ApproxMiner:
                 ),
             },
         }
-        return MiningResult(
-            patterns=verified, stats=stats, config=config
-        )
+        return MiningResult(patterns=verified, stats=stats, config=config)
 
     def _candidate(
         self, pattern: FlippingPattern, bounds: SampleBounds
@@ -362,9 +357,7 @@ class ApproxMiner:
         verified: list[FlippingPattern] = []
         rejected = 0
         for pattern in patterns:
-            links = self._exact_links(
-                pattern, resolved, exact, node_supports
-            )
+            links = self._exact_links(pattern, resolved, exact, node_supports)
             if links is None:
                 rejected += 1
             else:

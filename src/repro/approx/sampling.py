@@ -120,9 +120,7 @@ def _stratified(
         for index in range(store.n_shards):
             size = store.shard_sizes[index]
             if flat_index < size:
-                rows.extend(
-                    store.shard_transactions_at(index, [flat_index])
-                )
+                rows.extend(store.shard_transactions_at(index, [flat_index]))
                 break
             flat_index -= size
     return rows
@@ -157,15 +155,11 @@ def draw_sample(
 ) -> SampleDraw:
     """Draw one deterministic sample from the store."""
     if not 0.0 < sample_rate <= 1.0:
-        raise ConfigError(
-            f"sample_rate must be in (0, 1], got {sample_rate}"
-        )
+        raise ConfigError(f"sample_rate must be in (0, 1], got {sample_rate}")
     key = method.strip().lower()
     if key not in SAMPLE_METHODS:
         known = ", ".join(SAMPLE_METHODS)
-        raise ConfigError(
-            f"unknown sample method {method!r}; known: {known}"
-        )
+        raise ConfigError(f"unknown sample method {method!r}; known: {known}")
     target, capped_by = _budgeted_target(
         store, sample_rate, max_rows, memory_budget_mb
     )

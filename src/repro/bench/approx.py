@@ -121,9 +121,7 @@ def run_approx_bench(
     if out_path is None:
         # A quick run must never silently overwrite the committed
         # full-scale baseline the CI gate compares against.
-        default = (
-            "BENCH_approx_quick.json" if quick else DEFAULT_OUT_PATH
-        )
+        default = "BENCH_approx_quick.json" if quick else DEFAULT_OUT_PATH
         out_path = os.environ.get("REPRO_BENCH_APPROX_OUT", default)
     scale = bench_scale()
     # 40x the global bench scale (capped at the paper's N = 100K,

@@ -13,8 +13,12 @@ from __future__ import annotations
 
 import math
 from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bench.harness import SweepResult
 
 __all__ = ["ascii_chart", "sweep_chart"]
 
@@ -96,9 +100,7 @@ def ascii_chart(
     for row in grid:
         lines.append("|" + "".join(row))
     lines.append("+" + "-" * (n_cols * col_width))
-    label_row = "".join(
-        str(label).center(col_width) for label in x_labels
-    )
+    label_row = "".join(str(label).center(col_width) for label in x_labels)
     lines.append(" " + label_row)
     legend = "   ".join(
         f"{_MARKERS[i % len(_MARKERS)]}={name}"
@@ -108,7 +110,9 @@ def ascii_chart(
     return "\n".join(lines)
 
 
-def sweep_chart(result, metric: str = "seconds", **kwargs: object) -> str:
+def sweep_chart(
+    result: SweepResult, metric: str = "seconds", **kwargs: object
+) -> str:
     """Chart one metric of a :class:`~repro.bench.harness.SweepResult`."""
     series = {
         method: result.metric(method, metric) for method in result.methods

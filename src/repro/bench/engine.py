@@ -20,6 +20,7 @@ import itertools
 import json
 import os
 import time
+from collections.abc import Callable
 from pathlib import Path
 
 from repro.bench.profiles import (
@@ -31,6 +32,7 @@ from repro.bench.profiles import (
 from repro.bench.report import ShapeCheck, format_table, render_checks
 from repro.core.counting import BitmapBackend
 from repro.core.flipper import FlipperMiner
+from repro.core.patterns import MiningResult
 from repro.datasets.groceries import GROCERIES_THRESHOLDS, generate_groceries
 from repro.datasets.synthetic import generate_synthetic
 
@@ -43,13 +45,15 @@ DEFAULT_OUT_PATH = "BENCH_engine.json"
 _REPEATS = 7
 
 
-def _pattern_fingerprint(result) -> str:
+def _pattern_fingerprint(result: MiningResult) -> str:
     return json.dumps(
         [pattern.to_dict() for pattern in result.patterns], sort_keys=True
     )
 
 
-def _time_counting(callable_, repeats: int = _REPEATS) -> float:
+def _time_counting(
+    callable_: Callable[[], object], repeats: int = _REPEATS
+) -> float:
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
@@ -82,9 +86,7 @@ def run_engine_smoke(
             for node, support in backend.node_supports(level).items()
             if support >= theta
         )
-        pairs = [
-            tuple(pair) for pair in itertools.combinations(frequent, 2)
-        ]
+        pairs = [tuple(pair) for pair in itertools.combinations(frequent, 2)]
         if pairs:
             workload.append((level, pairs))
     n_candidates = sum(len(pairs) for _level, pairs in workload)
@@ -104,7 +106,9 @@ def run_engine_smoke(
     # --- 2. serial vs process executor, full Flipper ------------------
     # The synthetic profile has no planted flips at tiny scales, so the
     # executor-parity half runs on the groceries simulator, which does.
-    grocery_db = generate_groceries(scale=min(1.0, max(0.1, bench_scale() * 10)))
+    grocery_db = generate_groceries(
+        scale=min(1.0, max(0.1, bench_scale() * 10))
+    )
     runs: dict[str, dict[str, object]] = {}
     fingerprints: dict[str, str] = {}
     workers = max(2, min(4, os.cpu_count() or 1))

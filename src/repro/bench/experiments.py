@@ -205,7 +205,9 @@ def run_fig8c(
     basic = result.metric("BASIC", "candidates")
     full = result.metric("FLIPPING+TPG+SIBP", "candidates")
     checks = [
-        check_monotone_series(result, "BASIC", "candidates", "increasing", 0.0),
+        check_monotone_series(
+            result, "BASIC", "candidates", "increasing", 0.0
+        ),
         ShapeCheck(
             "full Flipper under BASIC at every width",
             all(f <= b for f, b in zip(full, basic)),
@@ -438,7 +440,9 @@ def run_table4() -> tuple[str, list[dict[str, object]]]:
     data = []
     checks = []
     for name, database, thresholds in real_datasets():
-        miner = FlipperMiner(database, thresholds, pruning=PruningConfig.basic())
+        miner = FlipperMiner(
+            database, thresholds, pruning=PruningConfig.basic()
+        )
         result = miner.mine()
         positives = negatives = 0
         for _level, _k, cell in miner.iter_cells():

@@ -44,6 +44,7 @@ from repro.bench.profiles import (
 from repro.bench.report import ShapeCheck, format_table, render_checks
 from repro.core.flipper import FlipperMiner
 from repro.core.patterns import MiningResult
+from repro.core.thresholds import Thresholds
 from repro.data.database import TransactionDatabase
 from repro.data.shards import ShardedTransactionStore
 from repro.datasets.synthetic import generate_synthetic
@@ -73,7 +74,7 @@ def _fingerprint(result: MiningResult) -> str:
 def _probe(
     base_db: TransactionDatabase,
     delta_rows: list[tuple[str, ...]],
-    thresholds,
+    thresholds: Thresholds,
     directory: str,
 ) -> dict[str, object]:
     """One delta size: warm incremental update vs. cold full re-mine."""
@@ -130,9 +131,7 @@ def run_incremental_bench(
     largest_delta = max(_DELTA_PCTS)
     total = n_base + (n_base * largest_delta) // 100
     database = generate_synthetic(config.scaled(n_transactions=total))
-    rows = [
-        database.transaction_names(index) for index in range(total)
-    ]
+    rows = [database.transaction_names(index) for index in range(total)]
     base_db = TransactionDatabase(rows[:n_base], database.taxonomy)
     # Absolute minimum supports resolved against the final size keep
     # every run on identical thresholds (no incremental fallback, and
@@ -140,9 +139,7 @@ def run_incremental_bench(
     # is 7x the Fig. 8 default — a selective candidate space whose
     # labels are stable under stationary deltas — and γ = 0.2 (rather
     # than 0.3) keeps flipping chains alive on the synthetic data.
-    profile = tuple(
-        min(0.2, fraction * 7) for fraction in DEFAULT_MINSUP
-    )
+    profile = tuple(min(0.2, fraction * 7) for fraction in DEFAULT_MINSUP)
     thresholds = thresholds_for_profile(
         profile, gamma=0.2, epsilon=0.1, n_transactions=total
     )
@@ -153,15 +150,15 @@ def run_incremental_bench(
         with tempfile.TemporaryDirectory(
             prefix="repro-bench-incremental-"
         ) as tmp:
-            probes[f"delta={pct}%"] = _probe(
-                base_db, delta, thresholds, tmp
-            )
+            probes[f"delta={pct}%"] = _probe(base_db, delta, thresholds, tmp)
 
     speedup_10 = float(probes[f"delta={largest_delta}%"]["speedup"])  # type: ignore[arg-type]
     checks = [
         ShapeCheck(
             "updated patterns byte-identical to a full re-mine",
-            all(bool(probe["patterns_identical"]) for probe in probes.values()),
+            all(
+                bool(probe["patterns_identical"]) for probe in probes.values()
+            ),
             ", ".join(
                 f"{name}: {probe['n_patterns']} patterns"
                 for name, probe in probes.items()

@@ -42,6 +42,7 @@ import resource
 import sys
 import tempfile
 import time
+from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
@@ -171,9 +172,7 @@ def _partitioned_probe(config: dict[str, object]) -> dict[str, object]:
 
         warm_seconds = float("inf")
         for _ in range(_MINE_REPEATS):
-            warm_store = ShardedTransactionStore.open(
-                tmp, database.taxonomy
-            )
+            warm_store = ShardedTransactionStore.open(tmp, database.taxonomy)
             warm_miner = FlipperMiner(
                 warm_store,
                 GROCERIES_THRESHOLDS,
@@ -181,9 +180,7 @@ def _partitioned_probe(config: dict[str, object]) -> dict[str, object]:
             )
             start = time.perf_counter()
             warm = warm_miner.mine()
-            warm_seconds = min(
-                warm_seconds, time.perf_counter() - start
-            )
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
             warm_pool = warm_miner.context.backend.pool  # type: ignore[attr-defined]
 
         # admit-vs-rebuild microbenchmark: every image is on disk, so
@@ -195,16 +192,12 @@ def _partitioned_probe(config: dict[str, object]) -> dict[str, object]:
             start = time.perf_counter()
             for index in range(store.n_shards):
                 rebuild_pool.backend(index)
-            rebuild_seconds = min(
-                rebuild_seconds, time.perf_counter() - start
-            )
+            rebuild_seconds = min(rebuild_seconds, time.perf_counter() - start)
             admit_pool = ShardBackendPool(store)
             start = time.perf_counter()
             for index in range(store.n_shards):
                 admit_pool.backend(index)
-            admit_seconds = min(
-                admit_seconds, time.perf_counter() - start
-            )
+            admit_seconds = min(admit_seconds, time.perf_counter() - start)
             admits = admit_pool.image_admits
     return {
         "partitions": partitions,
@@ -228,12 +221,13 @@ def _partitioned_probe(config: dict[str, object]) -> dict[str, object]:
     }
 
 
-def _run_probe(probe, config: dict[str, object]) -> dict[str, object]:
+def _run_probe(
+    probe: Callable[[dict[str, object]], dict[str, object]],
+    config: dict[str, object],
+) -> dict[str, object]:
     """Run one probe in a fresh spawned subprocess (fresh RSS)."""
     context = multiprocessing.get_context("spawn")
-    with ProcessPoolExecutor(
-        max_workers=1, mp_context=context
-    ) as pool:
+    with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
         return pool.submit(probe, config).result()
 
 
@@ -245,9 +239,7 @@ def run_partition_bench(
     if out_path is None:
         # A quick run must never silently overwrite the committed
         # full-scale baseline the CI gate compares against.
-        default = (
-            "BENCH_partition_quick.json" if quick else DEFAULT_OUT_PATH
-        )
+        default = "BENCH_partition_quick.json" if quick else DEFAULT_OUT_PATH
         out_path = os.environ.get("REPRO_BENCH_PARTITION_OUT", default)
     scale = min(1.0, max(0.1, bench_scale() * 40))
     config: dict[str, object] = {

@@ -60,7 +60,12 @@ DEFAULT_EPSILON = 0.1
 
 #: Default minimum-support profile of the synthetic experiments
 #: (paper Section 5.1: theta = 1%, 0.1%, 0.05%, 0.01%).
-DEFAULT_MINSUP: tuple[float, float, float, float] = (0.01, 0.001, 0.0005, 0.0001)
+DEFAULT_MINSUP: tuple[float, float, float, float] = (
+    0.01,
+    0.001,
+    0.0005,
+    0.0001,
+)
 
 
 def bench_scale() -> float:

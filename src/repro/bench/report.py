@@ -23,7 +23,9 @@ __all__ = [
 ]
 
 
-def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
     """Plain ASCII table (no external deps)."""
     columns = [[str(h)] for h in headers]
     for row in rows:

@@ -35,7 +35,9 @@ import os
 import random
 import tempfile
 import time
+from collections.abc import Callable, Sequence
 from pathlib import Path
+from typing import Any
 
 from repro.bench.profiles import bench_scale
 from repro.bench.report import ShapeCheck, format_table, render_checks
@@ -139,9 +141,7 @@ def _link(
     )
 
 
-def synthetic_serve_result(
-    n_patterns: int, seed: int = 7
-) -> MiningResult:
+def synthetic_serve_result(n_patterns: int, seed: int = 7) -> MiningResult:
     """A deterministic corpus of ``n_patterns`` flipping patterns.
 
     Chains span the fixed category/group/item namespace: ~85% are
@@ -174,9 +174,7 @@ def synthetic_serve_result(
         signature = signature[: 3 if tall else 2]
         support = rng.randint(20, 2000)
         links: list[ChainLink] = []
-        chain_levels: list[list[tuple[int, str]]] = [
-            [_cat(c) for c in cats]
-        ]
+        chain_levels: list[list[tuple[int, str]]] = [[_cat(c) for c in cats]]
         if tall:
             chain_levels.append([_group(g) for g in groups])
         chain_levels.append(leaves)
@@ -215,14 +213,10 @@ def serve_workload(seed: int = 13) -> list[Query]:
     queries: list[Query] = []
     for _ in range(40):
         i = rng.randint(1, _N_ITEMS)
-        queries.append(
-            Query(contains_items=(_item(i)[1],), limit=50)
-        )
+        queries.append(Query(contains_items=(_item(i)[1],), limit=50))
     for _ in range(15):
         a, b = rng.sample(range(1, _N_ITEMS + 1), 2)
-        queries.append(
-            Query(contains_items=(_item(a)[1], _item(b)[1]))
-        )
+        queries.append(Query(contains_items=(_item(a)[1], _item(b)[1])))
     for _ in range(20):
         g = rng.randint(1, _N_GROUPS)
         queries.append(
@@ -283,7 +277,9 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[index]
 
 
-def _timed_pass(run, queries) -> tuple[list, dict[str, float]]:
+def _timed_pass(
+    run: Callable[[Query], Any], queries: Sequence[Query]
+) -> tuple[list[Any], dict[str, float]]:
     results = []
     latencies: list[float] = []
     for query in queries:
@@ -426,9 +422,7 @@ def _run_load(
             writer.write(
                 f"GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
             )
-        await asyncio.gather(
-            *(writer.drain() for _, writer in connections)
-        )
+        await asyncio.gather(*(writer.drain() for _, writer in connections))
         for reader, _writer in connections:
             await _read_http_response(reader)
         deadline = loop.time() + duration
@@ -506,9 +500,7 @@ def _run_load(
     return asyncio.run(main())
 
 
-def _spot_parity(
-    url: str, store: PatternStore, targets: list[str]
-) -> bool:
+def _spot_parity(url: str, store: PatternStore, targets: list[str]) -> bool:
     """The served ``/v1`` bytes equal the engine's answer, modulo
     transport: ``json.dumps(engine.execute(query).to_dict())`` plus
     the cursor field the route layer appends."""
@@ -543,9 +535,7 @@ def _concurrent_phase(
     parity = True
     for kind in ("threaded", "async"):
         store = PatternStore.build(result)
-        miner = _ScriptedMiner(
-            _update_generations(result, rounds, delta)
-        )
+        miner = _ScriptedMiner(_update_generations(result, rounds, delta))
         if kind == "threaded":
             server: PatternServer | AsyncPatternServer = PatternServer(
                 store, miner=miner
@@ -604,9 +594,7 @@ def run_serve_bench(
 ) -> tuple[str, dict]:
     """Run the serve bench; returns ``(report_text, data)``."""
     if out_path is None:
-        out_path = os.environ.get(
-            "REPRO_BENCH_SERVE_OUT", DEFAULT_OUT_PATH
-        )
+        out_path = os.environ.get("REPRO_BENCH_SERVE_OUT", DEFAULT_OUT_PATH)
     if concurrency is None:
         concurrency = int(
             os.environ.get(
@@ -633,15 +621,11 @@ def run_serve_bench(
     indexed_results, indexed = _timed_pass(
         lambda q: engine.execute(q, use_cache=False), queries
     )
-    scan_results, scan = _timed_pass(
-        lambda q: linear_scan(store, q), queries
-    )
+    scan_results, scan = _timed_pass(lambda q: linear_scan(store, q), queries)
     # Cache warm-up, then the steady-state cached pass.
     for query in queries:
         engine.execute(query)
-    cached_results, cached = _timed_pass(
-        lambda q: engine.execute(q), queries
-    )
+    cached_results, cached = _timed_pass(lambda q: engine.execute(q), queries)
 
     parity = all(
         a.ids == b.ids and a.total == b.total

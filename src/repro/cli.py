@@ -38,8 +38,8 @@ import argparse
 import json
 import sys
 import time
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Sequence
 
 from repro.bench.experiments import EXPERIMENTS
 from repro.core.flipper import (
@@ -489,6 +489,39 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--bottom-fraction", type=float, default=0.001,
         help="anchor for the suggested bottom-level support",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the repo invariant linter (FLIP rules: snapshot "
+             "immutability, async-blocking, atomic writes, error "
+             "contract, determinism, swap discipline)",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=["src", "scripts"],
+        help="files or directories to scan (default: src scripts)",
+    )
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    analyze.add_argument(
+        "--baseline", default=None,
+        help="baseline file of grandfathered findings "
+             "(default: analysis_baseline.json when present)",
+    )
+    analyze.add_argument(
+        "--rule", action="append", default=None, metavar="ID",
+        help="run only this rule (repeatable, e.g. --rule FLIP003)",
+    )
+    analyze.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and "
+             "exit 0 (entries start with a TODO justification)",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true",
+        help="list the rule catalogue and exit",
     )
 
     return parser
@@ -1273,6 +1306,63 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        RULES,
+        Baseline,
+        analyze_paths,
+        render_text,
+        report_to_dict,
+        resolve_rules,
+    )
+    from repro.errors import DataError
+
+    if args.list_rules:
+        for rule in (RULES[rule_id] for rule_id in sorted(RULES)):
+            print(f"{rule.id}  {rule.title}: {rule.contract}")
+        return 0
+
+    default_baseline = Path("analysis_baseline.json")
+    baseline_path: Path | None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if not args.write_baseline and not baseline_path.exists():
+            raise DataError(f"no such baseline file: {baseline_path}")
+    else:
+        baseline_path = (
+            default_baseline if default_baseline.exists() else None
+        )
+
+    selected = [rule.id for rule in resolve_rules(args.rule)]
+    findings = analyze_paths(args.paths, rules=args.rule)
+
+    if args.write_baseline:
+        target = baseline_path or default_baseline
+        Baseline.from_findings(findings).write(target)
+        print(
+            f"wrote {len(findings)} entr"
+            + ("y" if len(findings) == 1 else "ies")
+            + f" to {target}"
+        )
+        return 0
+
+    if baseline_path is not None:
+        findings, stale = Baseline.load(baseline_path).match(findings)
+    else:
+        stale = []
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                report_to_dict(findings, stale, selected), indent=2
+            )
+        )
+    else:
+        print(render_text(findings, stale))
+    failed = stale or any(not f.baselined for f in findings)
+    return 1 if failed else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1287,6 +1377,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "store": _cmd_store,
         "explain": _cmd_explain,
         "profile": _cmd_profile,
+        "analyze": _cmd_analyze,
     }
     try:
         return handlers[args.command](args)

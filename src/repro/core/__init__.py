@@ -9,7 +9,11 @@ from repro.core.counting import (
     NumpyBackend,
     make_backend,
 )
-from repro.core.flipper import FlipperMiner, PruningConfig, mine_flipping_patterns
+from repro.core.flipper import (
+    FlipperMiner,
+    PruningConfig,
+    mine_flipping_patterns,
+)
 from repro.core.invariance import (
     InvarianceRow,
     invariance_table,

@@ -1,0 +1,76 @@
+"""The one atomic-write idiom every persistence path flows through.
+
+Crash-safety contract (PR 6): a writer crash — or a full disk, or an
+interrupting signal — must never leave a torn file where a manifest,
+store, shard, or image used to be.  The idiom is the classic
+temp-sibling dance: write the full payload to a ``NamedTemporaryFile``
+in the *target's own directory* (``os.replace`` is only atomic within
+a filesystem), ``fsync`` so the bytes are durable before the rename
+makes them visible, then ``os.replace`` into place.  Readers see
+either the old complete file or the new complete file, never a
+mixture, and a failure unlinks the temp so nothing leaks next to the
+target.
+
+FLIP003 (``repro analyze``) enforces that write-mode ``open`` calls
+in the persistence layers only ever appear inside these helpers or a
+function that performs the rename itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+]
+
+
+def atomic_write_bytes(path: str | Path, chunks: bytes | list[bytes]) -> None:
+    """Write ``chunks`` to ``path`` atomically (temp + fsync +
+    :func:`os.replace`)."""
+    target = Path(path)
+    payload = [chunks] if isinstance(chunks, bytes) else chunks
+    handle = tempfile.NamedTemporaryFile(
+        mode="wb",
+        dir=target.parent,
+        prefix=f".{target.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            for chunk in payload:
+                handle.write(chunk)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        # Never leave the temp file behind next to the target.
+        try:
+            os.unlink(handle.name)
+        except FileNotFoundError:
+            pass
+        raise
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> None:
+    """Write ``text`` to ``path`` atomically."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(payload: Any, path: str | Path) -> None:
+    """Serialize ``payload`` as indented sorted-key JSON to ``path``
+    atomically.
+
+    (Argument order is historical — this predates the byte/text
+    helpers and callers across the tree pass ``payload`` first.)
+    """
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))

@@ -21,10 +21,11 @@ from repro.core.itemsets import generalize
 from repro.core.labels import Label, flips, label_for
 from repro.core.measures import Measure, get_measure
 from repro.core.patterns import ChainLink, FlippingPattern
-from repro.core.thresholds import Thresholds
+from repro.core.thresholds import ResolvedThresholds, Thresholds
 from repro.data.database import TransactionDatabase
 from repro.data.vertical import VerticalIndex
 from repro.errors import ConfigError
+from repro.taxonomy.tree import Taxonomy
 
 __all__ = ["mine_flipping_bruteforce"]
 
@@ -96,9 +97,9 @@ def _chain_for(
     ancestor_maps: dict[int, dict[int, int]],
     node_supports: dict[int, dict[int, int]],
     index: VerticalIndex,
-    resolved,
+    resolved: ResolvedThresholds,
     measure: Measure,
-    taxonomy,
+    taxonomy: Taxonomy,
 ) -> list[ChainLink] | None:
     """Build the full chain for one candidate, or None if it breaks."""
     links: list[ChainLink] = []

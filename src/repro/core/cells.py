@@ -80,7 +80,9 @@ class Cell:
     @property
     def n_labeled(self) -> int:
         """Number of signed (positive or negative) entries."""
-        return sum(1 for entry in self.entries.values() if entry.label.is_signed)
+        return sum(
+            1 for entry in self.entries.values() if entry.label.is_signed
+        )
 
     @property
     def n_alive(self) -> int:

@@ -123,13 +123,9 @@ class CountingBackend(Protocol):
         ...
 
 
-def _local_item_ids(
-    reader: ColumnarShard, taxonomy: Taxonomy
-) -> np.ndarray:
+def _local_item_ids(reader: ColumnarShard, taxonomy: Taxonomy) -> np.ndarray:
     """Global item id of every *local* item id of a columnar shard."""
-    id_by_name = {
-        taxonomy.name_of(item): item for item in taxonomy.item_ids
-    }
+    id_by_name = {taxonomy.name_of(item): item for item in taxonomy.item_ids}
     items = np.empty(len(reader.item_names), dtype=np.int64)
     for local, name in enumerate(reader.item_names):
         item = id_by_name.get(name)
@@ -205,9 +201,7 @@ class BitmapBackend:
         local_items = _local_item_ids(reader, taxonomy)
         row_index = reader.row_index()
         byte_index = row_index >> 3
-        bit_values = (1 << (row_index & 7).astype(np.uint8)).astype(
-            np.uint8
-        )
+        bit_values = (1 << (row_index & 7).astype(np.uint8)).astype(np.uint8)
         level_bits: dict[int, dict[int, int]] = {}
         for level in range(1, taxonomy.height + 1):
             mapping = taxonomy.item_ancestor_map(level)
@@ -478,9 +472,7 @@ class NumpyBackend:
                 or matrix.shape != (n_rows, len(nodes))
             ):
                 raise DataError("numpy image matrix shape mismatch")
-            columns = {
-                int(node_id): i for i, node_id in enumerate(nodes)
-            }
+            columns = {int(node_id): i for i, node_id in enumerate(nodes)}
             backend._levels[int(entry["level"])] = (matrix, columns)
         return backend
 
@@ -512,9 +504,7 @@ class NumpyBackend:
                 reader, local_items = self._columnar
                 if self._row_index is None:
                     self._row_index = reader.row_index()
-                matrix = np.zeros(
-                    (reader.n_rows, len(nodes)), dtype=bool
-                )
+                matrix = np.zeros((reader.n_rows, len(nodes)), dtype=bool)
                 if reader.n_values:
                     local_to_col = np.array(
                         [
@@ -523,9 +513,7 @@ class NumpyBackend:
                         ],
                         dtype=np.intp,
                     )
-                    matrix[
-                        self._row_index, local_to_col[reader.items]
-                    ] = True
+                    matrix[self._row_index, local_to_col[reader.items]] = True
             else:
                 if self._database is None and self._loader is not None:
                     self._database = self._loader()
@@ -769,9 +757,7 @@ class ShardBackendPool:
             if self._inner == "numpy":
                 total += n_nodes * n_rows  # bool matrix
             else:  # bitmap
-                total += n_nodes * (
-                    (n_rows + 7) // 8 + self._BITSET_OVERHEAD
-                )
+                total += n_nodes * ((n_rows + 7) // 8 + self._BITSET_OVERHEAD)
         return total
 
     def _estimate_bytes(self, index: int) -> int:
@@ -921,9 +907,7 @@ class ShardBackendPool:
                     reader, self._store.taxonomy
                 )
             if self._inner == "numpy":
-                return NumpyBackend.from_columnar(
-                    reader, self._store.taxonomy
-                )
+                return NumpyBackend.from_columnar(reader, self._store.taxonomy)
         database = self._store.shard_database(index)
         assert database is not None  # empty shards never reach here
         return make_backend(self._inner, database)
@@ -1053,9 +1037,7 @@ class PartitionedBackend:
             }
             for _index, backend in self._pool.iter_backends():
                 for lvl, counts in merged.items():
-                    for node_id, count in backend.node_supports(
-                        lvl
-                    ).items():
+                    for node_id, count in backend.node_supports(lvl).items():
                         counts[node_id] += count
             self._node_supports.update(merged)
         return self._node_supports[level]
@@ -1151,9 +1133,7 @@ class DeltaCounter(PartitionedBackend):
         #: shards [0, _counted) are folded into every cache below
         self._counted = store.n_shards
         #: level -> {itemset -> exact support over counted shards}
-        self._supports_cache: dict[
-            int, dict[tuple[int, ...], int]
-        ] = {}
+        self._supports_cache: dict[int, dict[tuple[int, ...], int]] = {}
         self._max_cached_itemsets = (
             None
             if memory_budget_mb is None
@@ -1313,9 +1293,7 @@ _BACKENDS = {
 }
 
 
-def make_backend(
-    name: str, database: TransactionDatabase
-) -> CountingBackend:
+def make_backend(name: str, database: TransactionDatabase) -> CountingBackend:
     """Instantiate a backend by name (``bitmap``, ``horizontal`` or
     ``numpy``)."""
     try:

@@ -106,9 +106,7 @@ def _split_database(
 def _side_index(
     database: TransactionDatabase, indices: Iterable[int]
 ) -> VerticalIndex:
-    transactions = [
-        database.transaction_names(index) for index in indices
-    ]
+    transactions = [database.transaction_names(index) for index in indices]
     side = TransactionDatabase(transactions, database.taxonomy)
     return VerticalIndex(side)
 
@@ -143,7 +141,9 @@ def mine_discriminative(
     Returns patterns sorted by descending correlation gap.
     """
     if not 0.0 <= epsilon < gamma <= 1.0:
-        raise ConfigError(f"need 0 <= epsilon < gamma <= 1, got ({gamma}, {epsilon})")
+        raise ConfigError(
+            f"need 0 <= epsilon < gamma <= 1, got ({gamma}, {epsilon})"
+        )
     if min_support < 1:
         raise ConfigError("min_support must be >= 1")
     if max_k < 2:
@@ -200,12 +200,24 @@ def mine_discriminative(
                     continue
                 surviving.append(itemset)
                 sub_side = _evaluate_side(
-                    measure, itemset, sub_sup, sub_supports,
-                    len(subgroup_ids), min_support, gamma, epsilon,
+                    measure,
+                    itemset,
+                    sub_sup,
+                    sub_supports,
+                    len(subgroup_ids),
+                    min_support,
+                    gamma,
+                    epsilon,
                 )
                 rest_side = _evaluate_side(
-                    measure, itemset, rest_sup, rest_supports,
-                    len(rest_ids), min_support, gamma, epsilon,
+                    measure,
+                    itemset,
+                    rest_sup,
+                    rest_supports,
+                    len(rest_ids),
+                    min_support,
+                    gamma,
+                    epsilon,
                 )
                 if flips(sub_side.label, rest_side.label):
                     patterns.append(

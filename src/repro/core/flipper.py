@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import os
 import tempfile
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -264,11 +264,17 @@ class FlipperMiner:
             self._height, self._database.n_transactions
         )
         self._measure = get_measure(measure)
-        self._pruning = pruning if pruning is not None else PruningConfig.full()
+        self._pruning = (
+            pruning if pruning is not None else PruningConfig.full()
+        )
         self._memory_budget_mb = memory_budget_mb
         if store is not None:
             self._init_partitioned(
-                store, backend, executor, workers, chunk_size,
+                store,
+                backend,
+                executor,
+                workers,
+                chunk_size,
                 memory_budget_mb,
             )
         else:
@@ -349,9 +355,7 @@ class FlipperMiner:
                     "pass partitions=N or a ShardedTransactionStore"
                 )
             if shard_dir is not None:
-                raise ConfigError(
-                    "shard_dir only applies with partitions=N"
-                )
+                raise ConfigError("shard_dir only applies with partitions=N")
             return None
         store, self._shard_tmpdir = open_or_partition_store(
             database, partitions, shard_dir
@@ -561,7 +565,7 @@ class FlipperMiner:
         self._last_result = result
         return result
 
-    def update(self, transactions) -> MiningResult:
+    def update(self, transactions: Iterable[Iterable[str]]) -> MiningResult:
         """Append a delta batch to the shard store and re-mine
         incrementally (see :class:`~repro.engine.incremental.
         IncrementalMiner`).
@@ -696,7 +700,9 @@ class FlipperMiner:
             cell_below = self._process_cell(2, k)
             if self._pruning.sibp:
                 self._apply_sibp(upper_level=1, lower_level=2, k=k)
-            if self._pruning.tpg and self._tpg_fires(cell_top, cell_below, k=k):
+            if self._pruning.tpg and self._tpg_fires(
+                cell_top, cell_below, k=k
+            ):
                 break
             if cell_top.n_frequent == 0:
                 # No frequent (1,k)-itemsets: anti-monotonicity kills every

@@ -87,9 +87,7 @@ def invariance_table(
     floor = max(item_supports)
     for n in n_values:
         if n < floor:
-            raise ConfigError(
-                f"N={n} below the largest item support {floor}"
-            )
+            raise ConfigError(f"N={n} below the largest item support {floor}")
     rows: list[InvarianceRow] = []
     for measure in MEASURES.values():
         for n in n_values:
@@ -141,9 +139,7 @@ def verify_mining_invariance(
     fractional thresholds.
     """
     values = thresholds.min_support
-    scalar = (
-        isinstance(values, (int, float)) and not isinstance(values, bool)
-    )
+    scalar = isinstance(values, (int, float)) and not isinstance(values, bool)
     entries = [values] if scalar else list(values)  # type: ignore[arg-type]
     if any(isinstance(entry, float) for entry in entries):
         raise ConfigError(

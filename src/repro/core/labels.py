@@ -74,8 +74,4 @@ def label_for(
 def flips(parent: Label, child: Label) -> bool:
     """True when two vertically consecutive labels alternate sign
     (paper Definition 2): one positive, the other negative."""
-    return (
-        parent.is_signed
-        and child.is_signed
-        and parent is not child
-    )
+    return parent.is_signed and child.is_signed and parent is not child

@@ -24,9 +24,8 @@ from __future__ import annotations
 
 import math
 import re
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.errors import ConfigError
 
@@ -144,7 +143,9 @@ class Measure:
     null_invariant: bool = True
     aliases: tuple[str, ...] = field(default_factory=tuple)
 
-    def __call__(self, sup_itemset: int, item_supports: Sequence[int]) -> float:
+    def __call__(
+        self, sup_itemset: int, item_supports: Sequence[int]
+    ) -> float:
         return self.fn(sup_itemset, item_supports)
 
 
@@ -222,7 +223,9 @@ def get_measure(measure: str | Measure) -> Measure:
 # ---------------------------------------------------------------------------
 
 
-def expected_support(item_supports: Sequence[int], n_transactions: int) -> float:
+def expected_support(
+    item_supports: Sequence[int], n_transactions: int
+) -> float:
     """Independence-model expectation ``N * prod(sup(a_i)/N)``."""
     if n_transactions <= 0:
         raise ConfigError("n_transactions must be positive")
@@ -236,7 +239,9 @@ def expected_support(item_supports: Sequence[int], n_transactions: int) -> float
     return expectation
 
 
-def lift(sup_itemset: int, item_supports: Sequence[int], n_transactions: int) -> float:
+def lift(
+    sup_itemset: int, item_supports: Sequence[int], n_transactions: int
+) -> float:
     """Observed over expected support; >1 reads "positive", <1 "negative"."""
     expectation = expected_support(item_supports, n_transactions)
     if expectation == 0.0:

@@ -9,6 +9,7 @@ callers can inspect the exact correlation trajectory the miner found.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -120,7 +121,9 @@ class FlippingPattern:
             f"(k={self.k}, signature {self.signature}, "
             f"min gap {self.min_gap:.3f})"
         )
-        return "\n".join([header] + ["  " + link.render() for link in self.links])
+        return "\n".join(
+            [header] + ["  " + link.render() for link in self.links]
+        )
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -142,9 +145,7 @@ class FlippingPattern:
         }
 
     def __str__(self) -> str:
-        return (
-            f"{{{', '.join(self.leaf_names)}}} [{self.signature}]"
-        )
+        return f"{{{', '.join(self.leaf_names)}}} [{self.signature}]"
 
 
 @dataclass
@@ -158,14 +159,16 @@ class MiningResult:
     def __len__(self) -> int:
         return len(self.patterns)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[FlippingPattern]:
         return iter(self.patterns)
 
     def by_size(self, k: int) -> list[FlippingPattern]:
         """Patterns with exactly ``k`` items."""
         return [pattern for pattern in self.patterns if pattern.k == k]
 
-    def sorted_by_gap(self, *, score: str = "min_gap") -> list[FlippingPattern]:
+    def sorted_by_gap(
+        self, *, score: str = "min_gap"
+    ) -> list[FlippingPattern]:
         """Patterns ordered by a flip-sharpness score, best first."""
         if score not in {"min_gap", "max_gap", "mean_gap"}:
             raise ValueError(f"unknown gap score {score!r}")

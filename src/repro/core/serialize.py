@@ -17,11 +17,10 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any
 
+from repro.core.atomicio import atomic_write_json
 from repro.core.labels import Label
 from repro.core.patterns import ChainLink, FlippingPattern, MiningResult
 from repro.core.stats import CellStats, MiningStats
@@ -173,37 +172,6 @@ def result_from_dict(raw: dict[str, Any]) -> MiningResult:
 # ---------------------------------------------------------------------------
 # files
 # ---------------------------------------------------------------------------
-
-
-def atomic_write_json(payload: Any, path: str | Path) -> None:
-    """Serialize ``payload`` to ``path`` atomically.
-
-    The JSON is written to a temporary sibling file and moved into
-    place with :func:`os.replace`, so a crash mid-write can never
-    leave a truncated or half-written document at ``path`` — readers
-    see either the old complete file or the new complete file.
-    """
-    target = Path(path)
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    handle = tempfile.NamedTemporaryFile(
-        mode="w",
-        encoding="utf-8",
-        dir=target.parent,
-        prefix=f".{target.name}.",
-        suffix=".tmp",
-        delete=False,
-    )
-    try:
-        with handle:
-            handle.write(text)
-        os.replace(handle.name, target)
-    except BaseException:
-        # Never leave the temp file behind next to the target.
-        try:
-            os.unlink(handle.name)
-        except FileNotFoundError:
-            pass
-        raise
 
 
 def save_result(result: MiningResult, path: str | Path) -> None:

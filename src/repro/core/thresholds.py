@@ -44,9 +44,7 @@ class ResolvedThresholds:
     def min_count(self, level: int) -> int:
         """Absolute minimum support at taxonomy level ``level`` (1-based)."""
         if not 1 <= level <= self.height:
-            raise ConfigError(
-                f"level {level} out of range [1, {self.height}]"
-            )
+            raise ConfigError(f"level {level} out of range [1, {self.height}]")
         return self.min_counts[level - 1]
 
 
@@ -137,7 +135,9 @@ class Thresholds:
         if height < 1:
             raise ConfigError(f"taxonomy height must be >= 1, got {height}")
         if n_transactions < 1:
-            raise ConfigError("cannot resolve thresholds for an empty database")
+            raise ConfigError(
+                "cannot resolve thresholds for an empty database"
+            )
         values = self._support_values()
         if len(values) == 1:
             values = values * height

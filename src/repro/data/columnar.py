@@ -36,7 +36,6 @@ import json
 import math
 import mmap
 import os
-import tempfile
 import weakref
 from collections.abc import Iterable
 from pathlib import Path
@@ -44,6 +43,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.atomicio import atomic_write_bytes
 from repro.errors import DataError
 from repro.taxonomy.tree import Taxonomy
 
@@ -111,16 +111,20 @@ def _pack_header(magic: bytes, header: dict[str, Any]) -> bytes:
     return raw + b"\x00" * (_pad_to(len(raw)) - len(raw))
 
 
-def _read_header(
-    path: Path, magic: bytes
-) -> tuple[dict[str, Any], int]:
-    """Parse a container header; returns ``(header, data_offset)``."""
-    with path.open("rb") as handle:
+def _read_header(path: Path, magic: bytes) -> tuple[dict[str, Any], int]:
+    """Parse a container header; returns ``(header, data_offset)``.
+
+    A missing or unreadable file raises :class:`DataError`, so the
+    public readers built on this never leak ``FileNotFoundError``.
+    """
+    try:
+        handle = path.open("rb")
+    except OSError as exc:
+        raise DataError(f"cannot read {path}: {exc}") from None
+    with handle:
         prefix = handle.read(len(magic) + 4)
         if prefix[: len(magic)] != magic:
-            raise DataError(
-                f"{path} is not a {magic.decode('ascii')} file"
-            )
+            raise DataError(f"{path} is not a {magic.decode('ascii')} file")
         length = int.from_bytes(prefix[len(magic) :], "little")
         payload = handle.read(length)
     if len(payload) != length:
@@ -136,23 +140,12 @@ def _read_header(
 
 def _atomic_write(path: Path, chunks: list[bytes]) -> None:
     """Write a file fully in a same-directory temp, then rename it
-    into place — the only mutation the directory ever observes."""
-    handle = tempfile.NamedTemporaryFile(
-        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp", delete=False
-    )
-    try:
-        with handle:
-            for chunk in chunks:
-                handle.write(chunk)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(handle.name, path)
-    except BaseException:
-        try:
-            os.unlink(handle.name)
-        except OSError:
-            pass
-        raise
+    into place — the only mutation the directory ever observes.
+
+    Kept as a module-level name (tests monkeypatch it for failure
+    injection); the implementation is the shared helper.
+    """
+    atomic_write_bytes(path, chunks)
 
 
 # ----------------------------------------------------------------------
@@ -178,9 +171,7 @@ def write_columnar_shard(
             encoded.append(local)
         locals_per_row.append(encoded)
     offsets = np.zeros(len(rows) + 1, dtype=np.int64)
-    np.cumsum(
-        [len(encoded) for encoded in locals_per_row], out=offsets[1:]
-    )
+    np.cumsum([len(encoded) for encoded in locals_per_row], out=offsets[1:])
     items = np.fromiter(
         (local for encoded in locals_per_row for local in encoded),
         dtype=np.int32,
@@ -220,14 +211,10 @@ class ColumnarShard:
             self._n_values = int(header["n_values"])
             names = header["item_names"]
         except KeyError as exc:
-            raise DataError(
-                f"{self._path}: header is missing {exc}"
-            ) from None
+            raise DataError(f"{self._path}: header is missing {exc}") from None
         if self._n_rows < 0 or self._n_values < 0:
             raise DataError(f"{self._path}: negative header counts")
-        self._item_names: tuple[str, ...] = tuple(
-            str(name) for name in names
-        )
+        self._item_names: tuple[str, ...] = tuple(str(name) for name in names)
         self._offsets_at = data_offset
         self._items_at = data_offset + _pad_to(8 * (self._n_rows + 1))
         expected = self._items_at + 4 * self._n_values
@@ -305,14 +292,10 @@ class ColumnarShard:
         out: list[tuple[str, ...]] = []
         for row in range(self._n_rows):
             start, stop = int(offsets[row]), int(offsets[row + 1])
-            out.append(
-                tuple(names[local] for local in items[start:stop])
-            )
+            out.append(tuple(names[local] for local in items[start:stop]))
         return out
 
-    def rows_at(
-        self, row_indices: Iterable[int]
-    ) -> list[tuple[str, ...]]:
+    def rows_at(self, row_indices: Iterable[int]) -> list[tuple[str, ...]]:
         """Decode only the selected rows (CSR random access).
 
         The point of the columnar layout for samplers: a k-row draw
@@ -329,9 +312,7 @@ class ColumnarShard:
                     f"{self._n_rows} row(s)"
                 )
             start, stop = int(offsets[row]), int(offsets[row + 1])
-            out.append(
-                tuple(names[local] for local in items[start:stop])
-            )
+            out.append(tuple(names[local] for local in items[start:stop]))
         return out
 
 

@@ -11,8 +11,7 @@ exposed here.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
-from typing import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.errors import DataError, TaxonomyError
 from repro.taxonomy.rebalance import rebalance_with_copies

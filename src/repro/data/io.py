@@ -15,6 +15,7 @@ import json
 from collections.abc import Iterable
 from pathlib import Path
 
+from repro.core.atomicio import atomic_write_text
 from repro.data.database import TransactionDatabase
 from repro.errors import DataError
 from repro.taxonomy.tree import Taxonomy
@@ -95,16 +96,20 @@ def save_transactions(
     path: str | Path,
     delimiter: str = ",",
 ) -> None:
-    """Save transactions in the format implied by the file suffix."""
+    """Save transactions in the format implied by the file suffix.
+
+    Writes are atomic (temp + ``os.replace``): an interrupted save
+    leaves the previous file intact, never a truncated one.
+    """
     path = Path(path)
     if path.suffix.lower() in {".jsonl", ".ndjson"}:
-        with path.open("w", encoding="utf-8") as handle:
-            for items in transactions:
-                handle.write(json.dumps(list(items)) + "\n")
+        text = "".join(
+            json.dumps(list(items)) + "\n" for items in transactions
+        )
+        atomic_write_text(path, text)
     else:
-        path.write_text(
-            format_basket_text(transactions, delimiter=delimiter),
-            encoding="utf-8",
+        atomic_write_text(
+            path, format_basket_text(transactions, delimiter=delimiter)
         )
 
 

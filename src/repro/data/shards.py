@@ -64,6 +64,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.atomicio import atomic_write_text
 from repro.data.columnar import ColumnarShard, write_columnar_shard
 from repro.data.database import TransactionDatabase
 from repro.errors import ConfigError, DataError
@@ -103,9 +104,7 @@ def estimate_transaction_bytes(transaction: Iterable[str]) -> int:
 def _check_format(format: str) -> str:
     if format not in SHARD_FORMATS:
         known = ", ".join(sorted(SHARD_FORMATS))
-        raise DataError(
-            f"unknown shard format {format!r}; known: {known}"
-        )
+        raise DataError(f"unknown shard format {format!r}; known: {known}")
     return format
 
 
@@ -544,9 +543,7 @@ class ShardedTransactionStore:
     def image_bytes(self, index: int) -> int:
         """Total on-disk size of every persisted image of one shard."""
         total = 0
-        for image in self._directory.glob(
-            f"{self._shard_files[index]}.*.img"
-        ):
+        for image in self._directory.glob(f"{self._shard_files[index]}.*.img"):
             try:
                 total += image.stat().st_size
             except OSError:
@@ -814,24 +811,9 @@ def _write_shard_file(
     if format == "columnar":
         write_columnar_shard(path, rows)
         return
-    handle = tempfile.NamedTemporaryFile(
-        dir=path.parent,
-        prefix=f".{path.name}.",
-        suffix=".tmp",
-        delete=False,
-        mode="w",
-        encoding="utf-8",
+    atomic_write_text(
+        path, "".join(json.dumps(list(row)) + "\n" for row in rows)
     )
-    try:
-        with handle:
-            for row in rows:
-                handle.write(json.dumps(list(row)) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(handle.name, path)
-    except BaseException:
-        _unlink_quietly(Path(handle.name))
-        raise
 
 
 def _read_jsonl_shard(path: Path) -> list[tuple[str, ...]]:
@@ -864,20 +846,7 @@ def _write_manifest(
         "shard_sizes": shard_sizes,
         "n_transactions": sum(shard_sizes),
     }
-    handle = tempfile.NamedTemporaryFile(
-        dir=directory,
-        prefix=f".{_MANIFEST_NAME}.",
-        suffix=".tmp",
-        delete=False,
-        mode="w",
-        encoding="utf-8",
+    atomic_write_text(
+        directory / _MANIFEST_NAME,
+        json.dumps(manifest, indent=2) + "\n",
     )
-    try:
-        with handle:
-            handle.write(json.dumps(manifest, indent=2) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(handle.name, directory / _MANIFEST_NAME)
-    except BaseException:
-        _unlink_quietly(Path(handle.name))
-        raise

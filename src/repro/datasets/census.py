@@ -27,6 +27,7 @@ the planted signatures are reproducible bit-for-bit.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterator
 
 from repro.core.thresholds import Thresholds
 from repro.data.database import TransactionDatabase
@@ -56,7 +57,13 @@ CENSUS_PLANTED: list[tuple[tuple[str, str], str]] = [
     (("age=60-65|occ=executive|sex=female", INCOME_HIGH), "-+-"),
 ]
 
-_OCCUPATIONS = ["craft-repair", "executive", "service", "admin", "professional"]
+_OCCUPATIONS = [
+    "craft-repair",
+    "executive",
+    "service",
+    "admin",
+    "professional",
+]
 _AGES = ["20-39", "40-59", "60-65"]
 _SEXES = ["male", "female"]
 
@@ -155,7 +162,9 @@ def census_taxonomy() -> Taxonomy:
     return Taxonomy.from_dict(tree)
 
 
-def _cells(scale: float):
+def _cells(
+    scale: float,
+) -> Iterator[tuple[str, str, str, str, int, int]]:
     """Yield (occupation, education, sex, age, income_high_count,
     income_low_count) population cells with exact integer counts."""
     for occupation in _OCCUPATIONS:

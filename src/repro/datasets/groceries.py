@@ -199,9 +199,13 @@ def generate_groceries(
     avoid = frozenset(name for x, y, _sig in chains for name in (x, y))
     for leaf_x, leaf_y, signature in chains:
         if signature == "+-+":
-            plant_pnp_chain(plan, taxonomy, leaf_x, leaf_y, base=base, avoid=avoid)
+            plant_pnp_chain(
+                plan, taxonomy, leaf_x, leaf_y, base=base, avoid=avoid
+            )
         else:
-            plant_npn_chain(plan, taxonomy, leaf_x, leaf_y, base=base, avoid=avoid)
+            plant_npn_chain(
+                plan, taxonomy, leaf_x, leaf_y, base=base, avoid=avoid
+            )
     _noise_blocks(plan, rng, round(2500 * scale), set(avoid))
     transactions = plan.materialize(rng)
     return TransactionDatabase(transactions, taxonomy)

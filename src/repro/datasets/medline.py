@@ -151,10 +151,15 @@ def _noise_blocks(
     are skipped entirely so the recipes stay exact."""
     pools: list[list[str]] = []
     for node in taxonomy.iter_nodes():
-        if node.level != 2 or node.is_copy or node.name in protected_categories:
+        if (
+            node.level != 2
+            or node.is_copy
+            or node.name in protected_categories
+        ):
             continue
         leaves = [
-            taxonomy.name_of(leaf) for leaf in taxonomy.item_leaves(node.node_id)
+            taxonomy.name_of(leaf)
+            for leaf in taxonomy.item_leaves(node.node_id)
         ]
         pools.append(leaves)
     for _ in range(n_citations):
@@ -205,11 +210,18 @@ def generate_medline(
             protected_categories.add(taxonomy.node(node.parent_id).name)
         if signature == "+-+":
             plant_pnp_chain(
-                plan, taxonomy, leaf_x, leaf_y, base=base, avoid=avoid,
+                plan,
+                taxonomy,
+                leaf_x,
+                leaf_y,
+                base=base,
+                avoid=avoid,
                 cousin_blocks=90,
             )
         else:
-            plant_npn_chain(plan, taxonomy, leaf_x, leaf_y, base=base, avoid=avoid)
+            plant_npn_chain(
+                plan, taxonomy, leaf_x, leaf_y, base=base, avoid=avoid
+            )
     _noise_blocks(
         plan, rng, round(12_000 * scale), protected_categories, taxonomy
     )

@@ -110,7 +110,11 @@ def movies_taxonomy() -> Taxonomy:
 
 
 def _plant_negative_genres_positive_movies(
-    plan: BlockPlan, movie_x: str, movie_y: str, genre_x: str, genre_y: str,
+    plan: BlockPlan,
+    movie_x: str,
+    movie_y: str,
+    genre_x: str,
+    genre_y: str,
     base: int,
 ) -> None:
     """The Fig. 2(a) shape: heavy single-genre fanbases keep the two
@@ -125,7 +129,11 @@ def _plant_negative_genres_positive_movies(
 
 
 def _plant_positive_genres_negative_movies(
-    plan: BlockPlan, movie_x: str, movie_y: str, genre_x: str, genre_y: str,
+    plan: BlockPlan,
+    movie_x: str,
+    movie_y: str,
+    genre_x: str,
+    genre_y: str,
     base: int,
 ) -> None:
     """Example 1's action/adventure claim with a leaf-level inversion:
@@ -164,7 +172,9 @@ def _noise_users(
         favorites = []
         primary = rng.choice(genres)
         favorites.extend(
-            rng.sample(pools[primary], rng.randint(1, min(3, len(pools[primary]))))
+            rng.sample(
+                pools[primary], rng.randint(1, min(3, len(pools[primary])))
+            )
         )
         if rng.random() < 0.25:
             secondary = rng.choice([g for g in genres if g != primary])

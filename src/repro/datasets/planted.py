@@ -96,7 +96,11 @@ def _relatives(
     sibling = None
     for child_id in category.children_ids:
         child = taxonomy.node(child_id)
-        if child.name != leaf_name and not child.is_copy and child.name not in avoid:
+        if (
+            child.name != leaf_name
+            and not child.is_copy
+            and child.name not in avoid
+        ):
             sibling = child.name
             break
     cousin = None

@@ -64,7 +64,9 @@ class SyntheticConfig:
         if self.height < 2:
             raise ConfigError("height must be >= 2")
         if self.n_roots < 2:
-            raise ConfigError("n_roots must be >= 2 (patterns span categories)")
+            raise ConfigError(
+                "n_roots must be >= 2 (patterns span categories)"
+            )
         if self.fanout < 1:
             raise ConfigError("fanout must be >= 1")
         min_leaves = self.n_roots * self.fanout ** max(self.height - 2, 0)
@@ -91,7 +93,7 @@ def generate_taxonomy(config: SyntheticConfig) -> Taxonomy:
     arithmetic allows."""
     edges: list[tuple[str, str]] = []
     current = [f"cat{r}" for r in range(config.n_roots)]
-    for level in range(2, config.height):
+    for _level in range(2, config.height):
         next_level = []
         for name in current:
             for j in range(config.fanout):

@@ -145,9 +145,7 @@ class IncrementalMiner:
         """The most recent mining result (``None`` before the first)."""
         return self._last_result
 
-    def seed(
-        self, result: MiningResult, resolved: ResolvedThresholds
-    ) -> None:
+    def seed(self, result: MiningResult, resolved: ResolvedThresholds) -> None:
         """Adopt a result already mined over the current store state
         (lets :meth:`~repro.core.flipper.FlipperMiner.update` hand over
         its first full mine instead of re-paying it)."""

@@ -100,9 +100,7 @@ def _count_shard(
     _WORKER_SCANS_REPORTED = _WORKER_POOL.scans
     rebuild_delta = _WORKER_POOL.rebuilds - _WORKER_REBUILDS_REPORTED
     _WORKER_REBUILDS_REPORTED = _WORKER_POOL.rebuilds
-    admit_delta = (
-        _WORKER_POOL.image_admits - _WORKER_IMAGE_ADMITS_REPORTED
-    )
+    admit_delta = _WORKER_POOL.image_admits - _WORKER_IMAGE_ADMITS_REPORTED
     _WORKER_IMAGE_ADMITS_REPORTED = _WORKER_POOL.image_admits
     return shard_index, counts, scan_delta, rebuild_delta, admit_delta
 
@@ -293,9 +291,7 @@ class PartitionedCountStage:
                 f"(got {type(executor).__name__})"
             )
         before = executor.shard_batches
-        state.supports = executor.supports(
-            state.task.level, state.candidates
-        )
+        state.supports = executor.supports(state.task.level, state.candidates)
         dispatched = executor.shard_batches - before
         extra = context.stats.extra
         extra["shard_batches"] = extra.get("shard_batches", 0) + dispatched

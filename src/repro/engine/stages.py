@@ -22,6 +22,8 @@ split along the data handoffs (see :mod:`repro.engine.plan`):
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro.core.candidates import (
     child_expansion_candidates,
     filter_banned,
@@ -107,7 +109,7 @@ class GenerateStage:
         level: int,
         alive_parents: list[tuple[int, ...]],
         children_of: dict[int, tuple[int, ...]],
-    ):
+    ) -> Callable[[int, int], bool]:
         """Build the ``pair_ok`` predicate for child expansion.
 
         Child expansion at k >= 3 is complete but loose: after

@@ -91,7 +91,9 @@ def _mine_single_path(
     """Single-path shortcut: every non-empty combination of the path
     nodes is frequent, supported by its deepest (least counted)
     member."""
-    budget = len(path) if max_k is None else min(len(path), max_k - len(suffix))
+    budget = (
+        len(path) if max_k is None else min(len(path), max_k - len(suffix))
+    )
     for size in range(1, budget + 1):
         for combo in itertools.combinations(path, size):
             support = min(node.count for node in combo)
@@ -116,8 +118,6 @@ def level_frequent_itemsets(
     """
     height = database.taxonomy.height
     if not 1 <= level <= height:
-        raise ConfigError(
-            f"level must be in [1, {height}], got {level}"
-        )
+        raise ConfigError(f"level must be in [1, {height}], got {level}")
     projection = database.project_to_level(level)
     return fp_growth(projection, min_count, max_k=max_k)

@@ -125,9 +125,7 @@ def mine_flipping_posthoc(
             report.frequent_per_level[level] = count_multi
 
         # Phase 3: keep the chains that alternate all the way down.
-        report.patterns = _extract_chains(
-            database, frequent, labels, height
-        )
+        report.patterns = _extract_chains(database, frequent, labels, height)
     report.elapsed_seconds = timer.seconds
     return report
 

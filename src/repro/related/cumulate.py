@@ -182,7 +182,5 @@ def mine_generalized_rules(
     are themselves ancestor-clean — which all subsets of an
     ancestor-clean itemset are.
     """
-    frequent = cumulate_frequent_itemsets(
-        database, min_support, max_k=max_k
-    )
+    frequent = cumulate_frequent_itemsets(database, min_support, max_k=max_k)
     return generate_rules(frequent, min_confidence)

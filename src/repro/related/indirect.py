@@ -60,9 +60,7 @@ class IndirectAssociation:
         )
 
 
-def _is_measure(
-    sup_joint: int, sup_item: int, sup_mediator: int
-) -> float:
+def _is_measure(sup_joint: int, sup_item: int, sup_mediator: int) -> float:
     """The IS dependence measure of [19] for item vs mediator —
     identical to the Cosine of the two-variable contingency, hence
     null-invariant."""
@@ -111,9 +109,7 @@ def mine_indirect_associations(
 
     height = database.taxonomy.height
     projection = database.project_to_level(height)
-    frequent = fp_growth(
-        projection, min_count, max_k=max_mediator_size + 1
-    )
+    frequent = fp_growth(projection, min_count, max_k=max_mediator_size + 1)
     # exact pair supports (including infrequent pairs) for the
     # direct-association screen
     pair_counts: dict[tuple[int, int], int] = {}

@@ -32,7 +32,9 @@ from repro.taxonomy.tree import Taxonomy
 __all__ = ["is_r_interesting", "prune_uninteresting", "ancestor_rules"]
 
 
-def _is_ancestor_or_self(taxonomy: Taxonomy, general: int, special: int) -> bool:
+def _is_ancestor_or_self(
+    taxonomy: Taxonomy, general: int, special: int
+) -> bool:
     return general == special or general in taxonomy.ancestors(special)
 
 
@@ -99,7 +101,9 @@ def is_r_interesting(
     """
     if r < 1.0:
         raise MiningError(f"interest factor R must be >= 1, got {r}")
-    left = _match_generalization(taxonomy, rule.antecedent, ancestor.antecedent)
+    left = _match_generalization(
+        taxonomy, rule.antecedent, ancestor.antecedent
+    )
     right = _match_generalization(
         taxonomy, rule.consequent, ancestor.consequent
     )

@@ -87,9 +87,7 @@ def mine_multilevel(
         resolved_thresholds = Thresholds(
             gamma=1.0, epsilon=0.0, min_support=list(thresholds)
         )
-        resolved = resolved_thresholds.resolve(
-            height, database.n_transactions
-        )
+        resolved = resolved_thresholds.resolve(height, database.n_transactions)
         min_counts = [resolved.min_count(h) for h in range(1, height + 1)]
     if max_k is not None and max_k < 1:
         raise ConfigError(f"max_k must be >= 1, got {max_k}")

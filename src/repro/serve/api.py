@@ -52,9 +52,10 @@ import json
 import logging
 import threading
 import time
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ConfigError, ReproError, ServeError
@@ -105,9 +106,7 @@ _ROUTE_PARAMS = ("cursor", "expect_version")
 
 def _parse_order(value: str) -> bool:
     if value not in ("asc", "desc"):
-        raise ConfigError(
-            f"order must be 'asc' or 'desc', got {value!r}"
-        )
+        raise ConfigError(f"order must be 'asc' or 'desc', got {value!r}")
     return value == "desc"
 
 
@@ -122,9 +121,7 @@ def query_from_params(params: dict[str, str]) -> Query:
     for key, raw in params.items():
         spec = _QUERY_PARAMS.get(key)
         if spec is None:
-            known = ", ".join(
-                sorted(_QUERY_PARAMS) + list(_ROUTE_PARAMS)
-            )
+            known = ", ".join(sorted(_QUERY_PARAMS) + list(_ROUTE_PARAMS))
             raise ConfigError(
                 f"unknown query parameter {key!r} (known: {known})"
             )
@@ -333,17 +330,11 @@ class PatternAPI:
                 error_payload(exc.code, str(exc), exc.detail),
             )
         except ServeError as exc:
-            answer = ApiResponse(
-                409, error_payload("conflict", str(exc))
-            )
+            answer = ApiResponse(409, error_payload("conflict", str(exc)))
         except ReproError as exc:
-            answer = ApiResponse(
-                400, error_payload("bad_request", str(exc))
-            )
+            answer = ApiResponse(400, error_payload("bad_request", str(exc)))
         except Exception as exc:  # pragma: no cover - defensive
-            logger.exception(
-                "unhandled error on %s %s", method, target
-            )
+            logger.exception("unhandled error on %s %s", method, target)
             answer = ApiResponse(
                 500,
                 error_payload("internal", f"internal error: {exc}"),
@@ -484,9 +475,7 @@ class PatternAPI:
     # the write path
     # ------------------------------------------------------------------
 
-    def _update_intent(
-        self, raw: bytes, versioned: bool
-    ) -> UpdateIntent:
+    def _update_intent(self, raw: bytes, versioned: bool) -> UpdateIntent:
         if self._miner is None:
             raise ApiError(
                 409,
@@ -546,9 +535,7 @@ class PatternAPI:
         except ServeError as exc:
             return ApiResponse(409, error_payload("conflict", str(exc)))
         except ReproError as exc:
-            return ApiResponse(
-                400, error_payload("bad_request", str(exc))
-            )
+            return ApiResponse(400, error_payload("bad_request", str(exc)))
         except Exception as exc:  # pragma: no cover - defensive
             logger.exception("update failed")
             return ApiResponse(

@@ -217,13 +217,9 @@ class AsyncPatternServer:
         assert self._idle_event is not None and self._queue is not None
         try:
             remaining = max(0.0, deadline - time.monotonic())
-            await asyncio.wait_for(
-                self._idle_event.wait(), timeout=remaining
-            )
+            await asyncio.wait_for(self._idle_event.wait(), timeout=remaining)
             remaining = max(0.0, deadline - time.monotonic())
-            await asyncio.wait_for(
-                self._queue.join(), timeout=remaining
-            )
+            await asyncio.wait_for(self._queue.join(), timeout=remaining)
         except asyncio.TimeoutError:
             logger.warning(
                 "drain timeout: %d request(s) in flight, "
@@ -241,9 +237,7 @@ class AsyncPatternServer:
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
-            await asyncio.gather(
-                *self._conn_tasks, return_exceptions=True
-            )
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
 
     def start(self) -> "AsyncPatternServer":
         """Run the event loop in a daemon thread (returns once bound)."""
@@ -412,9 +406,7 @@ class AsyncPatternServer:
                     exc.status,
                     error_payload("bad_request", str(exc)),
                 ).encode()
-                writer.write(
-                    _render(exc.status, body, {}, keep_alive=False)
-                )
+                writer.write(_render(exc.status, body, {}, keep_alive=False))
                 await writer.drain()
                 return
             if request is None:  # clean EOF between requests
@@ -546,9 +538,7 @@ def _render(
         lines.append(f"{name}: {value}")
     lines.append("Content-Type: application/json")
     lines.append(f"Content-Length: {len(body)}")
-    lines.append(
-        "Connection: " + ("keep-alive" if keep_alive else "close")
-    )
+    lines.append("Connection: " + ("keep-alive" if keep_alive else "close"))
     head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
     return head + body
 

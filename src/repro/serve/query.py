@@ -88,9 +88,7 @@ class Query:
     offset: int = 0
 
     def __post_init__(self) -> None:
-        items = tuple(
-            sorted({str(name) for name in self.contains_items})
-        )
+        items = tuple(sorted({str(name) for name in self.contains_items}))
         object.__setattr__(self, "contains_items", items)
         if self.sort_by not in MEASURE_GETTERS:
             known = ", ".join(sorted(MEASURE_GETTERS))
@@ -144,11 +142,10 @@ def matches(pattern: FlippingPattern, query: Query) -> bool:
         leaf = set(pattern.leaf_names)
         if not leaf.issuperset(query.contains_items):
             return False
-    if query.under_node is not None:
-        if not any(
-            query.under_node in link.names for link in pattern.links
-        ):
-            return False
+    if query.under_node is not None and not any(
+        query.under_node in link.names for link in pattern.links
+    ):
+        return False
     if query.min_height is not None and pattern.height < query.min_height:
         return False
     if query.max_height is not None and pattern.height > query.max_height:
@@ -251,9 +248,7 @@ def _order_and_paginate(
         # sorted(...)[:k]
         wanted = query.offset + query.limit
         if wanted < total:
-            page = heapq.nsmallest(wanted, candidates, key=key)[
-                query.offset :
-            ]
+            page = heapq.nsmallest(wanted, candidates, key=key)[query.offset :]
         else:
             page = sorted(candidates, key=key)[query.offset : wanted]
     return total, page

@@ -215,9 +215,7 @@ class PatternServer:
             if_none_match = request.headers.get("If-None-Match")
             if if_none_match:
                 headers["if-none-match"] = if_none_match
-            answer = self._api.dispatch(
-                method, request.path, body, headers
-            )
+            answer = self._api.dispatch(method, request.path, body, headers)
             if isinstance(answer, UpdateIntent):
                 with self._update_lock:
                     answer = self._api.run_update(answer)
@@ -235,9 +233,7 @@ class PatternServer:
                 self._inflight_cond.notify_all()
 
     @staticmethod
-    def _send(
-        request: BaseHTTPRequestHandler, answer: ApiResponse
-    ) -> None:
+    def _send(request: BaseHTTPRequestHandler, answer: ApiResponse) -> None:
         body = answer.encode()
         request.send_response(answer.status)
         for name, value in answer.headers.items():

@@ -298,9 +298,7 @@ class StoreSnapshot:
             incoming[pid] = pattern
         builder = _SnapshotBuilder(self)
         added = changed = unchanged = 0
-        removed_ids = [
-            pid for pid in self._patterns if pid not in incoming
-        ]
+        removed_ids = [pid for pid in self._patterns if pid not in incoming]
         for pid in removed_ids:
             builder.remove(pid)
         for pid, pattern in incoming.items():
@@ -392,9 +390,7 @@ class StoreSnapshot:
         """``[left, right)`` slice of the sorted ``measure`` array
         holding values in the inclusive ``[lo, hi]`` range."""
         array = self._sorted[measure]
-        left = (
-            0 if lo is None else bisect.bisect_left(array, (float(lo), ""))
-        )
+        left = 0 if lo is None else bisect.bisect_left(array, (float(lo), ""))
         right = (
             len(array)
             if hi is None
@@ -534,9 +530,7 @@ class PatternStore:
             )
             pid = pattern_id_of(pattern)
             if pid in builder:
-                raise ServeError(
-                    f"{target}: duplicate pattern id {pid!r}"
-                )
+                raise ServeError(f"{target}: duplicate pattern id {pid!r}")
             builder.insert(pid, pattern)
         store = cls()
         store._snap = builder.freeze(

@@ -15,6 +15,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.core.atomicio import atomic_write_text
 from repro.errors import TaxonomyError
 from repro.taxonomy.tree import Taxonomy
 
@@ -57,7 +58,11 @@ def format_edge_text(taxonomy: Taxonomy) -> str:
     for node in taxonomy.iter_nodes():
         if node.is_copy or node.level < 2:
             continue
-        parent = taxonomy.node(node.parent_id) if node.parent_id is not None else None
+        parent = (
+            taxonomy.node(node.parent_id)
+            if node.parent_id is not None
+            else None
+        )
         if parent is None:  # pragma: no cover - level >= 2 implies a parent
             continue
         lines.append(f"{parent.name}\t{node.name}")
@@ -89,11 +94,22 @@ def taxonomy_to_dict(taxonomy: Taxonomy) -> dict[str, Any]:
 
 
 def load_taxonomy(path: str | Path) -> Taxonomy:
-    """Load a taxonomy from ``.json`` (nested mapping) or edge text."""
+    """Load a taxonomy from ``.json`` (nested mapping) or edge text.
+
+    Raises :class:`TaxonomyError` for a missing/unreadable file or
+    malformed JSON — builtin exceptions never escape (error
+    contract).
+    """
     path = Path(path)
-    text = path.read_text(encoding="utf-8")
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TaxonomyError(f"cannot read taxonomy: {exc}") from None
     if path.suffix.lower() == ".json":
-        data = json.loads(text)
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TaxonomyError(f"{path} is not valid JSON: {exc}") from None
         if not isinstance(data, dict):
             raise TaxonomyError(f"{path}: JSON taxonomy must be an object")
         return Taxonomy.from_dict(data)
@@ -101,12 +117,16 @@ def load_taxonomy(path: str | Path) -> Taxonomy:
 
 
 def save_taxonomy(taxonomy: Taxonomy, path: str | Path) -> None:
-    """Write a taxonomy in the format implied by the file suffix."""
+    """Write a taxonomy in the format implied by the file suffix.
+
+    Writes are atomic (temp + ``os.replace``): an interrupted save
+    leaves the previous file intact, never a truncated one.
+    """
     path = Path(path)
     if path.suffix.lower() == ".json":
-        path.write_text(
+        atomic_write_text(
+            path,
             json.dumps(taxonomy_to_dict(taxonomy), indent=2, sort_keys=True),
-            encoding="utf-8",
         )
     else:
-        path.write_text(format_edge_text(taxonomy), encoding="utf-8")
+        atomic_write_text(path, format_edge_text(taxonomy))

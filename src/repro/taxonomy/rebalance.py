@@ -168,7 +168,9 @@ def contract_levels(
     return new, renames
 
 
-def truncate(taxonomy: Taxonomy, depth: int | None = None) -> tuple[Taxonomy, dict[str, str]]:
+def truncate(
+    taxonomy: Taxonomy, depth: int | None = None
+) -> tuple[Taxonomy, dict[str, str]]:
     """Variant A: cut the tree at ``depth`` (default: shallowest leaf).
 
     Returns ``(new_taxonomy, item_renames)`` where ``item_renames``

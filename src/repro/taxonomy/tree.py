@@ -67,11 +67,16 @@ class Taxonomy:
         names: list[str] = []
         seen: set[str] = set()
         for parent_name, child_name in edges:
-            if not isinstance(parent_name, str) or not isinstance(child_name, str):
+            if not isinstance(parent_name, str) or not isinstance(
+                child_name, str
+            ):
                 raise TaxonomyError("edge endpoints must be strings")
             if parent_name == child_name:
                 raise TaxonomyError(f"self-loop on node {child_name!r}")
-            if child_name in parent_of and parent_of[child_name] != parent_name:
+            if (
+                child_name in parent_of
+                and parent_of[child_name] != parent_name
+            ):
                 raise TaxonomyError(
                     f"node {child_name!r} has two parents: "
                     f"{parent_of[child_name]!r} and {parent_name!r}"
@@ -97,13 +102,19 @@ class Taxonomy:
         if not top_level:
             if not names:
                 raise TaxonomyError("taxonomy has no edges")
-            raise TaxonomyError("taxonomy contains a cycle (no top-level node)")
-        stack: list[tuple[str, TaxonomyNode]] = [(name, root) for name in reversed(top_level)]
+            raise TaxonomyError(
+                "taxonomy contains a cycle (no top-level node)"
+            )
+        stack: list[tuple[str, TaxonomyNode]] = [
+            (name, root) for name in reversed(top_level)
+        ]
         visited: set[str] = set()
         while stack:
             name, parent_node = stack.pop()
             if name in visited:
-                raise TaxonomyError(f"node {name!r} reachable twice (cycle or DAG)")
+                raise TaxonomyError(
+                    f"node {name!r} reachable twice (cycle or DAG)"
+                )
             visited.add(name)
             node = tax._add_node(name, parent=parent_node)
             for child in reversed(children_of.get(name, [])):
@@ -252,7 +263,9 @@ class Taxonomy:
         """Number of nodes excluding the root."""
         return len(self._nodes) - 1
 
-    def node_by_name(self, name: str, level: int | None = None) -> TaxonomyNode:
+    def node_by_name(
+        self, name: str, level: int | None = None
+    ) -> TaxonomyNode:
         """Look a node up by display name.
 
         With rebalancing copies several nodes can share a name; pass
@@ -422,7 +435,9 @@ class Taxonomy:
             if not node.is_leaf:
                 continue
             assert node.source_id is not None
-            mapping[node.source_id] = self.ancestor_at_level(node.node_id, level)
+            mapping[node.source_id] = self.ancestor_at_level(
+                node.node_id, level
+            )
         return mapping
 
     # ------------------------------------------------------------------
@@ -439,7 +454,9 @@ class Taxonomy:
             ids = self.nodes_at_level(level)
             preview = ", ".join(self._nodes[i].name for i in ids[:6])
             suffix = ", ..." if len(ids) > 6 else ""
-            lines.append(f"  level {level}: {len(ids)} nodes ({preview}{suffix})")
+            lines.append(
+                f"  level {level}: {len(ids)} nodes ({preview}{suffix})"
+            )
         return "\n".join(lines)
 
     def render(self, max_children: int = 10) -> str:

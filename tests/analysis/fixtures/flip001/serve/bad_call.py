@@ -1,0 +1,15 @@
+"""Known-bad: mutating calls against snapshot fields outside the builder."""
+
+import bisect
+
+
+def extend_sorted(snapshot, pattern_id):
+    snapshot._sorted["support"].append(pattern_id)  # FLIP001
+
+
+def insort_ids(snapshot, pattern_id):
+    bisect.insort(snapshot._ids, pattern_id)  # FLIP001
+
+
+def sneaky(snapshot):
+    setattr(snapshot, "_version", 99)  # FLIP001

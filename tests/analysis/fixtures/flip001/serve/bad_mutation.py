@@ -1,0 +1,14 @@
+"""Known-bad: direct writes to snapshot fields outside the builder."""
+
+
+def patch_in_place(snapshot, pattern_id, pattern):
+    snapshot._patterns[pattern_id] = pattern  # FLIP001
+
+
+def bump_version(snapshot):
+    snapshot._version = snapshot._version + 1  # FLIP001
+
+
+class Handler:
+    def rewrite(self, snapshot):
+        snapshot._by_item["milk"] = []  # FLIP001

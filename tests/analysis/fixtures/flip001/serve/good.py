@@ -1,0 +1,27 @@
+"""Known-good: only the builder and constructors touch snapshot fields."""
+
+
+class StoreSnapshot:
+    def __init__(self, patterns, version):
+        self._patterns = dict(patterns)
+        self._version = version
+
+
+class _SnapshotBuilder:
+    def __init__(self, snapshot):
+        self._patterns = dict(snapshot._patterns)
+        self._by_item = {}
+
+    def add(self, pattern_id, pattern):
+        # mutation inside the builder is the sanctioned path
+        self._patterns[pattern_id] = pattern
+        self._by_item.setdefault("x", []).append(pattern_id)
+
+    def freeze(self):
+        return StoreSnapshot(self._patterns, 1)
+
+
+def read_only(snapshot):
+    # reads never trip the rule
+    total = len(snapshot._patterns)
+    return total, snapshot._version

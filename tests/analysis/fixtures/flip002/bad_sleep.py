@@ -1,0 +1,13 @@
+"""Known-bad: sleeping and shelling out on the event loop."""
+
+import subprocess
+import time
+
+
+async def handler(payload):
+    time.sleep(0.5)  # FLIP002
+    return payload
+
+
+async def run_tool(args):
+    return subprocess.run(args, check=False)  # FLIP002

@@ -1,0 +1,18 @@
+"""Known-bad: sync file I/O, lock acquisition, and mining in async bodies."""
+
+
+async def load(path):
+    with open(path, encoding="utf-8") as handle:  # FLIP002
+        return handle.read()
+
+
+async def read_config(path):
+    return path.read_text(encoding="utf-8")  # FLIP002
+
+
+async def guarded(lock, store, result):
+    lock.acquire()  # FLIP002
+    try:
+        store.apply_result(result)  # FLIP002
+    finally:
+        lock.release()

@@ -1,0 +1,22 @@
+"""Known-good: async bodies delegate blocking work to the loop."""
+
+import asyncio
+import time
+
+
+async def handler(loop, api, payload):
+    await asyncio.sleep(0.01)
+    return await loop.run_in_executor(None, api.run_update, payload)
+
+
+async def locked(lock):
+    # an *awaited* acquire is an asyncio primitive, not a block
+    await lock.acquire()
+    lock.release()
+
+
+def sync_worker(path):
+    # sync code may block freely — the rule only watches async bodies
+    time.sleep(0.01)
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()

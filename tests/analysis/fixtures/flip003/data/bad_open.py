@@ -1,0 +1,13 @@
+"""Known-bad: raw write-mode opens with no rename in sight."""
+
+import json
+
+
+def save_store(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:  # FLIP003
+        json.dump(payload, handle)
+
+
+def append_log(path, line):
+    with path.open("a", encoding="utf-8") as handle:  # FLIP003
+        handle.write(line + "\n")

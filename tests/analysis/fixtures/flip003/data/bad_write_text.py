@@ -1,0 +1,11 @@
+"""Known-bad: one-shot write helpers are still torn by a crash."""
+
+import json
+
+
+def save_manifest(path, manifest):
+    path.write_text(json.dumps(manifest), encoding="utf-8")  # FLIP003
+
+
+def save_image(path, blob):
+    path.write_bytes(blob)  # FLIP003

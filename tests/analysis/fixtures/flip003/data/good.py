@@ -1,0 +1,33 @@
+"""Known-good: persistence writes flow through the atomic idiom."""
+
+import json
+import os
+import tempfile
+
+
+def atomic_write_text(path, text):
+    handle = tempfile.NamedTemporaryFile(
+        mode="w", dir=path.parent, delete=False
+    )
+    with handle:
+        handle.write(text)
+    os.replace(handle.name, path)
+
+
+def save_manifest(path, manifest):
+    atomic_write_text(path, json.dumps(manifest))
+
+
+def write_with_own_rename(path, rows):
+    # a function that performs os.replace itself owns the idiom
+    temp = path.with_suffix(".tmp")
+    with temp.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+    os.replace(temp, path)
+
+
+def read_only(path):
+    # read-mode opens are not writes
+    with path.open("r", encoding="utf-8") as handle:
+        return handle.read()

@@ -1,0 +1,8 @@
+"""Known-bad: a bare except swallows SystemExit and KeyboardInterrupt."""
+
+
+def load_optional(path):
+    try:
+        return path.read_text(encoding="utf-8")
+    except:  # noqa: E722  # FLIP004
+        return None

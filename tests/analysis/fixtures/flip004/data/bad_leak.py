@@ -1,0 +1,14 @@
+"""Known-bad: public functions leaking builtin exceptions."""
+
+import json
+
+
+def load_manifest(path):
+    text = path.read_text(encoding="utf-8")  # FLIP004
+    return json.loads(text)  # FLIP004
+
+
+def lookup(index, key):
+    if key not in index:
+        raise KeyError(key)  # FLIP004
+    return index[key]

@@ -1,0 +1,23 @@
+"""Known-good: public functions wrap builtins in the library error."""
+
+import json
+
+
+class DataError(Exception):
+    pass
+
+
+def load_manifest(path):
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DataError(f"cannot read manifest: {exc}") from None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{path} is not valid JSON: {exc}") from None
+
+
+def _scan_raw(path):
+    # private helpers may lean on the caller's guard
+    return json.loads(path.read_text(encoding="utf-8"))

@@ -1,0 +1,12 @@
+"""Known-bad: clock and RNG values baked into fingerprints."""
+
+import random
+import time
+
+
+def taxonomy_fingerprint(edges):
+    return f"{len(edges)}-{time.time()}"  # FLIP005
+
+
+def shard_header(rows):
+    return {"rows": len(rows), "nonce": random.random()}  # FLIP005

@@ -1,0 +1,25 @@
+"""Known-good: fingerprints from hashlib; clocks only outside them."""
+
+import hashlib
+import json
+import random
+import time
+
+
+def taxonomy_fingerprint(edges):
+    digest = hashlib.sha256()
+    digest.update(json.dumps(sorted(edges)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def sample_fingerprint_rows(rows, seed):
+    # a *seeded* stream is deterministic
+    rng = random.Random(seed)
+    return rng.sample(rows, min(10, len(rows)))
+
+
+def timed_run(job):
+    # wall-clock in non-serialization code is fine
+    start = time.time()
+    job()
+    return time.time() - start

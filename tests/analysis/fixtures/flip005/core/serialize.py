@@ -1,0 +1,11 @@
+"""Known-bad: a serialization module is deterministic wall to wall."""
+
+import uuid
+
+
+def envelope(payload):
+    return {
+        "id": str(uuid.uuid4()),  # FLIP005
+        "tag": hash(tuple(sorted(payload))),  # FLIP005
+        "payload": payload,
+    }

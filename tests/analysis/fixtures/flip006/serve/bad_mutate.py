@@ -1,0 +1,14 @@
+"""Known-bad: mutating a generation readers may have pinned."""
+
+
+class PatternStore:
+    def apply_result(self, pattern_id, pattern):
+        # even the sanctioned publisher may not mutate in place
+        self._snap._patterns[pattern_id] = pattern  # FLIP006
+
+    def evict(self, pattern_id):
+        self._snap._ids.remove(pattern_id)  # FLIP006
+
+
+def bump(store):
+    store._snap._version += 1  # FLIP006

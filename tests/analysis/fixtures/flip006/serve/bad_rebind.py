@@ -1,0 +1,9 @@
+"""Known-bad: rebinding the published reference outside the swap point."""
+
+
+class PatternStore:
+    def refresh(self, snapshot):
+        self._snap = snapshot  # FLIP006
+
+    def reset(self):
+        self._snap = None  # FLIP006

@@ -1,0 +1,18 @@
+"""Known-good: generations published by single atomic swap."""
+
+
+class PatternStore:
+    def __init__(self, snapshot):
+        self._snap = snapshot
+
+    def apply_result(self, result, builder):
+        builder.add(result)
+        next_snapshot = builder.freeze()
+        self._snap = next_snapshot
+
+    def open(self, path, loaded):
+        self._snap = loaded
+
+    def snapshot(self):
+        # readers pin the current generation with one read
+        return self._snap

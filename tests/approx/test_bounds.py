@@ -88,9 +88,7 @@ class TestCorrelationMargin:
         assert correlation_margin(0.02, 0.01) == 1.0
 
     def test_shrinks_with_common_items(self):
-        assert correlation_margin(0.01, 0.5) < correlation_margin(
-            0.01, 0.05
-        )
+        assert correlation_margin(0.01, 0.5) < correlation_margin(0.01, 0.05)
 
 
 class TestSupportInterval:
@@ -144,9 +142,7 @@ class TestSampleBounds:
         assert bounds.delta_per_test == pytest.approx(0.1 / 4)
 
     def test_interval_roundtrip(self):
-        bounds = SampleBounds.derive(
-            _resolved([0.01]), 100_000, 10_000, 0.95
-        )
+        bounds = SampleBounds.derive(_resolved([0.01]), 100_000, 10_000, 0.95)
         lo, hi = bounds.interval(100)
         assert lo <= 1_000 <= hi
 
@@ -180,9 +176,7 @@ class TestSampleBounds:
         resolved = _resolved(
             [0.02, 0.002], gamma=gamma, epsilon=0.1, n_total=n_total
         )
-        bounds = SampleBounds.derive(
-            resolved, n_total, n_sample, confidence
-        )
+        bounds = SampleBounds.derive(resolved, n_total, n_sample, confidence)
         assert bounds.epsilon_support > 0
         counts = bounds.sample_min_counts
         assert all(count >= 1 for count in counts)

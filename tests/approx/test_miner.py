@@ -33,9 +33,7 @@ from repro.serve import PatternStore, Query, QueryEngine, linear_scan
 
 
 def _fps(result) -> set[str]:
-    return {
-        json.dumps(p.to_dict(), sort_keys=True) for p in result.patterns
-    }
+    return {json.dumps(p.to_dict(), sort_keys=True) for p in result.patterns}
 
 
 @pytest.fixture(scope="module")
@@ -76,9 +74,7 @@ class TestExactness:
         approx = mine_flipping_patterns(
             groceries, GROCERIES_THRESHOLDS, sample_rate=0.5, sample_seed=1
         )
-        exact_by_leaf = {
-            p.leaf_names: p for p in exact_result.patterns
-        }
+        exact_by_leaf = {p.leaf_names: p for p in exact_result.patterns}
         assert approx.patterns, "sampled run found nothing to check"
         for pattern in approx.patterns:
             twin = exact_by_leaf[pattern.leaf_names]
@@ -91,8 +87,10 @@ class TestExactness:
 class TestCandidates:
     def test_intervals_cover_verified_supports(self, groceries):
         store_miner = FlipperMiner(
-            groceries, GROCERIES_THRESHOLDS,
-            sample_rate=0.5, sample_seed=2,
+            groceries,
+            GROCERIES_THRESHOLDS,
+            sample_rate=0.5,
+            sample_seed=2,
         )
         result = store_miner.mine()
         assert result.patterns
@@ -108,8 +106,10 @@ class TestCandidates:
 
     def test_candidate_dict_shape(self, groceries):
         miner = ApproxMiner(
-            groceries, GROCERIES_THRESHOLDS,
-            sample_rate=0.5, sample_seed=0,
+            groceries,
+            GROCERIES_THRESHOLDS,
+            sample_rate=0.5,
+            sample_seed=0,
         )
         miner.mine()
         assert miner.candidates
@@ -122,15 +122,15 @@ class TestCandidates:
 
     def test_config_reports_the_bound_math(self, groceries):
         result = mine_approximate(
-            groceries, GROCERIES_THRESHOLDS,
-            sample_rate=0.5, confidence=0.9,
+            groceries,
+            GROCERIES_THRESHOLDS,
+            sample_rate=0.5,
+            confidence=0.9,
         )
         info = result.config["approx"]
         assert info["confidence"] == 0.9
         assert info["n_candidates"] >= info["n_verified"]
-        assert info["n_candidates"] == (
-            info["n_verified"] + info["n_rejected"]
-        )
+        assert info["n_candidates"] == info["n_verified"] + info["n_rejected"]
         assert 0 < info["epsilon_support"] < 1
         assert result.stats.method.startswith("approx+")
         assert result.config["n_transactions"] == len(groceries)
@@ -150,17 +150,13 @@ class TestServingCompatibility:
 
 class TestFlipperMinerWiring:
     def test_implied_partitions_for_in_memory_database(self, groceries):
-        miner = FlipperMiner(
-            groceries, GROCERIES_THRESHOLDS, sample_rate=0.5
-        )
+        miner = FlipperMiner(groceries, GROCERIES_THRESHOLDS, sample_rate=0.5)
         result = miner.mine()
         assert result.config["partitions"] == 1
         assert result.config["executor"] == "approx"
 
     def test_update_after_approx_mine_is_exact(self, groceries):
-        rows = [
-            groceries.transaction_names(i) for i in range(len(groceries))
-        ]
+        rows = [groceries.transaction_names(i) for i in range(len(groceries))]
         base, delta = rows[:-60], rows[-60:]
         miner = FlipperMiner(
             TransactionDatabase(base, groceries.taxonomy),
@@ -190,9 +186,7 @@ class TestFlipperMinerWiring:
 
     def test_sample_options_require_sample_rate(self, groceries):
         with pytest.raises(ConfigError, match="sample_rate"):
-            FlipperMiner(
-                groceries, GROCERIES_THRESHOLDS, confidence=0.9
-            )
+            FlipperMiner(groceries, GROCERIES_THRESHOLDS, confidence=0.9)
         with pytest.raises(ConfigError, match="sample_rate"):
             FlipperMiner(
                 groceries, GROCERIES_THRESHOLDS, sample_method="reservoir"
@@ -201,17 +195,17 @@ class TestFlipperMinerWiring:
     @pytest.mark.parametrize("rate", [0.0, -1.0, 1.01])
     def test_rejects_bad_sample_rate(self, groceries, rate):
         with pytest.raises(ConfigError, match="sample_rate"):
-            FlipperMiner(
-                groceries, GROCERIES_THRESHOLDS, sample_rate=rate
-            )
+            FlipperMiner(groceries, GROCERIES_THRESHOLDS, sample_rate=rate)
 
 
 class TestApproxMinerErrors:
     def test_rejects_bad_confidence(self, groceries):
         with pytest.raises(ConfigError, match="confidence"):
             ApproxMiner(
-                groceries, GROCERIES_THRESHOLDS,
-                sample_rate=0.5, confidence=1.0,
+                groceries,
+                GROCERIES_THRESHOLDS,
+                sample_rate=0.5,
+                confidence=1.0,
             )
 
     def test_rejects_foreign_verify_backend(self, groceries, tmp_path):
@@ -234,9 +228,7 @@ class TestApproxMinerErrors:
         impossible = Thresholds(
             gamma=0.99, epsilon=0.98, min_support=[0.9, 0.9, 0.9]
         )
-        result = mine_approximate(
-            groceries, impossible, sample_rate=0.5
-        )
+        result = mine_approximate(groceries, impossible, sample_rate=0.5)
         assert result.patterns == []
         assert result.config["approx"]["n_candidates"] == 0
 

@@ -122,7 +122,5 @@ class TestSampleDraw:
 
     def test_sampled_rows_bind_to_the_taxonomy(self, store):
         draw = draw_sample(store, 0.2, seed=6)
-        database = TransactionDatabase(
-            list(draw.rows), store.taxonomy
-        )
+        database = TransactionDatabase(list(draw.rows), store.taxonomy)
         assert database.n_transactions == draw.n_rows

@@ -46,7 +46,9 @@ def test_approx_bench_quick_writes_baseline(tmp_path):
         + on_disk["exact_pool_image_admits"]
     )
     assert set(on_disk["phase_seconds"]) == {
-        "sample", "screen", "verify",
+        "sample",
+        "screen",
+        "verify",
     }
 
 

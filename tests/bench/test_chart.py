@@ -46,9 +46,7 @@ class TestAsciiChart:
         assert "(linear)" in chart
 
     def test_explicit_log_override(self):
-        chart = ascii_chart(
-            {"flat": [5, 6, 7]}, x_labels=[1, 2, 3], log=True
-        )
+        chart = ascii_chart({"flat": [5, 6, 7]}, x_labels=[1, 2, 3], log=True)
         assert "(log)" in chart
 
     def test_top_series_occupies_top_row(self):
@@ -58,9 +56,7 @@ class TestAsciiChart:
             height=5,
             log=False,
         )
-        rows = [
-            line for line in chart.splitlines() if line.startswith("|")
-        ]
+        rows = [line for line in chart.splitlines() if line.startswith("|")]
         assert "o" in rows[0]      # "high" sorts first -> marker o, max row
         assert "x" in rows[-1]     # "low" on the bottom row
 
@@ -71,9 +67,7 @@ class TestAsciiChart:
         assert "*" in chart
 
     def test_x_labels_present(self):
-        chart = ascii_chart(
-            {"s": [1, 2]}, x_labels=["thr1", "thr2"]
-        )
+        chart = ascii_chart({"s": [1, 2]}, x_labels=["thr1", "thr2"])
         assert "thr1" in chart and "thr2" in chart
 
 

@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro import PruningConfig, Thresholds
-from repro.bench.harness import LADDER, RunRecord, run_ladder, run_method, sweep
+from repro.bench.harness import (
+    LADDER,
+    RunRecord,
+    run_ladder,
+    run_method,
+    sweep,
+)
 from repro.bench.report import (
     check_ladder_ordering,
     check_monotone_series,

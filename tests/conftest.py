@@ -116,9 +116,7 @@ def taxonomy_trees(draw):
     return tree, leaves
 
 
-def _random_rows(
-    leaves: list[str], seed: int, n: int
-) -> list[list[str]]:
+def _random_rows(leaves: list[str], seed: int, n: int) -> list[list[str]]:
     rng = random.Random(seed)
     return [
         rng.sample(leaves, rng.randint(1, min(4, len(leaves))))

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Taxonomy, Thresholds, TransactionDatabase, mine_flipping_bruteforce
+from repro import (
+    Taxonomy,
+    Thresholds,
+    TransactionDatabase,
+    mine_flipping_bruteforce,
+)
 from repro.errors import ConfigError
 
 

@@ -73,7 +73,9 @@ class TestTheorem2:
     def test_preconditions_and_conclusion(self, simple_supports):
         # item 3 has the smallest support; gamma above every pair corr
         gamma = 0.9
-        if theorem2_preconditions("kulc", (1, 2, 3), 3, gamma, simple_supports):
+        if theorem2_preconditions(
+            "kulc", (1, 2, 3), 3, gamma, simple_supports
+        ):
             assert theorem2_conclusion_holds(
                 "kulc", (1, 2, 3), gamma, simple_supports
             )

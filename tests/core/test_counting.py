@@ -143,9 +143,7 @@ class TestDeltaCounter:
 
         counter = DeltaCounter(store)
         before = dict(counter.node_supports(2))
-        delta = [
-            random_db.transaction_names(index) for index in range(40)
-        ]
+        delta = [random_db.transaction_names(index) for index in range(40)]
         store.append_batch(delta)
         after = counter.node_supports(2)
         oracle = PartitionedBackend(store).node_supports(2)
@@ -165,9 +163,7 @@ class TestDeltaCounter:
         ][:12]
         first = counter.supports_batched(2, itemsets)
         assert counter.cache_misses == len(itemsets)
-        delta = [
-            random_db.transaction_names(index) for index in range(25)
-        ]
+        delta = [random_db.transaction_names(index) for index in range(25)]
         store.append_batch(delta)
         second = counter.supports_batched(2, itemsets)
         # second pass is all hits: no itemset was recounted in full
@@ -297,9 +293,7 @@ class TestBackendImageAdmits:
         return pool
 
     @pytest.mark.parametrize("inner", ["bitmap", "numpy"])
-    def test_image_admit_counts_match_build(
-        self, store, random_db, inner
-    ):
+    def test_image_admit_counts_match_build(self, store, random_db, inner):
         from repro.core.counting import ShardBackendPool, make_backend
 
         self._imaged_store(store, inner)
@@ -412,9 +406,7 @@ class TestBudgetRespected:
             random_db, tmp_path, 4
         )
 
-    def test_resident_bytes_track_budget_within_ten_percent(
-        self, store
-    ):
+    def test_resident_bytes_track_budget_within_ten_percent(self, store):
         from repro.core.counting import ShardBackendPool
 
         probe = ShardBackendPool(store)
@@ -492,9 +484,7 @@ class TestDeltaCounterCacheCap:
         # uncached entries are recounted, still exactly
         assert counter.supports_batched(2, itemsets) == oracle
 
-    def test_unbudgeted_counter_memoizes_everything(
-        self, random_db, tmp_path
-    ):
+    def test_unbudgeted_counter_memoizes_everything(self, random_db, tmp_path):
         from repro.core.counting import DeltaCounter
         from repro.data.shards import ShardedTransactionStore
 

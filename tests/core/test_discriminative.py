@@ -31,9 +31,7 @@ class TestMineDiscriminative:
         patterns = mine_discriminative(
             split_db, SUBGROUP, gamma=0.5, epsilon=0.2
         )
-        leaf_hits = [
-            p for p in patterns if set(p.names) == {"cola", "soap"}
-        ]
+        leaf_hits = [p for p in patterns if set(p.names) == {"cola", "soap"}]
         assert leaf_hits
         hit = leaf_hits[0]
         assert hit.subgroup.label.is_positive

@@ -41,8 +41,12 @@ class TestPruningConfig:
 class TestPaperExample:
     """Example 3 / Figs. 4-5: the ground truth of the whole pipeline."""
 
-    @pytest.mark.parametrize("cfg", PruningConfig.ladder(), ids=lambda c: c.name)
-    def test_unique_pattern_all_methods(self, example3_db, example3_thresholds, cfg):
+    @pytest.mark.parametrize(
+        "cfg", PruningConfig.ladder(), ids=lambda c: c.name
+    )
+    def test_unique_pattern_all_methods(
+        self, example3_db, example3_thresholds, cfg
+    ):
         result = mine_flipping_patterns(
             example3_db, example3_thresholds, pruning=cfg
         )
@@ -66,7 +70,9 @@ class TestPaperExample:
         assert pattern.links[0].names == ("a", "b")
         assert pattern.links[1].names == ("a1", "b1")
 
-    def test_pruning_reduces_candidates(self, example3_db, example3_thresholds):
+    def test_pruning_reduces_candidates(
+        self, example3_db, example3_thresholds
+    ):
         counts = {}
         for cfg in PruningConfig.ladder():
             result = mine_flipping_patterns(
@@ -113,7 +119,13 @@ class TestBackendsAgree:
 class TestMeasures:
     @pytest.mark.parametrize(
         "measure",
-        ["all_confidence", "coherence", "cosine", "kulczynski", "max_confidence"],
+        [
+            "all_confidence",
+            "coherence",
+            "cosine",
+            "kulczynski",
+            "max_confidence",
+        ],
     )
     def test_all_measures_run(self, example3_db, measure):
         thresholds = Thresholds(gamma=0.5, epsilon=0.3, min_support=1)
@@ -137,9 +149,7 @@ class TestThresholdEffects:
 
     def test_high_support_kills_pattern(self, example3_db):
         # {a1,b1} has support 2; requiring 3 at level 2 breaks the chain
-        thresholds = Thresholds(
-            gamma=0.6, epsilon=0.35, min_support=[3, 3, 1]
-        )
+        thresholds = Thresholds(gamma=0.6, epsilon=0.35, min_support=[3, 3, 1])
         result = mine_flipping_patterns(example3_db, thresholds)
         assert result.patterns == []
 

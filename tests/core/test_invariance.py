@@ -39,15 +39,11 @@ class TestInvarianceTable:
         """sup(A)=sup(B)=1000, sup(AB)=400: Kulc = 0.40 at any N, lift
         flips from positive (N=20000) to negative (N=2000)."""
         rows = invariance_table(400, [1000, 1000], [2_000, 20_000])
-        kulc = {
-            r.n_transactions: r for r in rows if r.measure == "kulczynski"
-        }
+        kulc = {r.n_transactions: r for r in rows if r.measure == "kulczynski"}
         assert kulc[2_000].value == pytest.approx(0.40)
         assert kulc[20_000].value == pytest.approx(0.40)
         assert kulc[2_000].sign == kulc[20_000].sign == "positive"
-        the_lift = {
-            r.n_transactions: r for r in rows if r.measure == "lift"
-        }
+        the_lift = {r.n_transactions: r for r in rows if r.measure == "lift"}
         assert the_lift[20_000].sign == "positive"
         assert the_lift[2_000].sign == "negative"
 
@@ -58,9 +54,7 @@ class TestInvarianceTable:
         kulc = [r for r in rows if r.measure == "kulczynski"]
         assert all(r.sign == "negative" for r in kulc)
         assert all(r.value == pytest.approx(0.02) for r in kulc)
-        the_lift = {
-            r.n_transactions: r for r in rows if r.measure == "lift"
-        }
+        the_lift = {r.n_transactions: r for r in rows if r.measure == "lift"}
         assert the_lift[20_000].sign == "positive"
         assert the_lift[2_000].sign == "negative"
 

@@ -66,11 +66,23 @@ class TestPairValues:
         assert coherence(2, [4, 8]) == pytest.approx(1 / 3)
 
     def test_identical_items_give_one(self):
-        for fn in (all_confidence, coherence, cosine, kulczynski, max_confidence):
+        for fn in (
+            all_confidence,
+            coherence,
+            cosine,
+            kulczynski,
+            max_confidence,
+        ):
             assert fn(5, [5, 5]) == pytest.approx(1.0)
 
     def test_zero_support_itemset(self):
-        for fn in (all_confidence, coherence, cosine, kulczynski, max_confidence):
+        for fn in (
+            all_confidence,
+            coherence,
+            cosine,
+            kulczynski,
+            max_confidence,
+        ):
             assert fn(0, [5, 7]) == 0.0
 
 

@@ -88,9 +88,7 @@ class TestMiningResult:
                 link(3, ("c11", "d11"), 0.99, Label.POSITIVE),
             )
         )
-        result = MiningResult(
-            patterns=[pattern, sharper], stats=MiningStats()
-        )
+        result = MiningResult(patterns=[pattern, sharper], stats=MiningStats())
         ranked = result.sorted_by_gap()
         assert ranked[0] is sharper
 

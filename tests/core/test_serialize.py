@@ -131,7 +131,7 @@ class TestAtomicSave:
     ):
         """A failure before the final os.replace must leave the
         previous complete archive untouched and clean up its temp."""
-        import repro.core.serialize as serialize
+        import repro.core.atomicio as atomicio
 
         path = tmp_path / "run.json"
         save_result(toy_result, path)
@@ -140,7 +140,7 @@ class TestAtomicSave:
         def crash(src, dst):
             raise OSError("disk full")
 
-        monkeypatch.setattr(serialize.os, "replace", crash)
+        monkeypatch.setattr(atomicio.os, "replace", crash)
         with pytest.raises(OSError, match="disk full"):
             save_result(toy_result, path)
         monkeypatch.undo()
@@ -173,9 +173,7 @@ class TestVersionMessages:
         with pytest.raises(DataError, match="unsupported format version"):
             result_from_dict(raw)
 
-    def test_load_result_reports_offending_path(
-        self, toy_result, tmp_path
-    ):
+    def test_load_result_reports_offending_path(self, toy_result, tmp_path):
         path = tmp_path / "future.json"
         raw = result_to_dict(toy_result)
         raw["version"] = FORMAT_VERSION + 1

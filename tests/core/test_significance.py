@@ -76,9 +76,7 @@ class TestPatternSignificance:
     def test_stricter_alpha_keeps_fewer(self, mined):
         database, result = mined
         loose = significant_patterns(database, result.patterns, alpha=0.05)
-        strict = significant_patterns(
-            database, result.patterns, alpha=1e-12
-        )
+        strict = significant_patterns(database, result.patterns, alpha=1e-12)
         assert len(strict) <= len(loose)
 
     def test_alpha_validated(self, mined):

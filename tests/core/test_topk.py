@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Thresholds, mine_flipping_patterns, mine_top_k, top_k_most_flipping
+from repro import (
+    Thresholds,
+    mine_flipping_patterns,
+    mine_top_k,
+    top_k_most_flipping,
+)
 from repro.core.labels import Label
 from repro.core.patterns import ChainLink, FlippingPattern
 from repro.errors import ConfigError
@@ -93,13 +98,14 @@ class TestMineTopK:
             mine_top_k(example3_db, k=0, min_support=1)
         with pytest.raises(ConfigError):
             mine_top_k(
-                example3_db, k=1, min_support=1, gamma_start=0.2,
+                example3_db,
+                k=1,
+                min_support=1,
+                gamma_start=0.2,
                 epsilon_start=0.5,
             )
         with pytest.raises(ConfigError):
-            mine_top_k(
-                example3_db, k=1, min_support=1, relax_step=0.0
-            )
+            mine_top_k(example3_db, k=1, min_support=1, relax_step=0.0)
 
     def test_empty_database_region(self, example3_db):
         # thresholds that can never match anything: returns [] gracefully

@@ -141,9 +141,7 @@ class TestColumnarValidation:
     def test_corrupt_header_json_rejected(self, tmp_path):
         path = tmp_path / "junk.col"
         header = b"{not json"
-        raw = (
-            b"FLIPCOL1" + len(header).to_bytes(4, "little") + header
-        )
+        raw = b"FLIPCOL1" + len(header).to_bytes(4, "little") + header
         path.write_bytes(raw + b"\x00" * (64 - len(raw) % 64))
         with pytest.raises(DataError, match="corrupt header"):
             ColumnarShard(path)
@@ -219,9 +217,7 @@ class TestBackendImages:
 
     def test_future_version_is_none(self, tmp_path):
         path = tmp_path / "img"
-        write_backend_image(
-            path, self._meta(), [np.ones(4, dtype=np.uint8)]
-        )
+        write_backend_image(path, self._meta(), [np.ones(4, dtype=np.uint8)])
         raw = path.read_bytes()
         # bump the declared format version in place
         patched = raw.replace(b'"format":1', b'"format":9', 1)
@@ -234,16 +230,12 @@ class TestTaxonomyFingerprint:
         tree = {"a": {"m": ["x", "y"]}, "b": {"n": ["z", "w"]}}
         first = Taxonomy.from_dict(tree)
         second = Taxonomy.from_dict(tree)
-        assert taxonomy_fingerprint(first) == taxonomy_fingerprint(
-            second
-        )
+        assert taxonomy_fingerprint(first) == taxonomy_fingerprint(second)
 
     def test_different_trees_differ(self):
         first = Taxonomy.from_dict({"a": {"m": ["x", "y"]}})
         second = Taxonomy.from_dict({"a": {"m": ["x", "q"]}})
-        assert taxonomy_fingerprint(first) != taxonomy_fingerprint(
-            second
-        )
+        assert taxonomy_fingerprint(first) != taxonomy_fingerprint(second)
 
     def test_invariant_under_rebalancing(self):
         from repro.taxonomy.rebalance import rebalance_with_copies
@@ -258,6 +250,4 @@ class TestTaxonomyFingerprint:
 
     def test_memoized_per_instance(self):
         taxonomy = Taxonomy.from_dict({"a": ["x", "y"]})
-        assert taxonomy_fingerprint(taxonomy) is taxonomy_fingerprint(
-            taxonomy
-        )
+        assert taxonomy_fingerprint(taxonomy) is taxonomy_fingerprint(taxonomy)

@@ -123,9 +123,7 @@ class TestOpenAndManifest:
         created = ShardedTransactionStore.partition_database(
             random_db, tmp_path, 3
         )
-        reopened = ShardedTransactionStore.open(
-            tmp_path, random_db.taxonomy
-        )
+        reopened = ShardedTransactionStore.open(tmp_path, random_db.taxonomy)
         assert reopened.n_shards == created.n_shards
         assert reopened.shard_sizes == created.shard_sizes
         assert list(reopened.to_database()) == list(random_db)
@@ -206,9 +204,7 @@ class TestFormats:
         )
         assert list(store.to_database()) == list(random_db)
 
-    def test_formats_round_trip_identically(
-        self, random_db, tmp_path
-    ):
+    def test_formats_round_trip_identically(self, random_db, tmp_path):
         columnar = ShardedTransactionStore.partition_database(
             random_db, tmp_path / "col", 3, format="columnar"
         )
@@ -278,21 +274,13 @@ class TestMigrate:
         store = ShardedTransactionStore.partition_database(
             random_db, tmp_path, 3
         )
-        before = [
-            store.shard_transactions(index) for index in range(3)
-        ]
+        before = [store.shard_transactions(index) for index in range(3)]
         assert store.migrate("jsonl") == 3
-        assert all(
-            store.shard_format(index) == "jsonl" for index in range(3)
-        )
+        assert all(store.shard_format(index) == "jsonl" for index in range(3))
         assert store.migrate("columnar") == 3
-        after = [
-            store.shard_transactions(index) for index in range(3)
-        ]
+        after = [store.shard_transactions(index) for index in range(3)]
         assert before == after
-        assert store.shard_sizes == [
-            len(chunk) for chunk in before
-        ]
+        assert store.shard_sizes == [len(chunk) for chunk in before]
 
     def test_migrate_is_idempotent(self, random_db, tmp_path):
         store = ShardedTransactionStore.partition_database(
@@ -306,12 +294,8 @@ class TestMigrate:
         )
         store.migrate("jsonl")
         manifest = json.loads((tmp_path / "manifest.json").read_text())
-        assert all(
-            name.endswith(".jsonl") for name in manifest["shards"]
-        )
-        reopened = ShardedTransactionStore.open(
-            tmp_path, random_db.taxonomy
-        )
+        assert all(name.endswith(".jsonl") for name in manifest["shards"])
+        reopened = ShardedTransactionStore.open(tmp_path, random_db.taxonomy)
         assert list(reopened.to_database()) == list(random_db)
 
     def test_migrate_drops_stale_images(self, random_db, tmp_path):
@@ -338,15 +322,11 @@ class TestMigrate:
 
 
 class TestAppendBatch:
-    def test_appends_new_shard_and_extends_manifest(
-        self, random_db, tmp_path
-    ):
+    def test_appends_new_shard_and_extends_manifest(self, random_db, tmp_path):
         store = ShardedTransactionStore.partition_database(
             random_db, tmp_path, 3
         )
-        delta = [
-            random_db.transaction_names(index) for index in range(20)
-        ]
+        delta = [random_db.transaction_names(index) for index in range(20)]
         new = store.append_batch(delta)
         assert new == [3]
         assert store.n_shards == 4
@@ -362,22 +342,16 @@ class TestAppendBatch:
         store = ShardedTransactionStore.partition_database(
             random_db, tmp_path, 2
         )
-        before = [
-            store.shard_path(index).read_bytes() for index in range(2)
-        ]
+        before = [store.shard_path(index).read_bytes() for index in range(2)]
         store.append_batch([("milk", "cola")])
-        after = [
-            store.shard_path(index).read_bytes() for index in range(2)
-        ]
+        after = [store.shard_path(index).read_bytes() for index in range(2)]
         assert before == after
 
     def test_rows_per_shard_splits_the_delta(self, random_db, tmp_path):
         store = ShardedTransactionStore.partition_database(
             random_db, tmp_path, 2
         )
-        delta = [
-            random_db.transaction_names(index) for index in range(25)
-        ]
+        delta = [random_db.transaction_names(index) for index in range(25)]
         new = store.append_batch(delta, rows_per_shard=10)
         assert new == [2, 3, 4]
         assert store.shard_sizes[2:] == [10, 10, 5]
@@ -389,9 +363,7 @@ class TestAppendBatch:
         assert store.append_batch([]) == []
         assert store.n_shards == 2
 
-    def test_unknown_item_rejected_before_writing(
-        self, random_db, tmp_path
-    ):
+    def test_unknown_item_rejected_before_writing(self, random_db, tmp_path):
         store = ShardedTransactionStore.partition_database(
             random_db, tmp_path, 2
         )
@@ -409,15 +381,11 @@ class TestAppendBatch:
             random_db, tmp_path, 2
         )
         store.append_batch([("milk", "cola"), ("apples",)])
-        reopened = ShardedTransactionStore.open(
-            tmp_path, random_db.taxonomy
-        )
+        reopened = ShardedTransactionStore.open(tmp_path, random_db.taxonomy)
         assert reopened.n_transactions == store.n_transactions
         assert reopened.shard_sizes == store.shard_sizes
 
-    def test_width_cache_stays_exact_after_append(
-        self, random_db, tmp_path
-    ):
+    def test_width_cache_stays_exact_after_append(self, random_db, tmp_path):
         store = ShardedTransactionStore.partition_database(
             random_db, tmp_path, 2
         )

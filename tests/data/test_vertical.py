@@ -38,7 +38,9 @@ class TestSingleNodeSupports:
             ("b", 1, 9),
         ],
     )
-    def test_matches_paper_counts(self, index, example3_db, name, level, expected):
+    def test_matches_paper_counts(
+        self, index, example3_db, name, level, expected
+    ):
         node = example3_db.taxonomy.node_by_name(name, level=level)
         assert index.support_of_node(level, node.node_id) == expected
 

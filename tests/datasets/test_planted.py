@@ -58,14 +58,20 @@ class TestMeasureChain:
 class TestChainSignature:
     def test_example3(self, example3_db):
         signature = chain_signature(
-            example3_db, ("a11", "b11"), gamma=0.6, epsilon=0.35,
+            example3_db,
+            ("a11", "b11"),
+            gamma=0.6,
+            epsilon=0.35,
             min_counts=[1, 1, 1],
         )
         assert signature == "+-+"
 
     def test_infrequent_marked(self, example3_db):
         signature = chain_signature(
-            example3_db, ("a11", "b11"), gamma=0.6, epsilon=0.35,
+            example3_db,
+            ("a11", "b11"),
+            gamma=0.6,
+            epsilon=0.35,
             min_counts=[8, 8, 8],
         )
         assert "x" in signature
@@ -82,11 +88,16 @@ class TestRecipes:
         from repro.data import TransactionDatabase
 
         plan = BlockPlan()
-        plant_pnp_chain(plan, grocery_taxonomy, "canned beer", "baby cosmetics")
+        plant_pnp_chain(
+            plan, grocery_taxonomy, "canned beer", "baby cosmetics"
+        )
         db = TransactionDatabase(plan.materialize(), grocery_taxonomy)
         signature = chain_signature(
-            db, ("canned beer", "baby cosmetics"),
-            gamma=0.15, epsilon=0.10, min_counts=[2, 2, 2],
+            db,
+            ("canned beer", "baby cosmetics"),
+            gamma=0.15,
+            epsilon=0.10,
+            min_counts=[2, 2, 2],
         )
         assert signature == "+-+"
 
@@ -97,8 +108,11 @@ class TestRecipes:
         plant_npn_chain(plan, grocery_taxonomy, "cola", "soap")
         db = TransactionDatabase(plan.materialize(), grocery_taxonomy)
         signature = chain_signature(
-            db, ("cola", "soap"),
-            gamma=0.15, epsilon=0.10, min_counts=[2, 2, 2],
+            db,
+            ("cola", "soap"),
+            gamma=0.15,
+            epsilon=0.10,
+            min_counts=[2, 2, 2],
         )
         assert signature == "-+-"
 

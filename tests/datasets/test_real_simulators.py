@@ -73,8 +73,12 @@ class TestPlantedSignatures:
         index = VerticalIndex(groceries)
         for pair, expected in GROCERIES_PLANTED:
             signature = chain_signature(
-                groceries, pair, resolved.gamma, resolved.epsilon,
-                resolved.min_counts, index=index,
+                groceries,
+                pair,
+                resolved.gamma,
+                resolved.epsilon,
+                resolved.min_counts,
+                index=index,
             )
             assert signature == expected, pair
 
@@ -83,8 +87,12 @@ class TestPlantedSignatures:
         index = VerticalIndex(census)
         for pair, expected in CENSUS_PLANTED:
             signature = chain_signature(
-                census, pair, resolved.gamma, resolved.epsilon,
-                resolved.min_counts, index=index,
+                census,
+                pair,
+                resolved.gamma,
+                resolved.epsilon,
+                resolved.min_counts,
+                index=index,
             )
             assert signature == expected, pair
 
@@ -93,8 +101,12 @@ class TestPlantedSignatures:
         index = VerticalIndex(medline)
         for pair, expected in MEDLINE_PLANTED:
             signature = chain_signature(
-                medline, pair, resolved.gamma, resolved.epsilon,
-                resolved.min_counts, index=index,
+                medline,
+                pair,
+                resolved.gamma,
+                resolved.epsilon,
+                resolved.min_counts,
+                index=index,
             )
             assert signature == expected, pair
 

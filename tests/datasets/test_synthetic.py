@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datasets import SyntheticConfig, generate_synthetic, generate_taxonomy
+from repro.datasets import (
+    SyntheticConfig,
+    generate_synthetic,
+    generate_taxonomy,
+)
 from repro.errors import ConfigError
 
 

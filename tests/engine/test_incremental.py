@@ -277,8 +277,5 @@ class TestRepeatedMineAfterUpdate:
             fractional,
         )
         assert fingerprint(again) == fingerprint(fresh)
-        assert (
-            again.config["n_transactions"]
-            == len(base) + len(deltas[0])
-        )
+        assert again.config["n_transactions"] == len(base) + len(deltas[0])
         assert again.config["min_counts"] == fresh.config["min_counts"]

@@ -38,9 +38,7 @@ def planted_db():
 @pytest.fixture(scope="module")
 def planted_store(planted_db, tmp_path_factory):
     directory = tmp_path_factory.mktemp("shards")
-    return ShardedTransactionStore.partition_database(
-        planted_db, directory, 4
-    )
+    return ShardedTransactionStore.partition_database(planted_db, directory, 4)
 
 
 def _fingerprint(result) -> str:
@@ -114,9 +112,7 @@ class TestFormatParity:
         assert _fingerprint(base) == _fingerprint(results["jsonl"])
 
     @pytest.mark.parametrize("backend_name", BACKENDS)
-    def test_migrated_store_parity(
-        self, planted_db, tmp_path, backend_name
-    ):
+    def test_migrated_store_parity(self, planted_db, tmp_path, backend_name):
         base = _mine(planted_db, backend=backend_name)
         store = ShardedTransactionStore.partition_database(
             planted_db, tmp_path, 4, format="jsonl"
@@ -130,9 +126,7 @@ class TestFormatParity:
         assert _fingerprint(base) == _fingerprint(back)
 
     @pytest.mark.parametrize("executor", ["serial", "partitioned"])
-    def test_warm_image_serving_parity(
-        self, planted_db, tmp_path, executor
-    ):
+    def test_warm_image_serving_parity(self, planted_db, tmp_path, executor):
         """Mining a store whose backends come entirely from persisted
         images equals mining the monolithic database — in-process and
         through the worker fan-out."""
@@ -242,7 +236,9 @@ class TestMiningParity:
         monolithic path supports repeated runs; the partitioned path
         must too, even with evictions forcing shard re-reads)."""
         miner = FlipperMiner(
-            planted_db, GROCERIES_THRESHOLDS, partitions=3,
+            planted_db,
+            GROCERIES_THRESHOLDS,
+            partitions=3,
             memory_budget_mb=0.1,
         )
         first = miner.mine()
@@ -301,19 +297,13 @@ class TestConfigErrors:
 
     def test_budget_requires_partitions(self, planted_db):
         with pytest.raises(ConfigError, match="memory_budget_mb"):
-            FlipperMiner(
-                planted_db, GROCERIES_THRESHOLDS, memory_budget_mb=64
-            )
+            FlipperMiner(planted_db, GROCERIES_THRESHOLDS, memory_budget_mb=64)
 
     def test_shard_dir_requires_partitions(self, planted_db, tmp_path):
         with pytest.raises(ConfigError, match="shard_dir"):
-            FlipperMiner(
-                planted_db, GROCERIES_THRESHOLDS, shard_dir=tmp_path
-            )
+            FlipperMiner(planted_db, GROCERIES_THRESHOLDS, shard_dir=tmp_path)
 
-    def test_partitioned_executor_needs_partitioned_backend(
-        self, planted_db
-    ):
+    def test_partitioned_executor_needs_partitioned_backend(self, planted_db):
         backend = make_backend("bitmap", planted_db)
         with pytest.raises(ConfigError, match="partitioned"):
             make_executor("partitioned", backend, planted_db)

@@ -133,9 +133,7 @@ class TestSinglePath:
         assert han_tree().single_path() is None
 
     def test_single_path_detected(self):
-        tree = FPTree.from_transactions(
-            [[1, 2, 3], [1, 2], [1]], min_count=1
-        )
+        tree = FPTree.from_transactions([[1, 2, 3], [1, 2], [1]], min_count=1)
         path = tree.single_path()
         assert path is not None
         assert [node.item for node in path] == [1, 2, 3]

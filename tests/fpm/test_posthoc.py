@@ -54,9 +54,7 @@ class TestEquivalence:
 class TestReport:
     def test_accounting(self, example3_db, example3_thresholds):
         report = mine_flipping_posthoc(example3_db, example3_thresholds)
-        assert report.total_frequent == sum(
-            report.frequent_per_level.values()
-        )
+        assert report.total_frequent == sum(report.frequent_per_level.values())
         assert set(report.frequent_per_level) == {1, 2, 3}
         assert report.positives > 0
         assert report.negatives > 0

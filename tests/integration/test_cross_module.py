@@ -66,9 +66,7 @@ class TestCumulateAgainstVerticalIndex:
                 if support == 0:
                     assert (node,) not in frequent
                 else:
-                    assert frequent[(node,)] == support, taxonomy.name_of(
-                        node
-                    )
+                    assert frequent[(node,)] == support, taxonomy.name_of(node)
 
 
 class TestMultilevelAgainstFPGrowth:

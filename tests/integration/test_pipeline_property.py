@@ -68,9 +68,7 @@ def test_mine_shard_delta_index_query_parity(corpus):
             TransactionDatabase(base_rows + delta_rows, taxonomy),
             _THRESHOLDS,
         )
-        assert _fingerprints(updated.patterns) == _fingerprints(
-            fresh.patterns
-        )
+        assert _fingerprints(updated.patterns) == _fingerprints(fresh.patterns)
 
         # --- index parity: reindexed store == store built fresh -------
         fresh_store = PatternStore.build(fresh)
@@ -85,9 +83,7 @@ def test_mine_shard_delta_index_query_parity(corpus):
         engine = QueryEngine(pattern_store)
         queries = [Query(), Query(sort_by="min_gap", limit=5)]
         for pid, pattern in pattern_store.items():
-            queries.append(
-                Query(contains_items=(pattern.leaf_names[0],))
-            )
+            queries.append(Query(contains_items=(pattern.leaf_names[0],)))
             queries.append(Query(signature=pattern.signature))
             break  # one pattern's worth keeps the example cheap
         for query in queries:

@@ -47,10 +47,7 @@ def test_measures_never_mention_n(config, extra_n):
         for name, measure in MEASURES.items()
     }
     assert all(0.0 <= v <= 1.0 for v in values.values())
-    assert (
-        values["all_confidence"]
-        <= values["coherence"] + 1e-12
-    )
+    assert values["all_confidence"] <= values["coherence"] + 1e-12
     assert values["coherence"] <= values["cosine"] + 1e-12
     assert values["cosine"] <= values["kulczynski"] + 1e-12
     assert values["kulczynski"] <= values["max_confidence"] + 1e-12

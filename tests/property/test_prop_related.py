@@ -67,9 +67,7 @@ def test_cumulate_matches_extended_bruteforce(database, min_count):
             support = sum(1 for t in extended if set(combo) <= t)
             if support >= min_count:
                 expected[combo] = support
-    assert cumulate_frequent_itemsets(
-        database, min_count, max_k=3
-    ) == expected
+    assert cumulate_frequent_itemsets(database, min_count, max_k=3) == expected
 
 
 @given(small_databases(), st.integers(min_value=1, max_value=4))
@@ -78,9 +76,7 @@ def test_multilevel_is_per_level_subset_of_fp_growth(database, min_count):
     """Every multilevel itemset must be frequent by the complete
     per-level miner with the same support — the parent filter can
     only remove, never invent or distort."""
-    result = mine_multilevel(
-        database, [min_count] * database.taxonomy.height
-    )
+    result = mine_multilevel(database, [min_count] * database.taxonomy.height)
     for level, itemsets in result.frequent.items():
         complete = level_frequent_itemsets(database, level, min_count)
         for itemset, support in itemsets.items():
@@ -107,9 +103,7 @@ def test_taxonomy_distance_is_a_metric(database, data):
     triples (distances in a tree are a metric)."""
     taxonomy = database.taxonomy
     nodes = [
-        node.node_id
-        for node in taxonomy.iter_nodes()
-        if not node.is_copy
+        node.node_id for node in taxonomy.iter_nodes() if not node.is_copy
     ]
     a = data.draw(st.sampled_from(nodes))
     b = data.draw(st.sampled_from(nodes))

@@ -40,10 +40,10 @@ def bruteforce_cumulate(database, min_count, max_k=None):
     universe = sorted({n for t in extended for n in t})
 
     def clean(combo):
-        for a, b in itertools.permutations(combo, 2):
-            if a in taxonomy.ancestors(b) and a != b:
-                return False
-        return True
+        return all(
+            a not in taxonomy.ancestors(b) or a == b
+            for a, b in itertools.permutations(combo, 2)
+        )
 
     out = {}
     bound = len(universe) if max_k is None else max_k
@@ -121,15 +121,11 @@ class TestFrequentItemsets:
         assert by_fraction == by_count
 
     def test_max_k_caps_size(self, tiny_db):
-        frequent = cumulate_frequent_itemsets(
-            tiny_db, min_support=1, max_k=2
-        )
+        frequent = cumulate_frequent_itemsets(tiny_db, min_support=1, max_k=2)
         assert max(len(itemset) for itemset in frequent) == 2
 
     def test_max_k_one(self, tiny_db):
-        frequent = cumulate_frequent_itemsets(
-            tiny_db, min_support=1, max_k=1
-        )
+        frequent = cumulate_frequent_itemsets(tiny_db, min_support=1, max_k=1)
         assert all(len(itemset) == 1 for itemset in frequent)
 
 
@@ -157,7 +153,10 @@ class TestGeneralizedRules:
             tiny_db, min_support=2, min_confidence=0.6
         )
         sides = {
-            (names_of(taxonomy, r.antecedent), names_of(taxonomy, r.consequent))
+            (
+                names_of(taxonomy, r.antecedent),
+                names_of(taxonomy, r.consequent),
+            )
             for r in rules
         }
         assert (("a",), ("c2",)) in sides  # conf 2/3

@@ -99,12 +99,8 @@ class TestValidation:
 
 class TestMediatorSize:
     def test_two_item_mediators(self):
-        taxonomy = Taxonomy.from_dict(
-            {"g": ["a", "b", "m1", "m2"]}
-        )
-        transactions = (
-            [["a", "m1", "m2"]] * 8 + [["b", "m1", "m2"]] * 8
-        )
+        taxonomy = Taxonomy.from_dict({"g": ["a", "b", "m1", "m2"]})
+        transactions = [["a", "m1", "m2"]] * 8 + [["b", "m1", "m2"]] * 8
         database = TransactionDatabase(transactions, taxonomy)
         found = mine_indirect_associations(
             database, min_count=4, max_mediator_size=2

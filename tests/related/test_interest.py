@@ -63,9 +63,7 @@ class TestAncestorMatching:
 
     def test_size_mismatch_never_matches(self, clothes_taxonomy, ids):
         child = rule([ids("jackets")], [ids("shoes")], 4, 0.4)
-        wider = rule(
-            [ids("clothes"), ids("footwear")], [ids("shoes")], 9, 0.2
-        )
+        wider = rule([ids("clothes"), ids("footwear")], [ids("shoes")], 9, 0.2)
         assert ancestor_rules(clothes_taxonomy, child, [wider]) == []
 
 
@@ -102,9 +100,7 @@ class TestInterestTest:
         parent = rule([ids("clothes")], [ids("shoes")], 40, 0.5)
         child = rule([ids("jackets")], [ids("shoes")], 10, 0.5)
         with pytest.raises(MiningError):
-            is_r_interesting(
-                clothes_taxonomy, child, parent, singles, r=0.5
-            )
+            is_r_interesting(clothes_taxonomy, child, parent, singles, r=0.5)
 
     def test_non_ancestor_pair_rejected(self, clothes_taxonomy, ids):
         singles = {ids("shirts"): 10, ids("jackets"): 20, ids("shoes"): 30}

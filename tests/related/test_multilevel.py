@@ -16,9 +16,7 @@ class TestAgainstFPGrowth:
         inert and each level must equal a complete per-level miner."""
         result = mine_multilevel(example3_db, [1, 1, 1])
         for level in (1, 2, 3):
-            expected = level_frequent_itemsets(
-                example3_db, level, min_count=1
-            )
+            expected = level_frequent_itemsets(example3_db, level, min_count=1)
             assert result.frequent[level] == expected
 
     def test_higher_threshold_is_a_subset(self, example3_db):

@@ -23,7 +23,9 @@ def ids(grocery_taxonomy):
 
 class TestDistance:
     def test_self_distance_zero(self, grocery_taxonomy, ids):
-        assert taxonomy_distance(grocery_taxonomy, ids("cola"), ids("cola")) == 0
+        assert (
+            taxonomy_distance(grocery_taxonomy, ids("cola"), ids("cola")) == 0
+        )
 
     def test_sibling_leaves(self, grocery_taxonomy, ids):
         # cola and lemonade share the parent "soda": up 1, down 1
@@ -99,9 +101,7 @@ class TestRanking:
     def test_cross_category_ranks_first(self, grocery_taxonomy, ids):
         siblings = (ids("cola"), ids("lemonade"))
         bridge = (ids("cola"), ids("soap"))
-        ranked = rank_by_surprisingness(
-            grocery_taxonomy, [siblings, bridge]
-        )
+        ranked = rank_by_surprisingness(grocery_taxonomy, [siblings, bridge])
         assert ranked[0] == (6.0, bridge)
         assert ranked[1] == (2.0, siblings)
 

@@ -14,9 +14,7 @@ from repro.serve import PatternStore
 
 @pytest.fixture(scope="module")
 def toy_database():
-    return TransactionDatabase(
-        example3_transactions(), example3_taxonomy()
-    )
+    return TransactionDatabase(example3_transactions(), example3_taxonomy())
 
 
 @pytest.fixture(scope="module")

@@ -79,9 +79,7 @@ class TestErrorEnvelope:
         assert "duplicate query parameter" in error["message"]
 
     def test_stale_expect_version_409(self, api):
-        response = api.dispatch(
-            "GET", "/v1/patterns?expect_version=999"
-        )
+        response = api.dispatch("GET", "/v1/patterns?expect_version=999")
         assert response.status == 409
         error = _envelope(response, "conflict")
         assert "stale store version" in error["message"]
@@ -93,9 +91,7 @@ class TestErrorEnvelope:
             _envelope(response, "bad_request")
 
     def test_read_only_update_409(self, api):
-        response = api.dispatch(
-            "POST", "/v1/update", b'{"transactions": []}'
-        )
+        response = api.dispatch("POST", "/v1/update", b'{"transactions": []}')
         assert response.status == 409
         error = _envelope(response, "read_only")
         assert "read-only" in error["message"]
@@ -143,9 +139,7 @@ class TestDeprecationPolicy:
         _envelope(response, "not_found")
 
     def test_legacy_update_response_is_deprecated(self, writable):
-        intent = writable.dispatch(
-            "POST", "/update", b'{"transactions": []}'
-        )
+        intent = writable.dispatch("POST", "/update", b'{"transactions": []}')
         assert isinstance(intent, UpdateIntent)
         assert intent.versioned is False
         response = writable.run_update(intent)
@@ -202,17 +196,13 @@ class TestCursorPagination:
 
     def test_malformed_cursors_400(self, api):
         for bad in ("!!!", "eyJ2IjoxfQ", encode_cursor(1, 3) + "x"):
-            response = api.dispatch(
-                "GET", f"/v1/patterns?cursor={bad}"
-            )
+            response = api.dispatch("GET", f"/v1/patterns?cursor={bad}")
             assert response.status == 400, bad
             _envelope(response, "bad_cursor")
         with pytest.raises(ApiError):
             decode_cursor("@@@")
 
-    def test_cursor_walk_covers_every_id_exactly_once(
-        self, api, corpus_store
-    ):
+    def test_cursor_walk_covers_every_id_exactly_once(self, api, corpus_store):
         expected = api.engine.execute(Query(sort_by="support")).ids
         seen: list[str] = []
         target = "/v1/patterns?sort=support&limit=37"
@@ -225,9 +215,7 @@ class TestCursorPagination:
                     payload["total"]
                 )
                 break
-            target = (
-                f"/v1/patterns?sort=support&limit=37&cursor={cursor}"
-            )
+            target = f"/v1/patterns?sort=support&limit=37&cursor={cursor}"
         assert seen == expected
 
     def test_cursor_and_offset_are_mutually_exclusive(self, api):
@@ -240,9 +228,7 @@ class TestCursorPagination:
         assert "mutually exclusive" in error["message"]
 
     def test_cursor_across_snapshot_swap_is_409(self, writable):
-        payload = _json(
-            writable.dispatch("GET", "/v1/patterns?limit=1")
-        )
+        payload = _json(writable.dispatch("GET", "/v1/patterns?limit=1"))
         cursor = encode_cursor(payload["store_version"], 0)
         intent = writable.dispatch(
             "POST",
@@ -257,12 +243,8 @@ class TestCursorPagination:
         )
         assert response.status == 409
         error = _envelope(response, "stale_cursor")
-        assert error["detail"]["cursor_version"] == (
-            payload["store_version"]
-        )
-        assert error["detail"]["store_version"] > (
-            payload["store_version"]
-        )
+        assert error["detail"]["cursor_version"] == payload["store_version"]
+        assert error["detail"]["store_version"] > payload["store_version"]
 
     def test_cursor_is_rejected_on_the_legacy_surface(self, api):
         cursor = encode_cursor(1, 0)
@@ -309,9 +291,7 @@ class TestEtagRevalidation:
         assert response.payload is not None
 
     def test_etag_moves_with_the_snapshot(self, writable):
-        before = writable.dispatch("GET", "/v1/patterns").headers[
-            "ETag"
-        ]
+        before = writable.dispatch("GET", "/v1/patterns").headers["ETag"]
         intent = writable.dispatch(
             "POST",
             "/v1/update",
@@ -355,9 +335,7 @@ class TestOverHttp:
                 body = response.read()
                 assert body == offline.dispatch("GET", target).encode()
                 # conditional revalidation over the same socket
-                conn.request(
-                    "GET", target, headers={"If-None-Match": etag}
-                )
+                conn.request("GET", target, headers={"If-None-Match": etag})
                 response = conn.getresponse()
                 assert response.status == 304
                 assert response.read() == b""

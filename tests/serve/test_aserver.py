@@ -20,9 +20,7 @@ from repro.serve import (
 
 
 def _get(server, target, headers=None):
-    conn = http.client.HTTPConnection(
-        server.host, server.port, timeout=10
-    )
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
     try:
         conn.request("GET", target, headers=headers or {})
         response = conn.getresponse()
@@ -32,9 +30,7 @@ def _get(server, target, headers=None):
 
 
 def _post(server, target, payload):
-    conn = http.client.HTTPConnection(
-        server.host, server.port, timeout=30
-    )
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
     try:
         conn.request("POST", target, body=json.dumps(payload).encode())
         response = conn.getresponse()
@@ -64,9 +60,11 @@ class TestLifecycle:
             _ = server.port
 
     def test_double_start_rejected(self, corpus_store):
-        with AsyncPatternServer(corpus_store) as server:
-            with pytest.raises(ServeError, match="already started"):
-                server.start()
+        with (
+            AsyncPatternServer(corpus_store) as server,
+            pytest.raises(ServeError, match="already started"),
+        ):
+            server.start()
 
     def test_close_is_idempotent_and_frees_the_port(self, corpus_store):
         server = AsyncPatternServer(corpus_store).start()
@@ -87,9 +85,7 @@ class TestLifecycle:
     def test_reuse_port_shares_one_socket_address(self, corpus_store):
         """Two servers (the `--workers` replica shape) bind the same
         port via SO_REUSEPORT and both answer."""
-        first = AsyncPatternServer(
-            corpus_store, reuse_port=True
-        ).start()
+        first = AsyncPatternServer(corpus_store, reuse_port=True).start()
         try:
             second = AsyncPatternServer(
                 corpus_store, port=first.port, reuse_port=True
@@ -98,9 +94,7 @@ class TestLifecycle:
                 for server in (first, second):
                     status, body, _ = _get(server, "/v1/healthz")
                     assert status == 200
-                    assert json.loads(body)["n_patterns"] == len(
-                        corpus_store
-                    )
+                    assert json.loads(body)["n_patterns"] == len(corpus_store)
             finally:
                 second.close()
         finally:
@@ -118,9 +112,7 @@ class TestLifecycle:
         results: list[int] = []
 
         def update() -> None:
-            status, _ = _post(
-                server, "/v1/update", {"transactions": [["x"]]}
-            )
+            status, _ = _post(server, "/v1/update", {"transactions": [["x"]]})
             results.append(status)
 
         poster = threading.Thread(target=update)
@@ -159,9 +151,7 @@ class TestByteParity:
                     for _ in range(2):  # second hit: byte cache
                         conn.request("GET", target)
                         served = conn.getresponse().read()
-                        expected = offline.dispatch(
-                            "GET", target
-                        ).encode()
+                        expected = offline.dispatch("GET", target).encode()
                         assert served == expected, target
             finally:
                 conn.close()
@@ -180,13 +170,9 @@ class TestByteParity:
                     server, "/v1/update", {"transactions": delta}
                 )
                 assert status == 200
-                offline = PatternAPI(
-                    QueryEngine(store, cache_size=0)
-                )
+                offline = PatternAPI(QueryEngine(store, cache_size=0))
                 _, served, _ = _get(server, probe)
-                assert served == offline.dispatch(
-                    "GET", probe
-                ).encode()
+                assert served == offline.dispatch("GET", probe).encode()
                 assert (
                     json.loads(served)["store_version"]
                     == payload["store_version"]
@@ -267,30 +253,22 @@ class TestUpdateQueue:
 
     def test_read_only_server_rejects_updates(self, corpus_store):
         with AsyncPatternServer(corpus_store) as server:
-            status, payload = _post(
-                server, "/v1/update", {"transactions": []}
-            )
+            status, payload = _post(server, "/v1/update", {"transactions": []})
             assert status == 409
             assert payload["error"]["code"] == "read_only"
 
 
 class TestSwapStress:
-    def test_concurrent_reads_see_only_whole_generations(
-        self, live_miner
-    ):
+    def test_concurrent_reads_see_only_whole_generations(self, live_miner):
         store = PatternStore.build(live_miner.mine())
         errors: list[Exception] = []
         stop = threading.Event()
 
         def read_loop(url_host: str, url_port: int) -> None:
-            conn = http.client.HTTPConnection(
-                url_host, url_port, timeout=10
-            )
+            conn = http.client.HTTPConnection(url_host, url_port, timeout=10)
             try:
                 while not stop.is_set():
-                    conn.request(
-                        "GET", "/v1/patterns?sort=support"
-                    )
+                    conn.request("GET", "/v1/patterns?sort=support")
                     page = json.loads(conn.getresponse().read())
                     assert page["count"] == len(page["patterns"])
                     assert page["count"] == page["total"]

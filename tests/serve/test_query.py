@@ -86,9 +86,7 @@ class TestFilters:
     def test_match_predicate_is_leaf_scoped(self, corpus_store):
         # an internal node name never matches contains_items on a
         # 3-level pattern, but does match under_node
-        tall = next(
-            p for _, p in corpus_store.items() if p.height == 3
-        )
+        tall = next(p for _, p in corpus_store.items() if p.height == 3)
         group_name = tall.links[1].names[0]
         assert not matches(tall, Query(contains_items=(group_name,)))
         assert matches(tall, Query(under_node=group_name))
@@ -96,9 +94,7 @@ class TestFilters:
 
 class TestOrderingAndPagination:
     def test_descending_with_id_tiebreak(self, corpus_store):
-        result = QueryEngine(corpus_store).execute(
-            Query(sort_by="support")
-        )
+        result = QueryEngine(corpus_store).execute(Query(sort_by="support"))
         keyed = [
             (-corpus_store.measure_value("support", pid), pid)
             for pid in result.ids

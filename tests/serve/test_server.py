@@ -203,7 +203,10 @@ class TestUpdates:
             assert payload["mode"] in ("incremental", "full")
             assert payload["delta_rows"] == 2
             assert set(payload["reindexed"]) == {
-                "added", "changed", "removed", "unchanged",
+                "added",
+                "changed",
+                "removed",
+                "unchanged",
             }
             # served patterns now match a from-scratch mine of the
             # grown database
@@ -238,9 +241,7 @@ class TestUpdates:
             assert "rows" in payload["error"]["message"]
             assert payload["error"]["detail"]["known"] == ["transactions"]
             # ...and so is a missing/mistyped transactions list
-            code, payload = _error(
-                lambda: _post(server.url + "/update", {})
-            )
+            code, payload = _error(lambda: _post(server.url + "/update", {}))
             assert code == 400
             assert "transactions" in payload["error"]["message"]
 
@@ -282,11 +283,11 @@ class TestKeepAlive:
                 server.host, server.port, timeout=5
             )
             try:
-                body = json.dumps(
-                    {"transactions": [["x"] * 50] * 20}
-                )
+                body = json.dumps({"transactions": [["x"] * 50] * 20})
                 conn.request(
-                    "POST", "/update", body=body,
+                    "POST",
+                    "/update",
+                    body=body,
                     headers={"Content-Type": "application/json"},
                 )
                 response = conn.getresponse()

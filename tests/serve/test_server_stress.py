@@ -70,9 +70,7 @@ def test_readers_never_observe_torn_state(generations):
     initial, *updates = generations
     store = PatternStore.build(initial)
     # version -> exact id set of that generation, known up front
-    expected: dict[int, set[str]] = {
-        store.version: set(store.ids())
-    }
+    expected: dict[int, set[str]] = {store.version: set(store.ids())}
     version = store.version
     for result in updates:
         version += 1  # every generation differs, so each applies +1
@@ -105,9 +103,7 @@ def test_readers_never_observe_torn_state(generations):
                     stop.set()
                     return
                 if ids != expected[observed]:
-                    torn = sorted(
-                        ids ^ expected[observed]
-                    )[:5]
+                    torn = sorted(ids ^ expected[observed])[:5]
                     failures.append(
                         f"torn read at version {observed}: id set "
                         f"differs by {torn}"
@@ -148,9 +144,7 @@ def test_readers_never_observe_torn_state(generations):
         # after the dust settles the store serves the final generation
         _status, page = _get(server.url + "/patterns")
         assert page["store_version"] == last_version
-        assert set(p["id"] for p in page["patterns"]) == expected[
-            last_version
-        ]
+        assert set(p["id"] for p in page["patterns"]) == expected[last_version]
 
 
 def test_stale_version_pins_conflict_cleanly(generations):
@@ -159,9 +153,7 @@ def test_stale_version_pins_conflict_cleanly(generations):
     pinned = store.version
     with PatternServer(store, miner=_ScriptedMiner(updates)) as server:
         # a pin on the current generation succeeds
-        status, _page = _get(
-            server.url + f"/patterns?expect_version={pinned}"
-        )
+        status, _page = _get(server.url + f"/patterns?expect_version={pinned}")
         assert status == 200
         request = urllib.request.Request(
             server.url + "/update",

@@ -39,9 +39,7 @@ def _variant(base: MiningResult, delta: int, seed: int) -> MiningResult:
     """A next corpus generation: ``delta`` patterns changed in place,
     ``delta`` fresh ones added, ``delta // 2`` dropped from the tail."""
     kept = base.patterns[: len(base.patterns) - delta // 2]
-    patterns = [
-        _bumped(p) if i < delta else p for i, p in enumerate(kept)
-    ]
+    patterns = [_bumped(p) if i < delta else p for i, p in enumerate(kept)]
     ids = {pattern_id_of(p) for p in patterns}
     patterns += [
         p
@@ -61,9 +59,7 @@ class TestPinnedSnapshots:
         pinned = store.snapshot()
         before_ids = pinned.ids()
         before_version = pinned.version
-        before_answer = linear_scan(
-            pinned, Query(sort_by="support", limit=20)
-        )
+        before_answer = linear_scan(pinned, Query(sort_by="support", limit=20))
         store.apply_result(_variant(corpus_result, 40, seed=77))
         # the store moved on...
         assert store.version == before_version + 1
@@ -223,9 +219,7 @@ class TestConcurrentSwaps:
                     ids = snap.ids()
                     assert len(ids) == len(snap)
                     reference = expected.get(len(snap))
-                    if reference is not None and set(ids) == reference[
-                        "ids"
-                    ]:
+                    if reference is not None and set(ids) == reference["ids"]:
                         assert (
                             linear_scan(snap, probe).ids
                             == reference["answer"]
@@ -236,9 +230,7 @@ class TestConcurrentSwaps:
             except AssertionError as exc:  # pragma: no cover - failure
                 errors.append(exc)
 
-        readers = [
-            threading.Thread(target=read_loop) for _ in range(4)
-        ]
+        readers = [threading.Thread(target=read_loop) for _ in range(4)]
         for thread in readers:
             thread.start()
         try:

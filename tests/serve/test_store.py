@@ -114,22 +114,16 @@ class TestApplyResult:
         mutated = corpus_result.patterns[0]
         import dataclasses
 
-        new_leaf = dataclasses.replace(
-            mutated.links[-1], correlation=0.987654
-        )
+        new_leaf = dataclasses.replace(mutated.links[-1], correlation=0.987654)
         changed = dataclasses.replace(
             mutated, links=mutated.links[:-1] + (new_leaf,)
         )
-        result = _result_with(
-            [changed] + list(corpus_result.patterns[1:])
-        )
+        result = _result_with([changed] + list(corpus_result.patterns[1:]))
         diff = store.apply_result(result)
         assert diff["changed"] == 1
         assert diff["unchanged"] == len(corpus_result.patterns) - 1
         pid = pattern_id_of(changed)
-        assert pid in store.range_postings(
-            "correlation", 0.987654, 0.987654
-        )
+        assert pid in store.range_postings("correlation", 0.987654, 0.987654)
 
     def test_removal_cleans_every_index(self, corpus_result):
         store = PatternStore.build(corpus_result)

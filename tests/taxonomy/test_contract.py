@@ -119,9 +119,7 @@ class TestMiningOnContractedLevels:
 
         contracted, renames = contract_levels(example3_tax, [1, 3])
         assert renames == {}
-        database = TransactionDatabase(
-            example3_transactions(), contracted
-        )
+        database = TransactionDatabase(example3_transactions(), contracted)
         result = mine_flipping_patterns(
             database,
             Thresholds(gamma=0.6, epsilon=0.35, min_support=1),

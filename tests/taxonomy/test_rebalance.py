@@ -55,7 +55,14 @@ class TestCopies:
         balanced = rebalance_with_copies(unbalanced)
         names = sorted(balanced.name_of(i) for i in balanced.item_ids)
         assert names == [
-            "a11", "a12", "a21", "a22", "b11", "b12", "b21", "b22",
+            "a11",
+            "a12",
+            "a21",
+            "a22",
+            "b11",
+            "b12",
+            "b21",
+            "b22",
         ]
 
     def test_item_ancestor_map_spans_all_levels(self, unbalanced):

@@ -12,7 +12,10 @@ class TestFromEdges:
     def test_builds_two_level_tree(self):
         tax = Taxonomy.from_edges([("a", "a1"), ("a", "a2"), ("b", "b1")])
         assert tax.height == 2
-        assert sorted(tax.name_of(i) for i in tax.nodes_at_level(1)) == ["a", "b"]
+        assert sorted(tax.name_of(i) for i in tax.nodes_at_level(1)) == [
+            "a",
+            "b",
+        ]
         assert sorted(tax.name_of(i) for i in tax.nodes_at_level(2)) == [
             "a1",
             "a2",
@@ -27,7 +30,10 @@ class TestFromEdges:
         tax = Taxonomy.from_edges(
             [(ROOT_NAME, "a"), (ROOT_NAME, "b"), ("a", "a1")]
         )
-        assert sorted(tax.name_of(i) for i in tax.nodes_at_level(1)) == ["a", "b"]
+        assert sorted(tax.name_of(i) for i in tax.nodes_at_level(1)) == [
+            "a",
+            "b",
+        ]
 
     def test_rejects_two_parents(self):
         with pytest.raises(TaxonomyError, match="two parents"):

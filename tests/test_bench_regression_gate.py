@@ -95,9 +95,7 @@ class TestCompare:
         """Cross-machine jitter on millisecond-scale totals must not
         flake the gate: over tolerance but under the absolute floor."""
         tiny_base = copy.deepcopy(baseline)
-        tiny_base["executors"]["serial"]["stage_seconds"] = {
-            "count": 0.001
-        }
+        tiny_base["executors"]["serial"]["stage_seconds"] = {"count": 0.001}
         current = copy.deepcopy(tiny_base)
         current["executors"]["serial"]["stage_seconds"] = {"count": 0.005}
         assert gate.compare(tiny_base, current, 1.5) == []
@@ -132,9 +130,12 @@ class TestMain:
         with pytest.raises(SystemExit):
             gate.main(
                 [
-                    "--baseline", base,
-                    "--current", base,
-                    "--tolerance", "0.5",
+                    "--baseline",
+                    base,
+                    "--current",
+                    base,
+                    "--tolerance",
+                    "0.5",
                 ]
             )
 
@@ -167,9 +168,7 @@ class TestCompareIncremental:
     def test_below_absolute_floor_fails(self, gate, incremental_baseline):
         current = copy.deepcopy(incremental_baseline)
         current["speedup_10pct"] = 2.4
-        problems = gate.compare_incremental(
-            incremental_baseline, current, 1.5
-        )
+        problems = gate.compare_incremental(incremental_baseline, current, 1.5)
         assert any("floor" in p for p in problems)
 
     def test_collapse_versus_baseline_fails(self, gate):
@@ -186,9 +185,7 @@ class TestCompareIncremental:
     def test_failed_internal_checks_fail(self, gate, incremental_baseline):
         current = copy.deepcopy(incremental_baseline)
         current["checks_pass"] = False
-        problems = gate.compare_incremental(
-            incremental_baseline, current, 1.5
-        )
+        problems = gate.compare_incremental(incremental_baseline, current, 1.5)
         assert any("internal checks" in p for p in problems)
 
     def test_missing_baseline_speedup_reported(self, gate):
@@ -221,9 +218,14 @@ class TestMainIncremental:
         current = self._write(tmp_path, "current.json", baseline)
         inc = self._write(tmp_path, "inc.json", incremental_baseline)
         code = gate.main([
-            "--baseline", base, "--current", current,
-            "--incremental-baseline", inc,
-            "--incremental-current", inc,
+            "--baseline",
+            base,
+            "--current",
+            current,
+            "--incremental-baseline",
+            inc,
+            "--incremental-current",
+            inc,
         ])
         assert code == 0
         assert "+10% speedup" in capsys.readouterr().out
@@ -235,26 +237,31 @@ class TestMainIncremental:
         slow["speedup_10pct"] = 1.2
         base = self._write(tmp_path, "base.json", baseline)
         current = self._write(tmp_path, "current.json", baseline)
-        inc_base = self._write(
-            tmp_path, "inc_base.json", incremental_baseline
-        )
+        inc_base = self._write(tmp_path, "inc_base.json", incremental_baseline)
         inc_now = self._write(tmp_path, "inc_now.json", slow)
         code = gate.main([
-            "--baseline", base, "--current", current,
-            "--incremental-baseline", inc_base,
-            "--incremental-current", inc_now,
+            "--baseline",
+            base,
+            "--current",
+            current,
+            "--incremental-baseline",
+            inc_base,
+            "--incremental-current",
+            inc_now,
         ])
         assert code == 1
         assert "FAILED" in capsys.readouterr().out
 
-    def test_lone_incremental_option_rejected(
-        self, gate, baseline, tmp_path
-    ):
+    def test_lone_incremental_option_rejected(self, gate, baseline, tmp_path):
         base = self._write(tmp_path, "base.json", baseline)
         with pytest.raises(SystemExit):
             gate.main([
-                "--baseline", base, "--current", base,
-                "--incremental-baseline", base,
+                "--baseline",
+                base,
+                "--current",
+                base,
+                "--incremental-baseline",
+                base,
             ])
 
     def test_gates_the_committed_incremental_baseline(self, gate):
@@ -340,9 +347,7 @@ class TestCompareServe:
             != []
         )
 
-    def test_concurrent_speedup_below_floor_fails(
-        self, gate, serve_baseline
-    ):
+    def test_concurrent_speedup_below_floor_fails(self, gate, serve_baseline):
         current = copy.deepcopy(serve_baseline)
         current["concurrent"]["async_over_threaded"] = 2.0
         problems = gate.compare_serve(serve_baseline, current, 1.5)
@@ -356,9 +361,7 @@ class TestCompareServe:
         problems = gate.compare_serve(serve_baseline, current, 1.5)
         assert any("blocked by updates" in p for p in problems)
 
-    def test_async_p99_worse_than_threaded_fails(
-        self, gate, serve_baseline
-    ):
+    def test_async_p99_worse_than_threaded_fails(self, gate, serve_baseline):
         current = copy.deepcopy(serve_baseline)
         current["concurrent"]["async"]["mixed"]["p99_ms"] = 400.0
         problems = gate.compare_serve(serve_baseline, current, 1.5)
@@ -370,9 +373,7 @@ class TestCompareServe:
         problems = gate.compare_serve(serve_baseline, current, 1.5)
         assert any("--concurrency 100" in p for p in problems)
 
-    def test_missing_concurrent_block_rejected(
-        self, gate, serve_baseline
-    ):
+    def test_missing_concurrent_block_rejected(self, gate, serve_baseline):
         current = copy.deepcopy(serve_baseline)
         del current["concurrent"]
         problems = gate.compare_serve(serve_baseline, current, 1.5)
@@ -409,9 +410,14 @@ class TestMainServe:
         base = self._write(tmp_path, "base.json", baseline)
         serve = self._write(tmp_path, "serve.json", serve_baseline)
         code = gate.main([
-            "--baseline", base, "--current", base,
-            "--serve-baseline", serve,
-            "--serve-current", serve,
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--serve-baseline",
+            serve,
+            "--serve-current",
+            serve,
         ])
         assert code == 0
         assert "indexed-vs-scan speedup" in capsys.readouterr().out
@@ -425,9 +431,14 @@ class TestMainServe:
         serve_base = self._write(tmp_path, "serve_base.json", serve_baseline)
         serve_now = self._write(tmp_path, "serve_now.json", slow)
         code = gate.main([
-            "--baseline", base, "--current", base,
-            "--serve-baseline", serve_base,
-            "--serve-current", serve_now,
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--serve-baseline",
+            serve_base,
+            "--serve-current",
+            serve_now,
         ])
         assert code == 1
         assert "FAILED" in capsys.readouterr().out
@@ -445,9 +456,14 @@ class TestMainServe:
         serve_base = self._write(tmp_path, "serve_base.json", strict)
         serve_now = self._write(tmp_path, "serve_now.json", current)
         code = gate.main([
-            "--baseline", base, "--current", base,
-            "--serve-baseline", serve_base,
-            "--serve-current", serve_now,
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--serve-baseline",
+            serve_base,
+            "--serve-current",
+            serve_now,
         ])
         assert code == 1
 
@@ -464,9 +480,14 @@ class TestMainServe:
         serve_base = self._write(tmp_path, "serve_base.json", strict)
         serve_now = self._write(tmp_path, "serve_now.json", current)
         code = gate.main([
-            "--baseline", base, "--current", base,
-            "--serve-baseline", serve_base,
-            "--serve-current", serve_now,
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--serve-baseline",
+            serve_base,
+            "--serve-current",
+            serve_now,
         ])
         assert code == 1
 
@@ -474,8 +495,12 @@ class TestMainServe:
         base = self._write(tmp_path, "base.json", baseline)
         with pytest.raises(SystemExit):
             gate.main([
-                "--baseline", base, "--current", base,
-                "--serve-current", base,
+                "--baseline",
+                base,
+                "--current",
+                base,
+                "--serve-current",
+                base,
             ])
 
     def test_gates_the_committed_serve_baseline(self, gate):
@@ -561,9 +586,14 @@ class TestMainApprox:
         base = self._write(tmp_path, "base.json", baseline)
         approx = self._write(tmp_path, "approx.json", approx_baseline)
         code = gate.main([
-            "--baseline", base, "--current", base,
-            "--approx-baseline", approx,
-            "--approx-current", approx,
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--approx-baseline",
+            approx,
+            "--approx-current",
+            approx,
         ])
         assert code == 0
         assert "sample-then-verify speedup" in capsys.readouterr().out
@@ -579,9 +609,14 @@ class TestMainApprox:
         )
         approx_now = self._write(tmp_path, "approx_now.json", lossy)
         code = gate.main([
-            "--baseline", base, "--current", base,
-            "--approx-baseline", approx_base,
-            "--approx-current", approx_now,
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--approx-baseline",
+            approx_base,
+            "--approx-current",
+            approx_now,
         ])
         assert code == 1
         assert "FAILED" in capsys.readouterr().out
@@ -597,9 +632,14 @@ class TestMainApprox:
         approx_base = self._write(tmp_path, "approx_base.json", strict)
         approx_now = self._write(tmp_path, "approx_now.json", current)
         code = gate.main([
-            "--baseline", base, "--current", base,
-            "--approx-baseline", approx_base,
-            "--approx-current", approx_now,
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--approx-baseline",
+            approx_base,
+            "--approx-current",
+            approx_now,
         ])
         assert code == 1
 
@@ -607,8 +647,12 @@ class TestMainApprox:
         base = self._write(tmp_path, "base.json", baseline)
         with pytest.raises(SystemExit):
             gate.main([
-                "--baseline", base, "--current", base,
-                "--approx-current", base,
+                "--baseline",
+                base,
+                "--current",
+                base,
+                "--approx-current",
+                base,
             ])
 
     def test_gates_the_committed_approx_baseline(self, gate):
@@ -652,19 +696,13 @@ class TestComparePartition:
     def test_below_admit_floor_fails(self, gate, partition_baseline):
         current = copy.deepcopy(partition_baseline)
         current["admit_speedup"] = 3.0
-        problems = gate.compare_partition(
-            partition_baseline, current, 1.5
-        )
+        problems = gate.compare_partition(partition_baseline, current, 1.5)
         assert any("floor" in p for p in problems)
 
-    def test_above_mine_ratio_ceiling_fails(
-        self, gate, partition_baseline
-    ):
+    def test_above_mine_ratio_ceiling_fails(self, gate, partition_baseline):
         current = copy.deepcopy(partition_baseline)
         current["mine_ratio"] = 4.8
-        problems = gate.compare_partition(
-            partition_baseline, current, 1.5
-        )
+        problems = gate.compare_partition(partition_baseline, current, 1.5)
         assert any("ceiling" in p for p in problems)
 
     def test_admit_collapse_versus_baseline_fails(
@@ -677,19 +715,13 @@ class TestComparePartition:
         problems = gate.compare_partition(baseline, current, 1.5)
         assert any("regressed" in p for p in problems)
 
-    def test_failed_internal_checks_fail(
-        self, gate, partition_baseline
-    ):
+    def test_failed_internal_checks_fail(self, gate, partition_baseline):
         current = copy.deepcopy(partition_baseline)
         current["checks_pass"] = False
-        problems = gate.compare_partition(
-            partition_baseline, current, 1.5
-        )
+        problems = gate.compare_partition(partition_baseline, current, 1.5)
         assert any("internal checks" in p for p in problems)
 
-    def test_quick_runs_rejected_both_ways(
-        self, gate, partition_baseline
-    ):
+    def test_quick_runs_rejected_both_ways(self, gate, partition_baseline):
         quick = copy.deepcopy(partition_baseline)
         quick["quick"] = True
         assert any(
@@ -728,9 +760,14 @@ class TestMainPartition:
         base = self._write(tmp_path, "base.json", baseline)
         part = self._write(tmp_path, "part.json", partition_baseline)
         code = gate.main([
-            "--baseline", base, "--current", base,
-            "--partition-baseline", part,
-            "--partition-current", part,
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--partition-baseline",
+            part,
+            "--partition-current",
+            part,
         ])
         assert code == 0
         assert "image-admit speedup" in capsys.readouterr().out
@@ -741,14 +778,17 @@ class TestMainPartition:
         slow = copy.deepcopy(partition_baseline)
         slow["admit_speedup"] = 2.0
         base = self._write(tmp_path, "base.json", baseline)
-        part_base = self._write(
-            tmp_path, "part_base.json", partition_baseline
-        )
+        part_base = self._write(tmp_path, "part_base.json", partition_baseline)
         part_now = self._write(tmp_path, "part_now.json", slow)
         code = gate.main([
-            "--baseline", base, "--current", base,
-            "--partition-baseline", part_base,
-            "--partition-current", part_now,
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--partition-baseline",
+            part_base,
+            "--partition-current",
+            part_now,
         ])
         assert code == 1
         assert "FAILED" in capsys.readouterr().out
@@ -764,18 +804,25 @@ class TestMainPartition:
         part_base = self._write(tmp_path, "part_base.json", strict)
         part_now = self._write(tmp_path, "part_now.json", current)
         code = gate.main([
-            "--baseline", base, "--current", base,
-            "--partition-baseline", part_base,
-            "--partition-current", part_now,
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--partition-baseline",
+            part_base,
+            "--partition-current",
+            part_now,
         ])
         assert code == 1
 
-    def test_lone_partition_option_rejected(
-        self, gate, baseline, tmp_path
-    ):
+    def test_lone_partition_option_rejected(self, gate, baseline, tmp_path):
         base = self._write(tmp_path, "base.json", baseline)
         with pytest.raises(SystemExit):
             gate.main([
-                "--baseline", base, "--current", base,
-                "--partition-current", base,
+                "--baseline",
+                base,
+                "--current",
+                base,
+                "--partition-current",
+                base,
             ])

@@ -38,11 +38,16 @@ class TestMine:
         code = main(
             [
                 "mine",
-                "--transactions", transactions,
-                "--taxonomy", taxonomy,
-                "--gamma", "0.6",
-                "--epsilon", "0.35",
-                "--min-support", "1,1,1",
+                "--transactions",
+                transactions,
+                "--taxonomy",
+                taxonomy,
+                "--gamma",
+                "0.6",
+                "--epsilon",
+                "0.35",
+                "--min-support",
+                "1,1,1",
             ]
         )
         assert code == 0
@@ -55,12 +60,18 @@ class TestMine:
         code = main(
             [
                 "mine",
-                "--transactions", transactions,
-                "--taxonomy", taxonomy,
-                "--gamma", "0.6",
-                "--epsilon", "0.35",
-                "--min-support", "1,1,1",
-                "--json", "--stats",
+                "--transactions",
+                transactions,
+                "--taxonomy",
+                taxonomy,
+                "--gamma",
+                "0.6",
+                "--epsilon",
+                "0.35",
+                "--min-support",
+                "1,1,1",
+                "--json",
+                "--stats",
             ]
         )
         assert code == 0
@@ -73,12 +84,18 @@ class TestMine:
         main(
             [
                 "mine",
-                "--transactions", transactions,
-                "--taxonomy", taxonomy,
-                "--gamma", "0.5",
-                "--epsilon", "0.35",
-                "--min-support", "1,1,1",
-                "--top-k", "1",
+                "--transactions",
+                transactions,
+                "--taxonomy",
+                taxonomy,
+                "--gamma",
+                "0.5",
+                "--epsilon",
+                "0.35",
+                "--min-support",
+                "1,1,1",
+                "--top-k",
+                "1",
             ]
         )
         assert "pattern" in capsys.readouterr().out
@@ -87,11 +104,16 @@ class TestMine:
         transactions, taxonomy = example_files
         args = [
             "mine",
-            "--transactions", transactions,
-            "--taxonomy", taxonomy,
-            "--gamma", "0.6",
-            "--epsilon", "0.35",
-            "--min-support", "1,1,1",
+            "--transactions",
+            transactions,
+            "--taxonomy",
+            taxonomy,
+            "--gamma",
+            "0.6",
+            "--epsilon",
+            "0.35",
+            "--min-support",
+            "1,1,1",
             "--json",
         ]
         assert main(args) == 0
@@ -112,12 +134,18 @@ class TestMine:
         code = main(
             [
                 "mine",
-                "--transactions", transactions,
-                "--taxonomy", taxonomy,
-                "--gamma", "0.6",
-                "--epsilon", "0.35",
-                "--min-support", "1,1,1",
-                "--memory-budget-mb", "8",
+                "--transactions",
+                transactions,
+                "--taxonomy",
+                taxonomy,
+                "--gamma",
+                "0.6",
+                "--epsilon",
+                "0.35",
+                "--min-support",
+                "1,1,1",
+                "--memory-budget-mb",
+                "8",
             ]
         )
         assert code == 2
@@ -128,11 +156,16 @@ class TestMine:
         code = main(
             [
                 "mine",
-                "--transactions", transactions,
-                "--taxonomy", taxonomy,
-                "--gamma", "0.2",
-                "--epsilon", "0.5",
-                "--min-support", "1,1,1",
+                "--transactions",
+                transactions,
+                "--taxonomy",
+                taxonomy,
+                "--gamma",
+                "0.2",
+                "--epsilon",
+                "0.5",
+                "--min-support",
+                "1,1,1",
             ]
         )
         assert code == 2
@@ -145,10 +178,14 @@ class TestRules:
         code = main(
             [
                 "rules",
-                "--transactions", transactions,
-                "--taxonomy", taxonomy,
-                "--min-support", "2",
-                "--min-confidence", "0.6",
+                "--transactions",
+                transactions,
+                "--taxonomy",
+                taxonomy,
+                "--min-support",
+                "2",
+                "--min-confidence",
+                "0.6",
             ]
         )
         assert code == 0
@@ -161,11 +198,16 @@ class TestRules:
         code = main(
             [
                 "rules",
-                "--transactions", transactions,
-                "--taxonomy", taxonomy,
-                "--min-support", "2",
-                "--min-confidence", "0.6",
-                "--interest", "1.3",
+                "--transactions",
+                transactions,
+                "--taxonomy",
+                taxonomy,
+                "--min-support",
+                "2",
+                "--min-confidence",
+                "0.6",
+                "--interest",
+                "1.3",
             ]
         )
         assert code == 0
@@ -176,11 +218,17 @@ class TestRules:
         code = main(
             [
                 "rules",
-                "--transactions", transactions,
-                "--taxonomy", taxonomy,
-                "--min-support", "2",
-                "--min-confidence", "0.5",
-                "--json", "--limit", "3",
+                "--transactions",
+                transactions,
+                "--taxonomy",
+                taxonomy,
+                "--min-support",
+                "2",
+                "--min-confidence",
+                "0.5",
+                "--json",
+                "--limit",
+                "3",
             ]
         )
         assert code == 0
@@ -190,18 +238,23 @@ class TestRules:
         for rule in payload["rules"]:
             assert rule["confidence"] >= 0.5
 
-    def test_surprise_ranks_cross_category_first(
-        self, example_files, capsys
-    ):
+    def test_surprise_ranks_cross_category_first(self, example_files, capsys):
         transactions, taxonomy = example_files
         code = main(
             [
                 "rules",
-                "--transactions", transactions,
-                "--taxonomy", taxonomy,
-                "--min-support", "2",
-                "--min-confidence", "0.0",
-                "--surprise", "--json", "--limit", "1",
+                "--transactions",
+                transactions,
+                "--taxonomy",
+                taxonomy,
+                "--min-support",
+                "2",
+                "--min-confidence",
+                "0.0",
+                "--surprise",
+                "--json",
+                "--limit",
+                "1",
             ]
         )
         assert code == 0
@@ -217,10 +270,14 @@ class TestRules:
         code = main(
             [
                 "rules",
-                "--transactions", transactions,
-                "--taxonomy", taxonomy,
-                "--min-support", "2,1",
-                "--min-confidence", "0.5",
+                "--transactions",
+                transactions,
+                "--taxonomy",
+                taxonomy,
+                "--min-support",
+                "2,1",
+                "--min-confidence",
+                "0.5",
             ]
         )
         assert code == 2
@@ -232,9 +289,12 @@ class TestGenerate:
         code = main(
             [
                 "generate",
-                "--dataset", "groceries",
-                "--out-dir", str(tmp_path),
-                "--scale", "0.1",
+                "--dataset",
+                "groceries",
+                "--out-dir",
+                str(tmp_path),
+                "--scale",
+                "0.1",
             ]
         )
         assert code == 0
@@ -245,16 +305,25 @@ class TestGenerate:
         code = main(
             [
                 "generate",
-                "--dataset", "synthetic",
-                "--out-dir", str(tmp_path),
-                "--n-transactions", "100",
-                "--seed", "1",
+                "--dataset",
+                "synthetic",
+                "--out-dir",
+                str(tmp_path),
+                "--n-transactions",
+                "100",
+                "--seed",
+                "1",
             ]
         )
         assert code == 0
         text = (tmp_path / "synthetic.basket").read_text()
         # 100 transactions plus the header comment
-        assert len([l for l in text.splitlines() if l and not l.startswith("#")]) == 100
+        rows = [
+            line
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(rows) == 100
 
 
 class TestExplain:
@@ -274,9 +343,12 @@ class TestProfile:
         code = main(
             [
                 "profile",
-                "--transactions", transactions,
-                "--taxonomy", taxonomy,
-                "--bottom-fraction", "0.1",
+                "--transactions",
+                transactions,
+                "--taxonomy",
+                taxonomy,
+                "--bottom-fraction",
+                "0.1",
             ]
         )
         assert code == 0
@@ -289,17 +361,22 @@ class TestProfile:
         assert main(
             [
                 "generate",
-                "--dataset", "movies",
-                "--out-dir", str(tmp_path),
-                "--scale", "0.05",
+                "--dataset",
+                "movies",
+                "--out-dir",
+                str(tmp_path),
+                "--scale",
+                "0.05",
             ]
         ) == 0
         capsys.readouterr()
         code = main(
             [
                 "profile",
-                "--transactions", str(tmp_path / "movies.basket"),
-                "--taxonomy", str(tmp_path / "movies.taxonomy.json"),
+                "--transactions",
+                str(tmp_path / "movies.basket"),
+                "--taxonomy",
+                str(tmp_path / "movies.taxonomy.json"),
             ]
         )
         assert code == 0
@@ -319,19 +396,32 @@ class TestUpdateCommand:
         store_dir = str(tmp_path / "store")
         # create the store from the base file
         assert main([
-            "update", "--store", store_dir, "--taxonomy", taxonomy,
-            "--init-from", transactions,
+            "update",
+            "--store",
+            store_dir,
+            "--taxonomy",
+            taxonomy,
+            "--init-from",
+            transactions,
         ]) == 0
         capsys.readouterr()
         # append a delta file and mine the grown store
         delta_path = tmp_path / "delta.basket"
-        save_transactions(
-            [["a11", "b11"], ["a11", "b11", "a22"]], delta_path
-        )
+        save_transactions([["a11", "b11"], ["a11", "b11", "a22"]], delta_path)
         assert main([
-            "update", "--store", store_dir, "--taxonomy", taxonomy,
-            "--append", str(delta_path),
-            "--gamma", "0.6", "--epsilon", "0.35", "--min-support", "1",
+            "update",
+            "--store",
+            store_dir,
+            "--taxonomy",
+            taxonomy,
+            "--append",
+            str(delta_path),
+            "--gamma",
+            "0.6",
+            "--epsilon",
+            "0.35",
+            "--min-support",
+            "1",
             "--json",
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
@@ -346,8 +436,11 @@ class TestUpdateCommand:
     ):
         _, taxonomy = example_files
         assert main([
-            "update", "--store", str(tmp_path / "nope"),
-            "--taxonomy", taxonomy,
+            "update",
+            "--store",
+            str(tmp_path / "nope"),
+            "--taxonomy",
+            taxonomy,
         ]) == 2
         assert "--init-from" in capsys.readouterr().err
 
@@ -357,8 +450,15 @@ class TestUpdateCommand:
         transactions, taxonomy = example_files
         store_dir = str(tmp_path / "store")
         assert main([
-            "update", "--store", store_dir, "--taxonomy", taxonomy,
-            "--init-from", transactions, "--gamma", "0.6",
+            "update",
+            "--store",
+            store_dir,
+            "--taxonomy",
+            taxonomy,
+            "--init-from",
+            transactions,
+            "--gamma",
+            "0.6",
         ]) == 2
         assert "--min-support" in capsys.readouterr().err
 
@@ -369,8 +469,13 @@ class TestStoreCommand:
         transactions, taxonomy = example_files
         directory = str(tmp_path / "store")
         assert main([
-            "update", "--store", directory, "--taxonomy", taxonomy,
-            "--init-from", transactions,
+            "update",
+            "--store",
+            directory,
+            "--taxonomy",
+            taxonomy,
+            "--init-from",
+            transactions,
         ]) == 0
         return directory
 
@@ -378,8 +483,12 @@ class TestStoreCommand:
         _, taxonomy = example_files
         capsys.readouterr()
         assert main([
-            "store", "describe",
-            "--store", store_dir, "--taxonomy", taxonomy,
+            "store",
+            "describe",
+            "--store",
+            store_dir,
+            "--taxonomy",
+            taxonomy,
         ]) == 0
         out = capsys.readouterr().out
         assert "ShardedTransactionStore" in out
@@ -389,8 +498,13 @@ class TestStoreCommand:
         _, taxonomy = example_files
         capsys.readouterr()
         assert main([
-            "store", "describe",
-            "--store", store_dir, "--taxonomy", taxonomy, "--json",
+            "store",
+            "describe",
+            "--store",
+            store_dir,
+            "--taxonomy",
+            taxonomy,
+            "--json",
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["n_shards"] == len(payload["shards"])
@@ -400,35 +514,46 @@ class TestStoreCommand:
         assert shard["rows"] > 0
         assert shard["images"] == []
 
-    def test_migrate_round_trip(
-        self, store_dir, example_files, capsys
-    ):
+    def test_migrate_round_trip(self, store_dir, example_files, capsys):
         _, taxonomy = example_files
         capsys.readouterr()
         assert main([
-            "store", "migrate",
-            "--store", store_dir, "--taxonomy", taxonomy,
-            "--to", "jsonl",
+            "store",
+            "migrate",
+            "--store",
+            store_dir,
+            "--taxonomy",
+            taxonomy,
+            "--to",
+            "jsonl",
         ]) == 0
         out = capsys.readouterr().out
         assert "rewrote 1 shard(s) to jsonl" in out
         assert "[jsonl]" in out
         assert main([
-            "store", "migrate",
-            "--store", store_dir, "--taxonomy", taxonomy,
-            "--to", "columnar",
+            "store",
+            "migrate",
+            "--store",
+            store_dir,
+            "--taxonomy",
+            taxonomy,
+            "--to",
+            "columnar",
         ]) == 0
         assert "[columnar]" in capsys.readouterr().out
 
-    def test_migrate_noop_reports_zero(
-        self, store_dir, example_files, capsys
-    ):
+    def test_migrate_noop_reports_zero(self, store_dir, example_files, capsys):
         _, taxonomy = example_files
         capsys.readouterr()
         assert main([
-            "store", "migrate",
-            "--store", store_dir, "--taxonomy", taxonomy,
-            "--to", "columnar",
+            "store",
+            "migrate",
+            "--store",
+            store_dir,
+            "--taxonomy",
+            taxonomy,
+            "--to",
+            "columnar",
         ]) == 0
         assert "rewrote 0 shard(s)" in capsys.readouterr().out
 
@@ -438,18 +563,28 @@ class TestStoreCommand:
         transactions, taxonomy = example_files
         directory = str(tmp_path / "legacy")
         assert main([
-            "update", "--store", directory, "--taxonomy", taxonomy,
-            "--init-from", transactions, "--format", "jsonl",
+            "update",
+            "--store",
+            directory,
+            "--taxonomy",
+            taxonomy,
+            "--init-from",
+            transactions,
+            "--format",
+            "jsonl",
         ]) == 0
         capsys.readouterr()
         assert main([
-            "store", "describe",
-            "--store", directory, "--taxonomy", taxonomy, "--json",
+            "store",
+            "describe",
+            "--store",
+            directory,
+            "--taxonomy",
+            taxonomy,
+            "--json",
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert all(
-            shard["format"] == "jsonl" for shard in payload["shards"]
-        )
+        assert all(shard["format"] == "jsonl" for shard in payload["shards"])
 
 
 class TestMineAppend:
@@ -464,23 +599,35 @@ class TestMineAppend:
         save_transactions(base_rows, base_path)
         save_transactions(delta_rows, delta_path)
         common = [
-            "--taxonomy", taxonomy, "--gamma", "0.6",
-            "--epsilon", "0.35", "--min-support", "1", "--json",
+            "--taxonomy",
+            taxonomy,
+            "--gamma",
+            "0.6",
+            "--epsilon",
+            "0.35",
+            "--min-support",
+            "1",
+            "--json",
         ]
         assert main([
-            "mine", "--transactions", str(base_path),
-            "--append", str(delta_path), *common,
+            "mine",
+            "--transactions",
+            str(base_path),
+            "--append",
+            str(delta_path),
+            *common,
         ]) == 0
         incremental = json.loads(capsys.readouterr().out)
         assert main([
-            "mine", "--transactions", transactions, *common,
+            "mine",
+            "--transactions",
+            transactions,
+            *common,
         ]) == 0
         full = json.loads(capsys.readouterr().out)
         assert incremental["patterns"] == full["patterns"]
         assert incremental["updates"][0]["rows"] == 3
-        assert incremental["updates"][0]["mode"] in {
-            "incremental", "full"
-        }
+        assert incremental["updates"][0]["mode"] in {"incremental", "full"}
 
 
 class TestExplainListing:
@@ -490,8 +637,11 @@ class TestExplainListing:
         lines = [line for line in out.splitlines() if line.strip()]
         assert len(lines) == 5
         for name in (
-            "all_confidence", "coherence", "cosine",
-            "kulczynski", "max_confidence",
+            "all_confidence",
+            "coherence",
+            "cosine",
+            "kulczynski",
+            "max_confidence",
         ):
             assert any(line.startswith(name) for line in lines)
         assert "aliases: kulc" in out
@@ -505,13 +655,28 @@ def served_store(example_files, tmp_path):
     transactions, taxonomy = example_files
     store_dir = tmp_path / "shards"
     assert main([
-        "update", "--store", str(store_dir), "--taxonomy", taxonomy,
-        "--init-from", transactions,
+        "update",
+        "--store",
+        str(store_dir),
+        "--taxonomy",
+        taxonomy,
+        "--init-from",
+        transactions,
     ]) == 0
     args = build_parser().parse_args([
-        "serve", "--store", str(store_dir), "--taxonomy", taxonomy,
-        "--gamma", "0.6", "--epsilon", "0.35", "--min-support", "1",
-        "--port", "0",
+        "serve",
+        "--store",
+        str(store_dir),
+        "--taxonomy",
+        taxonomy,
+        "--gamma",
+        "0.6",
+        "--epsilon",
+        "0.35",
+        "--min-support",
+        "1",
+        "--port",
+        "0",
     ])
     server = _build_server(args)
     return store_dir, server
@@ -546,9 +711,19 @@ class TestServe:
         capsys.readouterr()
         _, taxonomy = example_files
         args = build_parser().parse_args([
-            "serve", "--store", str(store_dir), "--taxonomy", taxonomy,
-            "--gamma", "0.6", "--epsilon", "0.35", "--min-support", "1",
-            "--port", "0",
+            "serve",
+            "--store",
+            str(store_dir),
+            "--taxonomy",
+            taxonomy,
+            "--gamma",
+            "0.6",
+            "--epsilon",
+            "0.35",
+            "--min-support",
+            "1",
+            "--port",
+            "0",
         ])
         again = _build_server(args)
         again.close()
@@ -582,7 +757,11 @@ class TestServe:
         archive = tmp_path / "run.json"
         save_result(result, archive)
         args = build_parser().parse_args([
-            "serve", "--result", str(archive), "--port", "0",
+            "serve",
+            "--result",
+            str(archive),
+            "--port",
+            "0",
         ])
         server = _build_server(args)
         try:
@@ -597,8 +776,12 @@ class TestQueryCommand:
         server.close()
         capsys.readouterr()
         assert main([
-            "query", "--store", str(store_dir),
-            "--items", "a11", "--plan",
+            "query",
+            "--store",
+            str(store_dir),
+            "--items",
+            "a11",
+            "--plan",
         ]) == 0
         out = capsys.readouterr().out
         assert "1 match(es)" in out
@@ -611,8 +794,14 @@ class TestQueryCommand:
         server.close()
         capsys.readouterr()
         assert main([
-            "query", "--store", str(store_dir),
-            "--signature", "+-+", "--sort", "min_gap", "--json",
+            "query",
+            "--store",
+            str(store_dir),
+            "--signature",
+            "+-+",
+            "--sort",
+            "min_gap",
+            "--json",
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
         store = PatternStore.open(store_dir / "pattern_store.json")
@@ -624,9 +813,18 @@ class TestQueryCommand:
     def test_query_archive(self, example_files, tmp_path, capsys):
         transactions, taxonomy = example_files
         assert main([
-            "mine", "--transactions", transactions, "--taxonomy",
-            taxonomy, "--gamma", "0.6", "--epsilon", "0.35",
-            "--min-support", "1", "--json",
+            "mine",
+            "--transactions",
+            transactions,
+            "--taxonomy",
+            taxonomy,
+            "--gamma",
+            "0.6",
+            "--epsilon",
+            "0.35",
+            "--min-support",
+            "1",
+            "--json",
         ]) == 0
         capsys.readouterr()
         from repro.core.flipper import mine_flipping_patterns
@@ -645,7 +843,11 @@ class TestQueryCommand:
             archive,
         )
         assert main([
-            "query", "--result", str(archive), "--under", "a1",
+            "query",
+            "--result",
+            str(archive),
+            "--under",
+            "a1",
         ]) == 0
         assert "1 match(es)" in capsys.readouterr().out
 
@@ -658,6 +860,10 @@ class TestQueryCommand:
         server.close()
         capsys.readouterr()
         assert main([
-            "query", "--store", str(store_dir), "--items", "a22",
+            "query",
+            "--store",
+            str(store_dir),
+            "--items",
+            "a22",
         ]) == 0
         assert "0 match(es)" in capsys.readouterr().out

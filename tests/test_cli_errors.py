@@ -32,11 +32,16 @@ def example_files(tmp_path):
 def _mine_args(transactions: str, taxonomy: str, *extra: str) -> list[str]:
     return [
         "mine",
-        "--transactions", transactions,
-        "--taxonomy", taxonomy,
-        "--gamma", "0.6",
-        "--epsilon", "0.35",
-        "--min-support", "1,1,1",
+        "--transactions",
+        transactions,
+        "--taxonomy",
+        taxonomy,
+        "--gamma",
+        "0.6",
+        "--epsilon",
+        "0.35",
+        "--min-support",
+        "1,1,1",
         *extra,
     ]
 
@@ -52,9 +57,7 @@ def _expect_error(capsys, argv: list[str], *needles: str) -> None:
 
 class TestSampleRateErrors:
     @pytest.mark.parametrize("rate", ["0", "-0.2", "1.5"])
-    def test_out_of_range_sample_rate(
-        self, example_files, capsys, rate
-    ):
+    def test_out_of_range_sample_rate(self, example_files, capsys, rate):
         transactions, taxonomy = example_files
         _expect_error(
             capsys,
@@ -89,8 +92,12 @@ class TestSampleRateErrors:
         _expect_error(
             capsys,
             _mine_args(
-                transactions, taxonomy,
-                "--sample-rate", "0.5", "--confidence", "1.0",
+                transactions,
+                taxonomy,
+                "--sample-rate",
+                "0.5",
+                "--confidence",
+                "1.0",
             ),
             "confidence must be in (0, 1)",
         )
@@ -104,8 +111,12 @@ class TestSampleRateErrors:
         _expect_error(
             capsys,
             _mine_args(
-                transactions, taxonomy,
-                "--sample-rate", "0.5", "--append", str(delta),
+                transactions,
+                taxonomy,
+                "--sample-rate",
+                "0.5",
+                "--append",
+                str(delta),
             ),
             "--append",
             "--sample-rate",
@@ -119,8 +130,10 @@ class TestConflictingSources:
             capsys,
             [
                 "query",
-                "--store", str(tmp_path),
-                "--result", str(tmp_path / "r.json"),
+                "--store",
+                str(tmp_path),
+                "--result",
+                str(tmp_path / "r.json"),
             ],
             "exactly one",
         )
@@ -131,21 +144,27 @@ class TestConflictingSources:
             capsys,
             [
                 "serve",
-                "--store", str(tmp_path),
-                "--result", str(tmp_path / "r.json"),
+                "--store",
+                str(tmp_path),
+                "--result",
+                str(tmp_path / "r.json"),
             ],
             "exactly one",
         )
 
-    def test_update_store_dir_without_init(self, capsys, tmp_path, example_files):
+    def test_update_store_dir_without_init(
+        self, capsys, tmp_path, example_files
+    ):
         _transactions, taxonomy = example_files
         missing = tmp_path / "not-a-store"
         _expect_error(
             capsys,
             [
                 "update",
-                "--store", str(missing),
-                "--taxonomy", taxonomy,
+                "--store",
+                str(missing),
+                "--taxonomy",
+                taxonomy,
             ],
             "not a shard store",
             "--init-from",
@@ -160,9 +179,12 @@ class TestConflictingSources:
             main(
                 [
                     "update",
-                    "--store", str(store_dir),
-                    "--taxonomy", taxonomy,
-                    "--init-from", transactions,
+                    "--store",
+                    str(store_dir),
+                    "--taxonomy",
+                    taxonomy,
+                    "--init-from",
+                    transactions,
                 ]
             )
             == 0
@@ -171,9 +193,12 @@ class TestConflictingSources:
             capsys,
             [
                 "update",
-                "--store", str(store_dir),
-                "--taxonomy", taxonomy,
-                "--init-from", transactions,
+                "--store",
+                str(store_dir),
+                "--taxonomy",
+                taxonomy,
+                "--init-from",
+                transactions,
             ],
             "already a shard store",
         )
@@ -187,9 +212,7 @@ class TestConflictingSources:
 
 
 class TestMalformedInputs:
-    def test_missing_transactions_file(
-        self, capsys, tmp_path, example_files
-    ):
+    def test_missing_transactions_file(self, capsys, tmp_path, example_files):
         _transactions, taxonomy = example_files
         _expect_error(
             capsys,
@@ -207,9 +230,7 @@ class TestMalformedInputs:
             "no transactions",
         )
 
-    def test_basket_line_with_no_items(
-        self, capsys, tmp_path, example_files
-    ):
+    def test_basket_line_with_no_items(self, capsys, tmp_path, example_files):
         _transactions, taxonomy = example_files
         bad = tmp_path / "bad.basket"
         bad.write_text("a11,b11\n,,\n")
@@ -220,9 +241,7 @@ class TestMalformedInputs:
             "empty transaction",
         )
 
-    def test_jsonl_with_invalid_json(
-        self, capsys, tmp_path, example_files
-    ):
+    def test_jsonl_with_invalid_json(self, capsys, tmp_path, example_files):
         _transactions, taxonomy = example_files
         bad = tmp_path / "bad.jsonl"
         bad.write_text('["a11", "b11"]\nnot json at all\n')
@@ -233,9 +252,7 @@ class TestMalformedInputs:
             "not valid JSON",
         )
 
-    def test_jsonl_with_non_array_row(
-        self, capsys, tmp_path, example_files
-    ):
+    def test_jsonl_with_non_array_row(self, capsys, tmp_path, example_files):
         _transactions, taxonomy = example_files
         bad = tmp_path / "bad.jsonl"
         bad.write_text('{"not": "an array"}\n')

@@ -80,7 +80,10 @@ class TestThresholdFailures:
             (dict(gamma=0.3, epsilon=0.5), "below gamma"),
             (dict(gamma=0.5, epsilon=0.1, min_support=[0.1, 2]), "mixes"),
             (dict(gamma=0.5, epsilon=0.1, min_support=0), ">= 1"),
-            (dict(gamma=0.5, epsilon=0.1, min_support=[1, 2]), "non-increasing"),
+            (
+                dict(gamma=0.5, epsilon=0.1, min_support=[1, 2]),
+                "non-increasing",
+            ),
             (dict(gamma=0.5, epsilon=0.1, min_support=[]), "empty"),
             (dict(gamma=0.5, epsilon=0.1, min_support=True), "bool"),
         ],
@@ -118,9 +121,7 @@ class TestMinerConfigFailures:
 
     def test_max_k_too_small(self, small_db):
         with pytest.raises(ConfigError, match="max_k"):
-            FlipperMiner(
-                small_db, Thresholds(gamma=0.5, epsilon=0.1), max_k=1
-            )
+            FlipperMiner(small_db, Thresholds(gamma=0.5, epsilon=0.1), max_k=1)
 
 
 class TestCrashSafeAppend:
@@ -166,9 +167,7 @@ class TestCrashSafeAppend:
         assert store.n_shards == before_files
         assert store.n_transactions == before_rows
         # on-disk manifest is byte-identical to the pre-append one
-        assert (
-            tmp_path / "manifest.json"
-        ).read_bytes() == manifest_before
+        assert (tmp_path / "manifest.json").read_bytes() == manifest_before
         # a reopened store sees only the committed data, even though
         # an orphaned shard file may exist on disk
         from repro.data.shards import ShardedTransactionStore
@@ -182,9 +181,7 @@ class TestCrashSafeAppend:
         assert store.n_transactions == before_rows + 1
         retried = ShardedTransactionStore.open(tmp_path, example3_tax)
         assert retried.n_transactions == before_rows + 1
-        assert retried.shard_transactions(before_files) == [
-            ("a11", "b12")
-        ]
+        assert retried.shard_transactions(before_files) == [("a11", "b12")]
 
     def test_shard_write_crash_leaves_old_state(
         self, store, example3_tax, tmp_path, monkeypatch
@@ -196,9 +193,7 @@ class TestCrashSafeAppend:
         def explode(*args, **kwargs):
             raise OSError("no space")
 
-        monkeypatch.setattr(
-            columnar_module, "_atomic_write", explode
-        )
+        monkeypatch.setattr(columnar_module, "_atomic_write", explode)
         with pytest.raises(OSError, match="no space"):
             store.append_batch([("a11",)])
         monkeypatch.undo()
