@@ -24,6 +24,11 @@ depends on but no off-the-shelf tool checks:
   handlers is published by single-assignment atomic swap
   (``self._snap = next``), never mutated in place (PR 7, swap
   publication discipline).
+* **FLIP007** — metric and span names come from
+  :mod:`repro.obs.catalog` constants: no inline name literal reaches
+  ``registry.counter(...)``/``gauge``/``histogram`` or
+  ``trace_span(...)`` outside the obs package itself (PR 9, unified
+  observability catalog).
 
 The rules are deliberately *syntactic*: they match the concrete
 idioms this repo uses (attribute names, helper functions, module
@@ -922,6 +927,76 @@ class Flip006LockDiscipline(Rule):
 
 
 # ---------------------------------------------------------------------------
+# FLIP007 — metric-name catalog
+# ---------------------------------------------------------------------------
+
+#: registry getters whose first argument is a metric name
+_INSTRUMENT_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+class _Flip007Visitor(_RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call(node)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call) -> None:
+        if not node.args:
+            return
+        first = node.args[0]
+        if not (
+            isinstance(first, ast.Constant)
+            and isinstance(first.value, str)
+        ):
+            # catalog constants, variables, f-strings: all fine — the
+            # rule only rejects a verbatim inline name
+            return
+        func = node.func
+        call: str | None = None
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _INSTRUMENT_METHODS
+        ):
+            call = f".{func.attr}()"
+        elif isinstance(func, ast.Attribute) and func.attr == "span":
+            call = ".span()"
+        else:
+            resolved = self.resolve(func)
+            if resolved is not None and (
+                resolved == "trace_span"
+                or resolved.endswith(".trace_span")
+            ):
+                call = "trace_span()"
+        if call is not None:
+            self.report(
+                node,
+                f"inline name literal {first.value!r} passed to "
+                f"{call} — metric and span names come from "
+                "repro.obs.catalog constants, so exposition, docs "
+                "and dashboards never drift (observability catalog, "
+                "PR 9)",
+            )
+
+
+class Flip007MetricCatalog(Rule):
+    id = "FLIP007"
+    title = "metric-catalog"
+    contract = (
+        "metric and span names outside repro.obs are catalog "
+        "constants, never inline string literals"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        # the obs package itself defines the names (and its catalog
+        # necessarily spells them out as literals)
+        return "obs" not in _parts(path)
+
+    def check(self, tree: ast.Module, path: str) -> list[RawFinding]:
+        visitor = _Flip007Visitor(self.id)
+        visitor.visit(tree)
+        return visitor.findings
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -934,6 +1009,7 @@ RULES: dict[str, Rule] = {
         Flip004ErrorContract(),
         Flip005Determinism(),
         Flip006LockDiscipline(),
+        Flip007MetricCatalog(),
     )
 }
 

@@ -44,6 +44,12 @@ from repro.bench.report import ShapeCheck, format_table, render_checks
 from repro.core.labels import Label
 from repro.core.patterns import ChainLink, FlippingPattern, MiningResult
 from repro.core.stats import MiningStats
+from repro.obs import catalog
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
 from repro.serve.aserver import AsyncPatternServer
 from repro.serve.query import Query, QueryEngine, linear_scan
 from repro.serve.server import PatternServer
@@ -296,6 +302,25 @@ def _timed_pass(
     }
 
 
+def _server_side_quantiles(registry: MetricsRegistry) -> dict[str, float]:
+    """p50/p99 as the *server* saw them, from its request-latency
+    histogram — aggregated across routes, so it covers everything the
+    load generator (and the updater) hit."""
+    metric = registry.get(catalog.HTTP_REQUEST_SECONDS)
+    if not isinstance(metric, Histogram):
+        return {"server_p50_ms": 0.0, "server_p99_ms": 0.0}
+    merged: list[int] = [0] * (len(metric.buckets) + 1)
+    for _key, data in metric.samples():
+        for index, count in enumerate(data.bucket_counts):
+            merged[index] += count
+    return {
+        "server_p50_ms": quantile_from_buckets(metric.buckets, merged, 0.50)
+        * 1000.0,
+        "server_p99_ms": quantile_from_buckets(metric.buckets, merged, 0.99)
+        * 1000.0,
+    }
+
+
 class _ScriptedMiner:
     """Cycles precomputed mining results; ``update()`` ignores the
     transactions.  Makes the concurrent phase measure *serving* under
@@ -536,13 +561,17 @@ def _concurrent_phase(
     for kind in ("threaded", "async"):
         store = PatternStore.build(result)
         miner = _ScriptedMiner(_update_generations(result, rounds, delta))
+        registry = MetricsRegistry()
         if kind == "threaded":
             server: PatternServer | AsyncPatternServer = PatternServer(
-                store, miner=miner
+                store, miner=miner, registry=registry
             )
         else:
             server = AsyncPatternServer(
-                store, miner=miner, max_connections=concurrency + 8
+                store,
+                miner=miner,
+                max_connections=concurrency + 8,
+                registry=registry,
             )
         with server:
             parity = parity and _spot_parity(
@@ -560,6 +589,7 @@ def _concurrent_phase(
                 with_updates=True,
             )
         phases[kind] = {"read_only": read_only, "mixed": mixed}
+        phases[kind].update(_server_side_quantiles(registry))
     threaded, async_ = phases["threaded"], phases["async"]
     speedup = (
         async_["mixed"]["qps"] / threaded["mixed"]["qps"]
@@ -745,6 +775,10 @@ def run_serve_bench(
                     str(int(stats["updates"])),
                 ]
             )
+    threaded_stats: dict[str, float]
+    async_stats: dict[str, float]
+    threaded_stats = concurrent["threaded"]  # type: ignore[assignment]
+    async_stats = concurrent["async"]  # type: ignore[assignment]
     report = "\n".join(
         [
             f"== Serve bench (bench scale {scale:g}) ==",
@@ -766,6 +800,12 @@ def run_serve_bench(
                 ["phase", "read qps", "p50 ms", "p99 ms", "updates"],
                 concurrent_rows,
             ),
+            "",
+            "server-side latency (request-seconds histogram): "
+            f"threaded p50 {threaded_stats['server_p50_ms']:.3f} / "
+            f"p99 {threaded_stats['server_p99_ms']:.3f} ms, "
+            f"async p50 {async_stats['server_p50_ms']:.3f} / "
+            f"p99 {async_stats['server_p99_ms']:.3f} ms",
             "",
             f"async-over-threaded (mixed): "
             f"{concurrent['async_over_threaded']:.1f}x "

@@ -39,6 +39,7 @@ import json
 import sys
 import time
 from collections.abc import Sequence
+from contextlib import AbstractContextManager, nullcontext
 from pathlib import Path
 
 from repro.bench.experiments import EXPERIMENTS
@@ -58,6 +59,12 @@ from repro.datasets.medline import generate_medline
 from repro.datasets.movies import generate_movies
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
 from repro.errors import ReproError
+from repro.obs.tracing import (
+    Tracer,
+    render_trace,
+    trace,
+    tracer_from_dict,
+)
 from repro.serve import (
     MEASURE_GETTERS,
     AsyncPatternServer,
@@ -178,6 +185,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument("--json", action="store_true", help="JSON output")
     mine.add_argument("--stats", action="store_true", help="print run statistics")
+    mine.add_argument(
+        "--profile", action="store_true",
+        help="trace the run and print the per-stage span tree "
+             "(wall/CPU time and per-stage percentages)",
+    )
+    mine.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the raw span tree as JSON (implies tracing; "
+             "render later with 'repro trace FILE')",
+    )
 
     rules = sub.add_parser(
         "rules",
@@ -491,11 +508,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="anchor for the suggested bottom-level support",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="render a saved mining trace (--trace-out JSON) as the "
+             "aggregated per-stage span tree",
+    )
+    trace.add_argument("file", help="trace JSON written by --trace-out")
+
     analyze = sub.add_parser(
         "analyze",
         help="run the repo invariant linter (FLIP rules: snapshot "
              "immutability, async-blocking, atomic writes, error "
-             "contract, determinism, swap discipline)",
+             "contract, determinism, swap discipline, metric-name "
+             "catalog)",
     )
     analyze.add_argument(
         "paths", nargs="*", default=["src", "scripts"],
@@ -580,19 +605,39 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         sample_method=args.sample_method or "stratified",
         sample_seed=args.sample_seed or 0,
     )
-    result = miner.mine()
+    tracer: Tracer | None = None
+    span_scope: AbstractContextManager[Tracer | None] = (
+        trace()
+        if args.profile or args.trace_out is not None
+        else nullcontext()
+    )
     updates: list[dict[str, object]] = []
-    for path in appends:
-        delta = load_transactions(path)
-        started = time.perf_counter()
-        result = miner.update(delta)
-        info: dict[str, object] = {
-            "file": str(path),
-            "rows": len(delta),
-            "seconds": time.perf_counter() - started,
-        }
-        info.update(result.config.get("incremental", {}))
-        updates.append(info)
+    with span_scope as tracer:
+        result = miner.mine()
+        for path in appends:
+            delta = load_transactions(path)
+            started = time.perf_counter()
+            result = miner.update(delta)
+            info: dict[str, object] = {
+                "file": str(path),
+                "rows": len(delta),
+                "seconds": time.perf_counter() - started,
+            }
+            info.update(result.config.get("incremental", {}))
+            updates.append(info)
+    if tracer is not None:
+        if args.trace_out is not None:
+            Path(args.trace_out).write_text(
+                json.dumps(tracer.to_dict(), indent=2) + "\n",
+                encoding="utf-8",
+            )
+        if args.profile:
+            # keep --json stdout machine-parseable: the human report
+            # goes to stderr there
+            out = sys.stderr if args.json else sys.stdout
+            print(render_trace(tracer), file=out)
+            if not args.json:
+                print()
     patterns = result.patterns
     if args.top_k is not None:
         patterns = top_k_most_flipping(patterns, k=args.top_k)
@@ -1306,6 +1351,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import DataError
+
+    path = Path(args.file)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise DataError(f"no such trace file: {path}") from None
+    except json.JSONDecodeError as error:
+        raise DataError(f"not a trace JSON file: {path}: {error}") from None
+    print(render_trace(tracer_from_dict(payload)))
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import (
         RULES,
@@ -1377,6 +1436,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "store": _cmd_store,
         "explain": _cmd_explain,
         "profile": _cmd_profile,
+        "trace": _cmd_trace,
         "analyze": _cmd_analyze,
     }
     try:

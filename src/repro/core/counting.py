@@ -46,6 +46,8 @@ from repro.data.database import TransactionDatabase
 from repro.data.shards import ShardedTransactionStore
 from repro.data.vertical import VerticalIndex
 from repro.errors import ConfigError, DataError
+from repro.obs import catalog
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.taxonomy.tree import Taxonomy
 
 __all__ = [
@@ -678,6 +680,7 @@ class ShardBackendPool:
         memory_budget_mb: float | None = None,
         *,
         persist_images: bool = True,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if inner not in _BACKENDS:
             known = ", ".join(sorted(_BACKENDS))
@@ -717,6 +720,14 @@ class ShardBackendPool:
         #: resident shards whose backend came from (or was saved to)
         #: an on-disk image — no need to rewrite it on eviction
         self._imaged: set[int] = set()
+        #: registry mirrors of the attribute counters above — the
+        #: attributes stay the per-pool API, the registry series feed
+        #: /v1/metrics
+        registry = registry if registry is not None else default_registry()
+        self._m_admits = registry.counter(catalog.POOL_ADMITS)
+        self._m_evictions = registry.counter(catalog.POOL_EVICTIONS)
+        self._m_images_saved = registry.counter(catalog.POOL_IMAGES_SAVED)
+        self._m_resident_bytes = registry.gauge(catalog.POOL_RESIDENT_BYTES)
 
     @property
     def store(self) -> ShardedTransactionStore:
@@ -804,6 +815,7 @@ class ShardBackendPool:
                 return
             backend = self._resident.pop(victim)
             self._resident_bytes.pop(victim)
+            self._m_evictions.inc()
             if backend is not None:
                 self._retired_scans += backend.scans
                 # An eviction is exactly when a rebuild threat exists:
@@ -839,6 +851,7 @@ class ShardBackendPool:
         except (OSError, DataError):
             return False
         self.images_saved += 1
+        self._m_images_saved.inc()
         self._imaged.add(index)
         return True
 
@@ -930,14 +943,19 @@ class ShardBackendPool:
         backend = self._admit_from_image(index)
         if backend is not None:
             self.image_admits += 1
+            self._m_admits.inc(kind="image")
             self._imaged.add(index)
         else:
             backend = self._build(index)
             if index in self._built:
                 self.rebuilds += 1
+                self._m_admits.inc(kind="rebuild")
+            else:
+                self._m_admits.inc(kind="build")
         self._built.add(index)
         self._resident[index] = backend
         self._resident_bytes[index] = estimate
+        self._m_resident_bytes.set(self.resident_bytes)
         return backend
 
     def iter_backends(self) -> Iterator[tuple[int, CountingBackend]]:
@@ -1148,6 +1166,10 @@ class DeltaCounter(PartitionedBackend):
         self.cache_misses = 0
         self.refreshes = 0
         self.delta_shards_counted = 0
+        registry = default_registry()
+        self._m_cache_hits = registry.counter(catalog.CACHE_HITS)
+        self._m_cache_misses = registry.counter(catalog.CACHE_MISSES)
+        self._m_cache_size = registry.gauge(catalog.CACHE_SIZE)
 
     # ------------------------------------------------------------------
     # delta maintenance
@@ -1214,6 +1236,10 @@ class DeltaCounter(PartitionedBackend):
                 hits[itemset] = count
         self.cache_hits += len(hits)
         self.cache_misses += len(misses)
+        if hits:
+            self._m_cache_hits.inc(len(hits), cache="delta_counter")
+        if misses:
+            self._m_cache_misses.inc(len(misses), cache="delta_counter")
         return hits, misses
 
     def store_counts(
@@ -1226,15 +1252,18 @@ class DeltaCounter(PartitionedBackend):
         cache = self._supports_cache.setdefault(level, {})
         if self._max_cached_itemsets is None:
             cache.update(counts)
+            self._m_cache_size.set(
+                self.cached_itemsets, cache="delta_counter"
+            )
             return
         room = self._max_cached_itemsets - self.cached_itemsets
-        if room <= 0:
-            return
-        for itemset, count in counts.items():
-            cache[itemset] = count
-            room -= 1
-            if room <= 0:
-                break
+        if room > 0:
+            for itemset, count in counts.items():
+                cache[itemset] = count
+                room -= 1
+                if room <= 0:
+                    break
+        self._m_cache_size.set(self.cached_itemsets, cache="delta_counter")
 
     def serve(
         self,

@@ -64,6 +64,8 @@ from repro.engine.partition import (
 from repro.engine.plan import ExecutionPlan, MiningContext, Stage
 from repro.engine.stages import build_default_stages
 from repro.errors import ConfigError
+from repro.obs import catalog
+from repro.obs.tracing import trace_span
 
 __all__ = ["PruningConfig", "FlipperMiner", "mine_flipping_patterns"]
 
@@ -479,8 +481,9 @@ class FlipperMiner:
         )
         context.stats = self._stats
         try:
-            with Timer() as timer:
-                self._prepare_levels()
+            with trace_span(catalog.SPAN_MINE), Timer() as timer:
+                with trace_span(catalog.SPAN_PREPARE):
+                    self._prepare_levels()
                 if self._pruning.flipping:
                     self._sweep_flipping()
                 else:

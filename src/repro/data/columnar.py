@@ -45,6 +45,8 @@ import numpy as np
 
 from repro.core.atomicio import atomic_write_bytes
 from repro.errors import DataError
+from repro.obs import catalog
+from repro.obs.metrics import default_registry
 from repro.taxonomy.tree import Taxonomy
 
 __all__ = [
@@ -68,6 +70,12 @@ IMAGE_FORMAT_VERSION = 1
 #: array alignment inside both containers (cache-line friendly, and
 #: a safe mmap offset granularity everywhere)
 _ALIGN = 64
+
+#: registered once at import; every map/decode below feeds these
+_M_MAPPED_BYTES = default_registry().counter(catalog.COLUMNAR_MAPPED_BYTES)
+_M_SHARDS_DECODED = default_registry().counter(
+    catalog.COLUMNAR_SHARDS_DECODED
+)
 
 
 #: per-instance fingerprint cache — taxonomies are immutable after
@@ -255,6 +263,7 @@ class ColumnarShard:
                 offset=self._offsets_at,
                 shape=(self._n_rows + 1,),
             )
+            _M_MAPPED_BYTES.inc(self._offsets.nbytes)
         return self._offsets
 
     @property
@@ -271,6 +280,7 @@ class ColumnarShard:
                     offset=self._items_at,
                     shape=(self._n_values,),
                 )
+                _M_MAPPED_BYTES.inc(self._items.nbytes)
         return self._items
 
     def row_index(self) -> np.ndarray:
@@ -286,6 +296,7 @@ class ColumnarShard:
 
     def rows(self) -> list[tuple[str, ...]]:
         """Decode back to item-name rows (the round-trip contract)."""
+        _M_SHARDS_DECODED.inc()
         offsets = self.offsets
         items = self.items
         names = self._item_names
@@ -405,6 +416,7 @@ def read_backend_image(
                             0,
                             access=mmap.ACCESS_READ,
                         )
+                        _M_MAPPED_BYTES.inc(size)
                     view = np.frombuffer(
                         buffer, dtype=dtype, count=count, offset=at
                     ).reshape(shape)

@@ -49,6 +49,8 @@ from repro.data.shards import (
     open_or_partition_store,
 )
 from repro.errors import ConfigError
+from repro.obs import catalog
+from repro.obs.tracing import trace_span
 
 __all__ = ["IncrementalMiner"]
 
@@ -173,6 +175,12 @@ class IncrementalMiner:
         are counted against transaction data.  An empty delta returns
         the previous result unchanged.
         """
+        with trace_span(catalog.SPAN_UPDATE):
+            return self._update(transactions)
+
+    def _update(
+        self, transactions: Iterable[Iterable[str]]
+    ) -> MiningResult:
         new_shards = self._store.append_batch(transactions)
         delta_rows = sum(
             self._store.shard_sizes[index] for index in new_shards

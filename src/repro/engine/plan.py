@@ -32,6 +32,8 @@ from repro.core.thresholds import ResolvedThresholds
 from repro.data.database import TransactionDatabase
 from repro.data.shards import ShardedTransactionStore
 from repro.engine.executors import Executor
+from repro.obs import catalog
+from repro.obs.tracing import trace_span
 from repro.taxonomy.tree import Taxonomy
 
 __all__ = ["CellTask", "CellState", "MiningContext", "Stage", "ExecutionPlan"]
@@ -148,9 +150,15 @@ class ExecutionPlan:
         stage_seconds: dict[str, float] = context.stats.extra.setdefault(
             "stage_seconds", {}
         )
-        with Timer() as cell_timer:
+        with (
+            trace_span(catalog.SPAN_CELL, level=level, k=k),
+            Timer() as cell_timer,
+        ):
             for stage in self._stages:
-                with Timer() as stage_timer:
+                with (
+                    trace_span(stage.name),
+                    Timer() as stage_timer,
+                ):
                     stage.run(context, state)
                 stage_seconds[stage.name] = (
                     stage_seconds.get(stage.name, 0.0) + stage_timer.seconds

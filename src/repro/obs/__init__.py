@@ -1,0 +1,62 @@
+"""Observability: the metrics registry, exposition and span tracer.
+
+Zero-dependency runtime instrumentation shared by every layer — the
+mining engine, the shard-backend pool, the caches and the serving
+tier.  See :mod:`repro.obs.catalog` for the metric/span name
+contract, :mod:`repro.obs.metrics` for the registry,
+:mod:`repro.obs.exposition` for the Prometheus/JSON renderers and
+:mod:`repro.obs.tracing` for the span tracer behind
+``repro mine --profile``.
+"""
+
+from __future__ import annotations
+
+from repro.obs import catalog
+from repro.obs.exposition import (
+    CONTENT_TYPE_TEXT,
+    render_json,
+    render_text,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    quantile_from_buckets,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    aggregate_spans,
+    current_tracer,
+    render_trace,
+    trace,
+    trace_span,
+    tracer_from_dict,
+)
+
+__all__ = [
+    "CONTENT_TYPE_TEXT",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+    "catalog",
+    "current_tracer",
+    "default_registry",
+    "quantile_from_buckets",
+    "render_json",
+    "render_text",
+    "render_trace",
+    "trace",
+    "trace_span",
+    "tracer_from_dict",
+]

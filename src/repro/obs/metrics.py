@@ -1,0 +1,425 @@
+"""Zero-dependency metrics: counters, gauges, histograms, registries.
+
+The model is deliberately a small subset of the Prometheus client
+library, reimplemented on the stdlib so the mining core stays
+dependency-free:
+
+* a :class:`MetricsRegistry` owns named metrics; the process-global
+  :data:`REGISTRY` is the default everywhere, and tests inject fresh
+  instances for isolation;
+* :class:`Counter` (monotonic), :class:`Gauge` (set/inc/dec, or a
+  callback evaluated at collect time) and :class:`Histogram`
+  (fixed cumulative buckets plus sum/count), each with an optional
+  declared label set — every distinct label-value combination is one
+  independently tracked series;
+* increments are lock-cheap: one tiny per-metric lock around a dict
+  update, never around user work, so hot paths (a counter bump per
+  HTTP request, per pool admit) cost well under a microsecond.
+
+Metric *names* come from :mod:`repro.obs.catalog` — when a name is
+registered without explicit help/labels, the catalog spec fills them
+in, so call sites stay one line.  The FLIP007 analysis rule enforces
+that call sites pass catalog constants, not inline literals.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.obs import catalog
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "REGISTRY",
+    "default_registry",
+    "quantile_from_buckets",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram bucket upper bounds — latency-shaped (seconds),
+#: spanning sub-millisecond cache hits to multi-second mines
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _validate_labels(
+    declared: tuple[str, ...], labels: Mapping[str, Any]
+) -> tuple[str, ...]:
+    """The label-value key of one series, in declared order."""
+    if set(labels) != set(declared):
+        raise ConfigError(
+            f"label set mismatch: declared {sorted(declared)}, "
+            f"got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in declared)
+
+
+class Metric:
+    """Shared shape of one named metric (a family of series)."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str, labels: tuple[str, ...] = ()
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ConfigError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ConfigError(
+                    f"invalid label name {label!r} on metric {name!r}"
+                )
+        self.name = name
+        self.help = help
+        self.label_names = tuple(labels)
+        self._lock = threading.Lock()
+
+    def samples(self) -> list[tuple[tuple[str, ...], Any]]:
+        """``(label values, value)`` per series, deterministic order."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing value (optionally per label set)."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str, labels: tuple[str, ...] = ()
+    ) -> None:
+        super().__init__(name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ConfigError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        key = _validate_labels(self.label_names, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = _validate_labels(self.label_names, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> list[tuple[tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Gauge(Metric):
+    """A value that goes up and down; settable or callback-backed."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str, labels: tuple[str, ...] = ()
+    ) -> None:
+        super().__init__(name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+        self._functions: dict[tuple[str, ...], Callable[[], float]] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = _validate_labels(self.label_names, labels)
+        with self._lock:
+            self._values[key] = float(value)
+            self._functions.pop(key, None)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _validate_labels(self.label_names, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def set_function(
+        self, function: Callable[[], float], **labels: Any
+    ) -> None:
+        """Evaluate ``function`` at every collect (live gauges like
+        uptime or queue depth; the last registration wins)."""
+        key = _validate_labels(self.label_names, labels)
+        with self._lock:
+            self._functions[key] = function
+            self._values.pop(key, None)
+
+    def value(self, **labels: Any) -> float:
+        key = _validate_labels(self.label_names, labels)
+        with self._lock:
+            function = self._functions.get(key)
+            if function is None:
+                return self._values.get(key, 0.0)
+        return float(function())
+
+    def samples(self) -> list[tuple[tuple[str, ...], Any]]:
+        with self._lock:
+            values = dict(self._values)
+            functions = dict(self._functions)
+        for key, function in functions.items():
+            values[key] = float(function())
+        return sorted(values.items())
+
+
+@dataclass
+class HistogramData:
+    """One series of a histogram: bucket counts plus sum/count."""
+
+    bucket_counts: list[int]
+    total: int = 0
+    sum: float = 0.0
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution: cumulative buckets, sum and count."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: tuple[str, ...] = (),
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigError(
+                f"histogram {name!r} buckets must be strictly "
+                f"increasing and non-empty, got {bounds}"
+            )
+        self.buckets = bounds
+        self._series: dict[tuple[str, ...], HistogramData] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _validate_labels(self.label_names, labels)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            data = self._series.get(key)
+            if data is None:
+                data = HistogramData([0] * (len(self.buckets) + 1))
+                self._series[key] = data
+            data.bucket_counts[index] += 1
+            data.total += 1
+            data.sum += value
+
+    def data(self, **labels: Any) -> HistogramData:
+        key = _validate_labels(self.label_names, labels)
+        with self._lock:
+            data = self._series.get(key)
+            if data is None:
+                return HistogramData([0] * (len(self.buckets) + 1))
+            return HistogramData(
+                list(data.bucket_counts), data.total, data.sum
+            )
+
+    def quantile(self, fraction: float, **labels: Any) -> float:
+        """Estimated quantile via linear bucket interpolation."""
+        data = self.data(**labels)
+        return quantile_from_buckets(
+            self.buckets, data.bucket_counts, fraction
+        )
+
+    def samples(self) -> list[tuple[tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(
+                (
+                    key,
+                    HistogramData(
+                        list(data.bucket_counts), data.total, data.sum
+                    ),
+                )
+                for key, data in self._series.items()
+            )
+
+
+def quantile_from_buckets(
+    bounds: tuple[float, ...] | list[float],
+    bucket_counts: list[int],
+    fraction: float,
+) -> float:
+    """Quantile estimate from per-bucket counts (not cumulative).
+
+    ``bucket_counts`` has one entry per bound plus the overflow
+    bucket.  Interpolates linearly inside the target bucket (from the
+    previous bound, or 0 for the first); observations in the overflow
+    bucket report the largest finite bound, mirroring Prometheus'
+    ``histogram_quantile``.  Returns 0.0 for an empty histogram.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigError(f"fraction must be in [0, 1], got {fraction}")
+    total = sum(bucket_counts)
+    if total == 0:
+        return 0.0
+    rank = fraction * total
+    cumulative = 0
+    for index, count in enumerate(bucket_counts):
+        cumulative += count
+        if cumulative >= rank and count > 0:
+            if index >= len(bounds):
+                return float(bounds[-1])
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index]
+            into = (rank - (cumulative - count)) / count
+            return lower + (upper - lower) * into
+    return float(bounds[-1])
+
+
+_METRIC_TYPES: dict[str, type[Metric]] = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create registration.
+
+    Registration is idempotent for an identical (type, label set)
+    signature and loudly :class:`~repro.errors.ConfigError` for a
+    conflicting one — a silent type fork would corrupt every scrape.
+    When ``help``/``labels`` are omitted, the
+    :mod:`repro.obs.catalog` spec for the name fills them in.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- registration --------------------------------------------------
+
+    def _get_or_create(
+        self,
+        kind: str,
+        name: str,
+        help: str | None,
+        labels: tuple[str, ...] | None,
+        buckets: tuple[float, ...] | None = None,
+    ) -> Metric:
+        spec = catalog.METRICS.get(name)
+        if help is None:
+            help = spec.help if spec is not None else ""
+        if labels is None:
+            labels = spec.labels if spec is not None else ()
+        if buckets is None and spec is not None:
+            buckets = spec.buckets
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if (
+                    existing.kind != kind
+                    or existing.label_names != tuple(labels)
+                ):
+                    raise ConfigError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.label_names}, "
+                        f"requested {kind}{tuple(labels)}"
+                    )
+                return existing
+            if kind == "histogram":
+                metric: Metric = Histogram(
+                    name, help, tuple(labels), buckets
+                )
+            else:
+                metric = _METRIC_TYPES[kind](name, help, tuple(labels))
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self,
+        name: str,
+        help: str | None = None,
+        labels: tuple[str, ...] | None = None,
+    ) -> Counter:
+        metric = self._get_or_create("counter", name, help, labels)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(
+        self,
+        name: str,
+        help: str | None = None,
+        labels: tuple[str, ...] | None = None,
+    ) -> Gauge:
+        metric = self._get_or_create("gauge", name, help, labels)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str | None = None,
+        labels: tuple[str, ...] | None = None,
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        metric = self._get_or_create(
+            "histogram", name, help, labels, buckets
+        )
+        assert isinstance(metric, Histogram)
+        return metric
+
+    # -- introspection -------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        """Metrics sorted by name (a stable collect order)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name in sorted(metrics):
+            yield metrics[name]
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Current value of one counter/gauge series (0.0 if absent)."""
+        metric = self.get(name)
+        if metric is None:
+            return 0.0
+        if isinstance(metric, (Counter, Gauge)):
+            return metric.value(**labels)
+        raise ConfigError(
+            f"metric {name!r} is a {metric.kind}; read its buckets "
+            "via data()/samples()"
+        )
+
+
+#: the process-global default registry
+REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry instrumented code defaults to."""
+    return REGISTRY

@@ -1,0 +1,276 @@
+"""Span-based tracing for mining runs: where did the time go?
+
+A :class:`Tracer` records a tree of :class:`Span`\\ s — one per
+``with trace_span(name, **attrs)`` block — with wall-clock *and* CPU
+time per span, so a profile distinguishes "counting was slow because
+it computed" from "counting was slow because it waited on I/O".
+
+The instrumentation contract is deliberately asymmetric:
+
+* call sites are **always on** — ``trace_span`` is sprinkled through
+  the engine unconditionally;
+* cost is **opt-in** — with no tracer installed (the default), the
+  context manager is a cached no-op and a traced block pays two
+  context-variable reads, nothing else.  ``repro mine --profile``
+  installs one around a run and prints the aggregated tree.
+
+Span *names* come from :mod:`repro.obs.catalog` (FLIP007 rejects
+inline literals); per-span attributes (``level=2``, ``k=3``) are
+free-form and kept out of aggregation keys.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from collections.abc import Iterator
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DataError
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+    "current_tracer",
+    "render_trace",
+    "trace",
+    "trace_span",
+    "tracer_from_dict",
+]
+
+TRACE_FORMAT = "repro.trace"
+TRACE_VERSION = 1
+
+
+@dataclass
+class Span:
+    """One timed block: name, attributes, timings, children."""
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    children: list[Span] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> Span:
+        try:
+            return cls(
+                name=str(payload["name"]),
+                attrs=dict(payload.get("attrs", {})),
+                wall_seconds=float(payload["wall_seconds"]),
+                cpu_seconds=float(payload["cpu_seconds"]),
+                children=[
+                    cls.from_dict(child)
+                    for child in payload.get("children", [])
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(f"malformed span payload: {exc}") from exc
+
+
+class Tracer:
+    """Collects a span tree; install with :func:`trace`.
+
+    Not thread-safe by design: a tracer follows one logical mining
+    run.  The context-variable installation means concurrent runs in
+    different threads/tasks simply don't see each other's tracer.
+    """
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        node = Span(name=name, attrs=attrs)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield node
+        finally:
+            node.wall_seconds = time.perf_counter() - wall0
+            node.cpu_seconds = time.process_time() - cpu0
+            self._stack.pop()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "spans": [span.to_dict() for span in self.roots],
+        }
+
+
+def tracer_from_dict(payload: dict[str, Any]) -> Tracer:
+    """Rebuild a tracer from :meth:`Tracer.to_dict` output."""
+    if payload.get("format") != TRACE_FORMAT:
+        raise DataError(
+            f"not a {TRACE_FORMAT} document: "
+            f"format={payload.get('format')!r}"
+        )
+    if payload.get("version") != TRACE_VERSION:
+        raise DataError(
+            f"unsupported trace version {payload.get('version')!r}"
+        )
+    tracer = Tracer()
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        raise DataError("trace document has no span list")
+    tracer.roots = [Span.from_dict(span) for span in spans]
+    return tracer
+
+
+_CURRENT: ContextVar[Tracer | None] = ContextVar(
+    "repro_tracer", default=None
+)
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer installed in this context, if any."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def trace() -> Iterator[Tracer]:
+    """Install a fresh tracer for the dynamic extent of the block."""
+    tracer = Tracer()
+    token = _CURRENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextlib.contextmanager
+def _noop() -> Iterator[None]:
+    yield None
+
+
+_NOOP = _noop
+
+
+def trace_span(
+    name: str, **attrs: Any
+) -> contextlib.AbstractContextManager[Span | None]:
+    """A span under the installed tracer, or a cheap no-op without.
+
+    The always-on instrumentation entry point: safe to wrap hot
+    engine loops because the untraced path allocates nothing beyond
+    one generator-based context manager.
+    """
+    tracer = _CURRENT.get()
+    if tracer is None:
+        return _NOOP()
+    return tracer.span(name, **attrs)
+
+
+# ---------------------------------------------------------------------------
+# aggregation + report rendering
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AggregatedSpan:
+    """Same-name siblings merged: totals plus call count."""
+
+    name: str
+    calls: int = 0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    children: dict[str, AggregatedSpan] = field(default_factory=dict)
+
+
+def aggregate_spans(spans: list[Span]) -> dict[str, AggregatedSpan]:
+    """Merge sibling spans by name, recursively.
+
+    A mine visits hundreds of cells; the profile report wants "all
+    ``count`` stages under all ``cell`` visits" as one line, so the
+    tree is folded by name level-by-level while attribute detail
+    (which level, which k) is dropped.
+    """
+    merged: dict[str, AggregatedSpan] = {}
+    for span in spans:
+        node = merged.setdefault(span.name, AggregatedSpan(span.name))
+        node.calls += 1
+        node.wall_seconds += span.wall_seconds
+        node.cpu_seconds += span.cpu_seconds
+        for name, child in aggregate_spans(span.children).items():
+            into = node.children.setdefault(name, AggregatedSpan(name))
+            into.calls += child.calls
+            into.wall_seconds += child.wall_seconds
+            into.cpu_seconds += child.cpu_seconds
+            _merge_children(into, child)
+    return merged
+
+
+def _merge_children(into: AggregatedSpan, source: AggregatedSpan) -> None:
+    for name, child in source.children.items():
+        target = into.children.setdefault(name, AggregatedSpan(name))
+        target.calls += child.calls
+        target.wall_seconds += child.wall_seconds
+        target.cpu_seconds += child.cpu_seconds
+        _merge_children(target, child)
+
+
+def render_trace(tracer: Tracer) -> str:
+    """The aggregated span tree as an aligned text report.
+
+    Each line shows total wall time, its share of the parent's wall
+    time, CPU time and call count — the ``repro mine --profile`` /
+    ``repro trace`` output.
+    """
+    merged = aggregate_spans(tracer.roots)
+    total = sum(node.wall_seconds for node in merged.values())
+    lines = [
+        "span                             wall_ms     %    cpu_ms  calls",
+    ]
+    for node in sorted(
+        merged.values(), key=lambda n: n.wall_seconds, reverse=True
+    ):
+        _render_node(lines, node, parent_wall=total, depth=0)
+    if total > 0:
+        lines.append(f"total wall time: {total * 1000:.1f} ms")
+    else:
+        lines.append("no spans recorded")
+    return "\n".join(lines)
+
+
+def _render_node(
+    lines: list[str],
+    node: AggregatedSpan,
+    parent_wall: float,
+    depth: int,
+) -> None:
+    share = (
+        100.0 * node.wall_seconds / parent_wall if parent_wall > 0 else 0.0
+    )
+    label = "  " * depth + node.name
+    lines.append(
+        f"{label:<30} {node.wall_seconds * 1000:>9.1f} "
+        f"{share:>5.1f} {node.cpu_seconds * 1000:>9.1f} {node.calls:>6}"
+    )
+    for child in sorted(
+        node.children.values(),
+        key=lambda n: n.wall_seconds,
+        reverse=True,
+    ):
+        _render_node(
+            lines, child, parent_wall=node.wall_seconds, depth=depth + 1
+        )

@@ -19,6 +19,8 @@ drift.
   pagination (``limit``/``cursor``) and conditional requests
   (``ETag`` / ``If-None-Match`` keyed on the snapshot version);
 * ``GET /v1/patterns/{id}`` — one pattern by id;
+* ``GET /v1/metrics`` — the metrics registry, in Prometheus text
+  exposition format (``?format=json`` for the JSON rendering);
 * ``POST /v1/update`` — feed a delta batch to the attached miner.
 
 The legacy unprefixed routes (``/healthz``, ``/patterns``, …) remain
@@ -59,6 +61,13 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ConfigError, ReproError, ServeError
+from repro.obs import catalog
+from repro.obs.exposition import (
+    CONTENT_TYPE_TEXT,
+    render_json,
+    render_text,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.query import Query, QueryEngine
 from repro.serve.store import PatternStore, StoreSnapshot
 
@@ -169,14 +178,20 @@ class ApiResponse:
     """One fully-decided HTTP response, transport not included.
 
     ``payload is None`` means an empty body (the 304 case); otherwise
-    the payload is JSON-encoded by :meth:`encode`.
+    the payload is JSON-encoded by :meth:`encode`.  Non-JSON routes
+    (the Prometheus exposition) set ``body`` directly along with
+    their ``content_type``; ``body`` wins over ``payload``.
     """
 
     status: int
     payload: Any | None
     headers: dict[str, str] = field(default_factory=dict)
+    content_type: str = "application/json"
+    body: bytes | None = None
 
     def encode(self) -> bytes:
+        if self.body is not None:
+            return self.body
         if self.payload is None:
             return b""
         return json.dumps(self.payload).encode("utf-8")
@@ -259,6 +274,7 @@ class PatternAPI:
         miner: Any | None = None,
         store_path: str | Path | None = None,
         queue_depth: Callable[[], int] | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self._engine = engine
         self._miner = miner
@@ -269,6 +285,31 @@ class PatternAPI:
         self._requests = 0
         self._updates = 0
         self._draining = False
+        self._request_seq = 0
+        #: default to the engine's registry, so one injection point
+        #: (QueryEngine(..., registry=...)) isolates a whole server
+        self.registry = (
+            registry if registry is not None else engine.registry
+        )
+        self._m_requests = self.registry.counter(catalog.HTTP_REQUESTS)
+        self._m_latency = self.registry.histogram(
+            catalog.HTTP_REQUEST_SECONDS
+        )
+        self._m_sheds = self.registry.counter(catalog.HTTP_SHEDS)
+        self._m_updates = self.registry.counter(catalog.UPDATES)
+        self._m_uptime = self.registry.gauge(catalog.UPTIME_SECONDS)
+        self._m_snap_version = self.registry.gauge(
+            catalog.SNAPSHOT_VERSION
+        )
+        self._m_snap_age = self.registry.gauge(
+            catalog.SNAPSHOT_AGE_SECONDS
+        )
+        self._m_snap_patterns = self.registry.gauge(
+            catalog.SNAPSHOT_PATTERNS
+        )
+        self._m_queue_depth = self.registry.gauge(
+            catalog.UPDATE_QUEUE_DEPTH
+        )
 
     # ------------------------------------------------------------------
     # shared state the servers read
@@ -291,6 +332,74 @@ class PatternAPI:
     def begin_drain(self) -> None:
         """Flip health to draining; requests are still answered."""
         self._draining = True
+
+    # ------------------------------------------------------------------
+    # request accounting (shared by both transports)
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Request-timing clock; servers stamp request starts here so
+        tests can freeze one clock for both transports."""
+        return time.perf_counter()
+
+    def route_template(self, target: str) -> str:
+        """The bounded route label of one request target.
+
+        Concrete pattern ids are folded into ``/patterns/{id}`` and
+        unroutable paths into ``other`` — every label value is one of
+        a small closed set, never a client-controlled string.
+        """
+        path = urlsplit(target).path.rstrip("/") or "/"
+        if path == API_VERSION_PREFIX or path.startswith(
+            API_VERSION_PREFIX + "/"
+        ):
+            path = path[len(API_VERSION_PREFIX) :] or "/"
+        if path.startswith("/patterns/"):
+            return "/patterns/{id}"
+        if path in ("/healthz", "/stats", "/patterns", "/update",
+                    "/metrics"):
+            return path
+        return "other"
+
+    def log_request(
+        self,
+        method: str,
+        target: str,
+        status: int,
+        started: float,
+    ) -> None:
+        """Meter and log one finished request (any transport).
+
+        Feeds the per-route request counter and latency histogram,
+        and emits exactly one structured JSON log line: route, status,
+        latency, snapshot version and a per-API request id.
+        """
+        elapsed = max(0.0, self.now() - started)
+        route = self.route_template(target)
+        self._m_requests.inc(route=route, status=str(status))
+        self._m_latency.observe(elapsed, route=route)
+        with self._counter_lock:
+            self._request_seq += 1
+            request_id = self._request_seq
+        logger.info(
+            json.dumps(
+                {
+                    "event": "request",
+                    "method": method,
+                    "route": route,
+                    "target": target,
+                    "status": status,
+                    "latency_ms": round(elapsed * 1000.0, 3),
+                    "store_version": self.store.version,
+                    "request_id": request_id,
+                },
+                sort_keys=True,
+            )
+        )
+
+    def record_shed(self) -> None:
+        """Count one load-shedding 503 (update queue full)."""
+        self._m_sheds.inc()
 
     # ------------------------------------------------------------------
     # dispatch
@@ -359,6 +468,8 @@ class PatternAPI:
         if method == "GET" and path == "/stats":
             _forbid_params(params)
             return ApiResponse(200, self._stats(snap))
+        if method == "GET" and path == "/metrics":
+            return self._metrics(snap, params)
         if method == "GET" and path == "/patterns":
             return self._patterns(snap, params, headers, versioned)
         if method == "GET" and path.startswith("/patterns/"):
@@ -378,13 +489,58 @@ class PatternAPI:
     # read endpoints
     # ------------------------------------------------------------------
 
+    def _refresh_gauges(self, snap: StoreSnapshot) -> None:
+        """Bring the live gauges up to date (scrape/health time).
+
+        Gauges are refreshed on read rather than continuously pushed:
+        there is no background thread to leak, and a scrape always
+        reports the instant it happened.
+        """
+        self._m_uptime.set(time.monotonic() - self._started)
+        self._m_snap_version.set(snap.version)
+        self._m_snap_patterns.set(len(snap))
+        self._m_snap_age.set(self.store.snapshot_age_seconds)
+        self._m_queue_depth.set(self._queue_depth())
+
+    def _metrics(
+        self, snap: StoreSnapshot, params: dict[str, str]
+    ) -> ApiResponse:
+        fmt = params.pop("format", "prometheus")
+        _forbid_params(params)
+        if fmt not in ("prometheus", "json"):
+            raise ApiError(
+                400,
+                "bad_request",
+                f"unknown metrics format {fmt!r} "
+                "(known: prometheus, json)",
+                {"format": fmt},
+            )
+        self._refresh_gauges(snap)
+        if fmt == "json":
+            return ApiResponse(200, render_json(self.registry))
+        return ApiResponse(
+            200,
+            None,
+            content_type=CONTENT_TYPE_TEXT,
+            body=render_text(self.registry).encode("utf-8"),
+        )
+
     def _healthz(self, snap: StoreSnapshot) -> dict[str, Any]:
+        # Health reads the same registry series /v1/metrics exposes,
+        # so the two surfaces cannot disagree about depth/age/uptime.
+        self._refresh_gauges(snap)
+        registry = self.registry
         return {
             "status": "draining" if self._draining else "ok",
             "store_version": snap.version,
             "n_patterns": len(snap),
-            "uptime_seconds": time.monotonic() - self._started,
-            "queue_depth": self._queue_depth(),
+            "uptime_seconds": registry.value(catalog.UPTIME_SECONDS),
+            "snapshot_age_seconds": registry.value(
+                catalog.SNAPSHOT_AGE_SECONDS
+            ),
+            "queue_depth": int(
+                registry.value(catalog.UPDATE_QUEUE_DEPTH)
+            ),
             "draining": self._draining,
         }
 
@@ -528,6 +684,7 @@ class PatternAPI:
                 self.store.save(self._store_path)
             with self._counter_lock:
                 self._updates += 1
+            self._m_updates.inc()
         except ApiError as exc:
             return ApiResponse(
                 exc.status, error_payload(exc.code, str(exc), exc.detail)

@@ -46,6 +46,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ServeError
+from repro.obs import catalog
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.api import (
     ApiResponse,
     PatternAPI,
@@ -100,6 +102,9 @@ class AsyncPatternServer:
     reuse_port:
         Bind with ``SO_REUSEPORT`` so several servers (processes)
         can share the port for kernel-level read load-balancing.
+    registry:
+        Metrics registry for this server's engine/API series (tests
+        inject a fresh one; ``None`` uses the process-global default).
     """
 
     def __init__(
@@ -116,8 +121,11 @@ class AsyncPatternServer:
         update_queue_size: int = 64,
         drain_timeout: float = 5.0,
         reuse_port: bool = False,
+        registry: MetricsRegistry | None = None,
     ) -> None:
-        self._engine = QueryEngine(store, cache_size=cache_size)
+        self._engine = QueryEngine(
+            store, cache_size=cache_size, registry=registry
+        )
         self._api = PatternAPI(
             self._engine,
             miner=miner,
@@ -138,6 +146,12 @@ class AsyncPatternServer:
         )
         self.response_cache_hits = 0
         self.response_cache_misses = 0
+        api_registry = self._api.registry
+        self._m_response_hits = api_registry.counter(catalog.CACHE_HITS)
+        self._m_response_misses = api_registry.counter(
+            catalog.CACHE_MISSES
+        )
+        self._m_response_size = api_registry.gauge(catalog.CACHE_SIZE)
         # created inside the running loop (asyncio primitives must
         # belong to exactly one loop)
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -343,6 +357,7 @@ class AsyncPatternServer:
         try:
             self._queue.put_nowait((intent, future))
         except asyncio.QueueFull:
+            self._api.record_shed()
             return ApiResponse(
                 503,
                 error_payload(
@@ -416,6 +431,7 @@ class AsyncPatternServer:
                 headers.get("connection", "keep-alive").lower()
                 != "close"
             )
+            started = self._api.now()
             self._begin_request()
             try:
                 status, payload = await self._answer(
@@ -425,7 +441,9 @@ class AsyncPatternServer:
                 self._end_request()
             writer.write(payload)
             await writer.drain()
-            logger.debug("%s %s -> %d", method, target, status)
+            # logged after the bytes are out (and for byte-cache hits
+            # too), so every served request is metered exactly once
+            self._api.log_request(method, target, status, started)
             if not keep_alive:
                 return
 
@@ -467,8 +485,10 @@ class AsyncPatternServer:
             if hit is not None:
                 self._response_cache.move_to_end(key)
                 self.response_cache_hits += 1
+                self._m_response_hits.inc(cache="response")
                 return 200, hit
             self.response_cache_misses += 1
+            self._m_response_misses.inc(cache="response")
         answer = self._api.dispatch(method, target, body, headers)
         if isinstance(answer, UpdateIntent):
             answer = await self._submit_update(answer)
@@ -477,11 +497,15 @@ class AsyncPatternServer:
             answer.encode(),
             answer.headers,
             keep_alive=keep_alive,
+            content_type=answer.content_type,
         )
         if cacheable and answer.status == 200:
             self._response_cache[key] = rendered
             while len(self._response_cache) > self._response_cache_size:
                 self._response_cache.popitem(last=False)
+            self._m_response_size.set(
+                len(self._response_cache), cache="response"
+            )
         return answer.status, rendered
 
     async def _read_request(
@@ -531,12 +555,13 @@ def _render(
     headers: dict[str, str],
     *,
     keep_alive: bool,
+    content_type: str = "application/json",
 ) -> bytes:
     reason = _REASONS.get(status, "Unknown")
     lines = [f"HTTP/1.1 {status} {reason}"]
     for name, value in headers.items():
         lines.append(f"{name}: {value}")
-    lines.append("Content-Type: application/json")
+    lines.append(f"Content-Type: {content_type}")
     lines.append(f"Content-Length: {len(body)}")
     lines.append("Connection: " + ("keep-alive" if keep_alive else "close"))
     head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")

@@ -38,6 +38,8 @@ from typing import Any
 
 from repro.core.patterns import FlippingPattern
 from repro.errors import ConfigError
+from repro.obs import catalog
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.serve.store import MEASURE_GETTERS, PatternStore, StoreSnapshot
 
 __all__ = [
@@ -292,6 +294,7 @@ class QueryEngine:
         store: PatternStore | StoreSnapshot,
         *,
         cache_size: int = 128,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self._store = store
         self._cache_size = max(0, cache_size)
@@ -304,6 +307,12 @@ class QueryEngine:
         self._cache_lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
+        registry = registry if registry is not None else default_registry()
+        self.registry = registry
+        self._m_cache_hits = registry.counter(catalog.CACHE_HITS)
+        self._m_cache_misses = registry.counter(catalog.CACHE_MISSES)
+        self._m_cache_size = registry.gauge(catalog.CACHE_SIZE)
+        self._m_cache_size.set(0, cache="query")
 
     @property
     def store(self) -> PatternStore | StoreSnapshot:
@@ -434,6 +443,10 @@ class QueryEngine:
                 else:
                     self.cache_misses += 1
             if hit is not None:
+                self._m_cache_hits.inc(cache="query")
+            else:
+                self._m_cache_misses.inc(cache="query")
+            if hit is not None:
                 return QueryResult(
                     store_version=hit.store_version,
                     query=hit.query,
@@ -468,6 +481,7 @@ class QueryEngine:
                 self._cache[key] = snapshot
                 while len(self._cache) > self._cache_size:
                     self._cache.popitem(last=False)
+                self._m_cache_size.set(len(self._cache), cache="query")
         return result
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ServeError
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.api import (
     ApiResponse,
     PatternAPI,
@@ -80,6 +81,9 @@ class PatternServer:
         LRU entries of the query cache.
     drain_timeout:
         Longest :meth:`close` waits for in-flight handlers, seconds.
+    registry:
+        Metrics registry for this server's engine/API series (tests
+        inject a fresh one; ``None`` uses the process-global default).
     """
 
     def __init__(
@@ -92,8 +96,11 @@ class PatternServer:
         port: int = 0,
         cache_size: int = 256,
         drain_timeout: float = 5.0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
-        self._engine = QueryEngine(store, cache_size=cache_size)
+        self._engine = QueryEngine(
+            store, cache_size=cache_size, registry=registry
+        )
         self._api = PatternAPI(
             self._engine, miner=miner, store_path=store_path
         )
@@ -202,7 +209,7 @@ class PatternServer:
     # ------------------------------------------------------------------
 
     def _handle(self, request: BaseHTTPRequestHandler, method: str) -> None:
-        started = time.perf_counter()
+        started = self._api.now()
         # Always drain the request body first: under HTTP/1.1
         # keep-alive, unread body bytes would be parsed as the next
         # request line on the reused socket (even for 404/409 paths).
@@ -220,12 +227,8 @@ class PatternServer:
                 with self._update_lock:
                     answer = self._api.run_update(answer)
             self._send(request, answer)
-            logger.info(
-                "%s %s -> %d (%.1fms)",
-                method,
-                request.path,
-                answer.status,
-                (time.perf_counter() - started) * 1000.0,
+            self._api.log_request(
+                method, request.path, answer.status, started
             )
         finally:
             with self._inflight_cond:
@@ -238,7 +241,7 @@ class PatternServer:
         request.send_response(answer.status)
         for name, value in answer.headers.items():
             request.send_header(name, value)
-        request.send_header("Content-Type", "application/json")
+        request.send_header("Content-Type", answer.content_type)
         request.send_header("Content-Length", str(len(body)))
         request.end_headers()
         if body:

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import time
 from collections.abc import Callable, Iterator
 from pathlib import Path
 from typing import Any
@@ -478,6 +479,9 @@ class PatternStore:
 
     def __init__(self) -> None:
         self._snap = StoreSnapshot.empty()
+        #: monotonic instant the current snapshot was published;
+        #: rebound together with ``_snap`` at every swap site
+        self._published_at = time.monotonic()
 
     # ------------------------------------------------------------------
     # constructors
@@ -536,6 +540,7 @@ class PatternStore:
         store._snap = builder.freeze(
             int(raw.get("store_version", 1)), dict(raw.get("config", {}))
         )
+        store._published_at = time.monotonic()
         return store
 
     # ------------------------------------------------------------------
@@ -563,6 +568,7 @@ class PatternStore:
         """
         snapshot, diff = self._snap.with_result(result)
         self._snap = snapshot
+        self._published_at = time.monotonic()
         return diff
 
     # ------------------------------------------------------------------
@@ -573,6 +579,11 @@ class PatternStore:
     def version(self) -> int:
         """Monotonic content version; bumped by every real change."""
         return self._snap.version
+
+    @property
+    def snapshot_age_seconds(self) -> float:
+        """Seconds since the current snapshot was published."""
+        return time.monotonic() - self._published_at
 
     @property
     def config(self) -> dict[str, Any]:

@@ -1,0 +1,14 @@
+"""FLIP007 violations: inline metric-name literals at registry
+getters instead of catalog constants."""
+
+from repro.obs.metrics import default_registry
+
+registry = default_registry()
+
+requests = registry.counter("repro_http_requests_total")
+depth = registry.gauge("repro_update_queue_depth")
+latency = registry.histogram("repro_http_request_seconds")
+
+
+def handle() -> None:
+    registry.counter("repro_ad_hoc_total").inc()

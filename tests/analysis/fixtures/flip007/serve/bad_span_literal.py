@@ -1,0 +1,11 @@
+"""FLIP007 violations: inline span-name literals at trace entry
+points instead of catalog constants."""
+
+from repro.obs.tracing import Tracer
+from repro.obs.tracing import trace_span as ts
+
+
+def mine_cell(tracer: Tracer) -> None:
+    with ts("cell", level=2):
+        with tracer.span("count"):
+            pass

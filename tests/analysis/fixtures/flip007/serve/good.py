@@ -1,0 +1,29 @@
+"""FLIP007-clean instrumentation: names come from the catalog.
+
+Registry getters and span entry points receive catalog constants or
+variables; only *label values* appear as inline literals, which the
+rule permits.
+"""
+
+from repro.obs import catalog
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import trace_span
+
+registry = default_registry()
+requests = registry.counter(catalog.HTTP_REQUESTS)
+latency = registry.histogram(catalog.HTTP_REQUEST_SECONDS)
+depth = registry.gauge(catalog.UPDATE_QUEUE_DEPTH)
+
+
+def handle(route: str, seconds: float) -> None:
+    # label values are data, not names: literals are fine here
+    requests.inc(route=route, status="200")
+    latency.observe(seconds, route=route)
+    with trace_span(catalog.SPAN_MINE, level=2):
+        depth.set(0)
+
+
+def run_stage(stage_name: str) -> None:
+    # a variable name is fine: the caller resolved it from the catalog
+    with trace_span(stage_name):
+        pass

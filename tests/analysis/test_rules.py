@@ -61,6 +61,13 @@ CORPUS = {
             "flip006/serve/bad_mutate.py": 3,
         },
     ),
+    "FLIP007": (
+        ["flip007/serve/good.py"],
+        {
+            "flip007/serve/bad_metric_literal.py": 4,
+            "flip007/serve/bad_span_literal.py": 2,
+        },
+    ),
 }
 
 
@@ -129,6 +136,13 @@ class TestScoping:
         assert rule.applies_to("data/io.py")
         assert rule.applies_to("core/serialize.py")
         assert not rule.applies_to("core/flipper.py")
+
+    def test_metric_catalog_rule_exempts_obs_package(self):
+        rule = RULES["FLIP007"]
+        assert rule.applies_to("serve/api.py")
+        assert rule.applies_to("engine/plan.py")
+        assert not rule.applies_to("obs/catalog.py")
+        assert not rule.applies_to("obs/metrics.py")
 
     def test_awaited_acquire_is_not_blocking(self):
         findings = _run("FLIP002", "flip002/good.py")

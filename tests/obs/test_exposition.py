@@ -1,0 +1,172 @@
+"""Exposition correctness: Prometheus text 0.0.4 and the JSON doc."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import catalog
+from repro.obs.exposition import (
+    CONTENT_TYPE_TEXT,
+    render_json,
+    render_text,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def _lines(registry: MetricsRegistry) -> list[str]:
+    return render_text(registry).splitlines()
+
+
+class TestText:
+    def test_content_type_is_the_prometheus_one(self):
+        assert CONTENT_TYPE_TEXT == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert render_text(registry) == ""
+
+    def test_help_type_and_sample_lines(self, registry):
+        registry.counter(catalog.UPDATES).inc(3)
+        lines = _lines(registry)
+        spec = catalog.METRICS[catalog.UPDATES]
+        assert f"# HELP {catalog.UPDATES} {spec.help}" in lines
+        assert f"# TYPE {catalog.UPDATES} counter" in lines
+        assert f"{catalog.UPDATES} 3" in lines
+
+    def test_ends_with_exactly_one_newline(self, registry):
+        registry.counter(catalog.UPDATES).inc()
+        text = render_text(registry)
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+    def test_label_value_escaping(self, registry):
+        counter = registry.counter("esc_total", help="", labels=("v",))
+        counter.inc(v='a"b\\c\nd')
+        assert 'esc_total{v="a\\"b\\\\c\\nd"} 1' in _lines(registry)
+
+    def test_help_escaping(self, registry):
+        registry.counter("h_total", help="line\nbreak \\ slash").inc()
+        assert (
+            "# HELP h_total line\\nbreak \\\\ slash" in _lines(registry)
+        )
+
+    def test_series_sorted_by_label_values(self, registry):
+        counter = registry.counter(catalog.CACHE_HITS)
+        counter.inc(cache="query")
+        counter.inc(cache="delta_counter")
+        lines = [
+            line
+            for line in _lines(registry)
+            if line.startswith(catalog.CACHE_HITS + "{")
+        ]
+        assert lines == sorted(lines)
+
+    def test_render_is_deterministic(self, registry):
+        counter = registry.counter(catalog.CACHE_HITS)
+        counter.inc(cache="b")
+        counter.inc(cache="a")
+        registry.histogram(catalog.HTTP_REQUEST_SECONDS).observe(
+            0.2, route="/patterns"
+        )
+        assert render_text(registry) == render_text(registry)
+
+    def test_gauge_float_formatting(self, registry):
+        gauge = registry.gauge("g_seconds", help="")
+        gauge.set(2.5)
+        assert "g_seconds 2.5" in _lines(registry)
+        gauge.set(4.0)
+        assert "g_seconds 4" in _lines(registry)
+
+
+class TestTextHistogram:
+    @pytest.fixture
+    def lines(self, registry):
+        histogram = registry.histogram(
+            "lat_seconds", help="latency", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        return _lines(registry)
+
+    def test_bucket_lines_are_cumulative(self, lines):
+        assert 'lat_seconds_bucket{le="0.1"} 1' in lines
+        assert 'lat_seconds_bucket{le="1"} 2' in lines
+
+    def test_inf_terminator_equals_count(self, lines):
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in lines
+        assert "lat_seconds_count 3" in lines
+
+    def test_sum_line(self, lines):
+        assert "lat_seconds_sum 5.55" in lines
+
+    def test_bucket_counts_monotone_nondecreasing(self, registry):
+        histogram = registry.histogram(catalog.HTTP_REQUEST_SECONDS)
+        for value in (0.0004, 0.003, 0.003, 0.07, 2.0, 30.0):
+            histogram.observe(value, route="/patterns")
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in _lines(registry)
+            if line.startswith(catalog.HTTP_REQUEST_SECONDS + "_bucket")
+        ]
+        assert counts, "no bucket lines rendered"
+        assert counts == sorted(counts)
+        assert counts[-1] == 6
+
+    def test_labelled_histogram_keeps_le_last(self, registry):
+        registry.histogram(catalog.HTTP_REQUEST_SECONDS).observe(
+            0.2, route="/patterns"
+        )
+        bucket_lines = [
+            line
+            for line in _lines(registry)
+            if "_bucket{" in line
+        ]
+        assert all('route="/patterns",le="' in line for line in bucket_lines)
+
+
+class TestJson:
+    def test_document_shape(self, registry):
+        registry.counter(catalog.CACHE_HITS).inc(2, cache="query")
+        doc = render_json(registry)
+        assert doc["format"] == "repro.metrics"
+        assert doc["version"] == 1
+        (metric,) = doc["metrics"]
+        assert metric["name"] == catalog.CACHE_HITS
+        assert metric["kind"] == "counter"
+        assert metric["label_names"] == ["cache"]
+        assert metric["samples"] == [
+            {"labels": {"cache": "query"}, "value": 2.0}
+        ]
+
+    def test_histogram_sample_shape(self, registry):
+        histogram = registry.histogram(
+            "lat_seconds", help="", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        doc = render_json(registry)
+        (metric,) = doc["metrics"]
+        assert metric["buckets"] == [0.1, 1.0]
+        (sample,) = metric["samples"]
+        assert sample["count"] == 3
+        assert sample["sum"] == pytest.approx(5.55)
+        # per-bound counts are non-cumulative; +Inf carries overflow
+        assert sample["buckets"] == [
+            {"le": 0.1, "count": 1},
+            {"le": 1.0, "count": 1},
+            {"le": "+Inf", "count": 1},
+        ]
+
+    def test_json_round_trips_through_dumps(self, registry):
+        import json
+
+        registry.gauge(catalog.SNAPSHOT_VERSION).set(4)
+        encoded = json.dumps(render_json(registry))
+        assert json.loads(encoded)["metrics"][0]["samples"] == [
+            {"labels": {}, "value": 4.0}
+        ]

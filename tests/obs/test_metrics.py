@@ -1,0 +1,217 @@
+"""Unit tests for the zero-dependency metrics registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import catalog
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    default_registry,
+    quantile_from_buckets,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        assert registry.counter(catalog.UPDATES) is registry.counter(
+            catalog.UPDATES
+        )
+
+    def test_kind_conflict_is_loud(self, registry):
+        registry.counter(catalog.UPDATES)
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.gauge(catalog.UPDATES)
+
+    def test_label_conflict_is_loud(self, registry):
+        registry.counter("x_total", help="", labels=("a",))
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.counter("x_total", help="", labels=("b",))
+
+    def test_catalog_backfills_help_labels_and_kind(self, registry):
+        metric = registry.counter(catalog.HTTP_REQUESTS)
+        spec = catalog.METRICS[catalog.HTTP_REQUESTS]
+        assert metric.help == spec.help
+        assert metric.label_names == spec.labels
+
+    def test_catalog_backfills_histogram_buckets(self, registry):
+        histogram = registry.histogram(catalog.HTTP_REQUEST_SECONDS)
+        spec = catalog.METRICS[catalog.HTTP_REQUEST_SECONDS]
+        expected = spec.buckets or DEFAULT_BUCKETS
+        assert histogram.buckets == expected
+
+    def test_invalid_metric_name_rejected(self, registry):
+        with pytest.raises(ConfigError, match="invalid metric name"):
+            registry.counter("bad name")
+
+    def test_invalid_label_name_rejected(self, registry):
+        with pytest.raises(ConfigError, match="invalid label name"):
+            registry.counter("ok_total", help="", labels=("bad-label",))
+
+    def test_dunder_label_rejected(self, registry):
+        with pytest.raises(ConfigError, match="invalid label name"):
+            registry.counter("ok_total", help="", labels=("__name__",))
+
+    def test_iteration_sorted_by_name(self, registry):
+        registry.counter("z_total", help="")
+        registry.counter("a_total", help="")
+        assert [metric.name for metric in registry] == [
+            "a_total",
+            "z_total",
+        ]
+
+    def test_contains_and_get(self, registry):
+        registry.counter("present_total", help="")
+        assert "present_total" in registry
+        assert "absent_total" not in registry
+        assert registry.get("absent_total") is None
+
+    def test_value_of_histogram_is_config_error(self, registry):
+        registry.histogram(catalog.HTTP_REQUEST_SECONDS)
+        with pytest.raises(ConfigError, match="histogram"):
+            registry.value(catalog.HTTP_REQUEST_SECONDS, route="/stats")
+
+    def test_value_of_absent_metric_is_zero(self, registry):
+        assert registry.value("never_registered_total") == 0.0
+
+    def test_default_registry_is_process_global(self):
+        assert default_registry() is default_registry()
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self, registry):
+        counter = registry.counter(catalog.CACHE_HITS)
+        counter.inc(cache="query")
+        counter.inc(2, cache="query")
+        counter.inc(5, cache="response")
+        assert counter.value(cache="query") == 3
+        assert counter.value(cache="response") == 5
+
+    def test_unobserved_series_reads_zero(self, registry):
+        counter = registry.counter(catalog.CACHE_HITS)
+        assert counter.value(cache="never") == 0.0
+
+    def test_negative_inc_rejected(self, registry):
+        counter = registry.counter(catalog.UPDATES)
+        with pytest.raises(ConfigError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_label_set_mismatch_rejected(self, registry):
+        counter = registry.counter(catalog.CACHE_HITS)
+        with pytest.raises(ConfigError, match="label set mismatch"):
+            counter.inc()
+        with pytest.raises(ConfigError, match="label set mismatch"):
+            counter.inc(cache="query", extra="x")
+
+    def test_threaded_increments_do_not_lose_counts(self, registry):
+        counter = registry.counter("race_total", help="")
+        histogram = registry.histogram("race_seconds", help="")
+
+        def worker() -> None:
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(0.002)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 8000
+        assert histogram.data().total == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge(catalog.SNAPSHOT_VERSION)
+        gauge.set(3)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 4
+
+    def test_callback_evaluated_at_read(self, registry):
+        gauge = registry.gauge(catalog.UPDATE_QUEUE_DEPTH)
+        depth = [7]
+        gauge.set_function(lambda: float(depth[0]))
+        assert gauge.value() == 7
+        depth[0] = 2
+        assert gauge.value() == 2
+        assert gauge.samples() == [((), 2.0)]
+
+    def test_set_overrides_callback(self, registry):
+        gauge = registry.gauge(catalog.UPDATE_QUEUE_DEPTH)
+        gauge.set_function(lambda: 99.0)
+        gauge.set(1)
+        assert gauge.value() == 1
+
+
+class TestHistogram:
+    def test_bucket_bounds_are_inclusive(self, registry):
+        histogram = registry.histogram(
+            "b_seconds", help="", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.1)
+        assert histogram.data().bucket_counts == [1, 0, 0]
+
+    def test_overflow_goes_to_last_bucket(self, registry):
+        histogram = registry.histogram(
+            "b_seconds", help="", buckets=(0.1, 1.0)
+        )
+        histogram.observe(50.0)
+        assert histogram.data().bucket_counts == [0, 0, 1]
+
+    def test_sum_and_total(self, registry):
+        histogram = registry.histogram(
+            "b_seconds", help="", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        data = histogram.data()
+        assert data.total == 3
+        assert data.sum == pytest.approx(5.55)
+
+    def test_non_increasing_buckets_rejected(self, registry):
+        with pytest.raises(ConfigError, match="strictly"):
+            registry.histogram("b_seconds", help="", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigError, match="strictly"):
+            registry.histogram("c_seconds", help="", buckets=())
+
+    def test_quantile_interpolates(self, registry):
+        histogram = registry.histogram(
+            "q_seconds", help="", buckets=(1.0, 2.0, 4.0)
+        )
+        for _ in range(4):
+            histogram.observe(1.5)
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+
+    def test_quantile_of_empty_is_zero(self, registry):
+        histogram = registry.histogram("q_seconds", help="")
+        assert histogram.quantile(0.99) == 0.0
+
+
+class TestQuantileFromBuckets:
+    def test_midpoint_interpolation(self):
+        assert quantile_from_buckets(
+            (1.0, 2.0, 4.0), [0, 4, 0, 0], 0.5
+        ) == pytest.approx(1.5)
+
+    def test_overflow_reports_largest_finite_bound(self):
+        assert quantile_from_buckets((1.0, 2.0), [0, 0, 10], 0.99) == 2.0
+
+    def test_empty_is_zero(self):
+        assert quantile_from_buckets((1.0,), [0, 0], 0.5) == 0.0
+
+    def test_fraction_out_of_range_is_loud(self):
+        with pytest.raises(ConfigError, match="fraction"):
+            quantile_from_buckets((1.0,), [1, 0], 1.5)

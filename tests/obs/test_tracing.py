@@ -1,0 +1,201 @@
+"""Span tracing: recording, no-op default, round-trip, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataError
+from repro.obs import catalog
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    aggregate_spans,
+    current_tracer,
+    render_trace,
+    trace,
+    trace_span,
+    tracer_from_dict,
+)
+
+
+def _names(spans: list[Span]) -> set[str]:
+    collected: set[str] = set()
+    for span in spans:
+        collected.add(span.name)
+        collected |= _names(span.children)
+    return collected
+
+
+class TestRecording:
+    def test_nesting_builds_a_tree(self):
+        with trace() as tracer:
+            with trace_span(catalog.SPAN_MINE):
+                with trace_span(catalog.SPAN_CELL, level=2, k=3):
+                    with trace_span(catalog.SPAN_COUNT):
+                        pass
+                with trace_span(catalog.SPAN_CELL, level=3, k=2):
+                    pass
+        (root,) = tracer.roots
+        assert root.name == catalog.SPAN_MINE
+        assert [child.name for child in root.children] == [
+            catalog.SPAN_CELL,
+            catalog.SPAN_CELL,
+        ]
+        assert root.children[0].attrs == {"level": 2, "k": 3}
+        assert root.children[0].children[0].name == catalog.SPAN_COUNT
+
+    def test_timings_are_recorded(self):
+        with trace() as tracer:
+            with trace_span(catalog.SPAN_MINE):
+                sum(range(10_000))
+        (root,) = tracer.roots
+        assert root.wall_seconds > 0.0
+        assert root.cpu_seconds >= 0.0
+
+    def test_no_tracer_means_noop(self):
+        assert current_tracer() is None
+        with trace_span(catalog.SPAN_MINE) as span:
+            assert span is None
+
+    def test_tracer_uninstalled_after_block(self):
+        with trace() as tracer:
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_mine_emits_catalog_spans(self):
+        from repro.core.flipper import mine_flipping_patterns
+        from repro.core.thresholds import Thresholds
+        from repro.data.database import TransactionDatabase
+        from repro.datasets import (
+            example3_taxonomy,
+            example3_transactions,
+        )
+
+        database = TransactionDatabase(
+            example3_transactions(), example3_taxonomy()
+        )
+        thresholds = Thresholds(gamma=0.6, epsilon=0.35, min_support=1)
+        with trace() as tracer:
+            result = mine_flipping_patterns(database, thresholds)
+        assert result.patterns
+        names = _names(tracer.roots)
+        assert names <= catalog.SPANS
+        assert {
+            catalog.SPAN_MINE,
+            catalog.SPAN_PREPARE,
+            catalog.SPAN_CELL,
+            catalog.SPAN_GENERATE,
+            catalog.SPAN_COUNT,
+            catalog.SPAN_LABEL,
+            catalog.SPAN_PRUNE,
+        } <= names
+
+
+class TestSerialization:
+    def _tracer(self) -> Tracer:
+        with trace() as tracer:
+            with trace_span(catalog.SPAN_MINE):
+                with trace_span(catalog.SPAN_PREPARE, level=1):
+                    pass
+        return tracer
+
+    def test_round_trip(self):
+        tracer = self._tracer()
+        payload = tracer.to_dict()
+        assert payload["format"] == "repro.trace"
+        assert payload["version"] == 1
+        rebuilt = tracer_from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+    def test_wrong_format_is_loud(self):
+        with pytest.raises(DataError, match="not a repro.trace"):
+            tracer_from_dict({"format": "nope", "version": 1})
+
+    def test_wrong_version_is_loud(self):
+        with pytest.raises(DataError, match="version"):
+            tracer_from_dict({"format": "repro.trace", "version": 99})
+
+    def test_missing_span_list_is_loud(self):
+        with pytest.raises(DataError, match="span list"):
+            tracer_from_dict({"format": "repro.trace", "version": 1})
+
+    def test_malformed_span_is_loud(self):
+        with pytest.raises(DataError, match="malformed span"):
+            tracer_from_dict(
+                {
+                    "format": "repro.trace",
+                    "version": 1,
+                    "spans": [{"name": "mine"}],
+                }
+            )
+
+
+class TestAggregation:
+    def test_same_name_siblings_merge(self):
+        spans = [
+            Span(
+                catalog.SPAN_CELL,
+                attrs={"level": 2},
+                wall_seconds=1.0,
+                cpu_seconds=0.5,
+                children=[Span(catalog.SPAN_COUNT, wall_seconds=0.4)],
+            ),
+            Span(
+                catalog.SPAN_CELL,
+                attrs={"level": 3},
+                wall_seconds=2.0,
+                cpu_seconds=1.0,
+                children=[Span(catalog.SPAN_COUNT, wall_seconds=0.6)],
+            ),
+        ]
+        merged = aggregate_spans(spans)
+        cell = merged[catalog.SPAN_CELL]
+        assert cell.calls == 2
+        assert cell.wall_seconds == pytest.approx(3.0)
+        assert cell.cpu_seconds == pytest.approx(1.5)
+        count = cell.children[catalog.SPAN_COUNT]
+        assert count.calls == 2
+        assert count.wall_seconds == pytest.approx(1.0)
+
+    def test_grandchildren_merge_recursively(self):
+        leaf = Span(catalog.SPAN_PRUNE, wall_seconds=0.1)
+        spans = [
+            Span(
+                catalog.SPAN_MINE,
+                children=[
+                    Span(catalog.SPAN_CELL, children=[leaf]),
+                    Span(catalog.SPAN_CELL, children=[leaf]),
+                ],
+            )
+        ]
+        merged = aggregate_spans(spans)
+        cell = merged[catalog.SPAN_MINE].children[catalog.SPAN_CELL]
+        assert cell.children[catalog.SPAN_PRUNE].calls == 2
+
+
+class TestRendering:
+    def test_report_shape(self):
+        with trace() as tracer:
+            with trace_span(catalog.SPAN_MINE):
+                with trace_span(catalog.SPAN_CELL, level=2):
+                    pass
+        report = render_trace(tracer)
+        lines = report.splitlines()
+        assert lines[0].split() == [
+            "span",
+            "wall_ms",
+            "%",
+            "cpu_ms",
+            "calls",
+        ]
+        assert any(
+            line.lstrip().startswith(catalog.SPAN_MINE) for line in lines
+        )
+        assert any(
+            line.lstrip().startswith(catalog.SPAN_CELL) for line in lines
+        )
+        assert lines[-1].startswith("total wall time:")
+
+    def test_empty_trace_renders(self):
+        report = render_trace(Tracer())
+        assert "no spans recorded" in report
