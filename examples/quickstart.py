@@ -240,6 +240,46 @@ def main() -> None:
         f"(support margin ±{info['epsilon_support']:.3f})"
     )
 
+    # 11. Sliding windows + flip lifecycle events: `window_shards=W`
+    #     keeps only the newest W shards alive.  Each update appends
+    #     the delta as a fresh shard, retires whatever fell out of
+    #     the window — the survivor manifest commits atomically and
+    #     the retired shards' cached counts are *subtracted exactly*,
+    #     so the result is byte-identical to a cold mine of only the
+    #     in-window rows (crash leftovers are swept by `flipper-mine
+    #     store gc`).  Feeding each result to the PatternStore diffs
+    #     the generations into flip_started / flip_stopped /
+    #     flip_level_changed events, which `GET /v1/events?
+    #     since_version=N&timeout=S` long-polls on both servers —
+    #     versions in the payload are real store generations, so
+    #     resuming from `next_since` never misses a transition.
+    from repro.engine.incremental import IncrementalMiner
+
+    windowed = IncrementalMiner(
+        TransactionDatabase(transactions, taxonomy),
+        thresholds,
+        partitions=2,
+        window_shards=2,
+    )
+    live = PatternStore.build(windowed.mine())
+    since = live.version
+    # a delta with no a11/b11 co-occurrence slides the window off
+    # the flipping pattern's supporting rows
+    slid = windowed.update([["a12", "b21"], ["a22", "b12"]] * 5)
+    live.apply_result(slid)
+    events, truncated = live.events_since(since)
+    info = slid.config["incremental"]
+    assert info["mode"] == "windowed"
+    assert windowed.store.n_shards == 2  # the window bound held
+    assert not truncated
+    print()
+    print(
+        f"windowed slide: retired {info['retired_shards']} shard(s) "
+        f"({info['retired_rows']} rows), "
+        f"{len(events)} flip event(s): "
+        f"{[event.type for event in events]}"
+    )
+
 
 # The __main__ guard is the standard multiprocessing requirement: under
 # the spawn start method the process executor's workers re-import this

@@ -63,6 +63,15 @@ floor, and not collapse versus the committed baseline beyond the
 tolerance factor.  A ``--quick`` bench file is rejected: the smoke
 run skips the wall-clock floor and must not serve as the gate input.
 
+``--window-baseline``/``--window-current`` gate
+``BENCH_window.json``: the current run must pass its internal checks
+(which include per-slide byte-parity of the windowed update with a
+cold mine of only the surviving in-window rows, the window staying
+bounded, and flip lifecycle events being emitted), its mean
+windowed-slide speedup over the cold re-mine must clear the absolute
+``--window-min-speedup`` floor, and the speedup must not have
+collapsed versus the committed baseline beyond the tolerance factor.
+
 ``--partition-baseline``/``--partition-current`` gate
 ``BENCH_partition.json``: the current run must pass its internal
 checks (cold *and* warm N-shard patterns byte-identical to the
@@ -342,6 +351,49 @@ def compare_approx(
     return problems
 
 
+#: default absolute floor on the mean windowed-slide speedup over a
+#: cold re-mine of the window (the windowed subsystem's acceptance
+#: criterion)
+MIN_WINDOW_SPEEDUP = 1.2
+
+
+def compare_window(
+    baseline: dict,
+    current: dict,
+    tolerance: float,
+    min_speedup: float = MIN_WINDOW_SPEEDUP,
+) -> list[str]:
+    """Gate the window bench (empty list = gate passes)."""
+    problems: list[str] = []
+    if not current.get("checks_pass", False):
+        problems.append(
+            "current window bench failed its internal checks "
+            "(checks_pass is false; this includes per-slide pattern "
+            "parity with a cold mine of the window, the window "
+            "staying bounded, and flip events being emitted)"
+        )
+    now = float(current.get("speedup", 0.0))
+    if now < min_speedup:
+        problems.append(
+            f"windowed-slide speedup {now:.2f}x is below the "
+            f"{min_speedup:g}x floor"
+        )
+    base = float(baseline.get("speedup", 0.0))
+    if base <= 0.0:
+        problems.append("baseline window speedup missing or zero")
+    elif now * tolerance < base:
+        problems.append(
+            f"window speedup regressed: {now:.2f}x vs baseline "
+            f"{base:.2f}x (> {tolerance:g}x collapse)"
+        )
+    if int(current.get("events_total", 0)) <= 0:
+        problems.append(
+            "current window bench emitted no flip lifecycle events; "
+            "the event path is dead"
+        )
+    return problems
+
+
 #: default absolute floor on the image-admit-vs-rebuild speedup (the
 #: columnar shard format's acceptance criterion)
 MIN_ADMIT_SPEEDUP = 5.0
@@ -487,6 +539,24 @@ def main(argv: list[str] | None = None) -> int:
              f"{MIN_APPROX_SPEEDUP:g})",
     )
     parser.add_argument(
+        "--window-baseline",
+        default=None,
+        help="committed BENCH_window.json (optional)",
+    )
+    parser.add_argument(
+        "--window-current",
+        default=None,
+        help="freshly produced window bench JSON (optional)",
+    )
+    parser.add_argument(
+        "--window-min-speedup",
+        type=float,
+        default=None,
+        help="absolute floor on the mean windowed-slide speedup "
+             "(default: the baseline's recorded min_speedup, else "
+             f"{MIN_WINDOW_SPEEDUP:g})",
+    )
+    parser.add_argument(
         "--partition-baseline",
         default=None,
         help="committed BENCH_partition.json (optional)",
@@ -530,6 +600,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             "--partition-baseline and --partition-current go together"
         )
+    if (args.window_baseline is None) != (args.window_current is None):
+        parser.error("--window-baseline and --window-current go together")
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
     current = json.loads(Path(args.current).read_text(encoding="utf-8"))
     problems = compare(baseline, current, args.tolerance)
@@ -613,6 +685,26 @@ def main(argv: list[str] | None = None) -> int:
             args.tolerance,
             min_speedup=approx_min_speedup,
         )
+    window_min_speedup = args.window_min_speedup
+    window_current = None
+    if args.window_baseline is not None:
+        window_baseline = json.loads(
+            Path(args.window_baseline).read_text(encoding="utf-8")
+        )
+        window_current = json.loads(
+            Path(args.window_current).read_text(encoding="utf-8")
+        )
+        if window_min_speedup is None:
+            # single source of truth: the floor the bench recorded
+            window_min_speedup = float(
+                window_baseline.get("min_speedup", MIN_WINDOW_SPEEDUP)
+            )
+        problems += compare_window(
+            window_baseline,
+            window_current,
+            args.tolerance,
+            min_speedup=window_min_speedup,
+        )
     partition_min_admit = args.partition_min_admit_speedup
     partition_max_ratio = args.partition_max_mine_ratio
     partition_current = None
@@ -682,6 +774,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{float(approx_current.get('speedup', 0.0)):.2f}x "
             f"at recall {float(approx_current.get('recall', 0.0)):.3f} "
             f"(floor {approx_min_speedup:g}x)"
+        )
+    if window_current is not None:
+        print(
+            f"ok: windowed-slide speedup = "
+            f"{float(window_current.get('speedup', 0.0)):.2f}x "
+            f"(floor {window_min_speedup:g}x) with "
+            f"{int(window_current.get('events_total', 0))} flip "
+            "event(s)"
         )
     if partition_current is not None:
         print(

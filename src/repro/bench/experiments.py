@@ -16,6 +16,7 @@ from repro.bench.engine import run_engine_smoke
 from repro.bench.incremental import run_incremental_bench
 from repro.bench.partition import run_partition_bench
 from repro.bench.serve import run_serve_bench
+from repro.bench.window import run_window_bench
 from repro.bench.harness import (
     LADDER,
     RunRecord,
@@ -67,6 +68,7 @@ __all__ = [
     "run_partition_bench",
     "run_incremental_bench",
     "run_serve_bench",
+    "run_window_bench",
     "real_datasets",
     "EXPERIMENTS",
 ]
@@ -493,5 +495,6 @@ EXPERIMENTS = {
     "partition": run_partition_bench,
     "incremental": run_incremental_bench,
     "serve": run_serve_bench,
+    "window": run_window_bench,
     "approx": run_approx_bench,
 }

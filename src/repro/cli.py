@@ -439,6 +439,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="target shard format (columnar is the binary "
              "memory-mapped default; jsonl is the legacy text form)",
     )
+    store_gc = store_sub.add_parser(
+        "gc",
+        help="remove orphaned shard files left behind by a crash "
+             "between writing a file and committing the manifest "
+             "(manifest-listed shards are never touched)",
+    )
+    store_gc.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="shard-store directory",
+    )
+    store_gc.add_argument(
+        "--taxonomy", required=True, help="edge-text/json file"
+    )
+    store_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="list the orphans without deleting anything",
+    )
     store_describe = store_sub.add_parser(
         "describe",
         help="per-shard format, row counts, on-disk bytes and "
@@ -938,7 +955,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(
         "endpoints: GET /v1/patterns  GET /v1/patterns/{id}  "
-        "GET /v1/stats  POST /v1/update  GET /v1/healthz  "
+        "GET /v1/stats  POST /v1/update  GET /v1/events  "
+        "GET /v1/healthz  "
         "(legacy unprefixed aliases answer with a Deprecation header)",
         flush=True,
     )
@@ -1176,6 +1194,13 @@ def _cmd_store(args: argparse.Namespace) -> int:
         rewritten = store.migrate(args.to)
         print(f"rewrote {rewritten} shard(s) to {args.to}")
         print(store.describe())
+        return 0
+    if args.store_command == "gc":
+        orphans = store.gc_orphans(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {len(orphans)} orphaned file(s)")
+        for name in orphans:
+            print(f"  {name}")
         return 0
     if args.json:
         payload = {

@@ -31,6 +31,7 @@ wall-clock time.
 
 from __future__ import annotations
 
+import bisect
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Any, Protocol, runtime_checkable
 
@@ -48,6 +49,7 @@ from repro.data.vertical import VerticalIndex
 from repro.errors import ConfigError, DataError
 from repro.obs import catalog
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import trace_span
 from repro.taxonomy.tree import Taxonomy
 
 __all__ = [
@@ -975,6 +977,57 @@ class ShardBackendPool:
             finally:
                 self._pinned.discard(index)
 
+    @property
+    def pinned_shards(self) -> set[int]:
+        """Shard indexes currently handed out by :meth:`iter_backends`
+        (a count over them is in progress)."""
+        return set(self._pinned)
+
+    def drop_shards(self, indexes: Iterable[int]) -> None:
+        """Forget retired shards and renumber the survivors.
+
+        Called after the store compacts its shard list (see
+        :meth:`~repro.data.shards.ShardedTransactionStore.retire_shards`):
+        every pool structure is keyed by shard *index*, so surviving
+        entries shift down by the number of retired shards below them.
+        Retired backends' scans are folded into the retained-scans
+        tally (the work really happened); retiring a pinned shard —
+        one mid-count in :meth:`iter_backends` — is an error.
+        """
+        retired = sorted(set(int(index) for index in indexes))
+        if not retired:
+            return
+        pinned = set(retired) & self._pinned
+        if pinned:
+            raise DataError(
+                f"cannot drop pinned shard(s) {sorted(pinned)}: a "
+                "count over them is in progress"
+            )
+
+        def remap(old: int) -> int:
+            return old - bisect.bisect_left(retired, old)
+
+        retired_set = set(retired)
+        resident: dict[int, CountingBackend | None] = {}
+        resident_bytes: dict[int, int] = {}
+        for old, backend in self._resident.items():
+            if old in retired_set:
+                if backend is not None:
+                    self._retired_scans += backend.scans
+                continue
+            resident[remap(old)] = backend
+            resident_bytes[remap(old)] = self._resident_bytes[old]
+        self._resident = resident
+        self._resident_bytes = resident_bytes
+        self._built = {
+            remap(old) for old in self._built if old not in retired_set
+        }
+        self._imaged = {
+            remap(old) for old in self._imaged if old not in retired_set
+        }
+        self._pinned = {remap(old) for old in self._pinned}
+        self._m_resident_bytes.set(self.resident_bytes)
+
 
 class PartitionedBackend:
     """Partition-and-merge counting over a sharded store.
@@ -1095,7 +1148,7 @@ class PartitionedBackend:
 
 
 class DeltaCounter(PartitionedBackend):
-    """Incremental (SON-style, exact) counting over a *growing* store.
+    """Incremental (SON-style, exact) counting over a *changing* store.
 
     A :class:`PartitionedBackend` whose per-level node supports and
     per-itemset supports are **cached and maintained under deltas**:
@@ -1105,7 +1158,12 @@ class DeltaCounter(PartitionedBackend):
     tallies.  Shards partition the transactions, so cached support +
     delta support is the exact global support — the same SON merge the
     partitioned path already relies on, applied over time instead of
-    over space.
+    over space.  The store shrinks through :meth:`retire`, the exact
+    inverse: the retiring shards are counted once and their
+    contributions *subtracted* from the cached tallies before the
+    shards are dropped from the store — the SON merge run in reverse.
+    Grow and shrink compose because the counted set is tracked as an
+    explicit set of shard *generations*, not a high-water mark.
 
     Every public counting entry point refreshes first, so a counter is
     never served stale: cache hits are dict lookups, cache misses are
@@ -1148,8 +1206,9 @@ class DeltaCounter(PartitionedBackend):
             memory_budget_mb=memory_budget_mb,
             persist_images=persist_images,
         )
-        #: shards [0, _counted) are folded into every cache below
-        self._counted = store.n_shards
+        #: generation stamps of the shards folded into every cache
+        #: below (an explicit set so appends and retirements compose)
+        self._counted: set[int] = set(store.shard_generations)
         #: level -> {itemset -> exact support over counted shards}
         self._supports_cache: dict[int, dict[tuple[int, ...], int]] = {}
         self._max_cached_itemsets = (
@@ -1166,10 +1225,14 @@ class DeltaCounter(PartitionedBackend):
         self.cache_misses = 0
         self.refreshes = 0
         self.delta_shards_counted = 0
+        self.retired_shards = 0
+        self.retired_rows = 0
         registry = default_registry()
         self._m_cache_hits = registry.counter(catalog.CACHE_HITS)
         self._m_cache_misses = registry.counter(catalog.CACHE_MISSES)
         self._m_cache_size = registry.gauge(catalog.CACHE_SIZE)
+        self._m_retired_shards = registry.counter(catalog.RETIRED_SHARDS)
+        self._m_retired_rows = registry.counter(catalog.RETIRED_ROWS)
 
     # ------------------------------------------------------------------
     # delta maintenance
@@ -1178,7 +1241,12 @@ class DeltaCounter(PartitionedBackend):
     @property
     def counted_shards(self) -> int:
         """Number of shards folded into the caches so far."""
-        return self._counted
+        return len(self._counted)
+
+    @property
+    def counted_generations(self) -> list[int]:
+        """Generation stamps of the shards folded into the caches."""
+        return sorted(self._counted)
 
     @property
     def cached_itemsets(self) -> int:
@@ -1192,14 +1260,33 @@ class DeltaCounter(PartitionedBackend):
         itemset over the *new shards only*, adds the delta counts to
         the cached global tallies, and returns the new shard indexes.
         A no-op (returning ``[]``) when the store has not grown.
+
+        A counted shard that vanished from the store — anything other
+        than :meth:`retire`, which subtracts its counts first — is an
+        out-of-band mutation the caches cannot survive; it raises
+        :class:`~repro.errors.DataError` instead of silently serving
+        stale tallies.
         """
-        n_shards = self._pool.store.n_shards
-        if n_shards == self._counted:
+        generations = self._pool.store.shard_generations
+        missing = self._counted - set(generations)
+        if missing:
+            raise DataError(
+                f"store shrank behind the delta counter: "
+                f"{len(self._counted)} shard(s) counted but the store "
+                f"holds {len(generations)}; retire shards through "
+                f"DeltaCounter.retire() so cached counts can be "
+                f"subtracted exactly"
+            )
+        new_indices = [
+            index
+            for index, generation in enumerate(generations)
+            if generation not in self._counted
+        ]
+        if not new_indices:
             return []
-        new_indices = list(range(self._counted, n_shards))
         # Advance first: a cache miss during this refresh (impossible
         # today, but cheap insurance) must count over the new total.
-        self._counted = n_shards
+        self._counted.update(generations[index] for index in new_indices)
         self.refreshes += 1
         for index in new_indices:
             backend = self._pool.backend(index)
@@ -1216,6 +1303,67 @@ class DeltaCounter(PartitionedBackend):
                 for itemset, count in delta.items():
                     cache[itemset] += count
         return new_indices
+
+    def retire(self, indexes: Iterable[int]) -> int:
+        """Retire shards with exact count subtraction; returns the
+        rows removed.
+
+        The retiring shards are counted once (through the pool, so an
+        evicted backend is readmitted or rebuilt) and their node and
+        itemset contributions are *subtracted* from the cached global
+        tallies — the SON merge run in reverse — before the shards are
+        dropped from the store and the pool.  Survivor caches stay
+        exact: cached support equals the sum over the surviving
+        shards, as if the retired rows had never been appended.
+
+        Shards appended but never folded in by :meth:`refresh` are
+        simply dropped (there is nothing cached to subtract).
+        Retiring a shard currently pinned by a count in progress is a
+        :class:`~repro.errors.DataError`.
+        """
+        retired = sorted(set(int(index) for index in indexes))
+        if not retired:
+            return 0
+        store = self._pool.store
+        pinned = set(retired) & self._pool.pinned_shards
+        if pinned:
+            raise DataError(
+                f"cannot retire pinned shard(s) {sorted(pinned)}: a "
+                "count over them is in progress"
+            )
+        with trace_span(catalog.SPAN_RETIRE, shards=len(retired)):
+            generations = store.shard_generations
+            for index in retired:
+                if not 0 <= index < len(generations):
+                    raise DataError(
+                        f"cannot retire shard {index}: store has "
+                        f"{len(generations)} shard(s)"
+                    )
+                generation = generations[index]
+                if generation not in self._counted:
+                    continue  # appended but never refreshed in
+                backend = self._pool.backend(index)
+                if backend is not None:
+                    for level, counts in self._node_supports.items():
+                        shard_nodes = backend.node_supports(level)
+                        for node_id, count in shard_nodes.items():
+                            counts[node_id] -= count
+                    for level, cache in self._supports_cache.items():
+                        if not cache:
+                            continue
+                        delta = backend.supports_batched(
+                            level, list(cache)
+                        )
+                        for itemset, count in delta.items():
+                            cache[itemset] -= count
+                self._counted.discard(generation)
+            rows = store.retire_shards(retired)
+            self._pool.drop_shards(retired)
+        self.retired_shards += len(retired)
+        self.retired_rows += rows
+        self._m_retired_shards.inc(len(retired))
+        self._m_retired_rows.inc(rows)
+        return rows
 
     # ------------------------------------------------------------------
     # cache plumbing (shared with the partitioned executor)

@@ -28,11 +28,21 @@ place — existing shard files are never rewritten, so per-shard
 artifacts derived from them (resident counting backends, cached
 supports, persisted backend images) stay valid and incremental mining
 only has to look at the delta shards (see
-:class:`~repro.core.counting.DeltaCounter`).  The manifest is the
-commit point: new shard files are fully written (via same-directory
-temp files and ``os.replace``) *before* the manifest is atomically
-replaced, so a mid-write crash leaves at worst unreferenced orphan
-files, never a manifest naming a torn shard.
+:class:`~repro.core.counting.DeltaCounter`).  It *shrinks* through
+:meth:`ShardedTransactionStore.retire_shards` /
+:meth:`ShardedTransactionStore.retire_before`: whole shards are
+dropped from the manifest and their files (plus persisted backend
+images) unlinked — the windowed-mining expiry path.  Every shard
+carries a monotonically increasing *generation* stamp in the
+manifest; shard file names are derived from the generation, never
+from the list position, so a retired shard's name is never reused by
+a later append.  The manifest is the commit point both ways: new
+shard files are fully written (via same-directory temp files and
+``os.replace``) *before* the manifest is atomically replaced, and
+retired shard files are unlinked only *after* it, so a mid-write
+crash leaves at worst unreferenced orphan files (reclaimed by
+:meth:`gc_orphans`), never a manifest naming a torn or missing
+shard.
 
 On disk a store is a directory of shard files plus a ``manifest.json``
 recording the shard layout.  Shards come in two formats, inferred
@@ -159,7 +169,38 @@ class ShardedTransactionStore:
             raise DataError(
                 "shard manifest transaction count does not match shards"
             )
-        if self._n_transactions == 0:
+        # Pre-retirement manifests carry no generation stamps; their
+        # shards are numbered by position and nothing was ever retired.
+        self._generations: list[int] = [
+            int(gen)
+            for gen in manifest.get(
+                "generations", range(len(self._shard_files))
+            )
+        ]
+        self._next_generation = int(
+            manifest.get("next_generation", len(self._shard_files))
+        )
+        if len(self._generations) != len(self._shard_files):
+            raise DataError("shard manifest generations are inconsistent")
+        if any(
+            later <= earlier
+            for earlier, later in zip(
+                self._generations, self._generations[1:]
+            )
+        ):
+            raise DataError("shard generations must strictly increase")
+        if self._generations and (
+            self._next_generation <= self._generations[-1]
+        ):
+            raise DataError(
+                "next_generation must exceed every shard generation"
+            )
+        # An empty store is legal only as the result of retiring every
+        # shard (next_generation proves appends happened); a store that
+        # never held data is still a construction error.
+        if self._n_transactions == 0 and self._next_generation == len(
+            self._shard_files
+        ):
             raise DataError("shard store is empty")
         for name in self._shard_files:
             if not (self._directory / name).is_file():
@@ -347,8 +388,11 @@ class ShardedTransactionStore:
         ``os.replace``) *before* the manifest is atomically replaced,
         and the in-memory state only advances after the manifest
         commit.  A crash anywhere in between leaves the previous
-        manifest intact and at worst some unreferenced shard files,
-        which a retried append simply overwrites.
+        manifest intact and at worst some unreferenced shard files: a
+        retried append of the same batch overwrites them (the
+        generation counter only advances at the commit), and any
+        other continuation leaves orphans that :meth:`gc_orphans`
+        reclaims.
         """
         _check_format(format)
         if rows_per_shard is not None and rows_per_shard < 1:
@@ -370,27 +414,35 @@ class ShardedTransactionStore:
                     )
         new_files: list[str] = []
         new_sizes: list[int] = []
+        new_gens: list[int] = []
         step = rows_per_shard or len(rows)
         for start in range(0, len(rows), step):
             chunk = rows[start : start + step]
-            index = len(self._shard_files) + len(new_files)
-            name = _shard_file_name(index, format)
-            # An existing file at a brand-new index is an orphan from
-            # a crashed earlier append (written, never committed to
-            # the manifest); replacing it is the recovery path.
+            # Names come from the generation counter, not the list
+            # position, so a name retired earlier is never reused.
+            generation = self._next_generation + len(new_files)
+            name = _shard_file_name(generation, format)
+            # An existing file at a brand-new generation is an orphan
+            # from a crashed earlier append (written, never committed
+            # to the manifest); replacing it is the recovery path.
             _write_shard_file(self._directory / name, chunk, format)
             new_files.append(name)
             new_sizes.append(len(chunk))
+            new_gens.append(generation)
         _write_manifest(
             self._directory,
             self._shard_files + new_files,
             self._shard_sizes + new_sizes,
+            generations=self._generations + new_gens,
+            next_generation=self._next_generation + len(new_files),
         )
         # The manifest replace above is the commit point; only now is
         # the in-memory view allowed to see the delta.
         first_new = len(self._shard_files)
         self._shard_files.extend(new_files)
         self._shard_sizes.extend(new_sizes)
+        self._generations.extend(new_gens)
+        self._next_generation += len(new_files)
         self._n_transactions += len(rows)
         # Cached per-level widths stay exact: fold in the delta rows
         # instead of re-streaming every shard.
@@ -450,8 +502,8 @@ class ShardedTransactionStore:
         )
         try:
             new_files = [
-                _shard_file_name(index, to)
-                for index in range(len(old_files))
+                _shard_file_name(generation, to)
+                for generation in self._generations
             ]
             for index, name in enumerate(new_files):
                 _write_shard_file(
@@ -461,7 +513,13 @@ class ShardedTransactionStore:
             self._columnar_readers.clear()
             for name in new_files:
                 os.replace(staging / name, self._directory / name)
-            _write_manifest(self._directory, new_files, self._shard_sizes)
+            _write_manifest(
+                self._directory,
+                new_files,
+                self._shard_sizes,
+                generations=self._generations,
+                next_generation=self._next_generation,
+            )
         finally:
             shutil.rmtree(staging, ignore_errors=True)
         # Committed: retire the old encodings and their images.
@@ -473,8 +531,128 @@ class ShardedTransactionStore:
             _unlink_quietly(self._directory / name)
             for image in self._directory.glob(f"{name}.*.img"):
                 _unlink_quietly(image)
+            self._drop_cached_paths(name)
         self._shard_files = new_files
+        self.gc_orphans()
         return rewritten
+
+    # ------------------------------------------------------------------
+    # shard retirement (the windowed-mining expiry path)
+    # ------------------------------------------------------------------
+
+    def retire_shards(self, indexes: Iterable[int]) -> int:
+        """Drop whole shards from the store; returns the rows removed.
+
+        The survivor manifest is atomically replaced first — that is
+        the commit point — and only then are the retired shard files
+        and their persisted backend images unlinked, so a crash
+        mid-retirement leaves at worst committed-out orphan files
+        (reclaimed by :meth:`gc_orphans`), never a manifest naming a
+        missing shard.  Remaining shards keep their generation stamps;
+        retired generations are never reissued.
+        """
+        retired = sorted(set(int(index) for index in indexes))
+        if not retired:
+            return 0
+        for index in retired:
+            if not 0 <= index < len(self._shard_files):
+                raise DataError(
+                    f"cannot retire shard {index}: store has "
+                    f"{len(self._shard_files)} shard(s)"
+                )
+        retired_set = set(retired)
+        survivors = [
+            index
+            for index in range(len(self._shard_files))
+            if index not in retired_set
+        ]
+        new_index_of = {old: new for new, old in enumerate(survivors)}
+        new_files = [self._shard_files[old] for old in survivors]
+        new_sizes = [self._shard_sizes[old] for old in survivors]
+        new_gens = [self._generations[old] for old in survivors]
+        retired_names = [self._shard_files[old] for old in retired]
+        rows = sum(self._shard_sizes[old] for old in retired)
+        _write_manifest(
+            self._directory,
+            new_files,
+            new_sizes,
+            generations=new_gens,
+            next_generation=self._next_generation,
+        )
+        # Committed.  Release mmaps over the retired shards, remap the
+        # survivors' cached readers to their new positions, then
+        # unlink the dead files and images.
+        self._columnar_readers = {
+            new_index_of[old]: reader
+            for old, reader in self._columnar_readers.items()
+            if old not in retired_set
+        }
+        for name in retired_names:
+            _unlink_quietly(self._directory / name)
+            for image in self._directory.glob(f"{name}.*.img"):
+                _unlink_quietly(image)
+            self._drop_cached_paths(name)
+        self._shard_files = new_files
+        self._shard_sizes = new_sizes
+        self._generations = new_gens
+        self._n_transactions -= rows
+        # Width maxima may have lived in the retired rows; recompute
+        # lazily so windowed results match a cold mine byte for byte.
+        self._width_cache.clear()
+        return rows
+
+    def retire_before(self, generation: int) -> list[int]:
+        """Retire every shard with a generation stamp below
+        ``generation``; returns the retired generations (possibly
+        empty)."""
+        indexes = [
+            index
+            for index, gen in enumerate(self._generations)
+            if gen < generation
+        ]
+        retired = [self._generations[index] for index in indexes]
+        self.retire_shards(indexes)
+        return retired
+
+    def gc_orphans(self, *, dry_run: bool = False) -> list[str]:
+        """Sweep shard/image files the manifest does not reference.
+
+        Orphans arise from crashes in the commit windows of
+        :meth:`append_batch`, :meth:`retire_shards` and
+        :meth:`migrate` (a file fully written or left behind, but the
+        manifest replace naming it never happened / already dropped
+        it).  Returns the orphan file names, sorted; with
+        ``dry_run=True`` nothing is unlinked.
+        """
+        referenced = set(self._shard_files)
+        orphans: list[str] = []
+        for path in sorted(self._directory.glob("shard-*")):
+            if not path.is_file():
+                continue
+            name = path.name
+            if name in referenced:
+                continue
+            if name.endswith(".img"):
+                base = name.rsplit(".", 2)[0]
+                if base in referenced:
+                    continue
+            orphans.append(name)
+        if not dry_run:
+            for name in orphans:
+                _unlink_quietly(self._directory / name)
+                self._drop_cached_paths(name)
+        return orphans
+
+    def _drop_cached_paths(self, name: str) -> None:
+        """Purge cached paths/sizes of one shard file and its images."""
+        prefix = f"{name}."
+        for cache in (self._path_cache, self._size_cache):
+            for key in [
+                key
+                for key in cache
+                if key == name or key.startswith(prefix)
+            ]:
+                del cache[key]
 
     # ------------------------------------------------------------------
     # accessors
@@ -501,6 +679,17 @@ class ShardedTransactionStore:
     def shard_sizes(self) -> list[int]:
         """Transactions per shard (zeros allowed)."""
         return list(self._shard_sizes)
+
+    @property
+    def shard_generations(self) -> list[int]:
+        """Per-shard generation stamps (strictly increasing; gaps mark
+        retired shards)."""
+        return list(self._generations)
+
+    @property
+    def next_generation(self) -> int:
+        """The generation the next appended shard will receive."""
+        return self._next_generation
 
     def shard_path(self, index: int) -> Path:
         name = self._shard_files[index]
@@ -717,10 +906,11 @@ class ShardedTransactionStore:
         line, then one line per shard with format, on-disk bytes and
         persisted backend images."""
         sizes = self._shard_sizes
+        size_note = f"(sizes {min(sizes)}..{max(sizes)}) " if sizes else ""
         lines = [
             f"ShardedTransactionStore: {self._n_transactions} transactions "
             f"in {self.n_shards} shard(s) "
-            f"(sizes {min(sizes)}..{max(sizes)}) at {self._directory}"
+            f"{size_note}at {self._directory}"
         ]
         for index, name in enumerate(self._shard_files):
             images = self.shard_images(index)
@@ -837,14 +1027,30 @@ def _unlink_quietly(path: Path) -> None:
 
 
 def _write_manifest(
-    directory: Path, shard_files: list[str], shard_sizes: list[int]
+    directory: Path,
+    shard_files: list[str],
+    shard_sizes: list[int],
+    *,
+    generations: list[int] | None = None,
+    next_generation: int | None = None,
 ) -> None:
-    """Atomically replace the manifest — the store's commit point."""
+    """Atomically replace the manifest — the store's commit point.
+
+    ``generations`` defaults to positional numbering and
+    ``next_generation`` to the shard count — exactly what the reader
+    assumes for manifests predating retirement support.
+    """
+    if generations is None:
+        generations = list(range(len(shard_files)))
+    if next_generation is None:
+        next_generation = len(shard_files)
     manifest = {
         "version": _MANIFEST_VERSION,
         "shards": shard_files,
         "shard_sizes": shard_sizes,
         "n_transactions": sum(shard_sizes),
+        "generations": generations,
+        "next_generation": next_generation,
     }
     atomic_write_text(
         directory / _MANIFEST_NAME,

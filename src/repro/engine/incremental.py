@@ -29,9 +29,18 @@ Two run modes are reported in ``result.config["incremental"]``:
 * ``"incremental"`` — resolved thresholds unchanged; cached counts
   and, for an empty delta, the previous result itself are reused;
 * ``"full"`` — the thresholds *shifted* (fractional minimum supports
-  re-resolved against a grown transaction count), so nothing mined
+  re-resolved against a changed transaction count), so nothing mined
   earlier can be trusted and the update falls back to a full re-mine
   (support caches are threshold-independent and survive even this).
+
+With ``window_shards=`` / ``window_rows=`` the miner runs *windowed*:
+each :meth:`~IncrementalMiner.update` appends the delta, retires the
+oldest shards that fell out of the window (exact count subtraction
+through :meth:`~repro.core.counting.DeltaCounter.retire`), and
+re-mines — byte-identical to a cold mine of only the in-window
+shards, which the engine parity tests assert.  A step that retired
+shards reports mode ``"windowed"`` (or ``"full"`` when fractional
+thresholds shifted with the shrunken N).
 """
 
 from __future__ import annotations
@@ -80,6 +89,14 @@ class IncrementalMiner:
     memory_budget_mb:
         Resident-shard-backend budget of the counter's pool (ignored
         when adopting an existing counter, which carries its own).
+    window_shards, window_rows:
+        Sliding-window bounds enforced by :meth:`update`.  With
+        ``window_shards=W`` at most the newest ``W`` shards survive a
+        step; with ``window_rows=R`` the oldest shards are retired as
+        long as the survivors still hold at least ``R`` rows (shards
+        retire whole, so the window covers the most recent >= R
+        rows).  The newest shard is never retired.  Both may be set;
+        whichever retires more wins.
     """
 
     def __init__(
@@ -96,7 +113,19 @@ class IncrementalMiner:
         partitions: int | None = None,
         memory_budget_mb: float | None = None,
         shard_dir: str | Path | None = None,
+        window_shards: int | None = None,
+        window_rows: int | None = None,
     ) -> None:
+        if window_shards is not None and window_shards < 1:
+            raise ConfigError(
+                f"window_shards must be >= 1, got {window_shards}"
+            )
+        if window_rows is not None and window_rows < 1:
+            raise ConfigError(
+                f"window_rows must be >= 1, got {window_rows}"
+            )
+        self._window_shards = window_shards
+        self._window_rows = window_rows
         store, self._shard_tmpdir = open_or_partition_store(
             database,
             partitions,
@@ -165,18 +194,54 @@ class IncrementalMiner:
 
     def mine(self) -> MiningResult:
         """Full mine of the current store (fills the counter caches)."""
-        return self._run(mode="initial", delta_shards=0, delta_rows=0)
+        return self._run(
+            mode="initial",
+            delta_shards=0,
+            delta_rows=0,
+            resolved=self._resolve(),
+        )
 
     def update(self, transactions: Iterable[Iterable[str]]) -> MiningResult:
         """Append a delta batch and return fresh, exact results.
 
         The patterns are byte-identical to a from-scratch mine of the
-        grown store; only the delta shards (and never-seen candidates)
-        are counted against transaction data.  An empty delta returns
-        the previous result unchanged.
+        grown store (of the in-window shards, in windowed mode); only
+        the delta shards (and never-seen candidates) are counted
+        against transaction data.  An empty delta that retires nothing
+        returns the previous result unchanged.
         """
         with trace_span(catalog.SPAN_UPDATE):
             return self._update(transactions)
+
+    def _retire_out_of_window(self) -> tuple[int, int]:
+        """Retire the oldest shards that fell out of the window;
+        returns ``(shards, rows)`` retired (``(0, 0)`` unwindowed)."""
+        if self._window_shards is None and self._window_rows is None:
+            return 0, 0
+        sizes = self._store.shard_sizes
+        n_shards = len(sizes)
+        remaining = self._store.n_transactions
+        drop = 0
+        while drop < n_shards - 1:  # the newest shard always survives
+            if (
+                self._window_shards is not None
+                and n_shards - drop > self._window_shards
+            ):
+                remaining -= sizes[drop]
+                drop += 1
+                continue
+            if (
+                self._window_rows is not None
+                and remaining - sizes[drop] >= self._window_rows
+            ):
+                remaining -= sizes[drop]
+                drop += 1
+                continue
+            break
+        if drop == 0:
+            return 0, 0
+        rows = self._counter.retire(range(drop))
+        return drop, rows
 
     def _update(
         self, transactions: Iterable[Iterable[str]]
@@ -185,10 +250,12 @@ class IncrementalMiner:
         delta_rows = sum(
             self._store.shard_sizes[index] for index in new_shards
         )
+        retired_shards, retired_rows = self._retire_out_of_window()
         self._counter.refresh()
         resolved = self._resolve()
         if (
             not new_shards
+            and retired_shards == 0
             and self._last_result is not None
             and resolved == self._last_resolved
         ):
@@ -209,22 +276,31 @@ class IncrementalMiner:
                 cache_misses=0,
             )
             return result
-        mode = "incremental"
+        mode = "windowed" if retired_shards else "incremental"
         if (
             self._last_resolved is not None
             and resolved != self._last_resolved
         ):
-            # Fractional thresholds re-resolved against the grown N:
+            # Fractional thresholds re-resolved against the changed N:
             # nothing mined earlier can be reused — full re-mine.
             mode = "full"
         return self._run(
             mode=mode,
             delta_shards=len(new_shards),
             delta_rows=delta_rows,
+            resolved=resolved,
+            retired_shards=retired_shards,
+            retired_rows=retired_rows,
         )
 
     def _run(
-        self, mode: str, delta_shards: int, delta_rows: int
+        self,
+        mode: str,
+        delta_shards: int,
+        delta_rows: int,
+        resolved: ResolvedThresholds,
+        retired_shards: int = 0,
+        retired_rows: int = 0,
     ) -> MiningResult:
         # Local import: core.flipper imports the engine package.
         from repro.core.flipper import FlipperMiner
@@ -250,9 +326,14 @@ class IncrementalMiner:
             delta_rows=delta_rows,
             cache_hits=self._counter.cache_hits - hits_before,
             cache_misses=self._counter.cache_misses - misses_before,
+            retired_shards=retired_shards,
+            retired_rows=retired_rows,
         )
         self._last_result = result
-        self._last_resolved = self._resolve()
+        # Record the thresholds the run above was actually mined
+        # under — re-resolving here would race a concurrent append
+        # between the resolve and the mine.
+        self._last_resolved = resolved
         return result
 
     def _annotate(
@@ -264,8 +345,10 @@ class IncrementalMiner:
         delta_rows: int,
         cache_hits: int,
         cache_misses: int,
+        retired_shards: int = 0,
+        retired_rows: int = 0,
     ) -> None:
-        result.config["incremental"] = {
+        incremental: dict[str, object] = {
             "mode": mode,
             "n_shards": self._store.n_shards,
             "counted_shards": self._counter.counted_shards,
@@ -276,4 +359,11 @@ class IncrementalMiner:
             "cached_itemsets": self._counter.cached_itemsets,
             "pool_rebuilds": self._counter.pool.rebuilds,
             "pool_image_admits": self._counter.pool.image_admits,
+            "retired_shards": retired_shards,
+            "retired_rows": retired_rows,
         }
+        if self._window_shards is not None:
+            incremental["window_shards"] = self._window_shards
+        if self._window_rows is not None:
+            incremental["window_rows"] = self._window_rows
+        result.config["incremental"] = incremental

@@ -27,6 +27,8 @@ __all__ = [
     "CACHE_SIZE",
     "COLUMNAR_MAPPED_BYTES",
     "COLUMNAR_SHARDS_DECODED",
+    "EVENTS_DROPPED",
+    "EVENTS_EMITTED",
     "HTTP_REQUESTS",
     "HTTP_REQUEST_SECONDS",
     "HTTP_SHEDS",
@@ -36,6 +38,8 @@ __all__ = [
     "POOL_EVICTIONS",
     "POOL_IMAGES_SAVED",
     "POOL_RESIDENT_BYTES",
+    "RETIRED_ROWS",
+    "RETIRED_SHARDS",
     "SNAPSHOT_AGE_SECONDS",
     "SNAPSHOT_PATTERNS",
     "SNAPSHOT_VERSION",
@@ -47,6 +51,7 @@ __all__ = [
     "SPAN_MINE",
     "SPAN_PREPARE",
     "SPAN_PRUNE",
+    "SPAN_RETIRE",
     "SPAN_UPDATE",
     "UPDATE_QUEUE_DEPTH",
     "UPDATES",
@@ -88,6 +93,19 @@ SNAPSHOT_PATTERNS = "repro_snapshot_patterns"
 UPTIME_SECONDS = "repro_uptime_seconds"
 #: pending intents in the (asyncio) update queue
 UPDATE_QUEUE_DEPTH = "repro_update_queue_depth"
+#: flip lifecycle events emitted into the pattern-store ring, by type
+EVENTS_EMITTED = "repro_pattern_events_total"
+#: lifecycle events dropped off the bounded ring before delivery
+EVENTS_DROPPED = "repro_pattern_events_dropped_total"
+
+# ---------------------------------------------------------------------------
+# windowed retirement
+# ---------------------------------------------------------------------------
+
+#: shards retired out of the sliding window
+RETIRED_SHARDS = "repro_retired_shards_total"
+#: transaction rows retired out of the sliding window
+RETIRED_ROWS = "repro_retired_rows_total"
 
 # ---------------------------------------------------------------------------
 # caches (query-result, delta-counter support, byte-level response)
@@ -181,6 +199,20 @@ METRICS: dict[str, MetricSpec] = {
     COLUMNAR_SHARDS_DECODED: MetricSpec(
         "counter", "columnar shards fully decoded into row tuples"
     ),
+    EVENTS_EMITTED: MetricSpec(
+        "counter",
+        "flip lifecycle events emitted, by type",
+        ("type",),
+    ),
+    EVENTS_DROPPED: MetricSpec(
+        "counter", "lifecycle events dropped off the bounded ring"
+    ),
+    RETIRED_SHARDS: MetricSpec(
+        "counter", "shards retired out of the sliding window"
+    ),
+    RETIRED_ROWS: MetricSpec(
+        "counter", "transaction rows retired out of the sliding window"
+    ),
 }
 
 # ---------------------------------------------------------------------------
@@ -200,6 +232,8 @@ SPAN_LABEL = "label"
 SPAN_PRUNE = "prune"
 #: one incremental delta update (append + refresh + re-sweep)
 SPAN_UPDATE = "update"
+#: one shard-retirement pass (subtract counts + drop shard files)
+SPAN_RETIRE = "retire"
 
 SPANS: frozenset[str] = frozenset(
     {
@@ -210,6 +244,7 @@ SPANS: frozenset[str] = frozenset(
         SPAN_COUNT,
         SPAN_LABEL,
         SPAN_PRUNE,
+        SPAN_RETIRE,
         SPAN_UPDATE,
     }
 )

@@ -272,12 +272,14 @@ def quantile_from_buckets(
     bucket.  Interpolates linearly inside the target bucket (from the
     previous bound, or 0 for the first); observations in the overflow
     bucket report the largest finite bound, mirroring Prometheus'
-    ``histogram_quantile``.  Returns 0.0 for an empty histogram.
+    ``histogram_quantile``.  Returns 0.0 for an empty histogram, or
+    when ``bounds`` itself is empty (an overflow-only histogram has no
+    finite bound to report).
     """
     if not 0.0 <= fraction <= 1.0:
         raise ConfigError(f"fraction must be in [0, 1], got {fraction}")
     total = sum(bucket_counts)
-    if total == 0:
+    if total == 0 or not bounds:
         return 0.0
     rank = fraction * total
     cumulative = 0

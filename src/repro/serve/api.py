@@ -21,6 +21,10 @@ drift.
 * ``GET /v1/patterns/{id}`` — one pattern by id;
 * ``GET /v1/metrics`` — the metrics registry, in Prometheus text
   exposition format (``?format=json`` for the JSON rendering);
+* ``GET /v1/events`` — flip lifecycle events
+  (``flip_started``/``flip_stopped``/``flip_level_changed``) of
+  generations newer than ``since_version``, long-polling up to
+  ``timeout`` seconds for something to happen;
 * ``POST /v1/update`` — feed a delta batch to the attached miner.
 
 The legacy unprefixed routes (``/healthz``, ``/patterns``, …) remain
@@ -75,6 +79,7 @@ __all__ = [
     "API_VERSION_PREFIX",
     "ApiError",
     "ApiResponse",
+    "EventsIntent",
     "PatternAPI",
     "UpdateIntent",
     "decode_cursor",
@@ -210,6 +215,28 @@ class UpdateIntent:
 
     transactions: list[Any]
     versioned: bool  #: arrived via /v1 (vs. a legacy alias)
+
+
+#: hard ceiling on one events long-poll (seconds)
+MAX_EVENTS_TIMEOUT = 60.0
+
+
+@dataclass
+class EventsIntent:
+    """A validated ``GET .../events`` waiting for the (possibly
+    blocking) long-poll.
+
+    Dispatch validates parameters but does **not** wait — each server
+    decides where the blocking wait may run (inline in a handler
+    thread for the threaded server, ``run_in_executor`` for the
+    asyncio one, which must never block its event loop) and then
+    calls :meth:`PatternAPI.run_events`.
+    """
+
+    since_version: int
+    timeout: float
+    limit: int | None
+    versioned: bool
 
 
 def encode_cursor(version: int, offset: int) -> str:
@@ -357,7 +384,7 @@ class PatternAPI:
         if path.startswith("/patterns/"):
             return "/patterns/{id}"
         if path in ("/healthz", "/stats", "/patterns", "/update",
-                    "/metrics"):
+                    "/metrics", "/events"):
             return path
         return "other"
 
@@ -411,8 +438,9 @@ class PatternAPI:
         target: str,
         body: bytes = b"",
         headers: Mapping[str, str] | None = None,
-    ) -> ApiResponse | UpdateIntent:
-        """Answer one request (or hand back a validated write intent).
+    ) -> ApiResponse | UpdateIntent | EventsIntent:
+        """Answer one request (or hand back a validated intent the
+        server runs where blocking is allowed).
 
         ``target`` is the raw request target (path plus query
         string); ``headers`` only needs the entries the API reads
@@ -460,7 +488,7 @@ class PatternAPI:
         body: bytes,
         headers: Mapping[str, str],
         versioned: bool,
-    ) -> ApiResponse | UpdateIntent:
+    ) -> ApiResponse | UpdateIntent | EventsIntent:
         snap = self.store.snapshot()
         if method == "GET" and path == "/healthz":
             _forbid_params(params)
@@ -475,6 +503,8 @@ class PatternAPI:
         if method == "GET" and path.startswith("/patterns/"):
             _forbid_params(params)
             return self._one(snap, path[len("/patterns/") :])
+        if method == "GET" and path == "/events":
+            return self._events_intent(params, versioned)
         if method == "POST" and path == "/update":
             _forbid_params(params)
             return self._update_intent(body, versioned)
@@ -626,6 +656,105 @@ class PatternAPI:
                 "pattern": dict(pattern.to_dict(), id=pid),
             },
         )
+
+    # ------------------------------------------------------------------
+    # lifecycle events (the long-poll path)
+    # ------------------------------------------------------------------
+
+    def _events_intent(
+        self, params: dict[str, str], versioned: bool
+    ) -> EventsIntent:
+        since_version = 0
+        raw = params.pop("since_version", None)
+        if raw is not None:
+            try:
+                since_version = int(raw)
+            except ValueError:
+                raise ApiError(
+                    400,
+                    "bad_request",
+                    f"bad value {raw!r} for since_version",
+                ) from None
+            if since_version < 0:
+                raise ApiError(
+                    400,
+                    "bad_request",
+                    f"since_version must be >= 0, got {since_version}",
+                )
+        timeout = 0.0
+        raw = params.pop("timeout", None)
+        if raw is not None:
+            try:
+                timeout = float(raw)
+            except ValueError:
+                raise ApiError(
+                    400,
+                    "bad_request",
+                    f"bad value {raw!r} for timeout",
+                ) from None
+            if not 0.0 <= timeout <= MAX_EVENTS_TIMEOUT:
+                raise ApiError(
+                    400,
+                    "bad_request",
+                    f"timeout must be in [0, {MAX_EVENTS_TIMEOUT:g}] "
+                    f"seconds, got {timeout:g}",
+                )
+        limit: int | None = None
+        raw = params.pop("limit", None)
+        if raw is not None:
+            try:
+                limit = int(raw)
+            except ValueError:
+                raise ApiError(
+                    400,
+                    "bad_request",
+                    f"bad value {raw!r} for limit",
+                ) from None
+            if limit < 1:
+                raise ApiError(
+                    400,
+                    "bad_request",
+                    f"limit must be >= 1, got {limit}",
+                )
+        _forbid_params(params)
+        return EventsIntent(since_version, timeout, limit, versioned)
+
+    def run_events(self, intent: EventsIntent) -> ApiResponse:
+        """Serve one events long-poll (may block up to the intent's
+        timeout — run it where blocking is allowed).  Never raises.
+        """
+        try:
+            store = self.store
+            if intent.timeout > 0:
+                events, truncated = store.wait_for_events(
+                    intent.since_version, intent.timeout, intent.limit
+                )
+            else:
+                events, truncated = store.events_since(
+                    intent.since_version, intent.limit
+                )
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("events poll failed")
+            return ApiResponse(
+                500,
+                error_payload("internal", f"internal error: {exc}"),
+            )
+        next_since = (
+            events[-1].version if events else intent.since_version
+        )
+        response = ApiResponse(
+            200,
+            {
+                "store_version": store.version,
+                "since_version": intent.since_version,
+                "next_since": next_since,
+                "truncated": truncated,
+                "events": [event.to_dict() for event in events],
+            },
+        )
+        if not intent.versioned:
+            response.headers.setdefault("Deprecation", "true")
+        return response
 
     # ------------------------------------------------------------------
     # the write path

@@ -50,6 +50,7 @@ from repro.obs import catalog
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.api import (
     ApiResponse,
+    EventsIntent,
     PatternAPI,
     UpdateIntent,
     error_payload,
@@ -492,6 +493,14 @@ class AsyncPatternServer:
         answer = self._api.dispatch(method, target, body, headers)
         if isinstance(answer, UpdateIntent):
             answer = await self._submit_update(answer)
+        elif isinstance(answer, EventsIntent):
+            # Long-polls wait on a threading.Condition — off the loop,
+            # one worker thread per waiting poller, so thousands of
+            # pure readers keep multiplexing while pollers block.
+            assert self._loop is not None
+            answer = await self._loop.run_in_executor(
+                None, self._api.run_events, answer
+            )
         rendered = _render(
             answer.status,
             answer.encode(),

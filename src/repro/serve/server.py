@@ -6,8 +6,8 @@ request through the shared :class:`~repro.serve.api.PatternAPI` route
 layer, so it answers exactly what the asyncio front end
 (:class:`~repro.serve.aserver.AsyncPatternServer`) answers: the
 ``/v1`` surface (``/v1/healthz``, ``/v1/stats``, ``/v1/patterns``,
-``/v1/patterns/{id}``, ``POST /v1/update``) plus the deprecated
-legacy aliases.
+``/v1/patterns/{id}``, ``POST /v1/update``, ``GET /v1/events``) plus
+the deprecated legacy aliases.
 
 There is no readers-writer lock anywhere in the read path: each
 request pins one immutable store snapshot and serves itself entirely
@@ -37,6 +37,7 @@ from repro.errors import ServeError
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.api import (
     ApiResponse,
+    EventsIntent,
     PatternAPI,
     UpdateIntent,
     query_from_params,
@@ -226,6 +227,10 @@ class PatternServer:
             if isinstance(answer, UpdateIntent):
                 with self._update_lock:
                     answer = self._api.run_update(answer)
+            elif isinstance(answer, EventsIntent):
+                # Long-polls block only their own handler thread — no
+                # lock: updates keep publishing while pollers wait.
+                answer = self._api.run_events(answer)
             self._send(request, answer)
             self._api.log_request(
                 method, request.path, answer.status, started

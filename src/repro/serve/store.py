@@ -41,14 +41,26 @@ loudly on mismatch instead of serving a mix of two generations (see
 The store round-trips to disk as a single JSON document (written
 atomically, so readers never observe a torn file) — conventionally
 ``pattern_store.json`` next to the shard manifest it was mined from.
+
+Consecutive generations are additionally diffed into **flip
+lifecycle events**: a pattern id appearing is a ``flip_started``, one
+vanishing is a ``flip_stopped``, and a changed label trajectory is a
+``flip_level_changed`` — the streaming/windowed monitoring signal
+(which correlations *started or stopped* flipping between window
+generations).  Events are buffered in a bounded ring on
+:class:`PatternStore`, stamped with the store version that produced
+them, and served by ``GET /v1/events`` as a long-poll (see
+:mod:`repro.serve.api`).
 """
 
 from __future__ import annotations
 
 import bisect
 import json
+import threading
 import time
 from collections.abc import Callable, Iterator
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -59,17 +71,24 @@ from repro.core.serialize import (
     atomic_write_json,
     load_result,
 )
-from repro.errors import ServeError
+from repro.errors import ConfigError, ServeError
+from repro.obs import catalog
+from repro.obs.metrics import default_registry
 
 __all__ = [
+    "PatternEvent",
     "PatternStore",
     "StoreSnapshot",
+    "EVENT_TYPES",
     "STORE_FORMAT",
     "STORE_FORMAT_VERSION",
     "STORE_FILE_NAME",
     "MEASURE_GETTERS",
     "pattern_id_of",
 ]
+
+#: lifecycle event types, in emission order within one generation
+EVENT_TYPES = ("flip_started", "flip_stopped", "flip_level_changed")
 
 STORE_FORMAT = "repro.pattern-store"
 STORE_FORMAT_VERSION = 1
@@ -89,6 +108,83 @@ MEASURE_GETTERS: dict[str, Callable[[FlippingPattern], float]] = {
 
 #: sorts above every pattern id in tuple comparisons (ids are ASCII)
 _ID_CEILING = "\U0010ffff"
+
+
+@dataclass(frozen=True)
+class PatternEvent:
+    """One flip lifecycle transition between two store generations.
+
+    ``version`` is the store version whose publish produced the event
+    — a real store generation, so a consumer can resume a poll with
+    ``since_version=<last seen>`` and never miss or double-see a
+    transition.  ``signature`` is the pattern's label trajectory
+    after the transition (``None`` for ``flip_stopped``);
+    ``previous_signature`` is the trajectory before it (``None`` for
+    ``flip_started``).
+    """
+
+    type: str  #: ``flip_started`` | ``flip_stopped`` | ``flip_level_changed``
+    pattern_id: str
+    version: int
+    signature: str | None
+    previous_signature: str | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.type,
+            "pattern_id": self.pattern_id,
+            "version": self.version,
+            "signature": self.signature,
+            "previous_signature": self.previous_signature,
+        }
+
+
+def _diff_events(
+    old: "StoreSnapshot", new: "StoreSnapshot"
+) -> list[PatternEvent]:
+    """Lifecycle transitions between two consecutive generations.
+
+    Keyed by pattern id (the leaf itemset), exactly like
+    :meth:`StoreSnapshot.with_result`: an id appearing starts a flip,
+    one vanishing stops it, and a changed signature (the per-level
+    label trajectory — a changed chain height always changes it)
+    moves the flip level.  Support/correlation drift that leaves the
+    trajectory intact is *not* an event.  Deterministic order: sorted
+    by pattern id.
+    """
+    version = new.version
+    events: list[PatternEvent] = []
+    ids = set(old.ids()) | set(new.ids())
+    for pid in sorted(ids):
+        before = old.get(pid)
+        after = new.get(pid)
+        if before is None and after is not None:
+            events.append(
+                PatternEvent(
+                    "flip_started", pid, version, after.signature, None
+                )
+            )
+        elif after is None and before is not None:
+            events.append(
+                PatternEvent(
+                    "flip_stopped", pid, version, None, before.signature
+                )
+            )
+        elif (
+            before is not None
+            and after is not None
+            and before.signature != after.signature
+        ):
+            events.append(
+                PatternEvent(
+                    "flip_level_changed",
+                    pid,
+                    version,
+                    after.signature,
+                    before.signature,
+                )
+            )
+    return events
 
 
 def pattern_id_of(pattern: FlippingPattern) -> str:
@@ -475,13 +571,43 @@ class PatternStore:
     :meth:`open` (from a saved store); keep it fresh with
     :meth:`apply_result`; pin a consistent generation with
     :meth:`snapshot`.
+
+    Every :meth:`apply_result` that publishes a new generation also
+    diffs it against the previous one into flip lifecycle
+    :class:`PatternEvent` s, kept in a bounded ring of the newest
+    ``event_capacity`` events.  :meth:`events_since` drains the ring
+    from a version cursor; :meth:`wait_for_events` blocks until
+    something newer arrives (the long-poll primitive behind
+    ``GET /v1/events``).  Events older than the ring reports as
+    *truncated*, never silently skipped.
     """
 
-    def __init__(self) -> None:
+    #: default bounded-ring capacity (events, not generations)
+    DEFAULT_EVENT_CAPACITY = 1024
+
+    def __init__(self, *, event_capacity: int | None = None) -> None:
+        if event_capacity is None:
+            event_capacity = self.DEFAULT_EVENT_CAPACITY
+        if event_capacity < 1:
+            raise ConfigError(
+                f"event_capacity must be >= 1, got {event_capacity}"
+            )
         self._snap = StoreSnapshot.empty()
         #: monotonic instant the current snapshot was published;
         #: rebound together with ``_snap`` at every swap site
         self._published_at = time.monotonic()
+        self._event_capacity = event_capacity
+        #: newest-last ring of lifecycle events; guarded (with the
+        #: drop bookkeeping) by the condition below
+        self._events: list[PatternEvent] = []
+        self._events_cond = threading.Condition()
+        #: highest version among events dropped off the ring — polls
+        #: whose cursor predates it are answered as truncated
+        self._dropped_through = 0
+        self.events_dropped = 0
+        registry = default_registry()
+        self._m_events = registry.counter(catalog.EVENTS_EMITTED)
+        self._m_events_dropped = registry.counter(catalog.EVENTS_DROPPED)
 
     # ------------------------------------------------------------------
     # constructors
@@ -564,12 +690,99 @@ class PatternStore:
         the old one throughout) and publishes it with a single
         reference assignment — atomic under the GIL, so a concurrent
         :meth:`snapshot` pin gets either the old generation or the
-        new one, never a mix.  Returns the diff counts.
+        new one, never a mix.  The generation diff is also emitted as
+        lifecycle events into the ring (waking long-pollers).
+        Returns the diff counts.
         """
-        snapshot, diff = self._snap.with_result(result)
-        self._snap = snapshot
-        self._published_at = time.monotonic()
+        old = self._snap
+        snapshot, diff = old.with_result(result)
+        events = (
+            _diff_events(old, snapshot)
+            if snapshot.version != old.version
+            else []
+        )
+        with self._events_cond:
+            self._snap = snapshot
+            self._published_at = time.monotonic()
+            if events:
+                self._events.extend(events)
+                overflow = len(self._events) - self._event_capacity
+                if overflow > 0:
+                    dropped = self._events[:overflow]
+                    del self._events[:overflow]
+                    self._dropped_through = dropped[-1].version
+                    self.events_dropped += overflow
+                    self._m_events_dropped.inc(overflow)
+                for event in events:
+                    self._m_events.inc(type=event.type)
+                self._events_cond.notify_all()
         return diff
+
+    # ------------------------------------------------------------------
+    # lifecycle events (the ``/v1/events`` long-poll primitive)
+    # ------------------------------------------------------------------
+
+    @property
+    def event_capacity(self) -> int:
+        """Bounded-ring capacity (oldest events beyond it are dropped
+        and reported as truncation)."""
+        return self._event_capacity
+
+    def events_since(
+        self, since_version: int, limit: int | None = None
+    ) -> tuple[list[PatternEvent], bool]:
+        """Events of generations newer than ``since_version``.
+
+        Returns ``(events, truncated)``; ``truncated`` is ``True``
+        when events the cursor should have seen already fell off the
+        ring (the consumer must resynchronize from a full
+        ``/patterns`` read).  ``limit`` caps the answer but never
+        splits one generation's events across polls — resuming with
+        ``since_version=<last event's version>`` is always lossless.
+        """
+        with self._events_cond:
+            truncated = since_version < self._dropped_through
+            events = [
+                event
+                for event in self._events
+                if event.version > since_version
+            ]
+        if limit is not None and len(events) > limit:
+            end = limit
+            while (
+                end < len(events)
+                and events[end].version == events[limit - 1].version
+            ):
+                end += 1
+            events = events[:end]
+        return events, truncated
+
+    def wait_for_events(
+        self,
+        since_version: int,
+        timeout: float,
+        limit: int | None = None,
+    ) -> tuple[list[PatternEvent], bool]:
+        """Long-poll :meth:`events_since`: block until an event newer
+        than ``since_version`` exists (or truncation must be
+        reported), at most ``timeout`` seconds.  A timeout returns
+        ``([], False)`` — the caller's cursor is simply still
+        current."""
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._events_cond:
+            while True:
+                if since_version < self._dropped_through:
+                    break
+                if any(
+                    event.version > since_version
+                    for event in self._events
+                ):
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._events_cond.wait(remaining)
+        return self.events_since(since_version, limit)
 
     # ------------------------------------------------------------------
     # read access — delegates to the current snapshot

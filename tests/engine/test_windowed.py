@@ -1,0 +1,286 @@
+"""Windowed streaming mining: parity, retirement wiring, regressions.
+
+The windowed contract under test: after any ``update``, the mined
+patterns are **byte-identical** to a cold mine of only the in-window
+rows — across all three inner backends and both executor worker
+modes.  Retirement is exact subtraction, never an approximation, so
+the assertion is equality of serialized patterns, not set overlap.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Taxonomy
+from repro.core.flipper import mine_flipping_patterns
+from repro.core.thresholds import Thresholds
+from repro.data.database import TransactionDatabase
+from repro.data.shards import ShardedTransactionStore
+from repro.engine.incremental import IncrementalMiner
+from repro.errors import ConfigError
+from tests.conftest import (
+    _random_rows,
+    make_random_database,
+    taxonomy_trees,
+)
+
+
+def fingerprint(result) -> str:
+    return json.dumps(
+        [pattern.to_dict() for pattern in result.patterns], sort_keys=True
+    )
+
+
+@pytest.fixture
+def thresholds() -> Thresholds:
+    # absolute counts: the window holds N roughly constant anyway,
+    # but absolute supports make the windowed mode unconditional
+    return Thresholds(gamma=0.55, epsilon=0.35, min_support=[4, 2, 2])
+
+
+@pytest.fixture
+def segments(grocery_taxonomy):
+    """Six 30-row segments; each one becomes exactly one shard."""
+    database = make_random_database(
+        grocery_taxonomy, 180, seed=29, max_width=6
+    )
+    rows = [
+        database.transaction_names(index)
+        for index in range(database.n_transactions)
+    ]
+    return [rows[step * 30 : (step + 1) * 30] for step in range(6)]
+
+
+def seed_store(segments, taxonomy, directory, n_segments=3):
+    """A store whose shards align 1:1 with the first segments."""
+    store = ShardedTransactionStore.partition_database(
+        TransactionDatabase(segments[0], taxonomy), directory, 1
+    )
+    for segment in segments[1:n_segments]:
+        store.append_batch(segment)
+    return store
+
+
+class TestWindowedParity:
+    @pytest.mark.parametrize("backend", ["bitmap", "horizontal", "numpy"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_slides_byte_identical_to_cold_mine(
+        self, grocery_taxonomy, segments, thresholds, tmp_path,
+        backend, workers,
+    ):
+        store = seed_store(segments, grocery_taxonomy, tmp_path)
+        miner = IncrementalMiner(
+            store,
+            thresholds,
+            backend=backend,
+            workers=workers,
+            window_shards=3,
+        )
+        miner.mine()
+        for step in range(3, 6):
+            result = miner.update(segments[step])
+            window = [
+                row
+                for segment in segments[step - 2 : step + 1]
+                for row in segment
+            ]
+            fresh = mine_flipping_patterns(
+                TransactionDatabase(window, grocery_taxonomy),
+                thresholds,
+                backend=backend,
+            )
+            assert fingerprint(result) == fingerprint(fresh)
+            incremental = result.config["incremental"]
+            assert incremental["mode"] == "windowed"
+            assert incremental["retired_shards"] == 1
+            assert incremental["retired_rows"] == 30
+            assert incremental["window_shards"] == 3
+            assert store.n_shards == 3
+
+    def test_window_rows_keeps_at_least_r_rows(
+        self, grocery_taxonomy, segments, thresholds, tmp_path
+    ):
+        store = seed_store(segments, grocery_taxonomy, tmp_path)
+        miner = IncrementalMiner(store, thresholds, window_rows=70)
+        miner.mine()
+        result = miner.update(segments[3])
+        # 4 x 30 rows; dropping one leaves 90 >= 70, dropping two
+        # would leave 60 < 70 — so exactly one shard retires
+        assert store.n_transactions == 90
+        assert store.n_shards == 3
+        incremental = result.config["incremental"]
+        assert incremental["mode"] == "windowed"
+        assert incremental["window_rows"] == 70
+        window = [
+            row for segment in segments[1:4] for row in segment
+        ]
+        fresh = mine_flipping_patterns(
+            TransactionDatabase(window, grocery_taxonomy), thresholds
+        )
+        assert fingerprint(result) == fingerprint(fresh)
+
+    def test_newest_shard_always_survives(
+        self, grocery_taxonomy, segments, thresholds, tmp_path
+    ):
+        store = seed_store(segments, grocery_taxonomy, tmp_path)
+        # window_rows=1 retires as aggressively as the rule allows
+        miner = IncrementalMiner(store, thresholds, window_rows=1)
+        miner.mine()
+        result = miner.update(segments[3])
+        assert store.n_shards == 1
+        assert store.shard_transactions(0) == [
+            tuple(row) for row in segments[3]
+        ]
+        fresh = mine_flipping_patterns(
+            TransactionDatabase(segments[3], grocery_taxonomy), thresholds
+        )
+        assert fingerprint(result) == fingerprint(fresh)
+
+
+class TestWindowedEdges:
+    def test_empty_delta_with_nothing_to_retire_is_noop(
+        self, grocery_taxonomy, segments, thresholds, tmp_path
+    ):
+        store = seed_store(segments, grocery_taxonomy, tmp_path)
+        miner = IncrementalMiner(store, thresholds, window_shards=3)
+        first = miner.mine()
+        updated = miner.update([])
+        assert updated.patterns is first.patterns
+        assert updated.config["incremental"]["mode"] == "noop"
+        assert store.n_shards == 3
+
+    def test_empty_delta_can_still_retire(
+        self, grocery_taxonomy, segments, thresholds, tmp_path
+    ):
+        # the store starts over the window bound: the first update
+        # shrinks it even though the delta is empty
+        store = seed_store(segments, grocery_taxonomy, tmp_path)
+        miner = IncrementalMiner(store, thresholds, window_shards=2)
+        miner.mine()
+        result = miner.update([])
+        assert store.n_shards == 2
+        incremental = result.config["incremental"]
+        assert incremental["mode"] == "windowed"
+        assert incremental["retired_shards"] == 1
+        window = [
+            row for segment in segments[1:3] for row in segment
+        ]
+        fresh = mine_flipping_patterns(
+            TransactionDatabase(window, grocery_taxonomy), thresholds
+        )
+        assert fingerprint(result) == fingerprint(fresh)
+
+    def test_fractional_thresholds_stay_windowed_at_constant_n(
+        self, grocery_taxonomy, segments, tmp_path
+    ):
+        # equal-size segments keep N at 90 across slides, so the
+        # fractions re-resolve to identical counts and windowed mode
+        # survives even fractional thresholds
+        fractional = Thresholds(
+            gamma=0.55, epsilon=0.35, min_support=[0.05, 0.03, 0.02]
+        )
+        store = seed_store(segments, grocery_taxonomy, tmp_path)
+        miner = IncrementalMiner(store, fractional, window_shards=3)
+        miner.mine()
+        result = miner.update(segments[3])
+        assert result.config["incremental"]["mode"] == "windowed"
+
+    def test_fractional_thresholds_fall_back_when_n_shifts(
+        self, grocery_taxonomy, segments, tmp_path
+    ):
+        fractional = Thresholds(
+            gamma=0.55, epsilon=0.35, min_support=[0.05, 0.03, 0.02]
+        )
+        store = seed_store(segments, grocery_taxonomy, tmp_path)
+        miner = IncrementalMiner(store, fractional, window_shards=3)
+        miner.mine()
+        # an uneven delta shifts the post-retirement N (30+30+12)
+        result = miner.update(segments[3][:12])
+        assert result.config["incremental"]["mode"] == "full"
+        window = segments[1] + segments[2] + segments[3][:12]
+        fresh = mine_flipping_patterns(
+            TransactionDatabase(window, grocery_taxonomy), fractional
+        )
+        assert fingerprint(result) == fingerprint(fresh)
+
+    def test_update_resolves_thresholds_exactly_once(
+        self, grocery_taxonomy, segments, thresholds, tmp_path,
+        monkeypatch,
+    ):
+        # regression: _run used to re-resolve after the mine to record
+        # _last_resolved, racing any append that landed in between —
+        # the update path must resolve once and thread that value
+        store = seed_store(segments, grocery_taxonomy, tmp_path)
+        miner = IncrementalMiner(store, thresholds, window_shards=3)
+        miner.mine()
+        calls = 0
+        original = miner._resolve
+
+        def counting_resolve():
+            nonlocal calls
+            calls += 1
+            return original()
+
+        monkeypatch.setattr(miner, "_resolve", counting_resolve)
+        miner.update(segments[3])
+        assert calls == 1
+        assert miner._last_resolved == original()
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"window_shards": 0}, {"window_rows": 0}]
+    )
+    def test_invalid_window_bounds_rejected(
+        self, grocery_taxonomy, segments, thresholds, tmp_path, kwargs
+    ):
+        store = seed_store(segments, grocery_taxonomy, tmp_path)
+        with pytest.raises(ConfigError, match=">= 1"):
+            IncrementalMiner(store, thresholds, **kwargs)
+
+
+class TestWindowedProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_windowed_always_equals_cold_mine(self, data):
+        tree, leaves = data.draw(taxonomy_trees())
+        taxonomy = Taxonomy.from_dict(tree)
+        seed = data.draw(st.integers(min_value=0, max_value=9999))
+        sizes = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=8),
+                min_size=3,
+                max_size=5,
+            )
+        )
+        rows = _random_rows(leaves, seed, sum(sizes))
+        segments, cursor = [], 0
+        for size in sizes:
+            segments.append(rows[cursor : cursor + size])
+            cursor += size
+        thresholds = Thresholds(gamma=0.5, epsilon=0.3, min_support=1)
+        with tempfile.TemporaryDirectory(
+            prefix="repro-test-windowed-"
+        ) as tmp:
+            store = ShardedTransactionStore.partition_database(
+                TransactionDatabase(segments[0], taxonomy), tmp, 1
+            )
+            miner = IncrementalMiner(
+                store, thresholds, window_shards=2
+            )
+            miner.mine()
+            for step in range(1, len(segments)):
+                result = miner.update(segments[step])
+                window = [
+                    row
+                    for segment in segments[step - 1 : step + 1]
+                    for row in segment
+                ]
+                fresh = mine_flipping_patterns(
+                    TransactionDatabase(window, taxonomy), thresholds
+                )
+                assert fingerprint(result) == fingerprint(fresh)
+                assert store.n_shards <= 2

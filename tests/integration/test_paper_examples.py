@@ -119,4 +119,5 @@ class TestBenchRunnersSmoke:
             "incremental",
             "serve",
             "approx",
+            "window",
         }

@@ -215,3 +215,9 @@ class TestQuantileFromBuckets:
     def test_fraction_out_of_range_is_loud(self):
         with pytest.raises(ConfigError, match="fraction"):
             quantile_from_buckets((1.0,), [1, 0], 1.5)
+
+    def test_empty_bounds_is_zero_not_indexerror(self):
+        # regression: an overflow-only histogram (no finite bound)
+        # used to crash on bounds[-1] instead of reporting 0.0
+        assert quantile_from_buckets((), [7], 0.5) == 0.0
+        assert quantile_from_buckets([], [0], 0.5) == 0.0

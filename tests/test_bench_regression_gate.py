@@ -826,3 +826,137 @@ class TestMainPartition:
                 "--partition-current",
                 base,
             ])
+
+
+@pytest.fixture
+def window_baseline():
+    return {
+        "bench": "window",
+        "speedup": 1.8,
+        "min_speedup": 1.2,
+        "events_total": 7,
+        "checks_pass": True,
+    }
+
+
+class TestCompareWindow:
+    def test_identical_passes(self, gate, window_baseline):
+        assert gate.compare_window(
+            window_baseline, copy.deepcopy(window_baseline), 1.5
+        ) == []
+
+    def test_below_absolute_floor_fails(self, gate, window_baseline):
+        current = copy.deepcopy(window_baseline)
+        current["speedup"] = 1.1
+        problems = gate.compare_window(window_baseline, current, 1.5)
+        assert any("floor" in p for p in problems)
+
+    def test_collapse_versus_baseline_fails(self, gate, window_baseline):
+        fast = copy.deepcopy(window_baseline)
+        fast["speedup"] = 6.0
+        current = copy.deepcopy(window_baseline)
+        current["speedup"] = 2.0
+        problems = gate.compare_window(fast, current, 1.5)
+        assert any("regressed" in p for p in problems)
+
+    def test_within_tolerance_passes(self, gate, window_baseline):
+        current = copy.deepcopy(window_baseline)
+        current["speedup"] = 1.4
+        assert gate.compare_window(window_baseline, current, 1.5) == []
+
+    def test_failed_internal_checks_fail(self, gate, window_baseline):
+        current = copy.deepcopy(window_baseline)
+        current["checks_pass"] = False
+        problems = gate.compare_window(window_baseline, current, 1.5)
+        assert any("internal checks" in p for p in problems)
+
+    def test_dead_event_path_fails(self, gate, window_baseline):
+        current = copy.deepcopy(window_baseline)
+        current["events_total"] = 0
+        problems = gate.compare_window(window_baseline, current, 1.5)
+        assert any("event path is dead" in p for p in problems)
+
+    def test_missing_baseline_speedup_reported(self, gate, window_baseline):
+        problems = gate.compare_window({}, window_baseline, 1.5)
+        assert any("baseline" in p for p in problems)
+
+    def test_custom_floor(self, gate, window_baseline):
+        assert (
+            gate.compare_window(
+                window_baseline,
+                copy.deepcopy(window_baseline),
+                1.5,
+                min_speedup=2.0,
+            )
+            != []
+        )
+
+
+class TestMainWindow:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_exit_zero_with_window_pair(
+        self, gate, baseline, window_baseline, tmp_path, capsys
+    ):
+        base = self._write(tmp_path, "base.json", baseline)
+        window = self._write(tmp_path, "window.json", window_baseline)
+        code = gate.main([
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--window-baseline",
+            window,
+            "--window-current",
+            window,
+        ])
+        assert code == 0
+        assert "windowed-slide speedup" in capsys.readouterr().out
+
+    def test_floor_comes_from_the_baseline_file(
+        self, gate, baseline, window_baseline, tmp_path, capsys
+    ):
+        # the committed baseline's min_speedup is the single source
+        # of truth when no --window-min-speedup is passed
+        strict = copy.deepcopy(window_baseline)
+        strict["min_speedup"] = 2.5
+        base = self._write(tmp_path, "base.json", baseline)
+        window_base = self._write(tmp_path, "wb.json", strict)
+        window_now = self._write(tmp_path, "wn.json", window_baseline)
+        code = gate.main([
+            "--baseline",
+            base,
+            "--current",
+            base,
+            "--window-baseline",
+            window_base,
+            "--window-current",
+            window_now,
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_lone_window_option_rejected(self, gate, baseline, tmp_path):
+        base = self._write(tmp_path, "base.json", baseline)
+        with pytest.raises(SystemExit):
+            gate.main([
+                "--baseline",
+                base,
+                "--current",
+                base,
+                "--window-baseline",
+                base,
+            ])
+
+    def test_gates_the_committed_window_baseline(self, gate):
+        """The committed BENCH_window.json must satisfy its own gate
+        (otherwise CI fails on an untouched checkout)."""
+        committed = json.loads(
+            (_SCRIPT.parent.parent / "BENCH_window.json").read_text()
+        )
+        assert gate.compare_window(
+            committed, copy.deepcopy(committed), 1.5
+        ) == []

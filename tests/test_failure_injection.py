@@ -209,6 +209,92 @@ class TestCrashSafeAppend:
             ) == reopened.shard_sizes[index]
 
 
+class TestCrashSafeRetire:
+    """Retirement commits via the manifest replace, like append.
+
+    A crash before the replace leaves the store untouched (every
+    shard file and the manifest intact); a crash after it leaves at
+    worst orphaned files on disk, which ``gc_orphans`` reclaims.
+    """
+
+    @pytest.fixture
+    def store(self, example3_tax, tmp_path):
+        from repro.data.shards import ShardedTransactionStore
+
+        database = TransactionDatabase(
+            [["a11", "b11"], ["a12"], ["b12", "a11"], ["b11"]],
+            example3_tax,
+        )
+        return ShardedTransactionStore.partition_database(
+            database, tmp_path, 2
+        )
+
+    def test_retire_crash_leaves_old_state(
+        self, store, example3_tax, tmp_path, monkeypatch
+    ):
+        import repro.data.shards as shards_module
+
+        before_rows = store.n_transactions
+        names = [store.shard_path(i).name for i in range(store.n_shards)]
+        manifest_before = (tmp_path / "manifest.json").read_bytes()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(shards_module, "_write_manifest", explode)
+        with pytest.raises(OSError, match="disk full"):
+            store.retire_shards([0])
+        monkeypatch.undo()
+
+        # nothing was unlinked and nothing committed
+        assert store.n_shards == len(names)
+        assert store.n_transactions == before_rows
+        assert (tmp_path / "manifest.json").read_bytes() == manifest_before
+        for name in names:
+            assert (tmp_path / name).exists()
+
+        from repro.data.shards import ShardedTransactionStore
+
+        reopened = ShardedTransactionStore.open(tmp_path, example3_tax)
+        assert reopened.n_transactions == before_rows
+
+    def test_leaked_append_orphan_is_reclaimed_by_gc(
+        self, store, example3_tax, tmp_path, monkeypatch
+    ):
+        import repro.data.shards as shards_module
+
+        live = {store.shard_path(i).name for i in range(store.n_shards)}
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(shards_module, "_write_manifest", explode)
+        with pytest.raises(OSError, match="disk full"):
+            store.append_batch([("a11", "b12")])
+        monkeypatch.undo()
+
+        # the crash leaked a fully written but uncommitted shard file
+        on_disk = {
+            p.name
+            for p in tmp_path.glob("shard-*")
+            if not p.name.endswith(".img")
+        }
+        leaked = on_disk - live
+        assert leaked
+
+        from repro.data.shards import ShardedTransactionStore
+
+        reopened = ShardedTransactionStore.open(tmp_path, example3_tax)
+        assert sorted(reopened.gc_orphans(dry_run=True)) == sorted(leaked)
+        assert sorted(reopened.gc_orphans()) == sorted(leaked)
+        for name in leaked:
+            assert not (tmp_path / name).exists()
+        # the live shards were untouched
+        assert {
+            reopened.shard_path(i).name for i in range(reopened.n_shards)
+        } == live
+
+
 class TestErrorHierarchy:
     def test_all_errors_are_repro_errors(self):
         for exc in (ConfigError, DataError, TaxonomyError):
